@@ -1,0 +1,32 @@
+//! End-to-end experiment benches: each target regenerates one paper
+//! artifact at Quick scale. Heavier figures get smaller sample counts; the
+//! `repro` binary remains the canonical way to produce the artifacts at
+//! Full scale.
+
+use bandana_bench::experiments;
+use bandana_bench::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+macro_rules! artifact_bench {
+    ($fn_name:ident, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            c.bench_function(stringify!($module), |b| {
+                b.iter(|| experiments::$module::run(Scale::Quick));
+            });
+        }
+    };
+}
+
+artifact_bench!(bench_tab01, tab01);
+artifact_bench!(bench_fig03, fig03);
+artifact_bench!(bench_fig04, fig04);
+artifact_bench!(bench_fig10, fig10);
+artifact_bench!(bench_fig12, fig12);
+artifact_bench!(bench_fig13, fig13);
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tab01, bench_fig03, bench_fig04, bench_fig10, bench_fig12, bench_fig13
+}
+criterion_main!(benches);

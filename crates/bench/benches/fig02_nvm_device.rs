@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 2 device simulation: closed-loop 4 KB
+//! random reads at queue depths 1–8.
+
+use bandana_bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm_sim::{sim::closed_loop_sim, QueueModel};
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let model = QueueModel::optane();
+    let mut group = c.benchmark_group("fig02_closed_loop");
+    for qd in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(qd), &qd, |b, &qd| {
+            b.iter(|| closed_loop_sim(&model, qd, 5_000, 42));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_figure(c: &mut Criterion) {
+    c.bench_function("fig02_full", |b| {
+        b.iter(|| bandana_bench::experiments::fig02::run(Scale::Quick));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_closed_loop, bench_full_figure
+}
+criterion_main!(benches);

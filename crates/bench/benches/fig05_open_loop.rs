@@ -1,0 +1,24 @@
+//! Criterion bench for the Figure 5 open-loop simulation: latency under
+//! offered load for the baseline policy vs 100% effective bandwidth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm_sim::{OpenLoopSim, QueueModel};
+
+fn bench_open_loop(c: &mut Criterion) {
+    let model = QueueModel::optane();
+    let mut group = c.benchmark_group("fig05_open_loop");
+    for frac in [25u32, 50, 75, 95] {
+        let offered = model.max_bandwidth_bps * f64::from(frac) / 100.0;
+        group.bench_with_input(BenchmarkId::from_parameter(frac), &offered, |b, &offered| {
+            b.iter(|| OpenLoopSim::new(model, 7).run(offered, 5_000));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_open_loop
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion bench regenerating Figure 7 directly: partitioner runtimes.
+//!
+//! (a) flat K-means runtime vs cluster count;
+//! (b) two-stage K-means runtime vs total sub-clusters;
+//! (c) SHP runtime on a paper-shaped table.
+
+use bandana_partition::{
+    kmeans, social_hash_partition, two_stage_kmeans, KMeansConfig, ShpConfig, TwoStageConfig,
+};
+use bandana_trace::{EmbeddingTable, ModelSpec, TopicModel, TraceGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fixture() -> (Vec<f32>, usize) {
+    let spec = ModelSpec::paper_scaled(10_000);
+    let table = 3usize; // the paper benches table 4
+    let topics = TopicModel::new(&spec.tables[table], 1);
+    let emb =
+        EmbeddingTable::synthesize(spec.tables[table].num_vectors, spec.dim, &topics, 2);
+    (emb.data().to_vec(), spec.dim)
+}
+
+fn bench_flat_kmeans(c: &mut Criterion) {
+    let (data, dim) = fixture();
+    let mut group = c.benchmark_group("fig07a_flat_kmeans");
+    for k in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| kmeans(&data, dim, &KMeansConfig { k, iterations: 10, seed: 1 }));
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_stage(c: &mut Criterion) {
+    let (data, dim) = fixture();
+    let mut group = c.benchmark_group("fig07b_two_stage");
+    for total in [64usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(total), &total, |b, &total| {
+            b.iter(|| {
+                two_stage_kmeans(
+                    &data,
+                    dim,
+                    &TwoStageConfig {
+                        first_stage_k: 8,
+                        total_subclusters: total,
+                        iterations: 10,
+                        seed: 1,
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_shp(c: &mut Criterion) {
+    let spec = ModelSpec::paper_scaled(10_000);
+    let mut generator = TraceGenerator::new(&spec, 5);
+    let train = generator.generate_requests(500);
+    let table = 3usize;
+    let queries: Vec<Vec<u32>> = train.table_queries(table).map(|q| q.to_vec()).collect();
+    c.bench_function("fig07c_shp_table4", |b| {
+        b.iter(|| {
+            social_hash_partition(
+                spec.tables[table].num_vectors,
+                queries.iter().map(|q| q.as_slice()),
+                &ShpConfig { block_capacity: 32, iterations: 8, seed: 1, parallel_depth: 2 },
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flat_kmeans, bench_two_stage, bench_shp
+}
+criterion_main!(benches);

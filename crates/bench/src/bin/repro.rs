@@ -1,0 +1,70 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale quick|full] <experiment>...
+//! repro all                      # every experiment, paper order
+//! repro list                     # available experiment ids
+//! ```
+
+use bandana_bench::experiments::{run_by_id, ALL_EXPERIMENTS};
+use bandana_bench::Scale;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--scale quick|full] <experiment>...\n\
+         experiments: {}  (or `all`)",
+        ALL_EXPERIMENTS.join(", ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Full;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("quick") => scale = Scale::Quick,
+                    Some("full") => scale = Scale::Full,
+                    other => {
+                        eprintln!("bad --scale value {other:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "list" => {
+                println!("{}", ALL_EXPERIMENTS.join("\n"));
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(&id.as_str()) {
+            eprintln!("unknown experiment {id:?}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let artifact = run_by_id(id, scale);
+        println!("=== {id} (scale: {scale}) ===");
+        println!("{artifact}");
+        println!("[{id} took {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

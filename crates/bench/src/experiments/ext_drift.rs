@@ -1,0 +1,171 @@
+//! Extension: how fast does a trained configuration decay under drift?
+//!
+//! The paper trains placement (SHP) and admission thresholds on a past
+//! window; §2.1 notes models retrain every few hours because behaviour
+//! shifts. This experiment drifts the table 2 hot set by a fixed fraction
+//! per epoch ([`bandana_trace::DriftingTraceGenerator`]) and replays the
+//! epoch-0-trained pipeline over successive epochs, against a per-epoch
+//! *retrained* oracle.
+//!
+//! Expected shape: the static configuration's effective-bandwidth gain
+//! decays monotonically-ish toward zero as the hot set rotates away from
+//! the trained layout, while the retrained oracle holds roughly level —
+//! the gap is the value of periodic retraining (and of the online tuner).
+
+use crate::output::{pct, TextTable};
+use crate::scale::Scale;
+use bandana_cache::{baseline_block_reads, AdmissionPolicy, PrefetchCacheSim};
+use bandana_partition::{social_hash_partition, AccessFrequency, BlockLayout, ShpConfig};
+use bandana_trace::{DriftConfig, DriftingTraceGenerator, ModelSpec, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Hot-set rotation per epoch.
+const ROTATE_FRACTION: f64 = 0.25;
+/// Epochs replayed.
+const EPOCHS: usize = 5;
+/// Fixed admission threshold for both arms.
+const THRESHOLD: u32 = 2;
+
+/// Gains for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftRow {
+    /// Epoch index (0 = the training epoch).
+    pub epoch: usize,
+    /// Gain of the epoch-0-trained configuration.
+    pub static_gain: f64,
+    /// Gain when layout + frequencies are retrained on this epoch.
+    pub retrained_gain: f64,
+}
+
+fn epoch_requests(scale: Scale) -> usize {
+    (scale.eval_requests() / 2).max(200)
+}
+
+fn gain_on(
+    layout: &BlockLayout,
+    freq: &AccessFrequency,
+    trace: &Trace,
+    table: usize,
+    cache: usize,
+) -> f64 {
+    let baseline = baseline_block_reads(layout, trace.table_queries(table), cache);
+    let mut sim = PrefetchCacheSim::new(
+        layout,
+        cache,
+        AdmissionPolicy::Threshold { t: THRESHOLD },
+        freq.clone(),
+    );
+    for q in trace.table_queries(table) {
+        sim.lookup_all(q);
+    }
+    sim.metrics().effective_bandwidth_increase(baseline)
+}
+
+/// Runs the drift decay experiment on table 2.
+pub fn run(scale: Scale) -> Vec<DriftRow> {
+    let spec = ModelSpec::paper_scaled(scale.spec_scale());
+    let t2 = super::common::TABLE2;
+    let per_epoch = epoch_requests(scale);
+    let mut generator = DriftingTraceGenerator::new(
+        &spec,
+        super::common::SEED,
+        DriftConfig { requests_per_epoch: per_epoch, rotate_fraction: ROTATE_FRACTION },
+    );
+    let epochs: Vec<Trace> = (0..EPOCHS).map(|_| generator.generate_requests(per_epoch)).collect();
+    let cache = *scale.table2_cache_sizes().last().expect("non-empty sizes");
+
+    let shp = |trace: &Trace| {
+        let cfg = ShpConfig {
+            block_capacity: super::common::VECTORS_PER_BLOCK,
+            iterations: scale.shp_iterations(),
+            seed: super::common::SEED,
+            parallel_depth: 2,
+        };
+        let order =
+            social_hash_partition(spec.tables[t2].num_vectors, trace.table_queries(t2), &cfg);
+        BlockLayout::from_order(order, super::common::VECTORS_PER_BLOCK)
+    };
+    let freq_of = |trace: &Trace| {
+        AccessFrequency::from_queries(spec.tables[t2].num_vectors, trace.table_queries(t2))
+    };
+
+    // Train once on epoch 0.
+    let static_layout = shp(&epochs[0]);
+    let static_freq = freq_of(&epochs[0]);
+
+    epochs
+        .iter()
+        .enumerate()
+        .map(|(epoch, trace)| {
+            let static_gain = gain_on(&static_layout, &static_freq, trace, t2, cache);
+            let retrained_gain = if epoch == 0 {
+                static_gain
+            } else {
+                let layout = shp(trace);
+                let freq = freq_of(trace);
+                gain_on(&layout, &freq, trace, t2, cache)
+            };
+            DriftRow { epoch, static_gain, retrained_gain }
+        })
+        .collect()
+}
+
+/// Renders the decay table.
+pub fn render(rows: &[DriftRow]) -> String {
+    let mut table =
+        TextTable::new(vec!["epoch", "static (epoch-0 training)", "retrained each epoch"]);
+    for r in rows {
+        table.row(vec![r.epoch.to_string(), pct(r.static_gain), pct(r.retrained_gain)]);
+    }
+    format!(
+        "Extension: configuration decay under {}%-per-epoch hot-set drift (table 2)\n{}",
+        (ROTATE_FRACTION * 100.0) as u32,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_config_decays() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), EPOCHS);
+        let first = rows[0].static_gain;
+        let last = rows[EPOCHS - 1].static_gain;
+        assert!(
+            last < first * 0.7,
+            "drift should erode the trained gain: epoch 0 {first:.3} vs last {last:.3}"
+        );
+    }
+
+    #[test]
+    fn retraining_recovers_most_of_the_gain() {
+        let rows = run(Scale::Quick);
+        for r in &rows[1..] {
+            assert!(
+                r.retrained_gain > r.static_gain,
+                "epoch {}: retrained {:.3} should beat stale {:.3}",
+                r.epoch,
+                r.retrained_gain,
+                r.static_gain
+            );
+        }
+        let first = rows[0].retrained_gain;
+        let last = rows[EPOCHS - 1].retrained_gain;
+        assert!(
+            last > first * 0.5,
+            "retrained gain should stay in the training ballpark: {first:.3} → {last:.3}"
+        );
+    }
+
+    #[test]
+    fn render_has_every_epoch() {
+        let rows = run(Scale::Quick);
+        let s = render(&rows);
+        for e in 0..EPOCHS {
+            assert!(s.contains(&format!("\n{e} ")) || s.contains(&format!(" {e} ")), "epoch {e}");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Figure 2: NVM device latency and bandwidth vs queue depth.
+//!
+//! The paper runs Fio (4 KB random reads, libaio) at queue depths 1–8 on a
+//! 375 GB device and reports mean latency, P99 latency, and bandwidth. We
+//! run the calibrated closed-loop simulator at the same depths.
+//!
+//! **Paper shape:** latency grows with queue depth (≈10 µs mean at QD1 to
+//! ≈14 µs mean / 75 µs P99 at QD8) while bandwidth grows from ≈0.4 GB/s to
+//! a ≈2.3 GB/s ceiling.
+
+use crate::output::{f2, TextTable};
+use crate::scale::Scale;
+use nvm_sim::{FioJob, QueueModel};
+use serde::{Deserialize, Serialize};
+
+/// One measured queue-depth point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Queue depth.
+    pub queue_depth: u32,
+    /// Mean latency in microseconds.
+    pub mean_latency_us: f64,
+    /// P99 latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+/// Runs the queue-depth sweep.
+pub fn run(scale: Scale) -> Vec<Row> {
+    [1u32, 2, 4, 8]
+        .iter()
+        .map(|&qd| {
+            let report = FioJob::new(QueueModel::optane())
+                .queue_depth(qd)
+                .requests(scale.device_requests())
+                .seed(42)
+                .run();
+            Row {
+                queue_depth: qd,
+                mean_latency_us: report.mean_latency_us(),
+                p99_latency_us: report.p99_latency_us(),
+                bandwidth_gbps: report.bandwidth_gbps(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure artifact.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = TextTable::new(vec!["queue depth", "mean latency (us)", "p99 latency (us)", "bandwidth (GB/s)"]);
+    for r in rows {
+        t.row(vec![
+            r.queue_depth.to_string(),
+            f2(r.mean_latency_us),
+            f2(r.p99_latency_us),
+            f2(r.bandwidth_gbps),
+        ]);
+    }
+    format!("Figure 2: NVM 4 KB random-read latency/bandwidth vs queue depth\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 4);
+        // Latency and bandwidth both grow with queue depth.
+        for w in rows.windows(2) {
+            assert!(w[1].mean_latency_us + 0.5 >= w[0].mean_latency_us);
+            assert!(w[1].bandwidth_gbps >= w[0].bandwidth_gbps);
+        }
+        // Endpoints match the paper's measurements: ~0.4 GB/s at QD1,
+        // saturation near 2.3 GB/s at QD8. (The simulator reproduces mean
+        // latency and bandwidth; the P99 gap is smaller than the real
+        // device's because device-internal queueing is not modelled beyond
+        // the pipeline, so only its ordering is asserted.)
+        assert!((rows[0].bandwidth_gbps - 0.4).abs() < 0.1, "{rows:?}");
+        assert!((rows[3].bandwidth_gbps - 2.3).abs() < 0.2, "{rows:?}");
+        for r in &rows {
+            assert!(r.p99_latency_us > r.mean_latency_us, "{rows:?}");
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = run(Scale::Quick);
+        let s = render(&rows);
+        assert!(s.contains("Figure 2"));
+        for r in &rows {
+            assert!(s.contains(&r.queue_depth.to_string()));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 3: hit-rate curves of the top-lookup tables.
+//!
+//! Stack distances over each table's lookup stream give the LRU hit rate at
+//! every cache size in one pass. The paper plots tables 1, 2, 6, 7 (the
+//! four with the most lookups).
+//!
+//! **Paper shape:** tables 1 and 2 climb steeply (high reuse); table 7
+//! climbs more gradually; all plateau below 100% at the compulsory-miss
+//! ceiling.
+
+use crate::output::TextTable;
+use crate::scale::Scale;
+use bandana_trace::StackDistances;
+use serde::{Deserialize, Serialize};
+
+/// Paper tables plotted in Figure 3 (0-based indices).
+pub const TABLES: [usize; 4] = [0, 1, 5, 6];
+
+/// The hit-rate curve of one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// 1-based table number.
+    pub table: usize,
+    /// `(cache size in vectors, hit rate)` samples.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Computes hit-rate curves for the Figure 3 tables.
+pub fn run(scale: Scale) -> Vec<Curve> {
+    let w = super::common::workload(scale);
+    TABLES
+        .iter()
+        .map(|&t| {
+            let stream = w.eval.table_stream(t);
+            let n = w.spec.tables[t].num_vectors as usize;
+            let sizes: Vec<usize> =
+                [100, 50, 20, 10, 5, 2, 1].iter().map(|d| (n / d).max(1)).collect();
+            let mut sd = StackDistances::with_capacity(stream.len().max(1));
+            sd.access_all(stream.iter().map(|&v| v as u64));
+            Curve { table: t + 1, points: sd.hit_rate_curve(&sizes) }
+        })
+        .collect()
+}
+
+/// Renders the figure artifact.
+pub fn render(curves: &[Curve]) -> String {
+    let mut out = String::from("Figure 3: hit-rate curves of the top-lookup tables\n");
+    for c in curves {
+        let mut t = TextTable::new(vec!["cache size (vectors)", "hit rate"]);
+        for &(size, hr) in &c.points {
+            t.row(vec![size.to_string(), format!("{:.3}", hr)]);
+        }
+        out.push_str(&format!("\n(table {})\n{}", c.table, t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let curves = run(Scale::Quick);
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            // Monotone non-decreasing in cache size.
+            for w in c.points.windows(2) {
+                assert!(w[1].1 + 1e-12 >= w[0].1, "table {} curve not monotone", c.table);
+            }
+        }
+        // Table 2 (most reuse) ends higher than table 7-analogue at full size.
+        let top = |c: &Curve| c.points.last().unwrap().1;
+        let t2 = curves.iter().find(|c| c.table == 2).unwrap();
+        let t6 = curves.iter().find(|c| c.table == 6).unwrap();
+        assert!(
+            top(t2) > top(t6),
+            "table 2 plateau {} should exceed table 6 plateau {}",
+            top(t2),
+            top(t6)
+        );
+    }
+
+    #[test]
+    fn render_mentions_each_table() {
+        let s = render(&run(Scale::Quick));
+        for t in [1, 2, 6, 7] {
+            assert!(s.contains(&format!("(table {t})")));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 6: effective-bandwidth increase vs number of K-means clusters
+//! (unlimited DRAM cache).
+//!
+//! Orders each table by flat K-means over its embedding values and measures
+//! the unlimited-cache effective-bandwidth increase of the resulting layout
+//! on the evaluation trace.
+//!
+//! **Paper shape:** gains grow with cluster count and plateau; tables 1–2
+//! benefit most (up to ~180%), tables with high compulsory-miss rates (8)
+//! barely move.
+
+use crate::output::pct;
+use crate::output::TextTable;
+use crate::scale::Scale;
+use bandana_partition::{fanout_report, kmeans, order_from_assignments, BlockLayout, KMeansConfig};
+use bandana_trace::EmbeddingTable;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point: a table at a cluster count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// 1-based table number.
+    pub table: usize,
+    /// K-means cluster count.
+    pub clusters: usize,
+    /// Unlimited-cache effective-bandwidth increase.
+    pub gain: f64,
+    /// Average query fanout (blocks per query; lower is better). Unlike the
+    /// gain, this metric never saturates at small scales.
+    pub fanout: f64,
+}
+
+/// Cluster counts for a scale.
+pub fn cluster_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![1, 4, 16, 64],
+        Scale::Full => vec![1, 4, 16, 64, 256],
+    }
+}
+
+/// Runs the K-means cluster sweep over all 8 tables.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let w = super::common::workload(scale);
+    // Partial-coverage evaluation window (see Scale::unlimited_eval_requests).
+    let (eval, _) = w.eval.split_at(scale.unlimited_eval_requests().min(w.eval.requests.len()));
+    let mut rows = Vec::new();
+    for t in 0..w.spec.num_tables() {
+        let emb = EmbeddingTable::synthesize(
+            w.spec.tables[t].num_vectors,
+            w.spec.dim,
+            w.generator.topic_model(t),
+            super::common::SEED.wrapping_add(t as u64),
+        );
+        for &k in &cluster_counts(scale) {
+            let result = kmeans(
+                emb.data(),
+                w.spec.dim,
+                &KMeansConfig { k, iterations: 10, seed: super::common::SEED },
+            );
+            let layout = BlockLayout::from_order(
+                order_from_assignments(&result.assignments),
+                super::common::VECTORS_PER_BLOCK,
+            );
+            let report = fanout_report(&layout, eval.table_queries(t));
+            rows.push(Row {
+                table: t + 1,
+                clusters: k,
+                gain: report.unlimited_cache_gain(),
+                fanout: report.average_fanout,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the figure artifact.
+pub fn render(rows: &[Row]) -> String {
+    let clusters: Vec<usize> = {
+        let mut c: Vec<usize> = rows.iter().map(|r| r.clusters).collect();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    let mut header = vec!["table".to_string()];
+    header.extend(clusters.iter().map(|k| format!("k={k}")));
+    let mut t = TextTable::new(header);
+    for table in 1..=8usize {
+        let mut cells = vec![table.to_string()];
+        for &k in &clusters {
+            let gain = rows
+                .iter()
+                .find(|r| r.table == table && r.clusters == k)
+                .map(|r| pct(r.gain))
+                .unwrap_or_default();
+            cells.push(gain);
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 6: effective-bandwidth increase vs K-means clusters (unlimited cache)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let rows = run(Scale::Quick);
+        let gain = |table: usize, k: usize| {
+            rows.iter().find(|r| r.table == table && r.clusters == k).unwrap().gain
+        };
+        let fanout = |table: usize, k: usize| {
+            rows.iter().find(|r| r.table == table && r.clusters == k).unwrap().fanout
+        };
+        let ks = cluster_counts(Scale::Quick);
+        let (k_min, k_max) = (ks[0], *ks.last().unwrap());
+        // More clusters improve locality on table 2. (At Quick scale the
+        // unlimited-cache *gain* saturates — every layout of a 32-block
+        // table touches all blocks — so the assertion uses fanout; at Full
+        // scale the rendered gains separate as in the paper.)
+        assert!(
+            fanout(2, k_max) < fanout(2, k_min) * 0.95,
+            "table 2: k={k_max} fanout {} vs k={k_min} fanout {}",
+            fanout(2, k_max),
+            fanout(2, k_min)
+        );
+        // Table 8 (compulsory-miss bound) never beats table 2's gain.
+        assert!(
+            gain(8, k_max) <= gain(2, k_max) + 1e-9,
+            "table 8 ({}) should trail table 2 ({})",
+            gain(8, k_max),
+            gain(2, k_max)
+        );
+        // Gains are never meaningfully negative (ordering cannot hurt an
+        // unlimited cache).
+        assert!(rows.iter().all(|r| r.gain > -1e-9));
+    }
+
+    #[test]
+    fn render_is_a_grid() {
+        let rows = run(Scale::Quick);
+        let s = render(&rows);
+        assert!(s.contains("k=1"));
+        assert!(s.lines().count() >= 10);
+    }
+}

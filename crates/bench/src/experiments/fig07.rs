@@ -1,0 +1,187 @@
+//! Figure 7: partitioner runtimes.
+//!
+//! (a) flat K-means runtime vs cluster count on table 4;
+//! (b) two-stage K-means runtime vs total sub-clusters on table 4;
+//! (c) SHP runtime per table.
+//!
+//! **Paper shape:** (a) grows superlinearly with cluster count (Faiss takes
+//! 150 min at 8192 clusters); (b) stays nearly flat in the sub-cluster
+//! count; (c) SHP is minutes per table, roughly proportional to table
+//! lookups.
+
+use crate::output::TextTable;
+use crate::scale::Scale;
+use bandana_partition::{
+    kmeans, social_hash_partition, two_stage_kmeans, KMeansConfig, ShpConfig, TwoStageConfig,
+};
+use bandana_trace::EmbeddingTable;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Table used by sub-figures (a) and (b) — the paper uses table 4.
+pub const TABLE4: usize = 3;
+
+/// The three runtime studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Runtimes {
+    /// (cluster count, seconds) for flat K-means.
+    pub flat_kmeans: Vec<(usize, f64)>,
+    /// (total sub-clusters, seconds) for two-stage K-means.
+    pub two_stage: Vec<(usize, f64)>,
+    /// (1-based table, seconds) for SHP.
+    pub shp: Vec<(usize, f64)>,
+}
+
+/// Flat K-means cluster counts per scale.
+pub fn flat_ks(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![4, 16, 64],
+        Scale::Full => vec![4, 16, 64, 256],
+    }
+}
+
+/// Two-stage total sub-cluster counts per scale.
+pub fn two_stage_totals(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![32, 64, 128, 256],
+        Scale::Full => vec![256, 512, 1024, 2048],
+    }
+}
+
+/// Runs all three runtime studies.
+pub fn run(scale: Scale) -> Runtimes {
+    let w = super::common::workload(scale);
+    let emb = EmbeddingTable::synthesize(
+        w.spec.tables[TABLE4].num_vectors,
+        w.spec.dim,
+        w.generator.topic_model(TABLE4),
+        super::common::SEED,
+    );
+
+    let flat_kmeans = flat_ks(scale)
+        .into_iter()
+        .map(|k| {
+            let start = Instant::now();
+            let _ = kmeans(
+                emb.data(),
+                w.spec.dim,
+                &KMeansConfig { k, iterations: 10, seed: super::common::SEED },
+            );
+            (k, start.elapsed().as_secs_f64())
+        })
+        .collect();
+
+    let first_stage_k = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 32,
+    };
+    let two_stage = two_stage_totals(scale)
+        .into_iter()
+        .map(|total| {
+            let start = Instant::now();
+            let _ = two_stage_kmeans(
+                emb.data(),
+                w.spec.dim,
+                &TwoStageConfig {
+                    first_stage_k,
+                    total_subclusters: total,
+                    iterations: 10,
+                    seed: super::common::SEED,
+                },
+            );
+            (total, start.elapsed().as_secs_f64())
+        })
+        .collect();
+
+    let shp = (0..w.spec.num_tables())
+        .map(|t| {
+            let cfg = ShpConfig {
+                block_capacity: super::common::VECTORS_PER_BLOCK,
+                iterations: scale.shp_iterations(),
+                seed: super::common::SEED,
+                parallel_depth: 3,
+            };
+            let start = Instant::now();
+            let _ = social_hash_partition(
+                w.spec.tables[t].num_vectors,
+                w.train.table_queries(t),
+                &cfg,
+            );
+            (t + 1, start.elapsed().as_secs_f64())
+        })
+        .collect();
+
+    Runtimes { flat_kmeans, two_stage, shp }
+}
+
+/// Renders the figure artifact.
+pub fn render(r: &Runtimes) -> String {
+    let mut out = String::from("Figure 7: partitioner runtimes\n");
+    let mut a = TextTable::new(vec!["clusters", "seconds"]);
+    for &(k, s) in &r.flat_kmeans {
+        a.row(vec![k.to_string(), format!("{s:.3}")]);
+    }
+    out.push_str(&format!("\n(a) flat K-means on table 4\n{}", a.render()));
+    let mut b = TextTable::new(vec!["sub-clusters", "seconds"]);
+    for &(k, s) in &r.two_stage {
+        b.row(vec![k.to_string(), format!("{s:.3}")]);
+    }
+    out.push_str(&format!("\n(b) two-stage K-means on table 4\n{}", b.render()));
+    let mut c = TextTable::new(vec!["table", "seconds"]);
+    for &(t, s) in &r.shp {
+        c.row(vec![t.to_string(), format!("{s:.3}")]);
+    }
+    out.push_str(&format!("\n(c) SHP per table\n{}", c.render()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let r = run(Scale::Quick);
+        assert_eq!(r.shp.len(), 8);
+        // (a) flat K-means cost grows with cluster count.
+        let first = r.flat_kmeans.first().unwrap().1;
+        let last = r.flat_kmeans.last().unwrap().1;
+        assert!(
+            last > first,
+            "flat K-means should slow down with k: {:?}",
+            r.flat_kmeans
+        );
+        // (b) the point of two-stage K-means: at the same total cluster
+        // count, it is far cheaper than flat K-means (the paper's 7a vs 7b:
+        // 150 minutes vs ~15 at the top of the sweep).
+        let (ts_total, ts_time) = *r.two_stage.last().unwrap();
+        let w = super::super::common::workload(Scale::Quick);
+        let emb = bandana_trace::EmbeddingTable::synthesize(
+            w.spec.tables[TABLE4].num_vectors,
+            w.spec.dim,
+            w.generator.topic_model(TABLE4),
+            super::super::common::SEED,
+        );
+        let start = std::time::Instant::now();
+        let _ = kmeans(
+            emb.data(),
+            w.spec.dim,
+            &KMeansConfig { k: ts_total, iterations: 10, seed: super::super::common::SEED },
+        );
+        let flat_time = start.elapsed().as_secs_f64();
+        assert!(
+            ts_time < flat_time,
+            "two-stage at {ts_total} clusters ({ts_time:.3}s) should beat flat ({flat_time:.3}s)"
+        );
+        // (c) every SHP run completes in positive time.
+        assert!(r.shp.iter().all(|&(_, s)| s > 0.0));
+    }
+
+    #[test]
+    fn render_has_three_panels() {
+        let s = render(&run(Scale::Quick));
+        assert!(s.contains("(a)"));
+        assert!(s.contains("(b)"));
+        assert!(s.contains("(c)"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Figure 8: effective-bandwidth increase vs recursive K-means sub-cluster
+//! count (unlimited cache).
+//!
+//! The two-stage approximation should match flat K-means' bandwidth while
+//! scaling to far more clusters (its runtime is Figure 7b).
+//!
+//! **Paper shape:** same per-table ordering as Figure 6; gains flatten
+//! beyond a few thousand sub-clusters.
+
+use crate::output::{pct, TextTable};
+use crate::scale::Scale;
+use bandana_partition::{fanout_report, two_stage_kmeans, BlockLayout, TwoStageConfig};
+use bandana_trace::EmbeddingTable;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// 1-based table number.
+    pub table: usize,
+    /// Total sub-clusters.
+    pub subclusters: usize,
+    /// Unlimited-cache effective-bandwidth increase.
+    pub gain: f64,
+    /// Average query fanout (blocks per query; lower is better).
+    pub fanout: f64,
+}
+
+/// Sub-cluster counts per scale.
+pub fn subcluster_counts(scale: Scale) -> Vec<usize> {
+    super::fig07::two_stage_totals(scale)
+}
+
+/// Runs the sweep over all 8 tables.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let w = super::common::workload(scale);
+    // Partial-coverage evaluation window (see Scale::unlimited_eval_requests).
+    let (eval, _) = w.eval.split_at(scale.unlimited_eval_requests().min(w.eval.requests.len()));
+    let first_stage_k = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 32,
+    };
+    let mut rows = Vec::new();
+    for t in 0..w.spec.num_tables() {
+        let emb = EmbeddingTable::synthesize(
+            w.spec.tables[t].num_vectors,
+            w.spec.dim,
+            w.generator.topic_model(t),
+            super::common::SEED.wrapping_add(t as u64),
+        );
+        for &total in &subcluster_counts(scale) {
+            let order = two_stage_kmeans(
+                emb.data(),
+                w.spec.dim,
+                &TwoStageConfig {
+                    first_stage_k,
+                    total_subclusters: total,
+                    iterations: 10,
+                    seed: super::common::SEED,
+                },
+            );
+            let layout = BlockLayout::from_order(order, super::common::VECTORS_PER_BLOCK);
+            let report = fanout_report(&layout, eval.table_queries(t));
+            rows.push(Row {
+                table: t + 1,
+                subclusters: total,
+                gain: report.unlimited_cache_gain(),
+                fanout: report.average_fanout,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the figure artifact.
+pub fn render(rows: &[Row]) -> String {
+    let mut counts: Vec<usize> = rows.iter().map(|r| r.subclusters).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    let mut header = vec!["table".to_string()];
+    header.extend(counts.iter().map(|k| format!("{k} subs")));
+    let mut t = TextTable::new(header);
+    for table in 1..=8usize {
+        let mut cells = vec![table.to_string()];
+        for &k in &counts {
+            cells.push(
+                rows.iter()
+                    .find(|r| r.table == table && r.subclusters == k)
+                    .map(|r| pct(r.gain))
+                    .unwrap_or_default(),
+            );
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 8: effective-bandwidth increase vs recursive K-means sub-clusters (unlimited cache)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let rows = run(Scale::Quick);
+        let gain = |table: usize, k: usize| {
+            rows.iter().find(|r| r.table == table && r.subclusters == k).unwrap().gain
+        };
+        let ks = subcluster_counts(Scale::Quick);
+        let k_max = *ks.last().unwrap();
+        // Table 2 gains substantially; table 8 trails it (as in Figure 6).
+        assert!(gain(2, k_max) > 0.1, "table 2 gain {}", gain(2, k_max));
+        assert!(gain(8, k_max) <= gain(2, k_max) + 1e-9);
+        // No sweep point is meaningfully negative.
+        assert!(rows.iter().all(|r| r.gain > -1e-9));
+    }
+
+    #[test]
+    fn comparable_to_flat_kmeans() {
+        // Figure 8's point: recursion does not lose locality vs Figure 6.
+        // Compare best fanouts (lower is better).
+        let recursive = run(Scale::Quick);
+        let flat = super::super::fig06::run(Scale::Quick);
+        let best = |xs: Vec<f64>| xs.into_iter().fold(f64::MAX, f64::min);
+        let r2 = best(recursive.iter().filter(|r| r.table == 2).map(|r| r.fanout).collect());
+        let f2 = best(flat.iter().filter(|r| r.table == 2).map(|r| r.fanout).collect());
+        assert!(
+            r2 < 1.5 * f2,
+            "recursive best fanout {r2} should be in the same league as flat best {f2}"
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 15: end-to-end gain vs SHP training-set size (limited cache).
+//!
+//! Like Figure 9 but with the full limited-cache pipeline: SHP trained on
+//! 0.2×, 1×, 5× the base trace, thresholds tuned, gains measured against
+//! the baseline on a fixed evaluation trace.
+//!
+//! **Paper shape:** every table's gain grows (or holds) with more training
+//! data; table 2 approaches its Figure 13 ceiling.
+
+use crate::output::{pct, TextTable};
+use crate::scale::Scale;
+use bandana_core::pipeline::{run_pipeline_on_traces, PipelineConfig};
+use bandana_core::PartitionerKind;
+use bandana_trace::{ModelSpec, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// 1-based table number.
+    pub table: usize,
+    /// Training-set size in requests.
+    pub train_requests: usize,
+    /// Effective-bandwidth increase.
+    pub gain: f64,
+}
+
+/// Runs the training-size sweep through the full pipeline.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let spec = ModelSpec::paper_scaled(scale.spec_scale());
+    let mut rows = Vec::new();
+    for &train_requests in &super::fig09::training_sizes(scale) {
+        let mut generator = TraceGenerator::new(&spec, super::common::SEED);
+        let train = generator.generate_requests(train_requests);
+        let eval = generator.generate_requests(scale.eval_requests());
+        let config = PipelineConfig {
+            spec: spec.clone(),
+            train_requests,
+            eval_requests: scale.eval_requests(),
+            partitioner: PartitionerKind::Shp { iterations: scale.shp_iterations() },
+            cache_vectors_total: scale.default_total_cache(),
+            admission: None,
+            candidate_thresholds: super::fig12::thresholds(scale),
+            mini_sampling_rate: 0.25,
+            allocate_by_hit_rate_curves: true,
+            shadow_multiplier: 1.5,
+            seed: super::common::SEED,
+        };
+        let report = run_pipeline_on_traces(&config, &generator, &train, &eval);
+        for g in &report.tables {
+            rows.push(Row { table: g.table + 1, train_requests, gain: g.gain });
+        }
+    }
+    rows
+}
+
+/// Renders the figure artifact.
+pub fn render(rows: &[Row]) -> String {
+    let mut sizes: Vec<usize> = rows.iter().map(|r| r.train_requests).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut header = vec!["table".to_string()];
+    header.extend(sizes.iter().map(|s| format!("{s} reqs")));
+    let mut t = TextTable::new(header);
+    for table in 1..=8usize {
+        let mut cells = vec![table.to_string()];
+        for &s in &sizes {
+            cells.push(
+                rows.iter()
+                    .find(|r| r.table == table && r.train_requests == s)
+                    .map(|r| pct(r.gain))
+                    .unwrap_or_default(),
+            );
+        }
+        t.row(cells);
+    }
+    format!(
+        "Figure 15: end-to-end gain vs SHP training size (limited cache, tuned thresholds)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let rows = run(Scale::Quick);
+        let sizes = super::super::fig09::training_sizes(Scale::Quick);
+        let gain = |table: usize, s: usize| {
+            rows.iter().find(|r| r.table == table && r.train_requests == s).unwrap().gain
+        };
+        // More training data helps the hot table.
+        assert!(
+            gain(2, sizes[2]) >= gain(2, sizes[0]),
+            "table 2: 5x {} vs 0.2x {}",
+            gain(2, sizes[2]),
+            gain(2, sizes[0])
+        );
+        // With the most training data, the overall picture is positive.
+        let mean: f64 = (1..=8).map(|t| gain(t, sizes[2])).sum::<f64>() / 8.0;
+        assert!(mean > 0.0, "mean gain at 5x training: {mean}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 16: effective-bandwidth increase vs embedding vector size.
+//!
+//! Smaller vectors pack more per 4 KB block (64 B → 64, 128 B → 32,
+//! 256 B → 16), so each block read can prefetch more useful neighbours. The
+//! cache still holds the same *number* of vectors (its byte size scales
+//! with the vector size, as in the paper).
+//!
+//! **Paper shape:** gains are highest at 64 B and lowest at 256 B, for
+//! every table that benefits from prefetching at all.
+
+use crate::output::{pct, TextTable};
+use crate::scale::Scale;
+use bandana_cache::{allocate_dram, AdmissionPolicy, HitRateCurve};
+use bandana_core::{effective_bandwidth_sweep, tune_thresholds, TunerConfig};
+use bandana_partition::BlockLayout;
+use bandana_trace::StackDistances;
+use serde::{Deserialize, Serialize};
+
+/// Vector sizes swept (bytes).
+pub const VECTOR_SIZES: [usize; 3] = [64, 128, 256];
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// 1-based table number.
+    pub table: usize,
+    /// Vector size in bytes.
+    pub vector_bytes: usize,
+    /// Effective-bandwidth increase.
+    pub gain: f64,
+}
+
+/// Runs the vector-size sweep.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let w = super::common::workload(scale);
+    let weights = super::common::lookup_weights(&w);
+    let freqs = super::common::frequencies(&w);
+    let total = scale.default_total_cache();
+
+    // Hit-rate curves and DRAM division are byte-size independent (the
+    // cache is sized in vectors).
+    let sizes: Vec<usize> = [64usize, 16, 8, 4, 2, 1].iter().map(|d| (total / d).max(1)).collect();
+    let curves: Vec<HitRateCurve> = (0..w.spec.num_tables())
+        .map(|t| {
+            let stream = w.train.table_stream(t);
+            let mut sd = StackDistances::with_capacity(stream.len().max(1));
+            sd.access_all(stream.iter().map(|&v| v as u64));
+            HitRateCurve::new(sd.hit_rate_curve(&sizes))
+        })
+        .collect();
+    let capacities: Vec<usize> = allocate_dram(total, &curves, &weights, (total / 64).max(1))
+        .into_iter()
+        .map(|c| c.max(1))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &vb in &VECTOR_SIZES {
+        let vectors_per_block = 4096 / vb;
+        let layouts: Vec<BlockLayout> = (0..w.spec.num_tables())
+            .map(|t| super::common::shp_layout_with_block(&w, t, scale, vectors_per_block))
+            .collect();
+        let policies: Vec<AdmissionPolicy> = (0..w.spec.num_tables())
+            .map(|t| {
+                let chosen = tune_thresholds(
+                    &layouts[t],
+                    &freqs[t],
+                    &w.train.table_stream(t),
+                    &TunerConfig {
+                        cache_capacity: capacities[t],
+                        sampling_rate: 0.25,
+                        candidate_thresholds: super::fig12::thresholds(scale),
+                        salt: super::common::SEED,
+                    },
+                );
+                AdmissionPolicy::Threshold { t: chosen }
+            })
+            .collect();
+        let gains =
+            effective_bandwidth_sweep(&w.eval, &layouts, &freqs, &capacities, &policies, 1.5);
+        for g in gains {
+            rows.push(Row { table: g.table + 1, vector_bytes: vb, gain: g.gain });
+        }
+    }
+    rows
+}
+
+/// Renders the figure artifact.
+pub fn render(rows: &[Row]) -> String {
+    let mut header = vec!["table".to_string()];
+    header.extend(VECTOR_SIZES.iter().map(|v| format!("{v} B")));
+    let mut t = TextTable::new(header);
+    for table in 1..=8usize {
+        let mut cells = vec![table.to_string()];
+        for &vb in &VECTOR_SIZES {
+            cells.push(
+                rows.iter()
+                    .find(|r| r.table == table && r.vector_bytes == vb)
+                    .map(|r| pct(r.gain))
+                    .unwrap_or_default(),
+            );
+        }
+        t.row(cells);
+    }
+    format!("Figure 16: effective-bandwidth increase vs embedding vector size\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let rows = run(Scale::Quick);
+        let gain = |table: usize, vb: usize| {
+            rows.iter().find(|r| r.table == table && r.vector_bytes == vb).unwrap().gain
+        };
+        // Smaller vectors pack more per block: 64 B beats 256 B on the hot
+        // table.
+        assert!(
+            gain(2, 64) > gain(2, 256),
+            "table 2: 64 B {} should beat 256 B {}",
+            gain(2, 64),
+            gain(2, 256)
+        );
+        // At 64 B the hot table posts a clear positive gain.
+        assert!(gain(2, 64) > 0.1, "table 2 @64B: {}", gain(2, 64));
+    }
+
+    #[test]
+    fn render_lists_sizes() {
+        let s = render(&run(Scale::Quick));
+        for vb in VECTOR_SIZES {
+            assert!(s.contains(&format!("{vb} B")));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! One module per table/figure of the paper's evaluation section.
+//!
+//! | module | paper artifact |
+//! |--------|----------------|
+//! | [`fig02`] | Fig. 2 — NVM latency/bandwidth vs queue depth |
+//! | [`tab01`] | Table 1 — workload characterization |
+//! | [`fig03`] | Fig. 3 — hit-rate curves |
+//! | [`fig04`] | Fig. 4 — access histograms |
+//! | [`fig05`] | Fig. 5 — latency vs throughput, baseline vs 4 KB reads |
+//! | [`fig06`] | Fig. 6 — K-means clusters vs effective bandwidth |
+//! | [`fig07`] | Fig. 7 — partitioner runtimes |
+//! | [`fig08`] | Fig. 8 — recursive K-means sub-clusters |
+//! | [`fig09`] | Fig. 9 — SHP training-set size (unlimited cache) |
+//! | [`fig10`] | Fig. 10 — cache-all prefetches vs original order |
+//! | [`fig11`] | Fig. 11 — insertion position / shadow cache / combined |
+//! | [`fig12`] | Fig. 12 — admission threshold sweep |
+//! | [`tab02`] | Table 2 — miniature-cache threshold selection |
+//! | [`fig13`] | Fig. 13 — end-to-end gain vs total cache size |
+//! | [`fig14`] | Fig. 14 — gain vs mini-cache sampling rate |
+//! | [`fig15`] | Fig. 15 — gain vs SHP training requests |
+//! | [`fig16`] | Fig. 16 — gain vs vector size |
+//! | [`ablate`] | ablations: SHP refinement iterations, DRAM division policies |
+//! | [`ext_eviction`] | extension: eviction-policy ablation (LRU/FIFO/CLOCK/LFU/2Q) |
+//! | [`ext_mrc`] | extension: SHARDS/AET MRC-estimator accuracy |
+//! | [`ext_drift`] | extension: trained-configuration decay under hot-set drift |
+
+pub mod ablate;
+pub mod common;
+pub mod ext_drift;
+pub mod ext_eviction;
+pub mod ext_mrc;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod tab01;
+pub mod tab02;
+
+/// Every experiment id accepted by the `repro` binary, in paper order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "table2", "fig13", "fig14", "fig15", "fig16", "ablations", "ablation-eviction",
+    "ablation-mrc", "ablation-drift",
+];
+
+/// Runs one experiment by id and returns its rendered artifact.
+///
+/// # Panics
+///
+/// Panics on an unknown id; `ALL_EXPERIMENTS` lists the valid ones.
+pub fn run_by_id(id: &str, scale: crate::Scale) -> String {
+    match id {
+        "fig2" => fig02::render(&fig02::run(scale)),
+        "table1" => tab01::render(&tab01::run(scale)),
+        "fig3" => fig03::render(&fig03::run(scale)),
+        "fig4" => fig04::render(&fig04::run(scale)),
+        "fig5" => fig05::render(&fig05::run(scale)),
+        "fig6" => fig06::render(&fig06::run(scale)),
+        "fig7" => fig07::render(&fig07::run(scale)),
+        "fig8" => fig08::render(&fig08::run(scale)),
+        "fig9" => fig09::render(&fig09::run(scale)),
+        "fig10" => fig10::render(&fig10::run(scale)),
+        "fig11" => fig11::render(&fig11::run(scale)),
+        "fig12" => fig12::render(&fig12::run(scale)),
+        "table2" => tab02::render(&tab02::run(scale)),
+        "fig13" => fig13::render(&fig13::run(scale)),
+        "fig14" => fig14::render(&fig14::run(scale)),
+        "fig15" => fig15::render(&fig15::run(scale)),
+        "fig16" => fig16::render(&fig16::run(scale)),
+        "ablations" => {
+            ablate::render(&ablate::shp_iterations(scale), &ablate::allocation_policies(scale))
+        }
+        "ablation-eviction" => ext_eviction::render(&ext_eviction::run(scale)),
+        "ablation-mrc" => ext_mrc::render(&ext_mrc::run(scale)),
+        "ablation-drift" => ext_drift::render(&ext_drift::run(scale)),
+        other => panic!("unknown experiment id {other:?}; valid ids: {ALL_EXPERIMENTS:?}"),
+    }
+}

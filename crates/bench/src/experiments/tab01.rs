@@ -1,0 +1,106 @@
+//! Table 1: characterization of the user embedding tables.
+//!
+//! Columns: table size (vectors), mean lookups per request, share of total
+//! lookups, and compulsory-miss rate.
+//!
+//! **Paper shape:** table 2 dominates lookups (25%); tables 1–2 have
+//! single-digit compulsory-miss rates; table 8 is compulsory-miss bound
+//! (60.8% in the paper) and the rest sit between 11% and 27%.
+
+use crate::output::TextTable;
+use crate::scale::Scale;
+use bandana_trace::{characterize, TableCharacterization};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// 1-based table number, as in the paper.
+    pub table: usize,
+    /// Vectors in the table.
+    pub vectors: u32,
+    /// Mean lookups per request.
+    pub avg_request_lookups: f64,
+    /// Share of total lookups.
+    pub share: f64,
+    /// Fraction of lookups that are first-time accesses.
+    pub compulsory_miss_rate: f64,
+}
+
+impl From<&TableCharacterization> for Row {
+    fn from(c: &TableCharacterization) -> Self {
+        Row {
+            table: c.table + 1,
+            vectors: c.num_vectors,
+            avg_request_lookups: c.mean_lookups_per_request,
+            share: c.lookup_share,
+            compulsory_miss_rate: c.compulsory_miss_rate,
+        }
+    }
+}
+
+/// Characterizes the evaluation trace.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let w = super::common::workload(scale);
+    let rows = characterize(&w.eval, &w.spec, &[1]);
+    rows.iter().map(Row::from).collect()
+}
+
+/// Renders the table artifact.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = TextTable::new(vec![
+        "table",
+        "vectors",
+        "avg request lookups",
+        "% of total lookups",
+        "compulsory misses",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.table.to_string(),
+            r.vectors.to_string(),
+            format!("{:.2}", r.avg_request_lookups),
+            format!("{:.2}%", r.share * 100.0),
+            format!("{:.2}%", r.compulsory_miss_rate * 100.0),
+        ]);
+    }
+    format!("Table 1: user embedding table characterization (synthetic workload)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 8);
+        // Table 2 (index 1) has the largest share, near 25%.
+        let max_share =
+            rows.iter().max_by(|a, b| a.share.partial_cmp(&b.share).unwrap()).unwrap();
+        assert_eq!(max_share.table, 2);
+        assert!((max_share.share - 0.25).abs() < 0.05, "share {}", max_share.share);
+        // Mean lookups track the paper's ordering: table 2 highest, 8 lowest.
+        let min_lookups = rows
+            .iter()
+            .min_by(|a, b| a.avg_request_lookups.partial_cmp(&b.avg_request_lookups).unwrap())
+            .unwrap();
+        assert_eq!(min_lookups.table, 8);
+        // Table 8 has the highest compulsory-miss rate.
+        let worst = rows
+            .iter()
+            .max_by(|a, b| a.compulsory_miss_rate.partial_cmp(&b.compulsory_miss_rate).unwrap())
+            .unwrap();
+        assert_eq!(worst.table, 8);
+        // Tables 1-2 are the most cacheable.
+        assert!(rows[0].compulsory_miss_rate < rows[2].compulsory_miss_rate);
+        assert!(rows[1].compulsory_miss_rate < rows[2].compulsory_miss_rate);
+    }
+
+    #[test]
+    fn render_has_eight_rows() {
+        let rows = run(Scale::Quick);
+        let s = render(&rows);
+        assert_eq!(s.lines().count(), 2 + 1 + 8); // title + header + rule + rows
+    }
+}

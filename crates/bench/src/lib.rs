@@ -1,0 +1,21 @@
+//! # bandana-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation. Each module
+//! exposes `run(scale) -> Vec<Row>` returning structured results and a
+//! `render` producing the human-readable artifact; the `repro` binary
+//! dispatches on experiment ids (`fig2`–`fig16`, `table1`, `table2`, `all`)
+//! and the Criterion benches wrap the same `run` functions.
+//!
+//! Everything runs at a configurable [`Scale`]: `Quick` for CI-sized smoke
+//! runs, `Full` for the 1000×-scaled-down-from-production runs recorded in
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+pub mod scale;
+
+pub use output::TextTable;
+pub use scale::Scale;

@@ -1,0 +1,133 @@
+//! Prefetch admission policies (paper §4.3.1–§4.3.2).
+//!
+//! When a 4 KB block is read from NVM to serve one vector, the other vectors
+//! in the block are prefetch *candidates*. The policy decides whether each
+//! candidate enters the DRAM cache and at which queue position. The paper
+//! evaluates, in order: admit-all at the queue top (Figure 10), admit-all at
+//! a lower position (Figure 11a), shadow-cache filtering (Figure 11b), the
+//! combination (Figure 11c), and frequency-threshold filtering (Figure 12),
+//! which wins and is what Bandana ships with.
+
+use serde::{Deserialize, Serialize};
+
+/// Decides whether a prefetched vector is admitted and where it is inserted.
+///
+/// The *requested* vector is always cached at the queue top; these policies
+/// only govern the other vectors of a fetched block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AdmissionPolicy {
+    /// Never admit prefetched vectors (the single-vector baseline policy).
+    None,
+    /// Admit every prefetched vector at queue fraction `position`
+    /// (0.0 = top). `position: 0.0` reproduces Figure 10; other values,
+    /// Figure 11a.
+    All {
+        /// Queue insertion fraction (0.0 = MRU, towards 1.0 = LRU end).
+        position: f64,
+    },
+    /// Admit only vectors present in the shadow cache, at the queue top
+    /// (Figure 11b).
+    Shadow,
+    /// Shadow hits go to the queue top; shadow misses are still admitted,
+    /// but at `position` (Figure 11c).
+    ShadowPosition {
+        /// Queue insertion fraction for shadow misses.
+        position: f64,
+    },
+    /// Admit only vectors whose SHP-training access count is strictly
+    /// greater than `t`, at the queue top (Figure 12, the shipping policy).
+    Threshold {
+        /// Minimum training-time access count (exclusive).
+        t: u32,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Decides admission for one prefetch candidate.
+    ///
+    /// * `freq` — the candidate's access count during the SHP training run;
+    /// * `shadow_hit` — whether the candidate is in the shadow cache.
+    ///
+    /// Returns the queue insertion fraction, or `None` to drop the
+    /// candidate.
+    pub fn admit(&self, freq: u32, shadow_hit: bool) -> Option<f64> {
+        match *self {
+            AdmissionPolicy::None => None,
+            AdmissionPolicy::All { position } => Some(position),
+            AdmissionPolicy::Shadow => shadow_hit.then_some(0.0),
+            AdmissionPolicy::ShadowPosition { position } => {
+                Some(if shadow_hit { 0.0 } else { position })
+            }
+            AdmissionPolicy::Threshold { t } => (freq > t).then_some(0.0),
+        }
+    }
+
+    /// Whether this policy consults the shadow cache (so the simulator knows
+    /// to maintain one).
+    pub fn needs_shadow(&self) -> bool {
+        matches!(self, AdmissionPolicy::Shadow | AdmissionPolicy::ShadowPosition { .. })
+    }
+
+    /// Whether this policy prefetches at all.
+    pub fn prefetches(&self) -> bool {
+        !matches!(self, AdmissionPolicy::None)
+    }
+}
+
+impl Default for AdmissionPolicy {
+    /// The paper's shipping default: threshold admission with `t = 10`
+    /// (mid-range of the Figure 12 sweep).
+    fn default() -> Self {
+        AdmissionPolicy::Threshold { t: 10 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_admits() {
+        let p = AdmissionPolicy::None;
+        assert_eq!(p.admit(1000, true), None);
+        assert!(!p.prefetches());
+        assert!(!p.needs_shadow());
+    }
+
+    #[test]
+    fn all_admits_at_position() {
+        let p = AdmissionPolicy::All { position: 0.7 };
+        assert_eq!(p.admit(0, false), Some(0.7));
+        assert!(p.prefetches());
+    }
+
+    #[test]
+    fn shadow_requires_hit() {
+        let p = AdmissionPolicy::Shadow;
+        assert_eq!(p.admit(0, true), Some(0.0));
+        assert_eq!(p.admit(1000, false), None);
+        assert!(p.needs_shadow());
+    }
+
+    #[test]
+    fn shadow_position_splits_by_hit() {
+        let p = AdmissionPolicy::ShadowPosition { position: 0.5 };
+        assert_eq!(p.admit(0, true), Some(0.0));
+        assert_eq!(p.admit(0, false), Some(0.5));
+        assert!(p.needs_shadow());
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let p = AdmissionPolicy::Threshold { t: 10 };
+        assert_eq!(p.admit(10, false), None);
+        assert_eq!(p.admit(11, false), Some(0.0));
+        assert!(!p.needs_shadow());
+    }
+
+    #[test]
+    fn default_is_threshold() {
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::Threshold { t: 10 });
+    }
+}

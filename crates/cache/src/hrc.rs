@@ -1,0 +1,157 @@
+//! Hit-rate curves: hit rate as a function of cache size.
+//!
+//! The paper computes these from stack distances (Figure 3) and uses them to
+//! divide DRAM across embedding tables (§4.3.3, following Dynacache): the
+//! curves observed in production are convex, so a greedy marginal-gain
+//! allocation is optimal.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear hit-rate curve: monotonically non-decreasing points of
+/// (cache size in entries, hit rate).
+///
+/// # Example
+///
+/// ```
+/// use bandana_cache::HitRateCurve;
+///
+/// let curve = HitRateCurve::new(vec![(0, 0.0), (100, 0.5), (200, 0.6)]);
+/// assert_eq!(curve.hit_rate_at(100), 0.5);
+/// assert!((curve.hit_rate_at(50) - 0.25).abs() < 1e-12); // interpolated
+/// assert_eq!(curve.hit_rate_at(1000), 0.6); // clamped right
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitRateCurve {
+    points: Vec<(usize, f64)>,
+}
+
+impl HitRateCurve {
+    /// Creates a curve from `(size, hit_rate)` samples.
+    ///
+    /// Points are sorted by size; an implicit `(0, 0.0)` anchor is added if
+    /// absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, a hit rate is outside `[0, 1]`, or the
+    /// hit rates are not non-decreasing in size (LRU hit rates always are —
+    /// a violation indicates a measurement bug upstream).
+    pub fn new(mut points: Vec<(usize, f64)>) -> Self {
+        assert!(!points.is_empty(), "curve needs at least one point");
+        points.sort_by_key(|&(s, _)| s);
+        points.dedup_by_key(|&mut (s, _)| s);
+        if points[0].0 != 0 {
+            points.insert(0, (0, 0.0));
+        }
+        for w in points.windows(2) {
+            assert!(
+                w[1].1 + 1e-9 >= w[0].1,
+                "hit rate must be non-decreasing: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for &(_, hr) in &points {
+            assert!((0.0..=1.0 + 1e-9).contains(&hr), "hit rate {hr} outside [0,1]");
+        }
+        HitRateCurve { points }
+    }
+
+    /// The underlying samples.
+    pub fn points(&self) -> &[(usize, f64)] {
+        &self.points
+    }
+
+    /// Hit rate at `size`, linearly interpolated and clamped at the ends.
+    pub fn hit_rate_at(&self, size: usize) -> f64 {
+        match self.points.binary_search_by_key(&size, |&(s, _)| s) {
+            Ok(i) => self.points[i].1,
+            Err(0) => self.points[0].1,
+            Err(i) if i == self.points.len() => self.points.last().unwrap().1,
+            Err(i) => {
+                let (s0, h0) = self.points[i - 1];
+                let (s1, h1) = self.points[i];
+                let frac = (size - s0) as f64 / (s1 - s0) as f64;
+                h0 + frac * (h1 - h0)
+            }
+        }
+    }
+
+    /// Marginal hit-rate gain of growing the cache from `size` to
+    /// `size + delta`.
+    pub fn marginal_gain(&self, size: usize, delta: usize) -> f64 {
+        self.hit_rate_at(size + delta) - self.hit_rate_at(size)
+    }
+
+    /// Whether the curve is (approximately) concave in size — diminishing
+    /// returns, which makes greedy DRAM allocation optimal. (The paper calls
+    /// such curves "convex" following the caching literature.)
+    pub fn has_diminishing_returns(&self) -> bool {
+        let mut prev_slope = f64::INFINITY;
+        for w in self.points.windows(2) {
+            let (s0, h0) = w[0];
+            let (s1, h1) = w[1];
+            let slope = (h1 - h0) / (s1 - s0) as f64;
+            if slope > prev_slope + 1e-9 {
+                return false;
+            }
+            prev_slope = slope;
+        }
+        true
+    }
+
+    /// The largest sampled size.
+    pub fn max_size(&self) -> usize {
+        self.points.last().unwrap().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let c = HitRateCurve::new(vec![(10, 0.2), (20, 0.8)]);
+        assert_eq!(c.hit_rate_at(0), 0.0);
+        assert!((c.hit_rate_at(5) - 0.1).abs() < 1e-12);
+        assert_eq!(c.hit_rate_at(10), 0.2);
+        assert!((c.hit_rate_at(15) - 0.5).abs() < 1e-12);
+        assert_eq!(c.hit_rate_at(20), 0.8);
+        assert_eq!(c.hit_rate_at(100), 0.8);
+    }
+
+    #[test]
+    fn marginal_gain() {
+        let c = HitRateCurve::new(vec![(0, 0.0), (100, 0.5)]);
+        assert!((c.marginal_gain(0, 50) - 0.25).abs() < 1e-12);
+        assert_eq!(c.marginal_gain(100, 50), 0.0);
+    }
+
+    #[test]
+    fn diminishing_returns_detection() {
+        let concave = HitRateCurve::new(vec![(0, 0.0), (10, 0.5), (20, 0.7), (30, 0.75)]);
+        assert!(concave.has_diminishing_returns());
+        let cliffy = HitRateCurve::new(vec![(0, 0.0), (10, 0.1), (20, 0.8)]);
+        assert!(!cliffy.has_diminishing_returns());
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let c = HitRateCurve::new(vec![(20, 0.8), (10, 0.2)]);
+        assert_eq!(c.points()[1], (10, 0.2));
+        assert_eq!(c.max_size(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_curve_rejected() {
+        let _ = HitRateCurve::new(vec![(10, 0.5), (20, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least one point")]
+    fn empty_curve_rejected() {
+        let _ = HitRateCurve::new(vec![]);
+    }
+}

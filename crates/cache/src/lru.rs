@@ -1,0 +1,462 @@
+//! A segmented LRU queue with O(1) fractional-position insertion.
+//!
+//! Paper §4.3.1 inserts prefetched vectors at configurable positions in the
+//! eviction queue (0 = top/MRU, 0.5 = middle, 0.9 = near the tail). A naive
+//! linked list would need an O(n) walk to find "position 0.7·len", so the
+//! queue is built from `S` fixed-ratio segments, each an intrusive doubly
+//! linked list over one slab: inserting at fraction `p` pushes onto the head
+//! of segment `⌊p·S⌋`, overflow cascades tail→head down the segments, and
+//! eviction pops the last segment's tail. With one segment this is an exact
+//! LRU, which the property tests verify against a reference model.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<V> {
+    key: u64,
+    /// `None` only while the slot sits on the free list.
+    value: Option<V>,
+    prev: u32,
+    next: u32,
+    segment: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SegmentList {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl SegmentList {
+    fn new() -> Self {
+        SegmentList { head: NIL, tail: NIL, len: 0 }
+    }
+}
+
+/// A bounded LRU-like queue over `u64` keys with values, supporting
+/// insertion at a fractional queue position.
+///
+/// # Example
+///
+/// ```
+/// use bandana_cache::SegmentedLru;
+///
+/// let mut lru = SegmentedLru::new(2, 1); // capacity 2, exact LRU
+/// lru.insert(1, "a", 0.0);
+/// lru.insert(2, "b", 0.0);
+/// lru.insert(3, "c", 0.0); // evicts key 1
+/// assert!(!lru.contains(1));
+/// assert_eq!(lru.get(2), Some(&"b"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentedLru<V> {
+    nodes: Vec<Node<V>>,
+    free: Vec<u32>,
+    index: HashMap<u64, u32>,
+    segments: Vec<SegmentList>,
+    /// Per-segment capacity targets; sum equals total capacity.
+    targets: Vec<usize>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl<V> SegmentedLru<V> {
+    /// Creates a queue with `capacity` entries split across `segments`
+    /// equal-ratio segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `segments` is zero, `segments > 255`, or
+    /// `segments > capacity`.
+    pub fn new(capacity: usize, segments: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        assert!(segments > 0, "need at least one segment");
+        assert!(segments <= 255, "at most 255 segments");
+        assert!(segments <= capacity, "more segments than capacity");
+        let base = capacity / segments;
+        let mut targets = vec![base; segments];
+        // Distribute the remainder to the front segments.
+        for target in targets.iter_mut().take(capacity % segments) {
+            *target += 1;
+        }
+        SegmentedLru {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            segments: vec![SegmentList::new(); segments],
+            targets,
+            capacity,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is cached, *without* touching recency.
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Looks up `key`, promoting it to the queue top (MRU) on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        let &id = self.index.get(&key)?;
+        self.unlink(id);
+        self.link_head(id, 0);
+        self.rebalance(0);
+        self.nodes[id as usize].value.as_ref()
+    }
+
+    /// Reads `key` without touching recency.
+    pub fn peek(&self, key: u64) -> Option<&V> {
+        let &id = self.index.get(&key)?;
+        self.nodes[id as usize].value.as_ref()
+    }
+
+    /// Inserts `key` at queue fraction `position` (0.0 = top/MRU, values
+    /// close to 1.0 = near the eviction end). If the key is present it is
+    /// *moved* to that position and its value replaced.
+    ///
+    /// Returns the evicted `(key, value)` pair if the insertion displaced
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is not in `[0.0, 1.0]`.
+    pub fn insert(&mut self, key: u64, value: V, position: f64) -> Option<(u64, V)> {
+        assert!((0.0..=1.0).contains(&position), "position must be in [0,1], got {position}");
+        let seg = ((position * self.segments.len() as f64) as usize).min(self.segments.len() - 1);
+        if let Some(&id) = self.index.get(&key) {
+            self.nodes[id as usize].value = Some(value);
+            self.unlink(id);
+            self.link_head(id, seg);
+            return self.rebalance(seg);
+        }
+        let id = self.alloc(key, value);
+        self.index.insert(key, id);
+        self.link_head(id, seg);
+        self.rebalance(seg)
+    }
+
+    /// Pops the least-recently-used entry (the tail of the last non-empty
+    /// segment), returning it. O(segments).
+    pub fn pop_lru(&mut self) -> Option<(u64, V)> {
+        let id = self
+            .segments
+            .iter()
+            .rev()
+            .find(|seg| seg.tail != NIL)
+            .map(|seg| seg.tail)?;
+        let key = self.nodes[id as usize].key;
+        self.index.remove(&key);
+        self.unlink(id);
+        self.free.push(id);
+        let value = self.nodes[id as usize].value.take().expect("live node has a value");
+        Some((key, value))
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let id = self.index.remove(&key)?;
+        self.unlink(id);
+        self.free.push(id);
+        self.nodes[id as usize].value.take()
+    }
+
+    /// The keys from MRU to LRU across all segments (O(n); for tests and
+    /// debugging).
+    pub fn keys_in_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            let mut cur = seg.head;
+            while cur != NIL {
+                out.push(self.nodes[cur as usize].key);
+                cur = self.nodes[cur as usize].next;
+            }
+        }
+        out
+    }
+
+    fn alloc(&mut self, key: u64, value: V) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] =
+                Node { key, value: Some(value), prev: NIL, next: NIL, segment: 0 };
+            id
+        } else {
+            self.nodes.push(Node { key, value: Some(value), prev: NIL, next: NIL, segment: 0 });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn unlink(&mut self, id: u32) {
+        let (prev, next, seg) = {
+            let n = &self.nodes[id as usize];
+            (n.prev, n.next, n.segment as usize)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.segments[seg].head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.segments[seg].tail = prev;
+        }
+        self.segments[seg].len -= 1;
+        self.nodes[id as usize].prev = NIL;
+        self.nodes[id as usize].next = NIL;
+    }
+
+    fn link_head(&mut self, id: u32, seg: usize) {
+        let head = self.segments[seg].head;
+        self.nodes[id as usize].next = head;
+        self.nodes[id as usize].prev = NIL;
+        self.nodes[id as usize].segment = seg as u8;
+        if head != NIL {
+            self.nodes[head as usize].prev = id;
+        } else {
+            self.segments[seg].tail = id;
+        }
+        self.segments[seg].head = id;
+        self.segments[seg].len += 1;
+    }
+
+    /// Cascades overflow from segment `from` downward; evicts from the last
+    /// segment's tail. Returns the evicted entry, if any (at most one per
+    /// unit insertion).
+    fn rebalance(&mut self, from: usize) -> Option<(u64, V)> {
+        let last = self.segments.len() - 1;
+        for seg in from..last {
+            // A demoted entry becomes the *most* recent of the next, colder
+            // segment.
+            while self.segments[seg].len > self.targets[seg] {
+                let tail = self.segments[seg].tail;
+                debug_assert_ne!(tail, NIL);
+                self.unlink(tail);
+                self.link_head(tail, seg + 1);
+            }
+        }
+        let mut evicted = None;
+        while self.segments[last].len > self.targets[last] {
+            let tail = self.segments[last].tail;
+            debug_assert_ne!(tail, NIL);
+            self.unlink(tail);
+            let key = self.nodes[tail as usize].key;
+            self.index.remove(&key);
+            self.free.push(tail);
+            self.evictions += 1;
+            evicted = self.nodes[tail as usize].value.take().map(|v| (key, v));
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference LRU model: Vec ordered MRU-first.
+    struct RefLru {
+        order: Vec<u64>,
+        capacity: usize,
+    }
+
+    impl RefLru {
+        fn new(capacity: usize) -> Self {
+            RefLru { order: Vec::new(), capacity }
+        }
+        fn get(&mut self, key: u64) -> bool {
+            if let Some(i) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(i);
+                self.order.insert(0, key);
+                true
+            } else {
+                false
+            }
+        }
+        fn insert(&mut self, key: u64) -> Option<u64> {
+            if let Some(i) = self.order.iter().position(|&k| k == key) {
+                self.order.remove(i);
+            }
+            self.order.insert(0, key);
+            if self.order.len() > self.capacity {
+                self.order.pop()
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn exact_lru_matches_reference_model() {
+        let mut lru = SegmentedLru::new(5, 1);
+        let mut reference = RefLru::new(5);
+        // Deterministic pseudo-random key stream.
+        let mut x = 7u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (x >> 33) % 12;
+            if (x >> 10) & 1 == 0 {
+                let hit = lru.get(key).is_some();
+                assert_eq!(hit, reference.get(key), "get({key}) diverged");
+            } else {
+                let ev = lru.insert(key, key, 0.0).map(|(k, _)| k);
+                assert_eq!(ev, reference.insert(key), "insert({key}) diverged");
+            }
+            assert_eq!(lru.keys_in_order(), reference.order, "order diverged");
+        }
+    }
+
+    #[test]
+    fn basic_insert_get_evict() {
+        let mut lru = SegmentedLru::new(2, 1);
+        assert!(lru.insert(1, 10, 0.0).is_none());
+        assert!(lru.insert(2, 20, 0.0).is_none());
+        let evicted = lru.insert(3, 30, 0.0);
+        assert_eq!(evicted, Some((1, 10)));
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(2), Some(&20));
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn get_promotes_to_mru() {
+        let mut lru = SegmentedLru::new(3, 1);
+        lru.insert(1, (), 0.0);
+        lru.insert(2, (), 0.0);
+        lru.insert(3, (), 0.0);
+        assert_eq!(lru.keys_in_order(), vec![3, 2, 1]);
+        lru.get(1);
+        assert_eq!(lru.keys_in_order(), vec![1, 3, 2]);
+        // Inserting now evicts 2 (the LRU), not 1.
+        let ev = lru.insert(4, (), 0.0);
+        assert_eq!(ev, Some((2, ())));
+    }
+
+    #[test]
+    fn peek_and_contains_do_not_promote() {
+        let mut lru = SegmentedLru::new(2, 1);
+        lru.insert(1, (), 0.0);
+        lru.insert(2, (), 0.0);
+        assert!(lru.contains(1));
+        assert_eq!(lru.peek(1), Some(&()));
+        assert_eq!(lru.keys_in_order(), vec![2, 1]);
+    }
+
+    #[test]
+    fn tail_insertion_is_evicted_first() {
+        let mut lru = SegmentedLru::new(10, 10);
+        // Five MRU inserts then one near-tail insert.
+        for k in 0..5 {
+            lru.insert(k, (), 0.0);
+        }
+        lru.insert(99, (), 0.9);
+        // Fill the cache; the tail insert should go before the head ones.
+        let mut evicted = Vec::new();
+        for k in 10..16 {
+            if let Some((e, ())) = lru.insert(k, (), 0.0) {
+                evicted.push(e);
+            }
+        }
+        assert!(
+            evicted.first() == Some(&99),
+            "tail-inserted key should evict first, evicted order {evicted:?}"
+        );
+    }
+
+    #[test]
+    fn mid_insertion_outlives_tail_but_not_head() {
+        let mut lru = SegmentedLru::new(12, 4);
+        lru.insert(100, (), 0.99); // near tail
+        lru.insert(200, (), 0.5); // middle
+        lru.insert(300, (), 0.0); // head
+        let mut evict_order = Vec::new();
+        for k in 0..12u64 {
+            if let Some((e, ())) = lru.insert(k, (), 0.0) {
+                if e >= 100 {
+                    evict_order.push(e);
+                }
+            }
+        }
+        // Ensure the relative eviction order is tail < middle.
+        let p100 = evict_order.iter().position(|&k| k == 100);
+        let p200 = evict_order.iter().position(|&k| k == 200);
+        assert!(p100.is_some(), "tail insert never evicted: {evict_order:?}");
+        if let (Some(a), Some(b)) = (p100, p200) {
+            assert!(a < b, "tail should evict before middle: {evict_order:?}");
+        }
+    }
+
+    #[test]
+    fn reinsert_moves_and_replaces_value() {
+        let mut lru = SegmentedLru::new(3, 1);
+        lru.insert(1, 10, 0.0);
+        lru.insert(2, 20, 0.0);
+        lru.insert(1, 11, 0.0);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.peek(1), Some(&11));
+        assert_eq!(lru.keys_in_order(), vec![1, 2]);
+    }
+
+    #[test]
+    fn remove_frees_capacity() {
+        let mut lru = SegmentedLru::new(2, 1);
+        lru.insert(1, 10, 0.0);
+        lru.insert(2, 20, 0.0);
+        assert_eq!(lru.remove(1), Some(10));
+        assert_eq!(lru.len(), 1);
+        assert!(lru.insert(3, 30, 0.0).is_none(), "freed slot should absorb the insert");
+        assert_eq!(lru.remove(99), None);
+    }
+
+    #[test]
+    fn slab_reuse_after_many_evictions() {
+        let mut lru = SegmentedLru::new(4, 2);
+        for k in 0..1000u64 {
+            lru.insert(k, k, (k % 2) as f64 * 0.6);
+        }
+        assert_eq!(lru.len(), 4);
+        // The slab should not have grown past capacity + O(1).
+        assert!(lru.nodes.len() <= 8, "slab grew to {}", lru.nodes.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "position must be in [0,1]")]
+    fn bad_position_rejected() {
+        let mut lru = SegmentedLru::new(2, 1);
+        lru.insert(1, (), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = SegmentedLru::<()>::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "more segments than capacity")]
+    fn too_many_segments_rejected() {
+        let _ = SegmentedLru::<()>::new(2, 4);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cache performance counters and the effective-bandwidth metric.
+//!
+//! *Effective bandwidth* is the paper's headline metric: the fraction of NVM
+//! read bandwidth carrying bytes the application actually uses. Because
+//! every miss costs exactly one 4 KB block read, comparing *block reads*
+//! between a policy and the single-vector baseline on the same trace gives
+//! the effective-bandwidth increase directly:
+//!
+//! ```text
+//! increase = baseline_block_reads / policy_block_reads − 1
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters for one cache's behaviour over a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    /// Vector lookups served.
+    pub lookups: u64,
+    /// Lookups satisfied from DRAM.
+    pub hits: u64,
+    /// Lookups that required an NVM block read.
+    pub misses: u64,
+    /// NVM block reads issued (equals `misses` for this design: one block
+    /// per miss).
+    pub block_reads: u64,
+    /// Prefetched vectors admitted into the cache.
+    pub prefetches_admitted: u64,
+    /// Admitted prefetches that were later hit before eviction.
+    pub prefetch_hits: u64,
+    /// Cache evictions.
+    pub evictions: u64,
+}
+
+impl CacheMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hit rate over the lookups so far (`0.0` when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of admitted prefetches that produced a hit.
+    pub fn prefetch_usefulness(&self) -> f64 {
+        if self.prefetches_admitted == 0 {
+            0.0
+        } else {
+            self.prefetch_hits as f64 / self.prefetches_admitted as f64
+        }
+    }
+
+    /// Effective-bandwidth increase over a baseline that issued
+    /// `baseline_block_reads` on the same trace.
+    ///
+    /// Positive values mean this policy reads fewer blocks than the
+    /// baseline; `-0.5` means it reads twice as many (possible for
+    /// aggressive prefetching with small caches — paper Figure 10).
+    pub fn effective_bandwidth_increase(&self, baseline_block_reads: u64) -> f64 {
+        if self.block_reads == 0 {
+            0.0
+        } else {
+            baseline_block_reads as f64 / self.block_reads as f64 - 1.0
+        }
+    }
+
+    /// Merges counters from another cache (e.g. summing across tables).
+    pub fn merge(&mut self, other: &CacheMetrics) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.block_reads += other.block_reads;
+        self.prefetches_admitted += other.prefetches_admitted;
+        self.prefetch_hits += other.prefetch_hits;
+        self.evictions += other.evictions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_empty_behaviour() {
+        let mut m = CacheMetrics::new();
+        assert_eq!(m.hit_rate(), 0.0);
+        m.lookups = 10;
+        m.hits = 7;
+        m.misses = 3;
+        assert!((m.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bandwidth_increase_signs() {
+        let mut m = CacheMetrics::new();
+        m.block_reads = 50;
+        // Baseline read 100 blocks: we halved reads => +100%.
+        assert!((m.effective_bandwidth_increase(100) - 1.0).abs() < 1e-12);
+        // Baseline read 25: we doubled reads => -50%.
+        assert!((m.effective_bandwidth_increase(25) + 0.5).abs() < 1e-12);
+        // Degenerate zero reads.
+        let z = CacheMetrics::new();
+        assert_eq!(z.effective_bandwidth_increase(10), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = CacheMetrics { lookups: 1, hits: 1, ..Default::default() };
+        let b = CacheMetrics { lookups: 2, misses: 2, block_reads: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.lookups, 3);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.block_reads, 2);
+    }
+
+    #[test]
+    fn prefetch_usefulness() {
+        let m = CacheMetrics { prefetches_admitted: 4, prefetch_hits: 1, ..Default::default() };
+        assert!((m.prefetch_usefulness() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheMetrics::new().prefetch_usefulness(), 0.0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Miniature caches: sampled cache simulation for threshold auto-tuning
+//! (paper §4.3.3, after Waldspurger et al., ATC 2017).
+//!
+//! Picking the admission threshold `t` a priori is impossible — Figure 12
+//! shows the optimum varies per table and cache size. Bandana therefore runs
+//! dozens of *miniature caches*: each simulates the real cache under a
+//! different `t`, but over a spatially-sampled slice of the request stream
+//! (sample vectors by hash at rate `R`, scale the cache to `R × size`).
+//! Table 2 of the paper shows 0.1% sampling picks near-oracle thresholds.
+
+use crate::admission::AdmissionPolicy;
+use crate::sim::PrefetchCacheSim;
+use bandana_partition::{AccessFrequency, BlockLayout};
+use serde::{Deserialize, Serialize};
+
+/// Spatial hash sampler: keeps a deterministic `rate` fraction of vector
+/// ids (SHARDS-style), so a sampled stream is self-consistent across reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampledStream {
+    rate: f64,
+    threshold: u64,
+    salt: u64,
+}
+
+impl SampledStream {
+    /// Creates a sampler keeping roughly `rate` of all ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `(0, 1]`.
+    pub fn new(rate: f64, salt: u64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "sampling rate must be in (0,1], got {rate}");
+        SampledStream { rate, threshold: (rate * u64::MAX as f64) as u64, salt }
+    }
+
+    /// The configured sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether vector `v` is in the sample (pure function of `v` and the
+    /// salt).
+    pub fn keeps(&self, v: u32) -> bool {
+        if self.rate >= 1.0 {
+            return true;
+        }
+        mix(self.salt ^ v as u64) <= self.threshold
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A set of miniature caches, one per candidate threshold, plus a miniature
+/// baseline (no prefetching) for effective-bandwidth estimation.
+///
+/// # Example
+///
+/// ```
+/// use bandana_cache::MiniatureCacheSet;
+/// use bandana_partition::{AccessFrequency, BlockLayout};
+///
+/// let layout = BlockLayout::identity(1024, 32);
+/// let freq = AccessFrequency::zeros(1024);
+/// let mut minis = MiniatureCacheSet::new(&layout, &freq, 256, 0.25, &[5, 10, 20], 1);
+/// for v in 0..1024u32 {
+///     minis.observe(v);
+/// }
+/// let chosen = minis.best_threshold();
+/// assert!([5, 10, 20].contains(&chosen));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MiniatureCacheSet<'a> {
+    sampler: SampledStream,
+    thresholds: Vec<u32>,
+    sims: Vec<PrefetchCacheSim<'a>>,
+    baseline: PrefetchCacheSim<'a>,
+    observed: u64,
+    sampled: u64,
+}
+
+impl<'a> MiniatureCacheSet<'a> {
+    /// Creates miniature caches for each threshold in `thresholds`.
+    ///
+    /// `real_capacity` is the production cache size in vectors; each mini
+    /// cache holds `max(1, real_capacity × rate)` vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` is empty, `real_capacity` is zero, or `rate`
+    /// is outside `(0, 1]`.
+    pub fn new(
+        layout: &'a BlockLayout,
+        freq: &AccessFrequency,
+        real_capacity: usize,
+        rate: f64,
+        thresholds: &[u32],
+        salt: u64,
+    ) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one candidate threshold");
+        assert!(real_capacity > 0, "cache capacity must be non-zero");
+        let sampler = SampledStream::new(rate, salt);
+        let mini_capacity = ((real_capacity as f64 * rate).round() as usize).max(1);
+        let sims = thresholds
+            .iter()
+            .map(|&t| {
+                PrefetchCacheSim::new(
+                    layout,
+                    mini_capacity,
+                    AdmissionPolicy::Threshold { t },
+                    freq.clone(),
+                )
+            })
+            .collect();
+        let baseline =
+            PrefetchCacheSim::new(layout, mini_capacity, AdmissionPolicy::None, freq.clone());
+        MiniatureCacheSet {
+            sampler,
+            thresholds: thresholds.to_vec(),
+            sims,
+            baseline,
+            observed: 0,
+            sampled: 0,
+        }
+    }
+
+    /// Feeds one application lookup through the samplers.
+    pub fn observe(&mut self, v: u32) {
+        self.observed += 1;
+        if !self.sampler.keeps(v) {
+            return;
+        }
+        self.sampled += 1;
+        for sim in &mut self.sims {
+            sim.lookup(v);
+        }
+        self.baseline.lookup(v);
+    }
+
+    /// Feeds a whole query.
+    pub fn observe_all(&mut self, ids: &[u32]) {
+        for &v in ids {
+            self.observe(v);
+        }
+    }
+
+    /// Total lookups seen (sampled or not).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Lookups that passed the sampler.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// Estimated effective-bandwidth increase per candidate threshold,
+    /// against the miniature no-prefetch baseline.
+    pub fn estimated_gains(&self) -> Vec<(u32, f64)> {
+        let base = self.baseline.metrics().block_reads;
+        self.thresholds
+            .iter()
+            .zip(&self.sims)
+            .map(|(&t, sim)| (t, sim.metrics().effective_bandwidth_increase(base)))
+            .collect()
+    }
+
+    /// The candidate threshold with the highest estimated gain (ties go to
+    /// the larger, i.e. more conservative, threshold).
+    pub fn best_threshold(&self) -> u32 {
+        let mut best = (self.thresholds[0], f64::NEG_INFINITY);
+        for (t, gain) in self.estimated_gains() {
+            if gain > best.1 || (gain == best.1 && t > best.0) {
+                best = (t, gain);
+            }
+        }
+        best.0
+    }
+
+    /// Estimated hit rate per candidate threshold.
+    pub fn estimated_hit_rates(&self) -> Vec<(u32, f64)> {
+        self.thresholds
+            .iter()
+            .zip(&self.sims)
+            .map(|(&t, sim)| (t, sim.metrics().hit_rate()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_rate_is_respected() {
+        let s = SampledStream::new(0.1, 42);
+        let kept = (0..100_000u32).filter(|&v| s.keeps(v)).count();
+        let frac = kept as f64 / 100_000.0;
+        assert!((frac - 0.1).abs() < 0.01, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_spatial() {
+        let s = SampledStream::new(0.5, 7);
+        for v in 0..1000u32 {
+            assert_eq!(s.keeps(v), s.keeps(v), "sampling must be a pure function of id");
+        }
+        let t = SampledStream::new(0.5, 8);
+        let differs = (0..1000u32).any(|v| s.keeps(v) != t.keeps(v));
+        assert!(differs, "different salts should sample differently");
+    }
+
+    #[test]
+    fn full_rate_keeps_everything() {
+        let s = SampledStream::new(1.0, 0);
+        assert!((0..1000u32).all(|v| s.keeps(v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling rate must be in (0,1]")]
+    fn zero_rate_rejected() {
+        let _ = SampledStream::new(0.0, 0);
+    }
+
+    #[test]
+    fn mini_set_observes_only_sampled() {
+        let layout = BlockLayout::identity(1024, 32);
+        let freq = AccessFrequency::zeros(1024);
+        let mut minis = MiniatureCacheSet::new(&layout, &freq, 128, 0.25, &[5], 3);
+        for v in 0..1024u32 {
+            minis.observe(v);
+        }
+        assert_eq!(minis.observed(), 1024);
+        let frac = minis.sampled() as f64 / 1024.0;
+        assert!((frac - 0.25).abs() < 0.1, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn mini_picks_sensible_threshold_on_skewed_workload() {
+        // Build a layout where block 0 holds hot vectors and the training
+        // frequencies reflect it; the mini set should prefer a threshold
+        // that admits the hot block's vectors (low t) over one that blocks
+        // everything (huge t).
+        let layout = BlockLayout::identity(256, 8);
+        // Hot vectors 0..8 appear in many training queries.
+        let train: Vec<Vec<u32>> = (0..50)
+            .map(|i| vec![i % 8, (i + 1) % 8, 8 + (i % 248)])
+            .collect();
+        let freq = AccessFrequency::from_queries(256, train.iter().map(|q| q.as_slice()));
+        let mut minis = MiniatureCacheSet::new(&layout, &freq, 64, 1.0, &[2, 1_000_000], 1);
+        // Evaluation stream: repeatedly scan the hot block.
+        for round in 0..50u32 {
+            for v in 0..8u32 {
+                minis.observe((v + round) % 8);
+            }
+        }
+        assert_eq!(minis.best_threshold(), 2);
+        let gains = minis.estimated_gains();
+        assert!(gains[0].1 > gains[1].1, "{gains:?}");
+    }
+
+    #[test]
+    fn ties_prefer_conservative_threshold() {
+        let layout = BlockLayout::identity(64, 8);
+        let freq = AccessFrequency::zeros(64);
+        let minis = MiniatureCacheSet::new(&layout, &freq, 16, 1.0, &[5, 10], 1);
+        // No observations: all gains equal (0 block reads) => larger t wins.
+        assert_eq!(minis.best_threshold(), 10);
+    }
+}

@@ -1,0 +1,111 @@
+//! The shadow cache: an index-only LRU tracking what a no-prefetch cache
+//! would contain (paper §4.3.1).
+//!
+//! Bandana simulates "another cache that has no prefetched vectors, without
+//! actually caching the values": only ids of vectors *explicitly read by the
+//! application* enter the shadow queue. When a block is read from NVM, a
+//! prefetched vector is admitted to the real cache only if the shadow cache
+//! has seen it recently. The shadow capacity is a multiplier over the real
+//! cache size (Figure 11b sweeps 1.0–2.0).
+
+use crate::lru::SegmentedLru;
+
+/// An id-only LRU used as a prefetch-admission filter.
+///
+/// # Example
+///
+/// ```
+/// use bandana_cache::ShadowCache;
+///
+/// let mut shadow = ShadowCache::new(100, 1.5);
+/// assert_eq!(shadow.capacity(), 150);
+/// shadow.record_read(42);
+/// assert!(shadow.contains(42));
+/// assert!(!shadow.contains(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShadowCache {
+    lru: SegmentedLru<()>,
+}
+
+impl ShadowCache {
+    /// Creates a shadow cache sized `real_capacity × multiplier` (at least
+    /// one entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real_capacity` is zero or `multiplier` is not positive.
+    pub fn new(real_capacity: usize, multiplier: f64) -> Self {
+        assert!(real_capacity > 0, "capacity must be non-zero");
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        let cap = ((real_capacity as f64 * multiplier) as usize).max(1);
+        ShadowCache { lru: SegmentedLru::new(cap, 1) }
+    }
+
+    /// Records an application read (not a prefetch) of `key`.
+    pub fn record_read(&mut self, key: u64) {
+        self.lru.insert(key, (), 0.0);
+    }
+
+    /// Whether `key` is in the shadow queue (does not touch recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.lru.contains(key)
+    }
+
+    /// The shadow queue capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.lru.capacity()
+    }
+
+    /// Number of ids currently tracked.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Whether the shadow queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplier_scales_capacity() {
+        assert_eq!(ShadowCache::new(100, 1.0).capacity(), 100);
+        assert_eq!(ShadowCache::new(100, 1.5).capacity(), 150);
+        assert_eq!(ShadowCache::new(100, 2.0).capacity(), 200);
+        assert_eq!(ShadowCache::new(1, 0.5).capacity(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_applies() {
+        let mut s = ShadowCache::new(2, 1.0);
+        s.record_read(1);
+        s.record_read(2);
+        s.record_read(3);
+        assert!(!s.contains(1));
+        assert!(s.contains(2));
+        assert!(s.contains(3));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn rereads_refresh_recency() {
+        let mut s = ShadowCache::new(2, 1.0);
+        s.record_read(1);
+        s.record_read(2);
+        s.record_read(1); // refresh 1
+        s.record_read(3); // evicts 2, not 1
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be positive")]
+    fn zero_multiplier_rejected() {
+        let _ = ShadowCache::new(10, 0.0);
+    }
+}

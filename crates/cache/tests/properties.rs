@@ -1,0 +1,250 @@
+//! Property-based tests for the caching machinery.
+
+use bandana_cache::{AdmissionPolicy, PrefetchCacheSim, SegmentedLru};
+use bandana_partition::{AccessFrequency, BlockLayout};
+use proptest::prelude::*;
+
+/// Reference LRU: Vec ordered MRU-first.
+#[derive(Debug)]
+struct RefLru {
+    order: Vec<u64>,
+    capacity: usize,
+}
+
+impl RefLru {
+    fn new(capacity: usize) -> Self {
+        RefLru { order: Vec::new(), capacity }
+    }
+    fn get(&mut self, key: u64) -> bool {
+        if let Some(i) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(i);
+            self.order.insert(0, key);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, key: u64) -> Option<u64> {
+        if let Some(i) = self.order.iter().position(|&k| k == key) {
+            self.order.remove(i);
+        }
+        self.order.insert(0, key);
+        if self.order.len() > self.capacity {
+            self.order.pop()
+        } else {
+            None
+        }
+    }
+}
+
+/// An operation against the cache.
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u64),
+    Insert(u64),
+}
+
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_space).prop_map(Op::Get),
+        (0..key_space).prop_map(Op::Insert),
+    ]
+}
+
+proptest! {
+    /// With a single segment, SegmentedLru is an exact LRU: identical hits,
+    /// evictions, and recency order to the reference model.
+    #[test]
+    fn single_segment_is_exact_lru(
+        capacity in 1usize..16,
+        ops in proptest::collection::vec(op_strategy(24), 1..400)
+    ) {
+        let mut lru = SegmentedLru::new(capacity, 1);
+        let mut reference = RefLru::new(capacity);
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    prop_assert_eq!(lru.get(k).is_some(), reference.get(k));
+                }
+                Op::Insert(k) => {
+                    let e1 = lru.insert(k, (), 0.0).map(|(key, ())| key);
+                    let e2 = reference.insert(k);
+                    prop_assert_eq!(e1, e2);
+                }
+            }
+            prop_assert_eq!(lru.keys_in_order(), reference.order.clone());
+        }
+    }
+
+    /// Capacity is never exceeded and `contains` agrees with `keys_in_order`
+    /// for any segment count and any mix of positions.
+    #[test]
+    fn segmented_invariants(
+        capacity in 4usize..32,
+        segments in 1usize..4,
+        ops in proptest::collection::vec((0u64..40, 0..=10u32), 1..400)
+    ) {
+        let mut lru = SegmentedLru::new(capacity, segments);
+        for (key, pos10) in ops {
+            let pos = f64::from(pos10) / 10.0;
+            lru.insert(key, key, pos);
+            prop_assert!(lru.len() <= capacity);
+            prop_assert!(lru.contains(key), "freshly inserted key missing");
+        }
+        let listed = lru.keys_in_order();
+        prop_assert_eq!(listed.len(), lru.len());
+        for k in listed {
+            prop_assert!(lru.contains(k));
+        }
+    }
+
+    /// The prefetch simulator conserves counters on any lookup stream:
+    /// hits + misses = lookups, block reads = misses, and the hit rate of a
+    /// bigger cache is never worse under the None policy (pure LRU).
+    #[test]
+    fn sim_counter_conservation(
+        stream in proptest::collection::vec(0u32..128, 1..500),
+        cache in 1usize..64
+    ) {
+        let layout = BlockLayout::identity(128, 8);
+        let freq = AccessFrequency::zeros(128);
+        let mut sim = PrefetchCacheSim::new(&layout, cache, AdmissionPolicy::None, freq);
+        for &v in &stream {
+            sim.lookup(v);
+        }
+        let m = sim.metrics();
+        prop_assert_eq!(m.hits + m.misses, m.lookups);
+        prop_assert_eq!(m.block_reads, m.misses);
+        prop_assert_eq!(m.lookups as usize, stream.len());
+    }
+
+    /// LRU inclusion property through the simulator: under the None policy a
+    /// larger cache never has fewer hits on the same stream.
+    #[test]
+    fn lru_inclusion(
+        stream in proptest::collection::vec(0u32..64, 1..400),
+        small in 1usize..16
+    ) {
+        let layout = BlockLayout::identity(64, 8);
+        let freq = AccessFrequency::zeros(64);
+        let big = small * 2;
+        let run = |cap: usize| {
+            let mut sim = PrefetchCacheSim::new(&layout, cap, AdmissionPolicy::None, freq.clone());
+            for &v in &stream {
+                sim.lookup(v);
+            }
+            sim.metrics().hits
+        };
+        prop_assert!(run(big) >= run(small));
+    }
+
+    /// Prefetch admission never changes correctness-level counters: lookups
+    /// and the hit/miss partition stay consistent for every policy.
+    #[test]
+    fn policies_conserve_counters(
+        stream in proptest::collection::vec(0u32..96, 1..300),
+        which in 0usize..5
+    ) {
+        let policy = match which {
+            0 => AdmissionPolicy::None,
+            1 => AdmissionPolicy::All { position: 0.0 },
+            2 => AdmissionPolicy::All { position: 0.7 },
+            3 => AdmissionPolicy::Shadow,
+            _ => AdmissionPolicy::Threshold { t: 1 },
+        };
+        let layout = BlockLayout::random(96, 8, 3);
+        let freq = AccessFrequency::zeros(96);
+        let mut sim = PrefetchCacheSim::new(&layout, 16, policy, freq);
+        for &v in &stream {
+            sim.lookup(v);
+        }
+        let m = sim.metrics();
+        prop_assert_eq!(m.hits + m.misses, m.lookups);
+        prop_assert_eq!(m.block_reads, m.misses);
+        prop_assert!(m.prefetch_hits <= m.prefetches_admitted);
+    }
+}
+
+mod policy_props {
+    use super::*;
+    use bandana_cache::policy::{EvictionCache, LruPolicyCache, PolicyKind};
+
+    proptest! {
+        /// Every eviction policy maintains `len <= capacity`, never loses a
+        /// key it did not evict, and evicts exactly one entry per
+        /// overflowing insert.
+        #[test]
+        fn policies_maintain_invariants(
+            ops in proptest::collection::vec(op_strategy(64), 1..400),
+            capacity in 1usize..32,
+        ) {
+            for kind in PolicyKind::ALL {
+                let mut cache = kind.build::<u64>(capacity);
+                let mut resident = std::collections::HashSet::new();
+                for op in &ops {
+                    match op {
+                        Op::Get(k) => {
+                            let hit = cache.get(*k).is_some();
+                            prop_assert_eq!(hit, resident.contains(k), "{} get({})", kind, k);
+                        }
+                        Op::Insert(k) => {
+                            let was_resident = resident.contains(k);
+                            let evicted = cache.insert(*k, *k);
+                            resident.insert(*k);
+                            if let Some((vk, vv)) = evicted {
+                                prop_assert_eq!(vk, vv, "{}: value corrupted", kind);
+                                prop_assert!(resident.remove(&vk), "{}: evicted non-resident {}", kind, vk);
+                                prop_assert!(!was_resident, "{}: refresh must not evict", kind);
+                            }
+                            prop_assert!(cache.len() <= capacity);
+                            prop_assert_eq!(cache.len(), resident.len(), "{}: len mismatch", kind);
+                        }
+                    }
+                }
+            }
+        }
+
+        /// `LruPolicyCache` (the trait adapter) agrees with the reference
+        /// LRU model on hits and evictions.
+        #[test]
+        fn lru_policy_cache_matches_reference(
+            ops in proptest::collection::vec(op_strategy(32), 1..300),
+            capacity in 1usize..16,
+        ) {
+            let mut subject = LruPolicyCache::new(capacity);
+            let mut reference = RefLru::new(capacity);
+            for op in &ops {
+                match op {
+                    Op::Get(k) => {
+                        prop_assert_eq!(subject.get(*k).is_some(), reference.get(*k));
+                    }
+                    Op::Insert(k) => {
+                        let e1 = subject.insert(*k, ()).map(|(key, ())| key);
+                        let e2 = reference.insert(*k);
+                        prop_assert_eq!(e1, e2);
+                    }
+                }
+            }
+        }
+
+        /// `SegmentedLru::pop_lru` always returns the key the reference
+        /// model would evict next.
+        #[test]
+        fn pop_lru_pops_the_coldest(
+            keys in proptest::collection::vec(0u64..24, 1..100),
+            capacity in 1usize..12,
+        ) {
+            let mut subject = SegmentedLru::new(capacity, 1);
+            let mut reference = RefLru::new(capacity);
+            for &k in &keys {
+                let _ = subject.insert(k, (), 0.0);
+                let _ = reference.insert(k);
+            }
+            while let Some((k, ())) = subject.pop_lru() {
+                let expected = reference.order.pop().expect("reference still has keys");
+                prop_assert_eq!(k, expected);
+            }
+            prop_assert!(reference.order.is_empty());
+        }
+    }
+}

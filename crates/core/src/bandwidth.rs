@@ -1,0 +1,222 @@
+//! Effective-bandwidth evaluation: policy vs baseline on the same trace.
+//!
+//! All the paper's limited-cache experiments (Figures 10–16, Table 2) report
+//! the *effective bandwidth increase* of a configuration over the baseline
+//! policy that caches one vector per block read. This module runs both
+//! simulations side by side and reports the per-table gains.
+
+use bandana_cache::{AdmissionPolicy, PrefetchCacheSim};
+use bandana_partition::{AccessFrequency, BlockLayout};
+use bandana_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One table's effective-bandwidth result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TableGain {
+    /// Table index.
+    pub table: usize,
+    /// Block reads under the evaluated policy.
+    pub policy_block_reads: u64,
+    /// Block reads under the single-vector baseline with the same cache
+    /// size.
+    pub baseline_block_reads: u64,
+    /// Policy hit rate.
+    pub hit_rate: f64,
+    /// Effective-bandwidth increase (`baseline / policy − 1`).
+    pub gain: f64,
+}
+
+/// Evaluates an admission policy per table against the baseline, on one
+/// evaluation trace.
+///
+/// `layouts`, `freqs`, `capacities`, and `policies` are per-table (same
+/// length); the baseline runs with the same layout and capacity but no
+/// prefetching.
+///
+/// # Example
+///
+/// ```
+/// use bandana_cache::AdmissionPolicy;
+/// use bandana_core::effective_bandwidth_sweep;
+/// use bandana_partition::{AccessFrequency, BlockLayout};
+/// use bandana_trace::{ModelSpec, TraceGenerator};
+///
+/// let spec = ModelSpec::test_small();
+/// let trace = TraceGenerator::new(&spec, 1).generate_requests(100);
+/// let layouts: Vec<BlockLayout> = spec.tables.iter()
+///     .map(|t| BlockLayout::identity(t.num_vectors, 32)).collect();
+/// let freqs: Vec<AccessFrequency> = spec.tables.iter()
+///     .map(|t| AccessFrequency::zeros(t.num_vectors)).collect();
+/// let gains = effective_bandwidth_sweep(
+///     &trace,
+///     &layouts,
+///     &freqs,
+///     &[128, 128],
+///     &[AdmissionPolicy::None, AdmissionPolicy::None],
+///     1.5,
+/// );
+/// assert_eq!(gains.len(), 2);
+/// // The None policy IS the baseline: zero gain by construction.
+/// assert!(gains.iter().all(|g| g.gain.abs() < 1e-12));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the per-table slices disagree in length.
+pub fn effective_bandwidth_sweep(
+    eval: &Trace,
+    layouts: &[BlockLayout],
+    freqs: &[AccessFrequency],
+    capacities: &[usize],
+    policies: &[AdmissionPolicy],
+    shadow_multiplier: f64,
+) -> Vec<TableGain> {
+    assert_eq!(layouts.len(), freqs.len(), "layouts/freqs length mismatch");
+    assert_eq!(layouts.len(), capacities.len(), "layouts/capacities length mismatch");
+    assert_eq!(layouts.len(), policies.len(), "layouts/policies length mismatch");
+
+    (0..layouts.len())
+        .map(|t| {
+            let stream = eval.table_stream(t);
+            let mut policy_sim = PrefetchCacheSim::with_shadow_multiplier(
+                &layouts[t],
+                capacities[t],
+                policies[t],
+                freqs[t].clone(),
+                shadow_multiplier,
+            );
+            let mut baseline_sim = PrefetchCacheSim::new(
+                &layouts[t],
+                capacities[t],
+                AdmissionPolicy::None,
+                freqs[t].clone(),
+            );
+            for &v in &stream {
+                policy_sim.lookup(v);
+                baseline_sim.lookup(v);
+            }
+            let policy_reads = policy_sim.metrics().block_reads;
+            let baseline_reads = baseline_sim.metrics().block_reads;
+            TableGain {
+                table: t,
+                policy_block_reads: policy_reads,
+                baseline_block_reads: baseline_reads,
+                hit_rate: policy_sim.metrics().hit_rate(),
+                gain: policy_sim.metrics().effective_bandwidth_increase(baseline_reads),
+            }
+        })
+        .collect()
+}
+
+/// Lookup-weighted mean gain across tables (the paper's headline numbers).
+pub fn overall_gain(gains: &[TableGain]) -> f64 {
+    let policy: u64 = gains.iter().map(|g| g.policy_block_reads).sum();
+    let baseline: u64 = gains.iter().map(|g| g.baseline_block_reads).sum();
+    if policy == 0 {
+        0.0
+    } else {
+        baseline as f64 / policy as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bandana_trace::{ModelSpec, TraceGenerator};
+
+    fn fixtures() -> (Trace, Vec<BlockLayout>, Vec<AccessFrequency>) {
+        let spec = ModelSpec::test_small();
+        let mut generator = TraceGenerator::new(&spec, 7);
+        let train = generator.generate_requests(300);
+        let eval = generator.generate_requests(150);
+        let layouts: Vec<BlockLayout> = spec
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(t, ts)| {
+                let cfg = bandana_partition::ShpConfig {
+                    block_capacity: 32,
+                    iterations: 6,
+                    seed: t as u64,
+                    parallel_depth: 0,
+                };
+                let order = bandana_partition::social_hash_partition(
+                    ts.num_vectors,
+                    train.table_queries(t),
+                    &cfg,
+                );
+                BlockLayout::from_order(order, 32)
+            })
+            .collect();
+        let freqs: Vec<AccessFrequency> = spec
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(t, ts)| AccessFrequency::from_queries(ts.num_vectors, train.table_queries(t)))
+            .collect();
+        (eval, layouts, freqs)
+    }
+
+    #[test]
+    fn threshold_policy_beats_baseline_on_shp_layout() {
+        let (eval, layouts, freqs) = fixtures();
+        let gains = effective_bandwidth_sweep(
+            &eval,
+            &layouts,
+            &freqs,
+            &[256, 256],
+            &[AdmissionPolicy::Threshold { t: 2 }, AdmissionPolicy::Threshold { t: 2 }],
+            1.5,
+        );
+        let overall = overall_gain(&gains);
+        assert!(overall > 0.0, "expected positive gain, got {overall} ({gains:?})");
+    }
+
+    #[test]
+    fn baseline_policy_has_zero_gain() {
+        let (eval, layouts, freqs) = fixtures();
+        let gains = effective_bandwidth_sweep(
+            &eval,
+            &layouts,
+            &freqs,
+            &[128, 128],
+            &[AdmissionPolicy::None, AdmissionPolicy::None],
+            1.5,
+        );
+        for g in &gains {
+            assert_eq!(g.policy_block_reads, g.baseline_block_reads);
+            assert!(g.gain.abs() < 1e-12);
+        }
+        assert!(overall_gain(&gains).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_gain_weights_by_reads() {
+        let gains = vec![
+            TableGain {
+                table: 0,
+                policy_block_reads: 100,
+                baseline_block_reads: 200,
+                hit_rate: 0.5,
+                gain: 1.0,
+            },
+            TableGain {
+                table: 1,
+                policy_block_reads: 900,
+                baseline_block_reads: 900,
+                hit_rate: 0.5,
+                gain: 0.0,
+            },
+        ];
+        // (200+900)/(100+900) - 1 = 0.1
+        assert!((overall_gain(&gains) - 0.1).abs() < 1e-12);
+        assert_eq!(overall_gain(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_slices_rejected() {
+        let (eval, layouts, freqs) = fixtures();
+        let _ = effective_bandwidth_sweep(&eval, &layouts, &freqs, &[128], &[], 1.5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for the Bandana store.
+
+use nvm_sim::NvmError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::BandanaStore`] and friends.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BandanaError {
+    /// The underlying NVM device failed.
+    Nvm(NvmError),
+    /// A lookup referenced a table index that does not exist.
+    NoSuchTable {
+        /// The requested table.
+        table: usize,
+        /// Number of tables in the store.
+        tables: usize,
+    },
+    /// A lookup referenced a vector id outside its table.
+    NoSuchVector {
+        /// The requested table.
+        table: usize,
+        /// The requested vector id.
+        vector: u32,
+        /// Number of vectors in the table.
+        vectors: u32,
+    },
+    /// The configuration was inconsistent with the model.
+    Config(String),
+}
+
+impl fmt::Display for BandanaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BandanaError::Nvm(e) => write!(f, "nvm device error: {e}"),
+            BandanaError::NoSuchTable { table, tables } => {
+                write!(f, "table {table} out of range ({tables} tables)")
+            }
+            BandanaError::NoSuchVector { table, vector, vectors } => {
+                write!(f, "vector {vector} out of range for table {table} ({vectors} vectors)")
+            }
+            BandanaError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for BandanaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BandanaError::Nvm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NvmError> for BandanaError {
+    fn from(e: NvmError) -> Self {
+        BandanaError::Nvm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BandanaError::NoSuchTable { table: 9, tables: 8 };
+        assert!(e.to_string().contains("table 9"));
+        let e = BandanaError::NoSuchVector { table: 1, vector: 100, vectors: 50 };
+        assert!(e.to_string().contains("vector 100"));
+        let e = BandanaError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn nvm_error_converts_and_sources() {
+        let nvm = NvmError::InvalidConfig("zero capacity");
+        let e: BandanaError = nvm.clone().into();
+        assert_eq!(e, BandanaError::Nvm(nvm));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<BandanaError>();
+    }
+}

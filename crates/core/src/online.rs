@@ -1,0 +1,263 @@
+//! Online threshold re-tuning.
+//!
+//! The paper runs the miniature caches *in real time* against production
+//! traffic and periodically adopts the best threshold per table (§4.3.3).
+//! [`OnlineTuner`] implements that loop for one table: it shadows the live
+//! lookup stream through a [`MiniatureCacheSet`] and, every `epoch_lookups`
+//! observed lookups, re-evaluates the candidates and reports the winner.
+//! The Bandana store applies the winner via
+//! [`TableStore::set_policy`](crate::TableStore::set_policy).
+//!
+//! Workloads drift (users' interests shift between retrainings), so the
+//! simulators are restarted each epoch: stale hit statistics from an old
+//! traffic mix would otherwise dominate the choice forever.
+
+use bandana_cache::{AdmissionPolicy, MiniatureCacheSet};
+use bandana_partition::{AccessFrequency, BlockLayout};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an [`OnlineTuner`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineTunerConfig {
+    /// Production cache size being tuned for, in vectors.
+    pub cache_capacity: usize,
+    /// Miniature-cache sampling rate.
+    pub sampling_rate: f64,
+    /// Candidate thresholds.
+    pub candidate_thresholds: Vec<u32>,
+    /// Observed lookups per tuning epoch.
+    pub epoch_lookups: u64,
+    /// Hash salt.
+    pub salt: u64,
+}
+
+impl Default for OnlineTunerConfig {
+    fn default() -> Self {
+        OnlineTunerConfig {
+            cache_capacity: 4096,
+            sampling_rate: 0.1,
+            candidate_thresholds: vec![5, 10, 15, 20],
+            epoch_lookups: 100_000,
+            salt: 0,
+        }
+    }
+}
+
+/// A decision emitted at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuningDecision {
+    /// Epoch number (1-based).
+    pub epoch: u64,
+    /// The winning threshold.
+    pub threshold: u32,
+    /// Its estimated effective-bandwidth gain over the no-prefetch mini
+    /// baseline.
+    pub estimated_gain: f64,
+}
+
+/// Periodically re-tunes one table's admission threshold from live traffic.
+///
+/// # Example
+///
+/// ```
+/// use bandana_core::online::{OnlineTuner, OnlineTunerConfig};
+/// use bandana_partition::{AccessFrequency, BlockLayout};
+///
+/// let layout = BlockLayout::identity(512, 32);
+/// let freq = AccessFrequency::zeros(512);
+/// let config = OnlineTunerConfig {
+///     cache_capacity: 64,
+///     sampling_rate: 1.0,
+///     candidate_thresholds: vec![2, 5],
+///     epoch_lookups: 100,
+///     salt: 1,
+/// };
+/// let mut tuner = OnlineTuner::new(&layout, &freq, config);
+/// let mut decisions = 0;
+/// for i in 0..250u32 {
+///     if tuner.observe(i % 512).is_some() {
+///         decisions += 1;
+///     }
+/// }
+/// assert_eq!(decisions, 2); // epochs complete at lookups 100 and 200
+/// ```
+#[derive(Debug)]
+pub struct OnlineTuner<'a> {
+    layout: &'a BlockLayout,
+    freq: &'a AccessFrequency,
+    config: OnlineTunerConfig,
+    minis: MiniatureCacheSet<'a>,
+    epoch: u64,
+    seen_this_epoch: u64,
+    current: Option<TuningDecision>,
+}
+
+impl<'a> OnlineTuner<'a> {
+    /// Creates the tuner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no candidates, zero epoch
+    /// length or capacity, sampling rate outside `(0, 1]`).
+    pub fn new(
+        layout: &'a BlockLayout,
+        freq: &'a AccessFrequency,
+        config: OnlineTunerConfig,
+    ) -> Self {
+        assert!(config.epoch_lookups > 0, "epoch must be non-empty");
+        assert!(!config.candidate_thresholds.is_empty(), "need candidate thresholds");
+        let minis = MiniatureCacheSet::new(
+            layout,
+            freq,
+            config.cache_capacity,
+            config.sampling_rate,
+            &config.candidate_thresholds,
+            config.salt,
+        );
+        OnlineTuner { layout, freq, config, minis, epoch: 0, seen_this_epoch: 0, current: None }
+    }
+
+    /// Observes one live lookup. Returns a decision at each epoch boundary.
+    pub fn observe(&mut self, v: u32) -> Option<TuningDecision> {
+        self.minis.observe(v);
+        self.seen_this_epoch += 1;
+        if self.seen_this_epoch < self.config.epoch_lookups {
+            return None;
+        }
+        self.epoch += 1;
+        self.seen_this_epoch = 0;
+        let threshold = self.minis.best_threshold();
+        let estimated_gain = self
+            .minis
+            .estimated_gains()
+            .into_iter()
+            .find(|&(t, _)| t == threshold)
+            .map(|(_, g)| g)
+            .unwrap_or(0.0);
+        let decision = TuningDecision { epoch: self.epoch, threshold, estimated_gain };
+        self.current = Some(decision);
+        // Restart the simulators so the next epoch reflects fresh traffic.
+        self.minis = MiniatureCacheSet::new(
+            self.layout,
+            self.freq,
+            self.config.cache_capacity,
+            self.config.sampling_rate,
+            &self.config.candidate_thresholds,
+            self.config.salt.wrapping_add(self.epoch),
+        );
+        Some(decision)
+    }
+
+    /// The policy implied by the latest decision, if an epoch has completed.
+    pub fn current_policy(&self) -> Option<AdmissionPolicy> {
+        self.current.map(|d| AdmissionPolicy::Threshold { t: d.threshold })
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (BlockLayout, AccessFrequency) {
+        let n = 512u32;
+        let layout = BlockLayout::identity(n, 32);
+        // Hot first block in training.
+        let train: Vec<Vec<u32>> = (0..100).map(|_| (0..16u32).collect()).collect();
+        let freq = AccessFrequency::from_queries(n, train.iter().map(|q| q.as_slice()));
+        (layout, freq)
+    }
+
+    #[test]
+    fn emits_decision_per_epoch() {
+        let (layout, freq) = fixture();
+        let config = OnlineTunerConfig {
+            cache_capacity: 64,
+            sampling_rate: 1.0,
+            candidate_thresholds: vec![2, 1_000],
+            epoch_lookups: 50,
+            salt: 1,
+        };
+        let mut tuner = OnlineTuner::new(&layout, &freq, config);
+        let mut decisions = Vec::new();
+        for i in 0..200u32 {
+            if let Some(d) = tuner.observe(i % 16) {
+                decisions.push(d);
+            }
+        }
+        assert_eq!(decisions.len(), 4);
+        assert_eq!(tuner.epochs(), 4);
+        assert_eq!(decisions[0].epoch, 1);
+        assert_eq!(decisions[3].epoch, 4);
+        // The hot-scan workload favours admitting (t=2 over t=1000).
+        assert_eq!(decisions.last().unwrap().threshold, 2);
+        assert_eq!(tuner.current_policy(), Some(AdmissionPolicy::Threshold { t: 2 }));
+    }
+
+    #[test]
+    fn no_decision_before_first_epoch() {
+        let (layout, freq) = fixture();
+        let config = OnlineTunerConfig {
+            cache_capacity: 64,
+            sampling_rate: 1.0,
+            candidate_thresholds: vec![5],
+            epoch_lookups: 1_000,
+            salt: 2,
+        };
+        let mut tuner = OnlineTuner::new(&layout, &freq, config);
+        for i in 0..999u32 {
+            assert!(tuner.observe(i % 512).is_none());
+        }
+        assert!(tuner.current_policy().is_none());
+        assert!(tuner.observe(0).is_some());
+    }
+
+    #[test]
+    fn adapts_when_workload_shifts() {
+        // Epoch 1: pure cold scan over the whole table (prefetching cold
+        // vectors is useless because nothing repeats). Epoch 2: hot-block
+        // scan (prefetching pays). The tuner should prefer a blocking
+        // threshold first and an admitting one after the shift.
+        let n = 512u32;
+        let layout = BlockLayout::identity(n, 32);
+        let train: Vec<Vec<u32>> = (0..100).map(|_| (0..32u32).collect()).collect();
+        let freq = AccessFrequency::from_queries(n, train.iter().map(|q| q.as_slice()));
+        let config = OnlineTunerConfig {
+            cache_capacity: 48,
+            sampling_rate: 1.0,
+            candidate_thresholds: vec![2, 1_000_000],
+            epoch_lookups: 512,
+            salt: 3,
+        };
+        let mut tuner = OnlineTuner::new(&layout, &freq, config);
+        // Epoch 1: sequential cold scan.
+        let mut first = None;
+        for v in 0..512u32 {
+            if let Some(d) = tuner.observe(v) {
+                first = Some(d);
+            }
+        }
+        // Epoch 2: repeated hot-block scan.
+        let mut second = None;
+        for i in 0..512u32 {
+            if let Some(d) = tuner.observe(i % 32) {
+                second = Some(d);
+            }
+        }
+        let second = second.expect("second epoch completes");
+        assert_eq!(second.threshold, 2, "hot epoch should admit prefetches: {first:?} {second:?}");
+        assert!(second.estimated_gain > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch must be non-empty")]
+    fn zero_epoch_rejected() {
+        let (layout, freq) = fixture();
+        let config = OnlineTunerConfig { epoch_lookups: 0, ..Default::default() };
+        let _ = OnlineTuner::new(&layout, &freq, config);
+    }
+}

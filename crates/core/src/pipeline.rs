@@ -1,0 +1,290 @@
+//! The end-to-end experiment pipeline: generate → train → place → tune →
+//! serve → report.
+//!
+//! Every limited-cache experiment in the paper follows the same recipe
+//! (§5): train SHP (or K-means) on a training trace, lay the tables out,
+//! collect access frequencies, pick thresholds with miniature caches, then
+//! replay a disjoint evaluation trace and compare block reads against the
+//! single-vector baseline. [`run_pipeline`] packages that recipe; the bench
+//! harness parameterizes it per figure.
+
+use crate::bandwidth::{effective_bandwidth_sweep, overall_gain, TableGain};
+use crate::config::PartitionerKind;
+use crate::store::build_layouts_and_freqs;
+use crate::tuner::{tune_thresholds, TunerConfig};
+use bandana_cache::{allocate_dram, AdmissionPolicy, HitRateCurve};
+use bandana_trace::{EmbeddingTable, ModelSpec, StackDistances, Trace, TraceGenerator};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// The workload model (tables, skew, vector geometry).
+    pub spec: ModelSpec,
+    /// Training-trace length in requests (drives SHP/frequencies/tuning).
+    pub train_requests: usize,
+    /// Evaluation-trace length in requests.
+    pub eval_requests: usize,
+    /// Placement algorithm.
+    pub partitioner: PartitionerKind,
+    /// Total DRAM budget in vectors, divided across tables.
+    pub cache_vectors_total: usize,
+    /// Admission policy; `None` here means "tune thresholds per table with
+    /// miniature caches".
+    pub admission: Option<AdmissionPolicy>,
+    /// Candidate thresholds for tuning.
+    pub candidate_thresholds: Vec<u32>,
+    /// Miniature-cache sampling rate.
+    pub mini_sampling_rate: f64,
+    /// Divide DRAM by hit-rate curves (vs proportional to lookup share).
+    pub allocate_by_hit_rate_curves: bool,
+    /// Shadow multiplier for shadow-based policies.
+    pub shadow_multiplier: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            spec: ModelSpec::test_small(),
+            train_requests: 300,
+            eval_requests: 150,
+            partitioner: PartitionerKind::default(),
+            cache_vectors_total: 512,
+            admission: None,
+            candidate_thresholds: vec![2, 5, 10, 15, 20],
+            mini_sampling_rate: 0.1,
+            allocate_by_hit_rate_curves: true,
+            shadow_multiplier: 1.5,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Per-table effective-bandwidth results.
+    pub tables: Vec<TableGain>,
+    /// Per-table cache capacities chosen by the allocator.
+    pub capacities: Vec<usize>,
+    /// Per-table admission policies in force during evaluation.
+    pub policies: Vec<AdmissionPolicy>,
+    /// Evaluation-trace lookups.
+    pub eval_lookups: u64,
+}
+
+impl PipelineReport {
+    /// Read-weighted mean effective-bandwidth increase across tables.
+    pub fn overall_gain(&self) -> f64 {
+        overall_gain(&self.tables)
+    }
+
+    /// The gain of one table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range.
+    pub fn table_gain(&self, table: usize) -> f64 {
+        self.tables[table].gain
+    }
+}
+
+/// Runs the full Bandana pipeline and reports per-table gains.
+///
+/// See the crate-level docs for an example.
+///
+/// # Panics
+///
+/// Panics on invalid configuration (zero-sized traces or caches, malformed
+/// spec).
+pub fn run_pipeline(config: &PipelineConfig) -> PipelineReport {
+    assert!(config.train_requests > 0, "need a training trace");
+    assert!(config.eval_requests > 0, "need an evaluation trace");
+    assert!(config.cache_vectors_total > 0, "need a cache");
+    config.spec.validate().expect("invalid model spec");
+
+    let mut generator = TraceGenerator::new(&config.spec, config.seed);
+    let train = generator.generate_requests(config.train_requests);
+    let eval = generator.generate_requests(config.eval_requests);
+    run_pipeline_on_traces(config, &generator, &train, &eval)
+}
+
+/// Like [`run_pipeline`] but over caller-supplied traces (used by benches
+/// that sweep the training-set size over a fixed evaluation trace, e.g.
+/// Figures 9 and 15).
+pub fn run_pipeline_on_traces(
+    config: &PipelineConfig,
+    generator: &TraceGenerator,
+    train: &Trace,
+    eval: &Trace,
+) -> PipelineReport {
+    let spec = &config.spec;
+    let vectors_per_block = (4096 / spec.vector_bytes()).max(1);
+
+    // Embeddings are only materialized for semantic partitioners.
+    let embeddings: Vec<EmbeddingTable> = match config.partitioner {
+        PartitionerKind::KMeans { .. } | PartitionerKind::TwoStageKMeans { .. } => (0..spec
+            .num_tables())
+            .map(|t| {
+                EmbeddingTable::synthesize(
+                    spec.tables[t].num_vectors,
+                    spec.dim,
+                    generator.topic_model(t),
+                    config.seed.wrapping_add(t as u64),
+                )
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+
+    let (layouts, freqs) = build_layouts_and_freqs(
+        spec,
+        train,
+        config.partitioner,
+        vectors_per_block,
+        &embeddings,
+        config.seed,
+    );
+
+    // DRAM division.
+    let total = config.cache_vectors_total;
+    let weights: Vec<f64> = (0..spec.num_tables())
+        .map(|t| train.table_lookups(t) as f64 / train.total_lookups().max(1) as f64)
+        .collect();
+    let capacities: Vec<usize> = if config.allocate_by_hit_rate_curves {
+        let sizes: Vec<usize> =
+            [64usize, 16, 8, 4, 2, 1].iter().map(|d| (total / d).max(1)).collect();
+        let curves: Vec<HitRateCurve> = (0..spec.num_tables())
+            .map(|t| {
+                let stream = train.table_stream(t);
+                if stream.is_empty() {
+                    return HitRateCurve::new(vec![(0, 0.0)]);
+                }
+                let mut sd = StackDistances::with_capacity(stream.len());
+                sd.access_all(stream.iter().map(|&v| v as u64));
+                HitRateCurve::new(sd.hit_rate_curve(&sizes))
+            })
+            .collect();
+        allocate_dram(total, &curves, &weights, (total / 64).max(1))
+            .into_iter()
+            .map(|c| c.max(1))
+            .collect()
+    } else {
+        weights.iter().map(|w| ((total as f64 * w) as usize).max(1)).collect()
+    };
+
+    // Admission: explicit policy or per-table tuned threshold.
+    let policies: Vec<AdmissionPolicy> = match config.admission {
+        Some(policy) => vec![policy; spec.num_tables()],
+        None => (0..spec.num_tables())
+            .map(|t| {
+                let chosen = tune_thresholds(
+                    &layouts[t],
+                    &freqs[t],
+                    &train.table_stream(t),
+                    &TunerConfig {
+                        cache_capacity: capacities[t],
+                        sampling_rate: config.mini_sampling_rate,
+                        candidate_thresholds: config.candidate_thresholds.clone(),
+                        salt: config.seed.wrapping_add(t as u64),
+                    },
+                );
+                AdmissionPolicy::Threshold { t: chosen }
+            })
+            .collect(),
+    };
+
+    let tables = effective_bandwidth_sweep(
+        eval,
+        &layouts,
+        &freqs,
+        &capacities,
+        &policies,
+        config.shadow_multiplier,
+    );
+
+    PipelineReport { tables, capacities, policies, eval_lookups: eval.total_lookups() as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_beats_baseline() {
+        let report = run_pipeline(&PipelineConfig::default());
+        assert_eq!(report.tables.len(), 2);
+        assert!(report.overall_gain() > 0.0, "gain {}", report.overall_gain());
+        assert_eq!(report.capacities.len(), 2);
+        assert!(report.eval_lookups > 0);
+    }
+
+    #[test]
+    fn shp_beats_random_layout() {
+        let base = PipelineConfig { seed: 3, ..PipelineConfig::default() };
+        let shp = run_pipeline(&PipelineConfig {
+            partitioner: PartitionerKind::Shp { iterations: 8 },
+            ..base.clone()
+        });
+        let random =
+            run_pipeline(&PipelineConfig { partitioner: PartitionerKind::Random, ..base });
+        assert!(
+            shp.overall_gain() > random.overall_gain(),
+            "SHP {} should beat random {}",
+            shp.overall_gain(),
+            random.overall_gain()
+        );
+    }
+
+    #[test]
+    fn explicit_policy_is_used_verbatim() {
+        let report = run_pipeline(&PipelineConfig {
+            admission: Some(AdmissionPolicy::All { position: 0.5 }),
+            ..PipelineConfig::default()
+        });
+        assert!(report
+            .policies
+            .iter()
+            .all(|p| *p == AdmissionPolicy::All { position: 0.5 }));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = PipelineConfig { seed: 9, ..PipelineConfig::default() };
+        let a = run_pipeline(&cfg);
+        let b = run_pipeline(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bigger_cache_improves_hit_rate() {
+        // Note: the *relative gain* over the baseline is not monotone in
+        // cache size once the cache approaches the working set (the baseline
+        // becomes perfect too); absolute hit rate is the monotone quantity.
+        let small = run_pipeline(&PipelineConfig {
+            cache_vectors_total: 128,
+            ..PipelineConfig::default()
+        });
+        let large = run_pipeline(&PipelineConfig {
+            cache_vectors_total: 2048,
+            ..PipelineConfig::default()
+        });
+        let hr = |r: &PipelineReport| {
+            r.tables.iter().map(|t| t.hit_rate).sum::<f64>() / r.tables.len() as f64
+        };
+        assert!(
+            hr(&large) + 0.01 >= hr(&small),
+            "large-cache hit rate {} below small-cache {}",
+            hr(&large),
+            hr(&small)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need a training trace")]
+    fn zero_train_rejected() {
+        let _ = run_pipeline(&PipelineConfig { train_requests: 0, ..PipelineConfig::default() });
+    }
+}

@@ -1,0 +1,508 @@
+//! One embedding table: an NVM block region, a DRAM cache, and the prefetch
+//! machinery.
+
+use crate::error::BandanaError;
+use bandana_cache::{AdmissionPolicy, CacheMetrics, SegmentedLru, ShadowCache};
+use bandana_partition::{AccessFrequency, BlockLayout};
+use bandana_trace::EmbeddingTable;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use nvm_sim::BlockDevice;
+
+/// How many LRU segments the cache uses (position granularity 1/16).
+const SEGMENTS: usize = 16;
+
+/// Whether a cached entry arrived on demand or as a prefetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Demand,
+    Prefetch,
+}
+
+/// One embedding table stored on NVM with a DRAM cache in front.
+///
+/// Unlike [`bandana_cache::PrefetchCacheSim`], this stores and serves the
+/// actual embedding bytes; it is the data path of the Bandana store.
+#[derive(Debug)]
+pub struct TableStore {
+    table_id: usize,
+    layout: BlockLayout,
+    freq: AccessFrequency,
+    policy: AdmissionPolicy,
+    cache: SegmentedLru<(Origin, Bytes)>,
+    shadow: Option<ShadowCache>,
+    metrics: CacheMetrics,
+    /// First device block of this table's region.
+    base_block: u64,
+    vector_bytes: usize,
+    num_vectors: u32,
+}
+
+impl TableStore {
+    /// Creates the table over a block region starting at `base_block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache capacity is zero, the frequency table does not
+    /// match the layout, or `vector_bytes` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        table_id: usize,
+        layout: BlockLayout,
+        freq: AccessFrequency,
+        policy: AdmissionPolicy,
+        cache_capacity: usize,
+        shadow_multiplier: f64,
+        base_block: u64,
+        vector_bytes: usize,
+    ) -> Self {
+        assert!(cache_capacity > 0, "cache capacity must be non-zero");
+        assert!(vector_bytes > 0, "vector size must be non-zero");
+        assert_eq!(
+            freq.num_vectors(),
+            layout.num_vectors(),
+            "frequency table does not match layout"
+        );
+        let shadow =
+            policy.needs_shadow().then(|| ShadowCache::new(cache_capacity, shadow_multiplier));
+        TableStore {
+            table_id,
+            num_vectors: layout.num_vectors(),
+            layout,
+            freq,
+            policy,
+            cache: SegmentedLru::new(cache_capacity, SEGMENTS.min(cache_capacity)),
+            shadow,
+            metrics: CacheMetrics::new(),
+            base_block,
+            vector_bytes,
+        }
+    }
+
+    /// The table's index in the store.
+    pub fn table_id(&self) -> usize {
+        self.table_id
+    }
+
+    /// Number of vectors in the table.
+    pub fn num_vectors(&self) -> u32 {
+        self.num_vectors
+    }
+
+    /// Number of NVM blocks the table occupies.
+    pub fn num_blocks(&self) -> u64 {
+        self.layout.num_blocks() as u64
+    }
+
+    /// The physical placement in force.
+    pub fn layout(&self) -> &BlockLayout {
+        &self.layout
+    }
+
+    /// The admission policy in force.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Replaces the admission policy (used by the tuner). The shadow cache
+    /// is created or dropped as needed; cache contents are preserved.
+    pub fn set_policy(&mut self, policy: AdmissionPolicy, shadow_multiplier: f64) {
+        self.policy = policy;
+        if policy.needs_shadow() {
+            if self.shadow.is_none() {
+                self.shadow = Some(ShadowCache::new(self.cache.capacity(), shadow_multiplier));
+            }
+        } else {
+            self.shadow = None;
+        }
+    }
+
+    /// The counters accumulated so far.
+    pub fn metrics(&self) -> &CacheMetrics {
+        &self.metrics
+    }
+
+    /// Resets the counters (cache contents survive).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = CacheMetrics::new();
+    }
+
+    /// Writes the full embedding table to the device in layout order.
+    ///
+    /// Never-trained vectors (ids beyond `embeddings.num_vectors()`) are
+    /// zero-filled. Used at build time and by retraining (§2.2 endurance).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device write failures.
+    pub fn write_embeddings(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        embeddings: &EmbeddingTable,
+    ) -> Result<(), BandanaError> {
+        let block_size = device.block_size();
+        let vectors_per_block = self.layout.vectors_per_block();
+        let mut buf = vec![0u8; block_size];
+        for b in 0..self.layout.num_blocks() {
+            buf.iter_mut().for_each(|x| *x = 0);
+            for (slot, &v) in self.layout.vectors_in_block(b).iter().enumerate() {
+                let off = slot * self.vector_bytes;
+                if v < embeddings.num_vectors() {
+                    let bytes = embeddings.vector_as_bytes(v);
+                    let len = bytes.len().min(self.vector_bytes);
+                    buf[off..off + len].copy_from_slice(&bytes[..len]);
+                }
+            }
+            let _ = vectors_per_block;
+            device.write_block(self.base_block + b as u64, &buf)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up one vector, reading through to NVM on a miss.
+    ///
+    /// Returns the vector payload (cheaply cloneable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandanaError::NoSuchVector`] for out-of-range ids and
+    /// propagates device errors.
+    pub fn lookup(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        v: u32,
+    ) -> Result<Bytes, BandanaError> {
+        match self.lookup_cached(v)? {
+            Some(bytes) => Ok(bytes),
+            None => self.lookup_miss(device, v),
+        }
+    }
+
+    /// The DRAM-only half of [`TableStore::lookup`]: validates `v`, records
+    /// the lookup, and returns the payload if it is cached. On `Ok(None)`
+    /// the caller must complete the lookup with the device-side half
+    /// (`lookup_miss`); [`crate::ConcurrentStore`] uses this split to avoid
+    /// taking the device lock on hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandanaError::NoSuchVector`] for out-of-range ids.
+    pub fn lookup_cached(&mut self, v: u32) -> Result<Option<Bytes>, BandanaError> {
+        if v >= self.num_vectors {
+            return Err(BandanaError::NoSuchVector {
+                table: self.table_id,
+                vector: v,
+                vectors: self.num_vectors,
+            });
+        }
+        self.metrics.lookups += 1;
+        if let Some(shadow) = &mut self.shadow {
+            shadow.record_read(v as u64);
+        }
+        if let Some((origin, bytes)) = self.cache.get(v as u64) {
+            let bytes = bytes.clone();
+            if *origin == Origin::Prefetch {
+                self.metrics.prefetch_hits += 1;
+                self.cache.insert(v as u64, (Origin::Demand, bytes.clone()), 0.0);
+            }
+            self.metrics.hits += 1;
+            return Ok(Some(bytes));
+        }
+        Ok(None)
+    }
+
+    /// The device-side half of a lookup. Must only be called after
+    /// [`TableStore::lookup_cached`] returned `Ok(None)` for the same `v`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub(crate) fn lookup_miss(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        v: u32,
+    ) -> Result<Bytes, BandanaError> {
+        // Miss: fetch the whole 4 KB block.
+        self.metrics.misses += 1;
+        self.metrics.block_reads += 1;
+        let block = self.layout.block_of(v);
+        let raw = Bytes::from(device.read_block(self.base_block + block as u64)?);
+
+        let slot = self.layout.slot_of(v) as usize;
+        let payload = raw.slice(slot * self.vector_bytes..(slot + 1) * self.vector_bytes);
+        if self.cache.insert(v as u64, (Origin::Demand, payload.clone()), 0.0).is_some() {
+            self.metrics.evictions += 1;
+        }
+
+        if self.policy.prefetches() {
+            for (uslot, &u) in self.layout.vectors_in_block(block).iter().enumerate() {
+                if u == v || self.cache.contains(u as u64) {
+                    continue;
+                }
+                let shadow_hit = self.shadow.as_ref().is_some_and(|s| s.contains(u as u64));
+                if let Some(pos) = self.policy.admit(self.freq.count(u), shadow_hit) {
+                    self.metrics.prefetches_admitted += 1;
+                    let upayload =
+                        raw.slice(uslot * self.vector_bytes..(uslot + 1) * self.vector_bytes);
+                    if self.cache.insert(u as u64, (Origin::Prefetch, upayload), pos).is_some() {
+                        self.metrics.evictions += 1;
+                    }
+                }
+            }
+        }
+        Ok(payload)
+    }
+
+    /// Looks up a whole query at once, coalescing NVM reads: misses that
+    /// land in the same 4 KB block cost **one** block read instead of one
+    /// each. Production queries average 18–93 lookups per table (Table 1),
+    /// so with SHP placement clustering co-accessed vectors this is the
+    /// natural serving interface.
+    ///
+    /// Returns payloads in `ids` order. Metrics count every element of
+    /// `ids` as a lookup; duplicate uncached ids within one batch each
+    /// count as a miss but share the block read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandanaError::NoSuchVector`] if *any* id is out of range —
+    /// checked up front, before any counter moves or I/O is issued — and
+    /// propagates device errors.
+    pub fn lookup_batch(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        ids: &[u32],
+    ) -> Result<Vec<Bytes>, BandanaError> {
+        for &v in ids {
+            if v >= self.num_vectors {
+                return Err(BandanaError::NoSuchVector {
+                    table: self.table_id,
+                    vector: v,
+                    vectors: self.num_vectors,
+                });
+            }
+        }
+
+        let mut out: Vec<Option<Bytes>> = vec![None; ids.len()];
+        // block → positions in `ids` that missed into it (BTreeMap: blocks
+        // are read in ascending order, deterministically).
+        let mut misses: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        for (i, &v) in ids.iter().enumerate() {
+            match self.lookup_cached(v)? {
+                Some(bytes) => out[i] = Some(bytes),
+                None => misses.entry(self.layout.block_of(v)).or_default().push(i),
+            }
+        }
+
+        for (block, positions) in misses {
+            self.metrics.block_reads += 1;
+            let raw = Bytes::from(device.read_block(self.base_block + block as u64)?);
+            let mut requested: Vec<u32> = Vec::with_capacity(positions.len());
+            for &i in &positions {
+                let v = ids[i];
+                self.metrics.misses += 1;
+                let slot = self.layout.slot_of(v) as usize;
+                let payload =
+                    raw.slice(slot * self.vector_bytes..(slot + 1) * self.vector_bytes);
+                if self
+                    .cache
+                    .insert(v as u64, (Origin::Demand, payload.clone()), 0.0)
+                    .is_some()
+                {
+                    self.metrics.evictions += 1;
+                }
+                out[i] = Some(payload);
+                requested.push(v);
+            }
+
+            if self.policy.prefetches() {
+                for (uslot, &u) in self.layout.vectors_in_block(block).iter().enumerate() {
+                    if requested.contains(&u) || self.cache.contains(u as u64) {
+                        continue;
+                    }
+                    let shadow_hit =
+                        self.shadow.as_ref().is_some_and(|s| s.contains(u as u64));
+                    if let Some(pos) = self.policy.admit(self.freq.count(u), shadow_hit) {
+                        self.metrics.prefetches_admitted += 1;
+                        let upayload = raw
+                            .slice(uslot * self.vector_bytes..(uslot + 1) * self.vector_bytes);
+                        if self
+                            .cache
+                            .insert(u as u64, (Origin::Prefetch, upayload), pos)
+                            .is_some()
+                        {
+                            self.metrics.evictions += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out.into_iter().map(|o| o.expect("every position filled")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bandana_trace::{spec::TableSpec, TopicModel};
+    use nvm_sim::{NvmConfig, NvmDevice};
+
+    fn setup(policy: AdmissionPolicy, cache: usize) -> (TableStore, NvmDevice, EmbeddingTable) {
+        let spec = TableSpec::test_small(64);
+        let topics = TopicModel::new(&spec, 1);
+        let emb = EmbeddingTable::synthesize(64, 8, &topics, 2); // 32 B vectors
+        let layout = BlockLayout::identity(64, 4096 / 32);
+        let freq = AccessFrequency::zeros(64);
+        let mut device =
+            NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(layout.num_blocks() as u64));
+        let mut table = TableStore::new(0, layout, freq, policy, cache, 1.5, 0, 32);
+        table.write_embeddings(&mut device, &emb).unwrap();
+        device.reset_counters();
+        (table, device, emb)
+    }
+
+    #[test]
+    fn lookup_returns_correct_bytes() {
+        let (mut table, mut device, emb) = setup(AdmissionPolicy::None, 8);
+        for v in [0u32, 17, 63] {
+            let got = table.lookup(&mut device, v).unwrap();
+            assert_eq!(got.as_ref(), emb.vector_as_bytes(v).as_slice(), "vector {v} corrupted");
+        }
+    }
+
+    #[test]
+    fn hit_skips_device() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::None, 8);
+        table.lookup(&mut device, 5).unwrap();
+        let reads_after_miss = device.counters().reads;
+        table.lookup(&mut device, 5).unwrap();
+        assert_eq!(device.counters().reads, reads_after_miss);
+        assert_eq!(table.metrics().hits, 1);
+    }
+
+    #[test]
+    fn prefetch_serves_neighbours_without_new_reads() {
+        let (mut table, mut device, emb) =
+            setup(AdmissionPolicy::All { position: 0.0 }, 256);
+        table.lookup(&mut device, 0).unwrap(); // block 0 holds vectors 0..128
+        let reads = device.counters().reads;
+        let got = table.lookup(&mut device, 1).unwrap();
+        assert_eq!(device.counters().reads, reads, "prefetched vector should not hit NVM");
+        assert_eq!(got.as_ref(), emb.vector_as_bytes(1).as_slice());
+        assert_eq!(table.metrics().prefetch_hits, 1);
+    }
+
+    #[test]
+    fn out_of_range_vector_rejected() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::None, 8);
+        let err = table.lookup(&mut device, 64).unwrap_err();
+        assert!(matches!(err, BandanaError::NoSuchVector { vector: 64, .. }));
+        // Failed lookups do not contaminate the counters.
+        assert_eq!(table.metrics().lookups, 0);
+    }
+
+    #[test]
+    fn retraining_overwrites_values() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::None, 8);
+        let spec = TableSpec::test_small(64);
+        let topics = TopicModel::new(&spec, 9);
+        let new_emb = EmbeddingTable::synthesize(64, 8, &topics, 99);
+        table.write_embeddings(&mut device, &new_emb).unwrap();
+        // Cache still holds old values until they churn out; read an
+        // uncached vector and check it reflects the new training.
+        let got = table.lookup(&mut device, 40).unwrap();
+        assert_eq!(got.as_ref(), new_emb.vector_as_bytes(40).as_slice());
+        // A full table rewrite recorded endurance writes.
+        assert!(device.endurance().bytes_written() > 0);
+    }
+
+    #[test]
+    fn set_policy_manages_shadow_cache() {
+        let (mut table, _, _) = setup(AdmissionPolicy::None, 8);
+        assert!(table.shadow.is_none());
+        table.set_policy(AdmissionPolicy::Shadow, 1.5);
+        assert!(table.shadow.is_some());
+        table.set_policy(AdmissionPolicy::Threshold { t: 5 }, 1.5);
+        assert!(table.shadow.is_none());
+    }
+
+    #[test]
+    fn batch_returns_same_bytes_as_sequential() {
+        let (mut table, mut device, emb) = setup(AdmissionPolicy::None, 8);
+        let ids = [0u32, 17, 63, 17, 5];
+        let batch = table.lookup_batch(&mut device, &ids).unwrap();
+        for (i, &v) in ids.iter().enumerate() {
+            assert_eq!(batch[i].as_ref(), emb.vector_as_bytes(v).as_slice(), "id {v}");
+        }
+        assert_eq!(table.metrics().lookups, ids.len() as u64);
+    }
+
+    #[test]
+    fn batch_coalesces_same_block_misses() {
+        // Vectors 0..128 share block 0 in the identity layout (32 B
+        // vectors, 4 KB blocks → 128 slots). Sequential lookups with no
+        // prefetch pay one read each; the batch pays one read total.
+        let (mut seq_table, mut seq_device, _) = setup(AdmissionPolicy::None, 8);
+        let (mut batch_table, mut batch_device, _) = setup(AdmissionPolicy::None, 8);
+        let ids = [0u32, 1, 2, 3];
+        for &v in &ids {
+            seq_table.lookup(&mut seq_device, v).unwrap();
+        }
+        batch_table.lookup_batch(&mut batch_device, &ids).unwrap();
+        assert_eq!(seq_device.counters().reads, 4);
+        assert_eq!(batch_device.counters().reads, 1, "batch must coalesce the block");
+        assert_eq!(batch_table.metrics().misses, 4);
+        assert_eq!(batch_table.metrics().block_reads, 1);
+    }
+
+    #[test]
+    fn batch_respects_admission_policy() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::All { position: 0.0 }, 256);
+        table.lookup_batch(&mut device, &[0, 1]).unwrap();
+        // All 64 vectors fit one block (32 B vectors, 128 slots); the 62
+        // non-requested ones are prefetch candidates and admit-all takes
+        // every one.
+        assert_eq!(table.metrics().prefetches_admitted, 62);
+        // Everything now hits.
+        table.lookup_batch(&mut device, &[40, 41]).unwrap();
+        assert_eq!(table.metrics().hits, 2);
+    }
+
+    #[test]
+    fn batch_validates_before_any_io() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::None, 8);
+        let err = table.lookup_batch(&mut device, &[3, 200]).unwrap_err();
+        assert!(matches!(err, BandanaError::NoSuchVector { vector: 200, .. }));
+        assert_eq!(table.metrics().lookups, 0, "failed batch must not move counters");
+        assert_eq!(device.counters().reads, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::None, 8);
+        let out = table.lookup_batch(&mut device, &[]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(table.metrics().lookups, 0);
+    }
+
+    #[test]
+    fn metrics_match_cache_sim_semantics() {
+        // The byte-serving table and the id-only simulator must agree on
+        // counters for the same stream.
+        let (mut table, mut device, _) = setup(AdmissionPolicy::All { position: 0.5 }, 16);
+        let layout = BlockLayout::identity(64, 128);
+        let freq = AccessFrequency::zeros(64);
+        let mut sim = bandana_cache::PrefetchCacheSim::new(
+            &layout,
+            16,
+            AdmissionPolicy::All { position: 0.5 },
+            freq,
+        );
+        let stream: Vec<u32> = (0..200).map(|i| (i * 13) % 64).collect();
+        for &v in &stream {
+            table.lookup(&mut device, v).unwrap();
+            sim.lookup(v);
+        }
+        assert_eq!(table.metrics(), sim.metrics());
+    }
+}

@@ -1,0 +1,150 @@
+//! Write-endurance accounting.
+//!
+//! NVM wears out as a function of total writes: the paper notes that typical
+//! devices tolerate about 30 full drive writes per day, while Facebook's
+//! embedding retraining rewrites the tables 10–20 times a day — safely under
+//! the limit (§2.2). [`EnduranceMeter`] tracks cumulative writes so the
+//! Bandana store can verify that a retraining schedule stays within budget.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks cumulative bytes written against a drive-writes-per-day budget.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::EnduranceMeter;
+///
+/// // A 1 MB device limited to 30 drive writes per day.
+/// let mut meter = EnduranceMeter::new(1 << 20, 30.0);
+/// meter.record_write(1 << 19); // half the device
+/// assert_eq!(meter.drive_writes(), 0.5);
+/// assert!(meter.within_budget(1.0)); // 0.5 DW in one day < 30
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnduranceMeter {
+    capacity_bytes: u64,
+    bytes_written: u64,
+    dwpd_limit: f64,
+}
+
+impl EnduranceMeter {
+    /// Creates a meter for a device of `capacity_bytes` with the given
+    /// drive-writes-per-day limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is zero or the limit is not positive.
+    pub fn new(capacity_bytes: u64, dwpd_limit: f64) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be non-zero");
+        assert!(dwpd_limit > 0.0, "drive-writes-per-day limit must be positive");
+        EnduranceMeter { capacity_bytes, bytes_written: 0, dwpd_limit }
+    }
+
+    /// Records `bytes` written to the device.
+    pub fn record_write(&mut self, bytes: u64) {
+        self.bytes_written = self.bytes_written.saturating_add(bytes);
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Cumulative full drive writes (bytes written / capacity).
+    pub fn drive_writes(&self) -> f64 {
+        self.bytes_written as f64 / self.capacity_bytes as f64
+    }
+
+    /// The configured drive-writes-per-day limit.
+    pub fn dwpd_limit(&self) -> f64 {
+        self.dwpd_limit
+    }
+
+    /// Whether the writes recorded so far, spread over `days` of operation,
+    /// stay within the drive-writes-per-day limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days` is not positive.
+    pub fn within_budget(&self, days: f64) -> bool {
+        assert!(days > 0.0, "days must be positive");
+        self.drive_writes() / days <= self.dwpd_limit
+    }
+
+    /// Drive writes per day given `days` of operation.
+    pub fn dwpd(&self, days: f64) -> f64 {
+        assert!(days > 0.0, "days must be positive");
+        self.drive_writes() / days
+    }
+
+    /// How many retrainings per day a table of `table_bytes` can sustain on
+    /// this device before hitting the endurance limit.
+    ///
+    /// This answers the paper's §2.2 question directly: with 30 DWPD and
+    /// tables rewritten 10–20×/day, is the device safe?
+    pub fn max_retrainings_per_day(&self, table_bytes: u64) -> f64 {
+        if table_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.dwpd_limit * self.capacity_bytes as f64 / table_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drive_writes_accumulate() {
+        let mut m = EnduranceMeter::new(1000, 30.0);
+        m.record_write(500);
+        m.record_write(1500);
+        assert_eq!(m.bytes_written(), 2000);
+        assert!((m.drive_writes() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_check_matches_paper_scenario() {
+        // Device fully rewritten 15 times in one day: paper says this is the
+        // typical retraining rate and is under the 30 DWPD limit.
+        let mut m = EnduranceMeter::new(1 << 30, 30.0);
+        m.record_write(15 * (1u64 << 30));
+        assert!(m.within_budget(1.0));
+        assert!((m.dwpd(1.0) - 15.0).abs() < 1e-9);
+        // 40 rewrites/day would violate it.
+        let mut m2 = EnduranceMeter::new(1 << 30, 30.0);
+        m2.record_write(40 * (1u64 << 30));
+        assert!(!m2.within_budget(1.0));
+    }
+
+    #[test]
+    fn max_retrainings_scales_with_table_size() {
+        let m = EnduranceMeter::new(100 * (1 << 20), 30.0);
+        // A table occupying the whole device: exactly the DWPD limit.
+        assert!((m.max_retrainings_per_day(100 * (1 << 20)) - 30.0).abs() < 1e-9);
+        // A table occupying a tenth of the device: 10x more retrainings.
+        assert!((m.max_retrainings_per_day(10 * (1 << 20)) - 300.0).abs() < 1e-9);
+        assert!(m.max_retrainings_per_day(0).is_infinite());
+    }
+
+    #[test]
+    fn saturating_add_does_not_overflow() {
+        let mut m = EnduranceMeter::new(1, 30.0);
+        m.record_write(u64::MAX);
+        m.record_write(u64::MAX);
+        assert_eq!(m.bytes_written(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        EnduranceMeter::new(0, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "days must be positive")]
+    fn zero_days_rejected() {
+        EnduranceMeter::new(1, 30.0).within_budget(0.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for the NVM simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::NvmDevice`] and the simulation engines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NvmError {
+    /// A block index was outside the device capacity.
+    BlockOutOfRange {
+        /// The requested block index.
+        block: u64,
+        /// Device capacity in blocks.
+        capacity: u64,
+    },
+    /// A write buffer did not match the device block size.
+    BadWriteSize {
+        /// Length of the buffer handed to the device.
+        got: usize,
+        /// The device block size.
+        expected: usize,
+    },
+    /// The device configuration was invalid (zero capacity or block size).
+    InvalidConfig(&'static str),
+    /// The device wore out: cumulative writes exceeded its endurance budget.
+    WornOut {
+        /// Total drive writes performed.
+        drive_writes: f64,
+        /// The configured lifetime budget in drive writes.
+        budget: f64,
+    },
+    /// An operating-system I/O failure from a file-backed device.
+    Io {
+        /// The failing operation (`"read"`, `"write"`, `"create"`, ...).
+        op: &'static str,
+        /// The OS error, stringified ([`std::io::Error`] is not `Clone`).
+        message: String,
+    },
+    /// A fault injected by [`crate::FaultInjector`] for failure testing.
+    InjectedFault {
+        /// The block the faulted operation addressed.
+        block: u64,
+        /// The faulted operation (`"read"` or `"write"`).
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for NvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NvmError::BlockOutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range for device with {capacity} blocks")
+            }
+            NvmError::BadWriteSize { got, expected } => {
+                write!(f, "write buffer of {got} bytes does not match block size {expected}")
+            }
+            NvmError::InvalidConfig(msg) => write!(f, "invalid device configuration: {msg}"),
+            NvmError::WornOut { drive_writes, budget } => write!(
+                f,
+                "device worn out: {drive_writes:.2} drive writes exceeds budget of {budget:.2}"
+            ),
+            NvmError::Io { op, message } => write!(f, "i/o failure during {op}: {message}"),
+            NvmError::InjectedFault { block, op } => {
+                write!(f, "injected {op} fault at block {block}")
+            }
+        }
+    }
+}
+
+impl Error for NvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = NvmError::BlockOutOfRange { block: 9, capacity: 4 };
+        let msg = err.to_string();
+        assert!(msg.contains("block 9"));
+        assert!(msg.contains("4 blocks"));
+
+        let err = NvmError::BadWriteSize { got: 100, expected: 4096 };
+        assert!(err.to_string().contains("4096"));
+
+        let err = NvmError::InvalidConfig("zero capacity");
+        assert!(err.to_string().contains("zero capacity"));
+
+        let err = NvmError::WornOut { drive_writes: 31.0, budget: 30.0 };
+        assert!(err.to_string().contains("worn out"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NvmError>();
+    }
+}

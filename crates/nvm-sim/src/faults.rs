@@ -1,0 +1,286 @@
+//! Fault injection for block devices — failure testing for the layers
+//! above.
+//!
+//! Production NVM fails: reads surface uncorrectable errors, writes fail
+//! past the endurance budget (§2.2 bounds retraining frequency for exactly
+//! this reason), and specific blocks go bad. [`FaultInjector`] wraps any
+//! [`BlockDevice`] and injects these failures deterministically, so tests
+//! can assert that the store (a) propagates errors instead of serving
+//! garbage, (b) keeps serving cached vectors when the device misbehaves,
+//! and (c) refuses writes on a worn-out device.
+//!
+//! # Example
+//!
+//! ```
+//! use nvm_sim::{BlockDevice, FaultInjector, FaultPlan, NvmConfig, NvmDevice};
+//!
+//! let inner = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(8));
+//! let plan = FaultPlan::new(7).with_read_error_rate(1.0);
+//! let mut dev = FaultInjector::new(inner, plan);
+//! assert!(dev.read_block(0).is_err());
+//! assert_eq!(dev.faults_injected(), 1);
+//! ```
+
+use crate::device::{BlockDevice, IoCounters};
+use crate::error::NvmError;
+use std::collections::HashSet;
+
+/// 64-bit mix used to derive per-operation fault decisions from the seed.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// What to inject, and when. Deterministic in the seed: the n-th operation
+/// on a given plan always behaves the same way.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    read_error_rate: f64,
+    write_error_rate: f64,
+    bad_blocks: HashSet<u64>,
+    /// Fail writes once the wrapped device has written this many bytes.
+    wear_out_after_bytes: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (until configured otherwise).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            read_error_rate: 0.0,
+            write_error_rate: 0.0,
+            bad_blocks: HashSet::new(),
+            wear_out_after_bytes: None,
+        }
+    }
+
+    /// Fails this fraction of reads (uniformly, deterministically).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn with_read_error_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1], got {rate}");
+        self.read_error_rate = rate;
+        self
+    }
+
+    /// Fails this fraction of writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn with_write_error_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0,1], got {rate}");
+        self.write_error_rate = rate;
+        self
+    }
+
+    /// Marks a block as bad: every read or write of it fails.
+    pub fn with_bad_block(mut self, block: u64) -> Self {
+        self.bad_blocks.insert(block);
+        self
+    }
+
+    /// Fails all writes after the device has absorbed this many bytes —
+    /// simulates endurance exhaustion ([`NvmError::WornOut`]).
+    pub fn with_wear_out_after_bytes(mut self, bytes: u64) -> Self {
+        self.wear_out_after_bytes = Some(bytes);
+        self
+    }
+}
+
+/// A [`BlockDevice`] wrapper that injects faults per a [`FaultPlan`].
+///
+/// Injected failures do **not** reach the wrapped device, so its I/O
+/// counters reflect only the operations that really happened.
+#[derive(Debug)]
+pub struct FaultInjector<D> {
+    inner: D,
+    plan: FaultPlan,
+    op_counter: u64,
+    faults_injected: u64,
+    bytes_written: u64,
+}
+
+impl<D: BlockDevice> FaultInjector<D> {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        FaultInjector { inner, plan, op_counter: 0, faults_injected: 0, bytes_written: 0 }
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwraps the fault layer.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    /// Deterministic Bernoulli draw for the current operation.
+    fn draw(&mut self, rate: f64) -> bool {
+        self.op_counter += 1;
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let u = mix64(self.plan.seed ^ self.op_counter) as f64 / u64::MAX as f64;
+        u < rate
+    }
+
+    fn check_read(&mut self, block: u64) -> Result<(), NvmError> {
+        if self.plan.bad_blocks.contains(&block) || self.draw(self.plan.read_error_rate) {
+            self.faults_injected += 1;
+            return Err(NvmError::InjectedFault { block, op: "read" });
+        }
+        Ok(())
+    }
+
+    fn check_write(&mut self, block: u64, len: usize) -> Result<(), NvmError> {
+        if let Some(limit) = self.plan.wear_out_after_bytes {
+            if self.bytes_written + len as u64 > limit {
+                self.faults_injected += 1;
+                let capacity = self.inner.capacity_blocks() * self.inner.block_size() as u64;
+                return Err(NvmError::WornOut {
+                    drive_writes: self.bytes_written as f64 / capacity.max(1) as f64,
+                    budget: limit as f64 / capacity.max(1) as f64,
+                });
+            }
+        }
+        if self.plan.bad_blocks.contains(&block) || self.draw(self.plan.write_error_rate) {
+            self.faults_injected += 1;
+            return Err(NvmError::InjectedFault { block, op: "write" });
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultInjector<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.inner.capacity_blocks()
+    }
+
+    fn read_block(&mut self, block: u64) -> Result<Vec<u8>, NvmError> {
+        self.check_read(block)?;
+        self.inner.read_block(block)
+    }
+
+    fn read_block_into(&mut self, block: u64, buf: &mut [u8]) -> Result<(), NvmError> {
+        self.check_read(block)?;
+        self.inner.read_block_into(block, buf)
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), NvmError> {
+        self.check_write(block, data.len())?;
+        self.inner.write_block(block, data)?;
+        self.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.inner.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{NvmConfig, NvmDevice};
+
+    fn small_device() -> NvmDevice {
+        NvmDevice::new(NvmConfig::optane_375gb().with_block_size(256).with_capacity_blocks(16))
+    }
+
+    #[test]
+    fn no_faults_passes_through() {
+        let mut dev = FaultInjector::new(small_device(), FaultPlan::new(1));
+        let block = vec![9u8; 256];
+        dev.write_block(2, &block).expect("write");
+        assert_eq!(dev.read_block(2).expect("read"), block);
+        assert_eq!(dev.faults_injected(), 0);
+        assert_eq!(dev.counters().reads, 1);
+    }
+
+    #[test]
+    fn full_read_error_rate_fails_every_read() {
+        let mut dev =
+            FaultInjector::new(small_device(), FaultPlan::new(2).with_read_error_rate(1.0));
+        for b in 0..4 {
+            assert!(matches!(
+                dev.read_block(b).unwrap_err(),
+                NvmError::InjectedFault { op: "read", .. }
+            ));
+        }
+        assert_eq!(dev.faults_injected(), 4);
+        // Nothing reached the real device.
+        assert_eq!(dev.counters().reads, 0);
+    }
+
+    #[test]
+    fn partial_rate_is_deterministic_and_partial() {
+        let run = || {
+            let mut dev =
+                FaultInjector::new(small_device(), FaultPlan::new(3).with_read_error_rate(0.3));
+            (0..200).map(|b| dev.read_block(b % 16).is_err()).collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault pattern must be deterministic in the seed");
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!((30..=90).contains(&failures), "≈30% of 200 reads should fail, got {failures}");
+    }
+
+    #[test]
+    fn bad_block_always_fails_others_succeed() {
+        let mut dev = FaultInjector::new(small_device(), FaultPlan::new(4).with_bad_block(5));
+        assert!(dev.read_block(5).is_err());
+        assert!(dev.write_block(5, &vec![0u8; 256]).is_err());
+        assert!(dev.read_block(6).is_ok());
+    }
+
+    #[test]
+    fn wear_out_fails_writes_after_budget() {
+        let plan = FaultPlan::new(5).with_wear_out_after_bytes(512); // two blocks
+        let mut dev = FaultInjector::new(small_device(), plan);
+        dev.write_block(0, &vec![1u8; 256]).expect("first write");
+        dev.write_block(1, &vec![1u8; 256]).expect("second write");
+        let err = dev.write_block(2, &vec![1u8; 256]).unwrap_err();
+        assert!(matches!(err, NvmError::WornOut { .. }));
+        // Reads still work on a worn-out device.
+        assert!(dev.read_block(0).is_ok());
+    }
+
+    #[test]
+    fn into_inner_recovers_device() {
+        let mut dev = FaultInjector::new(small_device(), FaultPlan::new(6));
+        dev.write_block(1, &vec![7u8; 256]).expect("write");
+        let mut inner = dev.into_inner();
+        assert_eq!(inner.read_block(1).expect("read")[0], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn bad_rate_rejected() {
+        let _ = FaultPlan::new(0).with_read_error_rate(1.5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Fio-style workload descriptions.
+//!
+//! The paper benchmarks the device with Fio 2.19 (libaio engine, 4 jobs,
+//! varying iodepth, 4 KB random reads). [`FioJob`] captures that
+//! configuration and runs it against the simulator, producing the rows of
+//! Figure 2; sweeping offered load instead reproduces Figure 5's reference
+//! ("100% effective bandwidth") curve.
+
+use crate::queue::QueueModel;
+use crate::sim::{closed_loop_sim, OpenLoopSim, SimReport};
+use serde::{Deserialize, Serialize};
+
+/// A random-read benchmark job, mirroring the Fio configuration in §2.2.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::{FioJob, QueueModel};
+///
+/// let report = FioJob::new(QueueModel::optane())
+///     .queue_depth(8)
+///     .requests(20_000)
+///     .run();
+/// assert!(report.bandwidth_gbps() > 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FioJob {
+    model: QueueModel,
+    queue_depth: u32,
+    requests: u64,
+    seed: u64,
+}
+
+impl FioJob {
+    /// Creates a job against the given device model with defaults matching
+    /// the paper (queue depth 1, 100 k requests).
+    pub fn new(model: QueueModel) -> Self {
+        FioJob { model, queue_depth: 1, requests: 100_000, seed: 0xF10 }
+    }
+
+    /// Sets the I/O queue depth (the paper sweeps 1, 2, 4, 8).
+    pub fn queue_depth(mut self, qd: u32) -> Self {
+        self.queue_depth = qd;
+        self
+    }
+
+    /// Sets the number of requests to simulate.
+    pub fn requests(mut self, n: u64) -> Self {
+        self.requests = n;
+        self
+    }
+
+    /// Sets the RNG seed for reproducibility.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the closed-loop benchmark and returns a report.
+    pub fn run(&self) -> FioReport {
+        let sim = closed_loop_sim(&self.model, self.queue_depth, self.requests, self.seed);
+        FioReport { queue_depth: self.queue_depth, sim }
+    }
+
+    /// Runs an open-loop sweep at the given offered *device* throughputs
+    /// (bytes/s), returning one report per load level. This is the engine
+    /// behind Figure 5.
+    pub fn run_open_loop_sweep(&self, offered_bps: &[f64]) -> Vec<FioReport> {
+        offered_bps
+            .iter()
+            .map(|&bps| {
+                let sim = OpenLoopSim::new(self.model, self.seed).run(bps, self.requests);
+                FioReport { queue_depth: 0, sim }
+            })
+            .collect()
+    }
+}
+
+/// The result of one Fio job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FioReport {
+    /// Queue depth used (0 for open-loop runs).
+    pub queue_depth: u32,
+    /// Raw simulation report.
+    pub sim: SimReport,
+}
+
+impl FioReport {
+    /// Mean latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.sim.mean_latency_s * 1e6
+    }
+
+    /// P99 latency in microseconds.
+    pub fn p99_latency_us(&self) -> f64 {
+        self.sim.p99_latency_s * 1e6
+    }
+
+    /// Achieved bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.sim.bandwidth_bytes_per_sec / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_latency_and_bandwidth_grow_with_qd() {
+        let mut prev_bw = 0.0;
+        let mut prev_lat = 0.0;
+        for qd in [1u32, 2, 4, 8] {
+            let r = FioJob::new(QueueModel::optane()).queue_depth(qd).requests(20_000).run();
+            assert!(r.bandwidth_gbps() >= prev_bw, "bandwidth dropped at qd {qd}");
+            assert!(r.mean_latency_us() + 0.5 >= prev_lat, "latency dropped at qd {qd}");
+            assert!(r.p99_latency_us() > r.mean_latency_us());
+            prev_bw = r.bandwidth_gbps();
+            prev_lat = r.mean_latency_us();
+        }
+        // The sweep should span the paper's range: 0.4 -> 2.3 GB/s.
+        assert!(prev_bw > 2.0, "QD8 bandwidth {prev_bw} GB/s");
+    }
+
+    #[test]
+    fn open_loop_sweep_returns_one_report_per_load() {
+        let model = QueueModel::optane();
+        let loads = [0.2e9, 1.0e9, 2.0e9];
+        let reports =
+            FioJob::new(model).requests(20_000).run_open_loop_sweep(&loads);
+        assert_eq!(reports.len(), 3);
+        assert!(reports[2].mean_latency_us() > reports[0].mean_latency_us());
+    }
+
+    #[test]
+    fn builder_is_chainable_and_deterministic() {
+        let a = FioJob::new(QueueModel::optane()).queue_depth(4).requests(5_000).seed(1).run();
+        let b = FioJob::new(QueueModel::optane()).queue_depth(4).requests(5_000).seed(1).run();
+        assert_eq!(a.mean_latency_us(), b.mean_latency_us());
+    }
+}

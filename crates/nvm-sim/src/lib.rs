@@ -1,0 +1,57 @@
+//! # nvm-sim — a simulated block-addressable NVM device
+//!
+//! The Bandana paper (Eisenman et al., MLSys 2019) evaluates an NVM device in
+//! its block form factor: reads are served at 4 KB granularity, bandwidth
+//! saturates around 2.3 GB/s, and latency grows with queue depth (paper
+//! Figure 2). Production NVM hardware is not available in this environment,
+//! so this crate provides an event-driven simulator calibrated to the
+//! measurements reported in the paper:
+//!
+//! * a [`QueueModel`] mapping queue depth to mean/P99 latency and bandwidth,
+//! * an [`NvmDevice`] that stores real bytes at block granularity and counts
+//!   reads, writes, and wear ([`endurance`]),
+//! * a closed-loop and open-loop [`sim`] engine reproducing Figures 2 and 5,
+//! * a [`fio`]-style random-read workload generator.
+//!
+//! All results in the paper are ratios over counted block reads; the latency
+//! model only rescales those counts into seconds, so the simulator preserves
+//! the paper's conclusions even though the absolute constants are synthetic.
+//!
+//! ## Example
+//!
+//! ```
+//! use nvm_sim::{BlockDevice, NvmConfig, NvmDevice};
+//!
+//! # fn main() -> Result<(), nvm_sim::NvmError> {
+//! let config = NvmConfig::optane_375gb().with_capacity_blocks(1024);
+//! let mut device = NvmDevice::new(config);
+//! device.write_block(7, &vec![0xAB; device.block_size()])?;
+//! let block = device.read_block(7)?;
+//! assert_eq!(block[0], 0xAB);
+//! assert_eq!(device.counters().reads, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod endurance;
+pub mod error;
+pub mod faults;
+pub mod file_device;
+pub mod fio;
+pub mod queue;
+pub mod sim;
+pub mod stats;
+
+pub use device::{BlockDevice, IoCounters, NvmConfig, NvmDevice};
+pub use endurance::EnduranceMeter;
+pub use error::NvmError;
+pub use faults::{FaultInjector, FaultPlan};
+pub use file_device::FileNvmDevice;
+pub use fio::{FioJob, FioReport};
+pub use queue::QueueModel;
+pub use sim::{OpenLoopSim, SimReport};
+pub use stats::{Histogram, OnlineStats};

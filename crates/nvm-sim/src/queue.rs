@@ -1,0 +1,225 @@
+//! Analytic queue model of the NVM device, calibrated to the paper's
+//! Figure 2 measurements (4 KB random reads at queue depths 1–8 on a 375 GB
+//! device).
+//!
+//! The paper reports, for queue depth (QD) 1 through 8:
+//!
+//! | QD | mean latency | P99 latency | bandwidth |
+//! |----|--------------|-------------|-----------|
+//! | 1  | ~10 µs       | ~20 µs      | ~0.4 GB/s |
+//! | 2  | ~11 µs       | ~30 µs      | ~0.75 GB/s|
+//! | 4  | ~13 µs       | ~45 µs      | ~1.25 GB/s|
+//! | 8  | ~14 µs       | ~75 µs      | ~2.3 GB/s |
+//!
+//! Two regimes govern the closed-loop behaviour: below saturation latency is
+//! dominated by a base service time plus a small per-outstanding-request
+//! contention term; at saturation Little's law pins latency to
+//! `qd * block_size / max_bandwidth`.
+
+use serde::{Deserialize, Serialize};
+
+/// Closed-loop latency/bandwidth model for a block NVM device.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::QueueModel;
+///
+/// let model = QueueModel::optane();
+/// let qd8 = model.closed_loop(8);
+/// // Bandwidth saturates near 2.3 GB/s as measured in the paper.
+/// assert!((qd8.bandwidth_bytes_per_sec / 1e9 - 2.3).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueModel {
+    /// Service time of a single 4 KB read with no contention, in seconds.
+    pub base_latency_s: f64,
+    /// Additional mean latency per extra outstanding request, in seconds.
+    pub contention_s: f64,
+    /// Device read bandwidth ceiling in bytes per second.
+    pub max_bandwidth_bps: f64,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// P99/mean latency ratio at queue depth 1.
+    pub tail_base: f64,
+    /// Additional P99/mean ratio per extra outstanding request.
+    pub tail_slope: f64,
+}
+
+/// One point of the closed-loop model: the steady-state behaviour at a fixed
+/// queue depth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopPoint {
+    /// Queue depth that produced this point.
+    pub queue_depth: u32,
+    /// Mean request latency in seconds.
+    pub mean_latency_s: f64,
+    /// 99th-percentile request latency in seconds.
+    pub p99_latency_s: f64,
+    /// Sustained device read bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl QueueModel {
+    /// Model calibrated to the 375 GB device measured in the paper (§2.2).
+    pub fn optane() -> Self {
+        QueueModel {
+            base_latency_s: 10e-6,
+            contention_s: 0.5e-6,
+            max_bandwidth_bps: 2.3e9,
+            block_size: 4096,
+            tail_base: 2.0,
+            tail_slope: 0.45,
+        }
+    }
+
+    /// Mean latency at a given closed-loop queue depth, in seconds.
+    ///
+    /// Takes the max of the contention regime and the Little's-law bound at
+    /// the bandwidth ceiling.
+    pub fn mean_latency(&self, queue_depth: u32) -> f64 {
+        assert!(queue_depth >= 1, "queue depth must be at least 1");
+        let qd = queue_depth as f64;
+        let contended = self.base_latency_s + self.contention_s * (qd - 1.0);
+        let littles = qd * self.block_size as f64 / self.max_bandwidth_bps;
+        contended.max(littles)
+    }
+
+    /// P99 latency at a given closed-loop queue depth, in seconds.
+    pub fn p99_latency(&self, queue_depth: u32) -> f64 {
+        let qd = queue_depth as f64;
+        self.mean_latency(queue_depth) * (self.tail_base + self.tail_slope * (qd - 1.0))
+    }
+
+    /// Sustained bandwidth at a given closed-loop queue depth (Little's law).
+    pub fn bandwidth(&self, queue_depth: u32) -> f64 {
+        let qd = queue_depth as f64;
+        (qd * self.block_size as f64 / self.mean_latency(queue_depth)).min(self.max_bandwidth_bps)
+    }
+
+    /// The full closed-loop operating point at a queue depth.
+    pub fn closed_loop(&self, queue_depth: u32) -> ClosedLoopPoint {
+        ClosedLoopPoint {
+            queue_depth,
+            mean_latency_s: self.mean_latency(queue_depth),
+            p99_latency_s: self.p99_latency(queue_depth),
+            bandwidth_bytes_per_sec: self.bandwidth(queue_depth),
+        }
+    }
+
+    /// Mean latency under *open-loop* (arrival-rate-driven) load, in seconds.
+    ///
+    /// `offered_bps` is the offered device throughput in bytes/second. As
+    /// utilization approaches 1 the queueing term diverges, reproducing the
+    /// latency spike of the paper's Figure 5; beyond saturation the model
+    /// returns an effectively unbounded latency (clamped at `cap` below).
+    pub fn open_loop_mean_latency(&self, offered_bps: f64) -> f64 {
+        assert!(offered_bps >= 0.0, "offered load must be non-negative");
+        let rho = (offered_bps / self.max_bandwidth_bps).min(0.999);
+        // M/D/1-flavoured waiting time: service/2 * rho/(1-rho), plus service.
+        let service = self.base_latency_s;
+        let wait = service / 2.0 * rho / (1.0 - rho);
+        let cap = 100.0 * self.base_latency_s;
+        (service + wait).min(cap)
+    }
+
+    /// P99 latency under open-loop load, in seconds.
+    pub fn open_loop_p99_latency(&self, offered_bps: f64) -> f64 {
+        let rho = (offered_bps / self.max_bandwidth_bps).min(0.999);
+        // Tail amplification grows faster than the mean near saturation.
+        let amplification = self.tail_base + 6.0 * rho * rho;
+        let cap = 400.0 * self.base_latency_s;
+        (self.open_loop_mean_latency(offered_bps) * amplification).min(cap)
+    }
+
+    /// Number of service channels implied by the model: how many requests the
+    /// device can serve concurrently at the bandwidth ceiling.
+    pub fn implied_channels(&self) -> f64 {
+        self.max_bandwidth_bps * self.base_latency_s / self.block_size as f64
+    }
+}
+
+impl Default for QueueModel {
+    fn default() -> Self {
+        QueueModel::optane()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_figure2() {
+        let m = QueueModel::optane();
+        // QD1: ~10 µs, ~0.4 GB/s.
+        let p1 = m.closed_loop(1);
+        assert!((p1.mean_latency_s * 1e6 - 10.0).abs() < 0.5, "{:?}", p1);
+        assert!((p1.bandwidth_bytes_per_sec / 1e9 - 0.41).abs() < 0.05, "{:?}", p1);
+        // QD8: bandwidth saturates near 2.3 GB/s.
+        let p8 = m.closed_loop(8);
+        assert!((p8.bandwidth_bytes_per_sec / 1e9 - 2.3).abs() < 0.05, "{:?}", p8);
+        assert!(p8.mean_latency_s > p1.mean_latency_s);
+        // P99 at QD8 lands in the 60-90 µs band of the figure.
+        assert!(p8.p99_latency_s * 1e6 > 60.0 && p8.p99_latency_s * 1e6 < 90.0, "{:?}", p8);
+    }
+
+    #[test]
+    fn latency_monotone_in_queue_depth() {
+        let m = QueueModel::optane();
+        let mut prev = 0.0;
+        for qd in 1..=64 {
+            let lat = m.mean_latency(qd);
+            assert!(lat >= prev, "latency decreased at qd {qd}");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn bandwidth_monotone_and_bounded() {
+        let m = QueueModel::optane();
+        let mut prev = 0.0;
+        for qd in 1..=64 {
+            let bw = m.bandwidth(qd);
+            assert!(bw + 1e-6 >= prev, "bandwidth decreased at qd {qd}");
+            assert!(bw <= m.max_bandwidth_bps + 1e-6);
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn open_loop_latency_spikes_near_saturation() {
+        let m = QueueModel::optane();
+        let low = m.open_loop_mean_latency(0.1 * m.max_bandwidth_bps);
+        let high = m.open_loop_mean_latency(0.99 * m.max_bandwidth_bps);
+        assert!(high > 3.0 * low, "expected spike: low={low}, high={high}");
+        // Past saturation the latency is clamped, not NaN/negative.
+        let over = m.open_loop_mean_latency(2.0 * m.max_bandwidth_bps);
+        assert!(over.is_finite() && over >= high);
+    }
+
+    #[test]
+    fn p99_exceeds_mean_everywhere() {
+        let m = QueueModel::optane();
+        for qd in 1..=16 {
+            assert!(m.p99_latency(qd) > m.mean_latency(qd));
+        }
+        for frac in [0.1, 0.5, 0.9] {
+            let offered = frac * m.max_bandwidth_bps;
+            assert!(m.open_loop_p99_latency(offered) > m.open_loop_mean_latency(offered));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be at least 1")]
+    fn zero_queue_depth_rejected() {
+        QueueModel::optane().mean_latency(0);
+    }
+
+    #[test]
+    fn implied_channels_reasonable() {
+        // 2.3 GB/s * 10 µs / 4 KB ≈ 5.6 concurrent requests.
+        let c = QueueModel::optane().implied_channels();
+        assert!(c > 4.0 && c < 8.0, "channels {c}");
+    }
+}

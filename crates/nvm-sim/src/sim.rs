@@ -1,0 +1,276 @@
+//! Event-driven simulation of the device under closed- and open-loop load.
+//!
+//! The analytic [`QueueModel`](crate::QueueModel) gives the expected operating
+//! point; this module actually *runs* a request stream through a pipelined
+//! server to produce latency distributions, which is what the paper's Fio
+//! benchmarks do on real hardware (Figures 2 and 5).
+//!
+//! The device is modelled as a pipeline: every request takes at least the
+//! base service time end-to-end, and completions are spaced at least
+//! `block_size / max_bandwidth` apart. This two-parameter model reproduces
+//! both ends of Figure 2 — latency-bound behaviour at queue depth 1 and
+//! bandwidth-bound behaviour at queue depth 8 — and the saturation spike of
+//! Figure 5.
+
+use crate::queue::QueueModel;
+use crate::stats::Histogram;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a simulation run: the latency distribution and achieved
+/// bandwidth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Number of requests completed.
+    pub completed: u64,
+    /// Wall-clock span of the simulation in seconds.
+    pub duration_s: f64,
+    /// Mean request latency in seconds.
+    pub mean_latency_s: f64,
+    /// P99 request latency in seconds.
+    pub p99_latency_s: f64,
+    /// Achieved device bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+/// Ordered-float wrapper so completion times can live in a binary heap.
+#[derive(PartialEq, PartialOrd)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("simulation times are never NaN")
+    }
+}
+
+/// Draws a service time with mean exactly `base_latency`: a deterministic
+/// floor plus an exponential tail that reproduces the P99/mean gap seen on
+/// the real device (P99 ≈ 0.8·base + 4.6·0.2·base ≈ 1.7× the mean).
+fn service_time(model: &QueueModel, rng: &mut ChaCha12Rng) -> f64 {
+    let base = model.base_latency_s;
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    0.8 * base + (-u.ln()) * 0.2 * base
+}
+
+/// Simulates a *closed-loop* workload: `queue_depth` workers each issue a new
+/// request as soon as their previous one completes (Fio with libaio and a
+/// fixed iodepth — the paper's Figure 2 setup).
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::{QueueModel, sim::closed_loop_sim};
+///
+/// let report = closed_loop_sim(&QueueModel::optane(), 8, 20_000, 42);
+/// assert!(report.bandwidth_bytes_per_sec > 2.0e9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `queue_depth` is zero or `requests` is zero.
+pub fn closed_loop_sim(model: &QueueModel, queue_depth: u32, requests: u64, seed: u64) -> SimReport {
+    assert!(queue_depth >= 1, "queue depth must be at least 1");
+    assert!(requests > 0, "must simulate at least one request");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let spacing = model.block_size as f64 / model.max_bandwidth_bps;
+
+    // Heap of (completion time) for outstanding requests; the pipeline cursor
+    // tracks the earliest slot for the next completion.
+    let mut outstanding: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
+    let mut pipe = 0.0f64;
+    let mut hist = Histogram::new();
+    let mut completed = 0u64;
+    let mut last_completion = 0.0f64;
+
+    // `pipe` tracks pipeline slots: completions are spaced at least
+    // `spacing` apart, but a long service time does not stall the pipeline
+    // (the device serves requests concurrently), so throughput saturates at
+    // the bandwidth ceiling while latency keeps its service-time tail.
+    let issue = |start: f64, pipe: &mut f64, rng: &mut ChaCha12Rng, hist: &mut Histogram| {
+        let slot = (*pipe + spacing).max(start);
+        *pipe = slot;
+        let completion = slot.max(start + service_time(model, rng));
+        hist.record(completion - start);
+        Reverse(Time(completion))
+    };
+
+    for _ in 0..queue_depth {
+        let ev = issue(0.0, &mut pipe, &mut rng, &mut hist);
+        outstanding.push(ev);
+    }
+
+    while completed < requests {
+        let Reverse(Time(now)) = outstanding.pop().expect("closed loop always has work");
+        completed += 1;
+        last_completion = now;
+        if completed + (outstanding.len() as u64) < requests {
+            let ev = issue(now, &mut pipe, &mut rng, &mut hist);
+            outstanding.push(ev);
+        }
+    }
+
+    let duration = last_completion.max(f64::MIN_POSITIVE);
+    SimReport {
+        completed,
+        duration_s: duration,
+        mean_latency_s: hist.mean(),
+        p99_latency_s: hist.percentile(99.0),
+        bandwidth_bytes_per_sec: completed as f64 * model.block_size as f64 / duration,
+    }
+}
+
+/// An *open-loop* simulator: requests arrive by a Poisson process at a target
+/// rate regardless of completions (the paper's Figure 5 setup, where latency
+/// is measured as a function of offered application throughput).
+#[derive(Debug)]
+pub struct OpenLoopSim {
+    model: QueueModel,
+    rng: ChaCha12Rng,
+}
+
+impl OpenLoopSim {
+    /// Creates a simulator over the given device model.
+    pub fn new(model: QueueModel, seed: u64) -> Self {
+        OpenLoopSim { model, rng: ChaCha12Rng::seed_from_u64(seed) }
+    }
+
+    /// Runs `requests` block reads arriving at `offered_bps` bytes/second of
+    /// *device* throughput and reports the latency distribution.
+    ///
+    /// Offered loads at or beyond the bandwidth ceiling produce an unbounded
+    /// queue; latencies then grow with the trace length, mirroring the spike
+    /// in Figure 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offered_bps` is not positive or `requests` is zero.
+    pub fn run(&mut self, offered_bps: f64, requests: u64) -> SimReport {
+        assert!(offered_bps > 0.0, "offered load must be positive");
+        assert!(requests > 0, "must simulate at least one request");
+        let arrival_rate = offered_bps / self.model.block_size as f64; // req/s
+        let spacing = self.model.block_size as f64 / self.model.max_bandwidth_bps;
+
+        // Lindley-style recursion over arrivals in order: each request
+        // occupies the next pipeline slot (at least `spacing` after the
+        // previous slot, no earlier than its arrival) and completes no
+        // earlier than one full service time after arriving.
+        let mut hist = Histogram::new();
+        let mut arrival = 0.0f64;
+        let mut pipe = 0.0f64;
+        let mut last_completion = 0.0f64;
+        for _ in 0..requests {
+            let u: f64 = self.rng.gen::<f64>().max(1e-12);
+            arrival += -u.ln() / arrival_rate;
+            let svc = service_time(&self.model, &mut self.rng);
+            let slot = (pipe + spacing).max(arrival);
+            pipe = slot;
+            let completion = slot.max(arrival + svc);
+            last_completion = last_completion.max(completion);
+            hist.record(completion - arrival);
+        }
+
+        let duration = last_completion.max(f64::MIN_POSITIVE);
+        SimReport {
+            completed: requests,
+            duration_s: duration,
+            mean_latency_s: hist.mean(),
+            p99_latency_s: hist.percentile(99.0),
+            bandwidth_bytes_per_sec: requests as f64 * self.model.block_size as f64 / duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_qd1_matches_base_latency() {
+        let m = QueueModel::optane();
+        let r = closed_loop_sim(&m, 1, 20_000, 1);
+        // Mean ≈ base latency (plus small tail mass).
+        assert!(
+            (r.mean_latency_s - m.base_latency_s).abs() / m.base_latency_s < 0.4,
+            "mean {} vs base {}",
+            r.mean_latency_s,
+            m.base_latency_s
+        );
+        assert!(r.p99_latency_s > r.mean_latency_s);
+    }
+
+    #[test]
+    fn closed_loop_bandwidth_scales_with_qd_then_saturates() {
+        let m = QueueModel::optane();
+        let bw1 = closed_loop_sim(&m, 1, 20_000, 2).bandwidth_bytes_per_sec;
+        let bw4 = closed_loop_sim(&m, 4, 20_000, 2).bandwidth_bytes_per_sec;
+        let bw8 = closed_loop_sim(&m, 8, 20_000, 2).bandwidth_bytes_per_sec;
+        let bw16 = closed_loop_sim(&m, 16, 20_000, 2).bandwidth_bytes_per_sec;
+        assert!(bw4 > 2.0 * bw1, "bw1={bw1}, bw4={bw4}");
+        assert!(bw8 > bw4);
+        // Saturation: QD16 adds little over QD8.
+        assert!(bw16 < 1.15 * bw8, "bw8={bw8}, bw16={bw16}");
+        // Ceiling respected within tolerance.
+        assert!(bw16 < 1.02 * m.max_bandwidth_bps);
+        // QD8 reaches the paper's ~2.3 GB/s.
+        assert!(bw8 > 2.0e9, "bw8={bw8}");
+    }
+
+    #[test]
+    fn closed_loop_deterministic_per_seed() {
+        let m = QueueModel::optane();
+        let a = closed_loop_sim(&m, 4, 5_000, 99);
+        let b = closed_loop_sim(&m, 4, 5_000, 99);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        assert_eq!(a.p99_latency_s, b.p99_latency_s);
+    }
+
+    #[test]
+    fn open_loop_latency_spikes_near_saturation() {
+        let m = QueueModel::optane();
+        let low = OpenLoopSim::new(m, 7).run(0.2 * m.max_bandwidth_bps, 30_000);
+        let high = OpenLoopSim::new(m, 7).run(0.98 * m.max_bandwidth_bps, 30_000);
+        assert!(
+            high.mean_latency_s > 1.5 * low.mean_latency_s,
+            "low {} high {}",
+            low.mean_latency_s,
+            high.mean_latency_s
+        );
+        assert!(high.p99_latency_s > high.mean_latency_s);
+    }
+
+    #[test]
+    fn open_loop_achieves_offered_bandwidth_below_saturation() {
+        let m = QueueModel::optane();
+        let offered = 0.5 * m.max_bandwidth_bps;
+        let r = OpenLoopSim::new(m, 3).run(offered, 50_000);
+        assert!(
+            (r.bandwidth_bytes_per_sec - offered).abs() / offered < 0.1,
+            "offered {offered}, achieved {}",
+            r.bandwidth_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn oversaturated_open_loop_is_finite_but_slow() {
+        let m = QueueModel::optane();
+        let r = OpenLoopSim::new(m, 11).run(2.0 * m.max_bandwidth_bps, 10_000);
+        assert!(r.mean_latency_s.is_finite());
+        // Queue grows without bound: mean latency far above base.
+        assert!(r.mean_latency_s > 10.0 * m.base_latency_s);
+        // Device runs at its ceiling.
+        assert!((r.bandwidth_bytes_per_sec - m.max_bandwidth_bps).abs() / m.max_bandwidth_bps < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be at least 1")]
+    fn closed_loop_rejects_zero_qd() {
+        closed_loop_sim(&QueueModel::optane(), 0, 10, 0);
+    }
+}

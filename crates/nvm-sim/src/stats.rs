@@ -1,0 +1,352 @@
+//! Streaming statistics: online mean/variance and a log-bucketed histogram
+//! with percentile queries.
+//!
+//! The simulation engines record per-request latencies into a [`Histogram`]
+//! so that mean and tail (P99) latencies — the quantities plotted in the
+//! paper's Figures 2 and 5 — can be extracted without storing every sample.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style online mean and variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::OnlineStats;
+///
+/// let mut stats = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     stats.record(x);
+/// }
+/// assert_eq!(stats.mean(), 2.0);
+/// assert_eq!(stats.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the samples; `0.0` with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest recorded sample; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two bucket.
+const SUBBUCKETS: usize = 32;
+
+/// A log-linear histogram over non-negative `f64` samples, supporting
+/// approximate percentile queries with bounded relative error (~3%).
+///
+/// Samples are assigned to a power-of-two bucket by exponent and to one of
+/// [`SUBBUCKETS`] linear sub-buckets inside it, mirroring the layout used by
+/// HdrHistogram-style recorders.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for i in 1..=1000 {
+///     h.record(i as f64);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((p50 - 500.0).abs() / 500.0 < 0.05);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// counts[exp][sub] where exp indexes the binary exponent (offset by 64).
+    counts: Vec<u64>,
+    total: u64,
+    stats: OnlineStats,
+}
+
+/// Exponent range: 2^-32 .. 2^96 covers any latency in seconds or nanoseconds.
+const MIN_EXP: i32 = -32;
+const MAX_EXP: i32 = 96;
+const NUM_EXP: usize = (MAX_EXP - MIN_EXP) as usize;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; NUM_EXP * SUBBUCKETS], total: 0, stats: OnlineStats::new() }
+    }
+
+    fn bucket_index(x: f64) -> usize {
+        debug_assert!(x >= 0.0, "histogram samples must be non-negative");
+        if x <= 0.0 {
+            return 0;
+        }
+        let exp = x.log2().floor() as i32;
+        let exp = exp.clamp(MIN_EXP, MAX_EXP - 1);
+        let base = 2f64.powi(exp);
+        let frac = ((x - base) / base * SUBBUCKETS as f64) as usize;
+        let frac = frac.min(SUBBUCKETS - 1);
+        (exp - MIN_EXP) as usize * SUBBUCKETS + frac
+    }
+
+    fn bucket_value(index: usize) -> f64 {
+        let exp = (index / SUBBUCKETS) as i32 + MIN_EXP;
+        let sub = index % SUBBUCKETS;
+        let base = 2f64.powi(exp);
+        // Midpoint of the sub-bucket.
+        base + base * (sub as f64 + 0.5) / SUBBUCKETS as f64
+    }
+
+    /// Records one non-negative sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x` is negative or NaN.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(!x.is_nan(), "histogram samples must not be NaN");
+        self.counts[Self::bucket_index(x)] += 1;
+        self.total += 1;
+        self.stats.record(x);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of the recorded samples (tracked outside the buckets).
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Approximate `p`-th percentile (`0.0 ..= 100.0`) of the samples.
+    ///
+    /// Returns `0.0` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100], got {p}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        self.stats.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.stats.merge(&other.stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin().abs() * 10.0 + 1.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles_bounded_error() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u32 {
+            h.record(i as f64);
+        }
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0] {
+            let expected = p / 100.0 * 10_000.0;
+            let got = h.percentile(p);
+            assert!(
+                (got - expected).abs() / expected < 0.06,
+                "p{p}: expected ~{expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_handles_tiny_and_zero_values() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(1e-9);
+        h.record(5e-6);
+        assert_eq!(h.count(), 3);
+        // Median should be around 1e-9 (the middle sample).
+        let p50 = h.percentile(50.0);
+        assert!(p50 < 1e-6, "p50 {p50} should be tiny");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 1..=500 {
+            a.record(i as f64);
+        }
+        for i in 501..=1000 {
+            b.record(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 1000);
+        let p50 = a.percentile(50.0);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.06, "p50 {p50}");
+    }
+
+    #[test]
+    fn histogram_p0_and_p100() {
+        let mut h = Histogram::new();
+        h.record(10.0);
+        h.record(1000.0);
+        assert!(h.percentile(0.0) > 0.0);
+        assert!(h.percentile(100.0) >= 1000.0 * 0.97);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn histogram_rejects_bad_percentile() {
+        let h = Histogram::new();
+        let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.mean(), 1.5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the NVM simulator.
+
+use nvm_sim::{BlockDevice, Histogram, NvmConfig, NvmDevice, OnlineStats, QueueModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Histogram percentiles are monotone in p and bracket the sample range
+    /// within the bucket resolution.
+    #[test]
+    fn histogram_percentiles_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..500)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut prev = 0.0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v + 1e-12 >= prev, "percentile not monotone at p{p}");
+            prev = v;
+        }
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        // Bucket resolution is ~3%; allow 10% slack.
+        prop_assert!(h.percentile(100.0) <= max * 1.1 + 1e-9);
+    }
+
+    /// Online stats merging is order-independent and matches the direct
+    /// computation.
+    #[test]
+    fn online_stats_merge_equivalence(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..100)
+    ) {
+        let mut whole = OnlineStats::new();
+        for &x in a.iter().chain(&b) {
+            whole.record(x);
+        }
+        let mut sa = OnlineStats::new();
+        let mut sb = OnlineStats::new();
+        for &x in &a { sa.record(x); }
+        for &x in &b { sb.record(x); }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), whole.count());
+        prop_assert!((sa.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((sa.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// Device reads always return the last written content, and counters
+    /// track every operation, under arbitrary write/read interleavings.
+    #[test]
+    fn device_read_your_writes(
+        ops in proptest::collection::vec((0u64..16, 0u8..=255), 1..200)
+    ) {
+        let mut dev = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(16));
+        let mut shadow: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+        let mut writes = 0u64;
+        let mut reads = 0u64;
+        for (block, fill) in ops {
+            if fill % 2 == 0 {
+                let data = vec![fill; dev.block_size()];
+                dev.write_block(block, &data).unwrap();
+                shadow.insert(block, fill);
+                writes += 1;
+            } else {
+                let got = dev.read_block(block).unwrap();
+                let expected = shadow.get(&block).copied().unwrap_or(0);
+                prop_assert!(got.iter().all(|&b| b == expected));
+                reads += 1;
+            }
+        }
+        prop_assert_eq!(dev.counters().writes, writes);
+        prop_assert_eq!(dev.counters().reads, reads);
+        prop_assert_eq!(dev.endurance().bytes_written(), writes * 4096);
+    }
+
+    /// The analytic queue model is self-consistent: bandwidth = qd × block /
+    /// latency (capped), latency monotone, P99 above mean.
+    #[test]
+    fn queue_model_consistency(qd in 1u32..64) {
+        let m = QueueModel::optane();
+        let lat = m.mean_latency(qd);
+        let bw = m.bandwidth(qd);
+        let littles = qd as f64 * m.block_size as f64 / lat;
+        prop_assert!((bw - littles.min(m.max_bandwidth_bps)).abs() / bw < 1e-9);
+        prop_assert!(m.p99_latency(qd) > lat);
+        if qd > 1 {
+            prop_assert!(lat >= m.mean_latency(qd - 1) - 1e-12);
+        }
+    }
+}

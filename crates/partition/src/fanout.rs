@@ -1,0 +1,177 @@
+//! Placement quality metrics: average fanout and the unlimited-cache
+//! effective-bandwidth gain.
+//!
+//! *Fanout* of a query is the number of distinct blocks it touches (paper
+//! equation 3) — the quantity SHP minimizes. The *unlimited-cache gain* is
+//! the metric of the paper's Figures 6, 8 and 9: with a DRAM cache that
+//! never evicts and prefetches whole blocks, the NVM reads exactly one block
+//! per distinct block touched, while the baseline (cache one vector per
+//! read) reads one block per distinct *vector*. The effective-bandwidth
+//! increase is the ratio of the two counts minus one.
+
+use crate::layout::BlockLayout;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Summary of a layout's locality on an evaluation trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FanoutReport {
+    /// Number of queries evaluated.
+    pub queries: u64,
+    /// Mean number of distinct blocks per query.
+    pub average_fanout: f64,
+    /// Distinct vectors accessed across the trace.
+    pub unique_vectors: u64,
+    /// Distinct blocks accessed across the trace.
+    pub unique_blocks: u64,
+}
+
+impl FanoutReport {
+    /// Effective-bandwidth increase over the single-vector baseline with an
+    /// unlimited cache: `unique_vectors / unique_blocks - 1`.
+    ///
+    /// A value of `0.0` means no benefit; `1.0` means the prefetching layout
+    /// reads half as many blocks (a "100% increase" in the paper's axes).
+    pub fn unlimited_cache_gain(&self) -> f64 {
+        if self.unique_blocks == 0 {
+            0.0
+        } else {
+            self.unique_vectors as f64 / self.unique_blocks as f64 - 1.0
+        }
+    }
+}
+
+/// Computes the full fanout report of a layout over a query stream.
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::{fanout_report, BlockLayout};
+///
+/// let layout = BlockLayout::identity(8, 4);
+/// let queries: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![4, 5]];
+/// let report = fanout_report(&layout, queries.iter().map(|q| q.as_slice()));
+/// assert_eq!(report.average_fanout, 1.0); // each query fits one block
+/// assert_eq!(report.unique_vectors, 5);
+/// assert_eq!(report.unique_blocks, 2);
+/// ```
+pub fn fanout_report<'a, I>(layout: &BlockLayout, queries: I) -> FanoutReport
+where
+    I: IntoIterator<Item = &'a [u32]>,
+{
+    let mut total_fanout = 0u64;
+    let mut num_queries = 0u64;
+    let mut seen_vectors: HashSet<u32> = HashSet::new();
+    let mut seen_blocks: HashSet<u32> = HashSet::new();
+    let mut qblocks: HashSet<u32> = HashSet::new();
+    for q in queries {
+        if q.is_empty() {
+            continue;
+        }
+        qblocks.clear();
+        for &v in q {
+            let b = layout.block_of(v);
+            qblocks.insert(b);
+            seen_vectors.insert(v);
+            seen_blocks.insert(b);
+        }
+        total_fanout += qblocks.len() as u64;
+        num_queries += 1;
+    }
+    FanoutReport {
+        queries: num_queries,
+        average_fanout: if num_queries == 0 {
+            0.0
+        } else {
+            total_fanout as f64 / num_queries as f64
+        },
+        unique_vectors: seen_vectors.len() as u64,
+        unique_blocks: seen_blocks.len() as u64,
+    }
+}
+
+/// Mean number of distinct blocks per query under `layout`.
+pub fn average_fanout<'a, I>(layout: &BlockLayout, queries: I) -> f64
+where
+    I: IntoIterator<Item = &'a [u32]>,
+{
+    fanout_report(layout, queries).average_fanout
+}
+
+/// Effective-bandwidth increase with an unlimited cache (Figures 6/8/9).
+pub fn unlimited_cache_gain<'a, I>(layout: &BlockLayout, queries: I) -> f64
+where
+    I: IntoIterator<Item = &'a [u32]>,
+{
+    fanout_report(layout, queries).unlimited_cache_gain()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout_counts_distinct_blocks() {
+        let layout = BlockLayout::identity(16, 4);
+        let queries: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2, 3],  // one block
+            vec![0, 4, 8, 12], // four blocks
+            vec![5, 5, 5],     // duplicates collapse: one block
+        ];
+        let r = fanout_report(&layout, queries.iter().map(|q| q.as_slice()));
+        assert_eq!(r.queries, 3);
+        assert!((r.average_fanout - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_gain_perfect_packing() {
+        // All 8 vectors accessed; layout packs them into 2 blocks of 4.
+        let layout = BlockLayout::identity(8, 4);
+        let queries: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3, 4, 5, 6, 7]];
+        let g = unlimited_cache_gain(&layout, queries.iter().map(|q| q.as_slice()));
+        // 8 unique vectors / 2 blocks - 1 = 3.0 (a "300% increase").
+        assert!((g - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlimited_gain_worst_case_is_zero() {
+        // One accessed vector per block: no benefit over the baseline.
+        let layout = BlockLayout::identity(16, 4);
+        let queries: Vec<Vec<u32>> = vec![vec![0, 4, 8, 12]];
+        let g = unlimited_cache_gain(&layout, queries.iter().map(|q| q.as_slice()));
+        assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_zero() {
+        let layout = BlockLayout::identity(4, 2);
+        let r = fanout_report(&layout, std::iter::empty());
+        assert_eq!(r.queries, 0);
+        assert_eq!(r.average_fanout, 0.0);
+        assert_eq!(r.unlimited_cache_gain(), 0.0);
+    }
+
+    #[test]
+    fn empty_queries_are_skipped() {
+        let layout = BlockLayout::identity(4, 2);
+        let queries: Vec<Vec<u32>> = vec![vec![], vec![1]];
+        let r = fanout_report(&layout, queries.iter().map(|q| q.as_slice()));
+        assert_eq!(r.queries, 1);
+    }
+
+    #[test]
+    fn better_layout_has_higher_gain() {
+        // Only even ids are accessed, in co-accessed pairs (0,8), (2,10), ...
+        // The identity layout leaves each accessed vector alone in its block
+        // (gain 0); a paired order packs each pair into one block (gain 1).
+        let queries: Vec<Vec<u32>> = (0..4u32).map(|i| vec![2 * i, 2 * i + 8]).collect();
+        let identity = BlockLayout::identity(16, 2);
+        let paired_order: Vec<u32> =
+            (0..4u32).flat_map(|i| [2 * i, 2 * i + 8]).chain((0..4u32).flat_map(|i| [2 * i + 1, 2 * i + 9])).collect();
+        let paired = BlockLayout::from_order(paired_order, 2);
+        let gi = unlimited_cache_gain(&identity, queries.iter().map(|q| q.as_slice()));
+        let gp = unlimited_cache_gain(&paired, queries.iter().map(|q| q.as_slice()));
+        assert_eq!(gi, 0.0);
+        assert!((gp - 1.0).abs() < 1e-12); // 8 vectors / 4 blocks - 1
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-vector access frequencies from the SHP training run.
+//!
+//! Paper §4.3.2: while running SHP, Bandana records how many training
+//! queries contained each vector. At serving time, a prefetched vector is
+//! admitted to the DRAM cache only if its training-time count exceeds a
+//! threshold `t` — SHP had enough evidence to place it well. This module is
+//! that statistics collector.
+
+use serde::{Deserialize, Serialize};
+
+/// Access counts per vector id, collected over a training query stream.
+///
+/// Counts are per *query*, not per lookup: duplicate ids within one query
+/// count once, matching "how many queries contained each vector" (§4.3.2).
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::AccessFrequency;
+///
+/// let queries: Vec<Vec<u32>> = vec![vec![0, 1, 1], vec![1, 2]];
+/// let freq = AccessFrequency::from_queries(3, queries.iter().map(|q| q.as_slice()));
+/// assert_eq!(freq.count(0), 1);
+/// assert_eq!(freq.count(1), 2); // the duplicate inside query 0 counts once
+/// assert_eq!(freq.count(2), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessFrequency {
+    counts: Vec<u32>,
+}
+
+impl AccessFrequency {
+    /// Collects query-level access counts for `num_vectors` ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query references an id `>= num_vectors`.
+    pub fn from_queries<'a, I>(num_vectors: u32, queries: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let mut counts = vec![0u32; num_vectors as usize];
+        let mut scratch: Vec<u32> = Vec::new();
+        for q in queries {
+            scratch.clear();
+            scratch.extend_from_slice(q);
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &v in &scratch {
+                counts[v as usize] = counts[v as usize].saturating_add(1);
+            }
+        }
+        AccessFrequency { counts }
+    }
+
+    /// An all-zero frequency table (no training data).
+    pub fn zeros(num_vectors: u32) -> Self {
+        AccessFrequency { counts: vec![0; num_vectors as usize] }
+    }
+
+    /// Training-time query count of vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn count(&self, v: u32) -> u32 {
+        self.counts[v as usize]
+    }
+
+    /// Number of vectors tracked.
+    pub fn num_vectors(&self) -> u32 {
+        self.counts.len() as u32
+    }
+
+    /// Whether vector `v` passes an admission threshold (`count > t`,
+    /// strictly, as in §4.3.2: "accessed > t times during the SHP run").
+    pub fn passes_threshold(&self, v: u32, t: u32) -> bool {
+        self.count(v) > t
+    }
+
+    /// Fraction of vectors whose count exceeds `t` — useful for picking
+    /// candidate thresholds.
+    pub fn fraction_above(&self, t: u32) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().filter(|&&c| c > t).count() as f64 / self.counts.len() as f64
+    }
+
+    /// The raw counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_queries_not_lookups() {
+        let queries: Vec<Vec<u32>> = vec![vec![5, 5, 5, 5], vec![5, 2]];
+        let f = AccessFrequency::from_queries(8, queries.iter().map(|q| q.as_slice()));
+        assert_eq!(f.count(5), 2);
+        assert_eq!(f.count(2), 1);
+        assert_eq!(f.count(0), 0);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        let queries: Vec<Vec<u32>> = vec![vec![0, 1], vec![0, 1], vec![0, 2]];
+        let f = AccessFrequency::from_queries(3, queries.iter().map(|q| q.as_slice()));
+        assert!(f.passes_threshold(0, 2)); // count 3 > 2
+        assert!(!f.passes_threshold(1, 2)); // count 2 is not > 2
+        assert!(f.passes_threshold(1, 1));
+    }
+
+    #[test]
+    fn fraction_above() {
+        let queries: Vec<Vec<u32>> = vec![vec![0, 1], vec![0, 2], vec![0, 3]];
+        let f = AccessFrequency::from_queries(4, queries.iter().map(|q| q.as_slice()));
+        assert!((f.fraction_above(0) - 1.0).abs() < 1e-12); // all counted once+
+        assert!((f.fraction_above(1) - 0.25).abs() < 1e-12); // only vector 0
+        assert_eq!(f.fraction_above(100), 0.0);
+    }
+
+    #[test]
+    fn zeros_and_empty() {
+        let f = AccessFrequency::zeros(4);
+        assert_eq!(f.num_vectors(), 4);
+        assert_eq!(f.count(3), 0);
+        assert!(!f.passes_threshold(3, 0));
+        let empty = AccessFrequency::from_queries(0, std::iter::empty());
+        assert_eq!(empty.fraction_above(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_query_panics() {
+        let queries: Vec<Vec<u32>> = vec![vec![9]];
+        let _ = AccessFrequency::from_queries(3, queries.iter().map(|q| q.as_slice()));
+    }
+}

@@ -1,0 +1,196 @@
+//! Compact CSR hypergraph built from query traces.
+//!
+//! Vertices are embedding-vector ids; each hyperedge is the set of distinct
+//! vectors one query looked up (paper §4.2.2, equation 3). Both directions
+//! are stored in CSR form: edge → vertices for fanout counting, vertex →
+//! edges for move-gain computation during SHP refinement.
+
+use serde::{Deserialize, Serialize};
+
+/// An immutable hypergraph in compressed sparse row form.
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::Hypergraph;
+///
+/// let queries: Vec<Vec<u32>> = vec![vec![0, 1, 1], vec![1, 2]];
+/// let h = Hypergraph::from_queries(3, queries.iter().map(|q| q.as_slice()));
+/// assert_eq!(h.num_edges(), 2);
+/// assert_eq!(h.edge(0), &[0, 1]); // duplicates within a query collapse
+/// assert_eq!(h.edges_of(1).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypergraph {
+    num_vertices: u32,
+    edge_offsets: Vec<usize>,
+    edge_vertices: Vec<u32>,
+    vertex_offsets: Vec<usize>,
+    vertex_edges: Vec<u32>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from per-query id lists.
+    ///
+    /// Duplicate ids within one query are collapsed; queries with fewer than
+    /// two distinct ids produce no edge (they cannot influence placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a query references an id `>= num_vertices`.
+    pub fn from_queries<'a, I>(num_vertices: u32, queries: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u32]>,
+    {
+        let mut edge_offsets = vec![0usize];
+        let mut edge_vertices: Vec<u32> = Vec::new();
+        let mut scratch: Vec<u32> = Vec::new();
+        for q in queries {
+            scratch.clear();
+            scratch.extend_from_slice(q);
+            scratch.sort_unstable();
+            scratch.dedup();
+            if scratch.len() < 2 {
+                continue;
+            }
+            for &v in &scratch {
+                assert!(v < num_vertices, "query references vertex {v} >= {num_vertices}");
+            }
+            edge_vertices.extend_from_slice(&scratch);
+            edge_offsets.push(edge_vertices.len());
+        }
+
+        // Build the transpose (vertex -> edges) by counting sort.
+        let mut degree = vec![0usize; num_vertices as usize];
+        for &v in &edge_vertices {
+            degree[v as usize] += 1;
+        }
+        let mut vertex_offsets = vec![0usize; num_vertices as usize + 1];
+        for i in 0..num_vertices as usize {
+            vertex_offsets[i + 1] = vertex_offsets[i] + degree[i];
+        }
+        let mut cursor = vertex_offsets.clone();
+        let mut vertex_edges = vec![0u32; edge_vertices.len()];
+        for e in 0..edge_offsets.len() - 1 {
+            for &v in &edge_vertices[edge_offsets[e]..edge_offsets[e + 1]] {
+                vertex_edges[cursor[v as usize]] = e as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        Hypergraph { num_vertices, edge_offsets, edge_vertices, vertex_offsets, vertex_edges }
+    }
+
+    /// Number of vertices (the table size, including never-accessed ids).
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of hyperedges (queries with ≥ 2 distinct ids).
+    pub fn num_edges(&self) -> usize {
+        self.edge_offsets.len() - 1
+    }
+
+    /// Total vertex–edge incidences (the pin count).
+    pub fn num_pins(&self) -> usize {
+        self.edge_vertices.len()
+    }
+
+    /// The distinct, sorted vertex ids of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn edge(&self, e: usize) -> &[u32] {
+        &self.edge_vertices[self.edge_offsets[e]..self.edge_offsets[e + 1]]
+    }
+
+    /// The edges incident to vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn edges_of(&self, v: u32) -> &[u32] {
+        &self.vertex_edges[self.vertex_offsets[v as usize]..self.vertex_offsets[v as usize + 1]]
+    }
+
+    /// Degree of vertex `v` (number of queries containing it).
+    pub fn degree(&self, v: u32) -> usize {
+        self.edges_of(v).len()
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_edges()).map(move |e| self.edge(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        let queries: Vec<Vec<u32>> = vec![
+            vec![0, 1, 2],
+            vec![2, 3],
+            vec![4],       // dropped: single vertex
+            vec![1, 1, 1], // dropped: collapses to single vertex
+            vec![0, 3, 3],
+        ];
+        Hypergraph::from_queries(5, queries.iter().map(|q| q.as_slice()))
+    }
+
+    #[test]
+    fn edges_collapse_duplicates_and_drop_singletons() {
+        let h = sample();
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.edge(0), &[0, 1, 2]);
+        assert_eq!(h.edge(1), &[2, 3]);
+        assert_eq!(h.edge(2), &[0, 3]);
+        assert_eq!(h.num_pins(), 7);
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let h = sample();
+        for e in 0..h.num_edges() {
+            for &v in h.edge(e) {
+                assert!(
+                    h.edges_of(v).contains(&(e as u32)),
+                    "edge {e} missing from vertex {v} incidence"
+                );
+            }
+        }
+        let total: usize = (0..h.num_vertices()).map(|v| h.degree(v)).sum();
+        assert_eq!(total, h.num_pins());
+    }
+
+    #[test]
+    fn untouched_vertices_have_zero_degree() {
+        let h = sample();
+        assert_eq!(h.degree(4), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let h = Hypergraph::from_queries(3, std::iter::empty());
+        assert_eq!(h.num_edges(), 0);
+        assert_eq!(h.num_pins(), 0);
+        assert_eq!(h.degree(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2")]
+    fn out_of_range_vertex_rejected() {
+        let queries: Vec<Vec<u32>> = vec![vec![0, 5]];
+        let _ = Hypergraph::from_queries(2, queries.iter().map(|q| q.as_slice()));
+    }
+
+    #[test]
+    fn edges_iterator_matches_indexing() {
+        let h = sample();
+        let collected: Vec<&[u32]> = h.edges().collect();
+        assert_eq!(collected.len(), h.num_edges());
+        assert_eq!(collected[1], h.edge(1));
+    }
+}

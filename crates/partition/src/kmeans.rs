@@ -1,0 +1,303 @@
+//! K-means clustering for semantic partitioning (paper §4.2.1).
+//!
+//! Bandana's unsupervised alternative to SHP: cluster embedding vectors by
+//! Euclidean distance (the paper uses Faiss) and lay out each cluster
+//! contiguously, approximating the column reordering of equation 2. Seeding
+//! uses k-means++ for small `k` and distinct random picks for large `k`
+//! (full D² seeding is quadratic in `k` and the paper's Figure 7a already
+//! shows flat K-means scaling poorly with cluster count).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Lloyd iterations (the paper runs Faiss with 20).
+    pub iterations: u32,
+    /// RNG seed for seeding/tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { k: 16, iterations: 20, seed: 0 }
+    }
+}
+
+/// Result of a K-means run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster id of each point.
+    pub assignments: Vec<u32>,
+    /// Row-major `k × dim` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+    /// Number of clusters actually used (≤ configured `k`).
+    pub k: usize,
+}
+
+/// Runs Lloyd's algorithm over row-major `data` (`n × dim`).
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::{kmeans, KMeansConfig};
+///
+/// // Two well-separated 1-D clusters.
+/// let data = [0.0f32, 0.1, 0.2, 10.0, 10.1, 10.2];
+/// let result = kmeans(&data, 1, &KMeansConfig { k: 2, iterations: 10, seed: 1 });
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[5]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `dim` is zero, `data` is empty or not a multiple of `dim`, or
+/// `k` is zero.
+pub fn kmeans(data: &[f32], dim: usize, config: &KMeansConfig) -> KMeansResult {
+    assert!(dim > 0, "dimension must be non-zero");
+    assert!(!data.is_empty(), "cannot cluster empty data");
+    assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+    assert!(config.k > 0, "k must be non-zero");
+    let n = data.len() / dim;
+    let k = config.k.min(n);
+    let mut rng = ChaCha12Rng::seed_from_u64(config.seed);
+
+    let mut centroids = seed_centroids(data, n, dim, k, &mut rng);
+    let mut assignments = vec![0u32; n];
+    let mut inertia = f64::INFINITY;
+
+    for _ in 0..config.iterations.max(1) {
+        // Assignment step.
+        let mut new_inertia = 0.0f64;
+        for i in 0..n {
+            let p = &data[i * dim..(i + 1) * dim];
+            let (best, d2) = nearest_centroid(p, &centroids, dim, k);
+            assignments[i] = best as u32;
+            new_inertia += d2 as f64;
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for i in 0..n {
+            let c = assignments[i] as usize;
+            counts[c] += 1;
+            for d in 0..dim {
+                sums[c * dim + d] += data[i * dim + d] as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point.
+                let p = rng.gen_range(0..n);
+                centroids[c * dim..(c + 1) * dim]
+                    .copy_from_slice(&data[p * dim..(p + 1) * dim]);
+            } else {
+                for d in 0..dim {
+                    centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+        // Converged when inertia stops improving meaningfully.
+        if (inertia - new_inertia).abs() < 1e-9 * inertia.max(1.0) {
+            inertia = new_inertia;
+            break;
+        }
+        inertia = new_inertia;
+    }
+
+    KMeansResult { assignments, centroids, inertia, k }
+}
+
+/// k-means++ for small k, distinct random picks above the threshold.
+fn seed_centroids(data: &[f32], n: usize, dim: usize, k: usize, rng: &mut ChaCha12Rng) -> Vec<f32> {
+    let mut centroids = vec![0.0f32; k * dim];
+    if k <= 64 {
+        // k-means++: D² sampling.
+        let first = rng.gen_range(0..n);
+        centroids[..dim].copy_from_slice(&data[first * dim..(first + 1) * dim]);
+        let mut d2 = vec![0.0f64; n];
+        for c in 1..k {
+            let mut total = 0.0f64;
+            for i in 0..n {
+                let p = &data[i * dim..(i + 1) * dim];
+                let (_, dist) = nearest_centroid(p, &centroids, dim, c);
+                d2[i] = dist as f64;
+                total += d2[i];
+            }
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen::<f64>() * total;
+                let mut chosen = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    target -= w;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            centroids[c * dim..(c + 1) * dim].copy_from_slice(&data[pick * dim..(pick + 1) * dim]);
+        }
+    } else {
+        // Distinct random seeding (reservoir-free: shuffle a prefix).
+        let mut ids: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            ids.swap(i, j);
+            centroids[i * dim..(i + 1) * dim]
+                .copy_from_slice(&data[ids[i] * dim..(ids[i] + 1) * dim]);
+        }
+    }
+    centroids
+}
+
+fn nearest_centroid(p: &[f32], centroids: &[f32], dim: usize, k: usize) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..k {
+        let mut d = 0.0f32;
+        let cen = &centroids[c * dim..(c + 1) * dim];
+        for (x, y) in p.iter().zip(cen) {
+            let diff = x - y;
+            d += diff * diff;
+            if d >= best_d {
+                break;
+            }
+        }
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Turns cluster assignments into a placement order: vectors sorted by
+/// (cluster, id), so each cluster occupies a contiguous position range.
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::order_from_assignments;
+///
+/// let order = order_from_assignments(&[1, 0, 1, 0]);
+/// assert_eq!(order, vec![1, 3, 0, 2]);
+/// ```
+pub fn order_from_assignments(assignments: &[u32]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..assignments.len() as u32).collect();
+    order.sort_by_key(|&v| (assignments[v as usize], v));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates `groups` Gaussian blobs in `dim` dimensions.
+    fn blobs(groups: usize, per_group: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut data = Vec::with_capacity(groups * per_group * dim);
+        for g in 0..groups {
+            let center = g as f32 * 20.0;
+            for _ in 0..per_group {
+                for _ in 0..dim {
+                    data.push(center + rng.gen::<f32>());
+                }
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let data = blobs(3, 20, 4, 1);
+        let r = kmeans(&data, 4, &KMeansConfig { k: 3, iterations: 20, seed: 2 });
+        assert_eq!(r.k, 3);
+        // All points of a blob share an assignment.
+        for g in 0..3 {
+            let first = r.assignments[g * 20];
+            for i in 0..20 {
+                assert_eq!(r.assignments[g * 20 + i], first, "blob {g} split");
+            }
+        }
+        // Different blobs have different assignments.
+        assert_ne!(r.assignments[0], r.assignments[20]);
+        assert_ne!(r.assignments[20], r.assignments[40]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = blobs(8, 30, 4, 3);
+        let i2 = kmeans(&data, 4, &KMeansConfig { k: 2, iterations: 15, seed: 1 }).inertia;
+        let i8 = kmeans(&data, 4, &KMeansConfig { k: 8, iterations: 15, seed: 1 }).inertia;
+        assert!(i8 < i2, "k=8 inertia {i8} should beat k=2 {i2}");
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let data = [0.0f32, 1.0, 2.0];
+        let r = kmeans(&data, 1, &KMeansConfig { k: 10, iterations: 5, seed: 0 });
+        assert_eq!(r.k, 3);
+        // Each point its own cluster: zero inertia.
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs(4, 25, 3, 5);
+        let a = kmeans(&data, 3, &KMeansConfig { k: 4, iterations: 10, seed: 7 });
+        let b = kmeans(&data, 3, &KMeansConfig { k: 4, iterations: 10, seed: 7 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_k_uses_random_seeding_and_still_works() {
+        let data = blobs(10, 20, 2, 9);
+        let r = kmeans(&data, 2, &KMeansConfig { k: 100, iterations: 5, seed: 4 });
+        assert_eq!(r.k, 100);
+        assert_eq!(r.assignments.len(), 200);
+        assert!(r.assignments.iter().all(|&a| (a as usize) < 100));
+    }
+
+    #[test]
+    fn order_groups_clusters_contiguously() {
+        let assignments = vec![2u32, 0, 1, 0, 2, 1];
+        let order = order_from_assignments(&assignments);
+        assert_eq!(order, vec![1, 3, 2, 5, 0, 4]);
+        // Clusters occupy contiguous ranges.
+        let clusters: Vec<u32> = order.iter().map(|&v| assignments[v as usize]).collect();
+        let mut deduped = clusters.clone();
+        deduped.dedup();
+        assert_eq!(deduped, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cluster empty data")]
+    fn empty_data_rejected() {
+        let _ = kmeans(&[], 2, &KMeansConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn misshaped_data_rejected() {
+        let _ = kmeans(&[1.0, 2.0, 3.0], 2, &KMeansConfig::default());
+    }
+
+    #[test]
+    fn empty_cluster_reseeded() {
+        // 2 identical points, k=2: one cluster will start empty but the run
+        // must still terminate with valid assignments.
+        let data = [5.0f32, 5.0];
+        let r = kmeans(&data, 1, &KMeansConfig { k: 2, iterations: 5, seed: 3 });
+        assert_eq!(r.assignments.len(), 2);
+    }
+}

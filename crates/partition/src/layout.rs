@@ -1,0 +1,218 @@
+//! Block layouts: the bijection between vector ids and physical positions.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// A physical placement of `n` vectors into blocks of `vectors_per_block`.
+///
+/// `position_of[v]` is vector `v`'s physical slot; `vector_at[p]` is the
+/// inverse. Blocks are consecutive position ranges; the final block may be
+/// partially filled.
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::BlockLayout;
+///
+/// let layout = BlockLayout::identity(100, 32);
+/// assert_eq!(layout.num_blocks(), 4);
+/// assert_eq!(layout.block_of(35), 1);
+/// assert_eq!(layout.vectors_in_block(3).len(), 4); // 100 - 3*32
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockLayout {
+    position_of: Vec<u32>,
+    vector_at: Vec<u32>,
+    vectors_per_block: usize,
+}
+
+impl BlockLayout {
+    /// Builds a layout from a placement order (`order[position] = vector`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()` or if
+    /// `vectors_per_block` is zero.
+    pub fn from_order(order: Vec<u32>, vectors_per_block: usize) -> Self {
+        assert!(vectors_per_block > 0, "vectors per block must be non-zero");
+        let n = order.len();
+        let mut position_of = vec![u32::MAX; n];
+        for (pos, &v) in order.iter().enumerate() {
+            assert!((v as usize) < n, "order contains out-of-range id {v}");
+            assert!(position_of[v as usize] == u32::MAX, "order repeats id {v}");
+            position_of[v as usize] = pos as u32;
+        }
+        BlockLayout { position_of, vector_at: order, vectors_per_block }
+    }
+
+    /// The identity layout: vector `v` at position `v` (the "original table
+    /// order" baseline in the paper's Figure 10).
+    pub fn identity(n: u32, vectors_per_block: usize) -> Self {
+        Self::from_order((0..n).collect(), vectors_per_block)
+    }
+
+    /// A seeded random layout (a placement with no locality at all).
+    pub fn random(n: u32, vectors_per_block: usize, seed: u64) -> Self {
+        let mut order: Vec<u32> = (0..n).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        Self::from_order(order, vectors_per_block)
+    }
+
+    /// Number of vectors placed.
+    pub fn num_vectors(&self) -> u32 {
+        self.vector_at.len() as u32
+    }
+
+    /// Vectors per (full) block.
+    pub fn vectors_per_block(&self) -> usize {
+        self.vectors_per_block
+    }
+
+    /// Number of blocks, including a possibly partial last block.
+    pub fn num_blocks(&self) -> u32 {
+        (self.vector_at.len().div_ceil(self.vectors_per_block)) as u32
+    }
+
+    /// Physical position of a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn position_of(&self, v: u32) -> u32 {
+        self.position_of[v as usize]
+    }
+
+    /// Block index of a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn block_of(&self, v: u32) -> u32 {
+        self.position_of(v) / self.vectors_per_block as u32
+    }
+
+    /// Slot of a vector within its block.
+    pub fn slot_of(&self, v: u32) -> u32 {
+        self.position_of(v) % self.vectors_per_block as u32
+    }
+
+    /// Vector at a physical position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn vector_at(&self, pos: u32) -> u32 {
+        self.vector_at[pos as usize]
+    }
+
+    /// The vectors stored in block `b`, in slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn vectors_in_block(&self, b: u32) -> &[u32] {
+        let start = b as usize * self.vectors_per_block;
+        let end = (start + self.vectors_per_block).min(self.vector_at.len());
+        assert!(start < self.vector_at.len(), "block {b} out of range");
+        &self.vector_at[start..end]
+    }
+
+    /// The full placement order (`order[position] = vector`).
+    pub fn order(&self) -> &[u32] {
+        &self.vector_at
+    }
+
+    /// Re-chunks the same ordering into a different block size (used by the
+    /// Figure 16 vector-size sweep, where smaller vectors mean more vectors
+    /// per 4 KB block).
+    pub fn with_vectors_per_block(&self, vectors_per_block: usize) -> Self {
+        Self::from_order(self.vector_at.clone(), vectors_per_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_order_round_trips() {
+        let layout = BlockLayout::from_order(vec![2, 0, 1], 2);
+        assert_eq!(layout.position_of(2), 0);
+        assert_eq!(layout.position_of(0), 1);
+        assert_eq!(layout.position_of(1), 2);
+        assert_eq!(layout.vector_at(0), 2);
+        assert_eq!(layout.num_blocks(), 2);
+        assert_eq!(layout.vectors_in_block(0), &[2, 0]);
+        assert_eq!(layout.vectors_in_block(1), &[1]);
+    }
+
+    #[test]
+    fn identity_layout() {
+        let l = BlockLayout::identity(64, 32);
+        for v in 0..64 {
+            assert_eq!(l.position_of(v), v);
+            assert_eq!(l.block_of(v), v / 32);
+            assert_eq!(l.slot_of(v), v % 32);
+        }
+    }
+
+    #[test]
+    fn random_layout_is_permutation_and_seeded() {
+        let a = BlockLayout::random(100, 8, 1);
+        let b = BlockLayout::random(100, 8, 1);
+        let c = BlockLayout::random(100, 8, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut seen = a.order().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rechunking_preserves_order() {
+        let a = BlockLayout::random(128, 32, 3);
+        let b = a.with_vectors_per_block(64);
+        assert_eq!(a.order(), b.order());
+        assert_eq!(b.num_blocks(), 2);
+        // A 64-wide block contains both 32-wide blocks it covers.
+        let wide: std::collections::HashSet<u32> =
+            b.vectors_in_block(0).iter().copied().collect();
+        for &v in a.vectors_in_block(0) {
+            assert!(wide.contains(&v));
+        }
+        for &v in a.vectors_in_block(1) {
+            assert!(wide.contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order repeats id")]
+    fn duplicate_order_rejected() {
+        let _ = BlockLayout::from_order(vec![0, 0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range id")]
+    fn out_of_range_order_rejected() {
+        let _ = BlockLayout::from_order(vec![0, 3], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vectors per block must be non-zero")]
+    fn zero_block_size_rejected() {
+        let _ = BlockLayout::from_order(vec![0], 0);
+    }
+
+    #[test]
+    fn partial_last_block_counted() {
+        let l = BlockLayout::identity(33, 32);
+        assert_eq!(l.num_blocks(), 2);
+        assert_eq!(l.vectors_in_block(1), &[32]);
+    }
+}

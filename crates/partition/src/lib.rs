@@ -1,0 +1,51 @@
+//! # bandana-partition — locality-aware embedding placement
+//!
+//! The core idea of Bandana (§4.2 of the paper): store embedding vectors
+//! that are accessed together in the same physical 4 KB NVM block, so one
+//! block read prefetches useful neighbours. Two placement strategies are
+//! evaluated:
+//!
+//! * **Supervised** — [`shp`]: the Social Hash Partitioner, a recursive
+//!   balanced bisection of the access hypergraph (vertices = vectors,
+//!   hyperedges = queries) that minimizes average query *fanout* — the
+//!   number of blocks a query touches (Kabiljo et al., VLDB 2017).
+//! * **Semantic** — [`kmeans`]: K-means over the embedding values
+//!   themselves, hoping Euclidean proximity predicts co-access, plus the
+//!   [`recursive`] two-stage variant that scales to many clusters.
+//!
+//! Both produce a [`BlockLayout`]: a bijection between vector ids and
+//! physical positions, grouped into fixed-size blocks.
+//!
+//! ## Example
+//!
+//! ```
+//! use bandana_partition::{BlockLayout, ShpConfig, social_hash_partition};
+//!
+//! // Queries over 8 vectors: {0,1} and {2,3} co-occur.
+//! let queries: Vec<Vec<u32>> = vec![vec![0, 1], vec![2, 3], vec![0, 1], vec![2, 3]];
+//! let config = ShpConfig { block_capacity: 2, iterations: 8, seed: 1, parallel_depth: 0 };
+//! let order = social_hash_partition(8, queries.iter().map(|q| q.as_slice()), &config);
+//! let layout = BlockLayout::from_order(order, 2);
+//! // Co-accessed pairs end up in the same block.
+//! assert_eq!(layout.block_of(0), layout.block_of(1));
+//! assert_eq!(layout.block_of(2), layout.block_of(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fanout;
+pub mod freq;
+pub mod hypergraph;
+pub mod kmeans;
+pub mod layout;
+pub mod recursive;
+pub mod shp;
+
+pub use fanout::{average_fanout, fanout_report, unlimited_cache_gain, FanoutReport};
+pub use freq::AccessFrequency;
+pub use hypergraph::Hypergraph;
+pub use kmeans::{kmeans, order_from_assignments, KMeansConfig, KMeansResult};
+pub use layout::BlockLayout;
+pub use recursive::{two_stage_kmeans, TwoStageConfig};
+pub use shp::{social_hash_partition, ShpConfig};

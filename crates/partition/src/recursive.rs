@@ -1,0 +1,169 @@
+//! Two-stage (recursive) K-means, paper §4.2.1.
+//!
+//! Flat K-means runtime explodes with the number of clusters (Figure 7a), so
+//! Bandana approximates it by clustering into a small number of first-stage
+//! clusters (256 in the paper) and recursively sub-clustering each one.
+//! Figure 8 shows this matches flat K-means' effective bandwidth while
+//! Figure 7b shows the runtime stays nearly flat in the total sub-cluster
+//! count.
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`two_stage_kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoStageConfig {
+    /// First-stage cluster count (paper: 256).
+    pub first_stage_k: usize,
+    /// Total sub-clusters across the whole table (Figure 8 sweeps
+    /// 256–65 536). Sub-cluster counts per first-stage cluster are allocated
+    /// proportionally to cluster size.
+    pub total_subclusters: usize,
+    /// Lloyd iterations for both stages.
+    pub iterations: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwoStageConfig {
+    fn default() -> Self {
+        TwoStageConfig { first_stage_k: 256, total_subclusters: 8192, iterations: 20, seed: 0 }
+    }
+}
+
+/// Runs two-stage K-means over row-major `data` and returns the placement
+/// order (`order[position] = vector id`) with sub-clusters contiguous.
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::{two_stage_kmeans, TwoStageConfig};
+///
+/// let data: Vec<f32> = (0..64).map(|i| (i / 8) as f32 * 10.0).collect();
+/// let cfg = TwoStageConfig { first_stage_k: 4, total_subclusters: 8, iterations: 10, seed: 1 };
+/// let order = two_stage_kmeans(&data, 1, &cfg);
+/// let mut sorted = order.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..64).collect::<Vec<u32>>());
+/// ```
+///
+/// # Panics
+///
+/// Panics on empty/misshaped data or zero cluster counts (see [`kmeans`]).
+pub fn two_stage_kmeans(data: &[f32], dim: usize, config: &TwoStageConfig) -> Vec<u32> {
+    assert!(config.total_subclusters > 0, "total subclusters must be non-zero");
+    assert!(config.first_stage_k > 0, "first-stage k must be non-zero");
+    let n = data.len() / dim;
+
+    let first = kmeans(
+        data,
+        dim,
+        &KMeansConfig { k: config.first_stage_k, iterations: config.iterations, seed: config.seed },
+    );
+
+    // Group point ids by first-stage cluster.
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); first.k];
+    for (i, &c) in first.assignments.iter().enumerate() {
+        clusters[c as usize].push(i as u32);
+    }
+
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    for (ci, members) in clusters.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        // Proportional sub-cluster budget, at least 1.
+        let sub_k = ((members.len() * config.total_subclusters) / n).max(1);
+        if sub_k <= 1 || members.len() <= 2 {
+            order.extend_from_slice(members);
+            continue;
+        }
+        // Gather this cluster's rows and sub-cluster them.
+        let mut sub_data = Vec::with_capacity(members.len() * dim);
+        for &v in members {
+            sub_data.extend_from_slice(&data[v as usize * dim..(v as usize + 1) * dim]);
+        }
+        let sub = kmeans(
+            &sub_data,
+            dim,
+            &KMeansConfig {
+                k: sub_k,
+                iterations: config.iterations,
+                seed: config.seed.wrapping_add(ci as u64 + 1),
+            },
+        );
+        // Emit members sorted by (sub-cluster, id).
+        let mut local: Vec<u32> = (0..members.len() as u32).collect();
+        local.sort_by_key(|&i| (sub.assignments[i as usize], members[i as usize]));
+        order.extend(local.iter().map(|&i| members[i as usize]));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(groups: usize, per_group: usize) -> Vec<f32> {
+        (0..groups)
+            .flat_map(|g| {
+                (0..per_group).map(move |i| g as f32 * 100.0 + (i % 7) as f32 * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn output_is_permutation() {
+        let data = blob_data(4, 32);
+        let cfg = TwoStageConfig { first_stage_k: 4, total_subclusters: 16, iterations: 8, seed: 2 };
+        let order = two_stage_kmeans(&data, 1, &cfg);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..128).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn first_stage_blobs_stay_contiguous() {
+        let data = blob_data(4, 32);
+        let cfg = TwoStageConfig { first_stage_k: 4, total_subclusters: 16, iterations: 10, seed: 3 };
+        let order = two_stage_kmeans(&data, 1, &cfg);
+        // Each blob's members occupy one contiguous range of the order.
+        for g in 0..4u32 {
+            let positions: Vec<usize> = order
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v / 32 == g)
+                .map(|(p, _)| p)
+                .collect();
+            let min = *positions.iter().min().unwrap();
+            let max = *positions.iter().max().unwrap();
+            assert_eq!(max - min + 1, positions.len(), "blob {g} fragmented");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blob_data(3, 20);
+        let cfg = TwoStageConfig { first_stage_k: 3, total_subclusters: 9, iterations: 5, seed: 5 };
+        assert_eq!(two_stage_kmeans(&data, 1, &cfg), two_stage_kmeans(&data, 1, &cfg));
+    }
+
+    #[test]
+    fn single_subcluster_degenerates_to_first_stage() {
+        let data = blob_data(2, 16);
+        let cfg = TwoStageConfig { first_stage_k: 2, total_subclusters: 1, iterations: 5, seed: 1 };
+        let order = two_stage_kmeans(&data, 1, &cfg);
+        assert_eq!(order.len(), 32);
+    }
+
+    #[test]
+    fn handles_more_subclusters_than_points() {
+        let data = blob_data(2, 4);
+        let cfg =
+            TwoStageConfig { first_stage_k: 2, total_subclusters: 100, iterations: 5, seed: 1 };
+        let order = two_stage_kmeans(&data, 1, &cfg);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,517 @@
+//! Social Hash Partitioner: supervised placement from access history.
+//!
+//! Implements the recursive balanced-bisection hypergraph partitioner of
+//! Kabiljo et al. (VLDB 2017) that Bandana uses to place embedding vectors
+//! into NVM blocks (§4.2.2). The objective is to minimize the average query
+//! *fanout* — the number of blocks a query must read (paper equation 3):
+//!
+//! ```text
+//! min_p (1/n) Σ_j Σ_i intersect(Q_j, D_i)
+//! ```
+//!
+//! Each bisection splits the vertex set into two balanced halves and then
+//! runs a fixed number of refinement iterations (the paper uses 16): every
+//! iteration computes, for each vertex, the fanout *gain* of moving it to
+//! the other side, and greedily swaps the highest-gain pairs so balance is
+//! preserved. Recursion proceeds until sets fit into one block.
+//!
+//! Unlike the distributed original, this implementation is in-process, but
+//! it parallelizes disjoint sub-bisections across threads (the paper runs
+//! SHP with 24 threads).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`social_hash_partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShpConfig {
+    /// Vectors per block (32 in the paper: 4 KB block / 128 B vector).
+    pub block_capacity: usize,
+    /// Refinement iterations per bisection (paper: 16).
+    pub iterations: u32,
+    /// Seed for the initial balanced split.
+    pub seed: u64,
+    /// Recursion depth down to which the two halves are processed on
+    /// separate threads; `0` disables parallelism.
+    pub parallel_depth: u32,
+}
+
+impl Default for ShpConfig {
+    fn default() -> Self {
+        ShpConfig { block_capacity: 32, iterations: 16, seed: 0, parallel_depth: 3 }
+    }
+}
+
+/// One sub-problem of the recursion: a vertex subset with the edges
+/// restricted to it, in local index space.
+struct Sub {
+    /// Global vertex ids, indexed by local id.
+    verts: Vec<u32>,
+    /// CSR edge offsets.
+    edge_off: Vec<usize>,
+    /// CSR edge members (local ids).
+    edge_mem: Vec<u32>,
+}
+
+impl Sub {
+    fn num_edges(&self) -> usize {
+        self.edge_off.len() - 1
+    }
+}
+
+/// Partitions `num_vertices` vectors into an ordering whose consecutive
+/// `block_capacity`-sized groups minimize average query fanout.
+///
+/// `queries` is the training access history: each item is the id list of one
+/// query (duplicates allowed; they are collapsed).
+///
+/// Returns the placement order: `order[position] = vector id`. Every id in
+/// `0..num_vertices` appears exactly once.
+///
+/// # Example
+///
+/// ```
+/// use bandana_partition::{social_hash_partition, ShpConfig};
+///
+/// let queries: Vec<Vec<u32>> = (0..50)
+///     .flat_map(|_| vec![vec![0u32, 1, 2, 3], vec![4, 5, 6, 7]])
+///     .collect();
+/// let cfg = ShpConfig { block_capacity: 4, iterations: 8, seed: 0, parallel_depth: 0 };
+/// let order = social_hash_partition(8, queries.iter().map(|q| q.as_slice()), &cfg);
+/// let pos: Vec<usize> = (0..8u32).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+/// // {0,1,2,3} land in one block of 4 and {4,5,6,7} in the other.
+/// assert_eq!(pos[0] / 4, pos[1] / 4);
+/// assert_eq!(pos[4] / 4, pos[5] / 4);
+/// assert_ne!(pos[0] / 4, pos[4] / 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_vertices` is zero, the block capacity is zero, or a query
+/// references an out-of-range id.
+pub fn social_hash_partition<'a, I>(num_vertices: u32, queries: I, config: &ShpConfig) -> Vec<u32>
+where
+    I: IntoIterator<Item = &'a [u32]>,
+{
+    assert!(num_vertices > 0, "cannot partition zero vertices");
+    assert!(config.block_capacity > 0, "block capacity must be non-zero");
+
+    // Build the top-level sub-problem directly in local space (local == global).
+    let mut edge_off = vec![0usize];
+    let mut edge_mem: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    for q in queries {
+        scratch.clear();
+        scratch.extend_from_slice(q);
+        scratch.sort_unstable();
+        scratch.dedup();
+        if scratch.len() < 2 {
+            continue;
+        }
+        assert!(
+            *scratch.last().unwrap() < num_vertices,
+            "query references vertex {} >= {num_vertices}",
+            scratch.last().unwrap()
+        );
+        edge_mem.extend_from_slice(&scratch);
+        edge_off.push(edge_mem.len());
+    }
+    let sub = Sub { verts: (0..num_vertices).collect(), edge_off, edge_mem };
+
+    let mut out = vec![0u32; num_vertices as usize];
+    bisect(sub, &mut out, config, 0, config.seed);
+    out
+}
+
+/// Recursively bisects `sub`, writing the final vertex order into `out`.
+fn bisect(sub: Sub, out: &mut [u32], cfg: &ShpConfig, depth: u32, salt: u64) {
+    let n = sub.verts.len();
+    debug_assert_eq!(n, out.len());
+    if n <= cfg.block_capacity {
+        out.copy_from_slice(&sub.verts);
+        return;
+    }
+
+    // Left side gets a whole number of blocks so only the final block of the
+    // table can be partially filled.
+    let cap = cfg.block_capacity;
+    let num_blocks = n.div_ceil(cap);
+    let left_blocks = num_blocks.div_ceil(2);
+    let left = (left_blocks * cap).min(n - 1);
+
+    // Initial balanced split: a seeded shuffle of local ids.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(salt ^ 0xB15E_C710);
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    // side[v] = true when v is on the left (side A).
+    let mut side = vec![false; n];
+    for &v in &order[..left] {
+        side[v as usize] = true;
+    }
+
+    refine(&sub, &mut side, left, cfg.iterations, salt);
+
+    // Split vertices and edges by side, preserving relative order.
+    let mut left_verts = Vec::with_capacity(left);
+    let mut right_verts = Vec::with_capacity(n - left);
+    // new_local[v] = index within its side.
+    let mut new_local = vec![0u32; n];
+    for (v, &s) in side.iter().enumerate() {
+        if s {
+            new_local[v] = left_verts.len() as u32;
+            left_verts.push(sub.verts[v]);
+        } else {
+            new_local[v] = right_verts.len() as u32;
+            right_verts.push(sub.verts[v]);
+        }
+    }
+
+    let mut l_off = vec![0usize];
+    let mut l_mem: Vec<u32> = Vec::new();
+    let mut r_off = vec![0usize];
+    let mut r_mem: Vec<u32> = Vec::new();
+    for e in 0..sub.num_edges() {
+        let members = &sub.edge_mem[sub.edge_off[e]..sub.edge_off[e + 1]];
+        let la = l_mem.len();
+        let ra = r_mem.len();
+        for &v in members {
+            if side[v as usize] {
+                l_mem.push(new_local[v as usize]);
+            } else {
+                r_mem.push(new_local[v as usize]);
+            }
+        }
+        // Keep only sub-edges that can still influence placement.
+        if l_mem.len() - la >= 2 {
+            l_off.push(l_mem.len());
+        } else {
+            l_mem.truncate(la);
+        }
+        if r_mem.len() - ra >= 2 {
+            r_off.push(r_mem.len());
+        } else {
+            r_mem.truncate(ra);
+        }
+    }
+
+    let left_sub = Sub { verts: left_verts, edge_off: l_off, edge_mem: l_mem };
+    let right_sub = Sub { verts: right_verts, edge_off: r_off, edge_mem: r_mem };
+    let (out_l, out_r) = out.split_at_mut(left);
+
+    if depth < cfg.parallel_depth {
+        std::thread::scope(|s| {
+            s.spawn(|| bisect(left_sub, out_l, cfg, depth + 1, splitmix(salt, 1)));
+            bisect(right_sub, out_r, cfg, depth + 1, splitmix(salt, 2));
+        });
+    } else {
+        bisect(left_sub, out_l, cfg, depth + 1, splitmix(salt, 1));
+        bisect(right_sub, out_r, cfg, depth + 1, splitmix(salt, 2));
+    }
+}
+
+/// Gain-driven pairwise-swap refinement, preserving the A-side size exactly.
+///
+/// The move gain combines the discrete fanout gain (paper equation 3) with a
+/// *pair-togetherness* surrogate — the change in the number of co-located
+/// edge pairs — which provides gradient on the plateaus where the discrete
+/// gain is zero (e.g. an edge split exactly in half). A small seeded jitter
+/// stands in for the original SHP's probabilistic swap acceptance, breaking
+/// symmetric ties differently in each iteration so the refinement cannot
+/// oscillate forever between equivalent configurations.
+fn refine(sub: &Sub, side: &mut [bool], left_size: usize, iterations: u32, salt: u64) {
+    let n = side.len();
+    if sub.num_edges() == 0 {
+        return;
+    }
+    // Local vertex -> incident edges CSR, built once per bisection.
+    let mut degree = vec![0u32; n];
+    for &v in &sub.edge_mem {
+        degree[v as usize] += 1;
+    }
+    let mut v_off = vec![0usize; n + 1];
+    for i in 0..n {
+        v_off[i + 1] = v_off[i] + degree[i] as usize;
+    }
+    let mut cursor = v_off.clone();
+    let mut v_edges = vec![0u32; sub.edge_mem.len()];
+    for e in 0..sub.num_edges() {
+        for &v in &sub.edge_mem[sub.edge_off[e]..sub.edge_off[e + 1]] {
+            v_edges[cursor[v as usize]] = e as u32;
+            cursor[v as usize] += 1;
+        }
+    }
+
+    // Gain scaling: fanout gains dominate, pair gains order within a fanout
+    // tier, jitter (0..JITTER, priority only) breaks exact ties.
+    const FANOUT_UNIT: i64 = 1 << 40;
+    const PAIR_UNIT: i64 = 1 << 10;
+    const JITTER: u64 = 1 << 10;
+
+    // Live per-edge side counts, maintained incrementally.
+    let mut a_count = vec![0u32; sub.num_edges()];
+    let mut b_count = vec![0u32; sub.num_edges()];
+    for e in 0..sub.num_edges() {
+        for &v in &sub.edge_mem[sub.edge_off[e]..sub.edge_off[e + 1]] {
+            if side[v as usize] {
+                a_count[e] += 1;
+            } else {
+                b_count[e] += 1;
+            }
+        }
+    }
+    let mut a_size = side.iter().filter(|&&s| s).count();
+
+    // Gain of moving v to the other side, against the live counts.
+    //
+    // Fanout term: each edge where v is its side's sole member stops
+    // spanning that side (+1); each edge with no member on the target side
+    // starts spanning it (-1).
+    //
+    // Pair term: co-located edge pairs change by (other - own + 1) when v
+    // moves from a side with `own` members (including v) to one with
+    // `other` — this supplies gradient on the plateaus where the discrete
+    // fanout gain is zero (e.g. an edge split exactly in half).
+    let live_gain = |v: usize, side: &[bool], a_count: &[u32], b_count: &[u32]| -> i64 {
+        let mut fan = 0i64;
+        let mut pair = 0i64;
+        for &e in &v_edges[v_off[v]..v_off[v + 1]] {
+            let (own, other) = if side[v] {
+                (a_count[e as usize], b_count[e as usize])
+            } else {
+                (b_count[e as usize], a_count[e as usize])
+            };
+            if own == 1 {
+                fan += 1;
+            }
+            if other == 0 {
+                fan -= 1;
+            }
+            pair += other as i64 - own as i64 + 1;
+        }
+        fan * FANOUT_UNIT + pair * PAIR_UNIT
+    };
+
+    let apply = |v: usize, side: &mut [bool], a_count: &mut [u32], b_count: &mut [u32]| {
+        let was_a = side[v];
+        for &e in &v_edges[v_off[v]..v_off[v + 1]] {
+            if was_a {
+                a_count[e as usize] -= 1;
+                b_count[e as usize] += 1;
+            } else {
+                b_count[e as usize] -= 1;
+                a_count[e as usize] += 1;
+            }
+        }
+        side[v] = !was_a;
+    };
+
+    // FM-style refinement: single moves validated against live counts, with
+    // a bounded balance slack. Every applied move strictly increases the
+    // surrogate objective, so a sweep cannot oscillate. Sweeps alternate
+    // with exact rebalancing: refinement can drift to a slack boundary and
+    // park positive-gain vertices behind the balance constraint, and the
+    // rebalance itself exposes new profitable moves, so a few
+    // (sweep, rebalance) rounds are required to reach a balanced local
+    // optimum.
+    let slack = (n / 8).max(1);
+    let rounds = if iterations == 0 { 1 } else { 3u32.min(iterations) };
+    let sweeps_per_round = iterations / rounds;
+    for round in 0..rounds {
+        for sweep in 0..sweeps_per_round {
+            // Priority order from a snapshot of gains (jitter varies per
+            // sweep, standing in for SHP's probabilistic swap acceptance).
+            let iter = round * sweeps_per_round + sweep;
+            let mut order: Vec<(i64, u32)> = (0..n)
+                .map(|v| {
+                    let jitter =
+                        (splitmix(salt ^ ((iter as u64) << 32), v as u64) % JITTER) as i64;
+                    (live_gain(v, side, &a_count, &b_count) + jitter, v as u32)
+                })
+                .collect();
+            order.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+
+            let mut moved = 0usize;
+            for &(_, v) in &order {
+                let v = v as usize;
+                if live_gain(v, side, &a_count, &b_count) <= 0 {
+                    continue;
+                }
+                // Keep |A| within the slack band around the target size.
+                if side[v] {
+                    if a_size <= left_size.saturating_sub(slack) {
+                        continue;
+                    }
+                    a_size -= 1;
+                } else {
+                    if a_size >= left_size + slack {
+                        continue;
+                    }
+                    a_size += 1;
+                }
+                apply(v, side, &mut a_count, &mut b_count);
+                moved += 1;
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+
+        // Restore exact balance: move the cheapest vertices until |A| is
+        // exactly the target size.
+        while a_size != left_size {
+            let from_a = a_size > left_size;
+            let mut best: Option<(i64, usize)> = None;
+            for v in 0..n {
+                if side[v] != from_a {
+                    continue;
+                }
+                let g = live_gain(v, side, &a_count, &b_count);
+                if best.is_none_or(|(bg, _)| g > bg) {
+                    best = Some((g, v));
+                }
+            }
+            let (_, v) = best.expect("side cannot be empty while unbalanced");
+            apply(v, side, &mut a_count, &mut b_count);
+            if from_a {
+                a_size -= 1;
+            } else {
+                a_size += 1;
+            }
+        }
+    }
+    debug_assert_eq!(side.iter().filter(|&&s| s).count(), left_size);
+}
+
+/// Cheap deterministic seed derivation for sub-problems.
+fn splitmix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_permutation(order: &[u32], n: u32) {
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "not a permutation of 0..{n}");
+    }
+
+    fn block_of(order: &[u32], cap: usize, v: u32) -> usize {
+        order.iter().position(|&x| x == v).unwrap() / cap
+    }
+
+    #[test]
+    fn output_is_always_a_permutation() {
+        for n in [1u32, 2, 5, 31, 32, 33, 100, 257] {
+            let queries: Vec<Vec<u32>> =
+                (0..50).map(|i| vec![i % n, (i * 7 + 1) % n, (i * 13 + 2) % n]).collect();
+            let cfg = ShpConfig { block_capacity: 8, iterations: 4, seed: 3, parallel_depth: 1 };
+            let order = social_hash_partition(n, queries.iter().map(|q| q.as_slice()), &cfg);
+            assert_permutation(&order, n);
+        }
+    }
+
+    #[test]
+    fn perfectly_clustered_queries_are_separated() {
+        // 4 groups of 8 vectors, each group always co-accessed.
+        let mut queries: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..30 {
+            for g in 0..4u32 {
+                queries.push((g * 8..(g + 1) * 8).collect());
+            }
+        }
+        let cfg = ShpConfig { block_capacity: 8, iterations: 16, seed: 1, parallel_depth: 0 };
+        let order = social_hash_partition(32, queries.iter().map(|q| q.as_slice()), &cfg);
+        assert_permutation(&order, 32);
+        // Every group should land in exactly one block.
+        for g in 0..4u32 {
+            let blocks: std::collections::HashSet<usize> =
+                (g * 8..(g + 1) * 8).map(|v| block_of(&order, 8, v)).collect();
+            assert_eq!(blocks.len(), 1, "group {g} spread over blocks {blocks:?}");
+        }
+    }
+
+    #[test]
+    fn shp_beats_random_layout_on_average_fanout() {
+        use crate::fanout::average_fanout;
+        use crate::layout::BlockLayout;
+        // Co-access groups of 16 over 256 vectors with some noise.
+        let mut queries: Vec<Vec<u32>> = Vec::new();
+        let mut x = 99u64;
+        let mut rnd = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        for _ in 0..400 {
+            let g = rnd() % 16;
+            let q: Vec<u32> = (0..6).map(|_| g * 16 + rnd() % 16).collect();
+            queries.push(q);
+        }
+        let cfg = ShpConfig { block_capacity: 8, iterations: 16, seed: 5, parallel_depth: 0 };
+        let order = social_hash_partition(256, queries.iter().map(|q| q.as_slice()), &cfg);
+        let shp_layout = BlockLayout::from_order(order, 8);
+        let random_layout = BlockLayout::random(256, 8, 7);
+        let f_shp = average_fanout(&shp_layout, queries.iter().map(|q| q.as_slice()));
+        let f_rnd = average_fanout(&random_layout, queries.iter().map(|q| q.as_slice()));
+        assert!(f_shp < f_rnd, "SHP fanout {f_shp} should beat random {f_rnd}");
+    }
+
+    #[test]
+    fn deterministic_across_runs_and_parallelism() {
+        let queries: Vec<Vec<u32>> =
+            (0..100).map(|i| vec![i % 64, (i * 3) % 64, (i * 11) % 64]).collect();
+        let mk = |par| {
+            let cfg = ShpConfig { block_capacity: 4, iterations: 8, seed: 42, parallel_depth: par };
+            social_hash_partition(64, queries.iter().map(|q| q.as_slice()), &cfg)
+        };
+        assert_eq!(mk(0), mk(0));
+        assert_eq!(mk(0), mk(3), "parallel recursion must not change the result");
+    }
+
+    #[test]
+    fn handles_no_queries() {
+        let cfg = ShpConfig::default();
+        let order = social_hash_partition(100, std::iter::empty(), &cfg);
+        assert_permutation(&order, 100);
+    }
+
+    #[test]
+    fn handles_single_vertex() {
+        let cfg = ShpConfig::default();
+        let order = social_hash_partition(1, std::iter::empty(), &cfg);
+        assert_eq!(order, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot partition zero vertices")]
+    fn zero_vertices_rejected() {
+        let _ = social_hash_partition(0, std::iter::empty(), &ShpConfig::default());
+    }
+
+    #[test]
+    fn non_multiple_sizes_fill_all_but_last_block() {
+        // 70 vertices at capacity 32: blocks of 32, 32, 6.
+        let queries: Vec<Vec<u32>> = (0..80).map(|i| vec![i % 70, (i + 1) % 70]).collect();
+        let cfg = ShpConfig { block_capacity: 32, iterations: 4, seed: 0, parallel_depth: 0 };
+        let order = social_hash_partition(70, queries.iter().map(|q| q.as_slice()), &cfg);
+        assert_permutation(&order, 70);
+    }
+
+    #[test]
+    fn splitmix_spreads_seeds() {
+        let a = splitmix(1, 1);
+        let b = splitmix(1, 2);
+        let c = splitmix(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the placement algorithms.
+
+use bandana_partition::{
+    average_fanout, kmeans, order_from_assignments, social_hash_partition, two_stage_kmeans,
+    AccessFrequency, BlockLayout, Hypergraph, KMeansConfig, ShpConfig, TwoStageConfig,
+};
+use proptest::prelude::*;
+
+fn queries_strategy(n: u32) -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(0..n, 1..8), 0..60)
+}
+
+proptest! {
+    /// SHP output is always a permutation, for any query set, size, block
+    /// capacity, and seed.
+    #[test]
+    fn shp_is_a_permutation(
+        n in 1u32..200,
+        cap in 1usize..16,
+        seed in any::<u64>(),
+        raw_queries in queries_strategy(200)
+    ) {
+        let queries: Vec<Vec<u32>> = raw_queries
+            .into_iter()
+            .map(|q| q.into_iter().map(|v| v % n).collect())
+            .collect();
+        let cfg = ShpConfig { block_capacity: cap, iterations: 4, seed, parallel_depth: 1 };
+        let order = social_hash_partition(n, queries.iter().map(|q| q.as_slice()), &cfg);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// SHP never increases average fanout relative to a random layout (it
+    /// may tie on structureless inputs).
+    #[test]
+    fn shp_not_worse_than_random(
+        seed in any::<u64>(),
+        raw_queries in proptest::collection::vec(proptest::collection::vec(0u32..64, 2..6), 5..40)
+    ) {
+        let n = 64u32;
+        let queries: Vec<Vec<u32>> = raw_queries;
+        let cfg = ShpConfig { block_capacity: 8, iterations: 8, seed, parallel_depth: 0 };
+        let order = social_hash_partition(n, queries.iter().map(|q| q.as_slice()), &cfg);
+        let shp = BlockLayout::from_order(order, 8);
+        let random = BlockLayout::random(n, 8, seed);
+        let f_shp = average_fanout(&shp, queries.iter().map(|q| q.as_slice()));
+        let f_rnd = average_fanout(&random, queries.iter().map(|q| q.as_slice()));
+        prop_assert!(f_shp <= f_rnd + 0.35, "SHP fanout {f_shp} vs random {f_rnd}");
+    }
+
+    /// Layout round trip: position_of and vector_at are inverse bijections.
+    #[test]
+    fn layout_bijection(n in 1u32..300, cap in 1usize..40, seed in any::<u64>()) {
+        let layout = BlockLayout::random(n, cap, seed);
+        for v in 0..n {
+            prop_assert_eq!(layout.vector_at(layout.position_of(v)), v);
+        }
+        let mut seen = 0u32;
+        for b in 0..layout.num_blocks() {
+            let members = layout.vectors_in_block(b);
+            prop_assert!(members.len() <= cap);
+            for &v in members {
+                prop_assert_eq!(layout.block_of(v), b);
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, n);
+    }
+
+    /// K-means assignments are valid and the derived order is a permutation
+    /// with contiguous clusters.
+    #[test]
+    fn kmeans_order_is_contiguous_permutation(
+        n in 2usize..60,
+        dim in 1usize..5,
+        k in 1usize..10,
+        seed in any::<u64>()
+    ) {
+        let data: Vec<f32> = (0..n * dim).map(|i| ((i * 37) % 101) as f32 / 10.0).collect();
+        let result = kmeans(&data, dim, &KMeansConfig { k, iterations: 5, seed });
+        prop_assert_eq!(result.assignments.len(), n);
+        prop_assert!(result.assignments.iter().all(|&a| (a as usize) < result.k));
+        let order = order_from_assignments(&result.assignments);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+        // Clusters occupy contiguous ranges.
+        let clusters: Vec<u32> = order.iter().map(|&v| result.assignments[v as usize]).collect();
+        let mut deduped = clusters.clone();
+        deduped.dedup();
+        let mut unique = deduped.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(deduped.len(), unique.len(), "cluster ranges fragmented");
+    }
+
+    /// Two-stage K-means is a permutation for any shape.
+    #[test]
+    fn two_stage_is_permutation(
+        n in 2usize..60,
+        first in 1usize..6,
+        total in 1usize..24,
+        seed in any::<u64>()
+    ) {
+        let data: Vec<f32> = (0..n * 2).map(|i| ((i * 13) % 97) as f32).collect();
+        let cfg = TwoStageConfig { first_stage_k: first, total_subclusters: total, iterations: 4, seed };
+        let order = two_stage_kmeans(&data, 2, &cfg);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    /// Hypergraph CSR transpose is exact: vertex-edge incidence matches the
+    /// forward edge lists, pin for pin.
+    #[test]
+    fn hypergraph_transpose_consistent(raw_queries in queries_strategy(50)) {
+        let h = Hypergraph::from_queries(50, raw_queries.iter().map(|q| q.as_slice()));
+        let mut pins_forward = 0usize;
+        for e in 0..h.num_edges() {
+            for &v in h.edge(e) {
+                prop_assert!(h.edges_of(v).contains(&(e as u32)));
+                pins_forward += 1;
+            }
+        }
+        prop_assert_eq!(pins_forward, h.num_pins());
+    }
+
+    /// Access frequencies count each query at most once per vector.
+    #[test]
+    fn freq_bounded_by_query_count(raw_queries in queries_strategy(40)) {
+        let nq = raw_queries.len() as u32;
+        let freq = AccessFrequency::from_queries(40, raw_queries.iter().map(|q| q.as_slice()));
+        for v in 0..40 {
+            prop_assert!(freq.count(v) <= nq);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! AET — miss-rate curves from the Average Eviction Time model.
+//!
+//! AET (Hu et al., USENIX ATC '16, cited in the paper's related work) is a
+//! kinetic model of LRU: it needs only the *reuse time* histogram — the
+//! number of accesses since the previous access to the same key, a single
+//! hash-map away — rather than stack distances, and derives the whole
+//! miss-rate curve from it:
+//!
+//! * `P(t)` — probability an access's reuse time exceeds `t`;
+//! * the *average eviction time* of a cache of size `c` is the smallest `T`
+//!   with `Σ_{t=1..T} P(t) = c` (an entry drifts one position down the LRU
+//!   stack per access that is colder than it);
+//! * the miss rate at size `c` is then `P(T)`.
+//!
+//! Compared with [`crate::shards::Shards`], AET trades a little accuracy
+//! for an even cheaper pass (no ordered structure at all); Bandana uses
+//! these estimates interchangeably wherever a hit-rate curve is consumed.
+//!
+//! # Example
+//!
+//! ```
+//! use bandana_trace::aet::AetModel;
+//!
+//! let mut aet = AetModel::new();
+//! for i in 0..10_000u64 {
+//!     aet.access(i % 64);
+//! }
+//! let mrc = aet.miss_rate_at(64);
+//! assert!(mrc < 0.05, "the whole working set fits, mrc={mrc}");
+//! ```
+
+use std::collections::HashMap;
+
+/// Streaming reuse-time collector and AET miss-rate-curve solver.
+#[derive(Debug, Clone, Default)]
+pub struct AetModel {
+    last_seen: HashMap<u64, u64>,
+    /// reuse-time histogram; index `t-1` counts reuse time `t` (capped).
+    reuse: Vec<u64>,
+    /// Accesses with no prior occurrence (reuse time ∞).
+    cold: u64,
+    time: u64,
+}
+
+impl AetModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        AetModel::default()
+    }
+
+    /// Records one access.
+    pub fn access(&mut self, key: u64) {
+        self.time += 1;
+        match self.last_seen.insert(key, self.time) {
+            None => self.cold += 1,
+            Some(prev) => {
+                let rt = (self.time - prev) as usize;
+                if rt > self.reuse.len() {
+                    self.reuse.resize(rt, 0);
+                }
+                self.reuse[rt - 1] += 1;
+            }
+        }
+    }
+
+    /// Records a whole sequence.
+    pub fn access_all<I: IntoIterator<Item = u64>>(&mut self, keys: I) {
+        for k in keys {
+            self.access(k);
+        }
+    }
+
+    /// Total accesses recorded.
+    pub fn total_accesses(&self) -> u64 {
+        self.time
+    }
+
+    /// Accesses that were first touches (infinite reuse time).
+    pub fn cold_accesses(&self) -> u64 {
+        self.cold
+    }
+
+    /// The miss rate of an LRU cache with `capacity` entries under the AET
+    /// model. Includes compulsory misses.
+    pub fn miss_rate_at(&self, capacity: usize) -> f64 {
+        if self.time == 0 {
+            return 0.0;
+        }
+        if capacity == 0 {
+            return 1.0;
+        }
+        let n = self.time as f64;
+        // survivors(t) = # accesses with reuse time > t; survivors(0) counts
+        // every non-cold access plus the cold ones (rt = ∞ > 0).
+        // P(t) = survivors(t) / n.
+        let mut remaining: u64 = self.reuse.iter().sum::<u64>() + self.cold;
+        let mut filled = 0.0f64;
+        let mut t = 0usize;
+        // Walk T upward until the integral of P reaches the cache size;
+        // the model's miss rate is P(T) at that point.
+        loop {
+            // P(t) = fraction of accesses with reuse time > t.
+            filled += remaining as f64 / n;
+            // Advance to P(t+1): accesses with reuse time exactly t+1 no
+            // longer survive.
+            if t < self.reuse.len() {
+                remaining -= self.reuse[t];
+            }
+            t += 1;
+            let p_next = remaining as f64 / n;
+            if filled >= capacity as f64 || remaining == self.cold {
+                return p_next;
+            }
+        }
+    }
+
+    /// Hit rate (1 − miss rate) at `capacity`.
+    pub fn hit_rate_at(&self, capacity: usize) -> f64 {
+        1.0 - self.miss_rate_at(capacity)
+    }
+
+    /// The hit-rate curve at the given capacities.
+    pub fn hit_rate_curve(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
+        capacities.iter().map(|&c| (c, self.hit_rate_at(c))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shards::mean_absolute_error;
+    use crate::stack::StackDistances;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed_stream(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>();
+                ((u * u) * universe as f64) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cyclic_stream_has_sharp_knee() {
+        // Round-robin over 64 keys: everything hits once capacity ≥ 64,
+        // everything misses below (LRU's classic cliff).
+        let mut aet = AetModel::new();
+        for i in 0..64_000u64 {
+            aet.access(i % 64);
+        }
+        assert!(aet.miss_rate_at(64) < 0.05);
+        assert!(aet.miss_rate_at(32) > 0.9, "below the loop size LRU thrashes");
+    }
+
+    #[test]
+    fn matches_exact_mrc_on_skewed_stream() {
+        let keys = skewed_stream(50_000, 2_000, 1);
+        let caps = [10, 50, 100, 250, 500, 1000, 2000];
+        let mut sd = StackDistances::with_capacity(keys.len());
+        sd.access_all(keys.iter().copied());
+        let exact = sd.hit_rate_curve(&caps);
+        let mut aet = AetModel::new();
+        aet.access_all(keys.iter().copied());
+        let est = aet.hit_rate_curve(&caps);
+        let mae = mean_absolute_error(&exact, &est);
+        assert!(mae < 0.05, "AET estimate too far from exact, mae={mae}");
+    }
+
+    #[test]
+    fn miss_rate_monotone_decreasing() {
+        let keys = skewed_stream(20_000, 1_000, 2);
+        let mut aet = AetModel::new();
+        aet.access_all(keys.iter().copied());
+        let mut prev = 1.0f64;
+        for c in [1, 2, 4, 16, 64, 256, 1024, 4096] {
+            let m = aet.miss_rate_at(c);
+            assert!(m <= prev + 1e-9, "miss rate must not grow with capacity");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn all_unique_keys_always_miss() {
+        let mut aet = AetModel::new();
+        aet.access_all(0..10_000u64);
+        assert!((aet.miss_rate_at(1_000_000) - 1.0).abs() < 1e-9);
+        assert_eq!(aet.cold_accesses(), 10_000);
+    }
+
+    #[test]
+    fn empty_model_is_zero() {
+        let aet = AetModel::new();
+        assert_eq!(aet.miss_rate_at(10), 0.0);
+        assert_eq!(aet.total_accesses(), 0);
+    }
+
+    #[test]
+    fn capacity_zero_always_misses() {
+        let mut aet = AetModel::new();
+        aet.access_all([1u64, 1, 1, 1]);
+        assert_eq!(aet.miss_rate_at(0), 1.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Workload characterization: reproduces the rows of the paper's Table 1 and
+//! the data behind Figures 3 (hit-rate curves) and 4 (access histograms).
+
+use crate::query::Trace;
+use crate::spec::ModelSpec;
+use crate::stack::StackDistances;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Histogram of per-vector access counts (Figure 4): `buckets[i]` counts how
+/// many vectors were accessed a number of times falling in bucket `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessHistogram {
+    /// Upper bound (inclusive) of each bucket, in accesses.
+    pub bucket_bounds: Vec<u64>,
+    /// Number of vectors per bucket.
+    pub counts: Vec<u64>,
+    /// Highest access count observed for any single vector.
+    pub max_accesses: u64,
+}
+
+impl AccessHistogram {
+    /// Builds a histogram with `buckets` equal-width buckets from per-vector
+    /// access counts.
+    pub fn from_counts(counts_per_vector: &HashMap<u32, u64>, buckets: usize) -> Self {
+        let max_accesses = counts_per_vector.values().copied().max().unwrap_or(0);
+        let buckets = buckets.max(1);
+        let width = (max_accesses / buckets as u64).max(1);
+        let bucket_bounds: Vec<u64> = (1..=buckets as u64).map(|i| i * width).collect();
+        let mut counts = vec![0u64; buckets];
+        for &c in counts_per_vector.values() {
+            let idx = ((c.saturating_sub(1)) / width).min(buckets as u64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        AccessHistogram { bucket_bounds, counts, max_accesses }
+    }
+
+    /// Number of vectors accessed at least once.
+    pub fn vectors_accessed(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// One row of Table 1 plus the reuse data behind Figures 3 and 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableCharacterization {
+    /// Table index.
+    pub table: usize,
+    /// Number of vectors in the table.
+    pub num_vectors: u32,
+    /// Lookups against this table in the trace.
+    pub total_lookups: u64,
+    /// Fraction of all trace lookups that hit this table ("% of total").
+    pub lookup_share: f64,
+    /// Mean lookups per request ("avg request lookups").
+    pub mean_lookups_per_request: f64,
+    /// Fraction of lookups that were first-time accesses ("compulsory
+    /// misses").
+    pub compulsory_miss_rate: f64,
+    /// Distinct vectors accessed.
+    pub unique_vectors: u64,
+    /// Per-vector access-count histogram (Figure 4).
+    pub access_histogram: AccessHistogram,
+    /// LRU hit-rate curve sampled at `hit_rate_sizes` (Figure 3).
+    pub hit_rate_curve: Vec<(usize, f64)>,
+}
+
+/// Characterizes every table of a trace.
+///
+/// `hit_rate_sizes` chooses where to sample the hit-rate curves (Figure 3's
+/// x-axis); pass sizes proportional to the table sizes in use.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::{characterize, ModelSpec, TraceGenerator};
+///
+/// let spec = ModelSpec::test_small();
+/// let trace = TraceGenerator::new(&spec, 3).generate_requests(200);
+/// let rows = characterize(&trace, &spec, &[64, 256, 1024]);
+/// assert_eq!(rows.len(), spec.num_tables());
+/// assert!(rows[0].compulsory_miss_rate > 0.0);
+/// ```
+pub fn characterize(
+    trace: &Trace,
+    spec: &ModelSpec,
+    hit_rate_sizes: &[usize],
+) -> Vec<TableCharacterization> {
+    let total_lookups = trace.total_lookups() as f64;
+    let mut out = Vec::with_capacity(spec.tables.len());
+    for (table, tspec) in spec.tables.iter().enumerate() {
+        let stream = trace.table_stream(table);
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for &id in &stream {
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        let mut sd = StackDistances::with_capacity(stream.len().max(1));
+        sd.access_all(stream.iter().map(|&id| id as u64));
+
+        let requests_with_table =
+            trace.requests.iter().filter(|r| r.query_for(table).is_some()).count().max(1);
+        out.push(TableCharacterization {
+            table,
+            num_vectors: tspec.num_vectors,
+            total_lookups: stream.len() as u64,
+            lookup_share: if total_lookups > 0.0 { stream.len() as f64 / total_lookups } else { 0.0 },
+            mean_lookups_per_request: stream.len() as f64 / requests_with_table as f64,
+            compulsory_miss_rate: sd.compulsory_miss_rate(),
+            unique_vectors: counts.len() as u64,
+            access_histogram: AccessHistogram::from_counts(&counts, 12),
+            hit_rate_curve: sd.hit_rate_curve(hit_rate_sizes),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+
+    #[test]
+    fn characterization_is_consistent_with_trace() {
+        let spec = ModelSpec::test_small();
+        let trace = TraceGenerator::new(&spec, 5).generate_requests(300);
+        let rows = characterize(&trace, &spec, &[32, 128, 512]);
+        assert_eq!(rows.len(), 2);
+        let share_sum: f64 = rows.iter().map(|r| r.lookup_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares must sum to 1, got {share_sum}");
+        for r in &rows {
+            assert_eq!(r.total_lookups as usize, trace.table_lookups(r.table));
+            assert!(r.unique_vectors <= r.total_lookups);
+            assert!(r.unique_vectors >= 1);
+            assert_eq!(r.access_histogram.vectors_accessed(), r.unique_vectors);
+            // Compulsory rate = unique / total for a single stream.
+            let expected = r.unique_vectors as f64 / r.total_lookups as f64;
+            assert!((r.compulsory_miss_rate - expected).abs() < 1e-12);
+            // Curve monotone.
+            for w in r.hit_rate_curve.windows(2) {
+                assert!(w[1].1 >= w[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_model_preserves_cacheability_ordering() {
+        // The defining property of Table 1: tables 1-2 (indices 0-1) have low
+        // compulsory-miss rates, table 8 (index 7) is dominated by them.
+        let spec = ModelSpec::paper_scaled(1_000);
+        let trace = TraceGenerator::new(&spec, 1).generate_requests(2_000);
+        let rows = characterize(&trace, &spec, &[100]);
+        let cm: Vec<f64> = rows.iter().map(|r| r.compulsory_miss_rate).collect();
+        assert!(cm[1] < cm[2], "table 2 ({}) should be more cacheable than table 3 ({})", cm[1], cm[2]);
+        assert!(cm[0] < cm[2], "table 1 ({}) should be more cacheable than table 3 ({})", cm[0], cm[2]);
+        // Table 8 has the highest compulsory-miss rate of all, as in Table 1.
+        let max_cm = cm.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((cm[7] - max_cm).abs() < 1e-12, "table 8 ({}) must be least cacheable: {cm:?}", cm[7]);
+        // Table 2 has the largest lookup share, as in the paper.
+        let max_share_idx = rows
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.lookup_share.partial_cmp(&b.1.lookup_share).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max_share_idx, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_all_vectors() {
+        let mut counts = HashMap::new();
+        counts.insert(0u32, 1u64);
+        counts.insert(1, 100);
+        counts.insert(2, 10_000);
+        let h = AccessHistogram::from_counts(&counts, 10);
+        assert_eq!(h.vectors_accessed(), 3);
+        assert_eq!(h.max_accesses, 10_000);
+        assert_eq!(h.bucket_bounds.len(), 10);
+        // The hottest vector is in the last bucket; the coldest in the first.
+        assert!(h.counts[0] >= 1);
+        assert!(*h.counts.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn histogram_of_empty_counts() {
+        let h = AccessHistogram::from_counts(&HashMap::new(), 5);
+        assert_eq!(h.vectors_accessed(), 0);
+        assert_eq!(h.max_accesses, 0);
+    }
+
+    #[test]
+    fn hot_table_has_heavier_histogram_tail_than_flat_table() {
+        // Mirrors Figure 4: table 2 (index 1) has vectors accessed orders of
+        // magnitude more often than table 7's (index 6) hottest vectors.
+        let spec = ModelSpec::paper_scaled(10_000);
+        let trace = TraceGenerator::new(&spec, 2).generate_requests(2_000);
+        let rows = characterize(&trace, &spec, &[100]);
+        assert!(
+            rows[1].access_histogram.max_accesses > 3 * rows[6].access_histogram.max_accesses,
+            "table2 max {} vs table7 max {}",
+            rows[1].access_histogram.max_accesses,
+            rows[6].access_histogram.max_accesses
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! Counter Stacks — miss-rate curves from probabilistic counters.
+//!
+//! The third MRC technique the paper cites (Wires et al., OSDI '14),
+//! completing the family next to [`crate::shards`] and [`crate::aet`]. The
+//! idea: keep a *stack* of [`HyperLogLog`] cardinality sketches, starting a
+//! new one every `downsample` accesses. On an access to `x`, every sketch
+//! that has already seen `x` does **not** grow — so the newest non-growing
+//! sketch brackets `x`'s reuse window, and its cardinality *is* (an
+//! estimate of) the stack distance. Each sketch costs a few hundred bytes
+//! regardless of how many keys it has absorbed, and adjacent sketches whose
+//! counts converge are pruned, so the whole structure is sublinear in both
+//! stream length and working-set size.
+//!
+//! Accuracy is the loosest of the three estimators (HLL noise plus the
+//! downsampling quantizes distances) but the memory is the smallest — the
+//! OSDI paper processes multi-week enterprise traces in megabytes.
+//!
+//! # Example
+//!
+//! ```
+//! use bandana_trace::counterstacks::CounterStacks;
+//!
+//! let mut cs = CounterStacks::new(64, 10);
+//! for i in 0..20_000u64 {
+//!     cs.access(i % 128);
+//! }
+//! assert!(cs.hit_rate_at(256) > 0.9); // working set fits
+//! assert!(cs.hit_rate_at(16) < 0.4);  // loop larger than cache thrashes
+//! ```
+
+use std::collections::BTreeMap;
+
+/// 64-bit mix (splitmix64 finalizer).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// A from-scratch HyperLogLog cardinality sketch over `u64` keys.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::counterstacks::HyperLogLog;
+///
+/// let mut hll = HyperLogLog::new(10); // 1024 registers, ~3% error
+/// for k in 0..50_000u64 {
+///     hll.insert(k);
+/// }
+/// let est = hll.count();
+/// assert!((est - 50_000.0).abs() / 50_000.0 < 0.1, "estimate {est}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HyperLogLog {
+    registers: Vec<u8>,
+    precision: u8,
+}
+
+impl HyperLogLog {
+    /// Creates a sketch with `2^precision` one-byte registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `4 <= precision <= 16`.
+    pub fn new(precision: u8) -> Self {
+        assert!((4..=16).contains(&precision), "precision must be in 4..=16, got {precision}");
+        HyperLogLog { registers: vec![0; 1 << precision], precision }
+    }
+
+    /// Absorbs one key (idempotent).
+    pub fn insert(&mut self, key: u64) {
+        let h = mix64(key);
+        let idx = (h >> (64 - self.precision)) as usize;
+        // Rank = position of the first 1-bit in the remaining bits, 1-based.
+        let rest = h << self.precision;
+        let rank = (rest.leading_zeros() as u8 + 1).min(64 - self.precision + 1);
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct keys inserted.
+    pub fn count(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            n => 0.7213 / (1.0 + 1.079 / n as f64),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        // Small-range correction: linear counting while registers are
+        // mostly empty.
+        if raw <= 2.5 * m {
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Bytes of state held.
+    pub fn size_bytes(&self) -> usize {
+        self.registers.len()
+    }
+}
+
+/// One live counter: the sketch plus its count at the previous interval
+/// boundary.
+#[derive(Debug, Clone)]
+struct Counter {
+    sketch: HyperLogLog,
+    last_count: f64,
+}
+
+/// Streaming Counter Stacks MRC estimator.
+#[derive(Debug, Clone)]
+pub struct CounterStacks {
+    counters: Vec<Counter>,
+    downsample: usize,
+    precision: u8,
+    /// Accesses buffered until the current interval completes.
+    pending: Vec<u64>,
+    /// Estimated-distance histogram: distance → weight.
+    histogram: BTreeMap<u64, f64>,
+    compulsory: f64,
+    total: u64,
+    /// Prune an older counter when its count is within this fraction of
+    /// its newer neighbour.
+    prune_fraction: f64,
+}
+
+impl CounterStacks {
+    /// Creates an estimator starting a new sketch every `downsample`
+    /// accesses, each with `2^precision` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `downsample` is zero or `precision` is outside `4..=16`.
+    pub fn new(downsample: usize, precision: u8) -> Self {
+        assert!(downsample > 0, "downsample must be non-zero");
+        assert!((4..=16).contains(&precision), "precision must be in 4..=16, got {precision}");
+        CounterStacks {
+            counters: Vec::new(),
+            downsample,
+            precision,
+            pending: Vec::new(),
+            histogram: BTreeMap::new(),
+            compulsory: 0.0,
+            total: 0,
+            prune_fraction: 0.02,
+        }
+    }
+
+    /// Number of live sketches (memory is this × sketch size).
+    pub fn live_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total bytes held by the sketches.
+    pub fn size_bytes(&self) -> usize {
+        self.counters.iter().map(|c| c.sketch.size_bytes()).sum()
+    }
+
+    /// Total accesses processed.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Processes one access. Distances are attributed at interval
+    /// granularity: the access is buffered until `downsample` accesses have
+    /// arrived, then the whole interval is folded into the counter stack.
+    pub fn access(&mut self, key: u64) {
+        self.total += 1;
+        self.pending.push(key);
+        if self.pending.len() == self.downsample {
+            self.flush_interval();
+        }
+    }
+
+    /// Folds the buffered interval into the stack (the OSDI algorithm at
+    /// interval granularity).
+    ///
+    /// Each counter's growth over the interval, `Δ_i`, counts the
+    /// interval's distinct keys *not* seen since counter `i` started.
+    /// Counters are ordered oldest→newest, so `Δ` is non-decreasing, and
+    /// the difference `Δ_{i+1} − Δ_i` is the number of interval accesses
+    /// whose previous occurrence falls between the two counters' start
+    /// times — i.e. whose stack distance is ≈ the *newer* counter's
+    /// cardinality `c_{i+1}`. `Δ_oldest` is the compulsory estimate, and
+    /// accesses repeated *within* the interval get the newest counter's
+    /// (small) cardinality.
+    fn flush_interval(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        // A fresh counter opens at every interval boundary.
+        self.counters
+            .push(Counter { sketch: HyperLogLog::new(self.precision), last_count: 0.0 });
+
+        let batch = std::mem::take(&mut self.pending);
+        let mut deltas = Vec::with_capacity(self.counters.len());
+        let mut counts = Vec::with_capacity(self.counters.len());
+        for c in self.counters.iter_mut() {
+            for &k in &batch {
+                c.sketch.insert(k);
+            }
+            let now = c.sketch.count();
+            deltas.push((now - c.last_count).max(0.0));
+            counts.push(now);
+            c.last_count = now;
+        }
+
+        let n = self.counters.len();
+        // Deltas are non-decreasing oldest→newest in exact arithmetic;
+        // enforce it to strip HLL noise before differencing (otherwise the
+        // max(0) clamp below rectifies noise into spurious hits).
+        for i in 1..n {
+            if deltas[i] < deltas[i - 1] {
+                deltas[i] = deltas[i - 1];
+            }
+        }
+        // Within-interval repeats: accesses beyond the interval's distinct
+        // set re-reference something this interval already touched.
+        let distinct_in_batch = deltas[n - 1].min(batch.len() as f64);
+        let repeats = (batch.len() as f64 - distinct_in_batch).max(0.0);
+        if repeats > 0.0 {
+            let d = counts[n - 1].max(1.0).round() as u64;
+            *self.histogram.entry(d).or_insert(0.0) += repeats;
+        }
+        // First-order differences between adjacent counters, with a
+        // half-key noise floor.
+        for i in 0..n - 1 {
+            let caught = deltas[i + 1] - deltas[i];
+            if caught > 0.5 {
+                let d = counts[i + 1].max(1.0).round() as u64;
+                *self.histogram.entry(d).or_insert(0.0) += caught;
+            }
+        }
+        // Whatever even the oldest counter had never seen is compulsory.
+        self.compulsory += deltas[0];
+        self.prune();
+    }
+
+    /// Processes a whole sequence.
+    pub fn access_all<I: IntoIterator<Item = u64>>(&mut self, keys: I) {
+        for k in keys {
+            self.access(k);
+        }
+    }
+
+    /// Drops counters that have converged with their newer neighbour: once
+    /// `c_{i}` and `c_{i+1}` report (nearly) the same cardinality they
+    /// will answer every future query identically, so the older one is
+    /// redundant. This is what keeps the stack sublinear on long streams.
+    fn prune(&mut self) {
+        let frac = self.prune_fraction;
+        let mut i = 0;
+        while i + 1 < self.counters.len() {
+            let older = self.counters[i].last_count;
+            let newer = self.counters[i + 1].last_count;
+            if older > 0.0 && (older - newer).abs() <= frac * older {
+                self.counters.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Flushes a partial interval (call after the last access if the
+    /// stream length is not a multiple of `downsample`).
+    pub fn finish(&mut self) {
+        self.flush_interval();
+    }
+
+    /// Estimated LRU hit rate at `capacity` entries.
+    ///
+    /// Accesses still buffered in an incomplete interval are not yet
+    /// attributed; call [`CounterStacks::finish`] first for exact totals.
+    pub fn hit_rate_at(&self, capacity: usize) -> f64 {
+        let attributed = self.total - self.pending.len() as u64;
+        if attributed == 0 {
+            return 0.0;
+        }
+        let hits: f64 = self.histogram.range(..=(capacity as u64)).map(|(_, w)| *w).sum();
+        (hits / attributed as f64).clamp(0.0, 1.0)
+    }
+
+    /// The estimated hit-rate curve at the given capacities.
+    pub fn hit_rate_curve(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
+        capacities.iter().map(|&c| (c, self.hit_rate_at(c))).collect()
+    }
+
+    /// Estimated compulsory-miss rate (over attributed accesses).
+    pub fn compulsory_miss_rate(&self) -> f64 {
+        let attributed = self.total - self.pending.len() as u64;
+        if attributed == 0 {
+            0.0
+        } else {
+            (self.compulsory / attributed as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shards::mean_absolute_error;
+    use crate::stack::StackDistances;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn skewed_stream(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>();
+                ((u * u) * universe as f64) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hll_estimates_cardinality() {
+        for &n in &[100u64, 1_000, 20_000] {
+            let mut hll = HyperLogLog::new(10);
+            for k in 0..n {
+                hll.insert(k);
+            }
+            let est = hll.count();
+            let err = (est - n as f64).abs() / n as f64;
+            assert!(err < 0.12, "n={n}: estimate {est} off by {err:.3}");
+        }
+    }
+
+    #[test]
+    fn hll_is_idempotent() {
+        let mut a = HyperLogLog::new(8);
+        let mut b = HyperLogLog::new(8);
+        for k in 0..500u64 {
+            a.insert(k);
+            b.insert(k);
+            b.insert(k); // duplicates must not inflate the count
+        }
+        assert_eq!(a.count(), b.count());
+    }
+
+    #[test]
+    fn cyclic_stream_has_knee() {
+        let mut cs = CounterStacks::new(32, 10);
+        for i in 0..30_000u64 {
+            cs.access(i % 100);
+        }
+        assert!(cs.hit_rate_at(300) > 0.9, "got {}", cs.hit_rate_at(300));
+        assert!(cs.hit_rate_at(10) < 0.4, "got {}", cs.hit_rate_at(10));
+    }
+
+    #[test]
+    fn tracks_exact_curve_loosely() {
+        let keys = skewed_stream(40_000, 2_000, 1);
+        let caps = [50usize, 100, 250, 500, 1000, 2000];
+        let mut sd = StackDistances::with_capacity(keys.len());
+        sd.access_all(keys.iter().copied());
+        let exact = sd.hit_rate_curve(&caps);
+        let mut cs = CounterStacks::new(64, 11);
+        cs.access_all(keys.iter().copied());
+        cs.finish();
+        let est = cs.hit_rate_curve(&caps);
+        let mae = mean_absolute_error(&exact, &est);
+        assert!(mae < 0.15, "Counter Stacks MAE {mae} too large");
+    }
+
+    #[test]
+    fn pruning_bounds_counter_count() {
+        let keys = skewed_stream(50_000, 1_000, 2);
+        let mut cs = CounterStacks::new(100, 8);
+        cs.access_all(keys.iter().copied());
+        // Without pruning there would be 500 counters.
+        assert!(
+            cs.live_counters() < 200,
+            "pruning should collapse converged counters, kept {}",
+            cs.live_counters()
+        );
+        assert!(cs.size_bytes() < 200 * 256);
+    }
+
+    #[test]
+    fn hit_rate_monotone() {
+        let keys = skewed_stream(10_000, 500, 3);
+        let mut cs = CounterStacks::new(50, 9);
+        cs.access_all(keys.iter().copied());
+        let mut prev = 0.0;
+        for c in [1usize, 10, 50, 200, 1000] {
+            let h = cs.hit_rate_at(c);
+            assert!(h + 1e-12 >= prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn all_unique_is_compulsory() {
+        // Interval size must dominate the sketches' absolute error (the
+        // regime Counter Stacks is designed for: intervals of ~1M accesses
+        // against ~1% sketches). 200-key intervals with 2^14 registers
+        // (±0.8%) keep per-interval noise well under the interval size.
+        let mut cs = CounterStacks::new(200, 14);
+        cs.access_all(0..5_000u64);
+        cs.finish();
+        assert!(cs.compulsory_miss_rate() > 0.9, "got {}", cs.compulsory_miss_rate());
+        assert!(cs.hit_rate_at(1_000_000) < 0.1, "got {}", cs.hit_rate_at(1_000_000));
+    }
+
+    #[test]
+    fn empty_reports_zero() {
+        let cs = CounterStacks::new(10, 8);
+        assert_eq!(cs.hit_rate_at(100), 0.0);
+        assert_eq!(cs.total_accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "downsample must be non-zero")]
+    fn zero_downsample_rejected() {
+        let _ = CounterStacks::new(0, 8);
+    }
+}

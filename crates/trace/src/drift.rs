@@ -1,0 +1,288 @@
+//! Popularity drift — workloads whose hot set moves over time.
+//!
+//! The paper trains SHP and the admission thresholds on a *past* window and
+//! serves a *future* one; §2.1 notes embeddings are retrained every few
+//! hours precisely because user behaviour shifts. This module generates
+//! traces with controlled popularity drift so the gap can be measured: how
+//! fast does a layout/threshold trained at epoch 0 decay, and how well does
+//! the online tuner (`bandana-core`'s `OnlineTuner`) track the moving
+//! optimum?
+//!
+//! Drift model: each table gets a fixed random permutation of its vector
+//! ids. Every epoch the identity mapping rotates `rotate_fraction` of the
+//! way along that permutation, so vector `v`'s popularity *role* is handed
+//! to another vector while the marginal distributions (topic skew, Zipf
+//! shape, lookups per request — everything Table 1 calibrates) stay
+//! exactly the same. Epoch 0 reproduces the base generator verbatim.
+//!
+//! # Example
+//!
+//! ```
+//! use bandana_trace::{DriftConfig, DriftingTraceGenerator, ModelSpec};
+//!
+//! let spec = ModelSpec::test_small();
+//! let config = DriftConfig { requests_per_epoch: 100, rotate_fraction: 0.2 };
+//! let mut generator = DriftingTraceGenerator::new(&spec, 7, config);
+//! let trace = generator.generate_requests(250); // spans epochs 0, 1, 2
+//! assert_eq!(trace.requests.len(), 250);
+//! assert_eq!(generator.current_epoch(), 2);
+//! ```
+
+use crate::generator::TraceGenerator;
+use crate::query::{Request, Trace};
+use crate::spec::ModelSpec;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// How fast and how often the hot set moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Requests per drift epoch; the remap advances between epochs.
+    pub requests_per_epoch: usize,
+    /// Fraction of the permutation cycle rotated per epoch, in `[0, 1]`.
+    /// `0.0` disables drift; `1.0` returns to the start after one epoch.
+    pub rotate_fraction: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { requests_per_epoch: 1000, rotate_fraction: 0.1 }
+    }
+}
+
+impl DriftConfig {
+    /// Validates field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.requests_per_epoch == 0 {
+            return Err("requests_per_epoch must be non-zero".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.rotate_fraction) {
+            return Err(format!(
+                "rotate_fraction must be in [0,1], got {}",
+                self.rotate_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-table drift state: a shuffled cycle over the id space.
+#[derive(Debug)]
+struct TableDrift {
+    /// A random permutation of the table's ids.
+    cycle: Vec<u32>,
+    /// `position[v]` = index of `v` inside `cycle`.
+    position: Vec<u32>,
+}
+
+impl TableDrift {
+    fn new(num_vectors: u32, seed: u64) -> Self {
+        let mut cycle: Vec<u32> = (0..num_vectors).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        cycle.shuffle(&mut rng);
+        let mut position = vec![0u32; num_vectors as usize];
+        for (i, &v) in cycle.iter().enumerate() {
+            position[v as usize] = i as u32;
+        }
+        TableDrift { cycle, position }
+    }
+
+    /// Maps an id to its epoch-`shift` replacement.
+    fn remap(&self, v: u32, shift: u64) -> u32 {
+        let n = self.cycle.len() as u64;
+        let pos = (self.position[v as usize] as u64 + shift) % n;
+        self.cycle[pos as usize]
+    }
+}
+
+/// A [`TraceGenerator`] whose hot set rotates between epochs.
+#[derive(Debug)]
+pub struct DriftingTraceGenerator {
+    inner: TraceGenerator,
+    drifts: Vec<TableDrift>,
+    config: DriftConfig,
+    requests_generated: usize,
+}
+
+impl DriftingTraceGenerator {
+    /// Builds the generator, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec or the drift config fails validation.
+    pub fn new(spec: &ModelSpec, seed: u64, config: DriftConfig) -> Self {
+        config.validate().expect("invalid drift config");
+        let inner = TraceGenerator::new(spec, seed);
+        let drifts = spec
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(t, ts)| {
+                TableDrift::new(ts.num_vectors, (seed ^ 0xD81F_77A0).wrapping_add(t as u64))
+            })
+            .collect();
+        DriftingTraceGenerator { inner, drifts, config, requests_generated: 0 }
+    }
+
+    /// The drift configuration.
+    pub fn config(&self) -> DriftConfig {
+        self.config
+    }
+
+    /// The epoch the *next* generated request falls into.
+    pub fn current_epoch(&self) -> u64 {
+        (self.requests_generated / self.config.requests_per_epoch) as u64
+    }
+
+    /// The id-space shift applied at a given epoch.
+    fn shift_at(&self, epoch: u64, table: usize) -> u64 {
+        let n = self.drifts[table].cycle.len() as f64;
+        let per_epoch = (n * self.config.rotate_fraction).round() as u64;
+        epoch.wrapping_mul(per_epoch)
+    }
+
+    /// Generates one request under the current epoch's remap.
+    pub fn generate_request(&mut self) -> Request {
+        let epoch = self.current_epoch();
+        let mut request = self.inner.generate_request();
+        for q in &mut request.queries {
+            let shift = self.shift_at(epoch, q.table);
+            if shift > 0 {
+                let drift = &self.drifts[q.table];
+                for id in &mut q.ids {
+                    *id = drift.remap(*id, shift);
+                }
+            }
+        }
+        self.requests_generated += 1;
+        request
+    }
+
+    /// Generates a trace of `n` requests, drifting across epochs as it goes.
+    pub fn generate_requests(&mut self, n: usize) -> Trace {
+        let requests = (0..n).map(|_| self.generate_request()).collect();
+        Trace::new(self.inner.spec().tables.len(), requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn hot_set(trace: &Trace, table: usize, top: usize) -> HashSet<u32> {
+        let mut counts = std::collections::HashMap::new();
+        for id in trace.table_stream(table) {
+            *counts.entry(id).or_insert(0u64) += 1;
+        }
+        let mut pairs: Vec<(u32, u64)> = counts.into_iter().collect();
+        pairs.sort_by_key(|&(id, c)| (std::cmp::Reverse(c), id));
+        pairs.into_iter().take(top).map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn epoch_zero_matches_base_generator() {
+        let spec = ModelSpec::test_small();
+        let mut base = TraceGenerator::new(&spec, 11);
+        let mut drifting = DriftingTraceGenerator::new(
+            &spec,
+            11,
+            DriftConfig { requests_per_epoch: 1000, rotate_fraction: 0.5 },
+        );
+        let a = base.generate_requests(100);
+        let b = drifting.generate_requests(100);
+        assert_eq!(a, b, "epoch 0 must be drift-free");
+    }
+
+    #[test]
+    fn zero_rotation_never_drifts() {
+        let spec = ModelSpec::test_small();
+        let mut base = TraceGenerator::new(&spec, 12);
+        let mut drifting = DriftingTraceGenerator::new(
+            &spec,
+            12,
+            DriftConfig { requests_per_epoch: 10, rotate_fraction: 0.0 },
+        );
+        assert_eq!(base.generate_requests(200), drifting.generate_requests(200));
+    }
+
+    #[test]
+    fn hot_set_moves_between_epochs() {
+        let spec = ModelSpec::test_small();
+        let config = DriftConfig { requests_per_epoch: 500, rotate_fraction: 0.4 };
+        let mut g = DriftingTraceGenerator::new(&spec, 13, config);
+        let epoch0 = g.generate_requests(500);
+        let epoch1 = g.generate_requests(500);
+        let h0 = hot_set(&epoch0, 0, 50);
+        let h1 = hot_set(&epoch1, 0, 50);
+        let overlap = h0.intersection(&h1).count();
+        assert!(
+            overlap < 25,
+            "40% rotation should displace most of the top-50 hot set, overlap={overlap}"
+        );
+    }
+
+    #[test]
+    fn distribution_shape_is_preserved() {
+        // Unique-id counts (a proxy for the popularity shape) must match
+        // between a drifted epoch and the base workload.
+        let spec = ModelSpec::test_small();
+        let config = DriftConfig { requests_per_epoch: 400, rotate_fraction: 0.3 };
+        let mut g = DriftingTraceGenerator::new(&spec, 14, config);
+        let epoch0 = g.generate_requests(400);
+        let epoch2 = {
+            g.generate_requests(400); // skip epoch 1
+            g.generate_requests(400)
+        };
+        let unique = |t: &Trace| {
+            let mut ids = t.table_stream(0);
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len() as f64
+        };
+        let ratio = unique(&epoch2) / unique(&epoch0);
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "drift must not change the popularity shape, unique ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn ids_stay_in_range() {
+        let spec = ModelSpec::test_small();
+        let config = DriftConfig { requests_per_epoch: 50, rotate_fraction: 0.9 };
+        let mut g = DriftingTraceGenerator::new(&spec, 15, config);
+        let trace = g.generate_requests(300);
+        for (t, ts) in g.inner.spec().tables.iter().enumerate() {
+            for id in trace.table_stream(t) {
+                assert!(id < ts.num_vectors);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_counter_advances() {
+        let spec = ModelSpec::test_small();
+        let config = DriftConfig { requests_per_epoch: 10, rotate_fraction: 0.1 };
+        let mut g = DriftingTraceGenerator::new(&spec, 16, config);
+        assert_eq!(g.current_epoch(), 0);
+        g.generate_requests(25);
+        assert_eq!(g.current_epoch(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid drift config")]
+    fn bad_config_rejected() {
+        let spec = ModelSpec::test_small();
+        let _ = DriftingTraceGenerator::new(
+            &spec,
+            0,
+            DriftConfig { requests_per_epoch: 0, rotate_fraction: 0.1 },
+        );
+    }
+}

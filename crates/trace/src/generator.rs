@@ -1,0 +1,251 @@
+//! Trace generation: turns a [`ModelSpec`] into request streams.
+
+use crate::query::{Request, TableQuery, Trace};
+use crate::spec::ModelSpec;
+use crate::topics::TopicModel;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Generates deterministic synthetic traces from a model specification.
+///
+/// Each request:
+/// 1. visits every table (production requests touch all user-embedding
+///    tables; per-table lookup counts give the Table 1 shares),
+/// 2. draws a per-table topic set (the "user's interests" for this request),
+/// 3. draws a Poisson-distributed number of lookups around the table's mean.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::{ModelSpec, TraceGenerator};
+///
+/// let spec = ModelSpec::test_small();
+/// let mut generator = TraceGenerator::new(&spec, 1);
+/// let trace = generator.generate_requests(50);
+/// assert_eq!(trace.requests.len(), 50);
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    spec: ModelSpec,
+    topic_models: Vec<TopicModel>,
+    rng: ChaCha12Rng,
+}
+
+impl TraceGenerator {
+    /// Builds the generator (including per-table topic structure) from a
+    /// spec, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation.
+    pub fn new(spec: &ModelSpec, seed: u64) -> Self {
+        spec.validate().expect("invalid model spec");
+        let topic_models = spec
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TopicModel::new(t, seed.wrapping_add(0x9E37_79B9).wrapping_mul(i as u64 + 1)))
+            .collect();
+        TraceGenerator { spec: spec.clone(), topic_models, rng: ChaCha12Rng::seed_from_u64(seed) }
+    }
+
+    /// The model spec this generator was built from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The topic model for one table (used by tests and by embedding
+    /// generation, which shares the topic structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range.
+    pub fn topic_model(&self, table: usize) -> &TopicModel {
+        &self.topic_models[table]
+    }
+
+    /// Generates one request spanning all tables.
+    pub fn generate_request(&mut self) -> Request {
+        let mut queries = Vec::with_capacity(self.spec.tables.len());
+        for (table, spec) in self.spec.tables.iter().enumerate() {
+            let model = &self.topic_models[table];
+            let topics = model.sample_request_topics(spec.topics_per_request, &mut self.rng);
+            let count = sample_poisson(spec.mean_lookups, &mut self.rng).max(1);
+            let mut ids = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                ids.push(model.sample_lookup(&topics, &mut self.rng));
+            }
+            queries.push(TableQuery::new(table, ids));
+        }
+        Request { queries }
+    }
+
+    /// Generates a trace of `n` requests.
+    pub fn generate_requests(&mut self, n: usize) -> Trace {
+        let requests = (0..n).map(|_| self.generate_request()).collect();
+        Trace::new(self.spec.tables.len(), requests)
+    }
+
+    /// Generates requests until the trace contains at least `lookups` vector
+    /// lookups in total. The paper sizes traces in lookups ("1 billion
+    /// embedding vector lookups", §3).
+    pub fn generate_lookups(&mut self, lookups: usize) -> Trace {
+        let mut requests = Vec::new();
+        let mut total = 0usize;
+        while total < lookups {
+            let r = self.generate_request();
+            total += r.total_lookups();
+            requests.push(r);
+        }
+        Trace::new(self.spec.tables.len(), requests)
+    }
+}
+
+/// Knuth's Poisson sampler for small means, normal approximation above 64.
+fn sample_poisson<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> u64 {
+    debug_assert!(mean > 0.0);
+    if mean < 64.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            // Numerical guard for pathological RNG streams.
+            if k > 64 + (mean * 8.0) as u64 {
+                return k;
+            }
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let u: f64 = rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12);
+        let v: f64 = rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12);
+        let z = (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
+        (mean + z * mean.sqrt() + 0.5).max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TableSpec;
+
+    #[test]
+    fn request_touches_every_table() {
+        let spec = ModelSpec::test_small();
+        let mut g = TraceGenerator::new(&spec, 3);
+        let r = g.generate_request();
+        assert_eq!(r.queries.len(), 2);
+        for (i, q) in r.queries.iter().enumerate() {
+            assert_eq!(q.table, i);
+            assert!(!q.ids.is_empty());
+            for &id in &q.ids {
+                assert!(id < spec.tables[i].num_vectors);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_lookups_close_to_spec() {
+        let spec = ModelSpec::test_small();
+        let mut g = TraceGenerator::new(&spec, 4);
+        let trace = g.generate_requests(2000);
+        for (i, t) in spec.tables.iter().enumerate() {
+            let mean = trace.table_lookups(i) as f64 / trace.requests.len() as f64;
+            assert!(
+                (mean - t.mean_lookups).abs() / t.mean_lookups < 0.1,
+                "table {i}: mean {mean} vs spec {}",
+                t.mean_lookups
+            );
+        }
+    }
+
+    #[test]
+    fn generate_lookups_reaches_target() {
+        let spec = ModelSpec::test_small();
+        let mut g = TraceGenerator::new(&spec, 5);
+        let trace = g.generate_lookups(1000);
+        assert!(trace.total_lookups() >= 1000);
+        // Should not wildly overshoot (one request is ~16 lookups here).
+        assert!(trace.total_lookups() < 1100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = ModelSpec::test_small();
+        let a = TraceGenerator::new(&spec, 9).generate_requests(20);
+        let b = TraceGenerator::new(&spec, 9).generate_requests(20);
+        assert_eq!(a, b);
+        let c = TraceGenerator::new(&spec, 10).generate_requests(20);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lookup_shares_follow_spec_ordering() {
+        // Build a 3-table spec with distinct mean lookups and check the
+        // realized share ordering matches.
+        let spec = ModelSpec {
+            tables: vec![
+                TableSpec { mean_lookups: 5.0, lookup_share: 0.1, ..TableSpec::test_small(1024) },
+                TableSpec { mean_lookups: 40.0, lookup_share: 0.8, ..TableSpec::test_small(1024) },
+                TableSpec { mean_lookups: 10.0, lookup_share: 0.1, ..TableSpec::test_small(1024) },
+            ],
+            dim: 8,
+            element_bytes: 4,
+        };
+        let mut g = TraceGenerator::new(&spec, 6);
+        let trace = g.generate_requests(500);
+        let l0 = trace.table_lookups(0);
+        let l1 = trace.table_lookups(1);
+        let l2 = trace.table_lookups(2);
+        assert!(l1 > l2 && l2 > l0, "shares out of order: {l0} {l1} {l2}");
+    }
+
+    #[test]
+    fn poisson_mean_is_right() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for mean in [2.0, 17.68, 92.75, 200.0] {
+            let n = 5000;
+            let total: u64 = (0..n).map(|_| sample_poisson(mean, &mut rng)).sum();
+            let got = total as f64 / n as f64;
+            assert!((got - mean).abs() / mean < 0.05, "mean {mean}: got {got}");
+        }
+    }
+
+    #[test]
+    fn skewed_tables_reuse_vectors_more_than_uniform_ones() {
+        // A heavy-skew table should touch far fewer unique vectors than a
+        // noisy near-uniform one, for equal lookup counts.
+        let mk = |skew: f64, noise: f64| TableSpec {
+            topic_skew: skew,
+            vector_skew: skew,
+            noise,
+            mean_lookups: 20.0,
+            lookup_share: 0.5,
+            ..TableSpec::test_small(4096)
+        };
+        let spec = ModelSpec {
+            tables: vec![mk(1.1, 0.01), mk(0.2, 0.8)],
+            dim: 8,
+            element_bytes: 4,
+        };
+        let mut g = TraceGenerator::new(&spec, 8);
+        let trace = g.generate_requests(1000);
+        let unique = |t: usize| {
+            let mut ids = trace.table_stream(t);
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        assert!(
+            (unique(0) as f64) * 1.3 < unique(1) as f64,
+            "skewed table unique {} vs uniform {}",
+            unique(0),
+            unique(1)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! # bandana-trace — synthetic embedding-lookup workloads
+//!
+//! Bandana is evaluated on production traces of user-embedding lookups at
+//! Facebook: 8 tables of 10–20 M vectors, ~1 B lookups, with the per-table
+//! characteristics listed in Table 1 of the paper and the reuse behaviour of
+//! Figures 3 and 4. Those traces are proprietary, so this crate synthesizes
+//! workloads with the same *structure*:
+//!
+//! * per-table popularity skew (Zipf over latent topics × Zipf within topic)
+//!   calibrated so the cacheability ordering of Table 1 is preserved
+//!   (tables 1–2 cache well, table 8 is dominated by compulsory misses);
+//! * co-access structure: each request draws a small set of user-interest
+//!   topics and looks up vectors from those topics, giving the hypergraph
+//!   partitioner (SHP) real spatial locality to discover;
+//! * embedding geometry: vectors are topic centroids plus noise, so K-means
+//!   recovers topic structure — but only approximately, reproducing the
+//!   paper's SHP ≻ K-means result.
+//!
+//! Everything is deterministic given a seed.
+//!
+//! ## Example
+//!
+//! ```
+//! use bandana_trace::{ModelSpec, TraceGenerator};
+//!
+//! let spec = ModelSpec::paper_scaled(1000); // 1000x smaller than production
+//! let mut generator = TraceGenerator::new(&spec, 42);
+//! let trace = generator.generate_requests(100);
+//! assert_eq!(trace.requests.len(), 100);
+//! assert!(trace.total_lookups() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aet;
+pub mod characterize;
+pub mod counterstacks;
+pub mod drift;
+pub mod embedding;
+pub mod generator;
+pub mod query;
+pub mod serialize;
+pub mod spec;
+pub mod shards;
+pub mod stack;
+pub mod topics;
+pub mod zipf;
+
+pub use aet::AetModel;
+pub use characterize::{characterize, AccessHistogram, TableCharacterization};
+pub use counterstacks::{CounterStacks, HyperLogLog};
+pub use drift::{DriftConfig, DriftingTraceGenerator};
+pub use embedding::EmbeddingTable;
+pub use generator::TraceGenerator;
+pub use query::{Request, TableQuery, Trace};
+pub use serialize::{read_trace, write_trace};
+pub use spec::{ModelSpec, TableSpec};
+pub use shards::{mean_absolute_error, Shards};
+pub use stack::{hit_rate_curve, StackDistances};
+pub use topics::TopicModel;
+pub use zipf::Zipf;

@@ -1,0 +1,194 @@
+//! Trace data model: requests, per-table queries, and whole traces.
+//!
+//! A *request* corresponds to ranking content for one user: it touches
+//! several embedding tables, looking up a handful of vectors in each (§3 of
+//! the paper: 17–93 lookups per table per request on average).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an embedding vector within its table (a column id).
+pub type VecId = u32;
+
+/// The lookups a single request performs in one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableQuery {
+    /// Index of the table in the model.
+    pub table: usize,
+    /// Vector ids looked up, in issue order. May contain duplicates — a
+    /// request can reference the same page/word twice.
+    pub ids: Vec<VecId>,
+}
+
+impl TableQuery {
+    /// Creates a query against `table` for the given ids.
+    pub fn new(table: usize, ids: Vec<VecId>) -> Self {
+        TableQuery { table, ids }
+    }
+
+    /// The distinct ids in this query, sorted.
+    pub fn unique_ids(&self) -> Vec<VecId> {
+        let mut ids = self.ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// One user request spanning several tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Request {
+    /// Per-table lookups; at most one entry per table.
+    pub queries: Vec<TableQuery>,
+}
+
+impl Request {
+    /// Total number of vector lookups across all tables.
+    pub fn total_lookups(&self) -> usize {
+        self.queries.iter().map(|q| q.ids.len()).sum()
+    }
+
+    /// The lookups against a given table, if any.
+    pub fn query_for(&self, table: usize) -> Option<&TableQuery> {
+        self.queries.iter().find(|q| q.table == table)
+    }
+}
+
+/// A sequence of requests against a fixed set of tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Number of tables in the model that produced this trace.
+    pub num_tables: usize,
+    /// The requests, in arrival order.
+    pub requests: Vec<Request>,
+}
+
+impl Trace {
+    /// Creates a trace over `num_tables` tables.
+    pub fn new(num_tables: usize, requests: Vec<Request>) -> Self {
+        Trace { num_tables, requests }
+    }
+
+    /// Total number of vector lookups in the trace.
+    pub fn total_lookups(&self) -> usize {
+        self.requests.iter().map(Request::total_lookups).sum()
+    }
+
+    /// Number of lookups against one table.
+    pub fn table_lookups(&self, table: usize) -> usize {
+        self.requests
+            .iter()
+            .filter_map(|r| r.query_for(table))
+            .map(|q| q.ids.len())
+            .sum()
+    }
+
+    /// Iterates over the per-request id lists for one table (requests that
+    /// skip the table are omitted).
+    pub fn table_queries(&self, table: usize) -> impl Iterator<Item = &[VecId]> + '_ {
+        self.requests.iter().filter_map(move |r| r.query_for(table).map(|q| q.ids.as_slice()))
+    }
+
+    /// Flattens one table's lookups into a single id stream, in trace order.
+    pub fn table_stream(&self, table: usize) -> Vec<VecId> {
+        let mut out = Vec::new();
+        for ids in self.table_queries(table) {
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+
+    /// Splits the trace into a prefix of `n` requests and the remainder;
+    /// useful for separating SHP training data from evaluation data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of requests.
+    pub fn split_at(&self, n: usize) -> (Trace, Trace) {
+        assert!(n <= self.requests.len(), "split point beyond trace length");
+        let (a, b) = self.requests.split_at(n);
+        (Trace::new(self.num_tables, a.to_vec()), Trace::new(self.num_tables, b.to_vec()))
+    }
+}
+
+impl FromIterator<Request> for Trace {
+    fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
+        let requests: Vec<Request> = iter.into_iter().collect();
+        let num_tables = requests
+            .iter()
+            .flat_map(|r| r.queries.iter().map(|q| q.table + 1))
+            .max()
+            .unwrap_or(0);
+        Trace { num_tables, requests }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            2,
+            vec![
+                Request {
+                    queries: vec![TableQuery::new(0, vec![1, 2, 2]), TableQuery::new(1, vec![9])],
+                },
+                Request { queries: vec![TableQuery::new(0, vec![3])] },
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_counts() {
+        let t = sample_trace();
+        assert_eq!(t.total_lookups(), 5);
+        assert_eq!(t.table_lookups(0), 4);
+        assert_eq!(t.table_lookups(1), 1);
+        assert_eq!(t.table_lookups(2), 0); // nonexistent table is just empty
+    }
+
+    #[test]
+    fn unique_ids_dedupes_and_sorts() {
+        let q = TableQuery::new(0, vec![5, 1, 5, 3]);
+        assert_eq!(q.unique_ids(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn table_stream_preserves_order() {
+        let t = sample_trace();
+        assert_eq!(t.table_stream(0), vec![1, 2, 2, 3]);
+        assert_eq!(t.table_stream(1), vec![9]);
+    }
+
+    #[test]
+    fn split_at_partitions_requests() {
+        let t = sample_trace();
+        let (a, b) = t.split_at(1);
+        assert_eq!(a.requests.len(), 1);
+        assert_eq!(b.requests.len(), 1);
+        assert_eq!(a.num_tables, 2);
+        assert_eq!(b.table_stream(0), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split point beyond trace length")]
+    fn split_beyond_length_panics() {
+        sample_trace().split_at(3);
+    }
+
+    #[test]
+    fn from_iterator_infers_table_count() {
+        let t: Trace = vec![Request { queries: vec![TableQuery::new(4, vec![1])] }]
+            .into_iter()
+            .collect();
+        assert_eq!(t.num_tables, 5);
+    }
+
+    #[test]
+    fn request_query_for_finds_table() {
+        let t = sample_trace();
+        assert!(t.requests[0].query_for(1).is_some());
+        assert!(t.requests[1].query_for(1).is_none());
+        assert_eq!(t.requests[0].total_lookups(), 4);
+    }
+}

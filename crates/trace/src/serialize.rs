@@ -1,0 +1,256 @@
+//! Compact binary trace serialization.
+//!
+//! Traces at the Full experiment scale run to millions of lookups;
+//! re-generating them is cheap but sharing *identical* traces across
+//! machines (or pinning one in a repository) calls for a stable on-disk
+//! format. The format here is deliberately simple and self-describing:
+//!
+//! ```text
+//! magic "BDNT" | version u16 | num_tables u16 | num_requests u64
+//! per request:  num_queries u16
+//! per query:    table u16 | num_ids u32 | ids (delta-encoded varints)
+//! ```
+//!
+//! Ids within a query are sorted before delta encoding; Bandana's consumers
+//! (hypergraph construction, frequency counting, cache simulation keyed by
+//! id multiset) are order-insensitive within a query, and sorting typically
+//! shrinks the encoding by 3–4×.
+
+use crate::query::{Request, TableQuery, Trace};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BDNT";
+const VERSION: u16 = 1;
+
+/// Writes a varint (LEB128) u64.
+fn write_varint<W: Write>(w: &mut W, mut x: u64) -> io::Result<()> {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+/// Reads a varint (LEB128) u64.
+fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut buf = [0u8; 1];
+        r.read_exact(&mut buf)?;
+        if shift >= 64 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "varint too long"));
+        }
+        x |= u64::from(buf[0] & 0x7F) << shift;
+        if buf[0] & 0x80 == 0 {
+            return Ok(x);
+        }
+        shift += 7;
+    }
+}
+
+/// Serializes a trace to a writer.
+///
+/// Note that a `&mut W` can be passed where a `W: Write` is expected, so
+/// callers can keep ownership of their writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::serialize::{read_trace, write_trace};
+/// use bandana_trace::{ModelSpec, TraceGenerator};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let trace = TraceGenerator::new(&ModelSpec::test_small(), 3).generate_requests(20);
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &trace)?;
+/// let back = read_trace(&mut buf.as_slice())?;
+/// assert_eq!(back.total_lookups(), trace.total_lookups());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let tables = u16::try_from(trace.num_tables)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "too many tables"))?;
+    w.write_all(&tables.to_le_bytes())?;
+    w.write_all(&(trace.requests.len() as u64).to_le_bytes())?;
+    let mut ids: Vec<u32> = Vec::new();
+    for request in &trace.requests {
+        let queries = u16::try_from(request.queries.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "too many queries"))?;
+        w.write_all(&queries.to_le_bytes())?;
+        for q in &request.queries {
+            let table = u16::try_from(q.table)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "table id too large"))?;
+            w.write_all(&table.to_le_bytes())?;
+            w.write_all(&(q.ids.len() as u32).to_le_bytes())?;
+            ids.clear();
+            ids.extend_from_slice(&q.ids);
+            ids.sort_unstable();
+            let mut prev = 0u64;
+            for &id in &ids {
+                write_varint(&mut w, u64::from(id) - prev)?;
+                prev = u64::from(id);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a trace from a reader.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/version or malformed stream, and
+/// propagates reader I/O errors.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let mut u16buf = [0u8; 2];
+    r.read_exact(&mut u16buf)?;
+    let version = u16::from_le_bytes(u16buf);
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported trace version {version}"),
+        ));
+    }
+    r.read_exact(&mut u16buf)?;
+    let num_tables = usize::from(u16::from_le_bytes(u16buf));
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let num_requests = u64::from_le_bytes(u64buf);
+
+    let mut requests = Vec::with_capacity(usize::try_from(num_requests).unwrap_or(0));
+    for _ in 0..num_requests {
+        r.read_exact(&mut u16buf)?;
+        let num_queries = usize::from(u16::from_le_bytes(u16buf));
+        let mut queries = Vec::with_capacity(num_queries);
+        for _ in 0..num_queries {
+            r.read_exact(&mut u16buf)?;
+            let table = usize::from(u16::from_le_bytes(u16buf));
+            let mut u32buf = [0u8; 4];
+            r.read_exact(&mut u32buf)?;
+            let num_ids = u32::from_le_bytes(u32buf) as usize;
+            let mut ids = Vec::with_capacity(num_ids);
+            let mut prev = 0u64;
+            for _ in 0..num_ids {
+                let delta = read_varint(&mut r)?;
+                prev = prev.checked_add(delta).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "id overflow")
+                })?;
+                let id = u32::try_from(prev).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "id exceeds u32")
+                })?;
+                ids.push(id);
+            }
+            queries.push(TableQuery::new(table, ids));
+        }
+        requests.push(Request { queries });
+    }
+    Ok(Trace::new(num_tables, requests))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::spec::ModelSpec;
+
+    fn round_trip(trace: &Trace) -> Trace {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, trace).unwrap();
+        read_trace(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let spec = ModelSpec::test_small();
+        let trace = TraceGenerator::new(&spec, 4).generate_requests(50);
+        let back = round_trip(&trace);
+        assert_eq!(back.num_tables, trace.num_tables);
+        assert_eq!(back.requests.len(), trace.requests.len());
+        assert_eq!(back.total_lookups(), trace.total_lookups());
+        // Ids survive per query as multisets (the format sorts them).
+        for (a, b) in trace.requests.iter().zip(&back.requests) {
+            for (qa, qb) in a.queries.iter().zip(&b.queries) {
+                assert_eq!(qa.table, qb.table);
+                let mut ia = qa.ids.clone();
+                ia.sort_unstable();
+                assert_eq!(ia, qb.ids);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = Trace::new(3, vec![]);
+        let back = round_trip(&trace);
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // Sorted delta-varints: a 100-id query over nearby ids should cost
+        // well under 4 bytes per id.
+        let ids: Vec<u32> = (0..100u32).map(|i| i * 3).collect();
+        let trace =
+            Trace::new(1, vec![Request { queries: vec![TableQuery::new(0, ids)] }]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert!(buf.len() < 100 * 2 + 32, "encoding too large: {} bytes", buf.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_trace(&b"NOPE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"BDNT");
+        buf.extend_from_slice(&99u16.to_le_bytes());
+        buf.extend_from_slice(&0u16.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let spec = ModelSpec::test_small();
+        let trace = TraceGenerator::new(&spec, 4).generate_requests(5);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        for x in [0u64, 1, 127, 128, 300, 1 << 20, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, x).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        let buf = [0x80u8; 11];
+        assert!(read_varint(&mut buf.as_slice()).is_err());
+    }
+}

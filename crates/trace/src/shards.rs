@@ -1,0 +1,381 @@
+//! SHARDS — spatially hashed approximate reuse-distance sampling.
+//!
+//! The paper's miniature caches (§4.3.3) are built on the observation from
+//! SHARDS (Waldspurger et al., FAST '15) that an LRU hit-rate curve can be
+//! estimated from a small spatially-sampled subset of the keys: track the
+//! stack distances of only the keys whose hash falls under a threshold
+//! (rate `R`), then scale each measured distance by `1/R`. This module
+//! implements both variants from the paper:
+//!
+//! * [`Shards`] — **fixed-rate**: a constant sampling rate chosen up front.
+//! * [`Shards::fixed_size`] — **SHARDS-max**: a bound on the number of
+//!   tracked keys; the threshold self-adjusts downward as the working set
+//!   grows, so memory stays constant regardless of trace length.
+//!
+//! The estimated curves feed the same consumers as exact
+//! [`crate::StackDistances`] curves (DRAM allocation across tables), at a
+//! thousandth of the cost — which is exactly the trade Bandana makes when
+//! tuning per-table budgets on production streams.
+//!
+//! # Example
+//!
+//! ```
+//! use bandana_trace::shards::Shards;
+//!
+//! let keys: Vec<u64> = (0..10_000u64).map(|i| i % 100).collect();
+//! let mut shards = Shards::new(0.5, 42);
+//! for &k in &keys {
+//!     shards.access(k);
+//! }
+//! let hr = shards.hit_rate_at(100); // the whole working set fits
+//! assert!(hr > 0.9, "hit rate {hr}");
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+/// 64-bit mix (splitmix64 finalizer) used as the spatial hash.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Modulus of the hash space the threshold is expressed in.
+const HASH_SPACE: u64 = 1 << 24;
+
+/// A stack-distance tracker over the *sampled* keys, supporting removal
+/// (needed when SHARDS-max lowers its threshold and expels keys).
+#[derive(Debug, Clone, Default)]
+struct SampledStack {
+    /// time → 1 if that timestamp is some key's most recent access.
+    marks: BTreeMap<u64, ()>,
+    last_access: HashMap<u64, u64>,
+    time: u64,
+}
+
+impl SampledStack {
+    /// Records an access; returns the stack distance among sampled keys, or
+    /// `None` on a first access.
+    fn access(&mut self, key: u64) -> Option<u64> {
+        let t = self.time;
+        self.time += 1;
+        let dist = self.last_access.get(&key).copied().map(|prev| {
+            // Distinct sampled keys accessed strictly after `prev`, plus one.
+            let after = self.marks.range(prev + 1..).count() as u64;
+            self.marks.remove(&prev);
+            after + 1
+        });
+        self.marks.insert(t, ());
+        self.last_access.insert(key, t);
+        dist
+    }
+
+    /// Forgets a key entirely (SHARDS-max eviction).
+    fn remove(&mut self, key: u64) {
+        if let Some(t) = self.last_access.remove(&key) {
+            self.marks.remove(&t);
+        }
+    }
+
+    fn tracked(&self) -> usize {
+        self.last_access.len()
+    }
+}
+
+/// Streaming SHARDS estimator for LRU hit-rate curves.
+#[derive(Debug, Clone)]
+pub struct Shards {
+    salt: u64,
+    /// Sample iff `hash(key) < threshold`; rate = threshold / HASH_SPACE.
+    threshold: u64,
+    /// `None` = fixed-rate; `Some(s)` = bound on tracked keys (SHARDS-max).
+    max_tracked: Option<usize>,
+    stack: SampledStack,
+    /// Per-key hash values currently tracked (for threshold-lowering).
+    hashes: BTreeMap<u64, Vec<u64>>,
+    /// Scaled-distance histogram: distance → accumulated weight.
+    histogram: BTreeMap<u64, f64>,
+    /// Weighted total accesses (hits + compulsory), in unsampled units.
+    total_weight: f64,
+    compulsory_weight: f64,
+    /// Raw (unsampled) accesses seen, for bookkeeping.
+    raw_accesses: u64,
+    sampled_accesses: u64,
+}
+
+impl Shards {
+    /// Creates a fixed-rate estimator sampling a `rate` fraction of keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1`.
+    pub fn new(rate: f64, salt: u64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1], got {rate}");
+        let threshold = ((rate * HASH_SPACE as f64).round() as u64).clamp(1, HASH_SPACE);
+        Shards {
+            salt,
+            threshold,
+            max_tracked: None,
+            stack: SampledStack::default(),
+            hashes: BTreeMap::new(),
+            histogram: BTreeMap::new(),
+            total_weight: 0.0,
+            compulsory_weight: 0.0,
+            raw_accesses: 0,
+            sampled_accesses: 0,
+        }
+    }
+
+    /// Creates a SHARDS-max estimator tracking at most `max_keys` keys.
+    ///
+    /// Starts at rate 1.0 and lowers the threshold as the working set
+    /// grows, evicting the tracked keys with the largest hashes — constant
+    /// memory for arbitrarily long traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_keys` is zero.
+    pub fn fixed_size(max_keys: usize, salt: u64) -> Self {
+        assert!(max_keys > 0, "max_keys must be non-zero");
+        let mut s = Shards::new(1.0, salt);
+        s.max_tracked = Some(max_keys);
+        s
+    }
+
+    /// The current sampling rate.
+    pub fn rate(&self) -> f64 {
+        self.threshold as f64 / HASH_SPACE as f64
+    }
+
+    /// Raw accesses observed (sampled or not).
+    pub fn raw_accesses(&self) -> u64 {
+        self.raw_accesses
+    }
+
+    /// Accesses that passed the spatial filter.
+    pub fn sampled_accesses(&self) -> u64 {
+        self.sampled_accesses
+    }
+
+    /// Number of keys currently tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.stack.tracked()
+    }
+
+    /// Processes one access.
+    pub fn access(&mut self, key: u64) {
+        self.raw_accesses += 1;
+        let h = mix64(key ^ self.salt) % HASH_SPACE;
+        if h >= self.threshold {
+            return;
+        }
+        self.sampled_accesses += 1;
+        let rate = self.rate();
+        let weight = 1.0 / rate;
+        self.total_weight += weight;
+        let first_time = !self.stack.last_access.contains_key(&key);
+        match self.stack.access(key) {
+            None => self.compulsory_weight += weight,
+            Some(d) => {
+                // Scale the sampled distance into unsampled units.
+                let scaled = ((d as f64) / rate).round().max(1.0) as u64;
+                *self.histogram.entry(scaled).or_insert(0.0) += weight;
+            }
+        }
+        if first_time {
+            self.hashes.entry(h).or_default().push(key);
+            self.shrink_if_needed();
+        }
+    }
+
+    /// Processes a whole sequence.
+    pub fn access_all<I: IntoIterator<Item = u64>>(&mut self, keys: I) {
+        for k in keys {
+            self.access(k);
+        }
+    }
+
+    /// SHARDS-max: expel largest-hash keys until the bound holds, lowering
+    /// the threshold to the largest expelled hash.
+    fn shrink_if_needed(&mut self) {
+        let Some(max) = self.max_tracked else { return };
+        while self.stack.tracked() > max {
+            let (&h, _) = self.hashes.iter().next_back().expect("tracked keys have hashes");
+            let keys = self.hashes.remove(&h).expect("present");
+            for k in keys {
+                self.stack.remove(k);
+            }
+            // Future samples must hash strictly below the expelled value.
+            self.threshold = h;
+        }
+    }
+
+    /// Estimated LRU hit rate at `capacity` cache entries.
+    ///
+    /// Uses the standard SHARDS-adj correction: the weighted totals are
+    /// rescaled so the estimated access count matches the observed one,
+    /// compensating sampling-rate drift in the fixed-size variant.
+    pub fn hit_rate_at(&self, capacity: usize) -> f64 {
+        if self.total_weight <= 0.0 {
+            return 0.0;
+        }
+        let hits: f64 =
+            self.histogram.range(..=(capacity as u64)).map(|(_, w)| *w).sum();
+        (hits / self.total_weight).clamp(0.0, 1.0)
+    }
+
+    /// The estimated hit-rate curve at the given capacities.
+    pub fn hit_rate_curve(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
+        capacities.iter().map(|&c| (c, self.hit_rate_at(c))).collect()
+    }
+
+    /// Estimated compulsory-miss rate.
+    pub fn compulsory_miss_rate(&self) -> f64 {
+        if self.total_weight <= 0.0 {
+            0.0
+        } else {
+            self.compulsory_weight / self.total_weight
+        }
+    }
+}
+
+/// Mean absolute error between two hit-rate curves sampled at the same
+/// capacities — the metric SHARDS' evaluation reports.
+///
+/// # Panics
+///
+/// Panics if the curves have different lengths or mismatched capacities.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::shards::mean_absolute_error;
+///
+/// let exact = [(10, 0.5), (20, 0.8)];
+/// let est = [(10, 0.45), (20, 0.85)];
+/// let mae = mean_absolute_error(&exact, &est);
+/// assert!((mae - 0.05).abs() < 1e-12);
+/// ```
+pub fn mean_absolute_error(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    assert_eq!(a.len(), b.len(), "curves must be sampled at the same capacities");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&(ca, ha), &(cb, hb))| {
+            assert_eq!(ca, cb, "curves must be sampled at the same capacities");
+            (ha - hb).abs()
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::StackDistances;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn zipfish_stream(n: usize, universe: u64, seed: u64) -> Vec<u64> {
+        // Cheap skewed stream: square a uniform variate.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen::<f64>();
+                ((u * u) * universe as f64) as u64
+            })
+            .collect()
+    }
+
+    fn exact_curve(keys: &[u64], caps: &[usize]) -> Vec<(usize, f64)> {
+        let mut sd = StackDistances::with_capacity(keys.len());
+        sd.access_all(keys.iter().copied());
+        sd.hit_rate_curve(caps)
+    }
+
+    #[test]
+    fn rate_one_matches_exact() {
+        let keys = zipfish_stream(5_000, 500, 1);
+        let caps = [1, 10, 50, 100, 250, 500];
+        let exact = exact_curve(&keys, &caps);
+        let mut shards = Shards::new(1.0, 7);
+        shards.access_all(keys.iter().copied());
+        let est = shards.hit_rate_curve(&caps);
+        let mae = mean_absolute_error(&exact, &est);
+        assert!(mae < 1e-9, "rate 1.0 must be exact, mae={mae}");
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_exact_curve() {
+        let keys = zipfish_stream(40_000, 2_000, 2);
+        let caps = [10, 50, 100, 250, 500, 1000, 2000];
+        let exact = exact_curve(&keys, &caps);
+        let mut shards = Shards::new(0.1, 11);
+        shards.access_all(keys.iter().copied());
+        let est = shards.hit_rate_curve(&caps);
+        let mae = mean_absolute_error(&exact, &est);
+        assert!(mae < 0.05, "10% SHARDS should track the exact MRC, mae={mae}");
+    }
+
+    #[test]
+    fn fixed_size_bounds_memory() {
+        let keys = zipfish_stream(50_000, 10_000, 3);
+        let mut shards = Shards::fixed_size(256, 5);
+        shards.access_all(keys.iter().copied());
+        assert!(shards.tracked_keys() <= 256);
+        assert!(shards.rate() < 1.0, "threshold must have dropped");
+    }
+
+    #[test]
+    fn fixed_size_estimate_still_accurate() {
+        let keys = zipfish_stream(60_000, 3_000, 4);
+        let caps = [50, 100, 250, 500, 1000, 3000];
+        let exact = exact_curve(&keys, &caps);
+        let mut shards = Shards::fixed_size(512, 9);
+        shards.access_all(keys.iter().copied());
+        let est = shards.hit_rate_curve(&caps);
+        let mae = mean_absolute_error(&exact, &est);
+        assert!(mae < 0.08, "SHARDS-max estimate too far off, mae={mae}");
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_capacity() {
+        let keys = zipfish_stream(10_000, 1_000, 6);
+        let mut shards = Shards::new(0.25, 3);
+        shards.access_all(keys.iter().copied());
+        let mut prev = 0.0;
+        for c in [1, 2, 4, 8, 16, 64, 256, 1024] {
+            let h = shards.hit_rate_at(c);
+            assert!(h + 1e-12 >= prev, "hit rate must be monotone");
+            prev = h;
+        }
+        assert!(prev <= 1.0);
+    }
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        let shards = Shards::new(0.5, 0);
+        assert_eq!(shards.hit_rate_at(100), 0.0);
+        assert_eq!(shards.compulsory_miss_rate(), 0.0);
+        assert_eq!(shards.raw_accesses(), 0);
+    }
+
+    #[test]
+    fn compulsory_rate_reasonable() {
+        // A stream of unique keys is 100% compulsory misses.
+        let keys: Vec<u64> = (0..20_000).collect();
+        let mut shards = Shards::new(0.2, 1);
+        shards.access_all(keys.iter().copied());
+        assert!((shards.compulsory_miss_rate() - 1.0).abs() < 1e-9);
+        assert_eq!(shards.hit_rate_at(1_000_000), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn zero_rate_rejected() {
+        let _ = Shards::new(0.0, 0);
+    }
+}

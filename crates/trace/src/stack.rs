@@ -1,0 +1,328 @@
+//! Mattson stack distances and LRU hit-rate curves.
+//!
+//! The paper characterizes table reuse with stack distances (§3, Figure 3):
+//! the stack distance of an access is the number of *distinct* keys touched
+//! since the previous access to the same key — equivalently its rank from
+//! the top of an infinite LRU stack. An access with stack distance `d` hits
+//! in an LRU cache of capacity ≥ `d`; accumulating the distance histogram
+//! therefore yields the entire hit-rate curve in one pass.
+//!
+//! The classic O(n log n) algorithm keeps a Fenwick (binary-indexed) tree
+//! over access timestamps: each key's most recent access is marked `1`, so
+//! the number of distinct keys since time `t` is a suffix sum.
+
+use std::collections::HashMap;
+
+/// Fenwick tree over u64 counts supporting point update and prefix sum.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    /// Adds `delta` at position `i` (0-based).
+    fn add(&mut self, i: usize, delta: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based inclusive).
+    fn prefix(&self, i: usize) -> u64 {
+        let mut i = i + 1;
+        let mut s = 0u64;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn total(&self) -> u64 {
+        if self.tree.len() > 1 {
+            self.prefix(self.tree.len() - 2)
+        } else {
+            0
+        }
+    }
+}
+
+/// Streaming stack-distance calculator over `u64`-encodable keys.
+///
+/// Distances are 1-based: an immediate re-access (nothing else in between)
+/// has distance 1 and hits in a cache of capacity 1. First-time accesses are
+/// *compulsory misses* and have no distance.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::StackDistances;
+///
+/// let mut sd = StackDistances::with_capacity(8);
+/// assert_eq!(sd.access(10), None);     // compulsory
+/// assert_eq!(sd.access(20), None);     // compulsory
+/// assert_eq!(sd.access(10), Some(2));  // 10 is 2nd from the stack top
+/// assert_eq!(sd.access(10), Some(1));  // immediate re-access
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackDistances {
+    fenwick: Fenwick,
+    last_access: HashMap<u64, usize>,
+    time: usize,
+    /// histogram[d-1] = number of accesses with stack distance d (capped).
+    histogram: Vec<u64>,
+    compulsory: u64,
+    total: u64,
+}
+
+impl StackDistances {
+    /// Creates a calculator able to process `capacity` accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        StackDistances {
+            fenwick: Fenwick::new(capacity),
+            last_access: HashMap::new(),
+            time: 0,
+            histogram: Vec::new(),
+            compulsory: 0,
+            total: 0,
+        }
+    }
+
+    /// Processes one access; returns the stack distance or `None` for a
+    /// compulsory (first-time) miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more accesses are processed than the construction capacity.
+    pub fn access(&mut self, key: u64) -> Option<u64> {
+        assert!(self.time < self.fenwick.tree.len() - 1, "exceeded declared capacity");
+        self.total += 1;
+        let dist = match self.last_access.get(&key).copied() {
+            None => {
+                self.compulsory += 1;
+                None
+            }
+            Some(t) => {
+                // Distinct keys accessed strictly after t, plus the key itself.
+                let after = self.fenwick.total() - self.fenwick.prefix(t);
+                self.fenwick.add(t, -1);
+                Some(after + 1)
+            }
+        };
+        self.fenwick.add(self.time, 1);
+        self.last_access.insert(key, self.time);
+        self.time += 1;
+        if let Some(d) = dist {
+            let idx = d as usize - 1;
+            if idx >= self.histogram.len() {
+                self.histogram.resize(idx + 1, 0);
+            }
+            self.histogram[idx] += 1;
+        }
+        dist
+    }
+
+    /// Processes a whole sequence of accesses.
+    pub fn access_all<I: IntoIterator<Item = u64>>(&mut self, keys: I) {
+        for k in keys {
+            let _ = self.access(k);
+        }
+    }
+
+    /// Total accesses processed.
+    pub fn total_accesses(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of compulsory (first-time) misses.
+    pub fn compulsory_misses(&self) -> u64 {
+        self.compulsory
+    }
+
+    /// Fraction of accesses that were compulsory misses (Table 1's
+    /// "compulsory misses" column).
+    pub fn compulsory_miss_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.compulsory as f64 / self.total as f64
+        }
+    }
+
+    /// The stack-distance histogram: entry `d-1` counts accesses at distance
+    /// `d`.
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// LRU hit rate at a given cache capacity (in entries): the fraction of
+    /// accesses with stack distance ≤ `capacity`.
+    pub fn hit_rate_at(&self, capacity: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self.histogram.iter().take(capacity).sum();
+        hits as f64 / self.total as f64
+    }
+
+    /// The full hit-rate curve sampled at the given capacities.
+    pub fn hit_rate_curve(&self, capacities: &[usize]) -> Vec<(usize, f64)> {
+        capacities.iter().map(|&c| (c, self.hit_rate_at(c))).collect()
+    }
+}
+
+/// One-shot helper: hit-rate curve of a key sequence at the given cache
+/// sizes.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::hit_rate_curve;
+///
+/// let keys = [1u64, 2, 1, 2, 1, 2, 3, 3];
+/// let curve = hit_rate_curve(keys.iter().copied(), &[1, 2, 4]);
+/// assert_eq!(curve.len(), 3);
+/// assert!(curve[2].1 >= curve[0].1);
+/// ```
+pub fn hit_rate_curve<I: IntoIterator<Item = u64>>(
+    keys: I,
+    capacities: &[usize],
+) -> Vec<(usize, f64)> {
+    let keys: Vec<u64> = keys.into_iter().collect();
+    if keys.is_empty() {
+        return capacities.iter().map(|&c| (c, 0.0)).collect();
+    }
+    let mut sd = StackDistances::with_capacity(keys.len());
+    sd.access_all(keys);
+    sd.hit_rate_curve(capacities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive O(n²) oracle: distance = distinct keys since last access.
+    fn naive_distances(keys: &[u64]) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            let last = keys[..i].iter().rposition(|&x| x == k);
+            match last {
+                None => out.push(None),
+                Some(j) => {
+                    let mut distinct: Vec<u64> = keys[j + 1..i].to_vec();
+                    distinct.sort_unstable();
+                    distinct.dedup();
+                    out.push(Some(distinct.len() as u64 + 1));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_fixed_sequence() {
+        let keys = [1u64, 2, 3, 1, 2, 2, 4, 1, 3, 3, 2, 1, 5, 4];
+        let expected = naive_distances(&keys);
+        let mut sd = StackDistances::with_capacity(keys.len());
+        let got: Vec<Option<u64>> = keys.iter().map(|&k| sd.access(k)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn matches_naive_oracle_on_pseudorandom_sequence() {
+        // Deterministic pseudo-random keys without pulling in rand here.
+        let mut x = 12345u64;
+        let keys: Vec<u64> = (0..500)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) % 40
+            })
+            .collect();
+        let expected = naive_distances(&keys);
+        let mut sd = StackDistances::with_capacity(keys.len());
+        let got: Vec<Option<u64>> = keys.iter().map(|&k| sd.access(k)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn compulsory_misses_count_unique_keys() {
+        let keys = [5u64, 6, 5, 7, 6, 5];
+        let mut sd = StackDistances::with_capacity(keys.len());
+        sd.access_all(keys.iter().copied());
+        assert_eq!(sd.compulsory_misses(), 3);
+        assert_eq!(sd.total_accesses(), 6);
+        assert!((sd.compulsory_miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_curve_is_monotone() {
+        let keys: Vec<u64> = (0..200).map(|i| (i * 7) % 50).collect();
+        let curve = hit_rate_curve(keys.iter().copied(), &[1, 2, 5, 10, 25, 50, 100]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "curve not monotone: {curve:?}");
+        }
+        // At capacity >= distinct keys, hit rate = 1 - compulsory rate.
+        let last = curve.last().unwrap().1;
+        assert!((last - 0.75).abs() < 1e-12, "expected 150/200 hits, got {last}");
+    }
+
+    #[test]
+    fn cyclic_scan_defeats_small_lru() {
+        // The classic LRU-hostile pattern: cycling over N+1 keys with
+        // capacity N yields zero hits.
+        let n = 10usize;
+        let keys: Vec<u64> = (0..110).map(|i| i % (n as u64 + 1)).collect();
+        let mut sd = StackDistances::with_capacity(keys.len());
+        sd.access_all(keys.iter().copied());
+        assert_eq!(sd.hit_rate_at(n), 0.0);
+        assert!(sd.hit_rate_at(n + 1) > 0.8);
+    }
+
+    #[test]
+    fn immediate_reaccess_has_distance_one() {
+        let mut sd = StackDistances::with_capacity(4);
+        assert_eq!(sd.access(1), None);
+        assert_eq!(sd.access(1), Some(1));
+        assert_eq!(sd.access(1), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded declared capacity")]
+    fn over_capacity_panics() {
+        let mut sd = StackDistances::with_capacity(1);
+        let _ = sd.access(1);
+        let _ = sd.access(2);
+    }
+
+    #[test]
+    fn empty_curve_helper() {
+        let curve = hit_rate_curve(std::iter::empty(), &[1, 2]);
+        assert_eq!(curve, vec![(1, 0.0), (2, 0.0)]);
+    }
+
+    #[test]
+    fn fenwick_prefix_sums() {
+        let mut f = Fenwick::new(10);
+        f.add(0, 3);
+        f.add(4, 2);
+        f.add(9, 1);
+        assert_eq!(f.prefix(0), 3);
+        assert_eq!(f.prefix(3), 3);
+        assert_eq!(f.prefix(4), 5);
+        assert_eq!(f.prefix(9), 6);
+        assert_eq!(f.total(), 6);
+        f.add(4, -2);
+        assert_eq!(f.total(), 4);
+    }
+}

@@ -1,0 +1,241 @@
+//! Latent-topic co-access model.
+//!
+//! The paper's central premise is that embedding vectors exhibit co-access
+//! locality: vectors a user touches in one request tend to recur together in
+//! other requests (that is what SHP mines from the access history, §4.2.2).
+//! We synthesize that structure with latent topics: every vector belongs to
+//! one topic, requests draw a handful of topics, and lookups sample vectors
+//! from the drawn topics. The mapping from vector id to topic is a
+//! pseudorandom permutation, so the *id order carries no locality* — exactly
+//! the situation Bandana faces, where the physical table order is unrelated
+//! to co-access.
+
+use crate::spec::TableSpec;
+use crate::zipf::Zipf;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// The topic structure of one table: a partition of vector ids into topics
+/// plus popularity distributions.
+#[derive(Debug, Clone)]
+pub struct TopicModel {
+    /// topic_of[v] = topic index of vector v.
+    topic_of: Vec<u32>,
+    /// members[t] = vector ids in topic t (scrambled order; the position of
+    /// an id in this list is its popularity rank within the topic).
+    members: Vec<Vec<u32>>,
+    /// rank_of[v] = v's popularity rank within its topic (0 = hottest).
+    rank_of: Vec<u32>,
+    topic_zipf: Zipf,
+    member_zipf: Vec<Zipf>,
+    noise: f64,
+    num_vectors: u32,
+}
+
+impl TopicModel {
+    /// Builds the topic structure for a table, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has zero vectors or zero topics.
+    pub fn new(spec: &TableSpec, seed: u64) -> Self {
+        assert!(spec.num_vectors > 0, "table must have vectors");
+        assert!(spec.num_topics > 0, "table must have topics");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let n = spec.num_vectors as usize;
+        let t = spec.num_topics.min(spec.num_vectors) as usize;
+
+        // Shuffle ids, then deal them into topics round-robin so topic sizes
+        // are balanced and id order carries no topical signal.
+        let mut ids: Vec<u32> = (0..spec.num_vectors).collect();
+        shuffle(&mut ids, &mut rng);
+        let mut members: Vec<Vec<u32>> = vec![Vec::with_capacity(n / t + 1); t];
+        let mut topic_of = vec![0u32; n];
+        let mut rank_of = vec![0u32; n];
+        for (i, &v) in ids.iter().enumerate() {
+            let topic = i % t;
+            rank_of[v as usize] = members[topic].len() as u32;
+            members[topic].push(v);
+            topic_of[v as usize] = topic as u32;
+        }
+
+        let member_zipf =
+            members.iter().map(|m| Zipf::new(m.len() as u64, spec.vector_skew)).collect();
+        TopicModel {
+            topic_of,
+            members,
+            rank_of,
+            topic_zipf: Zipf::new(t as u64, spec.topic_skew),
+            member_zipf,
+            noise: spec.noise,
+            num_vectors: spec.num_vectors,
+        }
+    }
+
+    /// Number of topics.
+    pub fn num_topics(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Topic of a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn topic_of(&self, v: u32) -> u32 {
+        self.topic_of[v as usize]
+    }
+
+    /// The vector ids belonging to a topic.
+    pub fn topic_members(&self, topic: u32) -> &[u32] {
+        &self.members[topic as usize]
+    }
+
+    /// A vector's popularity rank within its topic (0 = hottest; the
+    /// in-topic Zipf draws ranks in this order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn rank_in_topic(&self, v: u32) -> u32 {
+        self.rank_of[v as usize]
+    }
+
+    /// Size of the topic containing `v`.
+    pub fn topic_size(&self, v: u32) -> usize {
+        self.members[self.topic_of(v) as usize].len()
+    }
+
+    /// Draws the topic set for one request.
+    pub fn sample_request_topics<R: Rng + ?Sized>(&self, count: u32, rng: &mut R) -> Vec<u32> {
+        let mut topics = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            topics.push(self.topic_zipf.sample(rng) as u32);
+        }
+        topics
+    }
+
+    /// Draws one vector lookup given the request's topic set.
+    pub fn sample_lookup<R: Rng + ?Sized>(&self, request_topics: &[u32], rng: &mut R) -> u32 {
+        if request_topics.is_empty() || rng.gen::<f64>() < self.noise {
+            return rng.gen_range(0..self.num_vectors);
+        }
+        let topic = request_topics[rng.gen_range(0..request_topics.len())] as usize;
+        let members = &self.members[topic];
+        let rank = self.member_zipf[topic].sample(rng) as usize;
+        members[rank]
+    }
+}
+
+/// Fisher–Yates shuffle with the caller's RNG (avoids depending on
+/// `rand::seq` trait imports at call sites).
+pub(crate) fn shuffle<T, R: Rng + ?Sized>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::TableSpec;
+
+    fn model() -> TopicModel {
+        TopicModel::new(&TableSpec::test_small(1024), 7)
+    }
+
+    #[test]
+    fn every_vector_has_a_topic_and_membership_is_consistent() {
+        let m = model();
+        let mut seen = vec![false; 1024];
+        for t in 0..m.num_topics() as u32 {
+            for &v in m.topic_members(t) {
+                assert_eq!(m.topic_of(v), t);
+                assert!(!seen[v as usize], "vector {v} in two topics");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some vector lost its topic");
+    }
+
+    #[test]
+    fn topic_sizes_are_balanced() {
+        let m = model();
+        let sizes: Vec<usize> = (0..m.num_topics() as u32).map(|t| m.topic_members(t).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "topic sizes {min}..{max} not balanced");
+    }
+
+    #[test]
+    fn id_order_carries_no_topic_signal() {
+        // Adjacent ids should usually be in different topics (the shuffle
+        // destroys contiguity); check that fewer than 30% of adjacent pairs
+        // share a topic when there are 16 topics.
+        let m = model();
+        let same: usize =
+            (0..1023u32).filter(|&v| m.topic_of(v) == m.topic_of(v + 1)).count();
+        let frac = same as f64 / 1023.0;
+        assert!(frac < 0.3, "adjacent-id same-topic fraction {frac}");
+    }
+
+    #[test]
+    fn lookups_stay_in_request_topics_mostly() {
+        let m = model();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let topics = m.sample_request_topics(2, &mut rng);
+        let mut in_topic = 0;
+        let total = 2000;
+        for _ in 0..total {
+            let v = m.sample_lookup(&topics, &mut rng);
+            if topics.contains(&m.topic_of(v)) {
+                in_topic += 1;
+            }
+        }
+        // noise = 0.05 in the test spec; allow sampling slack.
+        assert!(in_topic as f64 / total as f64 > 0.9, "in-topic fraction too low: {in_topic}/{total}");
+    }
+
+    #[test]
+    fn empty_topic_set_falls_back_to_uniform() {
+        let m = model();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = m.sample_lookup(&[], &mut rng);
+            assert!(v < 1024);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TopicModel::new(&TableSpec::test_small(512), 11);
+        let b = TopicModel::new(&TableSpec::test_small(512), 11);
+        for v in 0..512u32 {
+            assert_eq!(a.topic_of(v), b.topic_of(v));
+        }
+        let c = TopicModel::new(&TableSpec::test_small(512), 12);
+        let diff = (0..512u32).filter(|&v| a.topic_of(v) != c.topic_of(v)).count();
+        assert!(diff > 0, "different seeds should give different assignments");
+    }
+
+    #[test]
+    fn more_topics_than_vectors_is_clamped() {
+        let mut spec = TableSpec::test_small(4);
+        spec.num_topics = 100;
+        let m = TopicModel::new(&spec, 1);
+        assert_eq!(m.num_topics(), 4);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut xs: Vec<u32> = (0..100).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        shuffle(&mut xs, &mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+}

@@ -1,0 +1,239 @@
+//! Zipf-distributed sampling by rejection inversion.
+//!
+//! Access popularity in the Facebook workloads is heavy-tailed (paper
+//! Figure 4: some vectors in table 2 are read hundreds of thousands of times
+//! while table 7 has none above a thousand). A Zipf law over ranks is the
+//! standard generative model for such histograms; this module implements the
+//! Hörmann–Derflinger rejection-inversion sampler (the same algorithm used by
+//! Apache Commons and `rand_distr`), which samples in O(1) expected time for
+//! any exponent `s > 0` and domain size `n`.
+
+use rand::Rng;
+
+/// A Zipf(n, s) sampler producing ranks in `0..n` (0 is the most popular).
+///
+/// Probability of rank `k` (1-based) is proportional to `1 / k^s`. An
+/// exponent of `0` degenerates to the uniform distribution.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+/// let sample = zipf.sample(&mut rng);
+/// assert!(sample < 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_integral_x1: f64,
+    h_integral_n: f64,
+    threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "domain size must be non-zero");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let h_integral_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_integral_n = Self::h_integral(n as f64 + 0.5, s);
+        let threshold = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        Zipf { n, s, h_integral_x1, h_integral_n, threshold }
+    }
+
+    /// The domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// H(x) = ∫ h, with h(x) = x^-s: the integral used for inversion.
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - s) * log_x) * log_x
+    }
+
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    fn h_integral_inverse(x: f64, s: f64) -> f64 {
+        let mut t = x * (1.0 - s);
+        if t < -1.0 {
+            // Numerical guard: t must stay above -1 for the formula below.
+            t = -1.0;
+        }
+        (helper1(t) * x).exp()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.s == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        loop {
+            let u: f64 = self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let x = Self::h_integral_inverse(u, self.s);
+            let mut k64 = x.round();
+            if k64 < 1.0 {
+                k64 = 1.0;
+            } else if k64 > self.n as f64 {
+                k64 = self.n as f64;
+            }
+            if k64 - x <= self.threshold
+                || u >= Self::h_integral(k64 + 0.5, self.s) - Self::h(k64, self.s)
+            {
+                return k64 as u64 - 1;
+            }
+        }
+    }
+}
+
+/// helper1(x) = ln(1+x)/x, stable near zero.
+fn helper1(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+    }
+}
+
+/// helper2(x) = (exp(x)-1)/x, stable near zero.
+fn helper2(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn frequencies(n: u64, s: f64, samples: usize) -> Vec<u64> {
+        let zipf = Zipf::new(n, s);
+        let mut rng = ChaCha12Rng::seed_from_u64(123);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = Zipf::new(10, 1.2);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn exponent_one_matches_harmonic_law() {
+        // P(k) = (1/k) / H_n; check the head empirically.
+        let n = 100u64;
+        let counts = frequencies(n, 1.0, 200_000);
+        let h_n: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        for k in [1usize, 2, 5, 10] {
+            let expected = 200_000.0 / (k as f64 * h_n);
+            let got = counts[k - 1] as f64;
+            assert!(
+                (got - expected).abs() / expected < 0.1,
+                "rank {k}: expected ~{expected}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_two_is_steeper_than_one() {
+        let head1: u64 = frequencies(1000, 1.0, 100_000)[..10].iter().sum();
+        let head2: u64 = frequencies(1000, 2.0, 100_000)[..10].iter().sum();
+        assert!(head2 > head1, "s=2 head {head2} should exceed s=1 head {head1}");
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let counts = frequencies(50, 0.0, 100_000);
+        let expected = 100_000.0 / 50.0;
+        for (k, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() / expected < 0.2,
+                "rank {k}: count {c} too far from uniform {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_fractional_exponent_works() {
+        let counts = frequencies(100, 0.4, 100_000);
+        // Mildly skewed: rank 0 more popular than rank 99, but not extremely.
+        assert!(counts[0] > counts[99]);
+        assert!(counts[0] < 20 * counts[99].max(1));
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let zipf = Zipf::new(1, 1.5);
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let zipf = Zipf::new(1000, 0.9);
+        let mut a = ChaCha12Rng::seed_from_u64(9);
+        let mut b = ChaCha12Rng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn large_domain_does_not_overflow() {
+        let zipf = Zipf::new(u32::MAX as u64, 1.01);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < u32::MAX as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain size must be non-zero")]
+    fn zero_domain_rejected() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be finite and non-negative")]
+    fn negative_exponent_rejected() {
+        Zipf::new(10, -1.0);
+    }
+
+    #[test]
+    fn helpers_stable_near_zero() {
+        assert!((helper1(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper2(1e-12) - 1.0).abs() < 1e-9);
+        assert!((helper1(0.5) - (1.5f64.ln() / 0.5)).abs() < 1e-12);
+        assert!((helper2(0.5) - (0.5f64.exp_m1() / 0.5)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests for the trace substrate.
+
+use bandana_trace::{hit_rate_curve, StackDistances, Zipf};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Naive O(n²) stack-distance oracle.
+fn naive_distances(keys: &[u64]) -> Vec<Option<u64>> {
+    let mut out = Vec::with_capacity(keys.len());
+    for (i, &k) in keys.iter().enumerate() {
+        match keys[..i].iter().rposition(|&x| x == k) {
+            None => out.push(None),
+            Some(j) => {
+                let mut distinct: Vec<u64> = keys[j + 1..i].to_vec();
+                distinct.sort_unstable();
+                distinct.dedup();
+                out.push(Some(distinct.len() as u64 + 1));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The Fenwick-tree stack distances match the quadratic oracle on any
+    /// key sequence.
+    #[test]
+    fn stack_distances_match_oracle(keys in proptest::collection::vec(0u64..30, 1..300)) {
+        let expected = naive_distances(&keys);
+        let mut sd = StackDistances::with_capacity(keys.len());
+        let got: Vec<Option<u64>> = keys.iter().map(|&k| sd.access(k)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Compulsory misses equal the number of distinct keys.
+    #[test]
+    fn compulsory_misses_equal_distinct_keys(keys in proptest::collection::vec(0u64..50, 1..400)) {
+        let mut sd = StackDistances::with_capacity(keys.len());
+        sd.access_all(keys.iter().copied());
+        let mut distinct = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert_eq!(sd.compulsory_misses() as usize, distinct.len());
+    }
+
+    /// Hit-rate curves are monotone in cache size and bounded by
+    /// 1 − compulsory rate.
+    #[test]
+    fn hit_rate_curves_monotone(keys in proptest::collection::vec(0u64..40, 2..300)) {
+        let sizes: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64];
+        let curve = hit_rate_curve(keys.iter().copied(), &sizes);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        let mut distinct = keys.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let ceiling = 1.0 - distinct.len() as f64 / keys.len() as f64;
+        for &(_, hr) in &curve {
+            prop_assert!(hr <= ceiling + 1e-12);
+        }
+    }
+
+    /// Zipf samples stay in range for arbitrary domain/exponent.
+    #[test]
+    fn zipf_in_range(n in 1u64..10_000, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let zipf = Zipf::new(n, s);
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    /// An LRU of capacity >= distinct keys only misses compulsorily: the
+    /// curve's tail equals 1 - compulsory rate exactly.
+    #[test]
+    fn infinite_cache_hits_everything_but_compulsory(
+        keys in proptest::collection::vec(0u64..20, 1..200)
+    ) {
+        let mut sd = StackDistances::with_capacity(keys.len());
+        sd.access_all(keys.iter().copied());
+        let hr = sd.hit_rate_at(keys.len());
+        let expected = 1.0 - sd.compulsory_miss_rate();
+        prop_assert!((hr - expected).abs() < 1e-12);
+    }
+}
+
+mod estimator_props {
+    use super::*;
+    use bandana_trace::{AetModel, DriftConfig, DriftingTraceGenerator, ModelSpec, Shards};
+
+    proptest! {
+        /// SHARDS at rate 1.0 equals the exact curve for any stream.
+        #[test]
+        fn shards_rate_one_is_exact(
+            keys in proptest::collection::vec(0u64..64, 1..400),
+            salt in any::<u64>(),
+        ) {
+            let mut sd = StackDistances::with_capacity(keys.len());
+            sd.access_all(keys.iter().copied());
+            let mut shards = Shards::new(1.0, salt);
+            shards.access_all(keys.iter().copied());
+            for cap in [1usize, 2, 5, 10, 30, 64] {
+                let exact = sd.hit_rate_at(cap);
+                let est = shards.hit_rate_at(cap);
+                prop_assert!((exact - est).abs() < 1e-9, "cap {}: {} vs {}", cap, exact, est);
+            }
+        }
+
+        /// SHARDS estimates are valid probabilities and monotone in the
+        /// cache size, at any sampling rate.
+        #[test]
+        fn shards_estimates_are_monotone_probabilities(
+            keys in proptest::collection::vec(0u64..256, 1..500),
+            rate in 0.05f64..1.0,
+            salt in any::<u64>(),
+        ) {
+            let mut shards = Shards::new(rate, salt);
+            shards.access_all(keys.iter().copied());
+            let mut prev = 0.0f64;
+            for cap in [1usize, 4, 16, 64, 256, 1024] {
+                let h = shards.hit_rate_at(cap);
+                prop_assert!((0.0..=1.0).contains(&h));
+                prop_assert!(h + 1e-12 >= prev);
+                prev = h;
+            }
+        }
+
+        /// SHARDS-max never tracks more keys than its bound, whatever the
+        /// stream.
+        #[test]
+        fn shards_max_respects_bound(
+            keys in proptest::collection::vec(any::<u64>(), 1..600),
+            max in 1usize..64,
+        ) {
+            let mut shards = Shards::fixed_size(max, 1);
+            shards.access_all(keys.iter().copied());
+            prop_assert!(shards.tracked_keys() <= max);
+        }
+
+        /// AET miss rates are monotone non-increasing in capacity and land
+        /// in [0, 1]; at infinite capacity only compulsory misses remain.
+        #[test]
+        fn aet_miss_rates_behave(
+            keys in proptest::collection::vec(0u64..64, 1..400),
+        ) {
+            let mut aet = AetModel::new();
+            aet.access_all(keys.iter().copied());
+            let mut prev = 1.0f64;
+            for cap in [1usize, 2, 4, 8, 16, 32, 64, 100_000] {
+                let m = aet.miss_rate_at(cap);
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&m));
+                prop_assert!(m <= prev + 1e-9);
+                prev = m;
+            }
+            let cold = aet.cold_accesses() as f64 / keys.len() as f64;
+            prop_assert!((aet.miss_rate_at(100_000) - cold).abs() < 1e-9);
+        }
+
+        /// The drift remap is a bijection at every epoch shift: a drifted
+        /// trace references each id space without collisions biasing the
+        /// marginals (checked via in-range + shape preservation elsewhere).
+        #[test]
+        fn drift_keeps_ids_in_range(
+            seed in any::<u64>(),
+            rotate in 0.0f64..1.0,
+        ) {
+            let spec = ModelSpec::test_small();
+            let mut g = DriftingTraceGenerator::new(
+                &spec,
+                seed,
+                DriftConfig { requests_per_epoch: 20, rotate_fraction: rotate },
+            );
+            let trace = g.generate_requests(60); // 3 epochs
+            for (t, ts) in spec.tables.iter().enumerate() {
+                for id in trace.table_stream(t) {
+                    prop_assert!(id < ts.num_vectors);
+                }
+            }
+        }
+    }
+}

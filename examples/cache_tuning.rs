@@ -1,0 +1,99 @@
+//! Walkthrough of Bandana's cache-tuning machinery (paper §4.3): why blind
+//! prefetching fails, how threshold admission fixes it, and how miniature
+//! caches pick the threshold automatically.
+//!
+//! ```text
+//! cargo run --release --example cache_tuning
+//! ```
+
+use bandana::cache::{AdmissionPolicy, MiniatureCacheSet, PrefetchCacheSim};
+use bandana::partition::{social_hash_partition, AccessFrequency, BlockLayout, ShpConfig};
+use bandana::prelude::*;
+
+fn main() {
+    // One hot table, like the paper's table 2.
+    let spec = ModelSpec::paper_scaled(10_000);
+    let table = 1usize;
+    let n = spec.tables[table].num_vectors;
+    let mut generator = TraceGenerator::new(&spec, 77);
+    let train = generator.generate_requests(800);
+    let eval = generator.generate_requests(400);
+
+    // SHP placement from the training queries.
+    let order = social_hash_partition(
+        n,
+        train.table_queries(table),
+        &ShpConfig { block_capacity: 32, iterations: 12, seed: 1, parallel_depth: 2 },
+    );
+    let layout = BlockLayout::from_order(order, 32);
+    let freq = AccessFrequency::from_queries(n, train.table_queries(table));
+    let stream = eval.table_stream(table);
+    let cache_size = 100usize;
+
+    let run = |policy: AdmissionPolicy| {
+        let mut sim = PrefetchCacheSim::new(&layout, cache_size, policy, freq.clone());
+        for &v in &stream {
+            sim.lookup(v);
+        }
+        *sim.metrics()
+    };
+
+    println!("table 2 analogue: {n} vectors, cache {cache_size} vectors, {} lookups\n", stream.len());
+
+    let baseline = run(AdmissionPolicy::None);
+    println!("no prefetching (baseline):   {} block reads", baseline.block_reads);
+
+    // §4.3 step 1: treat prefetches like demand reads — thrashing.
+    let all = run(AdmissionPolicy::All { position: 0.0 });
+    println!(
+        "prefetch-all at queue top:   {} block reads ({:+.1}%)",
+        all.block_reads,
+        (baseline.block_reads as f64 / all.block_reads as f64 - 1.0) * 100.0
+    );
+
+    // §4.3.1: lower insertion position and shadow-cache filtering.
+    let lower = run(AdmissionPolicy::All { position: 0.7 });
+    println!(
+        "prefetch-all at position .7: {} block reads ({:+.1}%)",
+        lower.block_reads,
+        (baseline.block_reads as f64 / lower.block_reads as f64 - 1.0) * 100.0
+    );
+    let shadow = run(AdmissionPolicy::Shadow);
+    println!(
+        "shadow-cache admission:      {} block reads ({:+.1}%)",
+        shadow.block_reads,
+        (baseline.block_reads as f64 / shadow.block_reads as f64 - 1.0) * 100.0
+    );
+
+    // §4.3.2: frequency-threshold admission — sweep t.
+    println!("\nthreshold sweep:");
+    for t in [1u32, 2, 4, 8, 16] {
+        let m = run(AdmissionPolicy::Threshold { t });
+        println!(
+            "  t = {t:>2}: {} block reads ({:+.1}%), prefetch usefulness {:.0}%",
+            m.block_reads,
+            (baseline.block_reads as f64 / m.block_reads as f64 - 1.0) * 100.0,
+            m.prefetch_usefulness() * 100.0
+        );
+    }
+
+    // §4.3.3: let miniature caches pick t from a sampled stream.
+    let candidates = [1u32, 2, 4, 8, 16];
+    for rate in [1.0f64, 0.25, 0.1] {
+        let mut minis =
+            MiniatureCacheSet::new(&layout, &freq, cache_size, rate, &candidates, 3);
+        for &v in &stream {
+            minis.observe(v);
+        }
+        println!(
+            "\nminiature caches @ {:>4.0}% sampling chose t = {} (estimated gains: {:?})",
+            rate * 100.0,
+            minis.best_threshold(),
+            minis
+                .estimated_gains()
+                .iter()
+                .map(|(t, g)| format!("t{t}:{:+.0}%", g * 100.0))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Concurrent serving: the production shape of the system — many ranking
+//! threads hitting the same embedding store at once.
+//!
+//! Builds the paper's 8-table model, wraps the store in the lock-sharded
+//! [`ConcurrentStore`], and serves the same trace with 1, 2, 4, and 8
+//! worker threads, printing throughput and confirming the cache metrics
+//! are identical in aggregate.
+//!
+//! ```text
+//! cargo run --release --example concurrent_serving
+//! ```
+
+use bandana::prelude::*;
+
+fn build_store(
+    spec: &ModelSpec,
+    generator: &mut TraceGenerator,
+    training: &Trace,
+) -> Result<ConcurrentStore, BandanaError> {
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let config = BandanaConfig::default().with_cache_vectors(2_000).with_seed(7);
+    Ok(BandanaStore::build(spec, &embeddings, training, config)?.into_concurrent())
+}
+
+fn main() -> Result<(), BandanaError> {
+    let spec = ModelSpec::paper_scaled(10_000);
+    let mut generator = TraceGenerator::new(&spec, 42);
+    let training = generator.generate_requests(1_000);
+    let serving = generator.generate_requests(800);
+
+    println!(
+        "serving {} requests / {} lookups across {} tables\n",
+        serving.requests.len(),
+        serving.total_lookups(),
+        spec.num_tables()
+    );
+    println!("{:>8}  {:>12}  {:>10}  {:>10}", "threads", "lookups/s", "hit rate", "blk reads");
+
+    for threads in [1usize, 2, 4, 8] {
+        // Fresh store per run so each thread count starts cold.
+        let store = build_store(&spec, &mut TraceGenerator::new(&spec, 42), &training)?;
+        let report = store.serve_trace_parallel(&serving, threads)?;
+        let m = store.total_metrics();
+        println!(
+            "{:>8}  {:>12.0}  {:>9.1}%  {:>10}",
+            report.threads,
+            report.lookups_per_second(),
+            m.hit_rate() * 100.0,
+            m.block_reads
+        );
+        assert_eq!(m.lookups, serving.total_lookups() as u64);
+    }
+
+    println!(
+        "\nHit rates and block reads stay (nearly) constant across thread counts: \
+         the shards only change *who* serves a lookup, not what is cached. \
+         Throughput is bounded by the device lock on misses — exactly the \
+         NVM-bandwidth bottleneck the paper optimizes."
+    );
+    let _ = generator; // keep the original generator's stream position unused
+    Ok(())
+}

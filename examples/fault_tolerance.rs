@@ -1,0 +1,97 @@
+//! Fault tolerance: what happens when the NVM device misbehaves.
+//!
+//! Wraps a file-backed block device in a [`FaultInjector`] and drives one
+//! embedding table through three failure regimes:
+//!
+//! 1. a flaky device (5% of reads fail) — lookups surface errors on misses
+//!    but keep serving cached vectors;
+//! 2. a fully dead device — the DRAM cache still answers for its working
+//!    set;
+//! 3. endurance exhaustion — retraining writes fail with `WornOut`,
+//!    bounding how often embeddings can be refreshed (§2.2).
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use bandana::nvm::FaultPlan;
+use bandana::partition::{AccessFrequency, BlockLayout};
+use bandana::prelude::*;
+use bandana::trace::spec::TableSpec;
+use bandana::trace::TopicModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let num_vectors = 4_096u32;
+    let vector_bytes = 128usize;
+    let vectors_per_block = 4096 / vector_bytes;
+    let spec = TableSpec::test_small(num_vectors);
+    let topics = TopicModel::new(&spec, 1);
+    let embeddings = EmbeddingTable::synthesize(num_vectors, 32, &topics, 2);
+    let layout = BlockLayout::identity(num_vectors, vectors_per_block);
+
+    // A real file on disk backs the blocks.
+    let path = std::env::temp_dir().join(format!("bandana-faults-{}.blocks", std::process::id()));
+    let file_dev = FileNvmDevice::create(&path, 4096, layout.num_blocks() as u64)?;
+
+    // Regime 1: 5% of reads fail.
+    let plan = FaultPlan::new(99).with_read_error_rate(0.05);
+    let mut device = FaultInjector::new(file_dev, plan);
+
+    let mut table = TableStore::new(
+        0,
+        layout,
+        AccessFrequency::zeros(num_vectors),
+        AdmissionPolicy::All { position: 0.0 },
+        512,
+        1.5,
+        0,
+        vector_bytes,
+    );
+    table.write_embeddings(&mut device, &embeddings)?;
+
+    let mut served = 0u64;
+    let mut failed = 0u64;
+    for i in 0..4_000u32 {
+        // A skewed stream: half the traffic hits a hot 512-vector set (all
+        // cached), the rest sweeps the full table and keeps missing.
+        let v = if i % 2 == 0 { (i / 2) % 512 } else { (i * i * 7 + i) % num_vectors };
+        match table.lookup(&mut device, v) {
+            Ok(_) => served += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    println!("flaky device (5% read faults): {served} served, {failed} failed");
+    println!(
+        "  cache hit rate {:.1}% — hits never touch the faulty device",
+        table.metrics().hit_rate() * 100.0
+    );
+    assert!(served > failed * 10, "the DRAM cache should absorb most traffic");
+
+    // Regime 2: device goes fully dark; the cached working set survives.
+    let survivors = {
+        let dead_plan = FaultPlan::new(7).with_read_error_rate(1.0);
+        let mut dead = FaultInjector::new(device.into_inner(), dead_plan);
+        let mut ok = 0;
+        for v in 0..512u32 {
+            if table.lookup(&mut dead, v).is_ok() {
+                ok += 1;
+            }
+        }
+        device = dead; // keep for regime 3
+        ok
+    };
+    println!("\ndead device: {survivors}/512 hot vectors still served from DRAM");
+
+    // Regime 3: endurance exhaustion caps retraining.
+    let budget_bytes = 4096u64 * 40; // 40 block-writes before wear-out
+    let worn_plan = FaultPlan::new(3).with_wear_out_after_bytes(budget_bytes);
+    let mut worn = FaultInjector::new(device.into_inner(), worn_plan);
+    let retrained = EmbeddingTable::synthesize(num_vectors, 32, &topics, 3);
+    match table.write_embeddings(&mut worn, &retrained) {
+        Ok(()) => println!("\nretraining fit inside the endurance budget"),
+        Err(e) => println!("\nretraining rejected: {e}"),
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! MRC explorer: three ways to estimate a table's hit-rate curve, compared.
+//!
+//! Bandana tunes per-table DRAM budgets from hit-rate curves (§4.3.3). The
+//! exact Mattson computation tracks every key; SHARDS samples a fraction of
+//! them; AET needs only reuse times. This example builds all three for the
+//! paper's hottest table and prints the curves side by side with their
+//! mean absolute error and memory footprint.
+//!
+//! ```text
+//! cargo run --release --example mrc_explorer
+//! ```
+
+use bandana::prelude::*;
+use bandana::trace::{mean_absolute_error, StackDistances};
+
+fn main() {
+    let spec = ModelSpec::paper_scaled(1_000);
+    let mut generator = TraceGenerator::new(&spec, 42);
+    let trace = generator.generate_requests(4_000);
+    let table = 1; // the paper's table 2: hottest, most cacheable
+    let stream: Vec<u64> = trace.table_stream(table).iter().map(|&v| v as u64).collect();
+    println!(
+        "table {} stream: {} lookups over {} vectors\n",
+        table + 1,
+        stream.len(),
+        spec.tables[table].num_vectors
+    );
+
+    let caps: Vec<usize> = [500usize, 1_000, 2_000, 4_000, 8_000, 16_000].to_vec();
+
+    // Exact Mattson stack distances.
+    let mut exact = StackDistances::with_capacity(stream.len());
+    exact.access_all(stream.iter().copied());
+    let exact_curve = exact.hit_rate_curve(&caps);
+
+    // SHARDS at 10% and a fixed 512-key budget.
+    let mut shards10 = Shards::new(0.1, 7);
+    shards10.access_all(stream.iter().copied());
+    let mut shards_max = Shards::fixed_size(512, 7);
+    shards_max.access_all(stream.iter().copied());
+
+    // AET from reuse times only.
+    let mut aet = AetModel::new();
+    aet.access_all(stream.iter().copied());
+
+    println!(
+        "{:>10}  {:>8}  {:>11}  {:>11}  {:>8}",
+        "cache", "exact", "SHARDS 10%", "SHARDS 512", "AET"
+    );
+    for &c in &caps {
+        println!(
+            "{:>10}  {:>7.1}%  {:>10.1}%  {:>10.1}%  {:>7.1}%",
+            c,
+            exact.hit_rate_at(c) * 100.0,
+            shards10.hit_rate_at(c) * 100.0,
+            shards_max.hit_rate_at(c) * 100.0,
+            aet.hit_rate_at(c) * 100.0,
+        );
+    }
+
+    let mae = |curve: Vec<(usize, f64)>| mean_absolute_error(&exact_curve, &curve);
+    println!("\nmean absolute error vs exact:");
+    println!("  SHARDS 10%:  {:.4} ({} keys tracked)", mae(shards10.hit_rate_curve(&caps)), shards10.tracked_keys());
+    println!("  SHARDS 512:  {:.4} ({} keys tracked)", mae(shards_max.hit_rate_curve(&caps)), shards_max.tracked_keys());
+    println!("  AET:         {:.4}", mae(aet.hit_rate_curve(&caps)));
+    println!(
+        "\nThe sampled estimators track the exact curve to within a few \
+         points at a fraction of the state — this is why Bandana can keep \
+         re-estimating curves online."
+    );
+}

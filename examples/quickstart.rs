@@ -1,0 +1,76 @@
+//! Quickstart: build a Bandana store and measure what the paper measures —
+//! hit rate and effective bandwidth against the single-vector baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bandana::prelude::*;
+
+fn main() -> Result<(), BandanaError> {
+    // The paper's 8-table user-embedding model, 10 000x smaller.
+    let spec = ModelSpec::paper_scaled(10_000);
+    let mut generator = TraceGenerator::new(&spec, 42);
+
+    println!("model: {} tables, {} B vectors", spec.num_tables(), spec.vector_bytes());
+
+    // A training trace drives everything supervised: SHP placement,
+    // per-vector access frequencies, and threshold tuning.
+    let training = generator.generate_requests(1_000);
+    println!("training trace: {} requests / {} lookups", training.requests.len(), training.total_lookups());
+
+    // Embedding values (synthetic here; in production these come from the
+    // trained model).
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+
+    // Build with SHP placement and tuned thresholds (the paper's shipping
+    // configuration), with a DRAM budget of 2 000 vectors across tables.
+    let config = BandanaConfig::default().with_cache_vectors(2_000).with_seed(7);
+    let mut store = BandanaStore::build(&spec, &embeddings, &training, config)?;
+
+    // Serve an evaluation trace.
+    let eval = generator.generate_requests(500);
+    store.serve_trace(&eval)?;
+
+    let m = store.total_metrics();
+    println!("\nserved {} lookups", m.lookups);
+    println!("hit rate:          {:.1}%", m.hit_rate() * 100.0);
+    println!("NVM block reads:   {}", m.block_reads);
+    println!("prefetches used:   {:.1}%", m.prefetch_usefulness() * 100.0);
+
+    // Compare against a baseline store: same budget, no prefetching, no
+    // locality-aware placement.
+    let base_cfg = BandanaConfig::default()
+        .with_cache_vectors(2_000)
+        .with_partitioner(PartitionerKind::Identity)
+        .with_admission(AdmissionPolicy::None)
+        .with_seed(7);
+    let mut baseline = BandanaStore::build(&spec, &embeddings, &training, base_cfg)?;
+    baseline.serve_trace(&eval)?;
+    let b = baseline.total_metrics();
+
+    let gain = b.block_reads as f64 / m.block_reads as f64 - 1.0;
+    println!("\nbaseline block reads: {}", b.block_reads);
+    println!("effective bandwidth increase: {:+.1}%", gain * 100.0);
+
+    // Retraining endurance check (§2.2 of the paper): full-table rewrites
+    // 10-20x/day must stay under the device's 30 DWPD budget.
+    for (t, emb) in embeddings.iter().enumerate() {
+        store.retrain(t, emb)?;
+    }
+    println!(
+        "\nafter one full retrain: {:.4} drive writes (30/day budget: {})",
+        store.endurance().drive_writes(),
+        if store.endurance().within_budget(1.0) { "OK" } else { "EXCEEDED" }
+    );
+    Ok(())
+}

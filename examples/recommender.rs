@@ -1,0 +1,100 @@
+//! A toy post-ranking service on top of Bandana, mirroring the paper's §2.1
+//! deployment: user embeddings live on NVM behind a small DRAM cache, and
+//! each ranking request gathers the user's feature vectors, averages them,
+//! and scores candidate posts by dot product.
+//!
+//! ```text
+//! cargo run --release --example recommender
+//! ```
+
+use bandana::prelude::*;
+
+/// Decodes a little-endian f32 payload (as stored on the device).
+fn decode(bytes: &[u8]) -> Vec<f32> {
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect()
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn main() -> Result<(), BandanaError> {
+    let spec = ModelSpec::paper_scaled(10_000);
+    let dim = spec.dim;
+    let mut generator = TraceGenerator::new(&spec, 1234);
+    let training = generator.generate_requests(800);
+
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                100 + t as u64,
+            )
+        })
+        .collect();
+
+    let config = BandanaConfig::default().with_cache_vectors(2_000).with_seed(9);
+    let mut store = BandanaStore::build(&spec, &embeddings, &training, config)?;
+
+    // "Post embeddings" stay in DRAM in the paper (they are read 20x more
+    // often); model them as a plain in-memory list of candidates.
+    let num_posts = 64usize;
+    let posts: Vec<Vec<f32>> = (0..num_posts)
+        .map(|p| (0..dim).map(|d| ((p * 31 + d * 7) % 13) as f32 / 13.0 - 0.5).collect())
+        .collect();
+
+    // Rank posts for a stream of users.
+    let user_requests = generator.generate_requests(200);
+    let mut served = 0usize;
+    let mut top_post_histogram = vec![0usize; num_posts];
+    for request in &user_requests.requests {
+        // Gather the user's embedding vectors from every table and average
+        // them into a single user vector (a stand-in for the paper's NN).
+        let mut user_vec = vec![0f32; dim];
+        let mut count = 0usize;
+        for q in &request.queries {
+            for &v in &q.ids {
+                let payload = store.lookup(q.table, v)?;
+                for (acc, x) in user_vec.iter_mut().zip(decode(&payload)) {
+                    *acc += x;
+                }
+                count += 1;
+            }
+        }
+        for x in &mut user_vec {
+            *x /= count.max(1) as f32;
+        }
+        // Score candidates.
+        let best = posts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| dot(&user_vec, a.1).partial_cmp(&dot(&user_vec, b.1)).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        top_post_histogram[best] += 1;
+        served += 1;
+    }
+
+    let m = store.total_metrics();
+    println!("ranked posts for {served} users ({} embedding lookups)", m.lookups);
+    println!("DRAM hit rate: {:.1}%", m.hit_rate() * 100.0);
+    println!("NVM block reads: {} ({} bytes)", m.block_reads, store.device_counters().bytes_read);
+
+    // Convert block reads into time on the calibrated device at QD8 and
+    // report the effective-bandwidth view of the run.
+    let model = nvm_sim::QueueModel::optane();
+    let seconds = m.block_reads as f64 * model.mean_latency(8) / 8.0;
+    let app_bytes = m.lookups as f64 * spec.vector_bytes() as f64;
+    let dev_bytes = store.device_counters().bytes_read as f64;
+    println!(
+        "device time at QD8: {:.1} ms; effective bandwidth: {:.1}% of raw",
+        seconds * 1e3,
+        100.0 * app_bytes.min(dev_bytes) / dev_bytes.max(1.0),
+    );
+
+    let favourites = top_post_histogram.iter().filter(|&&c| c > 0).count();
+    println!("distinct top posts across users: {favourites}/{num_posts}");
+    Ok(())
+}

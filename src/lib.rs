@@ -1,0 +1,73 @@
+//! # bandana — NVM storage for deep-learning embedding tables
+//!
+//! A from-scratch Rust reproduction of **"Bandana: Using Non-volatile
+//! Memory for Storing Deep Learning Models"** (Eisenman et al., MLSys
+//! 2019). This facade crate re-exports the whole workspace:
+//!
+//! * [`core`](bandana_core) — the [`BandanaStore`]: embedding tables on
+//!   simulated block NVM, DRAM-cached, with locality-aware placement and
+//!   miniature-cache-tuned prefetch admission;
+//! * [`nvm`](nvm_sim) — the calibrated NVM device simulator;
+//! * [`trace`](bandana_trace) — synthetic Facebook-like lookup workloads;
+//! * [`partition`](bandana_partition) — SHP hypergraph partitioning and
+//!   K-means placement;
+//! * [`cache`](bandana_cache) — segmented LRU, shadow cache, admission
+//!   policies, miniature caches, DRAM allocation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bandana::prelude::*;
+//!
+//! # fn main() -> Result<(), BandanaError> {
+//! // A scaled-down 8-table model shaped like the paper's Table 1.
+//! let spec = ModelSpec::paper_scaled(10_000);
+//! let mut generator = TraceGenerator::new(&spec, 42);
+//! let training = generator.generate_requests(500);
+//!
+//! // Synthesize embeddings and build the store: SHP placement, tuned
+//! // admission thresholds, hit-rate-curve DRAM division.
+//! let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+//!     .map(|t| EmbeddingTable::synthesize(
+//!         spec.tables[t].num_vectors, spec.dim, generator.topic_model(t), t as u64))
+//!     .collect();
+//! let config = BandanaConfig::default().with_cache_vectors(1_000);
+//! let mut store = BandanaStore::build(&spec, &embeddings, &training, config)?;
+//!
+//! // Serve traffic.
+//! let eval = generator.generate_requests(100);
+//! store.serve_trace(&eval)?;
+//! let m = store.total_metrics();
+//! assert!(m.hit_rate() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bandana_cache as cache;
+pub use bandana_core as core;
+pub use bandana_partition as partition;
+pub use bandana_trace as trace;
+pub use nvm_sim as nvm;
+
+/// The common imports for working with Bandana.
+pub mod prelude {
+    pub use bandana_cache::{AdmissionPolicy, AllocationPolicy, CacheMetrics, PolicyKind};
+    pub use bandana_core::{
+        BandanaConfig, BandanaError, BandanaStore, ConcurrentStore, PartitionerKind, TableStore,
+        ThroughputReport,
+    };
+    pub use bandana_partition::{AccessFrequency, BlockLayout};
+    pub use bandana_trace::{
+        AetModel, CounterStacks, DriftConfig, DriftingTraceGenerator, EmbeddingTable, ModelSpec,
+        Request, Shards, TableQuery, Trace, TraceGenerator,
+    };
+    pub use nvm_sim::{
+        BlockDevice, FaultInjector, FaultPlan, FileNvmDevice, NvmConfig, NvmDevice,
+    };
+}

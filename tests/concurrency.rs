@@ -1,0 +1,125 @@
+//! Integration tests: the concurrent store serves correct bytes and
+//! consistent metrics under parallel load.
+
+use bandana::prelude::*;
+use std::sync::Arc;
+
+fn build(seed: u64, cache: usize) -> (ConcurrentStore, Vec<EmbeddingTable>, TraceGenerator, ModelSpec) {
+    let spec = ModelSpec::test_small();
+    let mut generator = TraceGenerator::new(&spec, seed);
+    let training = generator.generate_requests(300);
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let store = BandanaStore::build(
+        &spec,
+        &embeddings,
+        &training,
+        BandanaConfig::default().with_cache_vectors(cache),
+    )
+    .expect("build store")
+    .into_concurrent();
+    (store, embeddings, generator, spec)
+}
+
+#[test]
+fn parallel_lookups_return_correct_bytes() {
+    let (store, embeddings, _, spec) = build(1, 512);
+    let store = Arc::new(store);
+    let mut handles = Vec::new();
+    for worker in 0..4u32 {
+        let store = Arc::clone(&store);
+        let embeddings = embeddings.clone();
+        let spec = spec.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..2_000u32 {
+                let t = ((i + worker) % spec.num_tables() as u32) as usize;
+                let v = (i * 31 + worker * 7) % spec.tables[t].num_vectors;
+                let got = store.lookup(t, v).expect("lookup");
+                assert_eq!(
+                    got.as_ref(),
+                    embeddings[t].vector_as_bytes(v).as_slice(),
+                    "worker {worker}: table {t} vector {v} corrupted"
+                );
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    let m = store.total_metrics();
+    assert_eq!(m.lookups, 4 * 2_000);
+    assert_eq!(m.hits + m.misses, m.lookups);
+}
+
+#[test]
+fn metrics_are_internally_consistent_after_parallel_trace() {
+    let (store, _, mut generator, _) = build(2, 256);
+    let serving = generator.generate_requests(300);
+    store.serve_trace_parallel(&serving, 4).expect("serve");
+    let m = store.total_metrics();
+    assert_eq!(m.lookups, serving.total_lookups() as u64);
+    assert_eq!(m.hits + m.misses, m.lookups);
+    assert_eq!(m.block_reads, m.misses, "every miss costs exactly one block read");
+    // Device counters agree with cache accounting.
+    assert_eq!(store.device_counters().reads, m.block_reads);
+}
+
+#[test]
+fn thread_count_does_not_change_workload_totals() {
+    let (_, _, mut generator, _) = build(3, 256);
+    let serving = generator.generate_requests(300);
+    let mut block_reads = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let (store, _, _, _) = build(3, 256);
+        store.serve_trace_parallel(&serving, threads).expect("serve");
+        block_reads.push(store.total_metrics().block_reads);
+    }
+    // Interleaving shifts which lookup misses, but the totals must agree
+    // closely — the caches see the same requests.
+    let max = *block_reads.iter().max().expect("non-empty") as f64;
+    let min = *block_reads.iter().min().expect("non-empty") as f64;
+    assert!(
+        max / min < 1.15,
+        "block reads vary too much across thread counts: {block_reads:?}"
+    );
+}
+
+#[test]
+fn reset_metrics_clears_counters_but_keeps_cache() {
+    // A cache big enough (6144 ≥ both tables' id spaces) that the whole
+    // working set survives the first pass.
+    let (store, _, mut generator, _) = build(4, 6144);
+    let serving = generator.generate_requests(100);
+    store.serve_trace_parallel(&serving, 2).expect("serve");
+    let cold_hit_rate = store.total_metrics().hit_rate();
+    store.reset_metrics();
+    assert_eq!(store.total_metrics().lookups, 0);
+    assert_eq!(store.device_counters().reads, 0);
+    // Replaying the same trace against the warm cache hits ~everything.
+    store.serve_trace_parallel(&serving, 2).expect("serve again");
+    let warm = store.total_metrics();
+    assert!(
+        warm.hit_rate() > 0.95 && warm.hit_rate() > cold_hit_rate,
+        "warm replay ({:.2}) should beat the cold run ({cold_hit_rate:.2})",
+        warm.hit_rate()
+    );
+}
+
+#[test]
+fn per_table_metrics_sum_to_total() {
+    let (store, _, mut generator, _) = build(5, 256);
+    let serving = generator.generate_requests(200);
+    store.serve_trace_parallel(&serving, 4).expect("serve");
+    let per_table = store.table_metrics();
+    let total = store.total_metrics();
+    assert_eq!(per_table.iter().map(|m| m.lookups).sum::<u64>(), total.lookups);
+    assert_eq!(per_table.iter().map(|m| m.block_reads).sum::<u64>(), total.block_reads);
+}

@@ -1,0 +1,201 @@
+//! Integration tests spanning crates: MRC estimators on the paper
+//! workload, allocation policies end-to-end, and online re-tuning under
+//! popularity drift.
+
+use bandana::cache::{allocate_with, AllocationPolicy, HitRateCurve};
+use bandana::core::online::{OnlineTuner, OnlineTunerConfig};
+use bandana::partition::{social_hash_partition, AccessFrequency, BlockLayout, ShpConfig};
+use bandana::prelude::*;
+use bandana::trace::{mean_absolute_error, StackDistances};
+
+const SEED: u64 = 0xE57;
+
+fn paper_stream(table: usize, requests: usize) -> (ModelSpec, Vec<u64>) {
+    let spec = ModelSpec::paper_scaled(10_000);
+    let mut generator = TraceGenerator::new(&spec, SEED);
+    let trace = generator.generate_requests(requests);
+    let stream = trace.table_stream(table).iter().map(|&v| v as u64).collect();
+    (spec, stream)
+}
+
+#[test]
+fn shards_and_aet_agree_with_exact_on_paper_workload() {
+    // Not a synthetic toy stream: the actual Table-1-shaped workload the
+    // whole harness runs on.
+    let (_, stream) = paper_stream(1, 2_000);
+    let caps = [50usize, 100, 200, 400, 800, 1600];
+
+    let mut exact = StackDistances::with_capacity(stream.len());
+    exact.access_all(stream.iter().copied());
+    let exact_curve = exact.hit_rate_curve(&caps);
+
+    let mut shards = Shards::new(0.2, 3);
+    shards.access_all(stream.iter().copied());
+    let mae_shards = mean_absolute_error(&exact_curve, &shards.hit_rate_curve(&caps));
+    assert!(mae_shards < 0.06, "SHARDS MAE {mae_shards}");
+
+    let mut aet = AetModel::new();
+    aet.access_all(stream.iter().copied());
+    let mae_aet = mean_absolute_error(&exact_curve, &aet.hit_rate_curve(&caps));
+    assert!(mae_aet < 0.06, "AET MAE {mae_aet}");
+}
+
+#[test]
+fn shards_curves_can_drive_dram_allocation() {
+    // Allocating from sampled curves must produce nearly the same division
+    // as allocating from exact curves — the practical payoff of SHARDS.
+    let spec = ModelSpec::paper_scaled(10_000);
+    let mut generator = TraceGenerator::new(&spec, SEED + 1);
+    let trace = generator.generate_requests(1_500);
+    let caps: Vec<usize> = vec![25, 50, 100, 200, 400, 800];
+    let tables = spec.num_tables();
+
+    let weights: Vec<f64> = (0..tables)
+        .map(|t| trace.table_lookups(t) as f64 / trace.total_lookups().max(1) as f64)
+        .collect();
+
+    let exact_curves: Vec<HitRateCurve> = (0..tables)
+        .map(|t| {
+            let stream = trace.table_stream(t);
+            let mut sd = StackDistances::with_capacity(stream.len().max(1));
+            sd.access_all(stream.iter().map(|&v| v as u64));
+            HitRateCurve::new(sd.hit_rate_curve(&caps))
+        })
+        .collect();
+    let sampled_curves: Vec<HitRateCurve> = (0..tables)
+        .map(|t| {
+            let mut s = Shards::new(0.25, 7 + t as u64);
+            s.access_all(trace.table_stream(t).iter().map(|&v| v as u64));
+            HitRateCurve::new(s.hit_rate_curve(&caps))
+        })
+        .collect();
+
+    let total = 800usize;
+    let from_exact =
+        allocate_with(AllocationPolicy::GreedyMarginal, total, &exact_curves, &weights, 50);
+    let from_sampled =
+        allocate_with(AllocationPolicy::GreedyMarginal, total, &sampled_curves, &weights, 50);
+
+    // Compare achieved (exact-curve) hit rates, not the allocations
+    // themselves — several near-ties are acceptable.
+    let score = |alloc: &[usize]| {
+        alloc
+            .iter()
+            .zip(&exact_curves)
+            .zip(&weights)
+            .map(|((&a, c), &w)| w * c.hit_rate_at(a))
+            .sum::<f64>()
+    };
+    let loss = score(&from_exact) - score(&from_sampled);
+    assert!(
+        loss < 0.03,
+        "sampled-curve allocation loses {loss:.4} hit rate vs exact"
+    );
+}
+
+#[test]
+fn online_tuner_adapts_across_drift_epochs() {
+    // A drifting workload: the tuner must keep producing decisions whose
+    // estimated gain stays positive, and it must not freeze on epoch 0.
+    let spec = ModelSpec::paper_scaled(10_000);
+    let table = 1;
+    let num_vectors = spec.tables[table].num_vectors;
+    let mut generator = DriftingTraceGenerator::new(
+        &spec,
+        SEED + 2,
+        DriftConfig { requests_per_epoch: 300, rotate_fraction: 0.3 },
+    );
+    let training = generator.generate_requests(300);
+
+    let cfg = ShpConfig {
+        block_capacity: 32,
+        iterations: 8,
+        seed: SEED,
+        parallel_depth: 2,
+    };
+    let order = social_hash_partition(num_vectors, training.table_queries(table), &cfg);
+    let layout = BlockLayout::from_order(order, 32);
+    let freq = AccessFrequency::from_queries(num_vectors, training.table_queries(table));
+
+    let mut tuner = OnlineTuner::new(
+        &layout,
+        &freq,
+        OnlineTunerConfig {
+            cache_capacity: 100,
+            sampling_rate: 1.0,
+            candidate_thresholds: vec![1, 2, 5, 10],
+            epoch_lookups: 3_000,
+            salt: 11,
+        },
+    );
+
+    let live = generator.generate_requests(1_200); // several drift epochs
+    let mut decisions = Vec::new();
+    for q in live.table_queries(table) {
+        for &v in q {
+            if let Some(d) = tuner.observe(v) {
+                decisions.push(d);
+            }
+        }
+    }
+    assert!(decisions.len() >= 3, "expected several tuning epochs, got {}", decisions.len());
+    for d in &decisions {
+        assert!(
+            tuner.current_policy().is_some(),
+            "a decision must install a policy (epoch {})",
+            d.epoch
+        );
+    }
+}
+
+#[test]
+fn drift_erodes_static_gain_end_to_end() {
+    // Build a full store trained on epoch 0 and serve drifting epochs:
+    // hit rate must fall relative to serving the training-distribution.
+    let spec = ModelSpec::test_small();
+    let mut generator = DriftingTraceGenerator::new(
+        &spec,
+        SEED + 3,
+        DriftConfig { requests_per_epoch: 400, rotate_fraction: 0.45 },
+    );
+    let training = generator.generate_requests(400); // epoch 0
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                TraceGenerator::new(&spec, SEED + 3).topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let build = || {
+        BandanaStore::build(
+            &spec,
+            &embeddings,
+            &training,
+            BandanaConfig::default().with_cache_vectors(400),
+        )
+        .expect("build")
+    };
+
+    // Arm 1: the same epoch-0 distribution (fresh requests, no drift).
+    let mut same_dist =
+        TraceGenerator::new(&spec, SEED + 99); // same spec, fresh stream
+    let epoch0_like = same_dist.generate_requests(400);
+    let mut store = build();
+    store.serve_trace(&epoch0_like).expect("serve");
+    let fresh_hit = store.total_metrics().hit_rate();
+
+    // Arm 2: three epochs further into the drift.
+    generator.generate_requests(800); // advance epochs
+    let drifted = generator.generate_requests(400);
+    let mut store = build();
+    store.serve_trace(&drifted).expect("serve");
+    let drifted_hit = store.total_metrics().hit_rate();
+
+    assert!(
+        drifted_hit < fresh_hit,
+        "drift should hurt the trained store: fresh {fresh_hit:.3} vs drifted {drifted_hit:.3}"
+    );
+}

@@ -1,0 +1,176 @@
+//! Integration tests: the store's data path over file-backed storage and
+//! under injected device faults.
+
+use bandana::nvm::FaultPlan;
+use bandana::partition::{AccessFrequency, BlockLayout};
+use bandana::prelude::*;
+use bandana::trace::spec::TableSpec;
+use bandana::trace::TopicModel;
+use std::path::PathBuf;
+
+const VECTOR_BYTES: usize = 128;
+const VECTORS_PER_BLOCK: usize = 4096 / VECTOR_BYTES;
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bandana-resilience-{}-{name}", std::process::id()))
+}
+
+struct Cleanup(PathBuf);
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn table_fixture(num_vectors: u32, cache: usize, policy: AdmissionPolicy) -> (TableStore, EmbeddingTable) {
+    let spec = TableSpec::test_small(num_vectors);
+    let topics = TopicModel::new(&spec, 1);
+    let embeddings = EmbeddingTable::synthesize(num_vectors, 32, &topics, 2);
+    let layout = BlockLayout::identity(num_vectors, VECTORS_PER_BLOCK);
+    let table = TableStore::new(
+        0,
+        layout,
+        AccessFrequency::zeros(num_vectors),
+        policy,
+        cache,
+        1.5,
+        0,
+        VECTOR_BYTES,
+    );
+    (table, embeddings)
+}
+
+#[test]
+fn file_backed_table_round_trips_every_vector() {
+    let path = temp_path("roundtrip");
+    let _cleanup = Cleanup(path.clone());
+    let (mut table, embeddings) = table_fixture(1024, 64, AdmissionPolicy::None);
+    let mut device =
+        FileNvmDevice::create(&path, 4096, table.num_blocks()).expect("create device");
+    table.write_embeddings(&mut device, &embeddings).expect("write");
+
+    for v in 0..1024u32 {
+        let got = table.lookup(&mut device, v).expect("lookup");
+        assert_eq!(
+            got.as_ref(),
+            embeddings.vector_as_bytes(v).as_slice(),
+            "vector {v} corrupted on the file device"
+        );
+    }
+    // Every block was read at least once (cache of 64 can't hold 1024).
+    assert!(device.counters().reads >= table.num_blocks());
+}
+
+#[test]
+fn file_backed_store_survives_reopen() {
+    let path = temp_path("reopen");
+    let _cleanup = Cleanup(path.clone());
+    let (mut table, embeddings) = table_fixture(512, 32, AdmissionPolicy::None);
+    {
+        let mut device =
+            FileNvmDevice::create(&path, 4096, table.num_blocks()).expect("create device");
+        table.write_embeddings(&mut device, &embeddings).expect("write");
+        device.sync().expect("sync");
+    }
+    // A new process (simulated by a new handle + fresh cacheless table)
+    // reads the same bytes back.
+    let (mut fresh, _) = table_fixture(512, 32, AdmissionPolicy::None);
+    let mut device = FileNvmDevice::open(&path, 4096).expect("open device");
+    for v in [0u32, 100, 511] {
+        let got = fresh.lookup(&mut device, v).expect("lookup");
+        assert_eq!(got.as_ref(), embeddings.vector_as_bytes(v).as_slice());
+    }
+}
+
+#[test]
+fn read_faults_surface_as_errors_not_garbage() {
+    let (mut table, embeddings) = table_fixture(1024, 64, AdmissionPolicy::None);
+    let inner = NvmDevice::new(
+        NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()),
+    );
+    let mut device =
+        FaultInjector::new(inner, FaultPlan::new(5).with_read_error_rate(0.2));
+    table.write_embeddings(&mut device, &embeddings).expect("write");
+
+    let mut errors = 0u64;
+    let mut successes = 0u64;
+    for i in 0..2_000u32 {
+        match table.lookup(&mut device, (i * 37) % 1024) {
+            Ok(bytes) => {
+                // Anything that *does* come back must be the right bytes.
+                assert_eq!(
+                    bytes.as_ref(),
+                    embeddings.vector_as_bytes((i * 37) % 1024).as_slice()
+                );
+                successes += 1;
+            }
+            Err(BandanaError::Nvm(_)) => errors += 1,
+            Err(other) => panic!("unexpected error kind: {other}"),
+        }
+    }
+    assert!(errors > 0, "20% fault rate must surface");
+    assert!(successes > errors, "most lookups should still succeed");
+}
+
+#[test]
+fn cached_vectors_survive_total_device_failure() {
+    let (mut table, embeddings) = table_fixture(256, 256, AdmissionPolicy::All { position: 0.0 });
+    let inner =
+        NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()));
+    let mut device = FaultInjector::new(inner, FaultPlan::new(1));
+    table.write_embeddings(&mut device, &embeddings).expect("write");
+
+    // Warm the whole table (prefetch-all, big cache: everything sticks).
+    for v in 0..256u32 {
+        table.lookup(&mut device, v).expect("warm");
+    }
+
+    // Kill the device entirely.
+    let mut dead = FaultInjector::new(
+        device.into_inner(),
+        FaultPlan::new(2).with_read_error_rate(1.0),
+    );
+    for v in 0..256u32 {
+        let got = table.lookup(&mut dead, v).expect("hit must not touch device");
+        assert_eq!(got.as_ref(), embeddings.vector_as_bytes(v).as_slice());
+    }
+    assert_eq!(dead.faults_injected(), 0, "no lookup should have reached the dead device");
+}
+
+#[test]
+fn worn_out_device_rejects_retraining_but_keeps_serving() {
+    let (mut table, embeddings) = table_fixture(512, 64, AdmissionPolicy::None);
+    let blocks = table.num_blocks();
+    let inner = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(blocks));
+    // Budget: exactly one full table write.
+    let plan = FaultPlan::new(3).with_wear_out_after_bytes(blocks * 4096);
+    let mut device = FaultInjector::new(inner, plan);
+    table.write_embeddings(&mut device, &embeddings).expect("first write fits");
+
+    let retrained = {
+        let spec = TableSpec::test_small(512);
+        let topics = TopicModel::new(&spec, 9);
+        EmbeddingTable::synthesize(512, 32, &topics, 10)
+    };
+    let err = table.write_embeddings(&mut device, &retrained).unwrap_err();
+    assert!(err.to_string().contains("worn out"), "got: {err}");
+
+    // Reads are unaffected by write exhaustion.
+    let got = table.lookup(&mut device, 17).expect("read");
+    assert_eq!(got.as_ref(), embeddings.vector_as_bytes(17).as_slice());
+}
+
+#[test]
+fn bad_block_maps_to_partial_unavailability() {
+    let (mut table, embeddings) = table_fixture(1024, 4, AdmissionPolicy::None);
+    let inner =
+        NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()));
+    let mut device = FaultInjector::new(inner, FaultPlan::new(4));
+    table.write_embeddings(&mut device, &embeddings).expect("write");
+
+    // Poison block 3 (vectors 96..128 in the identity layout).
+    let mut device =
+        FaultInjector::new(device.into_inner(), FaultPlan::new(4).with_bad_block(3));
+    assert!(table.lookup(&mut device, 100).is_err(), "vector on the bad block must fail");
+    assert!(table.lookup(&mut device, 10).is_ok(), "other blocks must be unaffected");
+}
