@@ -138,10 +138,5 @@ fn bench_concurrent_store(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_eviction_policies,
-    bench_mrc_estimators,
-    bench_concurrent_store
-);
+criterion_group!(benches, bench_eviction_policies, bench_mrc_estimators, bench_concurrent_store);
 criterion_main!(benches);

@@ -14,8 +14,7 @@ fn fixture() -> (Vec<f32>, usize) {
     let spec = ModelSpec::paper_scaled(10_000);
     let table = 3usize; // the paper benches table 4
     let topics = TopicModel::new(&spec.tables[table], 1);
-    let emb =
-        EmbeddingTable::synthesize(spec.tables[table].num_vectors, spec.dim, &topics, 2);
+    let emb = EmbeddingTable::synthesize(spec.tables[table].num_vectors, spec.dim, &topics, 2);
     (emb.data().to_vec(), spec.dim)
 }
 

@@ -10,7 +10,9 @@
 
 use crate::output::{pct, TextTable};
 use crate::scale::Scale;
-use bandana_cache::{allocate_dram, allocate_with, AdmissionPolicy, AllocationPolicy, HitRateCurve};
+use bandana_cache::{
+    allocate_dram, allocate_with, AdmissionPolicy, AllocationPolicy, HitRateCurve,
+};
 use bandana_core::effective_bandwidth_sweep;
 use bandana_partition::{average_fanout, social_hash_partition, BlockLayout, ShpConfig};
 use bandana_trace::StackDistances;
@@ -90,16 +92,11 @@ pub fn allocation_policies(scale: Scale) -> Vec<AllocRow> {
     let proportional: Vec<usize> =
         weights.iter().map(|&sh| ((total as f64 * sh) as usize).max(1)).collect();
     let uniform: Vec<usize> = vec![(total / tables).max(1); tables];
-    let hill_climb: Vec<usize> = allocate_with(
-        AllocationPolicy::HillClimb,
-        total,
-        &curves,
-        &weights,
-        (total / 64).max(1),
-    )
-    .into_iter()
-    .map(|c| c.max(1))
-    .collect();
+    let hill_climb: Vec<usize> =
+        allocate_with(AllocationPolicy::HillClimb, total, &curves, &weights, (total / 64).max(1))
+            .into_iter()
+            .map(|c| c.max(1))
+            .collect();
 
     [
         ("hit-rate curves", hrc),
@@ -107,26 +104,20 @@ pub fn allocation_policies(scale: Scale) -> Vec<AllocRow> {
         ("uniform", uniform),
         ("hill climb (Cliffhanger)", hill_climb),
     ]
-        .into_iter()
-        .map(|(name, capacities)| {
-            let policies = vec![AdmissionPolicy::Threshold { t: 2 }; tables];
-            let gains = effective_bandwidth_sweep(
-                &w.eval,
-                &layouts,
-                &freqs,
-                &capacities,
-                &policies,
-                1.5,
-            );
-            let policy_reads: u64 = gains.iter().map(|g| g.policy_block_reads).sum();
-            let baseline_reads: u64 = gains.iter().map(|g| g.baseline_block_reads).sum();
-            AllocRow {
-                policy: name.to_string(),
-                capacities,
-                overall_gain: baseline_reads as f64 / policy_reads.max(1) as f64 - 1.0,
-            }
-        })
-        .collect()
+    .into_iter()
+    .map(|(name, capacities)| {
+        let policies = vec![AdmissionPolicy::Threshold { t: 2 }; tables];
+        let gains =
+            effective_bandwidth_sweep(&w.eval, &layouts, &freqs, &capacities, &policies, 1.5);
+        let policy_reads: u64 = gains.iter().map(|g| g.policy_block_reads).sum();
+        let baseline_reads: u64 = gains.iter().map(|g| g.baseline_block_reads).sum();
+        AllocRow {
+            policy: name.to_string(),
+            capacities,
+            overall_gain: baseline_reads as f64 / policy_reads.max(1) as f64 - 1.0,
+        }
+    })
+    .collect()
 }
 
 /// Renders both ablations.

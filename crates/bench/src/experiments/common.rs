@@ -65,11 +65,8 @@ pub fn shp_layout_with_block(
         seed: SEED.wrapping_add(table as u64),
         parallel_depth: 3,
     };
-    let order = social_hash_partition(
-        w.spec.tables[table].num_vectors,
-        w.train.table_queries(table),
-        &cfg,
-    );
+    let order =
+        social_hash_partition(w.spec.tables[table].num_vectors, w.train.table_queries(table), &cfg);
     BlockLayout::from_order(order, vectors_per_block)
 }
 

@@ -19,8 +19,10 @@ use bandana_partition::{social_hash_partition, AccessFrequency, BlockLayout, Shp
 use bandana_trace::{DriftConfig, DriftingTraceGenerator, ModelSpec, Trace};
 use serde::{Deserialize, Serialize};
 
-/// Hot-set rotation per epoch.
-const ROTATE_FRACTION: f64 = 0.25;
+/// Hot-set rotation per epoch. Deliberately not a divisor of 1.0: with a
+/// fraction like 0.25 the cycle wraps after four epochs and the "drifted"
+/// last epoch would land exactly back on the trained mapping.
+const ROTATE_FRACTION: f64 = 0.3;
 /// Epochs replayed.
 const EPOCHS: usize = 5;
 /// Fixed admission threshold for both arms.
@@ -38,7 +40,7 @@ pub struct DriftRow {
 }
 
 fn epoch_requests(scale: Scale) -> usize {
-    (scale.eval_requests() / 2).max(200)
+    (scale.eval_requests() / 2).max(400)
 }
 
 fn gain_on(
@@ -72,7 +74,7 @@ pub fn run(scale: Scale) -> Vec<DriftRow> {
         DriftConfig { requests_per_epoch: per_epoch, rotate_fraction: ROTATE_FRACTION },
     );
     let epochs: Vec<Trace> = (0..EPOCHS).map(|_| generator.generate_requests(per_epoch)).collect();
-    let cache = *scale.table2_cache_sizes().last().expect("non-empty sizes");
+    let cache = 2 * scale.table2_cache_sizes().last().expect("non-empty sizes");
 
     let shp = |trace: &Trace| {
         let cfg = ShpConfig {

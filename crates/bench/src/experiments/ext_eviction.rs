@@ -47,11 +47,7 @@ pub fn run(scale: Scale) -> Vec<EvictionRow> {
             let gains = cache_sizes
                 .iter()
                 .map(|&cap| {
-                    let baseline = baseline_block_reads(
-                        &layout,
-                        w.eval.table_queries(t2),
-                        cap,
-                    );
+                    let baseline = baseline_block_reads(&layout, w.eval.table_queries(t2), cap);
                     let mut sim = PolicySim::new(
                         &layout,
                         cap,
@@ -124,9 +120,7 @@ mod tests {
         let rows = run(Scale::Quick);
         let sizes = Scale::Quick.table2_cache_sizes().len();
         for i in 0..sizes {
-            let at = |p: &str| {
-                rows.iter().find(|r| r.policy == p).expect("present").gains[i].1
-            };
+            let at = |p: &str| rows.iter().find(|r| r.policy == p).expect("present").gains[i].1;
             let (lru, fifo, clock) = (at("lru"), at("fifo"), at("clock"));
             for (name, g) in [("fifo", fifo), ("clock", clock)] {
                 assert!(
@@ -144,10 +138,7 @@ mod tests {
         let rows = run(Scale::Quick);
         let lru = gain_of(&rows, "lru");
         let two_q = gain_of(&rows, "2q");
-        assert!(
-            two_q + 0.02 >= lru,
-            "2Q ({two_q:.3}) should match or beat LRU ({lru:.3}) here"
-        );
+        assert!(two_q + 0.02 >= lru, "2Q ({two_q:.3}) should match or beat LRU ({lru:.3}) here");
     }
 
     #[test]
@@ -155,10 +146,7 @@ mod tests {
         let rows = run(Scale::Quick);
         let lru = gain_of(&rows, "lru");
         let clock = gain_of(&rows, "clock");
-        assert!(
-            (lru - clock).abs() < 0.15,
-            "CLOCK ({clock:.3}) should track LRU ({lru:.3})"
-        );
+        assert!((lru - clock).abs() < 0.15, "CLOCK ({clock:.3}) should track LRU ({lru:.3})");
     }
 
     #[test]

@@ -36,8 +36,7 @@ fn capacities(scale: Scale) -> Vec<usize> {
 pub fn run(scale: Scale) -> Vec<MrcRow> {
     let w = super::common::workload(scale);
     let t2 = super::common::TABLE2;
-    let stream: Vec<u64> =
-        w.eval.table_stream(t2).iter().map(|&v| v as u64).collect();
+    let stream: Vec<u64> = w.eval.table_stream(t2).iter().map(|&v| v as u64).collect();
     let caps = capacities(scale);
 
     let mut sd = StackDistances::with_capacity(stream.len());
@@ -110,11 +109,7 @@ pub fn run(scale: Scale) -> Vec<MrcRow> {
 pub fn render(rows: &[MrcRow]) -> String {
     let mut table = TextTable::new(vec!["estimator", "MAE vs exact", "tracked keys"]);
     for r in rows {
-        table.row(vec![
-            r.estimator.clone(),
-            format!("{:.4}", r.mae),
-            r.tracked_keys.to_string(),
-        ]);
+        table.row(vec![r.estimator.clone(), format!("{:.4}", r.mae), r.tracked_keys.to_string()]);
     }
     format!(
         "Extension: approximate MRC estimators vs exact stack distances (table 2)\n{}",
@@ -141,12 +136,7 @@ mod tests {
             // interval quantization); the key-tracking estimators must be
             // tighter.
             let bound = if r.estimator.starts_with("Counter Stacks") { 0.20 } else { 0.10 };
-            assert!(
-                r.mae < bound,
-                "{} strays {:.4} from the exact curve",
-                r.estimator,
-                r.mae
-            );
+            assert!(r.mae < bound, "{} strays {:.4} from the exact curve", r.estimator, r.mae);
         }
     }
 
@@ -159,10 +149,7 @@ mod tests {
             .find(|r| r.estimator.starts_with("SHARDS 1"))
             .expect("SHARDS 10% row")
             .tracked_keys;
-        assert!(
-            shards10 * 4 < exact,
-            "10% sampling should track ≪ exact ({shards10} vs {exact})"
-        );
+        assert!(shards10 * 4 < exact, "10% sampling should track ≪ exact ({shards10} vs {exact})");
     }
 
     #[test]

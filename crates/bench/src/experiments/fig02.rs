@@ -48,7 +48,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
 
 /// Renders the figure artifact.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = TextTable::new(vec!["queue depth", "mean latency (us)", "p99 latency (us)", "bandwidth (GB/s)"]);
+    let mut t = TextTable::new(vec![
+        "queue depth",
+        "mean latency (us)",
+        "p99 latency (us)",
+        "bandwidth (GB/s)",
+    ]);
     for r in rows {
         t.row(vec![
             r.queue_depth.to_string(),

@@ -102,11 +102,8 @@ pub fn run(scale: Scale) -> Runtimes {
                 parallel_depth: 3,
             };
             let start = Instant::now();
-            let _ = social_hash_partition(
-                w.spec.tables[t].num_vectors,
-                w.train.table_queries(t),
-                &cfg,
-            );
+            let _ =
+                social_hash_partition(w.spec.tables[t].num_vectors, w.train.table_queries(t), &cfg);
             (t + 1, start.elapsed().as_secs_f64())
         })
         .collect();
@@ -146,11 +143,7 @@ mod tests {
         // (a) flat K-means cost grows with cluster count.
         let first = r.flat_kmeans.first().unwrap().1;
         let last = r.flat_kmeans.last().unwrap().1;
-        assert!(
-            last > first,
-            "flat K-means should slow down with k: {:?}",
-            r.flat_kmeans
-        );
+        assert!(last > first, "flat K-means should slow down with k: {:?}", r.flat_kmeans);
         // (b) the point of two-stage K-means: at the same total cluster
         // count, it is far cheaper than flat K-means (the paper's 7a vs 7b:
         // 150 minutes vs ~15 at the top of the sweep).

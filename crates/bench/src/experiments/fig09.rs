@@ -38,8 +38,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         let w = super::common::workload_with_train(scale, train_requests);
         // Partial-coverage evaluation window (see
         // Scale::unlimited_eval_requests).
-        let (eval, _) =
-            w.eval.split_at(scale.unlimited_eval_requests().min(w.eval.requests.len()));
+        let (eval, _) = w.eval.split_at(scale.unlimited_eval_requests().min(w.eval.requests.len()));
         for t in 0..w.spec.num_tables() {
             let cfg = ShpConfig {
                 block_capacity: super::common::VECTORS_PER_BLOCK,
@@ -47,11 +46,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 seed: super::common::SEED.wrapping_add(t as u64),
                 parallel_depth: 3,
             };
-            let order = social_hash_partition(
-                w.spec.tables[t].num_vectors,
-                w.train.table_queries(t),
-                &cfg,
-            );
+            let order =
+                social_hash_partition(w.spec.tables[t].num_vectors, w.train.table_queries(t), &cfg);
             let layout = BlockLayout::from_order(order, super::common::VECTORS_PER_BLOCK);
             let report = fanout_report(&layout, eval.table_queries(t));
             rows.push(Row {

@@ -30,14 +30,10 @@ pub fn run(scale: Scale) -> Vec<Row> {
     let w = super::common::workload(scale);
     let t2 = super::common::TABLE2;
     let shp = super::common::shp_layout(&w, t2, scale);
-    let identity = BlockLayout::identity(
-        w.spec.tables[t2].num_vectors,
-        super::common::VECTORS_PER_BLOCK,
-    );
-    let freq = AccessFrequency::from_queries(
-        w.spec.tables[t2].num_vectors,
-        w.train.table_queries(t2),
-    );
+    let identity =
+        BlockLayout::identity(w.spec.tables[t2].num_vectors, super::common::VECTORS_PER_BLOCK);
+    let freq =
+        AccessFrequency::from_queries(w.spec.tables[t2].num_vectors, w.train.table_queries(t2));
     let stream = w.eval.table_stream(t2);
 
     scale
@@ -67,7 +63,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
 
 /// Renders the figure artifact.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = TextTable::new(vec!["cache size (vectors)", "partitioned tables", "original tables"]);
+    let mut t =
+        TextTable::new(vec!["cache size (vectors)", "partitioned tables", "original tables"]);
     for r in rows {
         t.row(vec![r.cache_size.to_string(), pct(r.partitioned_gain), pct(r.original_gain)]);
     }

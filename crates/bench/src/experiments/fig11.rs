@@ -40,10 +40,8 @@ pub fn run(scale: Scale) -> Sweeps {
     let w = super::common::workload(scale);
     let t2 = super::common::TABLE2;
     let layout = super::common::shp_layout(&w, t2, scale);
-    let freq = AccessFrequency::from_queries(
-        w.spec.tables[t2].num_vectors,
-        w.train.table_queries(t2),
-    );
+    let freq =
+        AccessFrequency::from_queries(w.spec.tables[t2].num_vectors, w.train.table_queries(t2));
     let stream = w.eval.table_stream(t2);
     let caches = scale.table2_cache_sizes();
 
@@ -56,8 +54,7 @@ pub fn run(scale: Scale) -> Sweeps {
         sim.metrics().block_reads
     };
 
-    let mut sweeps =
-        Sweeps { position: Vec::new(), shadow: Vec::new(), combined: Vec::new() };
+    let mut sweeps = Sweeps { position: Vec::new(), shadow: Vec::new(), combined: Vec::new() };
     for &cache in &caches {
         let baseline = reads(AdmissionPolicy::None, cache, 1.5);
         for &p in &POSITIONS {
@@ -90,10 +87,7 @@ fn render_grid(rows: &[(f64, usize, f64)], x_label: &str) -> String {
         let mut cells = vec![format!("{x}")];
         for &c in &caches {
             cells.push(
-                rows.iter()
-                    .find(|r| r.0 == x && r.1 == c)
-                    .map(|r| pct(r.2))
-                    .unwrap_or_default(),
+                rows.iter().find(|r| r.0 == x && r.1 == c).map(|r| pct(r.2)).unwrap_or_default(),
             );
         }
         t.row(cells);

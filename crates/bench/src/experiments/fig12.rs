@@ -41,10 +41,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
     let w = super::common::workload(scale);
     let t2 = super::common::TABLE2;
     let layout = super::common::shp_layout(&w, t2, scale);
-    let freq = AccessFrequency::from_queries(
-        w.spec.tables[t2].num_vectors,
-        w.train.table_queries(t2),
-    );
+    let freq =
+        AccessFrequency::from_queries(w.spec.tables[t2].num_vectors, w.train.table_queries(t2));
     let stream = w.eval.table_stream(t2);
 
     let mut rows = Vec::new();

@@ -35,7 +35,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
 
     // Hit-rate curves from the training trace, reused for every total.
     let max_total = *scale.total_cache_sizes().last().unwrap();
-    let sizes: Vec<usize> = [64usize, 16, 8, 4, 2, 1].iter().map(|d| (max_total / d).max(1)).collect();
+    let sizes: Vec<usize> =
+        [64usize, 16, 8, 4, 2, 1].iter().map(|d| (max_total / d).max(1)).collect();
     let curves: Vec<HitRateCurve> = (0..w.spec.num_tables())
         .map(|t| {
             let stream = w.train.table_stream(t);
@@ -47,11 +48,10 @@ pub fn run(scale: Scale) -> Vec<Row> {
 
     let mut rows = Vec::new();
     for &total in &scale.total_cache_sizes() {
-        let capacities: Vec<usize> =
-            allocate_dram(total, &curves, &weights, (total / 64).max(1))
-                .into_iter()
-                .map(|c| c.max(1))
-                .collect();
+        let capacities: Vec<usize> = allocate_dram(total, &curves, &weights, (total / 64).max(1))
+            .into_iter()
+            .map(|c| c.max(1))
+            .collect();
         let policies: Vec<AdmissionPolicy> = (0..w.spec.num_tables())
             .map(|t| {
                 let chosen = tune_thresholds(
@@ -97,7 +97,10 @@ pub fn render(rows: &[Row]) -> String {
         }
         t.row(cells);
     }
-    format!("Figure 13: end-to-end effective-bandwidth increase vs total cache size\n{}", t.render())
+    format!(
+        "Figure 13: end-to-end effective-bandwidth increase vs total cache size\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 
 use crate::output::{pct, TextTable};
 use crate::scale::Scale;
-use bandana_cache::{allocate_dram, AdmissionPolicy, HitRateCurve, MiniatureCacheSet, PrefetchCacheSim};
+use bandana_cache::{
+    allocate_dram, AdmissionPolicy, HitRateCurve, MiniatureCacheSet, PrefetchCacheSim,
+};
 use bandana_trace::StackDistances;
 use serde::{Deserialize, Serialize};
 
@@ -64,10 +66,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         };
 
         // Oracle column.
-        let oracle = candidates
-            .iter()
-            .map(|&c| full_gain(c))
-            .fold(f64::MIN, f64::max);
+        let oracle = candidates.iter().map(|&c| full_gain(c)).fold(f64::MIN, f64::max);
         rows.push(Row { table: t + 1, rate: 1.0, gain: oracle });
 
         for &rate in &scale.sampling_rates() {
@@ -130,8 +129,7 @@ mod tests {
         // Sampled tuning tracks the oracle: for every table, the worst
         // sampled gain is within 0.25 absolute of the oracle gain.
         for table in 1..=8usize {
-            let oracle =
-                rows.iter().find(|r| r.table == table && r.rate >= 1.0).unwrap().gain;
+            let oracle = rows.iter().find(|r| r.table == table && r.rate >= 1.0).unwrap().gain;
             for r in rows.iter().filter(|r| r.table == table && r.rate < 1.0) {
                 assert!(
                     oracle - r.gain < 0.25,

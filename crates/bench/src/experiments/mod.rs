@@ -23,6 +23,7 @@
 //! | [`ext_eviction`] | extension: eviction-policy ablation (LRU/FIFO/CLOCK/LFU/2Q) |
 //! | [`ext_mrc`] | extension: SHARDS/AET MRC-estimator accuracy |
 //! | [`ext_drift`] | extension: trained-configuration decay under hot-set drift |
+//! | [`serve_latency`] | serving engine: open-loop latency vs offered load (`BENCH_serve.json`) |
 
 pub mod ablate;
 pub mod common;
@@ -44,14 +45,34 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod serve_latency;
 pub mod tab01;
 pub mod tab02;
 
 /// Every experiment id accepted by the `repro` binary, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig2", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12", "table2", "fig13", "fig14", "fig15", "fig16", "ablations", "ablation-eviction",
-    "ablation-mrc", "ablation-drift",
+    "fig2",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table2",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablations",
+    "ablation-eviction",
+    "ablation-mrc",
+    "ablation-drift",
+    "serve",
 ];
 
 /// Runs one experiment by id and returns its rendered artifact.
@@ -84,6 +105,7 @@ pub fn run_by_id(id: &str, scale: crate::Scale) -> String {
         "ablation-eviction" => ext_eviction::render(&ext_eviction::run(scale)),
         "ablation-mrc" => ext_mrc::render(&ext_mrc::run(scale)),
         "ablation-drift" => ext_drift::render(&ext_drift::run(scale)),
+        "serve" => serve_latency::run_and_save(scale),
         other => panic!("unknown experiment id {other:?}; valid ids: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -1,0 +1,251 @@
+//! Serving-engine latency under offered load.
+//!
+//! The paper's Figure 5 plots device latency against offered throughput;
+//! this experiment applies the same open-loop methodology to the whole
+//! serving stack: build the paper workload's store, wrap it in the
+//! sharded engine ([`bandana_serve::ShardedEngine`]), measure its
+//! closed-loop capacity, then sweep Poisson offered load from a fraction
+//! of that capacity past saturation and record the latency percentiles
+//! and shed counters at each point. Expected shape: flat latency at low
+//! load, a tail blow-up approaching capacity, and non-zero shedding past
+//! it — the signature of any open-loop-tested serving system.
+
+use crate::output::{JsonObject, TextTable};
+use crate::scale::Scale;
+use bandana_core::BandanaStore;
+use bandana_serve::{run_closed_loop, run_open_loop, ServeConfig, ShardedEngine, ShedPolicy};
+use bandana_trace::{ArrivalProcess, EmbeddingTable};
+use serde::{Deserialize, Serialize};
+
+/// Shards used by the experiment engine.
+const SHARDS: usize = 4;
+/// Per-shard queue bound: small enough that saturation sheds visibly.
+const QUEUE_CAPACITY: usize = 64;
+/// Offered load as a percentage of measured closed-loop capacity.
+const LOAD_PCTS: [u32; 5] = [25, 50, 75, 90, 150];
+
+/// One measured operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeRow {
+    /// Offered load as % of measured closed-loop capacity (0 = the
+    /// closed-loop capacity row itself).
+    pub load_pct: u32,
+    /// Offered requests per second (capacity row: achieved).
+    pub offered_qps: f64,
+    /// Completed requests per second.
+    pub achieved_qps: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Mean end-to-end latency in seconds.
+    pub mean_s: f64,
+    /// Median end-to-end latency in seconds.
+    pub p50_s: f64,
+    /// P99 end-to-end latency in seconds.
+    pub p99_s: f64,
+    /// P99.9 end-to-end latency in seconds.
+    pub p999_s: f64,
+}
+
+/// The shared inputs of every engine in the sweep: built once, reused —
+/// only the store itself must be fresh per operating point (cold caches).
+struct SweepInputs {
+    workload: super::common::Workload,
+    embeddings: Vec<EmbeddingTable>,
+}
+
+fn sweep_inputs(scale: Scale) -> SweepInputs {
+    let workload = super::common::workload(scale);
+    let embeddings: Vec<EmbeddingTable> = (0..workload.spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                workload.spec.tables[t].num_vectors,
+                workload.spec.dim,
+                workload.generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    SweepInputs { workload, embeddings }
+}
+
+fn build_engine(inputs: &SweepInputs, scale: Scale) -> ShardedEngine {
+    let config = bandana_core::BandanaConfig::default()
+        .with_cache_vectors(scale.default_total_cache())
+        .with_seed(super::common::SEED);
+    let store = BandanaStore::build(
+        &inputs.workload.spec,
+        &inputs.embeddings,
+        &inputs.workload.train,
+        config,
+    )
+    .expect("store builds on the paper workload");
+    ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(SHARDS)
+            .with_queue_capacity(QUEUE_CAPACITY)
+            .with_shed_policy(ShedPolicy::DropNewest),
+    )
+    .expect("engine configuration is valid")
+}
+
+/// Measures closed-loop capacity, then the open-loop sweep. The first row
+/// (`load_pct == 0`) is the capacity measurement itself.
+pub fn run(scale: Scale) -> Vec<ServeRow> {
+    let inputs = sweep_inputs(scale);
+    let trace = &inputs.workload.eval;
+
+    // Closed-loop capacity with one caller per shard.
+    let capacity_engine = build_engine(&inputs, scale);
+    let capacity = run_closed_loop(&capacity_engine, trace, SHARDS)
+        .expect("closed-loop replay of the eval trace");
+    drop(capacity_engine);
+    let mut rows = vec![ServeRow {
+        load_pct: 0,
+        offered_qps: capacity.achieved_qps,
+        achieved_qps: capacity.achieved_qps,
+        completed: capacity.completed,
+        shed: 0,
+        mean_s: capacity.latency.mean_s,
+        p50_s: capacity.latency.p50_s,
+        p99_s: capacity.latency.p99_s,
+        p999_s: capacity.latency.p999_s,
+    }];
+
+    // Open-loop sweep: a fresh engine per point so caches and histograms
+    // start cold at every operating point.
+    for pct in LOAD_PCTS {
+        let rate = (capacity.achieved_qps * f64::from(pct) / 100.0).max(1.0);
+        let engine = build_engine(&inputs, scale);
+        let process = ArrivalProcess::Poisson { rate_rps: rate };
+        let report = run_open_loop(&engine, trace, &process, super::common::SEED ^ u64::from(pct));
+        rows.push(ServeRow {
+            load_pct: pct,
+            offered_qps: report.offered_qps,
+            achieved_qps: report.achieved_qps,
+            completed: report.completed,
+            shed: report.shed,
+            mean_s: report.latency.mean_s,
+            p50_s: report.latency.p50_s,
+            p99_s: report.latency.p99_s,
+            p999_s: report.latency.p999_s,
+        });
+    }
+    rows
+}
+
+/// Renders the latency table.
+pub fn render(rows: &[ServeRow]) -> String {
+    let mut table = TextTable::new(vec![
+        "load %",
+        "offered qps",
+        "achieved qps",
+        "completed",
+        "shed",
+        "mean",
+        "p50",
+        "p99",
+        "p999",
+    ]);
+    for r in rows {
+        let label = if r.load_pct == 0 { "closed".to_string() } else { r.load_pct.to_string() };
+        table.row(vec![
+            label,
+            format!("{:.0}", r.offered_qps),
+            format!("{:.0}", r.achieved_qps),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            bandana_serve::fmt_secs(r.mean_s),
+            bandana_serve::fmt_secs(r.p50_s),
+            bandana_serve::fmt_secs(r.p99_s),
+            bandana_serve::fmt_secs(r.p999_s),
+        ]);
+    }
+    format!(
+        "Serving engine: open-loop latency vs offered load ({SHARDS} shards, \
+         queue {QUEUE_CAPACITY}, drop-newest shedding)\n{}",
+        table.render()
+    )
+}
+
+/// Renders the rows as a `BENCH_serve.json`-compatible document.
+pub fn to_json(rows: &[ServeRow]) -> String {
+    crate::output::json_document(
+        "serve",
+        rows.iter().map(|r| {
+            JsonObject::new()
+                .u64("load_pct", u64::from(r.load_pct))
+                .f64("offered_qps", r.offered_qps)
+                .f64("achieved_qps", r.achieved_qps)
+                .u64("completed", r.completed)
+                .u64("shed", r.shed)
+                .f64("mean_s", r.mean_s)
+                .f64("p50_s", r.p50_s)
+                .f64("p99_s", r.p99_s)
+                .f64("p999_s", r.p999_s)
+        }),
+    )
+}
+
+/// Runs the sweep, writes `BENCH_serve.json` next to the working
+/// directory, and returns the rendered table (the `repro serve` artifact).
+pub fn run_and_save(scale: Scale) -> String {
+    let rows = run(scale);
+    let json = to_json(&rows);
+    let artifact = render(&rows);
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => format!("{artifact}\n[wrote BENCH_serve.json]\n"),
+        Err(e) => format!("{artifact}\n[could not write BENCH_serve.json: {e}]\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), LOAD_PCTS.len() + 1);
+        // Capacity row completes the whole trace without shedding.
+        assert_eq!(rows[0].shed, 0);
+        assert!(rows[0].achieved_qps > 0.0);
+        // Offered load is monotone across the sweep rows.
+        for w in rows[1..].windows(2) {
+            assert!(w[1].offered_qps > w[0].offered_qps);
+        }
+        // Every row orders its percentiles.
+        for r in &rows {
+            assert!(r.p50_s <= r.p99_s && r.p99_s <= r.p999_s, "{r:?}");
+        }
+        // Every submitted request is either completed or shed.
+        let n = sweep_inputs(Scale::Quick).workload.eval.requests.len() as u64;
+        for r in &rows[1..] {
+            assert_eq!(r.completed + r.shed, n, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn renders_and_serializes() {
+        let rows = vec![ServeRow {
+            load_pct: 50,
+            offered_qps: 1000.0,
+            achieved_qps: 990.0,
+            completed: 400,
+            shed: 0,
+            mean_s: 1e-4,
+            p50_s: 9e-5,
+            p99_s: 4e-4,
+            p999_s: 9e-4,
+        }];
+        let s = render(&rows);
+        assert!(s.contains("offered qps"));
+        assert!(s.contains("50"));
+        let j = to_json(&rows);
+        assert!(j.contains("\"experiment\":\"serve\""));
+        assert!(j.contains("\"load_pct\":50"));
+        assert!(j.contains("\"p999_s\":0.0009"));
+    }
+}

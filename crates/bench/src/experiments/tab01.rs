@@ -76,8 +76,7 @@ mod tests {
         let rows = run(Scale::Quick);
         assert_eq!(rows.len(), 8);
         // Table 2 (index 1) has the largest share, near 25%.
-        let max_share =
-            rows.iter().max_by(|a, b| a.share.partial_cmp(&b.share).unwrap()).unwrap();
+        let max_share = rows.iter().max_by(|a, b| a.share.partial_cmp(&b.share).unwrap()).unwrap();
         assert_eq!(max_share.table, 2);
         assert!((max_share.share - 0.25).abs() < 0.05, "share {}", max_share.share);
         // Mean lookups track the paper's ordering: table 2 highest, 8 lowest.

@@ -34,10 +34,8 @@ pub fn run(scale: Scale) -> Vec<Row> {
     let w = super::common::workload(scale);
     let t2 = super::common::TABLE2;
     let layout = super::common::shp_layout(&w, t2, scale);
-    let freq = AccessFrequency::from_queries(
-        w.spec.tables[t2].num_vectors,
-        w.train.table_queries(t2),
-    );
+    let freq =
+        AccessFrequency::from_queries(w.spec.tables[t2].num_vectors, w.train.table_queries(t2));
     let stream = w.eval.table_stream(t2);
     let candidates = super::fig12::thresholds(scale);
 
@@ -77,7 +75,12 @@ pub fn run(scale: Scale) -> Vec<Row> {
                 minis.observe(v);
             }
             let chosen = minis.best_threshold();
-            rows.push(Row { cache_size: cache, rate, threshold: chosen, gain: full_gain(cache, chosen) });
+            rows.push(Row {
+                cache_size: cache,
+                rate,
+                threshold: chosen,
+                gain: full_gain(cache, chosen),
+            });
         }
     }
     rows
@@ -90,7 +93,8 @@ pub fn render(rows: &[Row]) -> String {
     rates.dedup();
     let mut header = vec!["size".to_string()];
     for &r in &rates {
-        let label = if r >= 1.0 { "full cache".to_string() } else { format!("{:.0}% sampling", r * 100.0) };
+        let label =
+            if r >= 1.0 { "full cache".to_string() } else { format!("{:.0}% sampling", r * 100.0) };
         header.push(format!("{label}: t"));
         header.push("bw gain".to_string());
     }
@@ -122,8 +126,7 @@ mod tests {
         let rows = run(Scale::Quick);
         let caches = Scale::Quick.table2_cache_sizes();
         for &cache in &caches {
-            let oracle =
-                rows.iter().find(|r| r.cache_size == cache && r.rate >= 1.0).unwrap();
+            let oracle = rows.iter().find(|r| r.cache_size == cache && r.rate >= 1.0).unwrap();
             for r in rows.iter().filter(|r| r.cache_size == cache && r.rate < 1.0) {
                 // Sampled choices must be near-oracle: within 0.25 absolute
                 // gain (the paper's Table 2 shows losses of a few tens of

@@ -77,6 +77,79 @@ impl TextTable {
     }
 }
 
+/// One row of a machine-readable experiment artifact: an ordered set of
+/// key → value pairs rendered as a JSON object.
+///
+/// # Example
+///
+/// ```
+/// use bandana_bench::output::JsonObject;
+///
+/// let row = JsonObject::new().u64("qps", 1000).f64("p99_ms", 1.25).str("mode", "open");
+/// assert_eq!(row.render(), r#"{"qps":1000,"p99_ms":1.25,"mode":"open"}"#);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Appends an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a float field (`null` for non-finite values, which JSON
+    /// cannot represent).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() { format!("{value}") } else { "null".to_string() };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Appends a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), format!("\"{}\"", json_escape(value))));
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        let body: Vec<String> =
+            self.fields.iter().map(|(k, v)| format!("\"{}\":{v}", json_escape(k))).collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+/// Renders a `BENCH_<name>.json`-style document: experiment name plus an
+/// array of row objects.
+pub fn json_document(name: &str, rows: impl IntoIterator<Item = JsonObject>) -> String {
+    let rows: Vec<String> = rows.into_iter().map(|r| r.render()).collect();
+    format!("{{\"experiment\":\"{}\",\"rows\":[{}]}}\n", json_escape(name), rows.join(","))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a gain fraction as the paper's percentage axes (e.g. `+129.9%`).
 pub fn pct(gain: f64) -> String {
     format!("{:+.1}%", gain * 100.0)
@@ -116,6 +189,21 @@ mod tests {
         assert_eq!(pct(1.299), "+129.9%");
         assert_eq!(pct(-0.5), "-50.0%");
         assert_eq!(f2(1.234), "1.23");
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let doc = json_document(
+            "serve",
+            vec![
+                JsonObject::new().u64("load", 25).f64("p99_s", 0.001),
+                JsonObject::new().str("note", "a \"quoted\"\nvalue").f64("bad", f64::NAN),
+            ],
+        );
+        assert_eq!(
+            doc,
+            "{\"experiment\":\"serve\",\"rows\":[{\"load\":25,\"p99_s\":0.001},{\"note\":\"a \\\"quoted\\\"\\nvalue\",\"bad\":null}]}\n"
+        );
     }
 
     #[test]

@@ -233,8 +233,7 @@ mod tests {
             HitRateCurve::new(vec![(0, 0.0), (10, 0.3), (20, 0.55), (40, 0.75)]),
         ];
         let weights = [0.6, 0.4];
-        let greedy =
-            allocate_with(AllocationPolicy::GreedyMarginal, 40, &curves, &weights, 5);
+        let greedy = allocate_with(AllocationPolicy::GreedyMarginal, 40, &curves, &weights, 5);
         let climbed = allocate_with(AllocationPolicy::HillClimb, 40, &curves, &weights, 5);
         let hr_greedy = allocation_hit_rate(&greedy, &curves, &weights);
         let hr_climbed = allocation_hit_rate(&climbed, &curves, &weights);
@@ -268,10 +267,7 @@ mod tests {
         let weights = [0.5, 0.3, 0.2];
         for p in AllocationPolicy::ALL {
             let alloc = allocate_with(p, 90, &curves, &weights, 10);
-            assert!(
-                alloc.iter().sum::<usize>() <= 90,
-                "{p} overspent: {alloc:?}"
-            );
+            assert!(alloc.iter().sum::<usize>() <= 90, "{p} overspent: {alloc:?}");
         }
     }
 
@@ -284,9 +280,7 @@ mod tests {
         ];
         let weights = [0.5, 0.35, 0.15];
         let rows = compare_policies(120, &curves, &weights, 10);
-        let score = |p: AllocationPolicy| {
-            rows.iter().find(|(q, _)| *q == p).expect("present").1
-        };
+        let score = |p: AllocationPolicy| rows.iter().find(|(q, _)| *q == p).expect("present").1;
         assert!(score(AllocationPolicy::GreedyMarginal) + 1e-9 >= score(AllocationPolicy::Uniform));
         assert!(
             score(AllocationPolicy::GreedyMarginal) + 1e-9

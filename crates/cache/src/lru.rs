@@ -161,12 +161,7 @@ impl<V> SegmentedLru<V> {
     /// Pops the least-recently-used entry (the tail of the last non-empty
     /// segment), returning it. O(segments).
     pub fn pop_lru(&mut self) -> Option<(u64, V)> {
-        let id = self
-            .segments
-            .iter()
-            .rev()
-            .find(|seg| seg.tail != NIL)
-            .map(|seg| seg.tail)?;
+        let id = self.segments.iter().rev().find(|seg| seg.tail != NIL).map(|seg| seg.tail)?;
         let key = self.nodes[id as usize].key;
         self.index.remove(&key);
         self.unlink(id);

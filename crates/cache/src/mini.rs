@@ -247,9 +247,8 @@ mod tests {
         // everything (huge t).
         let layout = BlockLayout::identity(256, 8);
         // Hot vectors 0..8 appear in many training queries.
-        let train: Vec<Vec<u32>> = (0..50)
-            .map(|i| vec![i % 8, (i + 1) % 8, 8 + (i % 248)])
-            .collect();
+        let train: Vec<Vec<u32>> =
+            (0..50).map(|i| vec![i % 8, (i + 1) % 8, 8 + (i % 248)]).collect();
         let freq = AccessFrequency::from_queries(256, train.iter().map(|q| q.as_slice()));
         let mut minis = MiniatureCacheSet::new(&layout, &freq, 64, 1.0, &[2, 1_000_000], 1);
         // Evaluation stream: repeatedly scan the hot block.

@@ -724,10 +724,10 @@ mod tests {
         c.insert(1, ());
         c.insert(2, ());
         c.get(1); // sets 1's reference bit
-        // Insert 3: hand sweeps, clears 1's bit... but 2's bit is also set
-        // from its insert. The sweep clears both and returns to slot 0 — we
-        // only check that *something* was evicted and 1 survived if its bit
-        // protected it longer than 2's.
+                  // Insert 3: hand sweeps, clears 1's bit... but 2's bit is also set
+                  // from its insert. The sweep clears both and returns to slot 0 — we
+                  // only check that *something* was evicted and 1 survived if its bit
+                  // protected it longer than 2's.
         let evicted = c.insert(3, ()).expect("full");
         assert!(evicted.0 == 1 || evicted.0 == 2);
         assert!(c.contains(3));
@@ -775,7 +775,7 @@ mod tests {
     #[test]
     fn two_q_protects_reaccessed_keys() {
         let mut c = TwoQCache::new(8); // am cap 6, ghost cap 4
-        // Overflow probation so keys 1..=4 land in the ghost list.
+                                       // Overflow probation so keys 1..=4 land in the ghost list.
         for k in 1..=12u64 {
             c.insert(k, ());
         }
@@ -843,18 +843,20 @@ mod tests {
             AdmissionPolicy::All { position: 0.0 },
             freq.clone(),
         );
-        let mut subject =
-            PolicySim::new(&layout, 16, AdmissionPolicy::All { position: 0.0 }, freq, PolicyKind::Lru);
+        let mut subject = PolicySim::new(
+            &layout,
+            16,
+            AdmissionPolicy::All { position: 0.0 },
+            freq,
+            PolicyKind::Lru,
+        );
         for &v in &stream {
             reference.lookup(v);
             subject.lookup(v);
         }
         assert_eq!(reference.metrics().hits, subject.metrics().hits);
         assert_eq!(reference.metrics().block_reads, subject.metrics().block_reads);
-        assert_eq!(
-            reference.metrics().prefetches_admitted,
-            subject.metrics().prefetches_admitted
-        );
+        assert_eq!(reference.metrics().prefetches_admitted, subject.metrics().prefetches_admitted);
     }
 
     #[test]

@@ -70,7 +70,13 @@ impl<'a> PrefetchCacheSim<'a> {
         policy: AdmissionPolicy,
         freq: AccessFrequency,
     ) -> Self {
-        Self::with_shadow_multiplier(layout, cache_capacity, policy, freq, DEFAULT_SHADOW_MULTIPLIER)
+        Self::with_shadow_multiplier(
+            layout,
+            cache_capacity,
+            policy,
+            freq,
+            DEFAULT_SHADOW_MULTIPLIER,
+        )
     }
 
     /// Creates a simulator with an explicit shadow-cache multiplier
@@ -137,8 +143,7 @@ impl<'a> PrefetchCacheSim<'a> {
                 if u == v || self.cache.contains(u as u64) {
                     continue;
                 }
-                let shadow_hit =
-                    self.shadow.as_ref().is_some_and(|s| s.contains(u as u64));
+                let shadow_hit = self.shadow.as_ref().is_some_and(|s| s.contains(u as u64));
                 if let Some(pos) = self.policy.admit(self.freq.count(u), shadow_hit) {
                     self.metrics.prefetches_admitted += 1;
                     if self.cache.insert(u as u64, Origin::Prefetch, pos).is_some() {
@@ -256,8 +261,12 @@ mod tests {
         let freq = AccessFrequency::zeros(256);
         // Cycle over one vector per block: prefetches are pure pollution.
         let stream: Vec<u32> = (0..2000u32).map(|i| (i * 4) % 256).collect();
-        let mut all =
-            PrefetchCacheSim::new(&layout, 16, AdmissionPolicy::All { position: 0.0 }, freq.clone());
+        let mut all = PrefetchCacheSim::new(
+            &layout,
+            16,
+            AdmissionPolicy::All { position: 0.0 },
+            freq.clone(),
+        );
         let mut none = PrefetchCacheSim::new(&layout, 16, AdmissionPolicy::None, freq);
         for &v in &stream {
             all.lookup(v);
@@ -277,8 +286,7 @@ mod tests {
         // Vector 1 is hot in training; 2 and 3 are cold.
         let queries: Vec<Vec<u32>> = (0..20).map(|_| vec![0, 1]).collect();
         let freq = AccessFrequency::from_queries(16, queries.iter().map(|q| q.as_slice()));
-        let mut sim =
-            PrefetchCacheSim::new(&layout, 8, AdmissionPolicy::Threshold { t: 5 }, freq);
+        let mut sim = PrefetchCacheSim::new(&layout, 8, AdmissionPolicy::Threshold { t: 5 }, freq);
         sim.lookup(0);
         assert_eq!(sim.metrics().prefetches_admitted, 1); // only vector 1
         assert!(sim.cache.contains(1));
@@ -291,8 +299,8 @@ mod tests {
         let freq = AccessFrequency::zeros(16);
         let mut sim = PrefetchCacheSim::new(&layout, 8, AdmissionPolicy::Shadow, freq);
         sim.lookup(1); // app read: enters shadow; miss reads block 0
-        // Vector 1 cached. Force 1 out of the real cache by touching other
-        // blocks' vectors (no prefetch admits: shadow only contains 1).
+                       // Vector 1 cached. Force 1 out of the real cache by touching other
+                       // blocks' vectors (no prefetch admits: shadow only contains 1).
         sim.lookup(4);
         sim.lookup(8);
         // Now read vector 0: block 0 fetched; candidate 1 is a shadow hit.
@@ -307,8 +315,7 @@ mod tests {
         let freq = AccessFrequency::zeros(16);
         let mut a =
             PrefetchCacheSim::new(&layout, 4, AdmissionPolicy::All { position: 0.5 }, freq.clone());
-        let mut b =
-            PrefetchCacheSim::new(&layout, 4, AdmissionPolicy::All { position: 0.5 }, freq);
+        let mut b = PrefetchCacheSim::new(&layout, 4, AdmissionPolicy::All { position: 0.5 }, freq);
         let ids = [0u32, 5, 1, 9, 0, 5];
         a.lookup_all(&ids);
         for &v in &ids {

@@ -45,10 +45,7 @@ enum Op {
 }
 
 fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..key_space).prop_map(Op::Get),
-        (0..key_space).prop_map(Op::Insert),
-    ]
+    prop_oneof![(0..key_space).prop_map(Op::Get), (0..key_space).prop_map(Op::Insert),]
 }
 
 proptest! {

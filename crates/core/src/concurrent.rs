@@ -204,11 +204,7 @@ impl ConcurrentStore {
             return Err(e);
         }
         let wall_seconds = start.elapsed().as_secs_f64();
-        Ok(ThroughputReport {
-            lookups: trace.total_lookups() as u64,
-            threads,
-            wall_seconds,
-        })
+        Ok(ThroughputReport { lookups: trace.total_lookups() as u64, threads, wall_seconds })
     }
 
     /// Per-table metrics.

@@ -58,6 +58,6 @@ pub use concurrent::{ConcurrentStore, ThroughputReport};
 pub use config::{BandanaConfig, PartitionerKind};
 pub use error::BandanaError;
 pub use online::{OnlineTuner, OnlineTunerConfig, TuningDecision};
-pub use store::BandanaStore;
+pub use store::{BandanaStore, StoreParts};
 pub use table::TableStore;
 pub use tuner::{tune_thresholds, TunerConfig};

@@ -228,8 +228,7 @@ mod tests {
             partitioner: PartitionerKind::Shp { iterations: 8 },
             ..base.clone()
         });
-        let random =
-            run_pipeline(&PipelineConfig { partitioner: PartitionerKind::Random, ..base });
+        let random = run_pipeline(&PipelineConfig { partitioner: PartitionerKind::Random, ..base });
         assert!(
             shp.overall_gain() > random.overall_gain(),
             "SHP {} should beat random {}",
@@ -244,10 +243,7 @@ mod tests {
             admission: Some(AdmissionPolicy::All { position: 0.5 }),
             ..PipelineConfig::default()
         });
-        assert!(report
-            .policies
-            .iter()
-            .all(|p| *p == AdmissionPolicy::All { position: 0.5 }));
+        assert!(report.policies.iter().all(|p| *p == AdmissionPolicy::All { position: 0.5 }));
     }
 
     #[test]
@@ -263,10 +259,8 @@ mod tests {
         // Note: the *relative gain* over the baseline is not monotone in
         // cache size once the cache approaches the working set (the baseline
         // becomes perfect too); absolute hit rate is the monotone quantity.
-        let small = run_pipeline(&PipelineConfig {
-            cache_vectors_total: 128,
-            ..PipelineConfig::default()
-        });
+        let small =
+            run_pipeline(&PipelineConfig { cache_vectors_total: 128, ..PipelineConfig::default() });
         let large = run_pipeline(&PipelineConfig {
             cache_vectors_total: 2048,
             ..PipelineConfig::default()

@@ -166,9 +166,7 @@ impl BandanaStore {
     ///
     /// Returns [`BandanaError::NoSuchTable`] for out-of-range indices.
     pub fn table(&self, table: usize) -> Result<&TableStore, BandanaError> {
-        self.tables
-            .get(table)
-            .ok_or(BandanaError::NoSuchTable { table, tables: self.tables.len() })
+        self.tables.get(table).ok_or(BandanaError::NoSuchTable { table, tables: self.tables.len() })
     }
 
     /// Looks up one embedding vector, reading through to NVM on a miss.
@@ -179,10 +177,7 @@ impl BandanaStore {
     /// for bad indices and propagates device errors.
     pub fn lookup(&mut self, table: usize, v: u32) -> Result<Bytes, BandanaError> {
         let tables = self.tables.len();
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or(BandanaError::NoSuchTable { table, tables })?;
+        let t = self.tables.get_mut(table).ok_or(BandanaError::NoSuchTable { table, tables })?;
         t.lookup(&mut self.device, v)
     }
 
@@ -209,16 +204,9 @@ impl BandanaStore {
     /// Returns [`BandanaError::NoSuchTable`] / [`BandanaError::NoSuchVector`]
     /// for bad indices (checked before any I/O) and propagates device
     /// errors.
-    pub fn lookup_batch(
-        &mut self,
-        table: usize,
-        ids: &[u32],
-    ) -> Result<Vec<Bytes>, BandanaError> {
+    pub fn lookup_batch(&mut self, table: usize, ids: &[u32]) -> Result<Vec<Bytes>, BandanaError> {
         let tables = self.tables.len();
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or(BandanaError::NoSuchTable { table, tables })?;
+        let t = self.tables.get_mut(table).ok_or(BandanaError::NoSuchTable { table, tables })?;
         t.lookup_batch(&mut self.device, ids)
     }
 
@@ -261,10 +249,7 @@ impl BandanaStore {
         embeddings: &EmbeddingTable,
     ) -> Result<(), BandanaError> {
         let tables = self.tables.len();
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or(BandanaError::NoSuchTable { table, tables })?;
+        let t = self.tables.get_mut(table).ok_or(BandanaError::NoSuchTable { table, tables })?;
         t.write_embeddings(&mut self.device, embeddings)
     }
 
@@ -302,13 +287,43 @@ impl BandanaStore {
 
     /// Decomposes the store for the lock-sharded [`crate::ConcurrentStore`].
     pub(crate) fn into_parts(self) -> (NvmDevice, Vec<TableStore>, BandanaConfig, usize) {
-        (self.device, self.tables, self.config, self.vector_bytes)
+        let StoreParts { device, tables, config, vector_bytes } = self.into_raw_parts();
+        (device, tables, config, vector_bytes)
+    }
+
+    /// Decomposes the store into its raw parts so external serving layers
+    /// (e.g. `bandana-serve`) can distribute tables across shard-owned
+    /// workers. The tables keep their block offsets into `device`.
+    pub fn into_raw_parts(self) -> StoreParts {
+        StoreParts {
+            device: self.device,
+            tables: self.tables,
+            config: self.config,
+            vector_bytes: self.vector_bytes,
+        }
     }
 
     /// Converts this store into a thread-safe [`crate::ConcurrentStore`].
     pub fn into_concurrent(self) -> crate::concurrent::ConcurrentStore {
         crate::concurrent::ConcurrentStore::from_store(self)
     }
+}
+
+/// The raw parts of a [`BandanaStore`], as returned by
+/// [`BandanaStore::into_raw_parts`].
+///
+/// `tables[t].table_id() == t` and each table's blocks live at its
+/// `base_block` offset inside `device`.
+#[derive(Debug)]
+pub struct StoreParts {
+    /// The simulated NVM device holding every table's blocks.
+    pub device: NvmDevice,
+    /// Per-table stores, indexed by table id.
+    pub tables: Vec<TableStore>,
+    /// The configuration the store was built with.
+    pub config: BandanaConfig,
+    /// Bytes per embedding vector.
+    pub vector_bytes: usize,
 }
 
 /// Builds every table's layout and training-time access frequencies.
@@ -360,7 +375,9 @@ pub fn build_layouts_and_freqs(
         .tables
         .iter()
         .enumerate()
-        .map(|(t, tspec)| AccessFrequency::from_queries(tspec.num_vectors, training.table_queries(t)))
+        .map(|(t, tspec)| {
+            AccessFrequency::from_queries(tspec.num_vectors, training.table_queries(t))
+        })
         .collect();
     (layouts, freqs)
 }
@@ -428,10 +445,8 @@ fn divide_cache(spec: &ModelSpec, training: &Trace, config: &BandanaConfig) -> V
         .collect();
 
     let capacities = if config.allocate_by_hit_rate_curves {
-        let sizes: Vec<usize> = [64usize, 16, 8, 4, 2, 1]
-            .iter()
-            .map(|d| (total / d).max(1))
-            .collect();
+        let sizes: Vec<usize> =
+            [64usize, 16, 8, 4, 2, 1].iter().map(|d| (total / d).max(1)).collect();
         let curves: Vec<HitRateCurve> = (0..tables)
             .map(|t| {
                 let stream = training.table_stream(t);
@@ -457,7 +472,10 @@ mod tests {
     use super::*;
     use bandana_trace::TraceGenerator;
 
-    fn build_store(partitioner: PartitionerKind, cache: usize) -> (BandanaStore, Trace, Vec<EmbeddingTable>) {
+    fn build_store(
+        partitioner: PartitionerKind,
+        cache: usize,
+    ) -> (BandanaStore, Trace, Vec<EmbeddingTable>) {
         let spec = ModelSpec::test_small();
         let mut generator = TraceGenerator::new(&spec, 11);
         let training = generator.generate_requests(200);
@@ -506,10 +524,7 @@ mod tests {
     fn bad_indices_are_rejected() {
         let (mut store, _, _) = build_store(PartitionerKind::Identity, 64);
         assert!(matches!(store.lookup(9, 0), Err(BandanaError::NoSuchTable { .. })));
-        assert!(matches!(
-            store.lookup(0, u32::MAX),
-            Err(BandanaError::NoSuchVector { .. })
-        ));
+        assert!(matches!(store.lookup(0, u32::MAX), Err(BandanaError::NoSuchVector { .. })));
         assert!(store.table(9).is_err());
     }
 
@@ -524,7 +539,11 @@ mod tests {
     #[test]
     fn two_stage_partitioner_builds_valid_store() {
         let (mut store, eval, _) = build_store(
-            PartitionerKind::TwoStageKMeans { first_stage_k: 4, total_subclusters: 16, iterations: 5 },
+            PartitionerKind::TwoStageKMeans {
+                first_stage_k: 4,
+                total_subclusters: 16,
+                iterations: 5,
+            },
             128,
         );
         store.serve_trace(&eval).unwrap();

@@ -6,8 +6,8 @@ use bandana_cache::{AdmissionPolicy, CacheMetrics, SegmentedLru, ShadowCache};
 use bandana_partition::{AccessFrequency, BlockLayout};
 use bandana_trace::EmbeddingTable;
 use bytes::Bytes;
-use std::collections::BTreeMap;
 use nvm_sim::BlockDevice;
+use std::collections::BTreeMap;
 
 /// How many LRU segments the cache uses (position granularity 1/16).
 const SEGMENTS: usize = 16;
@@ -104,6 +104,17 @@ impl TableStore {
         self.policy
     }
 
+    /// Training-time access frequencies (used by online re-tuners that need
+    /// the same inputs the build-time tuner saw).
+    pub fn freq(&self) -> &AccessFrequency {
+        &self.freq
+    }
+
+    /// DRAM cache capacity in vectors.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
     /// Replaces the admission policy (used by the tuner). The shadow cache
     /// is created or dropped as needed; cache contents are preserved.
     pub fn set_policy(&mut self, policy: AdmissionPolicy, shadow_multiplier: f64) {
@@ -167,11 +178,7 @@ impl TableStore {
     ///
     /// Returns [`BandanaError::NoSuchVector`] for out-of-range ids and
     /// propagates device errors.
-    pub fn lookup(
-        &mut self,
-        device: &mut dyn BlockDevice,
-        v: u32,
-    ) -> Result<Bytes, BandanaError> {
+    pub fn lookup(&mut self, device: &mut dyn BlockDevice, v: u32) -> Result<Bytes, BandanaError> {
         match self.lookup_cached(v)? {
             Some(bytes) => Ok(bytes),
             None => self.lookup_miss(device, v),
@@ -302,13 +309,8 @@ impl TableStore {
                 let v = ids[i];
                 self.metrics.misses += 1;
                 let slot = self.layout.slot_of(v) as usize;
-                let payload =
-                    raw.slice(slot * self.vector_bytes..(slot + 1) * self.vector_bytes);
-                if self
-                    .cache
-                    .insert(v as u64, (Origin::Demand, payload.clone()), 0.0)
-                    .is_some()
-                {
+                let payload = raw.slice(slot * self.vector_bytes..(slot + 1) * self.vector_bytes);
+                if self.cache.insert(v as u64, (Origin::Demand, payload.clone()), 0.0).is_some() {
                     self.metrics.evictions += 1;
                 }
                 out[i] = Some(payload);
@@ -320,16 +322,12 @@ impl TableStore {
                     if requested.contains(&u) || self.cache.contains(u as u64) {
                         continue;
                     }
-                    let shadow_hit =
-                        self.shadow.as_ref().is_some_and(|s| s.contains(u as u64));
+                    let shadow_hit = self.shadow.as_ref().is_some_and(|s| s.contains(u as u64));
                     if let Some(pos) = self.policy.admit(self.freq.count(u), shadow_hit) {
                         self.metrics.prefetches_admitted += 1;
-                        let upayload = raw
-                            .slice(uslot * self.vector_bytes..(uslot + 1) * self.vector_bytes);
-                        if self
-                            .cache
-                            .insert(u as u64, (Origin::Prefetch, upayload), pos)
-                            .is_some()
+                        let upayload =
+                            raw.slice(uslot * self.vector_bytes..(uslot + 1) * self.vector_bytes);
+                        if self.cache.insert(u as u64, (Origin::Prefetch, upayload), pos).is_some()
                         {
                             self.metrics.evictions += 1;
                         }
@@ -353,8 +351,9 @@ mod tests {
         let emb = EmbeddingTable::synthesize(64, 8, &topics, 2); // 32 B vectors
         let layout = BlockLayout::identity(64, 4096 / 32);
         let freq = AccessFrequency::zeros(64);
-        let mut device =
-            NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(layout.num_blocks() as u64));
+        let mut device = NvmDevice::new(
+            NvmConfig::optane_375gb().with_capacity_blocks(layout.num_blocks() as u64),
+        );
         let mut table = TableStore::new(0, layout, freq, policy, cache, 1.5, 0, 32);
         table.write_embeddings(&mut device, &emb).unwrap();
         device.reset_counters();
@@ -382,8 +381,7 @@ mod tests {
 
     #[test]
     fn prefetch_serves_neighbours_without_new_reads() {
-        let (mut table, mut device, emb) =
-            setup(AdmissionPolicy::All { position: 0.0 }, 256);
+        let (mut table, mut device, emb) = setup(AdmissionPolicy::All { position: 0.0 }, 256);
         table.lookup(&mut device, 0).unwrap(); // block 0 holds vectors 0..128
         let reads = device.counters().reads;
         let got = table.lookup(&mut device, 1).unwrap();

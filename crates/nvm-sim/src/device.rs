@@ -150,7 +150,7 @@ pub trait BlockDevice: Send {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NvmDevice {
     config: NvmConfig,
     storage: Vec<u8>,
@@ -197,10 +197,7 @@ impl NvmDevice {
 
     fn check_block(&self, block: u64) -> Result<usize, NvmError> {
         if block >= self.config.capacity_blocks {
-            return Err(NvmError::BlockOutOfRange {
-                block,
-                capacity: self.config.capacity_blocks,
-            });
+            return Err(NvmError::BlockOutOfRange { block, capacity: self.config.capacity_blocks });
         }
         Ok(block as usize * self.config.block_size)
     }
@@ -224,7 +221,10 @@ impl BlockDevice for NvmDevice {
 
     fn read_block_into(&mut self, block: u64, buf: &mut [u8]) -> Result<(), NvmError> {
         if buf.len() != self.config.block_size {
-            return Err(NvmError::BadWriteSize { got: buf.len(), expected: self.config.block_size });
+            return Err(NvmError::BadWriteSize {
+                got: buf.len(),
+                expected: self.config.block_size,
+            });
         }
         let off = self.check_block(block)?;
         self.counters.reads += 1;

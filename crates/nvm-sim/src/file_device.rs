@@ -76,8 +76,7 @@ impl FileNvmDevice {
             .open(path.as_ref())
             .map_err(|e| NvmError::Io { op: "create", message: e.to_string() })?;
         let bytes = block_size as u64 * capacity_blocks;
-        file.set_len(bytes)
-            .map_err(|e| NvmError::Io { op: "create", message: e.to_string() })?;
+        file.set_len(bytes).map_err(|e| NvmError::Io { op: "create", message: e.to_string() })?;
         Ok(FileNvmDevice {
             file,
             path: path.as_ref().to_path_buf(),
@@ -105,10 +104,8 @@ impl FileNvmDevice {
             .write(true)
             .open(path.as_ref())
             .map_err(|e| NvmError::Io { op: "open", message: e.to_string() })?;
-        let bytes = file
-            .metadata()
-            .map_err(|e| NvmError::Io { op: "open", message: e.to_string() })?
-            .len();
+        let bytes =
+            file.metadata().map_err(|e| NvmError::Io { op: "open", message: e.to_string() })?.len();
         if bytes == 0 || bytes % block_size as u64 != 0 {
             return Err(NvmError::InvalidConfig("file length is not a whole number of blocks"));
         }
@@ -138,9 +135,7 @@ impl FileNvmDevice {
     ///
     /// Returns [`NvmError::Io`] if `fsync` fails.
     pub fn sync(&mut self) -> Result<(), NvmError> {
-        self.file
-            .sync_data()
-            .map_err(|e| NvmError::Io { op: "sync", message: e.to_string() })
+        self.file.sync_data().map_err(|e| NvmError::Io { op: "sync", message: e.to_string() })
     }
 
     fn offset_of(&self, block: u64) -> Result<u64, NvmError> {

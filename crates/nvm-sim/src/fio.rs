@@ -126,8 +126,7 @@ mod tests {
     fn open_loop_sweep_returns_one_report_per_load() {
         let model = QueueModel::optane();
         let loads = [0.2e9, 1.0e9, 2.0e9];
-        let reports =
-            FioJob::new(model).requests(20_000).run_open_loop_sweep(&loads);
+        let reports = FioJob::new(model).requests(20_000).run_open_loop_sweep(&loads);
         assert_eq!(reports.len(), 3);
         assert!(reports[2].mean_latency_us() > reports[0].mean_latency_us());
     }

@@ -75,7 +75,12 @@ fn service_time(model: &QueueModel, rng: &mut ChaCha12Rng) -> f64 {
 /// # Panics
 ///
 /// Panics if `queue_depth` is zero or `requests` is zero.
-pub fn closed_loop_sim(model: &QueueModel, queue_depth: u32, requests: u64, seed: u64) -> SimReport {
+pub fn closed_loop_sim(
+    model: &QueueModel,
+    queue_depth: u32,
+    requests: u64,
+    seed: u64,
+) -> SimReport {
     assert!(queue_depth >= 1, "queue depth must be at least 1");
     assert!(requests > 0, "must simulate at least one request");
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
@@ -265,7 +270,9 @@ mod tests {
         // Queue grows without bound: mean latency far above base.
         assert!(r.mean_latency_s > 10.0 * m.base_latency_s);
         // Device runs at its ceiling.
-        assert!((r.bandwidth_bytes_per_sec - m.max_bandwidth_bps).abs() / m.max_bandwidth_bps < 0.05);
+        assert!(
+            (r.bandwidth_bytes_per_sec - m.max_bandwidth_bps).abs() / m.max_bandwidth_bps < 0.05
+        );
     }
 
     #[test]

@@ -105,7 +105,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -134,12 +135,20 @@ const SUBBUCKETS: usize = 32;
 /// let p50 = h.percentile(50.0);
 /// assert!((p50 - 500.0).abs() / 500.0 < 0.05);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
     /// counts[exp][sub] where exp indexes the binary exponent (offset by 64).
     counts: Vec<u64>,
     total: u64,
     stats: OnlineStats,
+}
+
+impl Default for Histogram {
+    /// Same as [`Histogram::new`] (a derived `Default` would leave the
+    /// bucket vector empty and make `record` panic).
+    fn default() -> Self {
+        Histogram::new()
+    }
 }
 
 /// Exponent range: 2^-32 .. 2^96 covers any latency in seconds or nanoseconds.

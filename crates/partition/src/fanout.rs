@@ -166,8 +166,10 @@ mod tests {
         // (gain 0); a paired order packs each pair into one block (gain 1).
         let queries: Vec<Vec<u32>> = (0..4u32).map(|i| vec![2 * i, 2 * i + 8]).collect();
         let identity = BlockLayout::identity(16, 2);
-        let paired_order: Vec<u32> =
-            (0..4u32).flat_map(|i| [2 * i, 2 * i + 8]).chain((0..4u32).flat_map(|i| [2 * i + 1, 2 * i + 9])).collect();
+        let paired_order: Vec<u32> = (0..4u32)
+            .flat_map(|i| [2 * i, 2 * i + 8])
+            .chain((0..4u32).flat_map(|i| [2 * i + 1, 2 * i + 9]))
+            .collect();
         let paired = BlockLayout::from_order(paired_order, 2);
         let gi = unlimited_cache_gain(&identity, queries.iter().map(|q| q.as_slice()));
         let gp = unlimited_cache_gain(&paired, queries.iter().map(|q| q.as_slice()));

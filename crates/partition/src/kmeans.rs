@@ -96,8 +96,7 @@ pub fn kmeans(data: &[f32], dim: usize, config: &KMeansConfig) -> KMeansResult {
             if counts[c] == 0 {
                 // Re-seed an empty cluster at a random point.
                 let p = rng.gen_range(0..n);
-                centroids[c * dim..(c + 1) * dim]
-                    .copy_from_slice(&data[p * dim..(p + 1) * dim]);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(&data[p * dim..(p + 1) * dim]);
             } else {
                 for d in 0..dim {
                     centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;

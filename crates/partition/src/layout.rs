@@ -181,8 +181,7 @@ mod tests {
         assert_eq!(a.order(), b.order());
         assert_eq!(b.num_blocks(), 2);
         // A 64-wide block contains both 32-wide blocks it covers.
-        let wide: std::collections::HashSet<u32> =
-            b.vectors_in_block(0).iter().copied().collect();
+        let wide: std::collections::HashSet<u32> = b.vectors_in_block(0).iter().copied().collect();
         for &v in a.vectors_in_block(0) {
             assert!(wide.contains(&v));
         }

@@ -106,16 +106,15 @@ mod tests {
 
     fn blob_data(groups: usize, per_group: usize) -> Vec<f32> {
         (0..groups)
-            .flat_map(|g| {
-                (0..per_group).map(move |i| g as f32 * 100.0 + (i % 7) as f32 * 0.5)
-            })
+            .flat_map(|g| (0..per_group).map(move |i| g as f32 * 100.0 + (i % 7) as f32 * 0.5))
             .collect()
     }
 
     #[test]
     fn output_is_permutation() {
         let data = blob_data(4, 32);
-        let cfg = TwoStageConfig { first_stage_k: 4, total_subclusters: 16, iterations: 8, seed: 2 };
+        let cfg =
+            TwoStageConfig { first_stage_k: 4, total_subclusters: 16, iterations: 8, seed: 2 };
         let order = two_stage_kmeans(&data, 1, &cfg);
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -125,16 +124,13 @@ mod tests {
     #[test]
     fn first_stage_blobs_stay_contiguous() {
         let data = blob_data(4, 32);
-        let cfg = TwoStageConfig { first_stage_k: 4, total_subclusters: 16, iterations: 10, seed: 3 };
+        let cfg =
+            TwoStageConfig { first_stage_k: 4, total_subclusters: 16, iterations: 10, seed: 3 };
         let order = two_stage_kmeans(&data, 1, &cfg);
         // Each blob's members occupy one contiguous range of the order.
         for g in 0..4u32 {
-            let positions: Vec<usize> = order
-                .iter()
-                .enumerate()
-                .filter(|(_, &v)| v / 32 == g)
-                .map(|(p, _)| p)
-                .collect();
+            let positions: Vec<usize> =
+                order.iter().enumerate().filter(|(_, &v)| v / 32 == g).map(|(p, _)| p).collect();
             let min = *positions.iter().min().unwrap();
             let max = *positions.iter().max().unwrap();
             assert_eq!(max - min + 1, positions.len(), "blob {g} fragmented");

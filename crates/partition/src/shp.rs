@@ -328,8 +328,7 @@ fn refine(sub: &Sub, side: &mut [bool], left_size: usize, iterations: u32, salt:
             let iter = round * sweeps_per_round + sweep;
             let mut order: Vec<(i64, u32)> = (0..n)
                 .map(|v| {
-                    let jitter =
-                        (splitmix(salt ^ ((iter as u64) << 32), v as u64) % JITTER) as i64;
+                    let jitter = (splitmix(salt ^ ((iter as u64) << 32), v as u64) % JITTER) as i64;
                     (live_gain(v, side, &a_count, &b_count) + jitter, v as u32)
                 })
                 .collect();

@@ -1,0 +1,1046 @@
+//! The shard-per-worker serving engine.
+//!
+//! [`ShardedEngine`] decomposes a built [`BandanaStore`] into shards, each
+//! owning a **disjoint set of tables** plus its own replica of the
+//! simulated NVM device, behind a bounded work queue drained by a
+//! dedicated worker thread. A dispatcher splits every incoming
+//! [`Request`] into per-shard parts (one per table query), coalesces
+//! duplicate vector ids inside each query so a repeated id costs one
+//! lookup, and merges the shard results back in request order.
+//!
+//! Latency is accounted per shard with mergeable
+//! [`LatencyHistogram`]s — queue wait, per-shard service time, and
+//! end-to-end request latency — so [`ShardedEngine::metrics`] can report
+//! p50/p95/p99/p999 across the whole engine without any shared hot-path
+//! lock. Overload behaviour is explicit: bounded queues plus a
+//! [`ShedPolicy`] and an optional admission deadline give drop/timeout
+//! counters instead of unbounded queueing.
+//!
+//! Table-to-shard placement is static (greedy balance by training-time
+//! lookup mass); an optional background [tuner](crate::tuner) thread keeps
+//! re-tuning each table's prefetch-admission threshold from a sample of
+//! live traffic and hot-swaps the winners into the owning shards.
+
+use crate::hist::{LatencyHistogram, LatencySummary};
+use crate::queue::{BoundedQueue, Pop, Push, ShedPolicy};
+use crate::tuner::{tuner_main, OnlineTunerSettings, TunerTable};
+use bandana_cache::{AdmissionPolicy, CacheMetrics};
+use bandana_core::{BandanaError, BandanaStore, TableStore};
+use bandana_trace::Request;
+use bytes::Bytes;
+use nvm_sim::{BlockDevice, NvmDevice};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Capacity of the shard → tuner sample channel; overflow samples are
+/// dropped (sampling is lossy by design).
+const SAMPLE_CHANNEL_CAPACITY: usize = 1 << 16;
+
+/// How long a worker sleeps on an empty queue before re-checking for
+/// shutdown and tuner commands.
+const IDLE_POLL: Duration = Duration::from_millis(2);
+
+/// Configuration of a [`ShardedEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard worker threads (tables are spread across them).
+    pub num_shards: usize,
+    /// Per-shard queue capacity, in requests.
+    pub queue_capacity: usize,
+    /// What a full shard queue does with new work.
+    pub shed_policy: ShedPolicy,
+    /// If set, a request that has not *started* serving on a shard within
+    /// this budget after submission is abandoned and counted as timed out.
+    pub request_timeout: Option<Duration>,
+    /// Enables the background admission-threshold tuner.
+    pub tuner: Option<OnlineTunerSettings>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            num_shards: 4,
+            queue_capacity: 1024,
+            shed_policy: ShedPolicy::Block,
+            request_timeout: None,
+            tuner: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the shard count.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.num_shards = n;
+        self
+    }
+
+    /// Sets the per-shard queue capacity.
+    pub fn with_queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the overload policy.
+    pub fn with_shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.shed_policy = policy;
+        self
+    }
+
+    /// Sets the admission deadline.
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables online threshold re-tuning.
+    pub fn with_tuner(mut self, settings: OnlineTunerSettings) -> Self {
+        self.tuner = Some(settings);
+        self
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.num_shards == 0 {
+            return Err("need at least one shard".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be non-zero".into());
+        }
+        if let Some(t) = &self.tuner {
+            t.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the serving API.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The request was shed at admission (a shard queue was full under
+    /// [`ShedPolicy::DropNewest`]).
+    Rejected,
+    /// The request missed its [`ServeConfig::request_timeout`] deadline.
+    TimedOut,
+    /// The engine is shutting down.
+    ShuttingDown,
+    /// A table/vector reference was invalid or the device failed.
+    Store(BandanaError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "request shed: shard queue full"),
+            ServeError::TimedOut => write!(f, "request timed out before serving started"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Store(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BandanaError> for ServeError {
+    fn from(e: BandanaError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// A command hot-swapped into a shard between requests.
+#[derive(Debug)]
+pub(crate) enum ShardCommand {
+    /// Replace one table's admission policy.
+    SetPolicy {
+        /// Table id (owned by the receiving shard).
+        table: usize,
+        /// The new policy.
+        policy: AdmissionPolicy,
+        /// Shadow-cache multiplier for policies that need one.
+        shadow_multiplier: f64,
+    },
+}
+
+/// The per-shard slice of one request: one entry per table query routed to
+/// that shard, with duplicate ids coalesced.
+#[derive(Debug)]
+struct Part {
+    /// Index of the originating query inside the request.
+    query_index: usize,
+    /// The table this part reads.
+    table: usize,
+    /// Distinct ids, first-occurrence order.
+    unique_ids: Vec<u32>,
+    /// For each original id position, its index into `unique_ids`.
+    expand: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct JobState {
+    /// Per-query payloads (only filled when the submitter asked for them).
+    results: Vec<Option<Vec<Bytes>>>,
+    /// First store error hit by any shard.
+    error: Option<BandanaError>,
+    done: bool,
+}
+
+/// One in-flight request.
+struct Job {
+    arrival: Instant,
+    deadline: Option<Instant>,
+    parts_by_shard: Vec<Vec<Part>>,
+    /// Parts not yet finished (counts enqueued shards).
+    remaining: AtomicUsize,
+    cancelled: AtomicBool,
+    timed_out: AtomicBool,
+    want_payloads: bool,
+    state: Mutex<JobState>,
+    done_cv: Condvar,
+}
+
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    lookups_served: AtomicU64,
+    tuner_swaps: AtomicU64,
+}
+
+impl Counters {
+    fn new() -> Self {
+        Counters {
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            lookups_served: AtomicU64::new(0),
+            tuner_swaps: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shard-thread statistics, read by [`ShardedEngine::metrics`].
+#[derive(Debug, Default)]
+struct ShardStats {
+    served_requests: u64,
+    lookups: u64,
+    queue_wait: LatencyHistogram,
+    service: LatencyHistogram,
+    /// End-to-end latency of requests whose *last* part finished on this
+    /// shard; merging across shards gives the full distribution.
+    e2e: LatencyHistogram,
+    cache: CacheMetrics,
+    device_reads: u64,
+}
+
+struct Shared {
+    queues: Vec<BoundedQueue<Arc<Job>>>,
+    /// `table_shard[t]` = shard owning table `t`.
+    table_shard: Vec<usize>,
+    shard_tables: Vec<Vec<usize>>,
+    counters: Counters,
+    outstanding: AtomicU64,
+    idle: (Mutex<()>, Condvar),
+    shard_stats: Vec<Mutex<ShardStats>>,
+    shed_policy: ShedPolicy,
+    request_timeout: Option<Duration>,
+    shutdown: AtomicBool,
+}
+
+/// Aggregated engine statistics (see [`ShardedEngine::metrics`]).
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Requests accepted by `submit`/`serve` (includes later sheds).
+    pub submitted: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Requests shed at admission (a shard queue was full, or closing
+    /// during shutdown).
+    pub shed: u64,
+    /// Requests abandoned past their deadline.
+    pub timed_out: u64,
+    /// Requests that hit a store error.
+    pub failed: u64,
+    /// Requests currently in flight.
+    pub outstanding: u64,
+    /// Vector lookups served (original request positions, duplicates
+    /// included).
+    pub lookups: u64,
+    /// Admission-policy hot-swaps applied by the background tuner.
+    pub tuner_swaps: u64,
+    /// End-to-end latency of completed requests.
+    pub latency: LatencySummary,
+    /// Submission → start-of-service wait.
+    pub queue_wait: LatencySummary,
+    /// Per-shard service time (dequeue → parts done).
+    pub service: LatencySummary,
+    /// The full end-to-end histogram, for custom quantiles.
+    pub e2e_histogram: LatencyHistogram,
+    /// DRAM cache counters merged across all tables.
+    pub cache: CacheMetrics,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardMetrics>,
+}
+
+/// One shard's statistics inside [`EngineMetrics`].
+#[derive(Debug, Clone)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Tables owned by the shard.
+    pub tables: Vec<usize>,
+    /// Requests this shard served at least one part of.
+    pub served_requests: u64,
+    /// Vector lookups served by this shard.
+    pub lookups: u64,
+    /// Per-shard service-time distribution.
+    pub service: LatencySummary,
+    /// Cache counters for the shard's tables.
+    pub cache: CacheMetrics,
+    /// Block reads issued to the shard's device replica.
+    pub device_reads: u64,
+}
+
+/// A shard-per-worker serving engine over a [`BandanaStore`].
+///
+/// # Example
+///
+/// ```
+/// use bandana_core::{BandanaConfig, BandanaStore};
+/// use bandana_serve::{ServeConfig, ShardedEngine};
+/// use bandana_trace::{EmbeddingTable, ModelSpec, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = ModelSpec::test_small();
+/// let mut generator = TraceGenerator::new(&spec, 1);
+/// let training = generator.generate_requests(200);
+/// let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+///     .map(|t| EmbeddingTable::synthesize(
+///         spec.tables[t].num_vectors, spec.dim, generator.topic_model(t), t as u64))
+///     .collect();
+/// let store = BandanaStore::build(
+///     &spec, &embeddings, &training,
+///     BandanaConfig::default().with_cache_vectors(256),
+/// )?;
+///
+/// let engine = ShardedEngine::new(store, ServeConfig::default().with_shards(2))?;
+/// let eval = generator.generate_requests(50);
+/// for request in &eval.requests {
+///     engine.serve(request)?;
+/// }
+/// let m = engine.metrics();
+/// assert_eq!(m.completed, 50);
+/// assert_eq!(m.lookups as usize, eval.total_lookups());
+/// assert!(m.latency.p99_s >= m.latency.p50_s);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ShardedEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    tuner: Option<JoinHandle<()>>,
+}
+
+impl ShardedEngine {
+    /// Builds the engine from a store: assigns tables to shards (greedy
+    /// balance on training-time lookup mass), replicates the simulated
+    /// device per shard, and starts the worker threads (plus the tuner
+    /// thread when configured).
+    ///
+    /// Each shard owns a full clone of the simulated device — in a real
+    /// deployment shards would own disjoint NVM namespaces; cloning the
+    /// simulator keeps per-shard I/O counters honest without remapping
+    /// block offsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandanaError::Config`] for a degenerate configuration or
+    /// a store with no tables.
+    pub fn new(store: BandanaStore, config: ServeConfig) -> Result<Self, BandanaError> {
+        config.validate().map_err(BandanaError::Config)?;
+        let parts = store.into_raw_parts();
+        let num_tables = parts.tables.len();
+        if num_tables == 0 {
+            return Err(BandanaError::Config("store has no tables".into()));
+        }
+        let num_shards = config.num_shards.min(num_tables);
+        let shadow_multiplier = parts.config.shadow_multiplier;
+
+        // Greedy balance: heaviest table (by training lookup mass) onto the
+        // lightest shard.
+        let mut weights: Vec<(usize, u64)> = parts
+            .tables
+            .iter()
+            .map(|t| {
+                let freq = t.freq();
+                let mass: u64 = (0..t.num_vectors()).map(|v| u64::from(freq.count(v))).sum();
+                (t.table_id(), mass.max(1))
+            })
+            .collect();
+        weights.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut shard_load = vec![0u64; num_shards];
+        let mut table_shard = vec![0usize; num_tables];
+        let mut shard_tables: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (table, mass) in weights {
+            let lightest =
+                (0..num_shards).min_by_key(|&s| (shard_load[s], s)).expect("at least one shard");
+            shard_load[lightest] += mass;
+            table_shard[table] = lightest;
+            shard_tables[lightest].push(table);
+        }
+        for tables in &mut shard_tables {
+            tables.sort_unstable();
+        }
+
+        // Harvest tuner inputs before tables move into the shard threads.
+        let tuner_tables: Option<Vec<TunerTable>> = config.tuner.as_ref().map(|_| {
+            parts
+                .tables
+                .iter()
+                .map(|t| TunerTable {
+                    table: t.table_id(),
+                    layout: t.layout().clone(),
+                    freq: t.freq().clone(),
+                    cache_capacity: t.cache_capacity(),
+                })
+                .collect()
+        });
+
+        let shared = Arc::new(Shared {
+            queues: (0..num_shards).map(|_| BoundedQueue::new(config.queue_capacity)).collect(),
+            table_shard: table_shard.clone(),
+            shard_tables: shard_tables.clone(),
+            counters: Counters::new(),
+            outstanding: AtomicU64::new(0),
+            idle: (Mutex::new(()), Condvar::new()),
+            shard_stats: (0..num_shards).map(|_| Mutex::new(ShardStats::default())).collect(),
+            shed_policy: config.shed_policy,
+            request_timeout: config.request_timeout,
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Distribute tables (and a device replica) to each shard.
+        let mut table_pool: HashMap<usize, TableStore> =
+            parts.tables.into_iter().map(|t| (t.table_id(), t)).collect();
+        let device = parts.device;
+
+        let (sample_tx, sample_rx) = mpsc::sync_channel::<(usize, u32)>(SAMPLE_CHANNEL_CAPACITY);
+        let mut command_txs: Vec<mpsc::Sender<ShardCommand>> = Vec::with_capacity(num_shards);
+
+        let mut workers = Vec::with_capacity(num_shards);
+        for (shard, owned) in shard_tables.iter().enumerate() {
+            let mut tables: HashMap<usize, TableStore> = HashMap::new();
+            for &t in owned {
+                let table = table_pool.remove(&t).expect("table assigned once");
+                tables.insert(t, table);
+            }
+            let device = device.clone();
+            let shared = Arc::clone(&shared);
+            let (cmd_tx, cmd_rx) = mpsc::channel::<ShardCommand>();
+            command_txs.push(cmd_tx);
+            let samples = config.tuner.as_ref().map(|t| (sample_tx.clone(), t.sample_every));
+            let handle = std::thread::Builder::new()
+                .name(format!("bandana-shard-{shard}"))
+                .spawn(move || shard_main(shard, device, tables, shared, cmd_rx, samples))
+                .expect("spawn shard worker");
+            workers.push(handle);
+        }
+        // The engine keeps no sample sender of its own: once every worker
+        // exits, the channel disconnects and the tuner thread unblocks.
+        drop(sample_tx);
+
+        let tuner = match (config.tuner, tuner_tables) {
+            (Some(settings), Some(tables)) => {
+                let shard_of = table_shard;
+                let swap_shared = Arc::clone(&shared);
+                let stop_shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("bandana-tuner".into())
+                        .spawn(move || {
+                            tuner_main(
+                                tables,
+                                settings,
+                                shard_of,
+                                command_txs,
+                                sample_rx,
+                                shadow_multiplier,
+                                move || {
+                                    swap_shared
+                                        .counters
+                                        .tuner_swaps
+                                        .fetch_add(1, Ordering::Relaxed);
+                                },
+                                move || stop_shared.shutdown.load(Ordering::Acquire),
+                            )
+                        })
+                        .expect("spawn tuner"),
+                )
+            }
+            _ => None,
+        };
+
+        Ok(ShardedEngine { shared, workers, tuner })
+    }
+
+    /// Number of shard workers.
+    pub fn num_shards(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// The tables owned by each shard.
+    pub fn shard_tables(&self) -> &[Vec<usize>] {
+        &self.shared.shard_tables
+    }
+
+    /// The shard that owns `table`, if the table exists.
+    pub fn shard_of(&self, table: usize) -> Option<usize> {
+        self.shared.table_shard.get(table).copied()
+    }
+
+    fn build_job(
+        &self,
+        request: &Request,
+        want_payloads: bool,
+    ) -> Result<(Arc<Job>, Vec<usize>), ServeError> {
+        let num_shards = self.num_shards();
+        let mut parts_by_shard: Vec<Vec<Part>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for (query_index, q) in request.queries.iter().enumerate() {
+            let &shard = self.shared.table_shard.get(q.table).ok_or(ServeError::Store(
+                BandanaError::NoSuchTable { table: q.table, tables: self.shared.table_shard.len() },
+            ))?;
+            // Coalesce duplicate ids within the query.
+            let mut unique_ids: Vec<u32> = Vec::with_capacity(q.ids.len());
+            let mut index_of: HashMap<u32, usize> = HashMap::with_capacity(q.ids.len());
+            let mut expand = Vec::with_capacity(q.ids.len());
+            for &v in &q.ids {
+                let next = unique_ids.len();
+                let idx = *index_of.entry(v).or_insert(next);
+                if idx == next {
+                    unique_ids.push(v);
+                }
+                expand.push(idx);
+            }
+            parts_by_shard[shard].push(Part { query_index, table: q.table, unique_ids, expand });
+        }
+        let involved: Vec<usize> =
+            (0..num_shards).filter(|&s| !parts_by_shard[s].is_empty()).collect();
+        let arrival = Instant::now();
+        let job = Arc::new(Job {
+            arrival,
+            deadline: self.shared.request_timeout.map(|t| arrival + t),
+            parts_by_shard,
+            remaining: AtomicUsize::new(involved.len()),
+            cancelled: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            want_payloads,
+            state: Mutex::new(JobState {
+                results: vec![None; request.queries.len()],
+                error: None,
+                done: false,
+            }),
+            done_cv: Condvar::new(),
+        });
+        Ok((job, involved))
+    }
+
+    fn enqueue(&self, request: &Request, want_payloads: bool) -> Result<Arc<Job>, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (job, involved) = self.build_job(request, want_payloads)?;
+        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if involved.is_empty() {
+            // Empty request: trivially complete.
+            self.shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            let mut st = job.state.lock().expect("job lock");
+            st.done = true;
+            drop(st);
+            return Ok(job);
+        }
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        for (i, &shard) in involved.iter().enumerate() {
+            let result = self.shared.queues[shard].push(Arc::clone(&job), self.shared.shed_policy);
+            let reject_error = match result {
+                Push::Accepted => continue,
+                Push::Dropped(_) => ServeError::Rejected,
+                Push::Closed(_) => ServeError::ShuttingDown,
+            };
+            // Shed/abort the whole request: shards that already hold a part
+            // will see the cancel flag and skip the work. Both rejection
+            // causes (full queue, closing queue) count as shed so every
+            // submitted request lands in exactly one outcome bucket.
+            job.cancelled.store(true, Ordering::Release);
+            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            // Account for the parts that were never enqueued (this shard
+            // and all later ones).
+            let unqueued = involved.len() - i;
+            if job.remaining.fetch_sub(unqueued, Ordering::AcqRel) == unqueued {
+                self.finalize(&job, None);
+            }
+            return Err(reject_error);
+        }
+        Ok(job)
+    }
+
+    /// Marks the job finished and classifies it; `finishing_shard` is the
+    /// shard whose part completed last (None when aborted at submit).
+    fn finalize(&self, job: &Job, finishing_shard: Option<usize>) {
+        finalize_job(&self.shared, job, finishing_shard);
+    }
+
+    /// Submits a request without waiting for its results (open-loop mode;
+    /// payloads are not retained).
+    ///
+    /// With [`ShedPolicy::Block`] this blocks while a target shard queue is
+    /// full; with [`ShedPolicy::DropNewest`] it returns
+    /// [`ServeError::Rejected`] instead and the request counts as shed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] on shed, [`ServeError::Store`] for unknown
+    /// tables, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, request: &Request) -> Result<(), ServeError> {
+        self.enqueue(request, false).map(|_| ())
+    }
+
+    /// Serves a request synchronously: dispatches its queries to the
+    /// owning shards, waits for every part, and returns the payloads in
+    /// request order (`result[q][i]` is the payload of
+    /// `request.queries[q].ids[i]`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedEngine::submit`], plus [`ServeError::TimedOut`] when the
+    /// request missed its deadline and [`ServeError::Store`] when any id
+    /// was invalid.
+    pub fn serve(&self, request: &Request) -> Result<Vec<Vec<Bytes>>, ServeError> {
+        let job = self.enqueue(request, true)?;
+        let mut st = job.state.lock().expect("job lock");
+        while !st.done {
+            st = job.done_cv.wait(st).expect("job lock");
+        }
+        if job.timed_out.load(Ordering::Acquire) {
+            return Err(ServeError::TimedOut);
+        }
+        if let Some(e) = st.error.clone() {
+            return Err(ServeError::Store(e));
+        }
+        let results = st.results.iter_mut().map(|slot| slot.take().unwrap_or_default()).collect();
+        Ok(results)
+    }
+
+    /// Blocks until no request is in flight.
+    pub fn drain(&self) {
+        let (lock, cv) = &self.shared.idle;
+        let mut guard = lock.lock().expect("idle lock");
+        while self.shared.outstanding.load(Ordering::Acquire) > 0 {
+            let (g, _) = cv.wait_timeout(guard, Duration::from_millis(20)).expect("idle lock");
+            guard = g;
+        }
+    }
+
+    /// A snapshot of counters, latency distributions, and per-shard
+    /// breakdowns since the engine started.
+    pub fn metrics(&self) -> EngineMetrics {
+        let c = &self.shared.counters;
+        let mut e2e = LatencyHistogram::new();
+        let mut queue_wait = LatencyHistogram::new();
+        let mut service = LatencyHistogram::new();
+        let mut cache = CacheMetrics::new();
+        let mut per_shard = Vec::with_capacity(self.num_shards());
+        for (shard, stats) in self.shared.shard_stats.iter().enumerate() {
+            let s = stats.lock().expect("shard stats lock");
+            e2e.merge(&s.e2e);
+            queue_wait.merge(&s.queue_wait);
+            service.merge(&s.service);
+            cache.merge(&s.cache);
+            per_shard.push(ShardMetrics {
+                shard,
+                tables: self.shared.shard_tables[shard].clone(),
+                served_requests: s.served_requests,
+                lookups: s.lookups,
+                service: s.service.summary(),
+                cache: s.cache,
+                device_reads: s.device_reads,
+            });
+        }
+        EngineMetrics {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            outstanding: self.shared.outstanding.load(Ordering::Relaxed),
+            lookups: c.lookups_served.load(Ordering::Relaxed),
+            tuner_swaps: c.tuner_swaps.load(Ordering::Relaxed),
+            latency: e2e.summary(),
+            queue_wait: queue_wait.summary(),
+            service: service.summary(),
+            e2e_histogram: e2e,
+            cache,
+            per_shard,
+        }
+    }
+
+    /// Stops accepting work, drains in-flight requests, joins every
+    /// thread, and returns the final metrics.
+    pub fn shutdown(mut self) -> EngineMetrics {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(t) = self.tuner.take() {
+            let _ = t.join();
+        }
+        self.metrics()
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for q in &self.shared.queues {
+            q.close();
+        }
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(t) = self.tuner.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Classifies a finished job, completes waiters, and releases the
+/// in-flight slot.
+fn finalize_job(shared: &Shared, job: &Job, finishing_shard: Option<usize>) {
+    let cancelled = job.cancelled.load(Ordering::Acquire);
+    let timed_out = job.timed_out.load(Ordering::Acquire);
+    let e2e = job.arrival.elapsed();
+    let had_error = job.state.lock().expect("job lock").error.is_some();
+    // Classify and record BEFORE waking waiters: a caller returning from
+    // `serve` must observe its own request in the counters. Shed and
+    // timeout were counted when flagged; the rest is counted here so every
+    // request lands in exactly one bucket.
+    if !cancelled && !timed_out {
+        if had_error {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(shard) = finishing_shard {
+                let mut stats = shared.shard_stats[shard].lock().expect("shard stats lock");
+                stats.e2e.record(e2e);
+            }
+        }
+    }
+    job.state.lock().expect("job lock").done = true;
+    job.done_cv.notify_all();
+    if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let (_lock, cv) = &shared.idle;
+        cv.notify_all();
+    }
+}
+
+/// The shard worker: drains its queue, applies tuner commands between
+/// requests, and serves each part with per-block read coalescing.
+fn shard_main(
+    shard: usize,
+    mut device: NvmDevice,
+    mut tables: HashMap<usize, TableStore>,
+    shared: Arc<Shared>,
+    commands: mpsc::Receiver<ShardCommand>,
+    samples: Option<(mpsc::SyncSender<(usize, u32)>, u32)>,
+) {
+    let mut sample_tick: u32 = 0;
+    loop {
+        while let Ok(cmd) = commands.try_recv() {
+            let ShardCommand::SetPolicy { table, policy, shadow_multiplier } = cmd;
+            if let Some(t) = tables.get_mut(&table) {
+                t.set_policy(policy, shadow_multiplier);
+            }
+        }
+        let job = match shared.queues[shard].pop_timeout(IDLE_POLL) {
+            Pop::Item(job) => job,
+            Pop::Empty => continue,
+            Pop::Closed => break,
+        };
+        process_job(
+            shard,
+            &job,
+            &mut device,
+            &mut tables,
+            &shared,
+            samples.as_ref(),
+            &mut sample_tick,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_job(
+    shard: usize,
+    job: &Arc<Job>,
+    device: &mut NvmDevice,
+    tables: &mut HashMap<usize, TableStore>,
+    shared: &Arc<Shared>,
+    samples: Option<&(mpsc::SyncSender<(usize, u32)>, u32)>,
+    sample_tick: &mut u32,
+) {
+    let dequeued = Instant::now();
+    let mut serve_parts = !job.cancelled.load(Ordering::Acquire);
+    if serve_parts {
+        if let Some(deadline) = job.deadline {
+            if dequeued > deadline {
+                if !job.timed_out.swap(true, Ordering::AcqRel) {
+                    shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+                serve_parts = false;
+            }
+        }
+    }
+
+    if serve_parts {
+        let mut local_lookups = 0u64;
+        for part in &job.parts_by_shard[shard] {
+            let table =
+                tables.get_mut(&part.table).expect("dispatcher routes queries to the owning shard");
+            match table.lookup_batch(device, &part.unique_ids) {
+                Ok(payloads) => {
+                    local_lookups += part.expand.len() as u64;
+                    if let Some((tx, every)) = samples {
+                        for &v in &part.unique_ids {
+                            *sample_tick = sample_tick.wrapping_add(1);
+                            if sample_tick.is_multiple_of((*every).max(1)) {
+                                let _ = tx.try_send((part.table, v));
+                            }
+                        }
+                    }
+                    if job.want_payloads {
+                        let expanded: Vec<Bytes> =
+                            part.expand.iter().map(|&u| payloads[u].clone()).collect();
+                        let mut st = job.state.lock().expect("job lock");
+                        st.results[part.query_index] = Some(expanded);
+                    }
+                }
+                Err(e) => {
+                    let mut st = job.state.lock().expect("job lock");
+                    if st.error.is_none() {
+                        st.error = Some(e);
+                    }
+                }
+            }
+        }
+        shared.counters.lookups_served.fetch_add(local_lookups, Ordering::Relaxed);
+        let mut stats = shared.shard_stats[shard].lock().expect("shard stats lock");
+        stats.served_requests += 1;
+        stats.lookups += local_lookups;
+        stats.queue_wait.record(dequeued - job.arrival);
+        stats.service.record(dequeued.elapsed());
+        let mut cache = CacheMetrics::new();
+        for t in tables.values() {
+            cache.merge(t.metrics());
+        }
+        stats.cache = cache;
+        stats.device_reads = device.counters().reads;
+    }
+
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finalize_job(shared, job, Some(shard));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bandana_core::BandanaConfig;
+    use bandana_trace::{EmbeddingTable, ModelSpec, TableQuery, TraceGenerator};
+
+    fn build_store(seed: u64) -> (BandanaStore, TraceGenerator) {
+        let spec = ModelSpec::test_small();
+        let mut generator = TraceGenerator::new(&spec, seed);
+        let training = generator.generate_requests(200);
+        let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+            .map(|t| {
+                EmbeddingTable::synthesize(
+                    spec.tables[t].num_vectors,
+                    spec.dim,
+                    generator.topic_model(t),
+                    t as u64,
+                )
+            })
+            .collect();
+        let store = BandanaStore::build(
+            &spec,
+            &embeddings,
+            &training,
+            BandanaConfig::default().with_cache_vectors(256),
+        )
+        .expect("build store");
+        (store, generator)
+    }
+
+    #[test]
+    fn shards_own_disjoint_tables_covering_the_store() {
+        let (store, _) = build_store(1);
+        let tables = store.num_tables();
+        let engine =
+            ShardedEngine::new(store, ServeConfig::default().with_shards(2)).expect("engine");
+        let mut seen = std::collections::HashSet::new();
+        for shard in engine.shard_tables() {
+            for &t in shard {
+                assert!(seen.insert(t), "table {t} owned by two shards");
+            }
+        }
+        assert_eq!(seen.len(), tables);
+    }
+
+    #[test]
+    fn serve_returns_correct_payloads_with_duplicates_coalesced() {
+        let (store, _) = build_store(2);
+        let mut reference = {
+            let (s, _) = build_store(2);
+            s
+        };
+        let engine =
+            ShardedEngine::new(store, ServeConfig::default().with_shards(2)).expect("engine");
+        let request = Request {
+            queries: vec![
+                TableQuery::new(0, vec![3, 7, 3, 9, 7]),
+                TableQuery::new(1, vec![11, 11]),
+            ],
+        };
+        let results = engine.serve(&request).expect("serve");
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].len(), 5);
+        assert_eq!(results[1].len(), 2);
+        for (q, query) in request.queries.iter().enumerate() {
+            for (i, &v) in query.ids.iter().enumerate() {
+                let expected = reference.lookup(query.table, v).expect("reference lookup");
+                assert_eq!(
+                    results[q][i].as_ref(),
+                    expected.as_ref(),
+                    "table {} id {v}",
+                    query.table
+                );
+            }
+        }
+        // Duplicates count as lookups served but share the cache probe.
+        let m = engine.metrics();
+        assert_eq!(m.lookups, 7);
+        assert_eq!(m.completed, 1);
+    }
+
+    #[test]
+    fn unknown_table_is_rejected_up_front() {
+        let (store, _) = build_store(3);
+        let engine = ShardedEngine::new(store, ServeConfig::default()).expect("engine");
+        let request = Request { queries: vec![TableQuery::new(99, vec![0])] };
+        match engine.serve(&request) {
+            Err(ServeError::Store(BandanaError::NoSuchTable { table: 99, .. })) => {}
+            other => panic!("expected NoSuchTable, got {other:?}"),
+        }
+        assert_eq!(engine.metrics().failed, 0, "rejected before submission");
+    }
+
+    #[test]
+    fn invalid_vector_counts_as_failed() {
+        let (store, _) = build_store(4);
+        let engine = ShardedEngine::new(store, ServeConfig::default()).expect("engine");
+        let request = Request { queries: vec![TableQuery::new(0, vec![u32::MAX])] };
+        match engine.serve(&request) {
+            Err(ServeError::Store(BandanaError::NoSuchVector { .. })) => {}
+            other => panic!("expected NoSuchVector, got {other:?}"),
+        }
+        engine.drain();
+        assert_eq!(engine.metrics().failed, 1);
+    }
+
+    #[test]
+    fn empty_request_completes_immediately() {
+        let (store, _) = build_store(5);
+        let engine = ShardedEngine::new(store, ServeConfig::default()).expect("engine");
+        let results = engine.serve(&Request::default()).expect("serve");
+        assert!(results.is_empty());
+        assert_eq!(engine.metrics().completed, 1);
+    }
+
+    #[test]
+    fn metrics_account_every_submitted_request() {
+        let (store, mut generator) = build_store(6);
+        let engine =
+            ShardedEngine::new(store, ServeConfig::default().with_shards(2)).expect("engine");
+        let trace = generator.generate_requests(100);
+        for r in &trace.requests {
+            engine.submit(r).expect("submit");
+        }
+        engine.drain();
+        let m = engine.metrics();
+        assert_eq!(m.submitted, 100);
+        assert_eq!(m.completed + m.shed + m.timed_out + m.failed, 100);
+        assert_eq!(m.completed, 100);
+        assert_eq!(m.lookups as usize, trace.total_lookups());
+        assert_eq!(m.outstanding, 0);
+        assert_eq!(m.latency.count, 100);
+        // Per-shard lookups sum to the engine total.
+        let shard_lookups: u64 = m.per_shard.iter().map(|s| s.lookups).sum();
+        assert_eq!(shard_lookups, m.lookups);
+        // Cache counters flow through from the tables; duplicate ids are
+        // coalesced before the cache, so probes never exceed lookups.
+        assert!(m.cache.lookups > 0);
+        assert!(m.cache.lookups <= m.lookups, "{} > {}", m.cache.lookups, m.lookups);
+    }
+
+    #[test]
+    fn shutdown_returns_final_metrics_and_rejects_new_work() {
+        let (store, mut generator) = build_store(7);
+        let engine = ShardedEngine::new(store, ServeConfig::default()).expect("engine");
+        let trace = generator.generate_requests(10);
+        for r in &trace.requests {
+            engine.submit(r).expect("submit");
+        }
+        engine.drain();
+        let m = engine.shutdown();
+        assert_eq!(m.completed, 10);
+    }
+
+    #[test]
+    fn zero_timeout_times_requests_out_without_deadlock() {
+        let (store, mut generator) = build_store(8);
+        let engine =
+            ShardedEngine::new(store, ServeConfig::default().with_request_timeout(Duration::ZERO))
+                .expect("engine");
+        let trace = generator.generate_requests(20);
+        for r in &trace.requests {
+            engine.submit(r).expect("submit");
+        }
+        engine.drain();
+        let m = engine.metrics();
+        assert_eq!(m.completed + m.timed_out, 20);
+        assert!(m.timed_out > 0, "a zero deadline must time out");
+    }
+
+    #[test]
+    fn engine_config_is_validated() {
+        let (store, _) = build_store(9);
+        let err = ShardedEngine::new(store, ServeConfig::default().with_shards(0));
+        assert!(matches!(err, Err(BandanaError::Config(_))));
+    }
+}

@@ -1,0 +1,250 @@
+//! Latency accounting: a mergeable log-bucketed histogram with tail
+//! quantiles.
+//!
+//! Serving systems are judged on their latency *distribution*, not the
+//! mean: the paper's own device evaluation (Figures 2 and 5) plots P99
+//! next to the average, and a sharded engine must aggregate distributions
+//! recorded independently by every shard. [`LatencyHistogram`] wraps the
+//! log-bucketed [`nvm_sim::Histogram`] (bounded ~3% relative bucket error)
+//! behind a quantile-oriented API and an exact, associative
+//! [`merge`](LatencyHistogram::merge): shard histograms can be combined in
+//! any order and yield identical quantiles, because merging just adds
+//! bucket counts.
+
+use nvm_sim::Histogram;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A mergeable latency histogram over seconds.
+///
+/// # Example
+///
+/// ```
+/// use bandana_serve::LatencyHistogram;
+///
+/// let mut shard_a = LatencyHistogram::new();
+/// let mut shard_b = LatencyHistogram::new();
+/// for i in 1..=500 {
+///     shard_a.record_secs(i as f64 * 1e-6);
+///     shard_b.record_secs((500 + i) as f64 * 1e-6);
+/// }
+/// let mut total = shard_a.clone();
+/// total.merge(&shard_b);
+/// assert_eq!(total.count(), 1000);
+/// let p50 = total.quantile(0.5);
+/// assert!((p50 - 500e-6).abs() / 500e-6 < 0.06, "p50 {p50}");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    inner: Histogram,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { inner: Histogram::new() }
+    }
+
+    /// Records one latency in seconds. Negative or NaN samples (which can
+    /// only arise from clock anomalies) are recorded as zero.
+    pub fn record_secs(&mut self, seconds: f64) {
+        let s = if seconds.is_finite() && seconds > 0.0 { seconds } else { 0.0 };
+        self.inner.record(s);
+    }
+
+    /// Records one latency.
+    pub fn record(&mut self, latency: Duration) {
+        self.record_secs(latency.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Exact mean latency in seconds (`0.0` when empty).
+    pub fn mean_secs(&self) -> f64 {
+        self.inner.mean()
+    }
+
+    /// Largest recorded latency in seconds (`0.0` when empty).
+    pub fn max_secs(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.inner.max()
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in seconds, within the bucket
+    /// resolution (~3% relative error). Returns `0.0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        self.inner.percentile(q * 100.0)
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile latency in seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile latency in seconds.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Adds another histogram's samples to this one.
+    ///
+    /// Merging is exact (bucket counts add), hence commutative and
+    /// associative: aggregating per-shard histograms in any order yields
+    /// identical quantiles.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.inner.merge(&other.inner);
+    }
+
+    /// A fixed snapshot of the headline statistics.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count(),
+            mean_s: self.mean_secs(),
+            p50_s: self.p50(),
+            p95_s: self.p95(),
+            p99_s: self.p99(),
+            p999_s: self.p999(),
+            max_s: self.max_secs(),
+        }
+    }
+}
+
+/// Headline latency statistics extracted from a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean in seconds.
+    pub mean_s: f64,
+    /// Median in seconds.
+    pub p50_s: f64,
+    /// 95th percentile in seconds.
+    pub p95_s: f64,
+    /// 99th percentile in seconds.
+    pub p99_s: f64,
+    /// 99.9th percentile in seconds.
+    pub p999_s: f64,
+    /// Maximum in seconds.
+    pub max_s: f64,
+}
+
+/// Formats a latency in seconds with a human unit (ns/µs/ms/s).
+pub fn fmt_secs(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.0}ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.1}µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2}ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3}s")
+    }
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p95={} p99={} p999={} max={}",
+            self.count,
+            fmt_secs(self.mean_s),
+            fmt_secs(self.p50_s),
+            fmt_secs(self.p95_s),
+            fmt_secs(self.p99_s),
+            fmt_secs(self.p999_s),
+            fmt_secs(self.max_s),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000 {
+            h.record_secs(i as f64 * 1e-6);
+        }
+        let (p50, p95, p99, p999) = (h.p50(), h.p95(), h.p99(), h.p999());
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999, "{p50} {p95} {p99} {p999}");
+        assert!((p50 - 5e-3).abs() / 5e-3 < 0.06, "p50 {p50}");
+        assert!((p999 - 9.99e-3).abs() / 9.99e-3 < 0.06, "p999 {p999}");
+    }
+
+    #[test]
+    fn merge_matches_single_recorder() {
+        let mut parts = vec![LatencyHistogram::new(); 4];
+        let mut whole = LatencyHistogram::new();
+        for i in 0..4000u64 {
+            let s = (i % 977 + 1) as f64 * 1e-6;
+            parts[(i % 4) as usize].record_secs(s);
+            whole.record_secs(s);
+        }
+        let mut merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        // Bucket counts add exactly, so every quantile matches; only the
+        // mean can differ by float-summation order.
+        assert_eq!(merged.count(), whole.count());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "quantile {q}");
+        }
+        assert!((merged.mean_secs() - whole.mean_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.max_secs(), 0.0);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn hostile_samples_are_clamped() {
+        let mut h = LatencyHistogram::new();
+        h.record_secs(-1.0);
+        h.record_secs(f64::NAN);
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.count(), 3);
+        assert!(h.max_secs() > 0.0);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert_eq!(fmt_secs(5e-9), "5ns");
+        assert_eq!(fmt_secs(1.5e-6), "1.5µs");
+        assert_eq!(fmt_secs(2.5e-3), "2.50ms");
+        assert_eq!(fmt_secs(1.25), "1.250s");
+    }
+}

@@ -1,0 +1,71 @@
+//! # bandana-serve — a sharded, batching serving engine for Bandana
+//!
+//! Bandana is ultimately a *serving* system: NVM-backed embedding tables
+//! answering ranking lookups under production traffic. This crate turns a
+//! built [`BandanaStore`](bandana_core::BandanaStore) into a serving
+//! engine with the properties such a deployment is judged on:
+//!
+//! * **Shard-per-worker parallelism** ([`ShardedEngine`]): tables are
+//!   spread across worker threads, each owning its tables and device
+//!   replica outright — the hot path takes no shared lock. A dispatcher
+//!   splits each request across shards, coalesces duplicate vector ids
+//!   within a query, and merges results back in request order.
+//! * **Latency accounting** ([`LatencyHistogram`]): mergeable
+//!   log-bucketed histograms record queue wait, per-shard service time,
+//!   and end-to-end latency; [`ShardedEngine::metrics`] reports
+//!   p50/p95/p99/p999 across shards.
+//! * **Overload behaviour** ([`ShedPolicy`]): bounded per-shard queues
+//!   with block-or-shed admission and an optional deadline, surfacing
+//!   drop and timeout counters instead of unbounded queueing.
+//! * **Open-loop load generation** ([`run_open_loop`], driven by
+//!   [`bandana_trace::ArrivalProcess`]): Poisson and bursty arrival
+//!   clocks that keep offering load when the engine falls behind — the
+//!   regime where tail latency and shedding actually show up — next to
+//!   classic closed-loop capacity replay ([`run_closed_loop`]).
+//! * **Online re-tuning** ([`OnlineTunerSettings`]): a background thread
+//!   races miniature caches on a sample of live traffic (paper §4.3.3)
+//!   and hot-swaps winning admission thresholds into the owning shards.
+//!
+//! ## Example
+//!
+//! ```
+//! use bandana_core::{BandanaConfig, BandanaStore};
+//! use bandana_serve::{run_closed_loop, ServeConfig, ShardedEngine};
+//! use bandana_trace::{EmbeddingTable, ModelSpec, TraceGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ModelSpec::test_small();
+//! let mut generator = TraceGenerator::new(&spec, 42);
+//! let training = generator.generate_requests(200);
+//! let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+//!     .map(|t| EmbeddingTable::synthesize(
+//!         spec.tables[t].num_vectors, spec.dim, generator.topic_model(t), t as u64))
+//!     .collect();
+//! let store = BandanaStore::build(
+//!     &spec, &embeddings, &training,
+//!     BandanaConfig::default().with_cache_vectors(512),
+//! )?;
+//!
+//! let engine = ShardedEngine::new(store, ServeConfig::default().with_shards(2))?;
+//! let eval = generator.generate_requests(100);
+//! let report = run_closed_loop(&engine, &eval, 4)?;
+//! assert_eq!(report.completed, 100);
+//! println!("{} qps, p99 {:.1}µs", report.achieved_qps, report.latency.p99_s * 1e6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod hist;
+pub mod loadgen;
+pub mod queue;
+pub mod tuner;
+
+pub use engine::{EngineMetrics, ServeConfig, ServeError, ShardMetrics, ShardedEngine};
+pub use hist::{fmt_secs, LatencyHistogram, LatencySummary};
+pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopReport, OpenLoopReport};
+pub use queue::ShedPolicy;
+pub use tuner::OnlineTunerSettings;

@@ -1,0 +1,270 @@
+//! Closed- and open-loop load generation against a [`ShardedEngine`].
+//!
+//! Closed-loop replay (a fixed set of caller threads, each issuing its
+//! next request when the previous one returns) measures *capacity*; the
+//! offered load self-throttles to whatever the engine sustains. Open-loop
+//! replay submits requests on an [`ArrivalProcess`] clock that does not
+//! care whether the engine keeps up — the regime production ranking
+//! services actually live in — so queueing delay, shedding, and timeouts
+//! become visible (the paper's Figure 5 methodology, applied to the whole
+//! serving engine rather than the raw device).
+//!
+//! Reports subtract a counter snapshot taken at the start of the run, so
+//! several runs against one engine stay separable; the latency
+//! distributions, however, accumulate over the engine's lifetime — use a
+//! fresh engine per measured point when sweeping offered load.
+
+use crate::engine::{EngineMetrics, ServeError, ShardedEngine};
+use crate::hist::LatencySummary;
+use bandana_trace::{ArrivalProcess, Trace};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Result of an open-loop run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenLoopReport {
+    /// Offered load in requests per second.
+    pub offered_qps: f64,
+    /// Requests submitted (including shed ones).
+    pub submitted: u64,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Requests abandoned past their deadline.
+    pub timed_out: u64,
+    /// Requests that hit a store error.
+    pub failed: u64,
+    /// Vector lookups served during the run.
+    pub lookups: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_s: f64,
+    /// Completed requests per second.
+    pub achieved_qps: f64,
+    /// End-to-end latency of completed requests (cumulative over the
+    /// engine lifetime).
+    pub latency: LatencySummary,
+    /// Queue-wait distribution (cumulative over the engine lifetime).
+    pub queue_wait: LatencySummary,
+}
+
+/// Result of a closed-loop run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClosedLoopReport {
+    /// Caller threads used.
+    pub concurrency: usize,
+    /// Requests fully served.
+    pub completed: u64,
+    /// Vector lookups served during the run.
+    pub lookups: u64,
+    /// Wall-clock duration in seconds.
+    pub wall_s: f64,
+    /// Completed requests per second.
+    pub achieved_qps: f64,
+    /// Vector lookups per second.
+    pub lookups_per_second: f64,
+    /// End-to-end latency of completed requests (cumulative over the
+    /// engine lifetime).
+    pub latency: LatencySummary,
+}
+
+fn delta(after: &EngineMetrics, before: &EngineMetrics) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        after.submitted - before.submitted,
+        after.completed - before.completed,
+        after.shed - before.shed,
+        after.timed_out - before.timed_out,
+        after.failed - before.failed,
+        after.lookups - before.lookups,
+    )
+}
+
+/// Replays `trace` open-loop: requests are submitted on the arrival
+/// process's clock regardless of engine progress, then the engine drains.
+///
+/// With [`ShedPolicy::DropNewest`](crate::ShedPolicy::DropNewest) a
+/// saturating rate sheds instead of blocking, so the run always
+/// terminates; with `Block` the generator itself is back-pressured and
+/// the realized rate falls below the offered one.
+pub fn run_open_loop(
+    engine: &ShardedEngine,
+    trace: &Trace,
+    process: &ArrivalProcess,
+    seed: u64,
+) -> OpenLoopReport {
+    let before = engine.metrics();
+    let schedule = process.schedule(trace.requests.len(), seed);
+    let start = Instant::now();
+    for (request, &offset) in trace.requests.iter().zip(&schedule) {
+        // Pace: coarse sleep until close to the arrival, then fine-wait.
+        loop {
+            let now = start.elapsed().as_secs_f64();
+            let wait = offset - now;
+            if wait <= 0.0 {
+                break;
+            }
+            if wait > 500e-6 {
+                std::thread::sleep(Duration::from_secs_f64(wait - 300e-6));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Sheds and store errors are visible in the counters; the
+        // generator itself never stops for them (open-loop semantics).
+        let _ = engine.submit(request);
+    }
+    engine.drain();
+    let wall_s = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    let after = engine.metrics();
+    let (submitted, completed, shed, timed_out, failed, lookups) = delta(&after, &before);
+    OpenLoopReport {
+        offered_qps: process.rate_rps(),
+        submitted,
+        completed,
+        shed,
+        timed_out,
+        failed,
+        lookups,
+        wall_s,
+        achieved_qps: completed as f64 / wall_s,
+        latency: after.latency,
+        queue_wait: after.queue_wait,
+    }
+}
+
+/// Replays `trace` closed-loop across `concurrency` caller threads
+/// (request *i* goes to caller `i % concurrency`), waiting for each
+/// request's payloads before issuing the next.
+///
+/// # Errors
+///
+/// Returns the first error any caller hit.
+///
+/// # Panics
+///
+/// Panics if `concurrency` is zero.
+pub fn run_closed_loop(
+    engine: &ShardedEngine,
+    trace: &Trace,
+    concurrency: usize,
+) -> Result<ClosedLoopReport, ServeError> {
+    assert!(concurrency > 0, "need at least one caller");
+    let before = engine.metrics();
+    let first_error: std::sync::Mutex<Option<ServeError>> = std::sync::Mutex::new(None);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for caller in 0..concurrency {
+            let first_error = &first_error;
+            let engine = &engine;
+            scope.spawn(move || {
+                for request in trace.requests.iter().skip(caller).step_by(concurrency) {
+                    if first_error.lock().expect("error lock").is_some() {
+                        return;
+                    }
+                    if let Err(e) = engine.serve(request) {
+                        let mut slot = first_error.lock().expect("error lock");
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = first_error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    let wall_s = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    let after = engine.metrics();
+    let (_, completed, _, _, _, lookups) = delta(&after, &before);
+    Ok(ClosedLoopReport {
+        concurrency,
+        completed,
+        lookups,
+        wall_s,
+        achieved_qps: completed as f64 / wall_s,
+        lookups_per_second: lookups as f64 / wall_s,
+        latency: after.latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::queue::ShedPolicy;
+    use bandana_core::{BandanaConfig, BandanaStore};
+    use bandana_trace::{EmbeddingTable, ModelSpec, TraceGenerator};
+
+    fn build_engine(seed: u64, config: ServeConfig) -> (ShardedEngine, TraceGenerator) {
+        let spec = ModelSpec::test_small();
+        let mut generator = TraceGenerator::new(&spec, seed);
+        let training = generator.generate_requests(200);
+        let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+            .map(|t| {
+                EmbeddingTable::synthesize(
+                    spec.tables[t].num_vectors,
+                    spec.dim,
+                    generator.topic_model(t),
+                    t as u64,
+                )
+            })
+            .collect();
+        let store = BandanaStore::build(
+            &spec,
+            &embeddings,
+            &training,
+            BandanaConfig::default().with_cache_vectors(256),
+        )
+        .expect("build store");
+        (ShardedEngine::new(store, config).expect("engine"), generator)
+    }
+
+    #[test]
+    fn closed_loop_serves_everything() {
+        let (engine, mut generator) = build_engine(1, ServeConfig::default().with_shards(2));
+        let trace = generator.generate_requests(120);
+        let report = run_closed_loop(&engine, &trace, 4).expect("closed loop");
+        assert_eq!(report.completed, 120);
+        assert_eq!(report.lookups as usize, trace.total_lookups());
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.latency.p99_s >= report.latency.p50_s);
+    }
+
+    #[test]
+    fn open_loop_below_saturation_completes_everything() {
+        let (engine, mut generator) = build_engine(2, ServeConfig::default().with_shards(2));
+        let trace = generator.generate_requests(60);
+        let process = ArrivalProcess::Poisson { rate_rps: 2_000.0 };
+        let report = run_open_loop(&engine, &trace, &process, 7);
+        assert_eq!(report.submitted, 60);
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.shed, 0);
+        assert!((report.offered_qps - 2_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_open_loop_sheds_and_terminates() {
+        let (engine, mut generator) = build_engine(
+            3,
+            ServeConfig::default()
+                .with_shards(2)
+                .with_queue_capacity(4)
+                .with_shed_policy(ShedPolicy::DropNewest),
+        );
+        let trace = generator.generate_requests(500);
+        // An absurd offered rate: far beyond what two shards serve.
+        let process = ArrivalProcess::Uniform { rate_rps: 5_000_000.0 };
+        let report = run_open_loop(&engine, &trace, &process, 7);
+        assert_eq!(report.submitted, 500);
+        assert_eq!(
+            report.completed + report.shed + report.timed_out + report.failed,
+            500,
+            "every request accounted"
+        );
+        assert!(report.shed > 0, "saturation must shed");
+        assert!(report.completed > 0, "accepted requests still served");
+        assert_eq!(engine.metrics().outstanding, 0, "engine drained");
+    }
+}

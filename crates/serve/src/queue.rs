@@ -1,0 +1,195 @@
+//! Bounded per-shard work queues with an explicit overload policy.
+//!
+//! An open-loop arrival process does not slow down when the server falls
+//! behind, so a production engine must decide what to do when a shard's
+//! queue is full: block the producer (closed-loop semantics, useful for
+//! capacity measurement) or shed the request and count it (open-loop
+//! semantics — latency of *accepted* requests stays bounded and the drop
+//! counter becomes the overload signal).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What a full queue does with a new request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Block the submitter until space frees up (never sheds).
+    #[default]
+    Block,
+    /// Reject the incoming request immediately (counted as shed).
+    DropNewest,
+}
+
+/// Result of [`BoundedQueue::push`].
+#[derive(Debug)]
+pub enum Push<T> {
+    /// The item was enqueued.
+    Accepted,
+    /// The queue was full and the policy shed the item.
+    Dropped(T),
+    /// The queue is closed; the item is returned.
+    Closed(T),
+}
+
+/// Result of [`BoundedQueue::pop_timeout`].
+#[derive(Debug)]
+pub enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue still empty.
+    Empty,
+    /// The queue is closed and drained.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking MPSC queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The capacity the queue was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, applying `policy` when the queue is full.
+    pub fn push(&self, item: T, policy: ShedPolicy) -> Push<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.closed {
+                return Push::Closed(item);
+            }
+            if st.items.len() < self.capacity {
+                st.items.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return Push::Accepted;
+            }
+            match policy {
+                ShedPolicy::DropNewest => return Push::Dropped(item),
+                ShedPolicy::Block => {
+                    st = self.not_full.wait(st).expect("queue lock");
+                }
+            }
+        }
+    }
+
+    /// Dequeues one item, waiting up to `timeout` for work. A closed queue
+    /// still drains its remaining items before reporting [`Pop::Closed`].
+    pub fn pop_timeout(&self, timeout: Duration) -> Pop<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        if let Some(item) = st.items.pop_front() {
+            drop(st);
+            self.not_full.notify_one();
+            return Pop::Item(item);
+        }
+        if st.closed {
+            return Pop::Closed;
+        }
+        let (mut st, _timed_out) = self.not_empty.wait_timeout(st, timeout).expect("queue lock");
+        match st.items.pop_front() {
+            Some(item) => {
+                drop(st);
+                self.not_full.notify_one();
+                Pop::Item(item)
+            }
+            None if st.closed => Pop::Closed,
+            None => Pop::Empty,
+        }
+    }
+
+    /// Closes the queue: pushes are rejected, pops drain and then report
+    /// closure, and all waiters wake.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        assert!(matches!(q.push(1, ShedPolicy::DropNewest), Push::Accepted));
+        assert!(matches!(q.push(2, ShedPolicy::DropNewest), Push::Accepted));
+        assert!(matches!(q.push(3, ShedPolicy::DropNewest), Push::Dropped(3)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Pop::Item(1)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Pop::Item(2)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Pop::Empty));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = BoundedQueue::new(4);
+        q.push(7, ShedPolicy::Block);
+        q.close();
+        assert!(matches!(q.push(8, ShedPolicy::Block), Push::Closed(8)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Pop::Item(7)));
+        assert!(matches!(q.pop_timeout(Duration::ZERO), Pop::Closed));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1, ShedPolicy::Block);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            assert!(matches!(q2.push(2, ShedPolicy::Block), Push::Accepted));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(matches!(q.pop_timeout(Duration::from_millis(100)), Pop::Item(1)));
+        producer.join().expect("producer");
+        assert!(matches!(q.pop_timeout(Duration::from_millis(100)), Pop::Item(2)));
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1, ShedPolicy::Block);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(2, ShedPolicy::Block));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(producer.join().expect("producer"), Push::Closed(2)));
+    }
+}

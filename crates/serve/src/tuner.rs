@@ -1,0 +1,208 @@
+//! Background admission-threshold re-tuning from live traffic.
+//!
+//! The paper's miniature caches are cheap enough to run *online*
+//! (§4.3.3): shadow the live lookup stream through per-table simulators
+//! and periodically adopt the best-performing admission threshold. In the
+//! sharded engine this runs as one background thread: shard workers send
+//! a sampled stream of `(table, vector)` observations over a bounded
+//! channel (overflow is dropped — sampling is lossy by design, exactly
+//! like the paper's 0.1% sampling rate), the tuner drives one
+//! [`OnlineTuner`] per table, and every epoch decision is hot-swapped
+//! into the owning shard through its command channel, where the worker
+//! applies it between requests via
+//! [`TableStore::set_policy`](bandana_core::TableStore::set_policy).
+
+use crate::engine::ShardCommand;
+use bandana_cache::AdmissionPolicy;
+use bandana_core::{OnlineTuner, OnlineTunerConfig};
+use bandana_partition::{AccessFrequency, BlockLayout};
+use serde::{Deserialize, Serialize};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Configuration of the background tuner thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineTunerSettings {
+    /// Observed (sampled) lookups per tuning epoch, per table.
+    pub epoch_lookups: u64,
+    /// Shard-side sampling stride: every `sample_every`-th lookup is
+    /// forwarded to the tuner (1 = every lookup).
+    pub sample_every: u32,
+    /// Candidate admission thresholds to race.
+    pub candidate_thresholds: Vec<u32>,
+    /// Miniature-cache sampling rate inside the tuner.
+    pub sampling_rate: f64,
+    /// Hash salt.
+    pub salt: u64,
+}
+
+impl Default for OnlineTunerSettings {
+    fn default() -> Self {
+        OnlineTunerSettings {
+            epoch_lookups: 10_000,
+            sample_every: 1,
+            candidate_thresholds: vec![1, 2, 5, 10, 20],
+            sampling_rate: 0.25,
+            salt: 0,
+        }
+    }
+}
+
+impl OnlineTunerSettings {
+    /// Validates the settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.epoch_lookups == 0 {
+            return Err("tuner epoch must be non-empty".into());
+        }
+        if self.sample_every == 0 {
+            return Err("sample stride must be at least 1".into());
+        }
+        if self.candidate_thresholds.is_empty() {
+            return Err("tuner needs candidate thresholds".into());
+        }
+        if !(0.0 < self.sampling_rate && self.sampling_rate <= 1.0) {
+            return Err(format!("tuner sampling rate {} outside (0,1]", self.sampling_rate));
+        }
+        Ok(())
+    }
+}
+
+/// Per-table inputs harvested from the store before its tables moved into
+/// the shard threads.
+#[derive(Debug)]
+pub(crate) struct TunerTable {
+    pub(crate) table: usize,
+    pub(crate) layout: BlockLayout,
+    pub(crate) freq: AccessFrequency,
+    pub(crate) cache_capacity: usize,
+}
+
+/// The tuner thread body. Exits when every sample sender disconnects
+/// (i.e. all shard workers stopped) or `should_stop` turns true.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tuner_main(
+    tables: Vec<TunerTable>,
+    settings: OnlineTunerSettings,
+    shard_of: Vec<usize>,
+    commands: Vec<mpsc::Sender<ShardCommand>>,
+    samples: mpsc::Receiver<(usize, u32)>,
+    shadow_multiplier: f64,
+    on_swap: impl Fn(),
+    should_stop: impl Fn() -> bool,
+) {
+    // `tuners` borrows `tables`; both live to the end of this frame.
+    let mut tuners: Vec<OnlineTuner<'_>> = tables
+        .iter()
+        .map(|t| {
+            OnlineTuner::new(
+                &t.layout,
+                &t.freq,
+                OnlineTunerConfig {
+                    cache_capacity: t.cache_capacity.max(1),
+                    sampling_rate: settings.sampling_rate,
+                    candidate_thresholds: settings.candidate_thresholds.clone(),
+                    epoch_lookups: settings.epoch_lookups,
+                    salt: settings.salt.wrapping_add(t.table as u64),
+                },
+            )
+        })
+        .collect();
+
+    while !should_stop() {
+        match samples.recv_timeout(Duration::from_millis(20)) {
+            Ok(first) => {
+                // Batch-drain: shards produce samples much faster than one
+                // observation per wakeup could absorb.
+                let mut pending = Some(first);
+                while let Some((table, v)) = pending {
+                    if let Some(tuner) = tuners.get_mut(table) {
+                        if let Some(decision) = tuner.observe(v) {
+                            let policy = AdmissionPolicy::Threshold { t: decision.threshold };
+                            let shard = shard_of[table];
+                            if commands[shard]
+                                .send(ShardCommand::SetPolicy { table, policy, shadow_multiplier })
+                                .is_ok()
+                            {
+                                on_swap();
+                            }
+                        }
+                    }
+                    pending = samples.try_recv().ok();
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_validation() {
+        assert!(OnlineTunerSettings::default().validate().is_ok());
+        assert!(OnlineTunerSettings { epoch_lookups: 0, ..Default::default() }.validate().is_err());
+        assert!(OnlineTunerSettings { sample_every: 0, ..Default::default() }.validate().is_err());
+        assert!(OnlineTunerSettings { candidate_thresholds: vec![], ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(OnlineTunerSettings { sampling_rate: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn tuner_thread_emits_policy_swaps() {
+        let n = 256u32;
+        let layout = BlockLayout::identity(n, 32);
+        let hot: Vec<Vec<u32>> = (0..50).map(|_| (0..16u32).collect()).collect();
+        let freq = AccessFrequency::from_queries(n, hot.iter().map(|q| q.as_slice()));
+        let tables = vec![TunerTable { table: 0, layout, freq, cache_capacity: 64 }];
+
+        let (cmd_tx, cmd_rx) = mpsc::channel();
+        let (sample_tx, sample_rx) = mpsc::sync_channel(1024);
+        let swaps = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let swaps2 = std::sync::Arc::clone(&swaps);
+
+        let settings = OnlineTunerSettings {
+            epoch_lookups: 100,
+            sampling_rate: 1.0,
+            candidate_thresholds: vec![2, 1_000],
+            ..Default::default()
+        };
+        let handle = std::thread::spawn(move || {
+            tuner_main(
+                tables,
+                settings,
+                vec![0],
+                vec![cmd_tx],
+                sample_rx,
+                1.5,
+                move || {
+                    swaps2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                },
+                || false,
+            )
+        });
+        // Feed a hot scan: two full epochs.
+        for i in 0..200u32 {
+            sample_tx.send((0, i % 16)).expect("send sample");
+        }
+        drop(sample_tx); // disconnect → tuner exits after draining
+        handle.join().expect("tuner thread");
+        let cmds: Vec<_> = cmd_rx.try_iter().collect();
+        assert_eq!(cmds.len(), 2, "one swap per epoch");
+        assert_eq!(swaps.load(std::sync::atomic::Ordering::Relaxed), 2);
+        for cmd in cmds {
+            let ShardCommand::SetPolicy { table, policy, .. } = cmd;
+            assert_eq!(table, 0);
+            assert_eq!(policy, AdmissionPolicy::Threshold { t: 2 });
+        }
+    }
+}

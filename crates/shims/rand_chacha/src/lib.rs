@@ -1,0 +1,8 @@
+//! Offline stand-in for the `rand_chacha` crate: re-exports the ChaCha
+//! generators implemented in the local `rand_core` shim.
+
+#![forbid(unsafe_code)]
+
+pub use rand_core;
+
+pub use rand_core::chacha::{ChaCha12Rng, ChaCha20Rng, ChaCha8Rng};

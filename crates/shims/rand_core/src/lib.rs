@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand_core` crate.
+//!
+//! This workspace builds in an environment without a crates.io mirror, so
+//! the external RNG crates are replaced by small local implementations that
+//! cover exactly the API surface the workspace uses: [`RngCore`],
+//! [`SeedableRng`], and the ChaCha generators (in [`chacha`]).
+//!
+//! The ChaCha block function is the real RFC 8439 permutation; streams are
+//! deterministic per seed, which is all the workspace relies on (it never
+//! assumes bit-compatibility with the upstream crates).
+
+#![forbid(unsafe_code)]
+
+/// A source of random `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An RNG constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded with SplitMix64 like the
+    /// upstream crate does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod chacha {
+    //! ChaCha stream-cipher RNGs (RFC 8439 permutation, 64-bit counter).
+
+    use super::{RngCore, SeedableRng};
+
+    #[inline(always)]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    /// One ChaCha keystream generator with `R` double-rounds (ChaCha12 has
+    /// `R = 6`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ChaChaRng<const R: usize> {
+        key: [u32; 8],
+        counter: u64,
+        buf: [u32; 16],
+        /// Next unread word in `buf`; 16 means "refill needed".
+        idx: usize,
+    }
+
+    impl<const R: usize> ChaChaRng<R> {
+        fn refill(&mut self) {
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            state[4..12].copy_from_slice(&self.key);
+            state[12] = self.counter as u32;
+            state[13] = (self.counter >> 32) as u32;
+            state[14] = 0;
+            state[15] = 0;
+            let initial = state;
+            for _ in 0..R {
+                // Column round.
+                quarter_round(&mut state, 0, 4, 8, 12);
+                quarter_round(&mut state, 1, 5, 9, 13);
+                quarter_round(&mut state, 2, 6, 10, 14);
+                quarter_round(&mut state, 3, 7, 11, 15);
+                // Diagonal round.
+                quarter_round(&mut state, 0, 5, 10, 15);
+                quarter_round(&mut state, 1, 6, 11, 12);
+                quarter_round(&mut state, 2, 7, 8, 13);
+                quarter_round(&mut state, 3, 4, 9, 14);
+            }
+            for (word, init) in state.iter_mut().zip(initial.iter()) {
+                *word = word.wrapping_add(*init);
+            }
+            self.buf = state;
+            self.counter = self.counter.wrapping_add(1);
+            self.idx = 0;
+        }
+    }
+
+    impl<const R: usize> RngCore for ChaChaRng<R> {
+        fn next_u32(&mut self) -> u32 {
+            if self.idx >= 16 {
+                self.refill();
+            }
+            let w = self.buf[self.idx];
+            self.idx += 1;
+            w
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            lo | (hi << 32)
+        }
+    }
+
+    impl<const R: usize> SeedableRng for ChaChaRng<R> {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            ChaChaRng { key, counter: 0, buf: [0; 16], idx: 16 }
+        }
+    }
+
+    /// ChaCha with 8 rounds.
+    pub type ChaCha8Rng = ChaChaRng<4>;
+    /// ChaCha with 12 rounds (the `StdRng` algorithm).
+    pub type ChaCha12Rng = ChaChaRng<6>;
+    /// ChaCha with 20 rounds.
+    pub type ChaCha20Rng = ChaChaRng<10>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::chacha::ChaCha12Rng;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        let mut c = ChaCha12Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn words_are_roughly_uniform() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 100_000;
+        let mut ones = 0u64;
+        for _ in 0..n {
+            ones += rng.next_u64().count_ones() as u64;
+        }
+        let mean_bits = ones as f64 / n as f64;
+        assert!((mean_bits - 32.0).abs() < 0.1, "mean set bits {mean_bits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

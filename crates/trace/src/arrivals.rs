@@ -1,0 +1,261 @@
+//! Open-loop arrival processes for serving experiments.
+//!
+//! Closed-loop replay (issue the next request when the previous one
+//! finishes) measures capacity but hides queueing delay: under open-loop
+//! load, requests arrive on their own clock and latency explodes near
+//! saturation (the paper's Figure 5 shape). This module generates those
+//! arrival clocks — deterministic per seed — for the `bandana-serve`
+//! load generator and the `nvm-sim` device simulator alike.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use serde::{Deserialize, Serialize};
+
+/// How request arrival times are distributed.
+///
+/// # Example
+///
+/// ```
+/// use bandana_trace::ArrivalProcess;
+///
+/// let schedule = ArrivalProcess::Poisson { rate_rps: 1_000.0 }.schedule(500, 7);
+/// assert_eq!(schedule.len(), 500);
+/// // Offsets are non-decreasing and average out to the offered rate.
+/// assert!(schedule.windows(2).all(|w| w[1] >= w[0]));
+/// let span = schedule.last().unwrap() - schedule[0];
+/// let rate = 499.0 / span;
+/// assert!((rate - 1_000.0).abs() / 1_000.0 < 0.2, "realized rate {rate}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Perfectly paced arrivals: one request every `1 / rate_rps` seconds.
+    Uniform {
+        /// Offered load in requests per second.
+        rate_rps: f64,
+    },
+    /// Memoryless arrivals (exponential inter-arrival gaps) — the standard
+    /// open-loop model for independent users.
+    Poisson {
+        /// Mean offered load in requests per second.
+        rate_rps: f64,
+    },
+    /// An on/off modulated Poisson process: bursts at
+    /// `burst_factor × rate_rps` during the on-phase of each cycle, with
+    /// the off-phase rate chosen so the long-run mean stays `rate_rps`.
+    Bursty {
+        /// Long-run mean offered load in requests per second.
+        rate_rps: f64,
+        /// On-phase rate multiplier (> 1).
+        burst_factor: f64,
+        /// Fraction of each cycle spent bursting, in `(0, 1)`.
+        on_fraction: f64,
+        /// Cycle period in seconds.
+        cycle_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean offered load in requests per second.
+    pub fn rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Uniform { rate_rps }
+            | ArrivalProcess::Poisson { rate_rps }
+            | ArrivalProcess::Bursty { rate_rps, .. } => rate_rps,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rate_rps() <= 0.0 || self.rate_rps().is_nan() {
+            return Err(format!("arrival rate must be positive, got {}", self.rate_rps()));
+        }
+        if let ArrivalProcess::Bursty { burst_factor, on_fraction, cycle_s, .. } = *self {
+            if burst_factor <= 1.0 {
+                return Err(format!("burst factor must exceed 1, got {burst_factor}"));
+            }
+            if !(0.0 < on_fraction && on_fraction < 1.0) {
+                return Err(format!("on-fraction {on_fraction} outside (0, 1)"));
+            }
+            if cycle_s <= 0.0 {
+                return Err(format!("cycle must be positive, got {cycle_s}"));
+            }
+            if burst_factor * on_fraction >= 1.0 {
+                return Err(format!(
+                    "burst_factor × on_fraction = {} ≥ 1 leaves no load for the off-phase",
+                    burst_factor * on_fraction
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates `n` arrival offsets in seconds from time zero,
+    /// non-decreasing, deterministic per seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`ArrivalProcess::validate`].
+    pub fn schedule(&self, n: usize, seed: u64) -> Vec<f64> {
+        self.validate().expect("invalid arrival process");
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        let mut t = 0.0f64;
+        match *self {
+            ArrivalProcess::Uniform { rate_rps } => {
+                let gap = 1.0 / rate_rps;
+                for _ in 0..n {
+                    out.push(t);
+                    t += gap;
+                }
+            }
+            ArrivalProcess::Poisson { rate_rps } => {
+                for _ in 0..n {
+                    out.push(t);
+                    t += exponential_gap(rate_rps, &mut rng);
+                }
+            }
+            ArrivalProcess::Bursty { rate_rps, burst_factor, on_fraction, cycle_s } => {
+                let on_rate = rate_rps * burst_factor;
+                // Mean rate constraint: f·on + (1−f)·off = rate.
+                let off_rate = rate_rps * (1.0 - burst_factor * on_fraction) / (1.0 - on_fraction);
+                let on_span = on_fraction * cycle_s;
+                // Time-rescaling: draw a unit-rate exponential and advance
+                // through the piecewise-constant intensity until it is
+                // used up. (Drawing a gap at the *current* phase's rate
+                // would bias the realized rate low: slow off-phase gaps
+                // would skip entire bursts.)
+                for _ in 0..n {
+                    out.push(t);
+                    let mut e = exponential_gap(1.0, &mut rng);
+                    loop {
+                        let cycle_start = (t / cycle_s).floor() * cycle_s;
+                        let phase = t - cycle_start;
+                        let (rate, window_end) =
+                            if phase < on_span { (on_rate, on_span) } else { (off_rate, cycle_s) };
+                        let intensity_to_window_end = rate * (window_end - phase);
+                        if e <= intensity_to_window_end {
+                            t += e / rate;
+                            break;
+                        }
+                        e -= intensity_to_window_end;
+                        let next = cycle_start + window_end;
+                        // Guard the floating-point corner where the window
+                        // edge is indistinguishable from `t`.
+                        t = if next > t { next } else { f64::from_bits(t.to_bits() + 1) };
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One exponential inter-arrival gap with mean `1 / rate`.
+fn exponential_gap<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_perfectly_paced() {
+        let s = ArrivalProcess::Uniform { rate_rps: 100.0 }.schedule(10, 0);
+        for (i, &t) in s.iter().enumerate() {
+            assert!((t - i as f64 * 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_is_right() {
+        let n = 20_000;
+        let s = ArrivalProcess::Poisson { rate_rps: 5_000.0 }.schedule(n, 3);
+        let span = s.last().unwrap() - s[0];
+        let rate = (n - 1) as f64 / span;
+        assert!((rate - 5_000.0).abs() / 5_000.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_gaps_have_exponential_spread() {
+        // Coefficient of variation of exponential gaps is 1; uniform pacing
+        // would give 0.
+        let s = ArrivalProcess::Poisson { rate_rps: 1_000.0 }.schedule(20_000, 4);
+        let gaps: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.1, "coefficient of variation {cv}");
+    }
+
+    #[test]
+    fn bursty_keeps_long_run_mean_and_bursts() {
+        let p = ArrivalProcess::Bursty {
+            rate_rps: 1_000.0,
+            burst_factor: 4.0,
+            on_fraction: 0.2,
+            cycle_s: 0.1,
+        };
+        let n = 50_000;
+        let s = p.schedule(n, 5);
+        let span = s.last().unwrap() - s[0];
+        let rate = (n - 1) as f64 / span;
+        assert!((rate - 1_000.0).abs() / 1_000.0 < 0.1, "long-run rate {rate}");
+
+        // Arrivals inside on-phases should be denser than off-phases.
+        let cycle = 0.1;
+        let (mut on, mut off) = (0usize, 0usize);
+        for &t in &s {
+            if t.rem_euclid(cycle) < 0.02 {
+                on += 1;
+            } else {
+                off += 1;
+            }
+        }
+        let on_density = on as f64 / 0.2;
+        let off_density = off as f64 / 0.8;
+        assert!(on_density > 2.0 * off_density, "on {on_density} vs off {off_density}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_rps: 100.0 };
+        assert_eq!(p.schedule(100, 9), p.schedule(100, 9));
+        assert_ne!(p.schedule(100, 9), p.schedule(100, 10));
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(ArrivalProcess::Poisson { rate_rps: 0.0 }.validate().is_err());
+        assert!(ArrivalProcess::Bursty {
+            rate_rps: 100.0,
+            burst_factor: 0.5,
+            on_fraction: 0.2,
+            cycle_s: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Bursty {
+            rate_rps: 100.0,
+            burst_factor: 6.0,
+            on_fraction: 0.2,
+            cycle_s: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Bursty {
+            rate_rps: 100.0,
+            burst_factor: 4.0,
+            on_fraction: 0.2,
+            cycle_s: 1.0
+        }
+        .validate()
+        .is_ok());
+    }
+}

@@ -103,7 +103,11 @@ pub fn characterize(
             table,
             num_vectors: tspec.num_vectors,
             total_lookups: stream.len() as u64,
-            lookup_share: if total_lookups > 0.0 { stream.len() as f64 / total_lookups } else { 0.0 },
+            lookup_share: if total_lookups > 0.0 {
+                stream.len() as f64 / total_lookups
+            } else {
+                0.0
+            },
             mean_lookups_per_request: stream.len() as f64 / requests_with_table as f64,
             compulsory_miss_rate: sd.compulsory_miss_rate(),
             unique_vectors: counts.len() as u64,
@@ -150,11 +154,25 @@ mod tests {
         let trace = TraceGenerator::new(&spec, 1).generate_requests(2_000);
         let rows = characterize(&trace, &spec, &[100]);
         let cm: Vec<f64> = rows.iter().map(|r| r.compulsory_miss_rate).collect();
-        assert!(cm[1] < cm[2], "table 2 ({}) should be more cacheable than table 3 ({})", cm[1], cm[2]);
-        assert!(cm[0] < cm[2], "table 1 ({}) should be more cacheable than table 3 ({})", cm[0], cm[2]);
+        assert!(
+            cm[1] < cm[2],
+            "table 2 ({}) should be more cacheable than table 3 ({})",
+            cm[1],
+            cm[2]
+        );
+        assert!(
+            cm[0] < cm[2],
+            "table 1 ({}) should be more cacheable than table 3 ({})",
+            cm[0],
+            cm[2]
+        );
         // Table 8 has the highest compulsory-miss rate of all, as in Table 1.
         let max_cm = cm.iter().cloned().fold(f64::MIN, f64::max);
-        assert!((cm[7] - max_cm).abs() < 1e-12, "table 8 ({}) must be least cacheable: {cm:?}", cm[7]);
+        assert!(
+            (cm[7] - max_cm).abs() < 1e-12,
+            "table 8 ({}) must be least cacheable: {cm:?}",
+            cm[7]
+        );
         // Table 2 has the largest lookup share, as in the paper.
         let max_share_idx = rows
             .iter()

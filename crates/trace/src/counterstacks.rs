@@ -199,8 +199,7 @@ impl CounterStacks {
             return;
         }
         // A fresh counter opens at every interval boundary.
-        self.counters
-            .push(Counter { sketch: HyperLogLog::new(self.precision), last_count: 0.0 });
+        self.counters.push(Counter { sketch: HyperLogLog::new(self.precision), last_count: 0.0 });
 
         let batch = std::mem::take(&mut self.pending);
         let mut deltas = Vec::with_capacity(self.counters.len());

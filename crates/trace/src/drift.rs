@@ -62,10 +62,7 @@ impl DriftConfig {
             return Err("requests_per_epoch must be non-zero".to_string());
         }
         if !(0.0..=1.0).contains(&self.rotate_fraction) {
-            return Err(format!(
-                "rotate_fraction must be in [0,1], got {}",
-                self.rotate_fraction
-            ));
+            return Err(format!("rotate_fraction must be in [0,1], got {}", self.rotate_fraction));
         }
         Ok(())
     }

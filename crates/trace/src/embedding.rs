@@ -68,8 +68,7 @@ impl EmbeddingTable {
         for v in 0..num_vectors {
             let topic = topics.topic_of(v) as usize;
             // Hot core (rank 0) at ~0.35σ, cold shell at ~1.3σ.
-            let rank_frac =
-                topics.rank_in_topic(v) as f32 / topics.topic_size(v).max(1) as f32;
+            let rank_frac = topics.rank_in_topic(v) as f32 / topics.topic_size(v).max(1) as f32;
             let sigma = base_sigma * (0.35 + 0.95 * rank_frac);
             let row = &mut data[v as usize * dim..(v as usize + 1) * dim];
             for (d, x) in row.iter_mut().enumerate() {
@@ -186,7 +185,10 @@ mod tests {
         // ...but with meaningful overlap (geometry is an imperfect proxy):
         // same-topic distance is not negligible relative to cross-topic
         // (cold-shell members keep topics overlapping).
-        assert!(same_mean > 0.1 * diff_mean, "topics too well separated: {same_mean} vs {diff_mean}");
+        assert!(
+            same_mean > 0.1 * diff_mean,
+            "topics too well separated: {same_mean} vs {diff_mean}"
+        );
     }
 
     #[test]
@@ -194,10 +196,8 @@ mod tests {
         let (emb, _) = table();
         let bytes = emb.vector_as_bytes(17);
         assert_eq!(bytes.len(), 32);
-        let floats: Vec<f32> = bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let floats: Vec<f32> =
+            bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         assert_eq!(floats.as_slice(), emb.vector(17));
     }
 

@@ -45,7 +45,9 @@ impl TraceGenerator {
             .tables
             .iter()
             .enumerate()
-            .map(|(i, t)| TopicModel::new(t, seed.wrapping_add(0x9E37_79B9).wrapping_mul(i as u64 + 1)))
+            .map(|(i, t)| {
+                TopicModel::new(t, seed.wrapping_add(0x9E37_79B9).wrapping_mul(i as u64 + 1))
+            })
             .collect();
         TraceGenerator { spec: spec.clone(), topic_models, rng: ChaCha12Rng::seed_from_u64(seed) }
     }
@@ -228,11 +230,8 @@ mod tests {
             lookup_share: 0.5,
             ..TableSpec::test_small(4096)
         };
-        let spec = ModelSpec {
-            tables: vec![mk(1.1, 0.01), mk(0.2, 0.8)],
-            dim: 8,
-            element_bytes: 4,
-        };
+        let spec =
+            ModelSpec { tables: vec![mk(1.1, 0.01), mk(0.2, 0.8)], dim: 8, element_bytes: 4 };
         let mut g = TraceGenerator::new(&spec, 8);
         let trace = g.generate_requests(1000);
         let unique = |t: usize| {

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod aet;
+pub mod arrivals;
 pub mod characterize;
 pub mod counterstacks;
 pub mod drift;
@@ -41,13 +42,14 @@ pub mod embedding;
 pub mod generator;
 pub mod query;
 pub mod serialize;
-pub mod spec;
 pub mod shards;
+pub mod spec;
 pub mod stack;
 pub mod topics;
 pub mod zipf;
 
 pub use aet::AetModel;
+pub use arrivals::ArrivalProcess;
 pub use characterize::{characterize, AccessHistogram, TableCharacterization};
 pub use counterstacks::{CounterStacks, HyperLogLog};
 pub use drift::{DriftConfig, DriftingTraceGenerator};
@@ -55,8 +57,8 @@ pub use embedding::EmbeddingTable;
 pub use generator::TraceGenerator;
 pub use query::{Request, TableQuery, Trace};
 pub use serialize::{read_trace, write_trace};
-pub use spec::{ModelSpec, TableSpec};
 pub use shards::{mean_absolute_error, Shards};
+pub use spec::{ModelSpec, TableSpec};
 pub use stack::{hit_rate_curve, StackDistances};
 pub use topics::TopicModel;
 pub use zipf::Zipf;

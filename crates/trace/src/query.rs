@@ -75,11 +75,7 @@ impl Trace {
 
     /// Number of lookups against one table.
     pub fn table_lookups(&self, table: usize) -> usize {
-        self.requests
-            .iter()
-            .filter_map(|r| r.query_for(table))
-            .map(|q| q.ids.len())
-            .sum()
+        self.requests.iter().filter_map(|r| r.query_for(table)).map(|q| q.ids.len()).sum()
     }
 
     /// Iterates over the per-request id lists for one table (requests that
@@ -113,11 +109,8 @@ impl Trace {
 impl FromIterator<Request> for Trace {
     fn from_iter<I: IntoIterator<Item = Request>>(iter: I) -> Self {
         let requests: Vec<Request> = iter.into_iter().collect();
-        let num_tables = requests
-            .iter()
-            .flat_map(|r| r.queries.iter().map(|q| q.table + 1))
-            .max()
-            .unwrap_or(0);
+        let num_tables =
+            requests.iter().flat_map(|r| r.queries.iter().map(|q| q.table + 1)).max().unwrap_or(0);
         Trace { num_tables, requests }
     }
 }
@@ -178,9 +171,8 @@ mod tests {
 
     #[test]
     fn from_iterator_infers_table_count() {
-        let t: Trace = vec![Request { queries: vec![TableQuery::new(4, vec![1])] }]
-            .into_iter()
-            .collect();
+        let t: Trace =
+            vec![Request { queries: vec![TableQuery::new(4, vec![1])] }].into_iter().collect();
         assert_eq!(t.num_tables, 5);
     }
 

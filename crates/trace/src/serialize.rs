@@ -148,12 +148,11 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
             let mut prev = 0u64;
             for _ in 0..num_ids {
                 let delta = read_varint(&mut r)?;
-                prev = prev.checked_add(delta).ok_or_else(|| {
-                    io::Error::new(io::ErrorKind::InvalidData, "id overflow")
-                })?;
-                let id = u32::try_from(prev).map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "id exceeds u32")
-                })?;
+                prev = prev
+                    .checked_add(delta)
+                    .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "id overflow"))?;
+                let id = u32::try_from(prev)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "id exceeds u32"))?;
                 ids.push(id);
             }
             queries.push(TableQuery::new(table, ids));
@@ -206,8 +205,7 @@ mod tests {
         // Sorted delta-varints: a 100-id query over nearby ids should cost
         // well under 4 bytes per id.
         let ids: Vec<u32> = (0..100u32).map(|i| i * 3).collect();
-        let trace =
-            Trace::new(1, vec![Request { queries: vec![TableQuery::new(0, ids)] }]);
+        let trace = Trace::new(1, vec![Request { queries: vec![TableQuery::new(0, ids)] }]);
         let mut buf = Vec::new();
         write_trace(&mut buf, &trace).unwrap();
         assert!(buf.len() < 100 * 2 + 32, "encoding too large: {} bytes", buf.len());

@@ -220,8 +220,7 @@ impl Shards {
         if self.total_weight <= 0.0 {
             return 0.0;
         }
-        let hits: f64 =
-            self.histogram.range(..=(capacity as u64)).map(|(_, w)| *w).sum();
+        let hits: f64 = self.histogram.range(..=(capacity as u64)).map(|(_, w)| *w).sum();
         (hits / self.total_weight).clamp(0.0, 1.0)
     }
 

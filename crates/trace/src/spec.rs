@@ -216,12 +216,8 @@ mod tests {
         assert_eq!(spec.vector_bytes(), 128);
         // Table 2 dominates lookups; table 8 is the smallest share.
         let shares: Vec<f64> = spec.tables.iter().map(|t| t.lookup_share).collect();
-        let max_idx = shares
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let max_idx =
+            shares.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(max_idx, 1);
         // Noise ordering: table 8 noisiest, tables 1-2 cleanest.
         assert!(spec.tables[7].noise > spec.tables[2].noise);

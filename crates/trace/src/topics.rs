@@ -163,7 +163,8 @@ mod tests {
     #[test]
     fn topic_sizes_are_balanced() {
         let m = model();
-        let sizes: Vec<usize> = (0..m.num_topics() as u32).map(|t| m.topic_members(t).len()).collect();
+        let sizes: Vec<usize> =
+            (0..m.num_topics() as u32).map(|t| m.topic_members(t).len()).collect();
         let min = *sizes.iter().min().unwrap();
         let max = *sizes.iter().max().unwrap();
         assert!(max - min <= 1, "topic sizes {min}..{max} not balanced");
@@ -175,8 +176,7 @@ mod tests {
         // destroys contiguity); check that fewer than 30% of adjacent pairs
         // share a topic when there are 16 topics.
         let m = model();
-        let same: usize =
-            (0..1023u32).filter(|&v| m.topic_of(v) == m.topic_of(v + 1)).count();
+        let same: usize = (0..1023u32).filter(|&v| m.topic_of(v) == m.topic_of(v + 1)).count();
         let frac = same as f64 / 1023.0;
         assert!(frac < 0.3, "adjacent-id same-topic fraction {frac}");
     }
@@ -195,7 +195,10 @@ mod tests {
             }
         }
         // noise = 0.05 in the test spec; allow sampling slack.
-        assert!(in_topic as f64 / total as f64 > 0.9, "in-topic fraction too low: {in_topic}/{total}");
+        assert!(
+            in_topic as f64 / total as f64 > 0.9,
+            "in-topic fraction too low: {in_topic}/{total}"
+        );
     }
 
     #[test]

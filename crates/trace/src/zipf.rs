@@ -47,7 +47,8 @@ impl Zipf {
         assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
         let h_integral_x1 = Self::h_integral(1.5, s) - 1.0;
         let h_integral_n = Self::h_integral(n as f64 + 0.5, s);
-        let threshold = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        let threshold =
+            2.0 - Self::h_integral_inverse(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
         Zipf { n, s, h_integral_x1, h_integral_n, threshold }
     }
 
@@ -86,7 +87,8 @@ impl Zipf {
             return rng.gen_range(0..self.n);
         }
         loop {
-            let u: f64 = self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
+            let u: f64 =
+                self.h_integral_n + rng.gen::<f64>() * (self.h_integral_x1 - self.h_integral_n);
             let x = Self::h_integral_inverse(u, self.s);
             let mut k64 = x.round();
             if k64 < 1.0 {

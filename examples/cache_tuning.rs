@@ -38,7 +38,10 @@ fn main() {
         *sim.metrics()
     };
 
-    println!("table 2 analogue: {n} vectors, cache {cache_size} vectors, {} lookups\n", stream.len());
+    println!(
+        "table 2 analogue: {n} vectors, cache {cache_size} vectors, {} lookups\n",
+        stream.len()
+    );
 
     let baseline = run(AdmissionPolicy::None);
     println!("no prefetching (baseline):   {} block reads", baseline.block_reads);
@@ -80,8 +83,7 @@ fn main() {
     // §4.3.3: let miniature caches pick t from a sampled stream.
     let candidates = [1u32, 2, 4, 8, 16];
     for rate in [1.0f64, 0.25, 0.1] {
-        let mut minis =
-            MiniatureCacheSet::new(&layout, &freq, cache_size, rate, &candidates, 3);
+        let mut minis = MiniatureCacheSet::new(&layout, &freq, cache_size, rate, &candidates, 3);
         for &v in &stream {
             minis.observe(v);
         }

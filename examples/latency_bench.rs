@@ -1,0 +1,119 @@
+//! End-to-end serving-latency benchmark: closed-loop capacity, then
+//! open-loop load below and above saturation.
+//!
+//! Builds the paper-shaped 8-table model, wraps it in the sharded serving
+//! engine with the background threshold tuner enabled, and reports the
+//! numbers a production deployment is judged on: achieved QPS and the
+//! p50/p99/p999 latency tail, plus shed/timeout counters once the offered
+//! load exceeds what the shards can serve.
+//!
+//! Run with: `cargo run --release --example latency_bench`
+
+use bandana::prelude::*;
+use bandana::serve::{
+    fmt_secs, run_closed_loop, run_open_loop, OnlineTunerSettings, ServeConfig, ShardedEngine,
+    ShedPolicy,
+};
+use bandana::trace::ArrivalProcess;
+
+fn build_engine(shards: usize, queue_capacity: usize) -> Result<ShardedEngine, BandanaError> {
+    let spec = ModelSpec::paper_scaled(10_000);
+    let mut generator = TraceGenerator::new(&spec, 7);
+    let training = generator.generate_requests(600);
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let store = BandanaStore::build(
+        &spec,
+        &embeddings,
+        &training,
+        BandanaConfig::default().with_cache_vectors(2_000).with_seed(7),
+    )?;
+    ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(shards)
+            .with_queue_capacity(queue_capacity)
+            .with_shed_policy(ShedPolicy::DropNewest)
+            .with_tuner(OnlineTunerSettings { epoch_lookups: 5_000, ..Default::default() }),
+    )
+}
+
+fn main() -> Result<(), BandanaError> {
+    let shards = 4;
+    let spec = ModelSpec::paper_scaled(10_000);
+    let mut generator = TraceGenerator::new(&spec, 7);
+    generator.generate_requests(600); // skip the training prefix
+    let serving = generator.generate_requests(500);
+
+    // --- Closed loop: capacity. ---
+    let engine = build_engine(shards, 1024)?;
+    println!("shards: {}", engine.num_shards());
+    for (shard, tables) in engine.shard_tables().iter().enumerate() {
+        println!("  shard {shard}: tables {tables:?}");
+    }
+    let capacity = run_closed_loop(&engine, &serving, shards).expect("closed-loop replay");
+    println!(
+        "\nclosed-loop ({} callers): {:.0} qps, {:.0} lookups/s",
+        capacity.concurrency, capacity.achieved_qps, capacity.lookups_per_second
+    );
+    println!(
+        "  latency: p50 {}  p99 {}  p999 {}",
+        fmt_secs(capacity.latency.p50_s),
+        fmt_secs(capacity.latency.p99_s),
+        fmt_secs(capacity.latency.p999_s)
+    );
+    // The tuner runs asynchronously on sampled traffic; give it a moment
+    // to absorb the burst before reading its swap counter.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while engine.metrics().tuner_swaps == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let m = engine.metrics();
+    println!("  cache hit rate {:.1}%  tuner swaps {}", m.cache.hit_rate() * 100.0, m.tuner_swaps);
+    drop(engine);
+
+    // --- Open loop, below saturation. ---
+    let engine = build_engine(shards, 1024)?;
+    let below = ArrivalProcess::Poisson { rate_rps: capacity.achieved_qps * 0.6 };
+    let r = run_open_loop(&engine, &serving, &below, 11);
+    println!(
+        "\nopen-loop @ {:.0} qps (60% of capacity): achieved {:.0} qps, \
+         completed {} shed {} timed-out {}",
+        r.offered_qps, r.achieved_qps, r.completed, r.shed, r.timed_out
+    );
+    println!(
+        "  latency: p50 {}  p99 {}  p999 {}",
+        fmt_secs(r.latency.p50_s),
+        fmt_secs(r.latency.p99_s),
+        fmt_secs(r.latency.p999_s)
+    );
+    drop(engine);
+
+    // --- Open loop, far past saturation: bounded queues shed. ---
+    let engine = build_engine(shards, 32)?;
+    let above = ArrivalProcess::Poisson { rate_rps: (capacity.achieved_qps * 20.0).max(50_000.0) };
+    let r = run_open_loop(&engine, &serving, &above, 13);
+    println!(
+        "\nopen-loop @ {:.0} qps (saturating, queue 32): achieved {:.0} qps, \
+         completed {} shed {} timed-out {}",
+        r.offered_qps, r.achieved_qps, r.completed, r.shed, r.timed_out
+    );
+    println!(
+        "  latency (accepted requests): p50 {}  p99 {}  p999 {}",
+        fmt_secs(r.latency.p50_s),
+        fmt_secs(r.latency.p99_s),
+        fmt_secs(r.latency.p999_s)
+    );
+    assert!(r.shed > 0, "a saturating open-loop run must shed");
+    assert_eq!(r.completed + r.shed + r.timed_out + r.failed, r.submitted);
+    println!("\nall requests accounted for: {} submitted", r.submitted);
+    Ok(())
+}

@@ -60,8 +60,16 @@ fn main() {
 
     let mae = |curve: Vec<(usize, f64)>| mean_absolute_error(&exact_curve, &curve);
     println!("\nmean absolute error vs exact:");
-    println!("  SHARDS 10%:  {:.4} ({} keys tracked)", mae(shards10.hit_rate_curve(&caps)), shards10.tracked_keys());
-    println!("  SHARDS 512:  {:.4} ({} keys tracked)", mae(shards_max.hit_rate_curve(&caps)), shards_max.tracked_keys());
+    println!(
+        "  SHARDS 10%:  {:.4} ({} keys tracked)",
+        mae(shards10.hit_rate_curve(&caps)),
+        shards10.tracked_keys()
+    );
+    println!(
+        "  SHARDS 512:  {:.4} ({} keys tracked)",
+        mae(shards_max.hit_rate_curve(&caps)),
+        shards_max.tracked_keys()
+    );
     println!("  AET:         {:.4}", mae(aet.hit_rate_curve(&caps)));
     println!(
         "\nThe sampled estimators track the exact curve to within a few \

@@ -19,8 +19,7 @@ fn main() {
     let mut generator = TraceGenerator::new(&spec, 2024);
     let train = generator.generate_requests(1_000);
     let eval = generator.generate_requests(500);
-    let embeddings =
-        EmbeddingTable::synthesize(n, spec.dim, generator.topic_model(table), 55);
+    let embeddings = EmbeddingTable::synthesize(n, spec.dim, generator.topic_model(table), 55);
 
     let report = |name: &str, layout: &BlockLayout| {
         let r = fanout_report(layout, eval.table_queries(table));
@@ -38,15 +37,8 @@ fn main() {
     report("random order", &BlockLayout::random(n, 32, 3));
     report("original (identity)", &BlockLayout::identity(n, 32));
 
-    let km = kmeans(
-        embeddings.data(),
-        spec.dim,
-        &KMeansConfig { k: 64, iterations: 15, seed: 4 },
-    );
-    report(
-        "k-means (k=64)",
-        &BlockLayout::from_order(order_from_assignments(&km.assignments), 32),
-    );
+    let km = kmeans(embeddings.data(), spec.dim, &KMeansConfig { k: 64, iterations: 15, seed: 4 });
+    report("k-means (k=64)", &BlockLayout::from_order(order_from_assignments(&km.assignments), 32));
 
     let two_stage = two_stage_kmeans(
         embeddings.data(),

@@ -17,7 +17,11 @@ fn main() -> Result<(), BandanaError> {
     // A training trace drives everything supervised: SHP placement,
     // per-vector access frequencies, and threshold tuning.
     let training = generator.generate_requests(1_000);
-    println!("training trace: {} requests / {} lookups", training.requests.len(), training.total_lookups());
+    println!(
+        "training trace: {} requests / {} lookups",
+        training.requests.len(),
+        training.total_lookups()
+    );
 
     // Embedding values (synthetic here; in production these come from the
     // trained model).

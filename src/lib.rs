@@ -12,7 +12,10 @@
 //! * [`partition`](bandana_partition) — SHP hypergraph partitioning and
 //!   K-means placement;
 //! * [`cache`](bandana_cache) — segmented LRU, shadow cache, admission
-//!   policies, miniature caches, DRAM allocation.
+//!   policies, miniature caches, DRAM allocation;
+//! * [`serve`](bandana_serve) — the sharded, batching serving engine:
+//!   latency percentiles, bounded queues with load shedding, open-loop
+//!   load generation, and online threshold re-tuning.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +46,49 @@
 //! # }
 //! ```
 //!
+//! ## Serving at scale
+//!
+//! A built store becomes a production-style serving engine with one call:
+//! tables spread across shard-owned worker threads, requests dispatched,
+//! batched, and merged, latency recorded in mergeable log-bucketed
+//! histograms, and overload handled by bounded queues with explicit
+//! shedding.
+//!
+//! ```
+//! use bandana::prelude::*;
+//! use bandana::serve::{run_closed_loop, ServeConfig, ShardedEngine};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ModelSpec::test_small();
+//! let mut generator = TraceGenerator::new(&spec, 42);
+//! let training = generator.generate_requests(300);
+//! let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+//!     .map(|t| EmbeddingTable::synthesize(
+//!         spec.tables[t].num_vectors, spec.dim, generator.topic_model(t), t as u64))
+//!     .collect();
+//! let store = BandanaStore::build(
+//!     &spec, &embeddings, &training,
+//!     BandanaConfig::default().with_cache_vectors(512))?;
+//!
+//! // Shard-per-worker engine; each shard owns a disjoint set of tables.
+//! let engine = ShardedEngine::new(store, ServeConfig::default().with_shards(2))?;
+//! let serving = generator.generate_requests(100);
+//! let report = run_closed_loop(&engine, &serving, 4)?;
+//! assert_eq!(report.completed, 100);
+//! // Tail latency, not just averages: p50/p95/p99/p999 from mergeable
+//! // per-shard histograms.
+//! assert!(report.latency.p999_s >= report.latency.p50_s);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Open-loop mode offers load on an arrival-process clock
+//! ([`ArrivalProcess`](bandana_trace::ArrivalProcess), Poisson or bursty)
+//! regardless of engine progress — see
+//! [`serve::run_open_loop`](bandana_serve::run_open_loop),
+//! `examples/latency_bench.rs`, and the `repro serve` experiment which
+//! writes `BENCH_serve.json`.
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
 
@@ -52,6 +98,7 @@
 pub use bandana_cache as cache;
 pub use bandana_core as core;
 pub use bandana_partition as partition;
+pub use bandana_serve as serve;
 pub use bandana_trace as trace;
 pub use nvm_sim as nvm;
 
@@ -63,11 +110,12 @@ pub mod prelude {
         ThroughputReport,
     };
     pub use bandana_partition::{AccessFrequency, BlockLayout};
+    pub use bandana_serve::{
+        LatencyHistogram, LatencySummary, ServeConfig, ShardedEngine, ShedPolicy,
+    };
     pub use bandana_trace::{
-        AetModel, CounterStacks, DriftConfig, DriftingTraceGenerator, EmbeddingTable, ModelSpec,
-        Request, Shards, TableQuery, Trace, TraceGenerator,
+        AetModel, ArrivalProcess, CounterStacks, DriftConfig, DriftingTraceGenerator,
+        EmbeddingTable, ModelSpec, Request, Shards, TableQuery, Trace, TraceGenerator,
     };
-    pub use nvm_sim::{
-        BlockDevice, FaultInjector, FaultPlan, FileNvmDevice, NvmConfig, NvmDevice,
-    };
+    pub use nvm_sim::{BlockDevice, FaultInjector, FaultPlan, FileNvmDevice, NvmConfig, NvmDevice};
 }

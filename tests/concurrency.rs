@@ -4,7 +4,10 @@
 use bandana::prelude::*;
 use std::sync::Arc;
 
-fn build(seed: u64, cache: usize) -> (ConcurrentStore, Vec<EmbeddingTable>, TraceGenerator, ModelSpec) {
+fn build(
+    seed: u64,
+    cache: usize,
+) -> (ConcurrentStore, Vec<EmbeddingTable>, TraceGenerator, ModelSpec) {
     let spec = ModelSpec::test_small();
     let mut generator = TraceGenerator::new(&spec, seed);
     let training = generator.generate_requests(300);
@@ -86,10 +89,7 @@ fn thread_count_does_not_change_workload_totals() {
     // closely — the caches see the same requests.
     let max = *block_reads.iter().max().expect("non-empty") as f64;
     let min = *block_reads.iter().min().expect("non-empty") as f64;
-    assert!(
-        max / min < 1.15,
-        "block reads vary too much across thread counts: {block_reads:?}"
-    );
+    assert!(max / min < 1.15, "block reads vary too much across thread counts: {block_reads:?}");
 }
 
 #[test]

@@ -155,10 +155,7 @@ fn stale_cache_entries_survive_retraining_until_evicted() {
     assert_eq!(warm, still_cached);
     // An uncached vector reflects the new training.
     let uncached = store.lookup(0, spec.tables[0].num_vectors - 1).unwrap();
-    assert_eq!(
-        uncached.as_ref(),
-        fresh.vector_as_bytes(spec.tables[0].num_vectors - 1).as_slice()
-    );
+    assert_eq!(uncached.as_ref(), fresh.vector_as_bytes(spec.tables[0].num_vectors - 1).as_slice());
     let _ = generator.generate_request();
 }
 
@@ -209,10 +206,7 @@ fn batched_serving_reduces_device_reads() {
         "batching should coalesce block reads: {batch_reads} vs {seq_reads}"
     );
     // Both served every lookup.
-    assert_eq!(
-        batched.total_metrics().lookups,
-        sequential.total_metrics().lookups
-    );
+    assert_eq!(batched.total_metrics().lookups, sequential.total_metrics().lookups);
 
     // Spot-check payload correctness through the batched path.
     let mut store = build();

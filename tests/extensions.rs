@@ -52,10 +52,8 @@ fn online_tuner_decisions_apply_to_store_tables() {
 
     let table = 1usize;
     let layout = store.table(table).unwrap().layout().clone();
-    let freq = AccessFrequency::from_queries(
-        spec.tables[table].num_vectors,
-        train.table_queries(table),
-    );
+    let freq =
+        AccessFrequency::from_queries(spec.tables[table].num_vectors, train.table_queries(table));
     let tuner_config = OnlineTunerConfig {
         cache_capacity: 150,
         sampling_rate: 0.5,

@@ -22,7 +22,11 @@ impl Drop for Cleanup {
     }
 }
 
-fn table_fixture(num_vectors: u32, cache: usize, policy: AdmissionPolicy) -> (TableStore, EmbeddingTable) {
+fn table_fixture(
+    num_vectors: u32,
+    cache: usize,
+    policy: AdmissionPolicy,
+) -> (TableStore, EmbeddingTable) {
     let spec = TableSpec::test_small(num_vectors);
     let topics = TopicModel::new(&spec, 1);
     let embeddings = EmbeddingTable::synthesize(num_vectors, 32, &topics, 2);
@@ -45,8 +49,7 @@ fn file_backed_table_round_trips_every_vector() {
     let path = temp_path("roundtrip");
     let _cleanup = Cleanup(path.clone());
     let (mut table, embeddings) = table_fixture(1024, 64, AdmissionPolicy::None);
-    let mut device =
-        FileNvmDevice::create(&path, 4096, table.num_blocks()).expect("create device");
+    let mut device = FileNvmDevice::create(&path, 4096, table.num_blocks()).expect("create device");
     table.write_embeddings(&mut device, &embeddings).expect("write");
 
     for v in 0..1024u32 {
@@ -85,11 +88,8 @@ fn file_backed_store_survives_reopen() {
 #[test]
 fn read_faults_surface_as_errors_not_garbage() {
     let (mut table, embeddings) = table_fixture(1024, 64, AdmissionPolicy::None);
-    let inner = NvmDevice::new(
-        NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()),
-    );
-    let mut device =
-        FaultInjector::new(inner, FaultPlan::new(5).with_read_error_rate(0.2));
+    let inner = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()));
+    let mut device = FaultInjector::new(inner, FaultPlan::new(5).with_read_error_rate(0.2));
     table.write_embeddings(&mut device, &embeddings).expect("write");
 
     let mut errors = 0u64;
@@ -98,10 +98,7 @@ fn read_faults_surface_as_errors_not_garbage() {
         match table.lookup(&mut device, (i * 37) % 1024) {
             Ok(bytes) => {
                 // Anything that *does* come back must be the right bytes.
-                assert_eq!(
-                    bytes.as_ref(),
-                    embeddings.vector_as_bytes((i * 37) % 1024).as_slice()
-                );
+                assert_eq!(bytes.as_ref(), embeddings.vector_as_bytes((i * 37) % 1024).as_slice());
                 successes += 1;
             }
             Err(BandanaError::Nvm(_)) => errors += 1,
@@ -115,8 +112,7 @@ fn read_faults_surface_as_errors_not_garbage() {
 #[test]
 fn cached_vectors_survive_total_device_failure() {
     let (mut table, embeddings) = table_fixture(256, 256, AdmissionPolicy::All { position: 0.0 });
-    let inner =
-        NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()));
+    let inner = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()));
     let mut device = FaultInjector::new(inner, FaultPlan::new(1));
     table.write_embeddings(&mut device, &embeddings).expect("write");
 
@@ -126,10 +122,8 @@ fn cached_vectors_survive_total_device_failure() {
     }
 
     // Kill the device entirely.
-    let mut dead = FaultInjector::new(
-        device.into_inner(),
-        FaultPlan::new(2).with_read_error_rate(1.0),
-    );
+    let mut dead =
+        FaultInjector::new(device.into_inner(), FaultPlan::new(2).with_read_error_rate(1.0));
     for v in 0..256u32 {
         let got = table.lookup(&mut dead, v).expect("hit must not touch device");
         assert_eq!(got.as_ref(), embeddings.vector_as_bytes(v).as_slice());
@@ -163,14 +157,12 @@ fn worn_out_device_rejects_retraining_but_keeps_serving() {
 #[test]
 fn bad_block_maps_to_partial_unavailability() {
     let (mut table, embeddings) = table_fixture(1024, 4, AdmissionPolicy::None);
-    let inner =
-        NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()));
+    let inner = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(table.num_blocks()));
     let mut device = FaultInjector::new(inner, FaultPlan::new(4));
     table.write_embeddings(&mut device, &embeddings).expect("write");
 
     // Poison block 3 (vectors 96..128 in the identity layout).
-    let mut device =
-        FaultInjector::new(device.into_inner(), FaultPlan::new(4).with_bad_block(3));
+    let mut device = FaultInjector::new(device.into_inner(), FaultPlan::new(4).with_bad_block(3));
     assert!(table.lookup(&mut device, 100).is_err(), "vector on the bad block must fail");
     assert!(table.lookup(&mut device, 10).is_ok(), "other blocks must be unaffected");
 }

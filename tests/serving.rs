@@ -1,0 +1,198 @@
+//! Integration tests for the sharded serving engine: histogram merge
+//! properties, dispatch accounting, and overload behaviour.
+
+use bandana::prelude::*;
+use bandana::serve::{
+    run_open_loop, LatencyHistogram, OnlineTunerSettings, ServeConfig, ShardedEngine, ShedPolicy,
+};
+use bandana::trace::ArrivalProcess;
+use proptest::prelude::*;
+
+fn build_store(seed: u64, cache: usize) -> (BandanaStore, TraceGenerator) {
+    let spec = ModelSpec::test_small();
+    let mut generator = TraceGenerator::new(&spec, seed);
+    let training = generator.generate_requests(250);
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let store = BandanaStore::build(
+        &spec,
+        &embeddings,
+        &training,
+        BandanaConfig::default().with_cache_vectors(cache),
+    )
+    .expect("build store");
+    (store, generator)
+}
+
+proptest! {
+    /// Histogram merge is associative and order-independent: for any split
+    /// of a sample stream across "shards", merging in any grouping yields
+    /// identical counts and quantiles.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(1e-7f64..1.0, 1..200),
+        b in proptest::collection::vec(1e-7f64..1.0, 1..200),
+        c in proptest::collection::vec(1e-7f64..1.0, 1..200),
+    ) {
+        let hist_of = |samples: &[f64]| {
+            let mut h = LatencyHistogram::new();
+            for &s in samples {
+                h.record_secs(s);
+            }
+            h
+        };
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.count() as usize, a.len() + b.len() + c.len());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q), "quantile {} diverged", q);
+        }
+    }
+
+    /// Merged quantiles are lossless within the bucket resolution: the
+    /// merged p50 stays within ~2 bucket widths (≈7%) of the exact sample
+    /// median, exactly as if one recorder had seen every sample.
+    #[test]
+    fn histogram_merge_is_lossless_in_bounds(
+        a in proptest::collection::vec(1e-6f64..1.0, 10..300),
+        b in proptest::collection::vec(1e-6f64..1.0, 10..300),
+    ) {
+        let mut merged = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        let mut ha = LatencyHistogram::new();
+        let mut hb = LatencyHistogram::new();
+        for &s in &a { ha.record_secs(s); whole.record_secs(s); }
+        for &s in &b { hb.record_secs(s); whole.record_secs(s); }
+        merged.merge(&ha);
+        merged.merge(&hb);
+        // Merging loses nothing relative to a single recorder...
+        prop_assert_eq!(merged.quantile(0.5), whole.quantile(0.5));
+        // ...and the single recorder is within bucket resolution of exact.
+        let mut all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let exact = all[(all.len() - 1) / 2];
+        let got = merged.quantile(0.5);
+        prop_assert!(
+            (got - exact).abs() / exact < 0.08,
+            "merged p50 {} vs exact median {}", got, exact
+        );
+    }
+}
+
+#[test]
+fn shard_dispatch_preserves_per_request_lookup_counts() {
+    let (store, mut generator) = build_store(21, 256);
+    let engine = ShardedEngine::new(store, ServeConfig::default().with_shards(2)).expect("engine");
+    let trace = generator.generate_requests(150);
+    for request in &trace.requests {
+        let results = engine.serve(request).expect("serve");
+        // Result shape mirrors the request exactly: one payload per
+        // original id position, duplicates included.
+        assert_eq!(results.len(), request.queries.len());
+        for (q, query) in request.queries.iter().enumerate() {
+            assert_eq!(results[q].len(), query.ids.len());
+        }
+    }
+    let m = engine.metrics();
+    assert_eq!(m.completed, 150);
+    assert_eq!(m.lookups as usize, trace.total_lookups());
+    // Every lookup was served by exactly one shard.
+    let per_shard: u64 = m.per_shard.iter().map(|s| s.lookups).sum();
+    assert_eq!(per_shard, m.lookups);
+}
+
+#[test]
+fn load_shedding_never_deadlocks_at_saturating_rate() {
+    let (store, mut generator) = build_store(22, 128);
+    let engine = ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(2)
+            .with_shed_policy(ShedPolicy::DropNewest),
+    )
+    .expect("engine");
+    let trace = generator.generate_requests(1_000);
+    // An offered rate no two shards can serve: ~10M qps.
+    let process = ArrivalProcess::Uniform { rate_rps: 10_000_000.0 };
+    let report = run_open_loop(&engine, &trace, &process, 5);
+    assert_eq!(report.submitted, 1_000);
+    assert_eq!(
+        report.completed + report.shed + report.timed_out + report.failed,
+        1_000,
+        "every request must land in exactly one outcome bucket"
+    );
+    assert!(report.shed > 0, "tiny queues at 10M qps must shed");
+    assert!(report.completed > 0, "accepted requests must still be served");
+    // The engine is idle and still serves new work afterwards.
+    let m = engine.metrics();
+    assert_eq!(m.outstanding, 0);
+    engine.serve(&trace.requests[0]).expect("engine alive after saturation");
+}
+
+#[test]
+fn background_tuner_hot_swaps_policies_into_shards() {
+    let (store, mut generator) = build_store(24, 256);
+    let engine = ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_tuner(OnlineTunerSettings { epoch_lookups: 500, ..Default::default() }),
+    )
+    .expect("engine");
+    let trace = generator.generate_requests(400);
+    for request in &trace.requests {
+        engine.submit(request).expect("submit");
+    }
+    engine.drain();
+    // The tuner absorbs sampled traffic asynchronously; poll with a
+    // deadline rather than sleeping a fixed amount.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while engine.metrics().tuner_swaps == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(
+        engine.metrics().tuner_swaps > 0,
+        "several tuning epochs' worth of lookups must produce at least one swap"
+    );
+    // The engine still serves correctly after hot swaps.
+    engine.serve(&trace.requests[0]).expect("serve after policy swap");
+}
+
+#[test]
+fn blocking_policy_backpressures_instead_of_shedding() {
+    let (store, mut generator) = build_store(23, 128);
+    let engine = ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(2)
+            .with_shed_policy(ShedPolicy::Block),
+    )
+    .expect("engine");
+    let trace = generator.generate_requests(300);
+    let process = ArrivalProcess::Uniform { rate_rps: 10_000_000.0 };
+    let report = run_open_loop(&engine, &trace, &process, 6);
+    // Block never sheds: the generator is throttled to engine speed.
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.completed, 300);
+}
