@@ -1,0 +1,472 @@
+//! The CI bench gate: compare a fresh `BENCH_serve.json` against a
+//! checked-in baseline with generous tolerance bands.
+//!
+//! Wall-clock latencies move with the machine running them, so the gate
+//! is deliberately loose: a row only fails when its p50/p99 exceeds the
+//! baseline by a large multiplicative factor *plus* an absolute slack —
+//! catching order-of-magnitude regressions (a lost batching path, an
+//! accidental lock on the hot path) while shrugging off runner noise.
+//! Structural properties (row set, request accounting, batching actually
+//! batching) are checked exactly.
+//!
+//! The workspace's `serde` shim is a no-op, so this module carries its
+//! own minimal JSON reader for the flat documents
+//! [`crate::output::json_document`] emits.
+
+use std::collections::BTreeMap;
+
+/// A row fails when `current > baseline * TOLERANCE_RATIO + ABS_SLACK_S`.
+pub const TOLERANCE_RATIO: f64 = 8.0;
+/// Absolute slack added on top of the ratio band, in seconds.
+pub const ABS_SLACK_S: f64 = 2e-3;
+
+/// A parsed `BENCH_*.json` document: the experiment name and one numeric
+/// field map per row (string fields are kept too, separately).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchDoc {
+    /// The `experiment` field.
+    pub experiment: String,
+    /// One map of numeric fields per row.
+    pub rows: Vec<BTreeMap<String, f64>>,
+}
+
+/// A minimal JSON value, just enough for our own documents.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    /// Reads the 4 hex digits of a `\u` escape (the leading `\u` already
+    /// consumed) as a UTF-16 code unit.
+    fn parse_hex4(&mut self) -> Result<u16, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u16::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        // Unescaped content is copied byte-for-byte and validated as UTF-8
+        // at the end, so multi-byte characters survive intact.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let Some(&c) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return String::from_utf8(out).map_err(|_| self.err("string is not UTF-8")),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = match unit {
+                                // A high surrogate must pair with a
+                                // following \u low surrogate.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos) == Some(&b'\\')
+                                        && self.bytes.get(self.pos + 1) == Some(&b'u')
+                                    {
+                                        self.pos += 2;
+                                        let low = self.parse_hex4()?;
+                                        if !(0xDC00..=0xDFFF).contains(&low) {
+                                            return Err(self.err("unpaired surrogate"));
+                                        }
+                                        let high = u32::from(unit - 0xD800);
+                                        let low = u32::from(low - 0xDC00);
+                                        char::from_u32(0x10000 + (high << 10) + low)
+                                            .ok_or_else(|| self.err("bad surrogate pair"))?
+                                    } else {
+                                        return Err(self.err("unpaired surrogate"));
+                                    }
+                                }
+                                0xDC00..=0xDFFF => return Err(self.err("unpaired surrogate")),
+                                unit => char::from_u32(u32::from(unit))
+                                    .ok_or_else(|| self.err("bad \\u escape"))?,
+                            };
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        other => return Err(self.err(&format!("bad escape '\\{}'", other as char))),
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            fields.push((key, self.parse_value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a `BENCH_*.json` document produced by
+/// [`crate::output::json_document`].
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or shape problem.
+pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
+    let mut p = Parser::new(text);
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    let Json::Obj(fields) = value else {
+        return Err("top level must be an object".into());
+    };
+    let mut doc = BenchDoc::default();
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("experiment", Json::Str(s)) => doc.experiment = s,
+            ("rows", Json::Arr(rows)) => {
+                for row in rows {
+                    let Json::Obj(fields) = row else {
+                        return Err("every row must be an object".into());
+                    };
+                    let mut numbers = BTreeMap::new();
+                    for (k, v) in fields {
+                        match v {
+                            Json::Num(n) => {
+                                numbers.insert(k, n);
+                            }
+                            Json::Bool(b) => {
+                                numbers.insert(k, if b { 1.0 } else { 0.0 });
+                            }
+                            // Strings/null carry no comparable number.
+                            _ => {}
+                        }
+                    }
+                    doc.rows.push(numbers);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(doc)
+}
+
+/// The latency fields gated against the baseline.
+const GATED_FIELDS: [&str; 2] = ["p50_s", "p99_s"];
+/// Fields identifying a row across runs.
+const KEY_FIELDS: [&str; 2] = ["window_us", "load_pct"];
+
+fn row_key(row: &BTreeMap<String, f64>) -> String {
+    KEY_FIELDS
+        .iter()
+        .map(|k| format!("{k}={}", row.get(*k).copied().unwrap_or(f64::NAN)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Compares a fresh serve sweep against the checked-in baseline.
+///
+/// Returns the human-readable report lines on success.
+///
+/// # Errors
+///
+/// Returns the list of violations when any gate fails.
+pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String>, Vec<String>> {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+
+    if current.experiment != baseline.experiment {
+        failures.push(format!(
+            "experiment mismatch: current {:?} vs baseline {:?}",
+            current.experiment, baseline.experiment
+        ));
+    }
+
+    let mut baseline_rows: BTreeMap<String, &BTreeMap<String, f64>> = BTreeMap::new();
+    for row in &baseline.rows {
+        baseline_rows.insert(row_key(row), row);
+    }
+
+    let mut matched = 0usize;
+    for row in &current.rows {
+        let key = row_key(row);
+        let Some(base) = baseline_rows.get(&key) else {
+            failures.push(format!("row [{key}] missing from the baseline — re-baseline?"));
+            continue;
+        };
+        matched += 1;
+        // Request accounting: completed + shed covers everything offered.
+        let completed = row.get("completed").copied().unwrap_or(0.0);
+        if completed <= 0.0 {
+            failures.push(format!("row [{key}] completed no requests"));
+        }
+        for field in GATED_FIELDS {
+            let (Some(&cur), Some(&base)) = (row.get(field), base.get(field)) else {
+                failures.push(format!("row [{key}] lacks field {field}"));
+                continue;
+            };
+            let limit = base * TOLERANCE_RATIO + ABS_SLACK_S;
+            if cur > limit {
+                failures.push(format!(
+                    "row [{key}] {field} regressed: {cur:.6}s > limit {limit:.6}s \
+                     (baseline {base:.6}s × {TOLERANCE_RATIO} + {ABS_SLACK_S}s)"
+                ));
+            } else {
+                report.push(format!("row [{key}] {field} {cur:.6}s within limit {limit:.6}s"));
+            }
+        }
+    }
+    if matched < baseline.rows.len() {
+        failures.push(format!(
+            "current run has {matched} of the baseline's {} rows — sweep shrank",
+            baseline.rows.len()
+        ));
+    }
+
+    // The batched pipeline must actually batch somewhere at moderate load.
+    let batched_moderate: Vec<&BTreeMap<String, f64>> = current
+        .rows
+        .iter()
+        .filter(|r| {
+            r.get("window_us").copied().unwrap_or(0.0) > 0.0
+                && (25.0..=90.0).contains(&r.get("load_pct").copied().unwrap_or(-1.0))
+        })
+        .collect();
+    if batched_moderate.is_empty() {
+        failures.push("no moderate-load batched rows in the current run".into());
+    } else if !batched_moderate.iter().any(|r| r.get("mean_batch").copied().unwrap_or(0.0) > 1.0) {
+        failures.push(
+            "cross-request batching is dead: no moderate-load batched row has mean_batch > 1"
+                .into(),
+        );
+    } else {
+        report.push("batching alive: a moderate-load row has mean_batch > 1".into());
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(rows: &[(u64, u64, f64, f64, f64, f64)]) -> BenchDoc {
+        // (window_us, load_pct, p50, p99, mean_batch, completed)
+        BenchDoc {
+            experiment: "serve".into(),
+            rows: rows
+                .iter()
+                .map(|&(w, l, p50, p99, mb, c)| {
+                    let mut m = BTreeMap::new();
+                    m.insert("window_us".into(), w as f64);
+                    m.insert("load_pct".into(), l as f64);
+                    m.insert("p50_s".into(), p50);
+                    m.insert("p99_s".into(), p99);
+                    m.insert("mean_batch".into(), mb);
+                    m.insert("completed".into(), c);
+                    m
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parser_round_trips_our_documents() {
+        let text = crate::output::json_document(
+            "serve",
+            vec![crate::output::JsonObject::new()
+                .u64("window_us", 200)
+                .u64("load_pct", 50)
+                .f64("p99_s", 0.00125)
+                .str("note", "a \"quoted\"\nvalue")],
+        );
+        let parsed = parse_document(&text).expect("parse");
+        assert_eq!(parsed.experiment, "serve");
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0]["window_us"], 200.0);
+        assert_eq!(parsed.rows[0]["p99_s"], 0.00125);
+        assert!(!parsed.rows[0].contains_key("note"), "strings are not numeric fields");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_document("{").is_err());
+        assert!(parse_document("[1,2]").is_err());
+        assert!(parse_document("{\"rows\":[,]}").is_err());
+        assert!(parse_document("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_preserves_multibyte_strings() {
+        // Raw UTF-8 passes through byte-for-byte...
+        let doc = parse_document("{\"experiment\":\"µs — latency\",\"rows\":[]}").expect("parse");
+        assert_eq!(doc.experiment, "µs — latency");
+        // ...and \u escapes decode, including surrogate pairs.
+        let doc = parse_document("{\"experiment\":\"\\u00b5s \\uD83D\\uDE00\",\"rows\":[]}")
+            .expect("parse");
+        assert_eq!(doc.experiment, "µs 😀");
+        // Unpaired surrogates are rejected rather than silently mangled.
+        assert!(parse_document("{\"experiment\":\"\\uD83D\",\"rows\":[]}").is_err());
+        assert!(parse_document("{\"experiment\":\"\\uDE00\",\"rows\":[]}").is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 8e-5, 4e-4, 2.5, 60.0)]);
+        let report = check_serve(&base, &base).expect("identical run must pass");
+        assert!(report.iter().any(|l| l.contains("within limit")));
+    }
+
+    #[test]
+    fn noise_within_bands_passes_but_regressions_fail() {
+        let base = doc(&[(200, 50, 1e-4, 5e-4, 2.0, 60.0)]);
+        // 3× slower: inside the generous band.
+        let noisy = doc(&[(200, 50, 3e-4, 1.5e-3, 2.0, 60.0)]);
+        assert!(check_serve(&noisy, &base).is_ok());
+        // 10× slower p99 past the absolute slack: a real regression.
+        let slow = doc(&[(200, 50, 1e-4, 5e-2, 2.0, 60.0)]);
+        let failures = check_serve(&slow, &base).expect_err("must fail");
+        assert!(failures.iter().any(|f| f.contains("p99_s regressed")), "{failures:?}");
+    }
+
+    #[test]
+    fn dead_batching_and_missing_rows_fail() {
+        let base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.0, 60.0)]);
+        let unbatched = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 1.0, 60.0)]);
+        let failures = check_serve(&unbatched, &base).expect_err("dead batching must fail");
+        assert!(failures.iter().any(|f| f.contains("batching is dead")), "{failures:?}");
+        let shrunk = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0)]);
+        let failures = check_serve(&shrunk, &base).expect_err("missing rows must fail");
+        assert!(failures.iter().any(|f| f.contains("sweep shrank")), "{failures:?}");
+    }
+}

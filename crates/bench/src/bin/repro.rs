@@ -4,6 +4,9 @@
 //! repro [--scale quick|full] <experiment>...
 //! repro all                      # every experiment, paper order
 //! repro list                     # available experiment ids
+//! repro check-bench [current] [baseline]
+//!                                # gate a serve sweep against the
+//!                                # checked-in baseline (CI bench gate)
 //! ```
 
 use bandana_bench::experiments::{run_by_id, ALL_EXPERIMENTS};
@@ -13,9 +16,55 @@ use std::process::ExitCode;
 fn usage() -> String {
     format!(
         "usage: repro [--scale quick|full] <experiment>...\n\
+         \x20      repro check-bench [current.json] [baseline.json]\n\
          experiments: {}  (or `all`)",
         ALL_EXPERIMENTS.join(", ")
     )
+}
+
+/// The `check-bench` subcommand: compares `current` (default
+/// `BENCH_serve.json`) against `baseline` (default
+/// `BENCH_baseline_serve.json`) with the generous tolerance bands of
+/// `bandana_bench::baseline`. To re-baseline after an intentional change:
+/// `repro --scale quick serve && cp BENCH_serve.json
+/// BENCH_baseline_serve.json`.
+fn check_bench(args: &[String]) -> ExitCode {
+    let current_path = args.first().map(String::as_str).unwrap_or("BENCH_serve.json");
+    let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_baseline_serve.json");
+    let read = |path: &str| -> Result<bandana_bench::BenchDoc, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        bandana_bench::parse_document(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (current, baseline) = match (read(current_path), read(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (c, b) => {
+            for err in [c.err(), b.err()].into_iter().flatten() {
+                eprintln!("check-bench: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    match bandana_bench::check_serve(&current, &baseline) {
+        Ok(report) => {
+            for line in report {
+                println!("ok: {line}");
+            }
+            println!("check-bench: {current_path} within tolerance of {baseline_path}");
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for line in failures {
+                eprintln!("FAIL: {line}");
+            }
+            eprintln!(
+                "check-bench: {current_path} regressed against {baseline_path}\n\
+                 (intentional change? re-baseline with:\n\
+                 \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve\n\
+                 \x20 cp BENCH_serve.json BENCH_baseline_serve.json)"
+            );
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -39,6 +88,9 @@ fn main() -> ExitCode {
             "list" => {
                 println!("{}", ALL_EXPERIMENTS.join("\n"));
                 return ExitCode::SUCCESS;
+            }
+            "check-bench" => {
+                return check_bench(&args[i + 1..]);
             }
             "all" => ids.extend(ALL_EXPERIMENTS.iter().map(|s| s.to_string())),
             "-h" | "--help" => {

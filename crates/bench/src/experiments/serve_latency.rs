@@ -1,14 +1,19 @@
-//! Serving-engine latency under offered load.
+//! Serving-engine latency under offered load, batch window × load.
 //!
 //! The paper's Figure 5 plots device latency against offered throughput;
 //! this experiment applies the same open-loop methodology to the whole
 //! serving stack: build the paper workload's store, wrap it in the
-//! sharded engine ([`bandana_serve::ShardedEngine`]), measure its
-//! closed-loop capacity, then sweep Poisson offered load from a fraction
-//! of that capacity past saturation and record the latency percentiles
-//! and shed counters at each point. Expected shape: flat latency at low
-//! load, a tail blow-up approaching capacity, and non-zero shedding past
-//! it — the signature of any open-loop-tested serving system.
+//! sharded engine ([`bandana_serve::ShardedEngine`]) with block reads
+//! charged through the calibrated NVM queue model, measure closed-loop
+//! capacity, then sweep Poisson offered load from a fraction of that
+//! capacity past saturation. The sweep runs twice: once with the
+//! single-read pipeline (`max_batch` 1, device depth 1 — the paper's
+//! unbatched baseline) and once with cross-request micro-batching
+//! (200 µs window, depth 4), recording batch-size and queue-depth
+//! distributions plus the queue-wait vs device-time latency breakdown at
+//! every operating point. Expected shape: flat latency at low load, a
+//! tail blow-up approaching capacity, non-zero shedding past it, and
+//! mean batch size > 1 for the batched pipeline at moderate load.
 
 use crate::output::{JsonObject, TextTable};
 use crate::scale::Scale;
@@ -16,6 +21,7 @@ use bandana_core::BandanaStore;
 use bandana_serve::{run_closed_loop, run_open_loop, ServeConfig, ShardedEngine, ShedPolicy};
 use bandana_trace::{ArrivalProcess, EmbeddingTable};
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Shards used by the experiment engine.
 const SHARDS: usize = 4;
@@ -23,10 +29,19 @@ const SHARDS: usize = 4;
 const QUEUE_CAPACITY: usize = 64;
 /// Offered load as a percentage of measured closed-loop capacity.
 const LOAD_PCTS: [u32; 5] = [25, 50, 75, 90, 150];
+/// The micro-batching window of the batched pipeline, in microseconds.
+const BATCH_WINDOW_US: u64 = 200;
+/// Most requests merged per micro-batch in the batched pipeline.
+const MAX_BATCH: usize = 16;
+/// Bounded in-flight device reads in the batched pipeline (the paper's
+/// sweet-spot region of Figure 2).
+const BATCH_DEPTH: u32 = 4;
 
 /// One measured operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServeRow {
+    /// Micro-batch window in microseconds (0 = single-read pipeline).
+    pub window_us: u64,
     /// Offered load as % of measured closed-loop capacity (0 = the
     /// closed-loop capacity row itself).
     pub load_pct: u32,
@@ -46,6 +61,20 @@ pub struct ServeRow {
     pub p99_s: f64,
     /// P99.9 end-to-end latency in seconds.
     pub p999_s: f64,
+    /// Mean requests merged per device micro-batch.
+    pub mean_batch: f64,
+    /// Largest micro-batch observed.
+    pub largest_batch: u64,
+    /// Mean device queue depth experienced by block reads.
+    pub mean_depth: f64,
+    /// Peak device queue depth.
+    pub peak_depth: u32,
+    /// Mean simulated device time charged per served request, in seconds.
+    pub device_mean_s: f64,
+    /// Mean host queue wait per served request, in seconds.
+    pub queue_wait_mean_s: f64,
+    /// P99 host queue wait, in seconds.
+    pub queue_wait_p99_s: f64,
 }
 
 /// The shared inputs of every engine in the sweep: built once, reused —
@@ -70,7 +99,23 @@ fn sweep_inputs(scale: Scale) -> SweepInputs {
     SweepInputs { workload, embeddings }
 }
 
-fn build_engine(inputs: &SweepInputs, scale: Scale) -> ShardedEngine {
+/// One pipeline configuration of the sweep.
+#[derive(Debug, Clone, Copy)]
+struct Pipeline {
+    window_us: u64,
+    max_batch: usize,
+    device_queue: u32,
+}
+
+const PIPELINES: [Pipeline; 2] = [
+    // The single-read baseline: every request is its own submission at
+    // queue depth 1.
+    Pipeline { window_us: 0, max_batch: 1, device_queue: 1 },
+    // Cross-request micro-batching with bounded in-flight reads.
+    Pipeline { window_us: BATCH_WINDOW_US, max_batch: MAX_BATCH, device_queue: BATCH_DEPTH },
+];
+
+fn build_engine(inputs: &SweepInputs, scale: Scale, pipeline: Pipeline) -> ShardedEngine {
     let config = bandana_core::BandanaConfig::default()
         .with_cache_vectors(scale.default_total_cache())
         .with_seed(super::common::SEED);
@@ -86,52 +131,91 @@ fn build_engine(inputs: &SweepInputs, scale: Scale) -> ShardedEngine {
         ServeConfig::default()
             .with_shards(SHARDS)
             .with_queue_capacity(QUEUE_CAPACITY)
-            .with_shed_policy(ShedPolicy::DropNewest),
+            .with_shed_policy(ShedPolicy::DropNewest)
+            .with_batch_window(Duration::from_micros(pipeline.window_us))
+            .with_max_batch(pipeline.max_batch)
+            .with_device_queue(pipeline.device_queue),
     )
     .expect("engine configuration is valid")
 }
 
-/// Measures closed-loop capacity, then the open-loop sweep. The first row
-/// (`load_pct == 0`) is the capacity measurement itself.
+/// Folds one finished engine's metrics into a [`ServeRow`].
+fn row_from(
+    pipeline: Pipeline,
+    load_pct: u32,
+    offered_qps: f64,
+    achieved_qps: f64,
+    completed: u64,
+    shed: u64,
+    engine: &ShardedEngine,
+) -> ServeRow {
+    let m = engine.metrics();
+    ServeRow {
+        window_us: pipeline.window_us,
+        load_pct,
+        offered_qps,
+        achieved_qps,
+        completed,
+        shed,
+        mean_s: m.latency.mean_s,
+        p50_s: m.latency.p50_s,
+        p99_s: m.latency.p99_s,
+        p999_s: m.latency.p999_s,
+        mean_batch: m.batching.mean_batch(),
+        largest_batch: m.batching.largest_batch,
+        mean_depth: m.batching.depth.mean_depth(),
+        peak_depth: m.batching.depth.peak_depth,
+        device_mean_s: m.device_time.mean_s,
+        queue_wait_mean_s: m.queue_wait.mean_s,
+        queue_wait_p99_s: m.queue_wait.p99_s,
+    }
+}
+
+/// Measures closed-loop capacity, then the open-loop sweep, for both
+/// pipelines. Each pipeline's first row (`load_pct == 0`) is its capacity
+/// measurement.
 pub fn run(scale: Scale) -> Vec<ServeRow> {
     let inputs = sweep_inputs(scale);
-    let trace = &inputs.workload.eval;
+    run_on(&inputs, scale, &inputs.workload.eval)
+}
 
-    // Closed-loop capacity with one caller per shard.
-    let capacity_engine = build_engine(&inputs, scale);
-    let capacity = run_closed_loop(&capacity_engine, trace, SHARDS)
-        .expect("closed-loop replay of the eval trace");
-    drop(capacity_engine);
-    let mut rows = vec![ServeRow {
-        load_pct: 0,
-        offered_qps: capacity.achieved_qps,
-        achieved_qps: capacity.achieved_qps,
-        completed: capacity.completed,
-        shed: 0,
-        mean_s: capacity.latency.mean_s,
-        p50_s: capacity.latency.p50_s,
-        p99_s: capacity.latency.p99_s,
-        p999_s: capacity.latency.p999_s,
-    }];
+fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> Vec<ServeRow> {
+    let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1));
 
-    // Open-loop sweep: a fresh engine per point so caches and histograms
-    // start cold at every operating point.
-    for pct in LOAD_PCTS {
-        let rate = (capacity.achieved_qps * f64::from(pct) / 100.0).max(1.0);
-        let engine = build_engine(&inputs, scale);
-        let process = ArrivalProcess::Poisson { rate_rps: rate };
-        let report = run_open_loop(&engine, trace, &process, super::common::SEED ^ u64::from(pct));
-        rows.push(ServeRow {
-            load_pct: pct,
-            offered_qps: report.offered_qps,
-            achieved_qps: report.achieved_qps,
-            completed: report.completed,
-            shed: report.shed,
-            mean_s: report.latency.mean_s,
-            p50_s: report.latency.p50_s,
-            p99_s: report.latency.p99_s,
-            p999_s: report.latency.p999_s,
-        });
+    for pipeline in PIPELINES {
+        // Closed-loop capacity with one caller per shard.
+        let capacity_engine = build_engine(inputs, scale, pipeline);
+        let capacity = run_closed_loop(&capacity_engine, trace, SHARDS)
+            .expect("closed-loop replay of the eval trace");
+        rows.push(row_from(
+            pipeline,
+            0,
+            capacity.achieved_qps,
+            capacity.achieved_qps,
+            capacity.completed,
+            0,
+            &capacity_engine,
+        ));
+        drop(capacity_engine);
+
+        // Open-loop sweep: a fresh engine per point so caches, histograms,
+        // and depth accounting start cold at every operating point.
+        for pct in LOAD_PCTS {
+            let rate = (capacity.achieved_qps * f64::from(pct) / 100.0).max(1.0);
+            let engine = build_engine(inputs, scale, pipeline);
+            let process = ArrivalProcess::Poisson { rate_rps: rate };
+            let report =
+                run_open_loop(&engine, trace, &process, super::common::SEED ^ u64::from(pct));
+            rows.push(row_from(
+                pipeline,
+                pct,
+                report.offered_qps,
+                report.achieved_qps,
+                report.completed,
+                report.shed,
+                &engine,
+            ));
+        }
     }
     rows
 }
@@ -139,6 +223,7 @@ pub fn run(scale: Scale) -> Vec<ServeRow> {
 /// Renders the latency table.
 pub fn render(rows: &[ServeRow]) -> String {
     let mut table = TextTable::new(vec![
+        "window µs",
         "load %",
         "offered qps",
         "achieved qps",
@@ -148,10 +233,15 @@ pub fn render(rows: &[ServeRow]) -> String {
         "p50",
         "p99",
         "p999",
+        "batch",
+        "depth",
+        "device",
+        "q-wait",
     ]);
     for r in rows {
         let label = if r.load_pct == 0 { "closed".to_string() } else { r.load_pct.to_string() };
         table.row(vec![
+            r.window_us.to_string(),
             label,
             format!("{:.0}", r.offered_qps),
             format!("{:.0}", r.achieved_qps),
@@ -161,11 +251,17 @@ pub fn render(rows: &[ServeRow]) -> String {
             bandana_serve::fmt_secs(r.p50_s),
             bandana_serve::fmt_secs(r.p99_s),
             bandana_serve::fmt_secs(r.p999_s),
+            format!("{:.2}", r.mean_batch),
+            format!("{:.2}", r.mean_depth),
+            bandana_serve::fmt_secs(r.device_mean_s),
+            bandana_serve::fmt_secs(r.queue_wait_mean_s),
         ]);
     }
     format!(
         "Serving engine: open-loop latency vs offered load ({SHARDS} shards, \
-         queue {QUEUE_CAPACITY}, drop-newest shedding)\n{}",
+         queue {QUEUE_CAPACITY}, drop-newest shedding, NVM reads charged through \
+         the queue model; window 0 = single-read pipeline at depth 1, window \
+         {BATCH_WINDOW_US} = ≤{MAX_BATCH}-request micro-batches at depth {BATCH_DEPTH})\n{}",
         table.render()
     )
 }
@@ -176,6 +272,7 @@ pub fn to_json(rows: &[ServeRow]) -> String {
         "serve",
         rows.iter().map(|r| {
             JsonObject::new()
+                .u64("window_us", r.window_us)
                 .u64("load_pct", u64::from(r.load_pct))
                 .f64("offered_qps", r.offered_qps)
                 .f64("achieved_qps", r.achieved_qps)
@@ -185,6 +282,13 @@ pub fn to_json(rows: &[ServeRow]) -> String {
                 .f64("p50_s", r.p50_s)
                 .f64("p99_s", r.p99_s)
                 .f64("p999_s", r.p999_s)
+                .f64("mean_batch", r.mean_batch)
+                .u64("largest_batch", r.largest_batch)
+                .f64("mean_depth", r.mean_depth)
+                .u64("peak_depth", u64::from(r.peak_depth))
+                .f64("device_mean_s", r.device_mean_s)
+                .f64("queue_wait_mean_s", r.queue_wait_mean_s)
+                .f64("queue_wait_p99_s", r.queue_wait_p99_s)
         }),
     )
 }
@@ -207,29 +311,71 @@ mod tests {
 
     #[test]
     fn sweep_has_expected_shape() {
-        let rows = run(Scale::Quick);
-        assert_eq!(rows.len(), LOAD_PCTS.len() + 1);
-        // Capacity row completes the whole trace without shedding.
-        assert_eq!(rows[0].shed, 0);
-        assert!(rows[0].achieved_qps > 0.0);
-        // Offered load is monotone across the sweep rows.
-        for w in rows[1..].windows(2) {
-            assert!(w[1].offered_qps > w[0].offered_qps);
+        // A shortened training trace keeps the twelve store builds (SHP +
+        // tuning per operating point) test-sized, and a truncated eval
+        // trace keeps the open-loop pacing (wall-clock = requests /
+        // offered rate) short; the CI bench-smoke job runs the full quick
+        // sweep in release mode.
+        let workload = super::super::common::workload_with_train(Scale::Quick, 60);
+        let embeddings: Vec<EmbeddingTable> = (0..workload.spec.num_tables())
+            .map(|t| {
+                EmbeddingTable::synthesize(
+                    workload.spec.tables[t].num_vectors,
+                    workload.spec.dim,
+                    workload.generator.topic_model(t),
+                    t as u64,
+                )
+            })
+            .collect();
+        let inputs = SweepInputs { workload, embeddings };
+        let mut trace = inputs.workload.eval.clone();
+        trace.requests.truncate(60);
+        let rows = run_on(&inputs, Scale::Quick, &trace);
+        assert_eq!(rows.len(), PIPELINES.len() * (LOAD_PCTS.len() + 1));
+        let n = trace.requests.len() as u64;
+        for pipeline in PIPELINES {
+            let group: Vec<&ServeRow> =
+                rows.iter().filter(|r| r.window_us == pipeline.window_us).collect();
+            assert_eq!(group.len(), LOAD_PCTS.len() + 1);
+            // Capacity row completes the whole trace without shedding.
+            assert_eq!(group[0].shed, 0);
+            assert!(group[0].achieved_qps > 0.0);
+            // Offered load is monotone across the sweep rows.
+            for w in group[1..].windows(2) {
+                assert!(w[1].offered_qps > w[0].offered_qps);
+            }
+            for r in &group {
+                // Every row orders its percentiles.
+                assert!(r.p50_s <= r.p99_s && r.p99_s <= r.p999_s, "{r:?}");
+                // Device charging is on in both pipelines, so served
+                // requests carry a device-time component and the depth
+                // bound is respected.
+                assert!(r.device_mean_s > 0.0, "{r:?}");
+                assert!(u64::from(r.peak_depth) <= u64::from(pipeline.device_queue), "{r:?}");
+                assert!(r.largest_batch <= pipeline.max_batch as u64, "{r:?}");
+            }
+            // Every submitted request is either completed or shed.
+            for r in &group[1..] {
+                assert_eq!(r.completed + r.shed, n, "{r:?}");
+            }
         }
-        // Every row orders its percentiles.
-        for r in &rows {
-            assert!(r.p50_s <= r.p99_s && r.p99_s <= r.p999_s, "{r:?}");
+        // The single-read pipeline really is single-read.
+        for r in rows.iter().filter(|r| r.window_us == 0) {
+            assert!((r.mean_batch - 1.0).abs() < 1e-9, "{r:?}");
+            assert_eq!(r.peak_depth, 1, "{r:?}");
         }
-        // Every submitted request is either completed or shed.
-        let n = sweep_inputs(Scale::Quick).workload.eval.requests.len() as u64;
-        for r in &rows[1..] {
-            assert_eq!(r.completed + r.shed, n, "{r:?}");
-        }
+        // The batched pipeline merges requests at moderate offered load.
+        let merged = rows
+            .iter()
+            .filter(|r| r.window_us > 0 && (25..=90).contains(&r.load_pct))
+            .any(|r| r.mean_batch > 1.0);
+        assert!(merged, "no moderate-load batched row merged requests: {rows:?}");
     }
 
     #[test]
     fn renders_and_serializes() {
         let rows = vec![ServeRow {
+            window_us: 200,
             load_pct: 50,
             offered_qps: 1000.0,
             achieved_qps: 990.0,
@@ -239,13 +385,24 @@ mod tests {
             p50_s: 9e-5,
             p99_s: 4e-4,
             p999_s: 9e-4,
+            mean_batch: 2.5,
+            largest_batch: 7,
+            mean_depth: 3.1,
+            peak_depth: 4,
+            device_mean_s: 2e-5,
+            queue_wait_mean_s: 3e-5,
+            queue_wait_p99_s: 2e-4,
         }];
         let s = render(&rows);
         assert!(s.contains("offered qps"));
         assert!(s.contains("50"));
+        assert!(s.contains("2.50"));
         let j = to_json(&rows);
         assert!(j.contains("\"experiment\":\"serve\""));
+        assert!(j.contains("\"window_us\":200"));
         assert!(j.contains("\"load_pct\":50"));
         assert!(j.contains("\"p999_s\":0.0009"));
+        assert!(j.contains("\"mean_batch\":2.5"));
+        assert!(j.contains("\"peak_depth\":4"));
     }
 }

@@ -13,9 +13,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod output;
 pub mod scale;
 
+pub use baseline::{check_serve, parse_document, BenchDoc};
 pub use output::TextTable;
 pub use scale::Scale;

@@ -94,6 +94,12 @@ impl TableStore {
         self.layout.num_blocks() as u64
     }
 
+    /// First device block of this table's region; the table's blocks are
+    /// `base_block .. base_block + num_blocks()`.
+    pub fn base_block(&self) -> u64 {
+        self.base_block
+    }
+
     /// The physical placement in force.
     pub fn layout(&self) -> &BlockLayout {
         &self.layout

@@ -195,6 +195,25 @@ impl NvmDevice {
             / queue_depth as f64
     }
 
+    /// Copies one block's bytes into `buf` without touching the I/O
+    /// counters — replication (e.g. [`crate::SparseDevice::carve`]) is not
+    /// served traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::BlockOutOfRange`] or [`NvmError::BadWriteSize`].
+    pub fn copy_block_into(&self, block: u64, buf: &mut [u8]) -> Result<(), NvmError> {
+        if buf.len() != self.config.block_size {
+            return Err(NvmError::BadWriteSize {
+                got: buf.len(),
+                expected: self.config.block_size,
+            });
+        }
+        let off = self.check_block(block)?;
+        buf.copy_from_slice(&self.storage[off..off + self.config.block_size]);
+        Ok(())
+    }
+
     fn check_block(&self, block: u64) -> Result<usize, NvmError> {
         if block >= self.config.capacity_blocks {
             return Err(NvmError::BlockOutOfRange { block, capacity: self.config.capacity_blocks });

@@ -44,6 +44,12 @@ pub enum NvmError {
         /// The faulted operation (`"read"` or `"write"`).
         op: &'static str,
     },
+    /// A block inside the device capacity but outside the ranges a
+    /// [`crate::SparseDevice`] was carved with.
+    BlockNotResident {
+        /// The requested block index.
+        block: u64,
+    },
 }
 
 impl fmt::Display for NvmError {
@@ -63,6 +69,9 @@ impl fmt::Display for NvmError {
             NvmError::Io { op, message } => write!(f, "i/o failure during {op}: {message}"),
             NvmError::InjectedFault { block, op } => {
                 write!(f, "injected {op} fault at block {block}")
+            }
+            NvmError::BlockNotResident { block } => {
+                write!(f, "block {block} is not resident on this sparse device")
             }
         }
     }

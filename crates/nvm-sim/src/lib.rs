@@ -44,6 +44,7 @@ pub mod file_device;
 pub mod fio;
 pub mod queue;
 pub mod sim;
+pub mod sparse;
 pub mod stats;
 
 pub use device::{BlockDevice, IoCounters, NvmConfig, NvmDevice};
@@ -52,6 +53,7 @@ pub use error::NvmError;
 pub use faults::{FaultInjector, FaultPlan};
 pub use file_device::FileNvmDevice;
 pub use fio::{FioJob, FioReport};
-pub use queue::QueueModel;
+pub use queue::{DepthStats, QueueDepthTracker, QueueModel};
 pub use sim::{OpenLoopSim, SimReport};
+pub use sparse::SparseDevice;
 pub use stats::{Histogram, OnlineStats};

@@ -145,6 +145,164 @@ impl Default for QueueModel {
     }
 }
 
+/// Cumulative accounting exposed by a [`QueueDepthTracker`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DepthStats {
+    /// Reads submitted to the device.
+    pub submitted: u64,
+    /// Reads completed by the device.
+    pub completed: u64,
+    /// Highest queue depth ever observed.
+    pub peak_depth: u32,
+    /// Sum over completed reads of the depth they completed at (divide by
+    /// `completed` for the mean depth a read experienced).
+    pub depth_weight: u64,
+    /// Total simulated device-busy time in seconds.
+    pub busy_s: f64,
+}
+
+impl DepthStats {
+    /// Mean queue depth experienced by completed reads (`0.0` when none).
+    pub fn mean_depth(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.depth_weight as f64 / self.completed as f64
+        }
+    }
+
+    /// Folds another tracker's accounting into this one (peak takes the
+    /// max, everything else adds).
+    pub fn merge(&mut self, other: &DepthStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
+        self.depth_weight += other.depth_weight;
+        self.busy_s += other.busy_s;
+    }
+}
+
+/// Stateful io_uring-style submission accounting over a [`QueueModel`].
+///
+/// A serving shard submits block reads in batches with a bounded number in
+/// flight; the tracker advances a virtual device clock as reads complete,
+/// charging each completion `mean_latency(d) / d` seconds at the live
+/// outstanding depth `d` (Little's-law throughput at that depth, including
+/// the bandwidth ceiling). The depth can never go negative: completions on
+/// an idle device are ignored.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::{QueueDepthTracker, QueueModel};
+///
+/// let mut t = QueueDepthTracker::new(QueueModel::optane(), 4);
+/// // One isolated read costs exactly the QD1 service time.
+/// let s = t.charge_batch(1);
+/// assert!((s - 10e-6).abs() < 1e-9);
+/// // A deep batch is served faster per read than QD1...
+/// let batch = t.charge_batch(64);
+/// assert!(batch < 64.0 * s);
+/// assert_eq!(t.depth(), 0);
+/// assert_eq!(t.stats().peak_depth, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueueDepthTracker {
+    model: QueueModel,
+    max_inflight: u32,
+    inflight: u32,
+    stats: DepthStats,
+}
+
+impl QueueDepthTracker {
+    /// Creates a tracker bounding the device at `max_inflight` outstanding
+    /// reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inflight` is zero.
+    pub fn new(model: QueueModel, max_inflight: u32) -> Self {
+        assert!(max_inflight >= 1, "need at least one in-flight slot");
+        QueueDepthTracker { model, max_inflight, inflight: 0, stats: DepthStats::default() }
+    }
+
+    /// The model the tracker charges through.
+    pub fn model(&self) -> &QueueModel {
+        &self.model
+    }
+
+    /// The in-flight bound.
+    pub fn max_inflight(&self) -> u32 {
+        self.max_inflight
+    }
+
+    /// Current outstanding-read depth (never negative, never above the
+    /// bound).
+    pub fn depth(&self) -> u32 {
+        self.inflight
+    }
+
+    /// Cumulative accounting since creation.
+    pub fn stats(&self) -> DepthStats {
+        self.stats
+    }
+
+    /// Submits one read, first completing the oldest outstanding read if
+    /// the device is at its in-flight bound. Returns the simulated seconds
+    /// spent waiting for that forced completion (zero when a slot was
+    /// free).
+    pub fn submit(&mut self) -> f64 {
+        let mut waited = 0.0;
+        if self.inflight >= self.max_inflight {
+            waited = self.complete();
+        }
+        self.inflight += 1;
+        self.stats.submitted += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.inflight);
+        waited
+    }
+
+    /// Completes the oldest outstanding read, returning the simulated
+    /// seconds it occupied the device at the current depth. A completion
+    /// with nothing outstanding is a no-op returning `0.0` — the depth
+    /// saturates at zero instead of going negative.
+    pub fn complete(&mut self) -> f64 {
+        if self.inflight == 0 {
+            return 0.0;
+        }
+        let d = self.inflight;
+        // At steady depth d the device retires one read every
+        // mean_latency(d)/d seconds (Little's law; the mean latency already
+        // folds in the bandwidth ceiling).
+        let step = self.model.mean_latency(d) / f64::from(d);
+        self.inflight -= 1;
+        self.stats.completed += 1;
+        self.stats.depth_weight += u64::from(d);
+        self.stats.busy_s += step;
+        step
+    }
+
+    /// Completes every outstanding read, returning the simulated seconds.
+    pub fn drain(&mut self) -> f64 {
+        let mut total = 0.0;
+        while self.inflight > 0 {
+            total += self.complete();
+        }
+        total
+    }
+
+    /// Charges a whole batch of reads synchronously: submits each read
+    /// (completing the oldest when the in-flight bound is hit) and then
+    /// drains, returning the total simulated device seconds the batch took.
+    pub fn charge_batch(&mut self, reads: u64) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..reads {
+            total += self.submit();
+        }
+        total + self.drain()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +379,73 @@ mod tests {
         // 2.3 GB/s * 10 µs / 4 KB ≈ 5.6 concurrent requests.
         let c = QueueModel::optane().implied_channels();
         assert!(c > 4.0 && c < 8.0, "channels {c}");
+    }
+
+    #[test]
+    fn tracker_depth_is_bounded_and_never_negative() {
+        let mut t = QueueDepthTracker::new(QueueModel::optane(), 3);
+        // Completions on an idle device are no-ops.
+        assert_eq!(t.complete(), 0.0);
+        assert_eq!(t.depth(), 0);
+        for _ in 0..10 {
+            t.submit();
+            assert!(t.depth() <= 3, "depth {} exceeded the bound", t.depth());
+        }
+        t.drain();
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.complete(), 0.0);
+        let s = t.stats();
+        assert_eq!(s.submitted, 10);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.peak_depth, 3);
+    }
+
+    #[test]
+    fn tracker_depth1_charges_exactly_the_qd1_latency() {
+        let m = QueueModel::optane();
+        let mut t = QueueDepthTracker::new(m, 1);
+        let total = t.charge_batch(7);
+        assert!((total - 7.0 * m.mean_latency(1)).abs() < 1e-12, "total {total}");
+        assert_eq!(t.stats().peak_depth, 1);
+        assert!((t.stats().mean_depth() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_bound_serves_batches_faster_until_saturation() {
+        let m = QueueModel::optane();
+        let mut prev = f64::INFINITY;
+        for bound in [1u32, 2, 4, 8] {
+            let mut t = QueueDepthTracker::new(m, bound);
+            let total = t.charge_batch(256);
+            assert!(
+                total <= prev + 1e-12,
+                "batch time grew from {prev} to {total} at bound {bound}"
+            );
+            prev = total;
+        }
+        // But never faster than the bandwidth ceiling allows.
+        let floor = 256.0 * m.block_size as f64 / m.max_bandwidth_bps;
+        assert!(prev >= floor - 1e-12, "batch beat the bandwidth ceiling: {prev} < {floor}");
+    }
+
+    #[test]
+    fn tracker_stats_merge_adds_and_maxes() {
+        let m = QueueModel::optane();
+        let mut a = QueueDepthTracker::new(m, 2);
+        let mut b = QueueDepthTracker::new(m, 8);
+        a.charge_batch(10);
+        b.charge_batch(20);
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.submitted, 30);
+        assert_eq!(merged.completed, 30);
+        assert_eq!(merged.peak_depth, 8);
+        assert!((merged.busy_s - (a.stats().busy_s + b.stats().busy_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one in-flight slot")]
+    fn tracker_rejects_zero_bound() {
+        QueueDepthTracker::new(QueueModel::optane(), 0);
     }
 }

@@ -1,0 +1,269 @@
+//! A device replica carved down to the block ranges one owner needs.
+//!
+//! A sharded serving engine used to hand every shard a full clone of the
+//! simulated device — correct, but each clone copies the entire byte
+//! arena even though a shard only ever touches its own tables' blocks.
+//! [`SparseDevice`] copies just the requested block ranges while keeping
+//! the parent's block addressing, so existing per-table block offsets stay
+//! valid and per-shard I/O counters stay honest, at a fraction of the
+//! memory.
+
+use crate::device::{BlockDevice, IoCounters, NvmDevice};
+use crate::error::NvmError;
+use crate::queue::QueueModel;
+
+/// One resident extent: `len_blocks` blocks starting at `start_block`,
+/// with its bytes at `byte_offset` inside the shared arena.
+#[derive(Debug, Clone)]
+struct Extent {
+    start_block: u64,
+    len_blocks: u64,
+    byte_offset: usize,
+}
+
+/// A partial replica of an [`NvmDevice`]: only the carved block ranges are
+/// resident, but blocks keep their parent addresses.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::{BlockDevice, NvmConfig, NvmDevice, SparseDevice};
+///
+/// # fn main() -> Result<(), nvm_sim::NvmError> {
+/// let mut parent = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(64));
+/// parent.write_block(40, &vec![7u8; parent.block_size()])?;
+///
+/// // Carve blocks 8..16 and 40..44; everything else stays behind.
+/// let mut shard = SparseDevice::carve(&parent, &[(8, 8), (40, 4)])?;
+/// assert_eq!(shard.read_block(40)?[0], 7);
+/// assert_eq!(shard.resident_blocks(), 12);
+/// assert!(shard.read_block(0).is_err(), "block 0 was not carved");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseDevice {
+    block_size: usize,
+    capacity_blocks: u64,
+    queue_model: QueueModel,
+    /// Sorted, non-overlapping extents.
+    extents: Vec<Extent>,
+    storage: Vec<u8>,
+    counters: IoCounters,
+}
+
+impl SparseDevice {
+    /// Copies the given `(start_block, len_blocks)` ranges out of `parent`.
+    /// Empty ranges are dropped; the rest are sorted and must not overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NvmError::BlockOutOfRange`] when a range exceeds the
+    /// parent capacity and [`NvmError::InvalidConfig`] when ranges overlap.
+    pub fn carve(parent: &NvmDevice, ranges: &[(u64, u64)]) -> Result<Self, NvmError> {
+        let block_size = parent.block_size();
+        let capacity = parent.capacity_blocks();
+        let mut sorted: Vec<(u64, u64)> =
+            ranges.iter().copied().filter(|&(_, len)| len > 0).collect();
+        sorted.sort_unstable();
+        let mut extents = Vec::with_capacity(sorted.len());
+        let mut total_blocks = 0u64;
+        let mut prev_end = 0u64;
+        for (i, &(start, len)) in sorted.iter().enumerate() {
+            let end = start
+                .checked_add(len)
+                .ok_or(NvmError::BlockOutOfRange { block: u64::MAX, capacity })?;
+            if end > capacity {
+                return Err(NvmError::BlockOutOfRange { block: end - 1, capacity });
+            }
+            if i > 0 && start < prev_end {
+                return Err(NvmError::InvalidConfig("carved block ranges overlap"));
+            }
+            prev_end = end;
+            extents.push(Extent {
+                start_block: start,
+                len_blocks: len,
+                byte_offset: usize::try_from(total_blocks).expect("resident set fits memory")
+                    * block_size,
+            });
+            total_blocks += len;
+        }
+        let bytes = usize::try_from(total_blocks).expect("resident set fits memory") * block_size;
+        let mut storage = vec![0u8; bytes];
+        for e in &extents {
+            for b in 0..e.len_blocks {
+                let off =
+                    e.byte_offset + usize::try_from(b).expect("extent fits memory") * block_size;
+                parent.copy_block_into(e.start_block + b, &mut storage[off..off + block_size])?;
+            }
+        }
+        Ok(SparseDevice {
+            block_size,
+            capacity_blocks: capacity,
+            queue_model: *parent.queue_model(),
+            extents,
+            storage,
+            counters: IoCounters::default(),
+        })
+    }
+
+    /// The latency/bandwidth model inherited from the parent device.
+    pub fn queue_model(&self) -> &QueueModel {
+        &self.queue_model
+    }
+
+    /// Number of resident (carved) blocks.
+    pub fn resident_blocks(&self) -> u64 {
+        self.extents.iter().map(|e| e.len_blocks).sum()
+    }
+
+    /// Bytes of storage this replica actually holds.
+    pub fn resident_bytes(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Resolves a block to its byte offset in the resident arena.
+    fn resolve(&self, block: u64) -> Result<usize, NvmError> {
+        if block >= self.capacity_blocks {
+            return Err(NvmError::BlockOutOfRange { block, capacity: self.capacity_blocks });
+        }
+        // Last extent starting at or before `block`.
+        let idx = self.extents.partition_point(|e| e.start_block <= block);
+        if idx == 0 {
+            return Err(NvmError::BlockNotResident { block });
+        }
+        let e = &self.extents[idx - 1];
+        if block >= e.start_block + e.len_blocks {
+            return Err(NvmError::BlockNotResident { block });
+        }
+        let within = usize::try_from(block - e.start_block).expect("extent fits memory");
+        Ok(e.byte_offset + within * self.block_size)
+    }
+}
+
+impl BlockDevice for SparseDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        self.capacity_blocks
+    }
+
+    fn read_block(&mut self, block: u64) -> Result<Vec<u8>, NvmError> {
+        let off = self.resolve(block)?;
+        self.counters.reads += 1;
+        self.counters.bytes_read += self.block_size as u64;
+        Ok(self.storage[off..off + self.block_size].to_vec())
+    }
+
+    fn read_block_into(&mut self, block: u64, buf: &mut [u8]) -> Result<(), NvmError> {
+        if buf.len() != self.block_size {
+            return Err(NvmError::BadWriteSize { got: buf.len(), expected: self.block_size });
+        }
+        let off = self.resolve(block)?;
+        self.counters.reads += 1;
+        self.counters.bytes_read += self.block_size as u64;
+        buf.copy_from_slice(&self.storage[off..off + self.block_size]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), NvmError> {
+        if data.len() != self.block_size {
+            return Err(NvmError::BadWriteSize { got: data.len(), expected: self.block_size });
+        }
+        let off = self.resolve(block)?;
+        self.counters.writes += 1;
+        self.counters.bytes_written += self.block_size as u64;
+        self.storage[off..off + self.block_size].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = IoCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::NvmConfig;
+
+    fn parent() -> NvmDevice {
+        let mut dev = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(32));
+        for b in 0..32u64 {
+            let fill = vec![b as u8; dev.block_size()];
+            dev.write_block(b, &fill).unwrap();
+        }
+        dev
+    }
+
+    #[test]
+    fn carved_blocks_round_trip_with_parent_addresses() {
+        let p = parent();
+        let mut s = SparseDevice::carve(&p, &[(4, 4), (20, 2)]).unwrap();
+        for b in [4u64, 7, 20, 21] {
+            assert_eq!(s.read_block(b).unwrap()[0], b as u8, "block {b}");
+        }
+        assert_eq!(s.resident_blocks(), 6);
+        assert_eq!(s.resident_bytes(), 6 * p.block_size());
+        assert_eq!(s.capacity_blocks(), 32);
+    }
+
+    #[test]
+    fn non_resident_blocks_are_rejected_without_counting() {
+        let mut s = SparseDevice::carve(&parent(), &[(4, 4)]).unwrap();
+        for b in [0u64, 3, 8, 31] {
+            assert_eq!(s.read_block(b).unwrap_err(), NvmError::BlockNotResident { block: b });
+        }
+        assert_eq!(
+            s.read_block(40).unwrap_err(),
+            NvmError::BlockOutOfRange { block: 40, capacity: 32 }
+        );
+        assert_eq!(s.counters().reads, 0);
+    }
+
+    #[test]
+    fn writes_stay_local_to_the_replica() {
+        let mut p = parent();
+        let mut s = SparseDevice::carve(&p, &[(0, 8)]).unwrap();
+        s.write_block(2, &vec![99u8; s.block_size()]).unwrap();
+        assert_eq!(s.read_block(2).unwrap()[0], 99);
+        assert_eq!(p.read_block(2).unwrap()[0], 2, "parent untouched");
+        assert_eq!(s.counters().writes, 1);
+    }
+
+    #[test]
+    fn overlapping_or_oversized_ranges_are_rejected() {
+        let p = parent();
+        assert!(matches!(
+            SparseDevice::carve(&p, &[(0, 8), (4, 2)]),
+            Err(NvmError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            SparseDevice::carve(&p, &[(30, 4)]),
+            Err(NvmError::BlockOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_ranges_and_unsorted_input_are_fine() {
+        let p = parent();
+        let mut s = SparseDevice::carve(&p, &[(20, 2), (0, 0), (4, 1)]).unwrap();
+        assert_eq!(s.resident_blocks(), 3);
+        assert_eq!(s.read_block(4).unwrap()[0], 4);
+        assert_eq!(s.read_block(21).unwrap()[0], 21);
+    }
+
+    #[test]
+    fn bad_buffer_sizes_rejected() {
+        let mut s = SparseDevice::carve(&parent(), &[(0, 2)]).unwrap();
+        assert!(matches!(s.write_block(0, &[1, 2, 3]), Err(NvmError::BadWriteSize { .. })));
+        let mut short = vec![0u8; 3];
+        assert!(matches!(s.read_block_into(0, &mut short), Err(NvmError::BadWriteSize { .. })));
+    }
+}

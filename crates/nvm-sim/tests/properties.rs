@@ -86,4 +86,63 @@ proptest! {
             prop_assert!(lat >= m.mean_latency(qd - 1) - 1e-12);
         }
     }
+
+    /// Open-loop P99 (and mean) under the queue model are monotonically
+    /// non-decreasing in offered load — the regression contract behind the
+    /// serving sweep's latency-vs-load shape.
+    #[test]
+    fn open_loop_tail_latency_monotone_in_offered_load(
+        a in 0.0f64..3.0,
+        b in 0.0f64..3.0,
+    ) {
+        let m = QueueModel::optane();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let lo_bps = lo * m.max_bandwidth_bps;
+        let hi_bps = hi * m.max_bandwidth_bps;
+        prop_assert!(
+            m.open_loop_p99_latency(hi_bps) + 1e-15 >= m.open_loop_p99_latency(lo_bps),
+            "p99 decreased from load {lo} to {hi}"
+        );
+        prop_assert!(
+            m.open_loop_mean_latency(hi_bps) + 1e-15 >= m.open_loop_mean_latency(lo_bps),
+            "mean decreased from load {lo} to {hi}"
+        );
+    }
+
+    /// Under arbitrary submit/complete interleavings the depth tracker's
+    /// queue depth never goes negative, never exceeds its bound, and the
+    /// accounting identity depth = submitted - completed-or-dropped holds.
+    #[test]
+    fn depth_tracker_never_goes_negative(
+        bound in 1u32..16,
+        ops in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 1..300),
+    ) {
+        let mut t = nvm_sim::QueueDepthTracker::new(QueueModel::optane(), bound);
+        let mut busy = 0.0f64;
+        for submit in ops {
+            if submit {
+                busy += t.submit();
+            } else {
+                busy += t.complete();
+            }
+            let s = t.stats();
+            prop_assert!(t.depth() <= bound, "depth {} above bound {bound}", t.depth());
+            prop_assert!(s.completed <= s.submitted);
+            prop_assert_eq!(u64::from(t.depth()), s.submitted - s.completed);
+        }
+        busy += t.drain();
+        prop_assert_eq!(t.depth(), 0);
+        let s = t.stats();
+        prop_assert_eq!(s.submitted, s.completed);
+        prop_assert!((busy - s.busy_s).abs() < 1e-12, "clock drifted: {} vs {}", busy, s.busy_s);
+        // Every completed read is charged at least the saturated per-read
+        // service time and at most the QD1 latency.
+        let per_read_floor = QueueModel::optane().mean_latency(bound) / f64::from(bound);
+        let per_read_ceil = QueueModel::optane().mean_latency(1);
+        if s.completed > 0 {
+            let per_read = s.busy_s / s.completed as f64;
+            prop_assert!(per_read >= per_read_floor - 1e-15);
+            prop_assert!(per_read <= per_read_ceil + 1e-15);
+        }
+    }
 }

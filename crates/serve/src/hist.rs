@@ -154,6 +154,67 @@ pub struct LatencySummary {
     pub max_s: f64,
 }
 
+/// Where a request's time went: host queue wait vs simulated device time
+/// vs total shard service.
+///
+/// `queue_wait` is submission → start of the request's micro-batch;
+/// `device` is the simulated NVM time its batch was charged through the
+/// [`QueueModel`](nvm_sim::QueueModel) (zero unless the engine runs with a
+/// device queue); `service` is the whole batch-processing span, which
+/// includes the device component. All three are per-request distributions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Submission → start-of-batch wait (host-side queueing).
+    pub queue_wait: LatencySummary,
+    /// Simulated device time charged to the request's batch.
+    pub device: LatencySummary,
+    /// Dequeue → parts-done span (contains the device component).
+    pub service: LatencySummary,
+}
+
+impl LatencyBreakdown {
+    /// Mean time a served request spent queueing plus being served.
+    pub fn total_mean_s(&self) -> f64 {
+        self.queue_wait.mean_s + self.service.mean_s
+    }
+
+    /// Fraction of the mean served-request time spent in host queueing
+    /// (`0.0` when nothing was recorded).
+    pub fn queue_wait_fraction(&self) -> f64 {
+        let total = self.total_mean_s();
+        if total > 0.0 {
+            self.queue_wait.mean_s / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the mean served-request time that was simulated device
+    /// time (`0.0` when nothing was recorded).
+    pub fn device_fraction(&self) -> f64 {
+        let total = self.total_mean_s();
+        if total > 0.0 {
+            self.device.mean_s / total
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue-wait {} ({:.0}%) + service {} (device {} = {:.0}%)",
+            fmt_secs(self.queue_wait.mean_s),
+            self.queue_wait_fraction() * 100.0,
+            fmt_secs(self.service.mean_s),
+            fmt_secs(self.device.mean_s),
+            self.device_fraction() * 100.0,
+        )
+    }
+}
+
 /// Formats a latency in seconds with a human unit (ns/µs/ms/s).
 pub fn fmt_secs(seconds: f64) -> String {
     if seconds < 1e-6 {
@@ -238,6 +299,31 @@ mod tests {
         h.record(Duration::from_micros(3));
         assert_eq!(h.count(), 3);
         assert!(h.max_secs() > 0.0);
+    }
+
+    #[test]
+    fn breakdown_fractions_are_sane() {
+        let mut queue = LatencyHistogram::new();
+        let mut device = LatencyHistogram::new();
+        let mut service = LatencyHistogram::new();
+        for _ in 0..10 {
+            queue.record_secs(10e-6);
+            device.record_secs(20e-6);
+            service.record_secs(30e-6);
+        }
+        let b = LatencyBreakdown {
+            queue_wait: queue.summary(),
+            device: device.summary(),
+            service: service.summary(),
+        };
+        assert!((b.total_mean_s() - 40e-6).abs() < 1e-12);
+        assert!((b.queue_wait_fraction() - 0.25).abs() < 1e-9);
+        assert!((b.device_fraction() - 0.5).abs() < 1e-9);
+        assert!(b.to_string().contains("queue-wait"));
+        // Empty breakdown divides by zero nowhere.
+        let empty = LatencyBreakdown::default();
+        assert_eq!(empty.queue_wait_fraction(), 0.0);
+        assert_eq!(empty.device_fraction(), 0.0);
     }
 
     #[test]

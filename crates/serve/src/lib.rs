@@ -6,14 +6,31 @@
 //! engine with the properties such a deployment is judged on:
 //!
 //! * **Shard-per-worker parallelism** ([`ShardedEngine`]): tables are
-//!   spread across worker threads, each owning its tables and device
-//!   replica outright — the hot path takes no shared lock. A dispatcher
+//!   spread across worker threads, each owning its tables and a
+//!   [`SparseDevice`](nvm_sim::SparseDevice) replica carved down to its
+//!   own block ranges — the hot path takes no shared lock. A dispatcher
 //!   splits each request across shards, coalesces duplicate vector ids
 //!   within a query, and merges results back in request order.
+//! * **Cross-request micro-batching**
+//!   ([`ServeConfig::with_batch_window`] /
+//!   [`ServeConfig::with_max_batch`]): each shard keeps a short window
+//!   open after the first queued request and merges lookups from
+//!   *different* requests into one deduplicated `lookup_batch` per table,
+//!   so one batched device read can complete many requests. The window
+//!   defaults to zero (single-read behaviour).
+//! * **Device queue-depth modelling**
+//!   ([`ServeConfig::with_device_queue`]): block reads are submitted
+//!   io_uring-style with a bounded number in flight and charged through
+//!   the calibrated [`QueueModel`](nvm_sim::QueueModel) at the live
+//!   outstanding depth — the simulated NVM time actually elapses, so tail
+//!   latency reflects device queueing, not just host-side queueing.
+//!   [`EngineMetrics::breakdown`](EngineMetrics) splits each request into
+//!   queue-wait vs device-time vs service components.
 //! * **Latency accounting** ([`LatencyHistogram`]): mergeable
-//!   log-bucketed histograms record queue wait, per-shard service time,
-//!   and end-to-end latency; [`ShardedEngine::metrics`] reports
-//!   p50/p95/p99/p999 across shards.
+//!   log-bucketed histograms record queue wait, device time, per-shard
+//!   service time, and end-to-end latency; [`ShardedEngine::metrics`]
+//!   reports p50/p95/p99/p999 across shards plus batch-size and
+//!   queue-depth distributions ([`BatchingMetrics`]).
 //! * **Overload behaviour** ([`ShedPolicy`]): bounded per-shard queues
 //!   with block-or-shed admission and an optional deadline, surfacing
 //!   drop and timeout counters instead of unbounded queueing.
@@ -46,11 +63,23 @@
 //!     BandanaConfig::default().with_cache_vectors(512),
 //! )?;
 //!
-//! let engine = ShardedEngine::new(store, ServeConfig::default().with_shards(2))?;
+//! // Micro-batch lookups across requests (200 µs window, ≤ 8 requests)
+//! // and charge block reads through the NVM queue model with at most 4
+//! // reads in flight per shard.
+//! let engine = ShardedEngine::new(
+//!     store,
+//!     ServeConfig::default()
+//!         .with_shards(2)
+//!         .with_batch_window(std::time::Duration::from_micros(200))
+//!         .with_max_batch(8)
+//!         .with_device_queue(4),
+//! )?;
 //! let eval = generator.generate_requests(100);
 //! let report = run_closed_loop(&engine, &eval, 4)?;
 //! assert_eq!(report.completed, 100);
 //! println!("{} qps, p99 {:.1}µs", report.achieved_qps, report.latency.p99_s * 1e6);
+//! let m = engine.metrics();
+//! println!("mean batch {:.2}, {}", m.batching.mean_batch(), m.breakdown);
 //! # Ok(())
 //! # }
 //! ```
@@ -64,8 +93,11 @@ pub mod loadgen;
 pub mod queue;
 pub mod tuner;
 
-pub use engine::{EngineMetrics, ServeConfig, ServeError, ShardMetrics, ShardedEngine};
-pub use hist::{fmt_secs, LatencyHistogram, LatencySummary};
+pub use engine::{
+    BatchingMetrics, EngineMetrics, ServeConfig, ServeError, ShardMetrics, ShardedEngine,
+};
+pub use hist::{fmt_secs, LatencyBreakdown, LatencyHistogram, LatencySummary};
 pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopReport, OpenLoopReport};
+pub use nvm_sim::DepthStats;
 pub use queue::ShedPolicy;
 pub use tuner::OnlineTunerSettings;

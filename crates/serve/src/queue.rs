@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What a full queue does with a new request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -133,6 +133,60 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Dequeues up to `max` items as one micro-batch: waits up to
+    /// `first_timeout` for the first item, then keeps the batch open for
+    /// `window` from that moment, absorbing arrivals until the window
+    /// elapses or the batch is full.
+    ///
+    /// With `max <= 1` or a zero `window` this degenerates to
+    /// [`BoundedQueue::pop_timeout`] semantics (one item, no extra wait) —
+    /// the backward-compatible single-read path. A closed queue still
+    /// drains its remaining items (the window is skipped) before reporting
+    /// [`Pop::Closed`].
+    pub fn pop_batch(&self, first_timeout: Duration, window: Duration, max: usize) -> Pop<Vec<T>> {
+        let max = max.max(1);
+        let mut batch = Vec::new();
+        let mut st = self.state.lock().expect("queue lock");
+        // Phase 1: wait for the first item.
+        if st.items.is_empty() {
+            if st.closed {
+                return Pop::Closed;
+            }
+            let (next, _) = self.not_empty.wait_timeout(st, first_timeout).expect("queue lock");
+            st = next;
+            if st.items.is_empty() {
+                return if st.closed { Pop::Closed } else { Pop::Empty };
+            }
+        }
+        // Phase 2: keep the window open until the batch fills. Producers
+        // blocked on a full queue are woken as soon as their slots free
+        // up — before the window wait — so their requests can still join
+        // the batch being assembled.
+        let deadline = Instant::now() + window;
+        loop {
+            let before = batch.len();
+            while batch.len() < max {
+                match st.items.pop_front() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            for _ in before..batch.len() {
+                self.not_full.notify_one();
+            }
+            if batch.len() >= max || st.closed || window.is_zero() {
+                break;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (next, _) = self.not_empty.wait_timeout(st, left).expect("queue lock");
+            st = next;
+        }
+        Pop::Item(batch)
+    }
+
     /// Closes the queue: pushes are rejected, pops drain and then report
     /// closure, and all waiters wake.
     pub fn close(&self) {
@@ -180,6 +234,87 @@ mod tests {
         assert!(matches!(q.pop_timeout(Duration::from_millis(100)), Pop::Item(1)));
         producer.join().expect("producer");
         assert!(matches!(q.pop_timeout(Duration::from_millis(100)), Pop::Item(2)));
+    }
+
+    #[test]
+    fn pop_batch_collects_queued_items_up_to_max() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i, ShedPolicy::Block);
+        }
+        match q.pop_batch(Duration::ZERO, Duration::from_millis(50), 3) {
+            Pop::Item(batch) => assert_eq!(batch, vec![0, 1, 2]),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        match q.pop_batch(Duration::ZERO, Duration::from_millis(50), 3) {
+            Pop::Item(batch) => assert_eq!(batch, vec![3, 4]),
+            other => panic!("expected a batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pop_batch_with_max_one_never_waits_for_the_window() {
+        let q = BoundedQueue::new(8);
+        q.push(1, ShedPolicy::Block);
+        q.push(2, ShedPolicy::Block);
+        let started = Instant::now();
+        match q.pop_batch(Duration::ZERO, Duration::from_secs(5), 1) {
+            Pop::Item(batch) => assert_eq!(batch, vec![1]),
+            other => panic!("expected one item, got {other:?}"),
+        }
+        assert!(started.elapsed() < Duration::from_secs(1), "max=1 must not hold the window");
+    }
+
+    #[test]
+    fn pop_batch_window_absorbs_late_arrivals() {
+        let q = Arc::new(BoundedQueue::new(8));
+        q.push(1, ShedPolicy::Block);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.push(2, ShedPolicy::Block);
+        });
+        match q.pop_batch(Duration::ZERO, Duration::from_millis(500), 4) {
+            Pop::Item(batch) => {
+                assert_eq!(batch[0], 1);
+                // The late arrival lands inside the window. (Full batch
+                // also ends the window early, so this is not timing-exact.)
+                assert_eq!(batch, vec![1, 2]);
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        producer.join().expect("producer");
+    }
+
+    #[test]
+    fn pop_batch_wakes_blocked_producers_into_the_open_window() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(1, ShedPolicy::Block);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            // The queue is full; this parks until pop_batch frees the slot
+            // at the *start* of its window, not after it.
+            q2.push(2, ShedPolicy::Block);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        match q.pop_batch(Duration::ZERO, Duration::from_millis(500), 2) {
+            Pop::Item(batch) => assert_eq!(batch, vec![1, 2], "producer must join the open batch"),
+            other => panic!("expected both items, got {other:?}"),
+        }
+        producer.join().expect("producer");
+    }
+
+    #[test]
+    fn pop_batch_empty_and_closed() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert!(matches!(q.pop_batch(Duration::ZERO, Duration::ZERO, 4), Pop::Empty));
+        q.push(9, ShedPolicy::Block);
+        q.close();
+        match q.pop_batch(Duration::ZERO, Duration::from_secs(5), 4) {
+            Pop::Item(batch) => assert_eq!(batch, vec![9]),
+            other => panic!("closed queue still drains, got {other:?}"),
+        }
+        assert!(matches!(q.pop_batch(Duration::ZERO, Duration::ZERO, 4), Pop::Closed));
     }
 
     #[test]

@@ -98,6 +98,141 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Every submitted request completes exactly once — lands in exactly
+    /// one of completed/shed/timed_out/failed and leaves nothing
+    /// outstanding — under arbitrary micro-batching configurations
+    /// (window, max batch, device queue depth, shard count).
+    #[test]
+    fn every_request_completes_exactly_once_under_batching(
+        seed in 100u64..200,
+        shards in 1usize..4,
+        max_batch in 1usize..9,
+        window_us in 0u64..2_000,
+        device_queue in 0u32..5,
+        requests in 1usize..60,
+    ) {
+        let (store, mut generator) = build_store(seed, 128);
+        let mut config = ServeConfig::default()
+            .with_shards(shards)
+            .with_batch_window(std::time::Duration::from_micros(window_us))
+            .with_max_batch(max_batch);
+        if device_queue > 0 {
+            config = config.with_device_queue(device_queue);
+        }
+        let engine = ShardedEngine::new(store, config).expect("engine");
+        let trace = generator.generate_requests(requests);
+        for r in &trace.requests {
+            engine.submit(r).expect("submit");
+        }
+        engine.drain();
+        let m = engine.metrics();
+        prop_assert_eq!(m.submitted, requests as u64);
+        prop_assert_eq!(m.completed + m.shed + m.timed_out + m.failed, requests as u64);
+        prop_assert_eq!(m.completed, requests as u64);
+        prop_assert_eq!(m.outstanding, 0);
+        prop_assert_eq!(m.lookups as usize, trace.total_lookups());
+        prop_assert!(m.batching.largest_batch <= max_batch as u64);
+        // Each served request is attributed to exactly one batch per
+        // involved shard, so the batched-request count can exceed
+        // `completed` (multi-shard requests) but never drops below it.
+        prop_assert!(m.batching.batched_requests >= m.completed);
+    }
+}
+
+#[test]
+fn batching_reproduces_single_read_results_and_latencies() {
+    // Backward-compat check: the batched pipeline at max_batch 1 / depth 1
+    // must reproduce the single-read engine's payloads, read counts, and
+    // (modulo scheduling noise) its latency scale.
+    let trace = {
+        let (_, mut generator) = build_store(40, 256);
+        generator.generate_requests(80)
+    };
+    let serve_all = |config: ServeConfig| {
+        let (store, _) = build_store(40, 256);
+        let engine = ShardedEngine::new(store, config).expect("engine");
+        let payloads: Vec<_> =
+            trace.requests.iter().map(|r| engine.serve(r).expect("serve")).collect();
+        (payloads, engine.shutdown())
+    };
+    let (old_payloads, old_metrics) = serve_all(ServeConfig::default().with_shards(2));
+    let (new_payloads, new_metrics) = serve_all(
+        ServeConfig::default()
+            .with_shards(2)
+            .with_batch_window(std::time::Duration::from_micros(100))
+            .with_max_batch(1)
+            .with_device_queue(1),
+    );
+    assert_eq!(old_payloads, new_payloads, "payloads must be bit-identical");
+    assert_eq!(old_metrics.completed, new_metrics.completed);
+    assert_eq!(old_metrics.lookups, new_metrics.lookups);
+    let old_reads: u64 = old_metrics.per_shard.iter().map(|s| s.device_reads).sum();
+    let new_reads: u64 = new_metrics.per_shard.iter().map(|s| s.device_reads).sum();
+    assert_eq!(old_reads, new_reads, "max_batch 1 must not change the read pattern");
+    // At depth 1 each read is charged exactly the QD1 service time; the
+    // extra end-to-end latency over the uncharged engine is bounded by a
+    // generous multiple of the total charged device time (scheduling noise
+    // dominates below that).
+    let model = bandana::nvm::QueueModel::default();
+    let expected_busy = new_reads as f64 * model.mean_latency(1);
+    assert!(
+        (new_metrics.batching.depth.busy_s - expected_busy).abs() < 1e-9,
+        "charged {} vs expected {expected_busy}",
+        new_metrics.batching.depth.busy_s
+    );
+    let per_request_device = new_metrics.breakdown.device.mean_s;
+    assert!(
+        new_metrics.latency.mean_s < old_metrics.latency.mean_s + 20.0 * per_request_device + 2e-3,
+        "batched-but-degenerate engine drifted: {} vs {} (+device {})",
+        new_metrics.latency.mean_s,
+        old_metrics.latency.mean_s,
+        per_request_device
+    );
+}
+
+#[test]
+fn cross_shard_batching_keeps_results_in_request_order() {
+    let (store, mut generator) = build_store(41, 256);
+    let reference = {
+        let (store, _) = build_store(41, 256);
+        let engine =
+            ShardedEngine::new(store, ServeConfig::default().with_shards(2)).expect("engine");
+        let trace = generator.generate_requests(60);
+        let payloads: Vec<_> =
+            trace.requests.iter().map(|r| engine.serve(r).expect("serve")).collect();
+        (trace, payloads)
+    };
+    let engine = ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_batch_window(std::time::Duration::from_millis(2))
+            .with_max_batch(8)
+            .with_device_queue(4),
+    )
+    .expect("engine");
+    // Serve concurrently so batches actually form across requests.
+    let payloads: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = reference
+            .0
+            .requests
+            .chunks(15)
+            .map(|chunk| {
+                let engine = &engine;
+                scope.spawn(move || {
+                    chunk.iter().map(|r| engine.serve(r).expect("serve")).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("caller")).collect()
+    });
+    assert_eq!(reference.1, payloads, "merged batches must scatter payloads in request order");
+    let m = engine.metrics();
+    assert_eq!(m.completed, 60);
+    assert!(m.batching.depth.peak_depth <= 4);
+}
+
 #[test]
 fn shard_dispatch_preserves_per_request_lookup_counts() {
     let (store, mut generator) = build_store(21, 256);
