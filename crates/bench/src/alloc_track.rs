@@ -1,0 +1,96 @@
+//! A counting global allocator behind the `count-allocs` feature.
+//!
+//! With `--features count-allocs` every binary linking `bandana-bench`
+//! (the `repro` driver, the test harnesses) routes heap allocation through
+//! a wrapper around the system allocator that bumps a **per-thread**
+//! counter on every `alloc`/`realloc`/`alloc_zeroed`. The serve sweep uses
+//! it to report steady-state allocations per lookup into
+//! `BENCH_serve.json`, and `repro check-bench` gates that number at
+//! exactly zero — the whole point of the pooled/scratch read path.
+//!
+//! Counters are thread-local so a measurement on the probe thread is not
+//! polluted by load-generator or shard-worker activity; the counter cells
+//! are const-initialized, which keeps the TLS access inside the allocator
+//! itself allocation-free and re-entrancy safe.
+//!
+//! Without the feature the module still compiles and
+//! [`thread_allocations`] returns `None`, so callers need no `cfg` of
+//! their own.
+
+#[cfg(feature = "count-allocs")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    std::thread_local! {
+        static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// The system allocator plus a per-thread allocation counter.
+    pub struct CountingAllocator;
+
+    fn bump() {
+        // `try_with` instead of `with`: the allocator can run during TLS
+        // teardown, where touching the key would otherwise panic.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    }
+
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            bump();
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            bump();
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            bump();
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    pub fn thread_allocations() -> u64 {
+        ALLOCATIONS.with(|c| c.get())
+    }
+}
+
+/// Heap allocations performed by the **current thread** since it started,
+/// or `None` when the `count-allocs` feature is off. Subtract two
+/// snapshots to measure a region.
+pub fn thread_allocations() -> Option<u64> {
+    #[cfg(feature = "count-allocs")]
+    {
+        Some(counting::thread_allocations())
+    }
+    #[cfg(not(feature = "count-allocs"))]
+    {
+        None
+    }
+}
+
+#[cfg(all(test, feature = "count-allocs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_observes_this_threads_allocations() {
+        let before = thread_allocations().expect("feature is on");
+        let v: Vec<u64> = (0..1024).collect();
+        let after = thread_allocations().expect("feature is on");
+        assert!(after > before, "an allocation must be counted");
+        drop(v);
+        // Deallocation is not an allocation.
+        assert_eq!(thread_allocations().unwrap(), after);
+    }
+}

@@ -349,6 +349,31 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
         ));
     }
 
+    // With the counting allocator on (steady_allocs_per_lookup >= 0; the
+    // feature-off sentinel is -1), the steady-state read path must be
+    // allocation-free — the probe is deterministic, so the gate is exact.
+    let mut counted_rows = 0usize;
+    let mut alloc_violations = 0usize;
+    for row in &current.rows {
+        let Some(&allocs) = row.get("steady_allocs_per_lookup") else { continue };
+        if allocs < 0.0 {
+            continue;
+        }
+        counted_rows += 1;
+        if allocs != 0.0 {
+            alloc_violations += 1;
+            failures.push(format!(
+                "row [{}] steady-state read path allocates: {allocs} allocs/lookup (must be 0)",
+                row_key(row)
+            ));
+        }
+    }
+    if counted_rows > 0 && alloc_violations == 0 {
+        report.push(format!(
+            "zero-alloc steady state: {counted_rows} counted rows at 0 allocs/lookup"
+        ));
+    }
+
     // The batched pipeline must actually batch somewhere at moderate load.
     let batched_moderate: Vec<&BTreeMap<String, f64>> = current
         .rows
@@ -457,6 +482,26 @@ mod tests {
         let slow = doc(&[(200, 50, 1e-4, 5e-2, 2.0, 60.0)]);
         let failures = check_serve(&slow, &base).expect_err("must fail");
         assert!(failures.iter().any(|f| f.contains("p99_s regressed")), "{failures:?}");
+    }
+
+    #[test]
+    fn steady_state_allocations_fail_the_gate_when_counted() {
+        let base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.0, 60.0)]);
+        let with_allocs = |value: f64| {
+            let mut d = base.clone();
+            for row in &mut d.rows {
+                row.insert("steady_allocs_per_lookup".into(), value);
+            }
+            d
+        };
+        // Counting off (-1 sentinel): not gated.
+        assert!(check_serve(&with_allocs(-1.0), &base).is_ok());
+        // Counting on and clean: passes with a report line.
+        let report = check_serve(&with_allocs(0.0), &base).expect("zero allocs must pass");
+        assert!(report.iter().any(|l| l.contains("zero-alloc")), "{report:?}");
+        // Counting on and dirty: fails.
+        let failures = check_serve(&with_allocs(0.25), &base).expect_err("allocs must fail");
+        assert!(failures.iter().any(|f| f.contains("allocs/lookup")), "{failures:?}");
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub struct ServeRow {
     pub queue_wait_mean_s: f64,
     /// P99 host queue wait, in seconds.
     pub queue_wait_p99_s: f64,
+    /// Heap allocations per lookup on the warmed store read path, from
+    /// the steady-state probe run once per sweep (`-1` when the
+    /// `count-allocs` feature is off). Must be exactly `0` — gated by
+    /// `repro check-bench`.
+    pub steady_allocs_per_lookup: f64,
+    /// Percentage of shard-worker block reads served from recycled pool
+    /// buffers instead of fresh allocations.
+    pub pool_reuse_pct: f64,
 }
 
 /// The shared inputs of every engine in the sweep: built once, reused —
@@ -139,7 +147,62 @@ fn build_engine(inputs: &SweepInputs, scale: Scale, pipeline: Pipeline) -> Shard
     .expect("engine configuration is valid")
 }
 
+/// Measures steady-state heap allocations per `lookup_batch` on the
+/// store read path, with the counting allocator (`count-allocs` feature):
+/// a store is built exactly like the sweep's, its tables are driven
+/// directly with a worker-style scratch + pool through two warmup passes
+/// over the eval queries, and a third pass is measured on this thread.
+/// Fully deterministic — the read path takes no clocks — so the gate can
+/// demand exactly zero. Returns `None` when counting is off.
+fn steady_state_allocs_per_lookup(inputs: &SweepInputs, scale: Scale) -> Option<f64> {
+    crate::alloc_track::thread_allocations()?;
+    let config = bandana_core::BandanaConfig::default()
+        .with_cache_vectors(scale.default_total_cache())
+        .with_seed(super::common::SEED);
+    let store = BandanaStore::build(
+        &inputs.workload.spec,
+        &inputs.embeddings,
+        &inputs.workload.train,
+        config,
+    )
+    .expect("store builds on the paper workload");
+    let parts = store.into_raw_parts();
+    let mut device = parts.device;
+    let mut tables = parts.tables;
+    let mut scratch = bandana_core::BatchScratch::new();
+    let mut pool =
+        nvm_sim::BlockBufPool::for_cache(tables.iter().map(|t| t.cache_capacity()).sum());
+    let queries: Vec<(usize, &[u32])> = inputs
+        .workload
+        .eval
+        .requests
+        .iter()
+        .flat_map(|r| r.queries.iter().map(|q| (q.table, q.ids.as_slice())))
+        .collect();
+    let replay = |tables: &mut Vec<bandana_core::TableStore>,
+                  device: &mut nvm_sim::NvmDevice,
+                  scratch: &mut bandana_core::BatchScratch,
+                  pool: &mut nvm_sim::BlockBufPool| {
+        let mut lookups = 0u64;
+        for &(t, ids) in &queries {
+            tables[t]
+                .lookup_batch_with(device, ids, scratch, pool)
+                .expect("eval trace ids are valid");
+            lookups += ids.len() as u64;
+        }
+        lookups
+    };
+    for _ in 0..2 {
+        replay(&mut tables, &mut device, &mut scratch, &mut pool);
+    }
+    let before = crate::alloc_track::thread_allocations()?;
+    let lookups = replay(&mut tables, &mut device, &mut scratch, &mut pool);
+    let after = crate::alloc_track::thread_allocations()?;
+    Some((after - before) as f64 / lookups.max(1) as f64)
+}
+
 /// Folds one finished engine's metrics into a [`ServeRow`].
+#[allow(clippy::too_many_arguments)]
 fn row_from(
     pipeline: Pipeline,
     load_pct: u32,
@@ -148,6 +211,7 @@ fn row_from(
     completed: u64,
     shed: u64,
     engine: &ShardedEngine,
+    steady_allocs_per_lookup: f64,
 ) -> ServeRow {
     let m = engine.metrics();
     ServeRow {
@@ -168,6 +232,8 @@ fn row_from(
         device_mean_s: m.device_time.mean_s,
         queue_wait_mean_s: m.queue_wait.mean_s,
         queue_wait_p99_s: m.queue_wait.p99_s,
+        steady_allocs_per_lookup,
+        pool_reuse_pct: m.pool.reuse_rate() * 100.0,
     }
 }
 
@@ -181,6 +247,9 @@ pub fn run(scale: Scale) -> Vec<ServeRow> {
 
 fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> Vec<ServeRow> {
     let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1));
+    // One steady-state allocation probe per sweep (it is a property of the
+    // store read path, not of an operating point); -1 marks "not counted".
+    let steady_allocs = steady_state_allocs_per_lookup(inputs, scale).unwrap_or(-1.0);
 
     for pipeline in PIPELINES {
         // Closed-loop capacity with one caller per shard.
@@ -195,6 +264,7 @@ fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> V
             capacity.completed,
             0,
             &capacity_engine,
+            steady_allocs,
         ));
         drop(capacity_engine);
 
@@ -214,6 +284,7 @@ fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> V
                 report.completed,
                 report.shed,
                 &engine,
+                steady_allocs,
             ));
         }
     }
@@ -237,6 +308,8 @@ pub fn render(rows: &[ServeRow]) -> String {
         "depth",
         "device",
         "q-wait",
+        "allocs/lk",
+        "pool %",
     ]);
     for r in rows {
         let label = if r.load_pct == 0 { "closed".to_string() } else { r.load_pct.to_string() };
@@ -255,6 +328,12 @@ pub fn render(rows: &[ServeRow]) -> String {
             format!("{:.2}", r.mean_depth),
             bandana_serve::fmt_secs(r.device_mean_s),
             bandana_serve::fmt_secs(r.queue_wait_mean_s),
+            if r.steady_allocs_per_lookup < 0.0 {
+                "off".to_string()
+            } else {
+                format!("{:.3}", r.steady_allocs_per_lookup)
+            },
+            format!("{:.0}", r.pool_reuse_pct),
         ]);
     }
     format!(
@@ -289,6 +368,8 @@ pub fn to_json(rows: &[ServeRow]) -> String {
                 .f64("device_mean_s", r.device_mean_s)
                 .f64("queue_wait_mean_s", r.queue_wait_mean_s)
                 .f64("queue_wait_p99_s", r.queue_wait_p99_s)
+                .f64("steady_allocs_per_lookup", r.steady_allocs_per_lookup)
+                .f64("pool_reuse_pct", r.pool_reuse_pct)
         }),
     )
 }
@@ -347,6 +428,14 @@ mod tests {
             for r in &group {
                 // Every row orders its percentiles.
                 assert!(r.p50_s <= r.p99_s && r.p99_s <= r.p999_s, "{r:?}");
+                // The steady-state alloc probe: 0 with the counting
+                // allocator on, the -1 sentinel with it off.
+                if crate::alloc_track::thread_allocations().is_some() {
+                    assert_eq!(r.steady_allocs_per_lookup, 0.0, "{r:?}");
+                } else {
+                    assert_eq!(r.steady_allocs_per_lookup, -1.0, "{r:?}");
+                }
+                assert!((0.0..=100.0).contains(&r.pool_reuse_pct), "{r:?}");
                 // Device charging is on in both pipelines, so served
                 // requests carry a device-time component and the depth
                 // bound is respected.
@@ -392,11 +481,15 @@ mod tests {
             device_mean_s: 2e-5,
             queue_wait_mean_s: 3e-5,
             queue_wait_p99_s: 2e-4,
+            steady_allocs_per_lookup: 0.0,
+            pool_reuse_pct: 93.5,
         }];
         let s = render(&rows);
         assert!(s.contains("offered qps"));
         assert!(s.contains("50"));
         assert!(s.contains("2.50"));
+        assert!(s.contains("allocs/lk"));
+        assert!(s.contains("94"), "pool reuse column missing: {s}");
         let j = to_json(&rows);
         assert!(j.contains("\"experiment\":\"serve\""));
         assert!(j.contains("\"window_us\":200"));
@@ -404,5 +497,7 @@ mod tests {
         assert!(j.contains("\"p999_s\":0.0009"));
         assert!(j.contains("\"mean_batch\":2.5"));
         assert!(j.contains("\"peak_depth\":4"));
+        assert!(j.contains("\"steady_allocs_per_lookup\":0"));
+        assert!(j.contains("\"pool_reuse_pct\":93.5"));
     }
 }

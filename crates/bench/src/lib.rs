@@ -10,9 +10,12 @@
 //! runs, `Full` for the 1000×-scaled-down-from-production runs recorded in
 //! EXPERIMENTS.md.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `count-allocs` feature's global
+// allocator is the one narrowly-scoped `unsafe impl` in the workspace.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_track;
 pub mod baseline;
 pub mod experiments;
 pub mod output;

@@ -127,6 +127,18 @@ impl<V> SegmentedLru<V> {
         self.nodes[id as usize].value.as_ref()
     }
 
+    /// Looks up `key` mutably, promoting it to the queue top (MRU) on a
+    /// hit — [`SegmentedLru::get`] for callers that update the value in
+    /// place (e.g. flipping a prefetched entry to demand-fetched) without
+    /// a remove/re-insert round trip.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let &id = self.index.get(&key)?;
+        self.unlink(id);
+        self.link_head(id, 0);
+        self.rebalance(0);
+        self.nodes[id as usize].value.as_mut()
+    }
+
     /// Reads `key` without touching recency.
     pub fn peek(&self, key: u64) -> Option<&V> {
         let &id = self.index.get(&key)?;
@@ -347,6 +359,20 @@ mod tests {
         // Inserting now evicts 2 (the LRU), not 1.
         let ev = lru.insert(4, (), 0.0);
         assert_eq!(ev, Some((2, ())));
+    }
+
+    #[test]
+    fn get_mut_promotes_and_updates_in_place() {
+        let mut lru = SegmentedLru::new(3, 1);
+        lru.insert(1, 10, 0.0);
+        lru.insert(2, 20, 0.0);
+        lru.insert(3, 30, 0.0);
+        let evictions_before = lru.evictions();
+        *lru.get_mut(1).unwrap() = 11;
+        assert_eq!(lru.keys_in_order(), vec![1, 3, 2], "get_mut must promote to MRU");
+        assert_eq!(lru.peek(1), Some(&11));
+        assert_eq!(lru.evictions(), evictions_before, "in-place update must not evict");
+        assert!(lru.get_mut(99).is_none());
     }
 
     #[test]

@@ -38,12 +38,13 @@
 
 use crate::config::BandanaConfig;
 use crate::error::BandanaError;
+use crate::scratch::BatchScratch;
 use crate::store::BandanaStore;
 use crate::table::TableStore;
 use bandana_cache::CacheMetrics;
 use bandana_trace::{Request, Trace};
 use bytes::Bytes;
-use nvm_sim::{BlockDevice, IoCounters, NvmDevice};
+use nvm_sim::{BlockBufPool, BlockDevice, IoCounters, NvmDevice};
 use parking_lot::Mutex;
 use std::time::Instant;
 
@@ -69,11 +70,23 @@ impl ThroughputReport {
     }
 }
 
+/// The device-side state of a miss: the device itself plus the buffer
+/// pool and batch scratch every miss path reuses. One lock guards all
+/// three — misses serialize on NVM bandwidth anyway, so sharing the
+/// scratch costs no extra contention and keeps the steady-state miss path
+/// allocation-free.
+#[derive(Debug)]
+struct MissPath {
+    device: NvmDevice,
+    pool: BlockBufPool,
+    scratch: BatchScratch,
+}
+
 /// A [`BandanaStore`] sharded behind per-table locks; all methods take
 /// `&self` and the store is `Send + Sync`.
 #[derive(Debug)]
 pub struct ConcurrentStore {
-    device: Mutex<NvmDevice>,
+    device: Mutex<MissPath>,
     tables: Vec<Mutex<TableStore>>,
     config: BandanaConfig,
     vector_bytes: usize,
@@ -84,8 +97,13 @@ impl ConcurrentStore {
     /// [`BandanaStore::into_concurrent`].
     pub fn from_store(store: BandanaStore) -> Self {
         let (device, tables, config, vector_bytes) = store.into_parts();
+        let cached_entries: usize = tables.iter().map(|t| t.cache_capacity()).sum();
         ConcurrentStore {
-            device: Mutex::new(device),
+            device: Mutex::new(MissPath {
+                device,
+                pool: BlockBufPool::for_cache(cached_entries),
+                scratch: BatchScratch::new(),
+            }),
             tables: tables.into_iter().map(Mutex::new).collect(),
             config,
             vector_bytes,
@@ -124,8 +142,9 @@ impl ConcurrentStore {
         if let Some(bytes) = guard.lookup_cached(v)? {
             return Ok(bytes);
         }
-        let mut device = self.device.lock();
-        guard.lookup_miss(&mut *device, v)
+        let mut miss = self.device.lock();
+        let MissPath { ref mut device, ref mut pool, .. } = *miss;
+        guard.lookup_miss(device, v, pool)
     }
 
     /// Serves every lookup of one request, in order.
@@ -156,8 +175,14 @@ impl ConcurrentStore {
             .get(table)
             .ok_or(BandanaError::NoSuchTable { table, tables: self.tables.len() })?;
         let mut guard = t.lock();
-        let mut device = self.device.lock();
-        guard.lookup_batch(&mut *device, ids)
+        let mut miss = self.device.lock();
+        // The scratch and pool riding with the device lock keep the
+        // internal miss structures reused across every table's batches;
+        // the results are *moved* out so the global critical section ends
+        // without a payload copy.
+        let MissPath { ref mut device, ref mut pool, ref mut scratch } = *miss;
+        guard.lookup_batch_with(device, ids, scratch, pool)?;
+        Ok(scratch.take_out())
     }
 
     /// Serves a whole trace across `threads` worker threads, requests
@@ -226,12 +251,12 @@ impl ConcurrentStore {
         for t in &self.tables {
             t.lock().reset_metrics();
         }
-        self.device.lock().reset_counters();
+        self.device.lock().device.reset_counters();
     }
 
     /// Raw device I/O counters.
     pub fn device_counters(&self) -> IoCounters {
-        self.device.lock().counters()
+        self.device.lock().device.counters()
     }
 }
 

@@ -49,6 +49,7 @@ pub mod config;
 pub mod error;
 pub mod online;
 pub mod pipeline;
+pub mod scratch;
 pub mod store;
 pub mod table;
 pub mod tuner;
@@ -58,6 +59,7 @@ pub use concurrent::{ConcurrentStore, ThroughputReport};
 pub use config::{BandanaConfig, PartitionerKind};
 pub use error::BandanaError;
 pub use online::{OnlineTuner, OnlineTunerConfig, TuningDecision};
+pub use scratch::BatchScratch;
 pub use store::{BandanaStore, StoreParts};
 pub use table::TableStore;
 pub use tuner::{tune_thresholds, TunerConfig};

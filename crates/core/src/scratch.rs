@@ -1,0 +1,147 @@
+//! Reusable scratch state for the batched lookup hot path.
+//!
+//! Every [`TableStore::lookup_batch`](crate::TableStore::lookup_batch)
+//! needs a miss plan (which positions missed into which block), per-id
+//! output slots, and a requested-slot set for the prefetch sweep. Building
+//! those from scratch per call puts the allocator on the hottest path in
+//! the system; a [`BatchScratch`] owns them instead, so after the first
+//! few calls at a given batch shape every structure is at capacity and a
+//! steady-state batch allocates nothing.
+//!
+//! # Ownership rules
+//!
+//! * A scratch is **exclusive to one call at a time** and carries no state
+//!   between calls beyond capacity: every
+//!   [`lookup_batch_with`](crate::TableStore::lookup_batch_with) resets it
+//!   before use. It may therefore be shared freely *across* tables —
+//!   [`ConcurrentStore`](crate::ConcurrentStore) keeps one next to the
+//!   device lock and each `bandana-serve` shard worker owns one for all
+//!   its tables.
+//! * [`BatchScratch::out`] borrows the results of the **most recent**
+//!   call; copy or drop them before the next lookup reuses the buffers.
+//!   Payload `Bytes` cloned out of the scratch stay valid independently
+//!   (they share the underlying block buffers by refcount).
+//! * Dropping a scratch is always safe; it owns no device or cache
+//!   resources.
+
+use bytes::Bytes;
+
+/// Reusable working memory for [`TableStore::lookup_batch_with`]
+/// (miss plan, output slots, requested-slot bitset).
+///
+/// See the [module docs](self) for the ownership rules.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// The miss plan: one `(block, position-in-ids)` pair per missed
+    /// lookup, sorted by block (then position) before the read phase.
+    pub(crate) misses: Vec<(u32, u32)>,
+    /// One slot per id in the batch, filled as hits and reads resolve.
+    pub(crate) slots: Vec<Option<Bytes>>,
+    /// The densely packed payloads of the last call, in `ids` order.
+    pub(crate) out: Vec<Bytes>,
+    /// Bitset over a block's vector slots marking which were demanded by
+    /// the current batch, so the prefetch sweep skips them in O(1).
+    pub(crate) requested_slots: Vec<u64>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch; buffers grow to the observed batch shape
+    /// on first use and are reused afterwards.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    /// The payloads produced by the most recent successful
+    /// [`lookup_batch_with`](crate::TableStore::lookup_batch_with), in the
+    /// order of the `ids` it was called with. Overwritten by the next
+    /// call.
+    pub fn out(&self) -> &[Bytes] {
+        &self.out
+    }
+
+    /// Moves the last call's payloads out as an owned `Vec` — the
+    /// compatibility path behind
+    /// [`TableStore::lookup_batch`](crate::TableStore::lookup_batch) and
+    /// [`ConcurrentStore::lookup_batch`](crate::ConcurrentStore::lookup_batch),
+    /// which must return owned results. The scratch's `out` buffer starts
+    /// over empty, so the *next* call regrows it; steady-state callers
+    /// read [`BatchScratch::out`] in place instead.
+    pub fn take_out(&mut self) -> Vec<Bytes> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Resets the per-call state for a batch of `len` ids. Capacity is
+    /// retained; only lengths move.
+    pub(crate) fn begin(&mut self, len: usize) {
+        self.misses.clear();
+        self.slots.clear();
+        self.slots.resize(len, None);
+        self.out.clear();
+    }
+
+    /// Clears the requested-slot bitset for a block holding
+    /// `vectors_per_block` slots, growing the word buffer on first use.
+    pub(crate) fn reset_requested(&mut self, vectors_per_block: usize) {
+        let words = vectors_per_block.div_ceil(64);
+        if self.requested_slots.len() < words {
+            self.requested_slots.resize(words, 0);
+        }
+        self.requested_slots[..words].iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Marks block slot `slot` as demanded by the current batch.
+    pub(crate) fn mark_requested(&mut self, slot: usize) {
+        self.requested_slots[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Whether block slot `slot` was demanded by the current batch.
+    pub(crate) fn is_requested(&self, slot: usize) -> bool {
+        self.requested_slots[slot / 64] & (1u64 << (slot % 64)) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_resets_lengths_but_keeps_capacity() {
+        let mut s = BatchScratch::new();
+        s.begin(8);
+        s.misses.push((3, 1));
+        s.out.push(Bytes::from(vec![1u8]));
+        let slot_cap = s.slots.capacity();
+        s.begin(4);
+        assert_eq!(s.slots.len(), 4);
+        assert!(s.misses.is_empty());
+        assert!(s.out().is_empty());
+        assert!(s.slots.capacity() >= slot_cap.min(8));
+    }
+
+    #[test]
+    fn requested_bitset_tracks_slots_across_resets() {
+        let mut s = BatchScratch::new();
+        s.reset_requested(130);
+        s.mark_requested(0);
+        s.mark_requested(63);
+        s.mark_requested(64);
+        s.mark_requested(129);
+        for slot in [0usize, 63, 64, 129] {
+            assert!(s.is_requested(slot), "slot {slot}");
+        }
+        assert!(!s.is_requested(1));
+        s.reset_requested(130);
+        for slot in [0usize, 63, 64, 129] {
+            assert!(!s.is_requested(slot), "slot {slot} survived reset");
+        }
+    }
+
+    #[test]
+    fn take_out_leaves_an_empty_scratch() {
+        let mut s = BatchScratch::new();
+        s.out.push(Bytes::from(vec![9u8]));
+        let taken = s.take_out();
+        assert_eq!(taken.len(), 1);
+        assert!(s.out().is_empty());
+    }
+}

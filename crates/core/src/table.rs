@@ -2,12 +2,12 @@
 //! machinery.
 
 use crate::error::BandanaError;
+use crate::scratch::BatchScratch;
 use bandana_cache::{AdmissionPolicy, CacheMetrics, SegmentedLru, ShadowCache};
 use bandana_partition::{AccessFrequency, BlockLayout};
 use bandana_trace::EmbeddingTable;
 use bytes::Bytes;
-use nvm_sim::BlockDevice;
-use std::collections::BTreeMap;
+use nvm_sim::{BlockBufPool, BlockDevice};
 
 /// How many LRU segments the cache uses (position granularity 1/16).
 const SEGMENTS: usize = 16;
@@ -36,6 +36,11 @@ pub struct TableStore {
     base_block: u64,
     vector_bytes: usize,
     num_vectors: u32,
+    /// Working memory for the convenience APIs ([`TableStore::lookup`],
+    /// [`TableStore::lookup_batch`]); the `*_with` variants take external
+    /// state instead so shard workers can share one per worker.
+    scratch: BatchScratch,
+    pool: BlockBufPool,
 }
 
 impl TableStore {
@@ -76,6 +81,8 @@ impl TableStore {
             metrics: CacheMetrics::new(),
             base_block,
             vector_bytes,
+            scratch: BatchScratch::new(),
+            pool: BlockBufPool::for_cache(cache_capacity),
         }
     }
 
@@ -98,6 +105,15 @@ impl TableStore {
     /// `base_block .. base_block + num_blocks()`.
     pub fn base_block(&self) -> u64 {
         self.base_block
+    }
+
+    /// Moves the table's block region to `new_base_block` without touching
+    /// cache contents or counters — the companion of
+    /// [`nvm_sim::SparseDevice::rebase`], which packs a shard's carved
+    /// blocks into a dense zero-based device and reports where each old
+    /// range landed ([`nvm_sim::RebasedDevice::remap`]).
+    pub fn rebase(&mut self, new_base_block: u64) {
+        self.base_block = new_base_block;
     }
 
     /// The physical placement in force.
@@ -187,7 +203,12 @@ impl TableStore {
     pub fn lookup(&mut self, device: &mut dyn BlockDevice, v: u32) -> Result<Bytes, BandanaError> {
         match self.lookup_cached(v)? {
             Some(bytes) => Ok(bytes),
-            None => self.lookup_miss(device, v),
+            None => {
+                let mut pool = std::mem::take(&mut self.pool);
+                let result = self.lookup_miss(device, v, &mut pool);
+                self.pool = pool;
+                result
+            }
         }
     }
 
@@ -212,20 +233,42 @@ impl TableStore {
         if let Some(shadow) = &mut self.shadow {
             shadow.record_read(v as u64);
         }
-        if let Some((origin, bytes)) = self.cache.get(v as u64) {
-            let bytes = bytes.clone();
+        if let Some((origin, bytes)) = self.cache.get_mut(v as u64) {
+            // Promote a prefetched entry to demand-fetched in place: no
+            // payload clone, no re-insert, no spurious eviction churn.
             if *origin == Origin::Prefetch {
+                *origin = Origin::Demand;
                 self.metrics.prefetch_hits += 1;
-                self.cache.insert(v as u64, (Origin::Demand, bytes.clone()), 0.0);
             }
+            let bytes = bytes.clone();
             self.metrics.hits += 1;
             return Ok(Some(bytes));
         }
         Ok(None)
     }
 
+    /// Reads one table block through the buffer pool: the block lands in a
+    /// recycled buffer (`read_block_into`, no fresh `Vec` per read) and is
+    /// frozen into a zero-copy [`Bytes`] view that payload slices share.
+    fn read_block_pooled(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        pool: &mut BlockBufPool,
+        block: u32,
+    ) -> Result<Bytes, BandanaError> {
+        let mut buf = pool.acquire(device.block_size());
+        match device.read_block_into(self.base_block + u64::from(block), buf.as_mut_slice()) {
+            Ok(()) => Ok(Bytes::from_owner(buf.freeze(pool))),
+            Err(e) => {
+                buf.recycle(pool);
+                Err(e.into())
+            }
+        }
+    }
+
     /// The device-side half of a lookup. Must only be called after
     /// [`TableStore::lookup_cached`] returned `Ok(None)` for the same `v`.
+    /// The block is read into a buffer recycled from `pool`.
     ///
     /// # Errors
     ///
@@ -234,12 +277,13 @@ impl TableStore {
         &mut self,
         device: &mut dyn BlockDevice,
         v: u32,
+        pool: &mut BlockBufPool,
     ) -> Result<Bytes, BandanaError> {
         // Miss: fetch the whole 4 KB block.
         self.metrics.misses += 1;
         self.metrics.block_reads += 1;
         let block = self.layout.block_of(v);
-        let raw = Bytes::from(device.read_block(self.base_block + block as u64)?);
+        let raw = self.read_block_pooled(device, pool, block)?;
 
         let slot = self.layout.slot_of(v) as usize;
         let payload = raw.slice(slot * self.vector_bytes..(slot + 1) * self.vector_bytes);
@@ -286,6 +330,35 @@ impl TableStore {
         device: &mut dyn BlockDevice,
         ids: &[u32],
     ) -> Result<Vec<Bytes>, BandanaError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut pool = std::mem::take(&mut self.pool);
+        let result = self.lookup_batch_with(device, ids, &mut scratch, &mut pool);
+        let out = result.map(|()| scratch.take_out());
+        self.scratch = scratch;
+        self.pool = pool;
+        out
+    }
+
+    /// [`TableStore::lookup_batch`] with caller-owned working state: the
+    /// miss plan, output slots, and requested-slot bitset live in
+    /// `scratch`, block reads recycle buffers from `pool`, and the
+    /// payloads land in [`BatchScratch::out`] (in `ids` order) instead of
+    /// a freshly allocated `Vec`. After a few calls have warmed the
+    /// scratch and pool to the workload's batch shape, a steady-state call
+    /// performs **zero heap allocations** — the property the serving
+    /// engine's shard workers (one scratch + pool per worker) rely on.
+    ///
+    /// # Errors
+    ///
+    /// As [`TableStore::lookup_batch`]; on error the scratch contents are
+    /// unspecified but remain reusable.
+    pub fn lookup_batch_with(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        ids: &[u32],
+        scratch: &mut BatchScratch,
+        pool: &mut BlockBufPool,
+    ) -> Result<(), BandanaError> {
         for &v in ids {
             if v >= self.num_vectors {
                 return Err(BandanaError::NoSuchVector {
@@ -296,36 +369,48 @@ impl TableStore {
             }
         }
 
-        let mut out: Vec<Option<Bytes>> = vec![None; ids.len()];
-        // block → positions in `ids` that missed into it (BTreeMap: blocks
-        // are read in ascending order, deterministically).
-        let mut misses: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+        scratch.begin(ids.len());
         for (i, &v) in ids.iter().enumerate() {
             match self.lookup_cached(v)? {
-                Some(bytes) => out[i] = Some(bytes),
-                None => misses.entry(self.layout.block_of(v)).or_default().push(i),
+                Some(bytes) => scratch.slots[i] = Some(bytes),
+                None => scratch.misses.push((self.layout.block_of(v), i as u32)),
             }
         }
+        // The miss plan: sorting the (block, position) pairs groups misses
+        // by block with ascending positions inside each group — the same
+        // deterministic ascending-block read order the old per-call
+        // `BTreeMap<u32, Vec<usize>>` produced, without its allocations.
+        scratch.misses.sort_unstable();
 
-        for (block, positions) in misses {
+        let vectors_per_block = self.layout.vectors_per_block();
+        let mut group = 0;
+        while group < scratch.misses.len() {
+            let block = scratch.misses[group].0;
+            let end =
+                group + scratch.misses[group..].iter().take_while(|&&(b, _)| b == block).count();
+
             self.metrics.block_reads += 1;
-            let raw = Bytes::from(device.read_block(self.base_block + block as u64)?);
-            let mut requested: Vec<u32> = Vec::with_capacity(positions.len());
-            for &i in &positions {
-                let v = ids[i];
+            let raw = self.read_block_pooled(device, pool, block)?;
+            scratch.reset_requested(vectors_per_block);
+            for m in group..end {
+                let pos = scratch.misses[m].1 as usize;
+                let v = ids[pos];
                 self.metrics.misses += 1;
                 let slot = self.layout.slot_of(v) as usize;
                 let payload = raw.slice(slot * self.vector_bytes..(slot + 1) * self.vector_bytes);
                 if self.cache.insert(v as u64, (Origin::Demand, payload.clone()), 0.0).is_some() {
                     self.metrics.evictions += 1;
                 }
-                out[i] = Some(payload);
-                requested.push(v);
+                scratch.slots[pos] = Some(payload);
+                scratch.mark_requested(slot);
             }
 
             if self.policy.prefetches() {
                 for (uslot, &u) in self.layout.vectors_in_block(block).iter().enumerate() {
-                    if requested.contains(&u) || self.cache.contains(u as u64) {
+                    // The scratch bitset answers "was this slot demanded by
+                    // the batch?" in O(1), replacing a linear scan over the
+                    // requested ids.
+                    if scratch.is_requested(uslot) || self.cache.contains(u as u64) {
                         continue;
                     }
                     let shadow_hit = self.shadow.as_ref().is_some_and(|s| s.contains(u as u64));
@@ -340,8 +425,12 @@ impl TableStore {
                     }
                 }
             }
+            group = end;
         }
-        Ok(out.into_iter().map(|o| o.expect("every position filled")).collect())
+
+        let BatchScratch { ref mut slots, ref mut out, .. } = *scratch;
+        out.extend(slots.drain(..).map(|slot| slot.expect("every position filled")));
+        Ok(())
     }
 }
 
@@ -470,6 +559,86 @@ mod tests {
         // Everything now hits.
         table.lookup_batch(&mut device, &[40, 41]).unwrap();
         assert_eq!(table.metrics().hits, 2);
+    }
+
+    #[test]
+    fn large_same_block_batch_prefetches_exactly_the_unrequested_vectors() {
+        // All 64 vectors live in block 0 (identity layout, 128 slots). A
+        // batch demanding 48 of them — with duplicates — must admit
+        // prefetches for exactly the other 16: the requested-slot bitset
+        // has to agree with the old linear `requested.contains` scan even
+        // when the batch is large and repetitive.
+        let (mut table, mut device, emb) = setup(AdmissionPolicy::All { position: 0.0 }, 256);
+        let mut ids: Vec<u32> = (0..48u32).collect();
+        ids.extend((0..48u32).map(|v| v / 2)); // 48 duplicate demands
+        let out = table.lookup_batch(&mut device, &ids).unwrap();
+        for (i, &v) in ids.iter().enumerate() {
+            assert_eq!(out[i].as_ref(), emb.vector_as_bytes(v).as_slice(), "id {v}");
+        }
+        assert_eq!(table.metrics().prefetches_admitted, 64 - 48);
+        assert_eq!(table.metrics().block_reads, 1);
+        // The prefetched 16 now hit without further reads.
+        let reads = device.counters().reads;
+        table.lookup_batch(&mut device, &(48..64u32).collect::<Vec<_>>()).unwrap();
+        assert_eq!(device.counters().reads, reads);
+        assert_eq!(table.metrics().prefetch_hits, 16);
+    }
+
+    #[test]
+    fn scratch_path_matches_convenience_path_and_reuses_buffers() {
+        let (mut table, mut device, emb) = setup(AdmissionPolicy::None, 8);
+        let mut scratch = BatchScratch::new();
+        let mut pool = nvm_sim::BlockBufPool::default();
+        let ids = [0u32, 17, 63, 17, 5];
+        table.lookup_batch_with(&mut device, &ids, &mut scratch, &mut pool).unwrap();
+        assert_eq!(scratch.out().len(), ids.len());
+        for (i, &v) in ids.iter().enumerate() {
+            assert_eq!(scratch.out()[i].as_ref(), emb.vector_as_bytes(v).as_slice(), "id {v}");
+        }
+    }
+
+    #[test]
+    fn pool_recycles_buffers_once_the_cache_churns() {
+        // Eight vectors per block across eight blocks, cache of eight:
+        // cycling through the blocks keeps missing while older blocks'
+        // cached slices are evicted, releasing their buffers for reuse.
+        let spec = TableSpec::test_small(64);
+        let topics = TopicModel::new(&spec, 1);
+        let emb = EmbeddingTable::synthesize(64, 8, &topics, 2); // 32 B vectors
+        let layout = BlockLayout::identity(64, 8);
+        let mut device = NvmDevice::new(
+            NvmConfig::optane_375gb().with_capacity_blocks(layout.num_blocks() as u64),
+        );
+        let mut table = TableStore::new(
+            0,
+            layout,
+            AccessFrequency::zeros(64),
+            AdmissionPolicy::None,
+            8,
+            1.5,
+            0,
+            32,
+        );
+        table.write_embeddings(&mut device, &emb).unwrap();
+        let mut scratch = BatchScratch::new();
+        let mut pool = nvm_sim::BlockBufPool::default();
+        for round in 0..4u32 {
+            for b in 0..8u32 {
+                let ids = [b * 8, b * 8 + 1];
+                table.lookup_batch_with(&mut device, &ids, &mut scratch, &mut pool).unwrap();
+            }
+            let _ = round;
+        }
+        let stats = pool.stats();
+        assert!(stats.reuses > 0, "pool never recycled: {stats:?}");
+        assert!(
+            stats.allocs < stats.acquires,
+            "steady-state misses must stop allocating: {stats:?}"
+        );
+        // Payloads still correct after heavy buffer recycling.
+        table.lookup_batch_with(&mut device, &[9, 25], &mut scratch, &mut pool).unwrap();
+        assert_eq!(scratch.out()[0].as_ref(), emb.vector_as_bytes(9).as_slice());
+        assert_eq!(scratch.out()[1].as_ref(), emb.vector_as_bytes(25).as_slice());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! A shard-local device with a dense zero-based address space.
+//!
+//! [`SparseDevice::carve`](crate::SparseDevice::carve) gives a shard only
+//! its own tables' blocks but keeps the *parent's* addressing, so
+//! capacity and endurance can only be accounted against the whole parent
+//! device. [`SparseDevice::rebase`](crate::SparseDevice::rebase) finishes
+//! the job: the carved extents are packed into a [`RebasedDevice`] whose
+//! blocks run `0..resident_blocks`, with its own capacity, I/O counters,
+//! and [`EnduranceMeter`] sized to exactly the shard's share — per-shard
+//! drive-writes-per-day checks and occupancy reporting become exact
+//! instead of diluted by the other shards' blocks.
+//!
+//! The rebase is free: the sparse replica already stores its extents
+//! densely packed in address order, so the storage is reinterpreted, not
+//! copied. [`RebasedDevice::remap`] translates old parent addresses so
+//! the owner can rebase its tables' base blocks in the same step.
+
+use crate::device::{BlockDevice, IoCounters};
+use crate::endurance::EnduranceMeter;
+use crate::error::NvmError;
+use crate::queue::QueueModel;
+
+/// One contiguous run of blocks carried over from the parent address
+/// space: `len` blocks that lived at `old_start` now live at `new_start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRemap {
+    /// First block of the run in the parent (carve) address space.
+    pub old_start: u64,
+    /// First block of the run in the dense rebased address space.
+    pub new_start: u64,
+    /// Blocks in the run.
+    pub len: u64,
+}
+
+/// A dense zero-based shard device produced by
+/// [`SparseDevice::rebase`](crate::SparseDevice::rebase).
+///
+/// Capacity equals the resident block count, every block is valid, and
+/// writes are charged to a per-shard [`EnduranceMeter`].
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::{BlockDevice, NvmConfig, NvmDevice, SparseDevice};
+///
+/// # fn main() -> Result<(), nvm_sim::NvmError> {
+/// let mut parent = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(64));
+/// parent.write_block(40, &vec![7u8; parent.block_size()])?;
+///
+/// let shard = SparseDevice::carve(&parent, &[(8, 8), (40, 4)])?;
+/// let mut dense = shard.rebase();
+/// // Twelve resident blocks now live at addresses 0..12.
+/// assert_eq!(dense.capacity_blocks(), 12);
+/// let new = dense.remap(40).unwrap();
+/// assert_eq!(new, 8);
+/// assert_eq!(dense.read_block(new)?[0], 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RebasedDevice {
+    block_size: usize,
+    queue_model: QueueModel,
+    /// Remap runs sorted by `old_start` (equivalently by `new_start`).
+    remap: Vec<BlockRemap>,
+    storage: Vec<u8>,
+    counters: IoCounters,
+    endurance: EnduranceMeter,
+}
+
+impl RebasedDevice {
+    /// Assembles the dense device from already-packed extent storage.
+    /// `remap` must be sorted by `old_start` with `new_start` assigned
+    /// densely in that order; `storage` holds the blocks in `new_start`
+    /// order.
+    pub(crate) fn from_packed(
+        block_size: usize,
+        queue_model: QueueModel,
+        dwpd_limit: f64,
+        remap: Vec<BlockRemap>,
+        storage: Vec<u8>,
+    ) -> Self {
+        debug_assert_eq!(
+            storage.len(),
+            remap.iter().map(|r| r.len).sum::<u64>() as usize * block_size,
+            "storage must hold exactly the remapped blocks"
+        );
+        // EnduranceMeter rejects zero capacity; an empty shard gets a
+        // one-block meter it can never meaningfully write to.
+        let capacity_bytes = (storage.len() as u64).max(block_size as u64);
+        RebasedDevice {
+            block_size,
+            queue_model,
+            remap,
+            storage,
+            counters: IoCounters::default(),
+            endurance: EnduranceMeter::new(capacity_bytes, dwpd_limit),
+        }
+    }
+
+    /// The latency/bandwidth model inherited from the parent device.
+    pub fn queue_model(&self) -> &QueueModel {
+        &self.queue_model
+    }
+
+    /// Per-shard write-endurance accounting, sized to this device's own
+    /// capacity: `drive_writes()` is full rewrites *of the shard*, not of
+    /// the parent.
+    pub fn endurance(&self) -> &EnduranceMeter {
+        &self.endurance
+    }
+
+    /// Translates a parent-space block address into this device's dense
+    /// address space (`None` for blocks that were not carved).
+    pub fn remap(&self, old_block: u64) -> Option<u64> {
+        let idx = self.remap.partition_point(|r| r.old_start <= old_block);
+        let r = self.remap.get(idx.checked_sub(1)?)?;
+        (old_block < r.old_start + r.len).then(|| r.new_start + (old_block - r.old_start))
+    }
+
+    /// The remap runs, sorted by parent address.
+    pub fn remap_table(&self) -> &[BlockRemap] {
+        &self.remap
+    }
+
+    fn check_block(&self, block: u64) -> Result<usize, NvmError> {
+        if block >= self.capacity_blocks() {
+            return Err(NvmError::BlockOutOfRange { block, capacity: self.capacity_blocks() });
+        }
+        Ok(block as usize * self.block_size)
+    }
+}
+
+impl BlockDevice for RebasedDevice {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn capacity_blocks(&self) -> u64 {
+        (self.storage.len() / self.block_size.max(1)) as u64
+    }
+
+    fn read_block(&mut self, block: u64) -> Result<Vec<u8>, NvmError> {
+        let off = self.check_block(block)?;
+        self.counters.reads += 1;
+        self.counters.bytes_read += self.block_size as u64;
+        Ok(self.storage[off..off + self.block_size].to_vec())
+    }
+
+    fn read_block_into(&mut self, block: u64, buf: &mut [u8]) -> Result<(), NvmError> {
+        if buf.len() != self.block_size {
+            return Err(NvmError::BadWriteSize { got: buf.len(), expected: self.block_size });
+        }
+        let off = self.check_block(block)?;
+        self.counters.reads += 1;
+        self.counters.bytes_read += self.block_size as u64;
+        buf.copy_from_slice(&self.storage[off..off + self.block_size]);
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), NvmError> {
+        if data.len() != self.block_size {
+            return Err(NvmError::BadWriteSize { got: data.len(), expected: self.block_size });
+        }
+        let off = self.check_block(block)?;
+        self.counters.writes += 1;
+        self.counters.bytes_written += self.block_size as u64;
+        self.endurance.record_write(self.block_size as u64);
+        self.storage[off..off + self.block_size].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn counters(&self) -> IoCounters {
+        self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters = IoCounters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{NvmConfig, NvmDevice};
+    use crate::sparse::SparseDevice;
+
+    fn parent() -> NvmDevice {
+        let mut dev = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(32));
+        for b in 0..32u64 {
+            dev.write_block(b, &vec![b as u8; dev.block_size()]).unwrap();
+        }
+        dev
+    }
+
+    #[test]
+    fn rebase_packs_extents_densely_in_address_order() {
+        let dense = SparseDevice::carve(&parent(), &[(20, 2), (4, 4)]).unwrap().rebase();
+        assert_eq!(dense.capacity_blocks(), 6);
+        assert_eq!(
+            dense.remap_table(),
+            &[
+                BlockRemap { old_start: 4, new_start: 0, len: 4 },
+                BlockRemap { old_start: 20, new_start: 4, len: 2 },
+            ]
+        );
+        let mut dense = dense;
+        for (old, new) in [(4u64, 0u64), (7, 3), (20, 4), (21, 5)] {
+            assert_eq!(dense.remap(old), Some(new), "old block {old}");
+            assert_eq!(dense.read_block(new).unwrap()[0], old as u8);
+        }
+        for missing in [0u64, 3, 8, 19, 22, 31, 1000] {
+            assert_eq!(dense.remap(missing), None, "block {missing} was not carved");
+        }
+    }
+
+    #[test]
+    fn out_of_range_dense_blocks_are_rejected() {
+        let mut dense = SparseDevice::carve(&parent(), &[(4, 4)]).unwrap().rebase();
+        assert_eq!(
+            dense.read_block(4).unwrap_err(),
+            NvmError::BlockOutOfRange { block: 4, capacity: 4 }
+        );
+        assert_eq!(dense.counters().reads, 0);
+    }
+
+    #[test]
+    fn per_shard_endurance_counts_shard_drive_writes() {
+        let mut dense = SparseDevice::carve(&parent(), &[(0, 4)]).unwrap().rebase();
+        let block = vec![1u8; dense.block_size()];
+        for b in 0..4 {
+            dense.write_block(b, &block).unwrap();
+        }
+        // Rewrote the whole 4-block shard once => exactly 1.0 shard drive
+        // writes, regardless of the 32-block parent.
+        assert!((dense.endurance().drive_writes() - 1.0).abs() < 1e-9);
+        assert_eq!(dense.endurance().bytes_written(), 4 * dense.block_size() as u64);
+        assert_eq!(dense.counters().writes, 4);
+    }
+
+    #[test]
+    fn empty_carve_rebases_to_an_empty_device() {
+        let mut dense = SparseDevice::carve(&parent(), &[]).unwrap().rebase();
+        assert_eq!(dense.capacity_blocks(), 0);
+        assert!(dense.read_block(0).is_err());
+        assert_eq!(dense.remap(0), None);
+    }
+
+    #[test]
+    fn reads_and_writes_round_trip_with_counters() {
+        let mut dense = SparseDevice::carve(&parent(), &[(8, 2)]).unwrap().rebase();
+        let data = vec![0xEEu8; dense.block_size()];
+        dense.write_block(1, &data).unwrap();
+        assert_eq!(dense.read_block(1).unwrap(), data);
+        let mut buf = vec![0u8; dense.block_size()];
+        dense.read_block_into(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 8));
+        let c = dense.counters();
+        assert_eq!((c.reads, c.writes), (2, 1));
+        assert!(matches!(dense.write_block(0, &[1]), Err(NvmError::BadWriteSize { .. })));
+    }
+}

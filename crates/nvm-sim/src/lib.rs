@@ -36,23 +36,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dense;
 pub mod device;
 pub mod endurance;
 pub mod error;
 pub mod faults;
 pub mod file_device;
 pub mod fio;
+pub mod pool;
 pub mod queue;
 pub mod sim;
 pub mod sparse;
 pub mod stats;
 
+pub use dense::{BlockRemap, RebasedDevice};
 pub use device::{BlockDevice, IoCounters, NvmConfig, NvmDevice};
 pub use endurance::EnduranceMeter;
 pub use error::NvmError;
 pub use faults::{FaultInjector, FaultPlan};
 pub use file_device::FileNvmDevice;
 pub use fio::{FioJob, FioReport};
+pub use pool::{BlockBufPool, PoolStats, PooledBlock};
 pub use queue::{DepthStats, QueueDepthTracker, QueueModel};
 pub use sim::{OpenLoopSim, SimReport};
 pub use sparse::SparseDevice;

@@ -1,0 +1,300 @@
+//! A freelist of block-sized read buffers for an allocation-free miss path.
+//!
+//! Bandana's hot loop is the NVM miss read: fetch one 4 KB block, slice the
+//! requested vectors out of it, and park the slices in the DRAM cache. The
+//! naive implementation heap-allocates a fresh `Vec<u8>` per read. A
+//! [`BlockBufPool`] recycles those buffers instead: every buffer it hands
+//! out is an `Arc<Vec<u8>>`, the pool keeps one reference of its own, and a
+//! buffer becomes reusable the moment every outside reference (cache
+//! entries, in-flight payload slices) has been dropped — which the pool
+//! detects by the refcount returning to one. Steady-state reads then cycle
+//! through a handful of retained buffers and never touch the allocator.
+//!
+//! # Ownership rules
+//!
+//! * [`BlockBufPool::acquire`] returns a [`PooledBlock`] with *exclusive*
+//!   ownership: `as_mut_slice` is always available and the caller may fill
+//!   the buffer (e.g. via
+//!   [`BlockDevice::read_block_into`](crate::BlockDevice::read_block_into)).
+//! * [`PooledBlock::freeze`] ends the exclusive phase: the pool retains one
+//!   reference for future reuse and the caller gets the shared
+//!   `Arc<Vec<u8>>` back (typically wrapped in a `bytes::Bytes` view).
+//!   From that point the contents are immutable by convention — the pool
+//!   will not touch the bytes again until it can prove exclusivity.
+//! * A [`PooledBlock`] that is dropped without `freeze` returns to the pool
+//!   on the next `acquire` scan only if its buffer was retained earlier; a
+//!   never-frozen buffer is simply freed. Don't rely on drop-reclaim; call
+//!   `freeze` (or [`PooledBlock::recycle`]) on every acquired buffer.
+//!
+//! The pool is deliberately not thread-safe: each shard worker (or each
+//! lock-guarded device) owns its own pool, mirroring how per-core io_uring
+//! buffer rings work.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default number of retired buffers a pool keeps around for reuse.
+///
+/// Big enough to cover the blocks pinned by in-flight payloads plus the
+/// cache-resident generation in typical configurations; 32 × 4 KB = 128 KB
+/// per pool. Callers fronting a DRAM cache should size the pool to the
+/// cache instead ([`BlockBufPool::for_cache`]).
+pub const DEFAULT_RETAINED: usize = 32;
+
+/// Retention cap for [`BlockBufPool::for_cache`] (16 MB of 4 KB buffers).
+const MAX_CACHE_RETAINED: usize = 4096;
+
+/// Reuse accounting for one [`BlockBufPool`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PoolStats {
+    /// Buffers handed out by [`BlockBufPool::acquire`].
+    pub acquires: u64,
+    /// Acquires served by recycling a retained buffer (no allocation).
+    pub reuses: u64,
+    /// Acquires that had to allocate a fresh buffer.
+    pub allocs: u64,
+    /// Buffers currently retained by the pool (reusable or still pinned by
+    /// outside references).
+    pub retained: u64,
+}
+
+impl PoolStats {
+    /// Fraction of acquires served without allocating (`0.0` before the
+    /// first acquire).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.acquires == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.acquires as f64
+        }
+    }
+
+    /// Folds another pool's counters into this one (`retained` adds; use
+    /// for cross-shard aggregation).
+    pub fn merge(&mut self, other: &PoolStats) {
+        self.acquires += other.acquires;
+        self.reuses += other.reuses;
+        self.allocs += other.allocs;
+        self.retained += other.retained;
+    }
+}
+
+/// A recycling pool of block-sized `Arc<Vec<u8>>` read buffers.
+///
+/// # Example
+///
+/// ```
+/// use nvm_sim::{BlockBufPool, BlockDevice, NvmConfig, NvmDevice};
+///
+/// # fn main() -> Result<(), nvm_sim::NvmError> {
+/// let mut dev = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(4));
+/// let mut pool = BlockBufPool::default();
+///
+/// let mut buf = pool.acquire(dev.block_size());
+/// dev.read_block_into(2, buf.as_mut_slice())?;
+/// let shared = buf.freeze(&mut pool); // pool retains a reference
+/// drop(shared); // ...last outside reference gone: the buffer is reusable
+///
+/// let _again = pool.acquire(dev.block_size());
+/// assert_eq!(pool.stats().reuses, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BlockBufPool {
+    /// Retired buffers, oldest first. Oldest buffers are the most likely to
+    /// have churned out of the caches holding slices into them, so reuse
+    /// scans run front-to-back.
+    retained: VecDeque<Arc<Vec<u8>>>,
+    max_retained: usize,
+    stats: PoolStats,
+}
+
+impl BlockBufPool {
+    /// Creates a pool that retains at most `max_retained` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_retained` is zero (a pool that can retain nothing can
+    /// never reuse anything).
+    pub fn new(max_retained: usize) -> Self {
+        assert!(max_retained > 0, "pool must retain at least one buffer");
+        BlockBufPool { retained: VecDeque::new(), max_retained, stats: PoolStats::default() }
+    }
+
+    /// A pool sized for the read path of a DRAM cache holding `entries`
+    /// payload slices: in the worst case every cached entry pins a
+    /// distinct block buffer, so retention must exceed `entries` buffers
+    /// (plus headroom for buffers in flight between eviction and reuse) or
+    /// the reusable generation is dropped before the cache releases it.
+    /// Clamped to `[DEFAULT_RETAINED, 4096]` (at most 16 MB of 4 KB
+    /// buffers; beyond the cap the pool degrades gracefully to allocating
+    /// for the overflow share).
+    pub fn for_cache(entries: usize) -> Self {
+        let retained = entries + entries / 2 + DEFAULT_RETAINED;
+        BlockBufPool::new(retained.clamp(DEFAULT_RETAINED, MAX_CACHE_RETAINED))
+    }
+
+    /// Acquire/reuse/allocation counters and the current retained size.
+    pub fn stats(&self) -> PoolStats {
+        let mut s = self.stats;
+        s.retained = self.retained.len() as u64;
+        s
+    }
+
+    /// Hands out an exclusively-owned buffer of exactly `block_size` bytes,
+    /// recycling the oldest retained buffer whose outside references have
+    /// all been dropped, or allocating a fresh one.
+    ///
+    /// The contents are unspecified (stale bytes from an earlier read);
+    /// callers overwrite the whole buffer before freezing it.
+    pub fn acquire(&mut self, block_size: usize) -> PooledBlock {
+        self.stats.acquires += 1;
+        // Round-robin sweep: still-pinned buffers cycle to the back (so a
+        // buffer pinned long-term — e.g. by a hot cache entry that never
+        // churns — is inspected once per full cycle, not on every
+        // acquire) and the first free buffer wins. One full cycle without
+        // a hit proves nothing is free; then, and only then, allocate.
+        for _ in 0..self.retained.len() {
+            // `get_mut` succeeds only at refcount one: every cache slice
+            // into the buffer is gone and nothing observes a resize.
+            match Arc::get_mut(&mut self.retained[0]) {
+                Some(buf) => {
+                    if buf.len() != block_size {
+                        buf.clear();
+                        buf.resize(block_size, 0);
+                    }
+                    let arc = self.retained.pop_front().expect("scanned buffer exists");
+                    self.stats.reuses += 1;
+                    return PooledBlock { buf: arc };
+                }
+                None => self.retained.rotate_left(1),
+            }
+        }
+        self.stats.allocs += 1;
+        PooledBlock { buf: Arc::new(vec![0u8; block_size]) }
+    }
+
+    /// Retains `buf` for future reuse, evicting the oldest retained buffer
+    /// when full (the pool reference is dropped; the memory itself lives
+    /// until its outside references go).
+    fn retire(&mut self, buf: Arc<Vec<u8>>) {
+        if self.retained.len() >= self.max_retained {
+            self.retained.pop_front();
+        }
+        self.retained.push_back(buf);
+    }
+}
+
+impl Default for BlockBufPool {
+    fn default() -> Self {
+        BlockBufPool::new(DEFAULT_RETAINED)
+    }
+}
+
+/// An exclusively-owned block buffer checked out of a [`BlockBufPool`].
+///
+/// See the [module docs](self) for the ownership rules.
+#[derive(Debug)]
+pub struct PooledBlock {
+    buf: Arc<Vec<u8>>,
+}
+
+impl PooledBlock {
+    /// The buffer, for filling (exactly one block long).
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice: exclusivity is an invariant of
+    /// [`BlockBufPool::acquire`].
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        Arc::get_mut(&mut self.buf).expect("pooled block is exclusively owned").as_mut_slice()
+    }
+
+    /// Read access to the filled buffer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Ends the exclusive phase: the pool retains one reference for future
+    /// recycling and the shared buffer is returned to the caller, ready to
+    /// be wrapped in zero-copy `Bytes` views.
+    pub fn freeze(self, pool: &mut BlockBufPool) -> Arc<Vec<u8>> {
+        pool.retire(Arc::clone(&self.buf));
+        self.buf
+    }
+
+    /// Returns the buffer to the pool unused (e.g. after a failed device
+    /// read) so the next acquire can recycle it immediately.
+    pub fn recycle(self, pool: &mut BlockBufPool) {
+        pool.retire(self.buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_then_drop_enables_reuse() {
+        let mut pool = BlockBufPool::new(4);
+        let mut b = pool.acquire(64);
+        b.as_mut_slice()[0] = 9;
+        let shared = b.freeze(&mut pool);
+        assert_eq!(shared[0], 9);
+        // Still pinned by `shared`: the next acquire must allocate.
+        let b2 = pool.acquire(64);
+        assert_eq!(pool.stats().allocs, 2);
+        drop(shared);
+        // Unpinned now: reuse, and the old contents are still there until
+        // overwritten.
+        let b3 = pool.acquire(64);
+        assert_eq!(pool.stats().reuses, 1);
+        assert_eq!(b3.as_slice()[0], 9, "reused buffer keeps stale bytes");
+        drop((b2, b3));
+    }
+
+    #[test]
+    fn size_changes_are_handled_on_reuse() {
+        let mut pool = BlockBufPool::new(2);
+        pool.acquire(16).freeze(&mut pool);
+        let mut b = pool.acquire(32);
+        assert_eq!(pool.stats().reuses, 1);
+        assert_eq!(b.as_mut_slice().len(), 32);
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let mut pool = BlockBufPool::new(2);
+        let held: Vec<_> = (0..5).map(|_| pool.acquire(8).freeze(&mut pool)).collect();
+        assert_eq!(pool.stats().retained, 2);
+        drop(held);
+        assert_eq!(pool.acquire(8).as_slice().len(), 8);
+        assert_eq!(pool.stats().reuses, 1);
+    }
+
+    #[test]
+    fn recycle_returns_buffer_without_freeze() {
+        let mut pool = BlockBufPool::new(2);
+        pool.acquire(8).recycle(&mut pool);
+        pool.acquire(8);
+        let s = pool.stats();
+        assert_eq!((s.acquires, s.reuses, s.allocs), (2, 1, 1));
+    }
+
+    #[test]
+    fn stats_merge_and_rate() {
+        let mut a = PoolStats { acquires: 4, reuses: 3, allocs: 1, retained: 2 };
+        let b = PoolStats { acquires: 6, reuses: 0, allocs: 6, retained: 1 };
+        a.merge(&b);
+        assert_eq!(a, PoolStats { acquires: 10, reuses: 3, allocs: 7, retained: 3 });
+        assert!((a.reuse_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(PoolStats::default().reuse_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "retain at least one")]
+    fn zero_retention_rejected() {
+        let _ = BlockBufPool::new(0);
+    }
+}

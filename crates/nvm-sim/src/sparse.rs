@@ -8,6 +8,7 @@
 //! valid and per-shard I/O counters stay honest, at a fraction of the
 //! memory.
 
+use crate::dense::{BlockRemap, RebasedDevice};
 use crate::device::{BlockDevice, IoCounters, NvmDevice};
 use crate::error::NvmError;
 use crate::queue::QueueModel;
@@ -46,6 +47,9 @@ pub struct SparseDevice {
     block_size: usize,
     capacity_blocks: u64,
     queue_model: QueueModel,
+    /// Drive-writes-per-day budget inherited from the parent, carried so
+    /// [`SparseDevice::rebase`] can size a per-shard endurance meter.
+    dwpd_limit: f64,
     /// Sorted, non-overlapping extents.
     extents: Vec<Extent>,
     storage: Vec<u8>,
@@ -101,10 +105,38 @@ impl SparseDevice {
             block_size,
             capacity_blocks: capacity,
             queue_model: *parent.queue_model(),
+            dwpd_limit: parent.config().drive_writes_per_day_limit,
             extents,
             storage,
             counters: IoCounters::default(),
         })
+    }
+
+    /// Packs the carved extents into a dense zero-based [`RebasedDevice`]
+    /// with its own per-shard capacity and endurance accounting.
+    ///
+    /// The storage is reinterpreted, not copied: carved extents are
+    /// already laid out densely in ascending parent-address order, so the
+    /// rebase only assigns each extent a new dense base address. Use
+    /// [`RebasedDevice::remap`] to translate the owner's block offsets
+    /// (e.g. a table's `base_block`) into the new address space.
+    pub fn rebase(self) -> RebasedDevice {
+        let remap: Vec<BlockRemap> = self
+            .extents
+            .iter()
+            .map(|e| BlockRemap {
+                old_start: e.start_block,
+                new_start: (e.byte_offset / self.block_size) as u64,
+                len: e.len_blocks,
+            })
+            .collect();
+        RebasedDevice::from_packed(
+            self.block_size,
+            self.queue_model,
+            self.dwpd_limit,
+            remap,
+            self.storage,
+        )
     }
 
     /// The latency/bandwidth model inherited from the parent device.

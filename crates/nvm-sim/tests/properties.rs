@@ -145,4 +145,65 @@ proptest! {
             prop_assert!(per_read <= per_read_ceil + 1e-15);
         }
     }
+    /// A rebased dense shard is indistinguishable from the
+    /// parent-addressed carve it came from: every resident block reads the
+    /// same bytes at its remapped address, non-carved blocks have no dense
+    /// address, writes round-trip, and the I/O counters agree op for op.
+    #[test]
+    fn rebase_preserves_bytes_addresses_and_counters(
+        slots in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 8),
+        lens in proptest::collection::vec(1u64..=8, 8),
+        ops in proptest::collection::vec((0u64..64, 0u8..=255), 1..100),
+    ) {
+        // Parent: 64 blocks with distinctive contents; carve up to eight
+        // disjoint ranges, one per 8-block slot.
+        let mut parent = NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(64));
+        for b in 0..64u64 {
+            parent.write_block(b, &vec![b as u8; parent.block_size()]).unwrap();
+        }
+        let ranges: Vec<(u64, u64)> = slots
+            .iter()
+            .zip(&lens)
+            .enumerate()
+            .filter(|(_, (&on, _))| on)
+            .map(|(slot, (_, &len))| (slot as u64 * 8, len))
+            .collect();
+        let mut carve = nvm_sim::SparseDevice::carve(&parent, &ranges).unwrap();
+        let mut dense = nvm_sim::SparseDevice::carve(&parent, &ranges).unwrap().rebase();
+        prop_assert_eq!(dense.capacity_blocks(), carve.resident_blocks());
+
+        for b in 0..64u64 {
+            let resident = ranges.iter().any(|&(s, l)| (s..s + l).contains(&b));
+            match dense.remap(b) {
+                Some(nb) => {
+                    prop_assert!(resident, "block {} remapped but not carved", b);
+                    prop_assert_eq!(carve.read_block(b).unwrap(), dense.read_block(nb).unwrap());
+                }
+                None => prop_assert!(!resident, "carved block {} has no dense address", b),
+            }
+        }
+        prop_assert_eq!(carve.counters(), dense.counters());
+
+        // Random reads and writes behave identically through both views.
+        for (block, fill) in ops {
+            let Some(nb) = dense.remap(block) else {
+                prop_assert!(carve.read_block(block).is_err());
+                continue;
+            };
+            if fill % 2 == 0 {
+                let data = vec![fill; carve.block_size()];
+                carve.write_block(block, &data).unwrap();
+                dense.write_block(nb, &data).unwrap();
+            } else {
+                prop_assert_eq!(carve.read_block(block).unwrap(), dense.read_block(nb).unwrap());
+            }
+        }
+        prop_assert_eq!(carve.counters(), dense.counters());
+        // Per-shard endurance saw exactly the shard's writes.
+        prop_assert_eq!(
+            dense.endurance().bytes_written(),
+            dense.counters().bytes_written
+        );
+    }
+
 }

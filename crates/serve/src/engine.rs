@@ -25,10 +25,13 @@ use crate::hist::{LatencyBreakdown, LatencyHistogram, LatencySummary};
 use crate::queue::{BoundedQueue, Pop, Push, ShedPolicy};
 use crate::tuner::{tuner_main, OnlineTunerSettings, TunerTable};
 use bandana_cache::{AdmissionPolicy, CacheMetrics};
-use bandana_core::{BandanaError, BandanaStore, TableStore};
+use bandana_core::{BandanaError, BandanaStore, BatchScratch, TableStore};
 use bandana_trace::Request;
 use bytes::Bytes;
-use nvm_sim::{BlockDevice, DepthStats, QueueDepthTracker, SparseDevice};
+use nvm_sim::{
+    BlockBufPool, BlockDevice, DepthStats, PoolStats, QueueDepthTracker, RebasedDevice,
+    SparseDevice,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -298,6 +301,14 @@ struct ShardStats {
     /// Device submission accounting (zeros when no device queue is
     /// configured).
     depth: DepthStats,
+    /// Dense rebased device capacity in blocks (static per shard).
+    capacity_blocks: u64,
+    /// Bytes written to the shard's dense device (endurance accounting).
+    bytes_written: u64,
+    /// Cumulative full rewrites of the shard's dense device.
+    drive_writes: f64,
+    /// Block-buffer pool accounting for the shard's read path.
+    pool: PoolStats,
 }
 
 struct Shared {
@@ -348,6 +359,10 @@ pub struct EngineMetrics {
     pub breakdown: LatencyBreakdown,
     /// Cross-request micro-batching and device submission accounting.
     pub batching: BatchingMetrics,
+    /// Block-buffer pool accounting summed across shard workers; a high
+    /// [`PoolStats::reuse_rate`] means the steady-state miss path runs
+    /// without heap allocation.
+    pub pool: PoolStats,
     /// The full end-to-end histogram, for custom quantiles.
     pub e2e_histogram: LatencyHistogram,
     /// DRAM cache counters merged across all tables.
@@ -408,6 +423,17 @@ pub struct ShardMetrics {
     pub largest_batch: u64,
     /// This shard's device submission accounting.
     pub depth: DepthStats,
+    /// Capacity of the shard's rebased dense device in blocks — exactly
+    /// the blocks its tables occupy, so occupancy is always 100% and
+    /// capacity checks are per-shard.
+    pub capacity_blocks: u64,
+    /// Bytes written to the shard's dense device.
+    pub bytes_written: u64,
+    /// Cumulative full rewrites of the shard's dense device (per-shard
+    /// drive-writes endurance, not diluted by other shards' blocks).
+    pub drive_writes: f64,
+    /// The shard worker's block-buffer pool accounting.
+    pub pool: PoolStats,
 }
 
 /// A shard-per-worker serving engine over a [`BandanaStore`].
@@ -452,15 +478,18 @@ pub struct ShardedEngine {
 
 impl ShardedEngine {
     /// Builds the engine from a store: assigns tables to shards (greedy
-    /// balance on training-time lookup mass), carves each shard a
-    /// [`SparseDevice`] holding just its own tables' block ranges, and
-    /// starts the worker threads (plus the tuner thread when configured).
+    /// balance on training-time lookup mass), carves each shard's tables'
+    /// block ranges out of the store device ([`SparseDevice::carve`]) and
+    /// rebases them onto a dense zero-based [`RebasedDevice`]
+    /// (the shard's tables get matching new base blocks), then starts the
+    /// worker threads (plus the tuner thread when configured).
     ///
-    /// In a real deployment shards would own disjoint NVM namespaces;
-    /// carving the simulator's arena keeps per-shard I/O counters honest
-    /// without remapping block offsets, and — unlike the full-device clone
-    /// this replaced — costs memory only for the blocks a shard can
-    /// actually touch.
+    /// In a real deployment shards would own disjoint NVM namespaces; the
+    /// carve-and-rebase gives the simulator the same shape: each shard
+    /// holds memory only for its own blocks, addressed from zero, with
+    /// per-shard capacity and endurance accounting
+    /// ([`ShardMetrics::capacity_blocks`], [`ShardMetrics::drive_writes`])
+    /// instead of counters diluted across the parent arena.
     ///
     /// # Errors
     ///
@@ -550,13 +579,22 @@ impl ShardedEngine {
                 tables.insert(t, table);
             }
             // Carve only the blocks this shard's tables occupy out of the
-            // store device: block addresses stay valid, per-shard I/O
-            // counters stay honest, and the full-arena clone per shard is
-            // gone.
+            // store device, then rebase them onto a dense zero-based
+            // address space: the shard's capacity is exactly its tables'
+            // blocks and endurance is charged against the shard alone.
             let ranges: Vec<(u64, u64)> =
                 tables.values().map(|t| (t.base_block(), t.num_blocks())).collect();
             let device = SparseDevice::carve(&device, &ranges)
-                .expect("table regions lie inside the store device");
+                .expect("table regions lie inside the store device")
+                .rebase();
+            for t in tables.values_mut() {
+                if t.num_blocks() == 0 {
+                    continue;
+                }
+                let new_base =
+                    device.remap(t.base_block()).expect("table blocks were carved just above");
+                t.rebase(new_base);
+            }
             let shared = Arc::clone(&shared);
             let (cmd_tx, cmd_rx) = mpsc::channel::<ShardCommand>();
             command_txs.push(cmd_tx);
@@ -772,6 +810,7 @@ impl ShardedEngine {
         let mut device = LatencyHistogram::new();
         let mut cache = CacheMetrics::new();
         let mut batching = BatchingMetrics::default();
+        let mut pool = PoolStats::default();
         let mut per_shard = Vec::with_capacity(self.num_shards());
         for (shard, stats) in self.shared.shard_stats.iter().enumerate() {
             let s = stats.lock().expect("shard stats lock");
@@ -784,6 +823,7 @@ impl ShardedEngine {
             batching.batched_requests += s.batched_requests;
             batching.largest_batch = batching.largest_batch.max(s.largest_batch);
             batching.depth.merge(&s.depth);
+            pool.merge(&s.pool);
             per_shard.push(ShardMetrics {
                 shard,
                 tables: self.shared.shard_tables[shard].clone(),
@@ -796,6 +836,10 @@ impl ShardedEngine {
                 batches: s.batches,
                 largest_batch: s.largest_batch,
                 depth: s.depth,
+                capacity_blocks: s.capacity_blocks,
+                bytes_written: s.bytes_written,
+                drive_writes: s.drive_writes,
+                pool: s.pool,
             });
         }
         let breakdown = LatencyBreakdown {
@@ -818,6 +862,7 @@ impl ShardedEngine {
             device_time: breakdown.device,
             breakdown,
             batching,
+            pool,
             e2e_histogram: e2e,
             cache,
             per_shard,
@@ -895,12 +940,60 @@ struct ShardBatching {
     device_queue: Option<u32>,
 }
 
+/// One part routed into a [`MergedTable`]: which job and part it came
+/// from, and where its merged-position list lives in
+/// [`MergedTable::positions`].
+#[derive(Debug, Clone, Copy)]
+struct RoutedPart {
+    /// Index into the micro-batch's job slice.
+    job: usize,
+    /// Index into that job's parts for this shard.
+    part: usize,
+    /// Start of this part's run inside [`MergedTable::positions`].
+    pos_start: usize,
+    /// Length of the run (== the part's `unique_ids` length).
+    pos_len: usize,
+}
+
 /// One table's deduplicated id set merged across every request in a
-/// micro-batch.
+/// micro-batch, plus the scatter plan back to the routed parts.
 #[derive(Debug, Default)]
 struct MergedTable {
     ids: Vec<u32>,
     index_of: HashMap<u32, usize>,
+    /// The parts merged into `ids` this batch.
+    parts: Vec<RoutedPart>,
+    /// Concatenated per-part indices into `ids` (one run per part; a
+    /// part's unique id `u` resolves to `ids[positions[pos_start + u]]`).
+    positions: Vec<usize>,
+}
+
+impl MergedTable {
+    /// Clears the batch's contents, keeping every buffer's capacity.
+    fn reset(&mut self) {
+        self.ids.clear();
+        self.index_of.clear();
+        self.parts.clear();
+        self.positions.clear();
+    }
+}
+
+/// The cross-request merge state a shard worker reuses across
+/// micro-batches: per-table merged id sets keyed by table id. Entries
+/// persist for the worker's lifetime (bounded by the tables the shard
+/// owns), so the maps, id vectors, and scatter plans are warm after the
+/// first batch touching each table.
+#[derive(Debug, Default)]
+struct MergeScratch {
+    tables: BTreeMap<usize, MergedTable>,
+}
+
+impl MergeScratch {
+    fn reset(&mut self) {
+        for m in self.tables.values_mut() {
+            m.reset();
+        }
+    }
 }
 
 /// Lets `duration` of simulated device time actually elapse: coarse sleep
@@ -924,13 +1017,26 @@ fn charge_wall_clock(duration: Duration) {
     }
 }
 
+/// The reusable per-worker serving state: the shard's dense device and
+/// tables plus every piece of steady-state scratch — the cross-request
+/// merge maps, the batch scratch, and the block-buffer pool. One of these
+/// lives for the worker's lifetime so the hot loop allocates nothing
+/// after warmup.
+struct ShardWorker {
+    device: RebasedDevice,
+    tables: HashMap<usize, TableStore>,
+    merge: MergeScratch,
+    scratch: BatchScratch,
+    pool: BlockBufPool,
+}
+
 /// The shard worker: drains its queue in micro-batches, applies tuner
 /// commands between batches, and charges device reads through the queue
 /// model when one is configured.
 fn shard_main(
     shard: usize,
-    mut device: SparseDevice,
-    mut tables: HashMap<usize, TableStore>,
+    device: RebasedDevice,
+    tables: HashMap<usize, TableStore>,
     shared: Arc<Shared>,
     batching: ShardBatching,
     commands: mpsc::Receiver<ShardCommand>,
@@ -939,10 +1045,25 @@ fn shard_main(
     let mut sample_tick: u32 = 0;
     let mut tracker =
         batching.device_queue.map(|d| QueueDepthTracker::new(*device.queue_model(), d));
+    // The shard's capacity is static: report it before serving begins so
+    // metrics show per-shard capacity even for an idle shard.
+    shared.shard_stats[shard].lock().expect("shard stats lock").capacity_blocks =
+        device.capacity_blocks();
+    // Pool retention scales with the shard's cache: a cached payload can
+    // pin its block buffer until eviction, and a dropped pool slot is a
+    // lost reuse.
+    let cached_entries: usize = tables.values().map(|t| t.cache_capacity()).sum();
+    let mut worker = ShardWorker {
+        device,
+        tables,
+        merge: MergeScratch::default(),
+        scratch: BatchScratch::new(),
+        pool: BlockBufPool::for_cache(cached_entries),
+    };
     loop {
         while let Ok(cmd) = commands.try_recv() {
             let ShardCommand::SetPolicy { table, policy, shadow_multiplier } = cmd;
-            if let Some(t) = tables.get_mut(&table) {
+            if let Some(t) = worker.tables.get_mut(&table) {
                 t.set_policy(policy, shadow_multiplier);
             }
         }
@@ -955,8 +1076,7 @@ fn shard_main(
         process_batch(
             shard,
             &jobs,
-            &mut device,
-            &mut tables,
+            &mut worker,
             &shared,
             &mut tracker,
             samples.as_ref(),
@@ -969,19 +1089,19 @@ fn shard_main(
 /// deduplicated `lookup_batch` per table, submits the resulting block
 /// reads through the depth tracker, and scatters payloads back so a
 /// single batched device read can complete many requests — each exactly
-/// once.
-#[allow(clippy::too_many_arguments)]
+/// once. All working state (merge maps, batch scratch, buffer pool) is
+/// reused from the [`ShardWorker`] across batches.
 fn process_batch(
     shard: usize,
     jobs: &[Arc<Job>],
-    device: &mut SparseDevice,
-    tables: &mut HashMap<usize, TableStore>,
+    worker: &mut ShardWorker,
     shared: &Arc<Shared>,
     tracker: &mut Option<QueueDepthTracker>,
     samples: Option<&(mpsc::SyncSender<(usize, u32)>, u32)>,
     sample_tick: &mut u32,
 ) {
     let started = Instant::now();
+    let ShardWorker { device, tables, merge, scratch, pool } = worker;
 
     // Decide, per job, whether this batch serves it.
     let mut serve: Vec<bool> = Vec::with_capacity(jobs.len());
@@ -1000,17 +1120,17 @@ fn process_batch(
         serve.push(serves);
     }
 
-    // Merge lookups across requests: one deduplicated id list per table.
-    // Ids are validated here so one request's bad id fails that request
-    // alone, never the whole merged submission. `routed` remembers, for
-    // every part, where its unique ids landed in the merged list.
-    let mut merged: BTreeMap<usize, MergedTable> = BTreeMap::new();
-    let mut routed: Vec<(usize, &Part, Vec<usize>)> = Vec::new();
+    // Merge lookups across requests: one deduplicated id list per table,
+    // built in the worker's persistent per-table maps. Ids are validated
+    // here so one request's bad id fails that request alone, never the
+    // whole merged submission; each part records where its unique ids
+    // landed in the merged list (a run inside `positions`).
+    merge.reset();
     for (ji, job) in jobs.iter().enumerate() {
         if !serve[ji] {
             continue;
         }
-        for part in &job.parts_by_shard[shard] {
+        for (pi, part) in job.parts_by_shard[shard].iter().enumerate() {
             let table =
                 tables.get(&part.table).expect("dispatcher routes queries to the owning shard");
             if let Some(&bad) = part.unique_ids.iter().find(|&&v| v >= table.num_vectors()) {
@@ -1024,35 +1144,66 @@ fn process_batch(
                 }
                 continue;
             }
-            let m = merged.entry(part.table).or_default();
-            let positions: Vec<usize> = part
-                .unique_ids
-                .iter()
-                .map(|&v| {
-                    let next = m.ids.len();
-                    let idx = *m.index_of.entry(v).or_insert(next);
-                    if idx == next {
-                        m.ids.push(v);
-                    }
-                    idx
-                })
-                .collect();
-            routed.push((ji, part, positions));
+            let m = merge.tables.entry(part.table).or_default();
+            let pos_start = m.positions.len();
+            for &v in &part.unique_ids {
+                let next = m.ids.len();
+                let idx = *m.index_of.entry(v).or_insert(next);
+                if idx == next {
+                    m.ids.push(v);
+                }
+                m.positions.push(idx);
+            }
+            m.parts.push(RoutedPart {
+                job: ji,
+                part: pi,
+                pos_start,
+                pos_len: part.unique_ids.len(),
+            });
         }
     }
 
-    // One submission per table; count the block reads it actually cost.
+    // One submission per table, scattered back to its routed parts before
+    // the scratch is reused by the next table; count the block reads the
+    // whole merged batch actually cost.
     let reads_before = device.counters().reads;
-    let mut payloads: BTreeMap<usize, Vec<Bytes>> = BTreeMap::new();
-    let mut table_errors: BTreeMap<usize, BandanaError> = BTreeMap::new();
-    for (&t, m) in &merged {
+    let mut local_lookups = 0u64;
+    for (&t, m) in &merge.tables {
+        if m.parts.is_empty() {
+            continue;
+        }
         let table = tables.get_mut(&t).expect("merged tables are owned by this shard");
-        match table.lookup_batch(device, &m.ids) {
-            Ok(p) => {
-                payloads.insert(t, p);
+        match table.lookup_batch_with(device, &m.ids, scratch, pool) {
+            Ok(()) => {
+                let payloads = scratch.out();
+                for rp in &m.parts {
+                    let job = &jobs[rp.job];
+                    let part = &job.parts_by_shard[shard][rp.part];
+                    local_lookups += part.expand.len() as u64;
+                    if let Some((tx, every)) = samples {
+                        for &v in &part.unique_ids {
+                            *sample_tick = sample_tick.wrapping_add(1);
+                            if sample_tick.is_multiple_of((*every).max(1)) {
+                                let _ = tx.try_send((part.table, v));
+                            }
+                        }
+                    }
+                    if job.want_payloads {
+                        let positions = &m.positions[rp.pos_start..rp.pos_start + rp.pos_len];
+                        let expanded: Vec<Bytes> =
+                            part.expand.iter().map(|&u| payloads[positions[u]].clone()).collect();
+                        let mut st = job.state.lock().expect("job lock");
+                        st.results[part.query_index] = Some(expanded);
+                    }
+                }
             }
             Err(e) => {
-                table_errors.insert(t, e);
+                for rp in &m.parts {
+                    let mut st = jobs[rp.job].state.lock().expect("job lock");
+                    if st.error.is_none() {
+                        st.error = Some(e.clone());
+                    }
+                }
             }
         }
     }
@@ -1066,39 +1217,6 @@ fn process_batch(
         if batch_reads > 0 {
             device_s = tracker.charge_batch(batch_reads);
             charge_wall_clock(Duration::from_secs_f64(device_s));
-        }
-    }
-
-    // Scatter the merged payloads back to every routed part.
-    let mut local_lookups = 0u64;
-    for (ji, part, positions) in &routed {
-        let job = &jobs[*ji];
-        match payloads.get(&part.table) {
-            Some(p) => {
-                local_lookups += part.expand.len() as u64;
-                if let Some((tx, every)) = samples {
-                    for &v in &part.unique_ids {
-                        *sample_tick = sample_tick.wrapping_add(1);
-                        if sample_tick.is_multiple_of((*every).max(1)) {
-                            let _ = tx.try_send((part.table, v));
-                        }
-                    }
-                }
-                if job.want_payloads {
-                    let expanded: Vec<Bytes> =
-                        part.expand.iter().map(|&u| p[positions[u]].clone()).collect();
-                    let mut st = job.state.lock().expect("job lock");
-                    st.results[part.query_index] = Some(expanded);
-                }
-            }
-            None => {
-                if let Some(e) = table_errors.get(&part.table) {
-                    let mut st = job.state.lock().expect("job lock");
-                    if st.error.is_none() {
-                        st.error = Some(e.clone());
-                    }
-                }
-            }
         }
     }
 
@@ -1129,6 +1247,10 @@ fn process_batch(
         }
         stats.cache = cache;
         stats.device_reads = device.counters().reads;
+        stats.capacity_blocks = device.capacity_blocks();
+        stats.bytes_written = device.endurance().bytes_written();
+        stats.drive_writes = device.endurance().drive_writes();
+        stats.pool = pool.stats();
     }
 
     // Complete every job in the batch exactly once for this shard.
@@ -1349,6 +1471,35 @@ mod tests {
                 .with_admission(bandana_cache::AdmissionPolicy::None),
         )
         .expect("build store")
+    }
+
+    #[test]
+    fn shards_report_dense_capacity_endurance_and_pool_stats() {
+        let (store, mut generator) = build_store(21);
+        let total_blocks: u64 =
+            (0..store.num_tables()).map(|t| store.table(t).unwrap().num_blocks()).sum();
+        let engine =
+            ShardedEngine::new(store, ServeConfig::default().with_shards(2)).expect("engine");
+        let trace = generator.generate_requests(300);
+        for r in &trace.requests {
+            engine.submit(r).expect("submit");
+        }
+        engine.drain();
+        let m = engine.metrics();
+        // Dense rebased devices: every shard's capacity is exactly its
+        // tables' blocks, and the shard capacities partition the store.
+        let sum: u64 = m.per_shard.iter().map(|s| s.capacity_blocks).sum();
+        assert_eq!(sum, total_blocks);
+        for s in &m.per_shard {
+            assert!(s.capacity_blocks > 0, "shard {} has no capacity", s.shard);
+            // Serving never writes: per-shard endurance stays untouched.
+            assert_eq!(s.bytes_written, 0);
+            assert_eq!(s.drive_writes, 0.0);
+        }
+        // A 300-request run churns the caches: the worker pools must be
+        // recycling buffers rather than allocating per read.
+        assert!(m.pool.acquires > 0);
+        assert!(m.pool.reuses > 0, "pools never recycled: {:?}", m.pool);
     }
 
     #[test]

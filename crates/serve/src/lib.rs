@@ -7,10 +7,18 @@
 //!
 //! * **Shard-per-worker parallelism** ([`ShardedEngine`]): tables are
 //!   spread across worker threads, each owning its tables and a
-//!   [`SparseDevice`](nvm_sim::SparseDevice) replica carved down to its
-//!   own block ranges — the hot path takes no shared lock. A dispatcher
-//!   splits each request across shards, coalesces duplicate vector ids
-//!   within a query, and merges results back in request order.
+//!   [`RebasedDevice`](nvm_sim::RebasedDevice) — its own block ranges
+//!   carved out of the store device and rebased onto a dense zero-based
+//!   address space, with per-shard capacity and endurance accounting —
+//!   so the hot path takes no shared lock. A dispatcher splits each
+//!   request across shards, coalesces duplicate vector ids within a
+//!   query, and merges results back in request order.
+//! * **Allocation-free steady state**: each worker owns a
+//!   [`BatchScratch`](bandana_core::BatchScratch) and a
+//!   [`BlockBufPool`](nvm_sim::BlockBufPool), and the cross-request merge
+//!   reuses its per-table maps, so once warmed the lookup path performs
+//!   no heap allocation ([`EngineMetrics::pool`] reports the buffer reuse
+//!   rate).
 //! * **Cross-request micro-batching**
 //!   ([`ServeConfig::with_batch_window`] /
 //!   [`ServeConfig::with_max_batch`]): each shard keeps a short window
@@ -98,6 +106,6 @@ pub use engine::{
 };
 pub use hist::{fmt_secs, LatencyBreakdown, LatencyHistogram, LatencySummary};
 pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopReport, OpenLoopReport};
-pub use nvm_sim::DepthStats;
+pub use nvm_sim::{DepthStats, PoolStats};
 pub use queue::ShedPolicy;
 pub use tuner::OnlineTunerSettings;

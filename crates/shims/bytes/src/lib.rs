@@ -2,7 +2,14 @@
 //!
 //! Provides [`Bytes`]: an immutable, reference-counted byte buffer with
 //! O(1) `clone` and zero-copy `slice`, covering the API surface the
-//! workspace uses (`From<Vec<u8>>`, `slice`, `as_ref`, `len`, `Deref`).
+//! workspace uses (`From<Vec<u8>>`, `slice`, `as_ref`, `len`, `Deref`,
+//! `from_owner`).
+//!
+//! Storage is an `Arc<Vec<u8>>` rather than an `Arc<[u8]>`: converting an
+//! owned `Vec` never copies the payload bytes, and an already-shared
+//! buffer (e.g. one handed out by `nvm_sim::BlockBufPool`) becomes a
+//! `Bytes` through [`Bytes::from_owner`] with a refcount bump only — no
+//! allocation at all.
 
 #![forbid(unsafe_code)]
 
@@ -12,7 +19,7 @@ use std::sync::Arc;
 /// An immutable, cheaply cloneable view into shared byte storage.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -20,7 +27,19 @@ pub struct Bytes {
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(Vec::new()), start: 0, end: 0 }
+        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
+    }
+
+    /// Wraps an already-shared buffer without copying or allocating: the
+    /// view covers the whole `Vec` and shares ownership with every other
+    /// `Arc` clone (the real `bytes` crate's `from_owner`).
+    ///
+    /// Holders of other clones must treat the contents as frozen for as
+    /// long as any `Bytes` view is alive; `nvm_sim::BlockBufPool` relies
+    /// on the refcount returning to one before it reuses a buffer.
+    pub fn from_owner(owner: Arc<Vec<u8>>) -> Self {
+        let end = owner.len();
+        Bytes { data: owner, start: 0, end }
     }
 
     /// Copies a slice into a new buffer.
@@ -69,8 +88,7 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let end = v.len();
-        Bytes { data: Arc::from(v), start: 0, end }
+        Bytes::from_owner(Arc::new(v))
     }
 }
 
@@ -144,5 +162,18 @@ mod tests {
     fn oversized_slice_panics() {
         let b = Bytes::from(vec![1u8, 2]);
         let _ = b.slice(0..3);
+    }
+
+    #[test]
+    fn from_owner_shares_without_copying() {
+        let owner = Arc::new(vec![5u8, 6, 7]);
+        let b = Bytes::from_owner(Arc::clone(&owner));
+        assert_eq!(b.as_ref(), &[5, 6, 7]);
+        // The view shares the exact storage: owner + b = 2 references.
+        assert_eq!(Arc::strong_count(&owner), 2);
+        let s = b.slice(1..);
+        assert_eq!(Arc::strong_count(&owner), 3);
+        drop((b, s));
+        assert_eq!(Arc::strong_count(&owner), 1);
     }
 }

@@ -106,8 +106,8 @@ pub use nvm_sim as nvm;
 pub mod prelude {
     pub use bandana_cache::{AdmissionPolicy, AllocationPolicy, CacheMetrics, PolicyKind};
     pub use bandana_core::{
-        BandanaConfig, BandanaError, BandanaStore, ConcurrentStore, PartitionerKind, TableStore,
-        ThroughputReport,
+        BandanaConfig, BandanaError, BandanaStore, BatchScratch, ConcurrentStore, PartitionerKind,
+        TableStore, ThroughputReport,
     };
     pub use bandana_partition::{AccessFrequency, BlockLayout};
     pub use bandana_serve::{
@@ -117,5 +117,8 @@ pub mod prelude {
         AetModel, ArrivalProcess, CounterStacks, DriftConfig, DriftingTraceGenerator,
         EmbeddingTable, ModelSpec, Request, Shards, TableQuery, Trace, TraceGenerator,
     };
-    pub use nvm_sim::{BlockDevice, FaultInjector, FaultPlan, FileNvmDevice, NvmConfig, NvmDevice};
+    pub use nvm_sim::{
+        BlockBufPool, BlockDevice, FaultInjector, FaultPlan, FileNvmDevice, NvmConfig, NvmDevice,
+        PoolStats, RebasedDevice, SparseDevice,
+    };
 }
