@@ -7,7 +7,8 @@
 //! catching order-of-magnitude regressions (a lost batching path, an
 //! accidental lock on the hot path) while shrugging off runner noise.
 //! Structural properties (row set, request accounting, batching actually
-//! batching) are checked exactly.
+//! batching, the weighted tenant's completions dominating the QoS
+//! scenario per its weight) are checked exactly.
 //!
 //! The workspace's `serde` shim is a no-op, so this module carries its
 //! own minimal JSON reader for the flat documents
@@ -279,8 +280,10 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
 
 /// The latency fields gated against the baseline.
 const GATED_FIELDS: [&str; 2] = ["p50_s", "p99_s"];
-/// Fields identifying a row across runs.
-const KEY_FIELDS: [&str; 2] = ["window_us", "load_pct"];
+/// Fields identifying a row across runs (`tenant` is `-1` on aggregate
+/// rows and absent entirely in pre-tenant documents — both format
+/// consistently, so old and new baselines keep matching themselves).
+const KEY_FIELDS: [&str; 3] = ["window_us", "load_pct", "tenant"];
 
 fn row_key(row: &BTreeMap<String, f64>) -> String {
     KEY_FIELDS
@@ -372,6 +375,72 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
         report.push(format!(
             "zero-alloc steady state: {counted_rows} counted rows at 0 allocs/lookup"
         ));
+    }
+
+    // Per-tenant QoS rows (tenant >= 0): within each scenario the
+    // heaviest tenant's completions must dominate per its weight. The
+    // scenario offers both tenants identical load, so a weight-blind
+    // scheduler completes ~1:1 and an inverted one < 1. DRR shares are
+    // exact only while every lane stays backlogged — ramp-up/drain
+    // tails and bursty arrivals dilute the measured ratio below the
+    // ideal weight ratio (the quick sweep measures ~3-3.6:1 for 9:1
+    // weights) — so the floor is a fifth of the weight ratio:
+    // decisively above dead/inverted scheduling, comfortably below the
+    // sustained-overload measurement.
+    let tenant_rows: Vec<&BTreeMap<String, f64>> =
+        current.rows.iter().filter(|r| r.get("tenant").copied().unwrap_or(-1.0) >= 0.0).collect();
+    if !tenant_rows.is_empty() {
+        let mut scenarios: BTreeMap<String, Vec<&BTreeMap<String, f64>>> = BTreeMap::new();
+        for row in &tenant_rows {
+            let key = format!(
+                "window_us={} load_pct={}",
+                row.get("window_us").copied().unwrap_or(f64::NAN),
+                row.get("load_pct").copied().unwrap_or(f64::NAN)
+            );
+            scenarios.entry(key).or_default().push(row);
+        }
+        for (key, rows) in &scenarios {
+            if rows.len() < 2 {
+                failures.push(format!("tenant scenario [{key}] has only {} row(s)", rows.len()));
+                continue;
+            }
+            let weight = |r: &BTreeMap<String, f64>| r.get("tenant_weight").copied().unwrap_or(0.0);
+            let completed = |r: &BTreeMap<String, f64>| r.get("completed").copied().unwrap_or(0.0);
+            let heavy = rows
+                .iter()
+                .max_by(|a, b| weight(a).total_cmp(&weight(b)))
+                .expect("at least two rows");
+            let mut ok = true;
+            for other in rows.iter().filter(|r| weight(r) < weight(heavy)) {
+                let weight_ratio = weight(heavy) / weight(other).max(1.0);
+                let floor = completed(other) * weight_ratio / 5.0;
+                if completed(heavy) <= completed(other) || completed(heavy) < floor {
+                    ok = false;
+                    failures.push(format!(
+                        "tenant scenario [{key}]: weight-{} tenant completed {} vs weight-{} \
+                         tenant's {} — below the weighted-domination floor {floor:.0} \
+                         (weights are not being enforced)",
+                        weight(heavy),
+                        completed(heavy),
+                        weight(other),
+                        completed(other),
+                    ));
+                }
+            }
+            // The scenario must really overload: someone shed.
+            let total_shed: f64 = rows.iter().map(|r| r.get("shed").copied().unwrap_or(0.0)).sum();
+            if total_shed <= 0.0 {
+                ok = false;
+                failures.push(format!(
+                    "tenant scenario [{key}] shed nothing — not an overload scenario"
+                ));
+            }
+            if ok {
+                report.push(format!(
+                    "tenant QoS [{key}]: weighted completions dominate and the scenario sheds"
+                ));
+            }
+        }
     }
 
     // The batched pipeline must actually batch somewhere at moderate load.
@@ -502,6 +571,70 @@ mod tests {
         // Counting on and dirty: fails.
         let failures = check_serve(&with_allocs(0.25), &base).expect_err("allocs must fail");
         assert!(failures.iter().any(|f| f.contains("allocs/lookup")), "{failures:?}");
+    }
+
+    fn tenant_row(
+        window: u64,
+        load: u64,
+        tenant: i64,
+        weight: u64,
+        completed: f64,
+        shed: f64,
+    ) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("window_us".into(), window as f64);
+        m.insert("load_pct".into(), load as f64);
+        m.insert("tenant".into(), tenant as f64);
+        m.insert("tenant_weight".into(), weight as f64);
+        m.insert("completed".into(), completed);
+        m.insert("shed".into(), shed);
+        m.insert("p50_s".into(), 1e-4);
+        m.insert("p99_s".into(), 5e-4);
+        m.insert("mean_batch".into(), 2.0);
+        m
+    }
+
+    #[test]
+    fn weighted_tenant_domination_is_gated() {
+        let mut base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.5, 60.0)]);
+        base.rows.push(tenant_row(200, 300, 1, 9, 900.0, 100.0));
+        base.rows.push(tenant_row(200, 300, 2, 1, 110.0, 890.0));
+        // The healthy document passes and reports the QoS line.
+        let report = check_serve(&base, &base).expect("healthy tenant scenario must pass");
+        assert!(report.iter().any(|l| l.contains("tenant QoS")), "{report:?}");
+
+        // An inverted scheduler (light tenant completing more) fails.
+        let mut inverted = base.clone();
+        inverted.rows.pop();
+        inverted.rows.pop();
+        inverted.rows.push(tenant_row(200, 300, 1, 9, 120.0, 880.0));
+        inverted.rows.push(tenant_row(200, 300, 2, 1, 500.0, 500.0));
+        let failures = check_serve(&inverted, &base).expect_err("inverted weights must fail");
+        assert!(failures.iter().any(|f| f.contains("weighted-domination")), "{failures:?}");
+
+        // Equal shares (weights ignored) also fail the domination floor.
+        let mut flat = base.clone();
+        flat.rows.pop();
+        flat.rows.pop();
+        flat.rows.push(tenant_row(200, 300, 1, 9, 500.0, 500.0));
+        flat.rows.push(tenant_row(200, 300, 2, 1, 495.0, 505.0));
+        let failures = check_serve(&flat, &base).expect_err("flat shares must fail");
+        assert!(failures.iter().any(|f| f.contains("weighted-domination")), "{failures:?}");
+
+        // A scenario that never sheds is not an overload scenario.
+        let mut idle = base.clone();
+        idle.rows.pop();
+        idle.rows.pop();
+        idle.rows.push(tenant_row(200, 300, 1, 9, 900.0, 0.0));
+        idle.rows.push(tenant_row(200, 300, 2, 1, 100.0, 0.0));
+        let failures = check_serve(&idle, &base).expect_err("shedless scenario must fail");
+        assert!(failures.iter().any(|f| f.contains("shed nothing")), "{failures:?}");
+
+        // A lost tenant row trips the scenario-size check.
+        let mut lone = base.clone();
+        lone.rows.pop();
+        let failures = check_serve(&lone, &base).expect_err("lone tenant row must fail");
+        assert!(failures.iter().any(|f| f.contains("only 1 row")), "{failures:?}");
     }
 
     #[test]

@@ -14,11 +14,21 @@
 //! every operating point. Expected shape: flat latency at low load, a
 //! tail blow-up approaching capacity, non-zero shedding past it, and
 //! mean batch size > 1 for the batched pipeline at moderate load.
+//!
+//! A final **two-tenant QoS scenario** re-runs the batched pipeline at
+//! 5× capacity with a weight-9 and a weight-1 tenant splitting the same
+//! Poisson arrivals ([`run_open_loop_tenants`]): one extra row per
+//! tenant records per-tenant p99 and shed counts, and `repro
+//! check-bench` asserts structurally that the weighted tenant's
+//! completions dominate per its weight.
 
 use crate::output::{JsonObject, TextTable};
 use crate::scale::Scale;
 use bandana_core::BandanaStore;
-use bandana_serve::{run_closed_loop, run_open_loop, ServeConfig, ShardedEngine, ShedPolicy};
+use bandana_serve::{
+    run_closed_loop, run_open_loop, run_open_loop_tenants, ServeConfig, ShardedEngine, ShedPolicy,
+    TenantId, TenantSpec,
+};
 use bandana_trace::{ArrivalProcess, EmbeddingTable};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -36,6 +46,26 @@ const MAX_BATCH: usize = 16;
 /// Bounded in-flight device reads in the batched pipeline (the paper's
 /// sweet-spot region of Figure 2).
 const BATCH_DEPTH: u32 = 4;
+/// Offered load of the two-tenant QoS scenario, as % of the batched
+/// pipeline's closed-loop capacity — far enough past saturation that
+/// *both* tenants individually exceed their weighted service shares, so
+/// completion shares expose the DRR scheduler.
+const TENANT_LOAD_PCT: u32 = 500;
+/// The QoS scenario replays the eval trace this many times back to
+/// back: the overload must be *sustained*, or the end-of-run queue
+/// drain (every accepted request eventually completes) washes the DRR
+/// completion shares out toward the admission split.
+const TENANT_TRACE_REPEATS: usize = 8;
+/// Per-tenant lane capacity of the QoS scenario: deep enough that the
+/// heavy tenant's lanes stay backlogged through batch-sized pops and
+/// bursty reactor arrivals (an empty lane forfeits its DRR quantum to
+/// the other tenant — work conservation), yet bounded so the scenario
+/// sheds visibly.
+const TENANT_QUEUE_CAPACITY: usize = 64;
+/// The heavy tenant of the QoS scenario (DRR weight 9).
+const TENANT_HEAVY: (TenantId, u32) = (TenantId(1), 9);
+/// The light tenant of the QoS scenario (DRR weight 1).
+const TENANT_LIGHT: (TenantId, u32) = (TenantId(2), 1);
 
 /// One measured operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -83,6 +113,10 @@ pub struct ServeRow {
     /// Percentage of shard-worker block reads served from recycled pool
     /// buffers instead of fresh allocations.
     pub pool_reuse_pct: f64,
+    /// Tenant id of a per-tenant QoS row (`-1` for aggregate rows).
+    pub tenant: i64,
+    /// The tenant's DRR weight (`0` for aggregate rows).
+    pub tenant_weight: u64,
 }
 
 /// The shared inputs of every engine in the sweep: built once, reused —
@@ -234,7 +268,111 @@ fn row_from(
         queue_wait_p99_s: m.queue_wait.p99_s,
         steady_allocs_per_lookup,
         pool_reuse_pct: m.pool.reuse_rate() * 100.0,
+        tenant: -1,
+        tenant_weight: 0,
     }
+}
+
+/// Builds the QoS-scenario engine: the batched pipeline plus the two
+/// weighted tenants.
+fn build_tenant_engine(inputs: &SweepInputs, scale: Scale, pipeline: Pipeline) -> ShardedEngine {
+    let config = bandana_core::BandanaConfig::default()
+        .with_cache_vectors(scale.default_total_cache())
+        .with_seed(super::common::SEED);
+    let store = BandanaStore::build(
+        &inputs.workload.spec,
+        &inputs.embeddings,
+        &inputs.workload.train,
+        config,
+    )
+    .expect("store builds on the paper workload");
+    ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(SHARDS)
+            .with_queue_capacity(TENANT_QUEUE_CAPACITY)
+            .with_shed_policy(ShedPolicy::DropNewest)
+            .with_batch_window(Duration::from_micros(pipeline.window_us))
+            .with_max_batch(pipeline.max_batch)
+            .with_device_queue(pipeline.device_queue)
+            .with_tenant(TENANT_HEAVY.0, TenantSpec::new(TENANT_HEAVY.1))
+            .with_tenant(TENANT_LIGHT.0, TenantSpec::new(TENANT_LIGHT.1)),
+    )
+    .expect("tenant engine configuration is valid")
+}
+
+/// Runs the two-tenant overload scenario against the batched pipeline
+/// and folds each tenant's slice into one [`ServeRow`].
+fn tenant_scenario_rows(
+    inputs: &SweepInputs,
+    scale: Scale,
+    trace: &bandana_trace::Trace,
+    batched_capacity_qps: f64,
+    steady_allocs: f64,
+) -> Vec<ServeRow> {
+    let pipeline = PIPELINES[1];
+    let engine = build_tenant_engine(inputs, scale, pipeline);
+    let rate = (batched_capacity_qps * f64::from(TENANT_LOAD_PCT) / 100.0).max(1.0);
+    let process = ArrivalProcess::Poisson { rate_rps: rate };
+    // The arrivals split 1:1 — deliberately: with identical offered
+    // load, a weight-blind scheduler completes ~1:1, so any completion
+    // skew is pure DRR signal (a skewed split would re-introduce the
+    // admission ratio into the completions and mask a dead scheduler).
+    // The measured skew lands well below the ideal 9:1 — ramp-up and
+    // drain tails admit both tenants alike, and a work-conserving
+    // scheduler serves the light lane whenever bursty arrivals leave the
+    // heavy lane momentarily empty — which is why the check-bench floor
+    // is a fraction of the weight ratio rather than the ratio itself.
+    let slots = [TENANT_HEAVY.0, TENANT_LIGHT.0];
+    let mut sustained = trace.clone();
+    for _ in 1..TENANT_TRACE_REPEATS {
+        sustained.requests.extend(trace.requests.iter().cloned());
+    }
+    let report = run_open_loop_tenants(
+        &engine,
+        &slots,
+        &sustained,
+        &process,
+        super::common::SEED ^ u64::from(TENANT_LOAD_PCT),
+    );
+    let m = engine.metrics();
+    [TENANT_HEAVY.0, TENANT_LIGHT.0]
+        .iter()
+        .map(|&id| {
+            let t =
+                m.per_tenant.iter().find(|t| t.id == id).expect("scenario tenants are registered");
+            let slot_share = slots.iter().filter(|&&s| s == id).count() as f64 / slots.len() as f64;
+            ServeRow {
+                window_us: pipeline.window_us,
+                load_pct: TENANT_LOAD_PCT,
+                offered_qps: rate * slot_share,
+                achieved_qps: t.completed as f64 / report.wall_s,
+                completed: t.completed,
+                shed: t.shed,
+                mean_s: t.latency.mean_s,
+                p50_s: t.latency.p50_s,
+                p99_s: t.latency.p99_s,
+                p999_s: t.latency.p999_s,
+                // Batching/depth/queue-wait/pool metrics are engine-wide
+                // aggregates with no per-tenant attribution; zero them
+                // here rather than stamping identical aggregate values
+                // into both tenants' rows as if they were per-tenant
+                // measurements. Only the counters and the latency
+                // distribution above are genuinely this tenant's.
+                mean_batch: 0.0,
+                largest_batch: 0,
+                mean_depth: 0.0,
+                peak_depth: 0,
+                device_mean_s: 0.0,
+                queue_wait_mean_s: 0.0,
+                queue_wait_p99_s: 0.0,
+                steady_allocs_per_lookup: steady_allocs,
+                pool_reuse_pct: 0.0,
+                tenant: i64::from(t.id.0),
+                tenant_weight: u64::from(t.weight),
+            }
+        })
+        .collect()
 }
 
 /// Measures closed-loop capacity, then the open-loop sweep, for both
@@ -246,7 +384,7 @@ pub fn run(scale: Scale) -> Vec<ServeRow> {
 }
 
 fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> Vec<ServeRow> {
-    let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1));
+    let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1) + 2);
     // One steady-state allocation probe per sweep (it is a property of the
     // store read path, not of an operating point); -1 marks "not counted".
     let steady_allocs = steady_state_allocs_per_lookup(inputs, scale).unwrap_or(-1.0);
@@ -288,6 +426,15 @@ fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> V
             ));
         }
     }
+
+    // The two-tenant QoS scenario rides on the batched pipeline's
+    // measured capacity (its `load_pct == 0` row).
+    let batched_capacity = rows
+        .iter()
+        .find(|r| r.window_us == BATCH_WINDOW_US && r.load_pct == 0)
+        .expect("the batched pipeline measured its capacity")
+        .achieved_qps;
+    rows.extend(tenant_scenario_rows(inputs, scale, trace, batched_capacity, steady_allocs));
     rows
 }
 
@@ -296,6 +443,7 @@ pub fn render(rows: &[ServeRow]) -> String {
     let mut table = TextTable::new(vec![
         "window µs",
         "load %",
+        "tenant(w)",
         "offered qps",
         "achieved qps",
         "completed",
@@ -313,9 +461,15 @@ pub fn render(rows: &[ServeRow]) -> String {
     ]);
     for r in rows {
         let label = if r.load_pct == 0 { "closed".to_string() } else { r.load_pct.to_string() };
+        let tenant = if r.tenant < 0 {
+            "-".to_string()
+        } else {
+            format!("{}({})", r.tenant, r.tenant_weight)
+        };
         table.row(vec![
             r.window_us.to_string(),
             label,
+            tenant,
             format!("{:.0}", r.offered_qps),
             format!("{:.0}", r.achieved_qps),
             r.completed.to_string(),
@@ -340,7 +494,11 @@ pub fn render(rows: &[ServeRow]) -> String {
         "Serving engine: open-loop latency vs offered load ({SHARDS} shards, \
          queue {QUEUE_CAPACITY}, drop-newest shedding, NVM reads charged through \
          the queue model; window 0 = single-read pipeline at depth 1, window \
-         {BATCH_WINDOW_US} = ≤{MAX_BATCH}-request micro-batches at depth {BATCH_DEPTH})\n{}",
+         {BATCH_WINDOW_US} = ≤{MAX_BATCH}-request micro-batches at depth {BATCH_DEPTH}; \
+         tenant rows = the {TENANT_LOAD_PCT}% QoS scenario, weights \
+         {}:{} splitting the same arrivals)\n{}",
+        TENANT_HEAVY.1,
+        TENANT_LIGHT.1,
         table.render()
     )
 }
@@ -370,6 +528,8 @@ pub fn to_json(rows: &[ServeRow]) -> String {
                 .f64("queue_wait_p99_s", r.queue_wait_p99_s)
                 .f64("steady_allocs_per_lookup", r.steady_allocs_per_lookup)
                 .f64("pool_reuse_pct", r.pool_reuse_pct)
+                .f64("tenant", r.tenant as f64)
+                .u64("tenant_weight", r.tenant_weight)
         }),
     )
 }
@@ -412,11 +572,11 @@ mod tests {
         let mut trace = inputs.workload.eval.clone();
         trace.requests.truncate(60);
         let rows = run_on(&inputs, Scale::Quick, &trace);
-        assert_eq!(rows.len(), PIPELINES.len() * (LOAD_PCTS.len() + 1));
+        assert_eq!(rows.len(), PIPELINES.len() * (LOAD_PCTS.len() + 1) + 2);
         let n = trace.requests.len() as u64;
         for pipeline in PIPELINES {
             let group: Vec<&ServeRow> =
-                rows.iter().filter(|r| r.window_us == pipeline.window_us).collect();
+                rows.iter().filter(|r| r.tenant < 0 && r.window_us == pipeline.window_us).collect();
             assert_eq!(group.len(), LOAD_PCTS.len() + 1);
             // Capacity row completes the whole trace without shedding.
             assert_eq!(group[0].shed, 0);
@@ -459,11 +619,36 @@ mod tests {
             .filter(|r| r.window_us > 0 && (25..=90).contains(&r.load_pct))
             .any(|r| r.mean_batch > 1.0);
         assert!(merged, "no moderate-load batched row merged requests: {rows:?}");
+        // The QoS scenario: one row per tenant, each offered half the
+        // (split) trace, with the heavy tenant completing strictly more.
+        let tenant_rows: Vec<&ServeRow> = rows.iter().filter(|r| r.tenant >= 0).collect();
+        assert_eq!(tenant_rows.len(), 2);
+        let heavy = tenant_rows
+            .iter()
+            .find(|r| r.tenant == i64::from(TENANT_HEAVY.0 .0))
+            .expect("heavy tenant row");
+        let light = tenant_rows
+            .iter()
+            .find(|r| r.tenant == i64::from(TENANT_LIGHT.0 .0))
+            .expect("light tenant row");
+        assert_eq!(heavy.tenant_weight, u64::from(TENANT_HEAVY.1));
+        assert_eq!(light.tenant_weight, u64::from(TENANT_LIGHT.1));
+        for r in &tenant_rows {
+            assert_eq!(r.load_pct, TENANT_LOAD_PCT);
+            assert!(r.p50_s <= r.p99_s && r.p99_s <= r.p999_s, "{r:?}");
+        }
+        // The round-robin split hands each tenant half the (repeated)
+        // arrivals.
+        assert_eq!(
+            heavy.completed + heavy.shed + light.completed + light.shed,
+            n * TENANT_TRACE_REPEATS as u64
+        );
+        assert!(heavy.completed > 0 && light.completed > 0, "{tenant_rows:?}");
     }
 
     #[test]
     fn renders_and_serializes() {
-        let rows = vec![ServeRow {
+        let aggregate = ServeRow {
             window_us: 200,
             load_pct: 50,
             offered_qps: 1000.0,
@@ -483,13 +668,19 @@ mod tests {
             queue_wait_p99_s: 2e-4,
             steady_allocs_per_lookup: 0.0,
             pool_reuse_pct: 93.5,
-        }];
+            tenant: -1,
+            tenant_weight: 0,
+        };
+        let tenant = ServeRow { load_pct: 300, tenant: 1, tenant_weight: 9, shed: 37, ..aggregate };
+        let rows = vec![aggregate, tenant];
         let s = render(&rows);
         assert!(s.contains("offered qps"));
         assert!(s.contains("50"));
         assert!(s.contains("2.50"));
         assert!(s.contains("allocs/lk"));
         assert!(s.contains("94"), "pool reuse column missing: {s}");
+        assert!(s.contains("tenant(w)"));
+        assert!(s.contains("1(9)"), "tenant row label missing: {s}");
         let j = to_json(&rows);
         assert!(j.contains("\"experiment\":\"serve\""));
         assert!(j.contains("\"window_us\":200"));
@@ -499,5 +690,8 @@ mod tests {
         assert!(j.contains("\"peak_depth\":4"));
         assert!(j.contains("\"steady_allocs_per_lookup\":0"));
         assert!(j.contains("\"pool_reuse_pct\":93.5"));
+        assert!(j.contains("\"tenant\":-1"));
+        assert!(j.contains("\"tenant\":1"));
+        assert!(j.contains("\"tenant_weight\":9"));
     }
 }

@@ -2,11 +2,18 @@
 //!
 //! [`ShardedEngine`] decomposes a built [`BandanaStore`] into shards, each
 //! owning a **disjoint set of tables** plus its own replica of the
-//! simulated NVM device, behind a bounded work queue drained by a
-//! dedicated worker thread. A dispatcher splits every incoming
-//! [`Request`] into per-shard parts (one per table query), coalesces
-//! duplicate vector ids inside each query so a repeated id costs one
-//! lookup, and merges the shard results back in request order.
+//! simulated NVM device, behind a tenant-aware
+//! [`WeightedQueue`](crate::queue::WeightedQueue) (one bounded lane per
+//! registered tenant, strict priority across classes, deficit
+//! round-robin within a class) drained by a dedicated worker thread. A
+//! dispatcher splits every incoming [`Request`] into per-shard parts
+//! (one per table query), coalesces duplicate vector ids inside each
+//! query so a repeated id costs one lookup, and merges the shard results
+//! back in request order. Callers reach the engine through per-tenant
+//! [`Client`] sessions whose submissions return
+//! [`ResponseTicket`](crate::ResponseTicket) futures; the legacy
+//! [`serve`](ShardedEngine::serve)/[`submit`](ShardedEngine::submit)
+//! wrappers delegate to the default tenant.
 //!
 //! Latency is accounted per shard with mergeable
 //! [`LatencyHistogram`]s — queue wait, per-shard service time, and
@@ -22,7 +29,8 @@
 //! live traffic and hot-swaps the winners into the owning shards.
 
 use crate::hist::{LatencyBreakdown, LatencyHistogram, LatencySummary};
-use crate::queue::{BoundedQueue, Pop, Push, ShedPolicy};
+use crate::queue::{LaneSpec, Pop, Push, ShedPolicy, WeightedQueue};
+use crate::tenant::{Client, Response, ResponseStatus, TenantId, TenantMetrics, TenantSpec};
 use crate::tuner::{tuner_main, OnlineTunerSettings, TunerTable};
 use bandana_cache::{AdmissionPolicy, CacheMetrics};
 use bandana_core::{BandanaError, BandanaStore, BatchScratch, TableStore};
@@ -51,7 +59,10 @@ const IDLE_POLL: Duration = Duration::from_millis(2);
 pub struct ServeConfig {
     /// Number of shard worker threads (tables are spread across them).
     pub num_shards: usize,
-    /// Per-shard queue capacity, in requests.
+    /// Capacity of each **tenant lane** in each shard's queue, in
+    /// requests — a shard can queue up to `tenants × queue_capacity`
+    /// total, so one tenant's backlog never crowds out another's
+    /// admission.
     pub queue_capacity: usize,
     /// What a full shard queue does with new work.
     pub shed_policy: ShedPolicy,
@@ -75,6 +86,9 @@ pub struct ServeConfig {
     pub device_queue: Option<u32>,
     /// Enables the background admission-threshold tuner.
     pub tuner: Option<OnlineTunerSettings>,
+    /// Registered tenants beyond the always-present default tenant
+    /// ([`TenantId::DEFAULT`]); see [`ServeConfig::with_tenant`].
+    pub tenants: Vec<(TenantId, TenantSpec)>,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +102,7 @@ impl Default for ServeConfig {
             max_batch: 1,
             device_queue: None,
             tuner: None,
+            tenants: Vec::new(),
         }
     }
 }
@@ -99,7 +114,8 @@ impl ServeConfig {
         self
     }
 
-    /// Sets the per-shard queue capacity.
+    /// Sets the capacity of each per-tenant lane in each shard's queue
+    /// (a shard can hold up to `tenants × n` queued requests).
     pub fn with_queue_capacity(mut self, n: usize) -> Self {
         self.queue_capacity = n;
         self
@@ -142,6 +158,17 @@ impl ServeConfig {
         self
     }
 
+    /// Registers a tenant and its QoS contract. Each shard gives every
+    /// tenant its own bounded queue lane, scheduled by strict priority
+    /// across [`PriorityClass`]es and deficit round-robin on
+    /// [`TenantSpec::weight`] within a class. Registering
+    /// [`TenantId::DEFAULT`] overrides the default tenant's spec
+    /// (weight 1, normal class, no quota) instead of adding a tenant.
+    pub fn with_tenant(mut self, id: TenantId, spec: TenantSpec) -> Self {
+        self.tenants.push((id, spec));
+        self
+    }
+
     fn validate(&self) -> Result<(), String> {
         if self.num_shards == 0 {
             return Err("need at least one shard".into());
@@ -154,6 +181,12 @@ impl ServeConfig {
         }
         if self.device_queue == Some(0) {
             return Err("device queue depth must be at least 1".into());
+        }
+        for (i, (id, spec)) in self.tenants.iter().enumerate() {
+            spec.validate()?;
+            if self.tenants[..i].iter().any(|(other, _)| other == id) {
+                return Err(format!("{id} registered twice"));
+            }
         }
         if let Some(t) = &self.tuner {
             t.validate()?;
@@ -169,10 +202,20 @@ pub enum ServeError {
     /// The request was shed at admission (a shard queue was full under
     /// [`ShedPolicy::DropNewest`]).
     Rejected,
-    /// The request missed its [`ServeConfig::request_timeout`] deadline.
+    /// The request was shed at admission because its tenant reached its
+    /// [`admission quota`](TenantSpec::admission_quota).
+    QuotaExceeded,
+    /// The request missed its deadline ([`ServeConfig::request_timeout`]
+    /// or the per-request override).
     TimedOut,
     /// The engine is shutting down.
     ShuttingDown,
+    /// The tenant was never registered with
+    /// [`ServeConfig::with_tenant`].
+    UnknownTenant(TenantId),
+    /// The ticket's response was already taken
+    /// (see [`ResponseTicket`](crate::ResponseTicket)).
+    TicketTaken,
     /// A table/vector reference was invalid or the device failed.
     Store(BandanaError),
 }
@@ -181,8 +224,13 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Rejected => write!(f, "request shed: shard queue full"),
+            ServeError::QuotaExceeded => {
+                write!(f, "request shed: tenant admission quota exhausted")
+            }
             ServeError::TimedOut => write!(f, "request timed out before serving started"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::UnknownTenant(id) => write!(f, "{id} is not registered with the engine"),
+            ServeError::TicketTaken => write!(f, "response already taken from this ticket"),
             ServeError::Store(e) => write!(f, "store error: {e}"),
         }
     }
@@ -232,26 +280,64 @@ struct Part {
 }
 
 #[derive(Debug)]
-struct JobState {
+pub(crate) struct JobState {
     /// Per-query payloads (only filled when the submitter asked for them).
-    results: Vec<Option<Vec<Bytes>>>,
+    pub(crate) results: Vec<Option<Vec<Bytes>>>,
     /// First store error hit by any shard.
-    error: Option<BandanaError>,
-    done: bool,
+    pub(crate) error: Option<BandanaError>,
+    pub(crate) done: bool,
+    /// Submission → completion, set when the job finishes.
+    pub(crate) e2e: Duration,
+    /// Host queue wait of the slowest involved shard.
+    pub(crate) queue_wait: Duration,
+    /// Simulated device seconds charged by the slowest involved shard.
+    pub(crate) device_s: f64,
+    /// Service time of the slowest involved shard.
+    pub(crate) service: Duration,
 }
 
-/// One in-flight request.
-struct Job {
+/// One in-flight request (the completion state a
+/// [`ResponseTicket`](crate::ResponseTicket) polls).
+pub(crate) struct Job {
     arrival: Instant,
     deadline: Option<Instant>,
+    /// Index into [`Shared::tenants`].
+    tenant: usize,
     parts_by_shard: Vec<Vec<Part>>,
     /// Parts not yet finished (counts enqueued shards).
     remaining: AtomicUsize,
     cancelled: AtomicBool,
     timed_out: AtomicBool,
     want_payloads: bool,
-    state: Mutex<JobState>,
-    done_cv: Condvar,
+    pub(crate) state: Mutex<JobState>,
+    pub(crate) done_cv: Condvar,
+}
+
+/// Drains a finished job's state into a typed [`Response`]; payloads are
+/// moved out, so this runs at most once per job (the ticket enforces it).
+pub(crate) fn take_response(job: &Job) -> Response {
+    let mut st = job.state.lock().expect("job lock");
+    debug_assert!(st.done, "take_response on an unfinished job");
+    let status = if job.timed_out.load(Ordering::Acquire) {
+        ResponseStatus::TimedOut
+    } else if let Some(e) = st.error.clone() {
+        ResponseStatus::Failed(e)
+    } else {
+        ResponseStatus::Ok
+    };
+    let parts = if status.is_ok() {
+        st.results.iter_mut().map(|slot| slot.take().unwrap_or_default()).collect()
+    } else {
+        Vec::new()
+    };
+    Response {
+        parts,
+        status,
+        e2e: st.e2e,
+        queue_wait: st.queue_wait,
+        device: Duration::from_secs_f64(st.device_s),
+        service: st.service,
+    }
 }
 
 struct Counters {
@@ -311,18 +397,217 @@ struct ShardStats {
     pool: PoolStats,
 }
 
-struct Shared {
-    queues: Vec<BoundedQueue<Arc<Job>>>,
+/// One registered tenant's runtime state: its spec plus lock-free
+/// admission counters and an end-to-end latency histogram.
+struct TenantRuntime {
+    id: TenantId,
+    spec: TenantSpec,
+    outstanding: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    e2e: Mutex<LatencyHistogram>,
+}
+
+impl TenantRuntime {
+    fn new(id: TenantId, spec: TenantSpec) -> Self {
+        TenantRuntime {
+            id,
+            spec,
+            outstanding: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            e2e: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    queues: Vec<WeightedQueue<Arc<Job>>>,
     /// `table_shard[t]` = shard owning table `t`.
     table_shard: Vec<usize>,
     shard_tables: Vec<Vec<usize>>,
     counters: Counters,
+    /// Registered tenants; index 0 is always the default tenant.
+    tenants: Vec<TenantRuntime>,
     outstanding: AtomicU64,
     idle: (Mutex<()>, Condvar),
     shard_stats: Vec<Mutex<ShardStats>>,
     shed_policy: ShedPolicy,
     request_timeout: Option<Duration>,
     shutdown: AtomicBool,
+}
+
+/// Index of the always-present default tenant in [`Shared::tenants`].
+const DEFAULT_TENANT_INDEX: usize = 0;
+
+impl Shared {
+    /// Resolves a tenant id to its index in [`Shared::tenants`].
+    pub(crate) fn tenant_index(&self, id: TenantId) -> Option<usize> {
+        self.tenants.iter().position(|t| t.id == id)
+    }
+
+    /// The id registered at a tenant index.
+    pub(crate) fn tenant_id(&self, index: usize) -> TenantId {
+        self.tenants[index].id
+    }
+
+    /// One tenant's metrics slice (see
+    /// [`EngineMetrics::per_tenant`]).
+    pub(crate) fn tenant_metrics(&self, index: usize) -> TenantMetrics {
+        let t = &self.tenants[index];
+        TenantMetrics {
+            id: t.id,
+            weight: t.spec.weight,
+            priority_class: t.spec.priority_class,
+            admission_quota: t.spec.admission_quota,
+            submitted: t.submitted.load(Ordering::Relaxed),
+            completed: t.completed.load(Ordering::Relaxed),
+            shed: t.shed.load(Ordering::Relaxed),
+            timed_out: t.timed_out.load(Ordering::Relaxed),
+            failed: t.failed.load(Ordering::Relaxed),
+            outstanding: t.outstanding.load(Ordering::Relaxed),
+            latency: t.e2e.lock().expect("tenant histogram lock").summary(),
+        }
+    }
+
+    /// Splits a request into per-shard parts and allocates its
+    /// completion state; `deadline` overrides the engine-wide timeout.
+    fn build_job(
+        &self,
+        request: &Request,
+        want_payloads: bool,
+        tenant: usize,
+        deadline: Option<Duration>,
+    ) -> Result<(Arc<Job>, Vec<usize>), ServeError> {
+        let num_shards = self.queues.len();
+        let mut parts_by_shard: Vec<Vec<Part>> = (0..num_shards).map(|_| Vec::new()).collect();
+        for (query_index, q) in request.queries.iter().enumerate() {
+            let &shard = self.table_shard.get(q.table).ok_or(ServeError::Store(
+                BandanaError::NoSuchTable { table: q.table, tables: self.table_shard.len() },
+            ))?;
+            // Coalesce duplicate ids within the query.
+            let mut unique_ids: Vec<u32> = Vec::with_capacity(q.ids.len());
+            let mut index_of: HashMap<u32, usize> = HashMap::with_capacity(q.ids.len());
+            let mut expand = Vec::with_capacity(q.ids.len());
+            for &v in &q.ids {
+                let next = unique_ids.len();
+                let idx = *index_of.entry(v).or_insert(next);
+                if idx == next {
+                    unique_ids.push(v);
+                }
+                expand.push(idx);
+            }
+            parts_by_shard[shard].push(Part { query_index, table: q.table, unique_ids, expand });
+        }
+        let involved: Vec<usize> =
+            (0..num_shards).filter(|&s| !parts_by_shard[s].is_empty()).collect();
+        let arrival = Instant::now();
+        let job = Arc::new(Job {
+            arrival,
+            deadline: deadline.or(self.request_timeout).map(|t| arrival + t),
+            tenant,
+            parts_by_shard,
+            remaining: AtomicUsize::new(involved.len()),
+            cancelled: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            want_payloads,
+            state: Mutex::new(JobState {
+                results: vec![None; request.queries.len()],
+                error: None,
+                done: false,
+                e2e: Duration::ZERO,
+                queue_wait: Duration::ZERO,
+                device_s: 0.0,
+                service: Duration::ZERO,
+            }),
+            done_cv: Condvar::new(),
+        });
+        Ok((job, involved))
+    }
+
+    /// Admits a request for `tenant` (quota, then per-tenant shard
+    /// lanes) and dispatches its parts.
+    pub(crate) fn enqueue(
+        &self,
+        request: &Request,
+        want_payloads: bool,
+        tenant: usize,
+        deadline: Option<Duration>,
+    ) -> Result<Arc<Job>, ServeError> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let rt = &self.tenants[tenant];
+        // Reserve the tenant's in-flight slot up front so the quota check
+        // is race-free under concurrent submitters.
+        let reserved = rt.outstanding.fetch_add(1, Ordering::AcqRel);
+        if rt.spec.admission_quota.is_some_and(|q| reserved >= q) {
+            rt.outstanding.fetch_sub(1, Ordering::AcqRel);
+            self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            rt.submitted.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            rt.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QuotaExceeded);
+        }
+        let (job, involved) = match self.build_job(request, want_payloads, tenant, deadline) {
+            Ok(built) => built,
+            Err(e) => {
+                // Malformed before admission: not counted as submitted.
+                rt.outstanding.fetch_sub(1, Ordering::AcqRel);
+                return Err(e);
+            }
+        };
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        rt.submitted.fetch_add(1, Ordering::Relaxed);
+        if involved.is_empty() {
+            // Empty request: trivially complete.
+            self.counters.completed.fetch_add(1, Ordering::Relaxed);
+            rt.completed.fetch_add(1, Ordering::Relaxed);
+            rt.outstanding.fetch_sub(1, Ordering::AcqRel);
+            let mut st = job.state.lock().expect("job lock");
+            st.done = true;
+            drop(st);
+            return Ok(job);
+        }
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+        for (i, &shard) in involved.iter().enumerate() {
+            let result = self.queues[shard].push(tenant, Arc::clone(&job), self.shed_policy);
+            let reject_error = match result {
+                Push::Accepted => continue,
+                Push::Dropped(_) => ServeError::Rejected,
+                Push::Closed(_) => ServeError::ShuttingDown,
+            };
+            // Shed/abort the whole request. Both rejection causes (full
+            // lane, closing queue) count as shed so every submitted
+            // request lands in exactly one outcome bucket.
+            job.cancelled.store(true, Ordering::Release);
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            rt.shed.fetch_add(1, Ordering::Relaxed);
+            // Account for the parts that were never enqueued (this shard
+            // and all later ones), then reclaim the parts earlier shards
+            // already accepted: left queued, the cancelled work would
+            // hold lane slots and burn the tenant's DRR quantum. A part
+            // a worker already popped (reclaim misses) is handled by the
+            // cancel flag and finishes through the normal worker path.
+            let mut finished_parts = involved.len() - i;
+            for &prior in &involved[..i] {
+                if self.queues[prior].remove_first(tenant, |j| Arc::ptr_eq(j, &job)).is_some() {
+                    finished_parts += 1;
+                }
+            }
+            if job.remaining.fetch_sub(finished_parts, Ordering::AcqRel) == finished_parts {
+                finalize_job(self, &job, None);
+            }
+            return Err(reject_error);
+        }
+        Ok(job)
+    }
 }
 
 /// Aggregated engine statistics (see [`ShardedEngine::metrics`]).
@@ -369,6 +654,9 @@ pub struct EngineMetrics {
     pub cache: CacheMetrics,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardMetrics>,
+    /// Per-tenant QoS accounting (admission counters, sheds, and each
+    /// tenant's own latency distribution); index 0 is the default tenant.
+    pub per_tenant: Vec<TenantMetrics>,
 }
 
 /// Micro-batching and device-queue accounting inside [`EngineMetrics`].
@@ -545,11 +833,33 @@ impl ShardedEngine {
                 .collect()
         });
 
+        // The tenant table: the default tenant always sits at index 0;
+        // registering TenantId::DEFAULT overrides its spec in place.
+        let mut tenants: Vec<TenantRuntime> =
+            vec![TenantRuntime::new(TenantId::DEFAULT, TenantSpec::default())];
+        for (id, spec) in &config.tenants {
+            if *id == TenantId::DEFAULT {
+                tenants[DEFAULT_TENANT_INDEX] = TenantRuntime::new(*id, *spec);
+            } else {
+                tenants.push(TenantRuntime::new(*id, *spec));
+            }
+        }
+        let lanes: Vec<LaneSpec> = tenants
+            .iter()
+            .map(|t| LaneSpec {
+                weight: u64::from(t.spec.weight),
+                class: t.spec.priority_class.index(),
+            })
+            .collect();
+
         let shared = Arc::new(Shared {
-            queues: (0..num_shards).map(|_| BoundedQueue::new(config.queue_capacity)).collect(),
+            queues: (0..num_shards)
+                .map(|_| WeightedQueue::new(&lanes, config.queue_capacity))
+                .collect(),
             table_shard: table_shard.clone(),
             shard_tables: shard_tables.clone(),
             counters: Counters::new(),
+            tenants,
             outstanding: AtomicU64::new(0),
             idle: (Mutex::new(()), Condvar::new()),
             shard_stats: (0..num_shards).map(|_| Mutex::new(ShardStats::default())).collect(),
@@ -658,99 +968,27 @@ impl ShardedEngine {
         self.shared.table_shard.get(table).copied()
     }
 
-    fn build_job(
-        &self,
-        request: &Request,
-        want_payloads: bool,
-    ) -> Result<(Arc<Job>, Vec<usize>), ServeError> {
-        let num_shards = self.num_shards();
-        let mut parts_by_shard: Vec<Vec<Part>> = (0..num_shards).map(|_| Vec::new()).collect();
-        for (query_index, q) in request.queries.iter().enumerate() {
-            let &shard = self.shared.table_shard.get(q.table).ok_or(ServeError::Store(
-                BandanaError::NoSuchTable { table: q.table, tables: self.shared.table_shard.len() },
-            ))?;
-            // Coalesce duplicate ids within the query.
-            let mut unique_ids: Vec<u32> = Vec::with_capacity(q.ids.len());
-            let mut index_of: HashMap<u32, usize> = HashMap::with_capacity(q.ids.len());
-            let mut expand = Vec::with_capacity(q.ids.len());
-            for &v in &q.ids {
-                let next = unique_ids.len();
-                let idx = *index_of.entry(v).or_insert(next);
-                if idx == next {
-                    unique_ids.push(v);
-                }
-                expand.push(idx);
-            }
-            parts_by_shard[shard].push(Part { query_index, table: q.table, unique_ids, expand });
-        }
-        let involved: Vec<usize> =
-            (0..num_shards).filter(|&s| !parts_by_shard[s].is_empty()).collect();
-        let arrival = Instant::now();
-        let job = Arc::new(Job {
-            arrival,
-            deadline: self.shared.request_timeout.map(|t| arrival + t),
-            parts_by_shard,
-            remaining: AtomicUsize::new(involved.len()),
-            cancelled: AtomicBool::new(false),
-            timed_out: AtomicBool::new(false),
-            want_payloads,
-            state: Mutex::new(JobState {
-                results: vec![None; request.queries.len()],
-                error: None,
-                done: false,
-            }),
-            done_cv: Condvar::new(),
-        });
-        Ok((job, involved))
+    /// Opens a session for a registered tenant: the handle that builds
+    /// typed requests and submits them for
+    /// [`ResponseTicket`](crate::ResponseTicket)s. The default tenant
+    /// ([`TenantId::DEFAULT`]) always exists; other tenants must have
+    /// been registered with [`ServeConfig::with_tenant`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for an unregistered id.
+    pub fn client(&self, tenant: TenantId) -> Result<Client, ServeError> {
+        let index = self.shared.tenant_index(tenant).ok_or(ServeError::UnknownTenant(tenant))?;
+        Ok(Client::new(Arc::clone(&self.shared), index))
     }
 
-    fn enqueue(&self, request: &Request, want_payloads: bool) -> Result<Arc<Job>, ServeError> {
-        if self.shared.shutdown.load(Ordering::Acquire) {
-            return Err(ServeError::ShuttingDown);
-        }
-        let (job, involved) = self.build_job(request, want_payloads)?;
-        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        if involved.is_empty() {
-            // Empty request: trivially complete.
-            self.shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-            let mut st = job.state.lock().expect("job lock");
-            st.done = true;
-            drop(st);
-            return Ok(job);
-        }
-        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
-        for (i, &shard) in involved.iter().enumerate() {
-            let result = self.shared.queues[shard].push(Arc::clone(&job), self.shared.shed_policy);
-            let reject_error = match result {
-                Push::Accepted => continue,
-                Push::Dropped(_) => ServeError::Rejected,
-                Push::Closed(_) => ServeError::ShuttingDown,
-            };
-            // Shed/abort the whole request: shards that already hold a part
-            // will see the cancel flag and skip the work. Both rejection
-            // causes (full queue, closing queue) count as shed so every
-            // submitted request lands in exactly one outcome bucket.
-            job.cancelled.store(true, Ordering::Release);
-            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
-            // Account for the parts that were never enqueued (this shard
-            // and all later ones).
-            let unqueued = involved.len() - i;
-            if job.remaining.fetch_sub(unqueued, Ordering::AcqRel) == unqueued {
-                self.finalize(&job, None);
-            }
-            return Err(reject_error);
-        }
-        Ok(job)
-    }
-
-    /// Marks the job finished and classifies it; `finishing_shard` is the
-    /// shard whose part completed last (None when aborted at submit).
-    fn finalize(&self, job: &Job, finishing_shard: Option<usize>) {
-        finalize_job(&self.shared, job, finishing_shard);
+    /// The registered tenants, default tenant first.
+    pub fn tenants(&self) -> Vec<(TenantId, TenantSpec)> {
+        self.shared.tenants.iter().map(|t| (t.id, t.spec)).collect()
     }
 
     /// Submits a request without waiting for its results (open-loop mode;
-    /// payloads are not retained).
+    /// payloads are not retained), charged to the default tenant.
     ///
     /// With [`ShedPolicy::Block`] this blocks while a target shard queue is
     /// full; with [`ShedPolicy::DropNewest`] it returns
@@ -761,13 +999,17 @@ impl ShardedEngine {
     /// [`ServeError::Rejected`] on shed, [`ServeError::Store`] for unknown
     /// tables, [`ServeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, request: &Request) -> Result<(), ServeError> {
-        self.enqueue(request, false).map(|_| ())
+        self.shared.enqueue(request, false, DEFAULT_TENANT_INDEX, None).map(|_| ())
     }
 
-    /// Serves a request synchronously: dispatches its queries to the
-    /// owning shards, waits for every part, and returns the payloads in
-    /// request order (`result[q][i]` is the payload of
-    /// `request.queries[q].ids[i]`).
+    /// Serves a request synchronously on the default tenant: dispatches
+    /// its queries to the owning shards, waits for every part, and
+    /// returns the payloads in request order (`result[q][i]` is the
+    /// payload of `request.queries[q].ids[i]`).
+    ///
+    /// Tenant-aware callers use [`ShardedEngine::client`] and the ticket
+    /// API instead; this wrapper is kept for single-tenant deployments
+    /// and behaves exactly as it did before tenants existed.
     ///
     /// # Errors
     ///
@@ -775,19 +1017,8 @@ impl ShardedEngine {
     /// request missed its deadline and [`ServeError::Store`] when any id
     /// was invalid.
     pub fn serve(&self, request: &Request) -> Result<Vec<Vec<Bytes>>, ServeError> {
-        let job = self.enqueue(request, true)?;
-        let mut st = job.state.lock().expect("job lock");
-        while !st.done {
-            st = job.done_cv.wait(st).expect("job lock");
-        }
-        if job.timed_out.load(Ordering::Acquire) {
-            return Err(ServeError::TimedOut);
-        }
-        if let Some(e) = st.error.clone() {
-            return Err(ServeError::Store(e));
-        }
-        let results = st.results.iter_mut().map(|slot| slot.take().unwrap_or_default()).collect();
-        Ok(results)
+        let job = self.shared.enqueue(request, true, DEFAULT_TENANT_INDEX, None)?;
+        crate::tenant::ResponseTicket::new(job).wait()?.into_parts()
     }
 
     /// Blocks until no request is in flight.
@@ -847,6 +1078,8 @@ impl ShardedEngine {
             device: device.summary(),
             service: service.summary(),
         };
+        let per_tenant: Vec<TenantMetrics> =
+            (0..self.shared.tenants.len()).map(|i| self.shared.tenant_metrics(i)).collect();
         EngineMetrics {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -866,6 +1099,7 @@ impl ShardedEngine {
             e2e_histogram: e2e,
             cache,
             per_shard,
+            per_tenant,
         }
     }
 
@@ -903,11 +1137,12 @@ impl Drop for ShardedEngine {
 }
 
 /// Classifies a finished job, completes waiters, and releases the
-/// in-flight slot.
+/// in-flight slots (engine-wide and per-tenant).
 fn finalize_job(shared: &Shared, job: &Job, finishing_shard: Option<usize>) {
     let cancelled = job.cancelled.load(Ordering::Acquire);
     let timed_out = job.timed_out.load(Ordering::Acquire);
     let e2e = job.arrival.elapsed();
+    let rt = &shared.tenants[job.tenant];
     let had_error = job.state.lock().expect("job lock").error.is_some();
     // Classify and record BEFORE waking waiters: a caller returning from
     // `serve` must observe its own request in the counters. Shed and
@@ -916,15 +1151,26 @@ fn finalize_job(shared: &Shared, job: &Job, finishing_shard: Option<usize>) {
     if !cancelled && !timed_out {
         if had_error {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            rt.failed.fetch_add(1, Ordering::Relaxed);
         } else {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            rt.completed.fetch_add(1, Ordering::Relaxed);
             if let Some(shard) = finishing_shard {
                 let mut stats = shared.shard_stats[shard].lock().expect("shard stats lock");
                 stats.e2e.record(e2e);
             }
+            rt.e2e.lock().expect("tenant histogram lock").record(e2e);
         }
     }
-    job.state.lock().expect("job lock").done = true;
+    // Release the tenant's in-flight slot BEFORE waking waiters: a
+    // quota-limited caller resubmitting the instant its wait returns
+    // must find its slot free, never a phantom QuotaExceeded.
+    rt.outstanding.fetch_sub(1, Ordering::AcqRel);
+    {
+        let mut st = job.state.lock().expect("job lock");
+        st.e2e = e2e;
+        st.done = true;
+    }
     job.done_cv.notify_all();
     if shared.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
         let (_lock, cv) = &shared.idle;
@@ -1112,6 +1358,7 @@ fn process_batch(
                 if started > deadline {
                     if !job.timed_out.swap(true, Ordering::AcqRel) {
                         shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                        shared.tenants[job.tenant].timed_out.fetch_add(1, Ordering::Relaxed);
                     }
                     serves = false;
                 }
@@ -1224,6 +1471,21 @@ fn process_batch(
     if served > 0 {
         shared.counters.lookups_served.fetch_add(local_lookups, Ordering::Relaxed);
         let service_elapsed = started.elapsed();
+        // Fold this shard's contribution into each job's per-request
+        // breakdown (the slowest involved shard wins), outside the shard
+        // stats lock.
+        for (ji, job) in jobs.iter().enumerate() {
+            if !serve[ji] {
+                continue;
+            }
+            let queue_wait = started.saturating_duration_since(job.arrival);
+            let mut st = job.state.lock().expect("job lock");
+            st.queue_wait = st.queue_wait.max(queue_wait);
+            st.service = st.service.max(service_elapsed);
+            if device_s > st.device_s {
+                st.device_s = device_s;
+            }
+        }
         let mut stats = shared.shard_stats[shard].lock().expect("shard stats lock");
         stats.batches += 1;
         stats.batched_requests += served;

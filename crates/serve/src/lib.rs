@@ -42,20 +42,38 @@
 //! * **Overload behaviour** ([`ShedPolicy`]): bounded per-shard queues
 //!   with block-or-shed admission and an optional deadline, surfacing
 //!   drop and timeout counters instead of unbounded queueing.
+//! * **Ticket-based, tenant-aware API** ([`Client`] / [`ResponseTicket`]):
+//!   each tenant opens a session with [`ShardedEngine::client`], builds
+//!   typed requests ([`RequestBuilder`]: per-table key lists, optional
+//!   per-request deadline), and `submit` returns a completion ticket —
+//!   one thread keeps hundreds of requests in flight and collects typed
+//!   [`Response`]s out of order with `try_take`/`wait`/`wait_timeout`.
+//! * **Multi-tenant QoS** ([`TenantSpec`] via
+//!   [`ServeConfig::with_tenant`]): every shard queue is a set of
+//!   per-tenant bounded lanes scheduled by strict priority across
+//!   [`PriorityClass`]es and deficit round-robin on tenant weights
+//!   within a class, with per-tenant admission quotas, shed counters,
+//!   and latency histograms ([`EngineMetrics::per_tenant`]) — under
+//!   overload, completions divide by the registered weights and no
+//!   backlogged tenant is ever starved.
 //! * **Open-loop load generation** ([`run_open_loop`], driven by
 //!   [`bandana_trace::ArrivalProcess`]): Poisson and bursty arrival
 //!   clocks that keep offering load when the engine falls behind — the
-//!   regime where tail latency and shedding actually show up — next to
-//!   classic closed-loop capacity replay ([`run_closed_loop`]).
+//!   regime where tail latency and shedding actually show up — driven
+//!   through the ticket API by a small fixed reactor pool, next to
+//!   classic closed-loop capacity replay ([`run_closed_loop`] on
+//!   [`Client::call`]).
 //! * **Online re-tuning** ([`OnlineTunerSettings`]): a background thread
 //!   races miniature caches on a sample of live traffic (paper §4.3.3)
 //!   and hot-swaps winning admission thresholds into the owning shards.
 //!
-//! ## Example
+//! ## Example: tickets and weighted tenants
 //!
 //! ```
 //! use bandana_core::{BandanaConfig, BandanaStore};
-//! use bandana_serve::{run_closed_loop, ServeConfig, ShardedEngine};
+//! use bandana_serve::{
+//!     PriorityClass, ServeConfig, ShardedEngine, TenantId, TenantSpec,
+//! };
 //! use bandana_trace::{EmbeddingTable, ModelSpec, TraceGenerator};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -71,26 +89,56 @@
 //!     BandanaConfig::default().with_cache_vectors(512),
 //! )?;
 //!
-//! // Micro-batch lookups across requests (200 µs window, ≤ 8 requests)
-//! // and charge block reads through the NVM queue model with at most 4
-//! // reads in flight per shard.
+//! // Two tenants: the ranking service gets 9× the overload share of the
+//! // batch backfill, which is also capped at 64 in-flight requests.
+//! const RANKING: TenantId = TenantId(1);
+//! const BACKFILL: TenantId = TenantId(2);
 //! let engine = ShardedEngine::new(
 //!     store,
 //!     ServeConfig::default()
 //!         .with_shards(2)
 //!         .with_batch_window(std::time::Duration::from_micros(200))
 //!         .with_max_batch(8)
-//!         .with_device_queue(4),
+//!         .with_device_queue(4)
+//!         .with_tenant(RANKING, TenantSpec::new(9))
+//!         .with_tenant(BACKFILL, TenantSpec::new(1).with_quota(64)),
 //! )?;
+//!
+//! // One thread, many requests in flight: submit tickets, then collect
+//! // the typed responses out of order.
+//! let ranking = engine.client(RANKING)?;
 //! let eval = generator.generate_requests(100);
-//! let report = run_closed_loop(&engine, &eval, 4)?;
-//! assert_eq!(report.completed, 100);
-//! println!("{} qps, p99 {:.1}µs", report.achieved_qps, report.latency.p99_s * 1e6);
+//! let mut tickets: Vec<_> = eval
+//!     .requests
+//!     .iter()
+//!     .map(|r| ranking.submit(r))
+//!     .collect::<Result<_, _>>()?;
+//! for ticket in tickets.iter_mut().rev() {
+//!     let response = ticket.wait()?;
+//!     assert!(response.status.is_ok());
+//! }
+//!
+//! // A backfill request built by hand, with its own deadline.
+//! let backfill = engine.client(BACKFILL)?;
+//! let response = backfill
+//!     .request()
+//!     .keys(0, &[1, 2, 3])
+//!     .deadline(std::time::Duration::from_millis(50))
+//!     .call()?;
+//! assert_eq!(response.parts[0].len(), 3);
+//!
 //! let m = engine.metrics();
-//! println!("mean batch {:.2}, {}", m.batching.mean_batch(), m.breakdown);
+//! assert_eq!(m.completed, 101);
+//! let ranking_m = &m.per_tenant[1];
+//! assert_eq!((ranking_m.id, ranking_m.completed), (RANKING, 100));
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Legacy single-tenant callers keep working: [`ShardedEngine::serve`]
+//! and [`ShardedEngine::submit`] delegate to the always-present default
+//! tenant ([`TenantId::DEFAULT`], weight 1, normal class) and behave
+//! exactly as before the tenant API existed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -99,13 +147,20 @@ pub mod engine;
 pub mod hist;
 pub mod loadgen;
 pub mod queue;
+pub mod tenant;
 pub mod tuner;
 
 pub use engine::{
     BatchingMetrics, EngineMetrics, ServeConfig, ServeError, ShardMetrics, ShardedEngine,
 };
 pub use hist::{fmt_secs, LatencyBreakdown, LatencyHistogram, LatencySummary};
-pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopReport, OpenLoopReport};
+pub use loadgen::{
+    run_closed_loop, run_open_loop, run_open_loop_tenants, ClosedLoopReport, OpenLoopReport,
+};
 pub use nvm_sim::{DepthStats, PoolStats};
-pub use queue::ShedPolicy;
+pub use queue::{LaneSpec, ShedPolicy, WeightedQueue};
+pub use tenant::{
+    Client, PriorityClass, RequestBuilder, Response, ResponseStatus, ResponseTicket, TenantId,
+    TenantMetrics, TenantSpec,
+};
 pub use tuner::OnlineTunerSettings;

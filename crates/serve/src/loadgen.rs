@@ -1,13 +1,27 @@
 //! Closed- and open-loop load generation against a [`ShardedEngine`].
 //!
 //! Closed-loop replay (a fixed set of caller threads, each issuing its
-//! next request when the previous one returns) measures *capacity*; the
-//! offered load self-throttles to whatever the engine sustains. Open-loop
-//! replay submits requests on an [`ArrivalProcess`] clock that does not
-//! care whether the engine keeps up — the regime production ranking
-//! services actually live in — so queueing delay, shedding, and timeouts
-//! become visible (the paper's Figure 5 methodology, applied to the whole
-//! serving engine rather than the raw device).
+//! next request with [`Client::call`] when the previous one returns)
+//! measures *capacity*; the offered load self-throttles to whatever the
+//! engine sustains. Open-loop replay submits requests on an
+//! [`ArrivalProcess`] clock that does not care whether the engine keeps
+//! up — the regime production ranking services actually live in — so
+//! queueing delay, shedding, and timeouts become visible (the paper's
+//! Figure 5 methodology, applied to the whole serving engine rather than
+//! the raw device).
+//!
+//! The open-loop generator drives the **ticket API** from a small fixed
+//! reactor pool: each reactor thread paces its slice of the arrival
+//! schedule, fires [`Client::submit_discarding`] (completion-only
+//! tickets — the workers skip payload retention, like the legacy
+//! fire-and-forget submit), and keeps the resulting
+//! [`ResponseTicket`](crate::ResponseTicket)s in flight while later
+//! arrivals go out, reaping completions opportunistically. Offered load
+//! is therefore bounded by submission cost on a handful of threads — not
+//! by thread-spawn cost or by one blocking caller per in-flight request.
+//! With [`run_open_loop_tenants`] the same schedule is split round-robin
+//! across several tenants, which is how the QoS sweep offers identical
+//! load to differently-weighted tenants.
 //!
 //! Reports subtract a counter snapshot taken at the start of the run, so
 //! several runs against one engine stay separable; the latency
@@ -16,9 +30,16 @@
 
 use crate::engine::{EngineMetrics, ServeError, ShardedEngine};
 use crate::hist::LatencySummary;
+use crate::tenant::{Client, Response, TenantId};
 use bandana_trace::{ArrivalProcess, Trace};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
+
+/// Reactor threads driving the open-loop ticket pipeline. A handful is
+/// enough: submission is cheap (the ticket, not the caller, carries the
+/// in-flight state), and more threads would only add pacing jitter.
+const OPEN_LOOP_REACTORS: usize = 4;
 
 /// Result of an open-loop run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -79,8 +100,26 @@ fn delta(after: &EngineMetrics, before: &EngineMetrics) -> (u64, u64, u64, u64, 
     )
 }
 
-/// Replays `trace` open-loop: requests are submitted on the arrival
-/// process's clock regardless of engine progress, then the engine drains.
+/// Busy-accurate pacing: coarse sleep until close to the arrival offset,
+/// then fine-wait.
+fn pace_until(start: Instant, offset: f64) {
+    loop {
+        let now = start.elapsed().as_secs_f64();
+        let wait = offset - now;
+        if wait <= 0.0 {
+            return;
+        }
+        if wait > 500e-6 {
+            std::thread::sleep(Duration::from_secs_f64(wait - 300e-6));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// Replays `trace` open-loop on the default tenant: requests are
+/// submitted on the arrival process's clock regardless of engine
+/// progress, then every outstanding ticket is collected.
 ///
 /// With [`ShedPolicy::DropNewest`](crate::ShedPolicy::DropNewest) a
 /// saturating rate sheds instead of blocking, so the run always
@@ -92,27 +131,68 @@ pub fn run_open_loop(
     process: &ArrivalProcess,
     seed: u64,
 ) -> OpenLoopReport {
+    run_open_loop_tenants(engine, &[TenantId::DEFAULT], trace, process, seed)
+}
+
+/// As [`run_open_loop`], with the offered load split round-robin across
+/// `tenants` (request *i* is submitted by tenant `i % tenants.len()`) —
+/// every tenant sees the same arrival clock, so under overload the
+/// completion shares expose the engine's QoS scheduling.
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty or contains an unregistered tenant.
+pub fn run_open_loop_tenants(
+    engine: &ShardedEngine,
+    tenants: &[TenantId],
+    trace: &Trace,
+    process: &ArrivalProcess,
+    seed: u64,
+) -> OpenLoopReport {
+    assert!(!tenants.is_empty(), "need at least one tenant");
+    let clients: Vec<Client> = tenants
+        .iter()
+        .map(|&t| engine.client(t).expect("open-loop tenants must be registered"))
+        .collect();
     let before = engine.metrics();
     let schedule = process.schedule(trace.requests.len(), seed);
+    let reactors = OPEN_LOOP_REACTORS.min(trace.requests.len()).max(1);
     let start = Instant::now();
-    for (request, &offset) in trace.requests.iter().zip(&schedule) {
-        // Pace: coarse sleep until close to the arrival, then fine-wait.
-        loop {
-            let now = start.elapsed().as_secs_f64();
-            let wait = offset - now;
-            if wait <= 0.0 {
-                break;
-            }
-            if wait > 500e-6 {
-                std::thread::sleep(Duration::from_secs_f64(wait - 300e-6));
-            } else {
-                std::hint::spin_loop();
-            }
+    std::thread::scope(|scope| {
+        for reactor in 0..reactors {
+            let clients = &clients;
+            let schedule = &schedule;
+            scope.spawn(move || {
+                let mut pending: VecDeque<crate::tenant::ResponseTicket> = VecDeque::new();
+                for i in (reactor..trace.requests.len()).step_by(reactors) {
+                    pace_until(start, schedule[i]);
+                    // Sheds and store errors are visible in the engine
+                    // counters; the generator itself never stops for them
+                    // (open-loop semantics). Completion-only tickets: the
+                    // generator measures timing, so the workers skip
+                    // payload retention, exactly like the legacy
+                    // fire-and-forget submit path.
+                    let client = &clients[i % clients.len()];
+                    if let Ok(ticket) = client.submit_discarding(&trace.requests[i]) {
+                        pending.push_back(ticket);
+                    }
+                    // Reap completions from the front so the pending set
+                    // stays bounded while load keeps flowing.
+                    while let Some(front) = pending.front_mut() {
+                        match front.try_take() {
+                            Ok(Some(_)) => {
+                                pending.pop_front();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                for mut ticket in pending {
+                    let _ = ticket.wait();
+                }
+            });
         }
-        // Sheds and store errors are visible in the counters; the
-        // generator itself never stops for them (open-loop semantics).
-        let _ = engine.submit(request);
-    }
+    });
     engine.drain();
     let wall_s = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
     let after = engine.metrics();
@@ -133,8 +213,9 @@ pub fn run_open_loop(
 }
 
 /// Replays `trace` closed-loop across `concurrency` caller threads
-/// (request *i* goes to caller `i % concurrency`), waiting for each
-/// request's payloads before issuing the next.
+/// (request *i* goes to caller `i % concurrency`), each using
+/// [`Client::call`] on the default tenant — submit plus wait — before
+/// issuing its next request.
 ///
 /// # Errors
 ///
@@ -149,19 +230,21 @@ pub fn run_closed_loop(
     concurrency: usize,
 ) -> Result<ClosedLoopReport, ServeError> {
     assert!(concurrency > 0, "need at least one caller");
+    let client = engine.client(TenantId::DEFAULT).expect("default tenant always exists");
     let before = engine.metrics();
     let first_error: std::sync::Mutex<Option<ServeError>> = std::sync::Mutex::new(None);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for caller in 0..concurrency {
             let first_error = &first_error;
-            let engine = &engine;
+            let client = &client;
             scope.spawn(move || {
                 for request in trace.requests.iter().skip(caller).step_by(concurrency) {
                     if first_error.lock().expect("error lock").is_some() {
                         return;
                     }
-                    if let Err(e) = engine.serve(request) {
+                    let outcome = client.call(request).and_then(Response::into_parts);
+                    if let Err(e) = outcome {
                         let mut slot = first_error.lock().expect("error lock");
                         if slot.is_none() {
                             *slot = Some(e);
@@ -194,6 +277,7 @@ mod tests {
     use super::*;
     use crate::engine::ServeConfig;
     use crate::queue::ShedPolicy;
+    use crate::tenant::TenantSpec;
     use bandana_core::{BandanaConfig, BandanaStore};
     use bandana_trace::{EmbeddingTable, ModelSpec, TraceGenerator};
 
@@ -266,5 +350,31 @@ mod tests {
         assert!(report.shed > 0, "saturation must shed");
         assert!(report.completed > 0, "accepted requests still served");
         assert_eq!(engine.metrics().outstanding, 0, "engine drained");
+    }
+
+    #[test]
+    fn tenant_open_loop_splits_the_offered_load_round_robin() {
+        let (engine, mut generator) = build_engine(
+            4,
+            ServeConfig::default()
+                .with_shards(2)
+                .with_tenant(TenantId(1), TenantSpec::new(3))
+                .with_tenant(TenantId(2), TenantSpec::new(1)),
+        );
+        let trace = generator.generate_requests(80);
+        let process = ArrivalProcess::Poisson { rate_rps: 2_000.0 };
+        let report =
+            run_open_loop_tenants(&engine, &[TenantId(1), TenantId(2)], &trace, &process, 9);
+        assert_eq!(report.submitted, 80);
+        assert_eq!(report.completed, 80);
+        let m = engine.metrics();
+        let t1 = m.per_tenant.iter().find(|t| t.id == TenantId(1)).expect("tenant 1");
+        let t2 = m.per_tenant.iter().find(|t| t.id == TenantId(2)).expect("tenant 2");
+        // Round-robin split: each tenant submitted half the trace.
+        assert_eq!(t1.submitted, 40);
+        assert_eq!(t2.submitted, 40);
+        assert_eq!(t1.completed + t2.completed, 80);
+        // Default tenant untouched.
+        assert_eq!(m.per_tenant[0].submitted, 0);
     }
 }

@@ -6,6 +6,13 @@
 //! capacity measurement) or shed the request and count it (open-loop
 //! semantics — latency of *accepted* requests stays bounded and the drop
 //! counter becomes the overload signal).
+//!
+//! Two queues live here: the plain FIFO [`BoundedQueue`], and the
+//! tenant-aware [`WeightedQueue`] the engine's shards actually drain — a
+//! set of per-tenant bounded lanes scheduled by **strict priority across
+//! classes** and **deficit round-robin (DRR) within a class**, so one
+//! tenant's backlog cannot starve another's and capacity under overload
+//! divides by the registered weights.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -196,6 +203,311 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// One tenant lane's scheduling parameters inside a [`WeightedQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneSpec {
+    /// DRR weight within the lane's class (≥ 1): per scheduling round a
+    /// backlogged lane earns `weight` units of service.
+    pub weight: u64,
+    /// Strict-priority class index; class `0` is served first and lower
+    /// classes only run when every higher class is empty.
+    pub class: usize,
+}
+
+struct Lane<T> {
+    items: VecDeque<T>,
+    weight: u64,
+    /// Unspent DRR credit, carried while the lane stays backlogged and
+    /// reset to zero whenever the lane empties.
+    deficit: u64,
+    shed: u64,
+}
+
+struct WqState<T> {
+    lanes: Vec<Lane<T>>,
+    /// Per-class round-robin cursor into [`WeightedQueue::class_lanes`].
+    cursors: Vec<usize>,
+    /// A lane interrupted mid-quantum by a full batch; it resumes
+    /// spending its remaining deficit before the round continues, so
+    /// small batches cannot collapse weighted shares to visit counts.
+    resume: Option<usize>,
+    len: usize,
+    closed: bool,
+}
+
+/// A multi-lane MPSC queue: one bounded FIFO lane per tenant, drained by
+/// strict priority across classes and deficit round-robin within a class.
+///
+/// Scheduling invariants:
+///
+/// * **Strict priority** — no item of class `c` is popped while any lane
+///   of a class `< c` has items.
+/// * **No starvation within a class** — every scheduling round grants
+///   each backlogged lane of the serving class one quantum (its weight),
+///   so every nonempty lane is visited each round.
+/// * **Weighted shares** — with all lanes of a class permanently
+///   backlogged, popped items divide in proportion to the lane weights
+///   (deficits carry across batch boundaries, so the property holds for
+///   any `pop_batch` size, including 1).
+///
+/// Overload is per lane: a full lane sheds (or blocks) only its own
+/// tenant's submissions, counted in [`WeightedQueue::shed_counts`].
+pub struct WeightedQueue<T> {
+    state: Mutex<WqState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    /// Lane indices grouped by class, ascending class order.
+    class_lanes: Vec<Vec<usize>>,
+    lane_capacity: usize,
+}
+
+impl<T> WeightedQueue<T> {
+    /// Creates a queue with one lane per spec, each holding at most
+    /// `lane_capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty spec list, a zero capacity, or a zero weight.
+    pub fn new(lanes: &[LaneSpec], lane_capacity: usize) -> Self {
+        assert!(!lanes.is_empty(), "need at least one lane");
+        assert!(lane_capacity > 0, "lane capacity must be non-zero");
+        let num_classes = lanes.iter().map(|l| l.class + 1).max().unwrap_or(1);
+        let mut class_lanes: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+        for (i, spec) in lanes.iter().enumerate() {
+            assert!(spec.weight > 0, "lane weight must be at least 1");
+            class_lanes[spec.class].push(i);
+        }
+        WeightedQueue {
+            state: Mutex::new(WqState {
+                lanes: lanes
+                    .iter()
+                    .map(|l| Lane { items: VecDeque::new(), weight: l.weight, deficit: 0, shed: 0 })
+                    .collect(),
+                cursors: vec![0; num_classes],
+                resume: None,
+                len: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            class_lanes,
+            lane_capacity,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn num_lanes(&self) -> usize {
+        self.class_lanes.iter().map(Vec::len).sum()
+    }
+
+    /// The per-lane capacity the queue was created with.
+    pub fn lane_capacity(&self) -> usize {
+        self.lane_capacity
+    }
+
+    /// Total queued items across all lanes.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").len
+    }
+
+    /// Whether every lane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current depth of one lane.
+    pub fn lane_len(&self, lane: usize) -> usize {
+        self.state.lock().expect("queue lock").lanes[lane].items.len()
+    }
+
+    /// Items shed per lane (full lane under
+    /// [`ShedPolicy::DropNewest`]) since creation.
+    pub fn shed_counts(&self) -> Vec<u64> {
+        self.state.lock().expect("queue lock").lanes.iter().map(|l| l.shed).collect()
+    }
+
+    /// Enqueues `item` onto `lane`, applying `policy` when that lane is
+    /// full. Other tenants' lanes are unaffected either way.
+    pub fn push(&self, lane: usize, item: T, policy: ShedPolicy) -> Push<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.closed {
+                return Push::Closed(item);
+            }
+            if st.lanes[lane].items.len() < self.lane_capacity {
+                st.lanes[lane].items.push_back(item);
+                st.len += 1;
+                drop(st);
+                self.not_empty.notify_one();
+                return Push::Accepted;
+            }
+            match policy {
+                ShedPolicy::DropNewest => {
+                    st.lanes[lane].shed += 1;
+                    return Push::Dropped(item);
+                }
+                ShedPolicy::Block => {
+                    st = self.not_full.wait(st).expect("queue lock");
+                }
+            }
+        }
+    }
+
+    /// The highest-priority class with queued work.
+    fn top_class(&self, st: &WqState<T>) -> Option<usize> {
+        (0..self.class_lanes.len())
+            .find(|&c| self.class_lanes[c].iter().any(|&l| !st.lanes[l].items.is_empty()))
+    }
+
+    /// The class a lane belongs to.
+    fn class_of(&self, lane: usize) -> usize {
+        self.class_lanes
+            .iter()
+            .position(|lanes| lanes.contains(&lane))
+            .expect("every lane has a class")
+    }
+
+    /// Pops up to `max` items into `batch` by strict priority + DRR.
+    fn drain_locked(&self, st: &mut WqState<T>, batch: &mut Vec<T>, max: usize) {
+        while batch.len() < max && st.len > 0 {
+            let class = self.top_class(st).expect("len > 0 implies a nonempty lane");
+            // Strict priority preempts an interrupted quantum from a lower
+            // class; the lane keeps its deficit and is re-granted a
+            // quantum when its class is served again.
+            if let Some(li) = st.resume {
+                if self.class_of(li) != class {
+                    st.resume = None;
+                }
+            }
+            // Finish an interrupted quantum before the round continues.
+            if let Some(li) = st.resume {
+                let space = (max - batch.len()) as u64;
+                let lane = &mut st.lanes[li];
+                let take = lane.deficit.min(lane.items.len() as u64).min(space);
+                for _ in 0..take {
+                    batch.push(lane.items.pop_front().expect("resume lane is nonempty"));
+                }
+                st.len -= take as usize;
+                lane.deficit -= take;
+                if lane.items.is_empty() {
+                    lane.deficit = 0;
+                }
+                if lane.deficit == 0 || lane.items.is_empty() {
+                    st.resume = None;
+                }
+                if batch.len() >= max {
+                    return;
+                }
+                continue;
+            }
+            // One DRR round over the class: every backlogged lane earns
+            // its weight and spends what the batch can hold.
+            let lanes = &self.class_lanes[class];
+            let n = lanes.len();
+            let start = st.cursors[class] % n;
+            for step in 0..n {
+                let pos = (start + step) % n;
+                let li = lanes[pos];
+                let lane = &mut st.lanes[li];
+                if lane.items.is_empty() {
+                    lane.deficit = 0;
+                    continue;
+                }
+                lane.deficit += lane.weight;
+                let space = (max - batch.len()) as u64;
+                let take = lane.deficit.min(lane.items.len() as u64).min(space);
+                for _ in 0..take {
+                    batch.push(lane.items.pop_front().expect("lane checked nonempty"));
+                }
+                st.len -= take as usize;
+                lane.deficit -= take;
+                if lane.items.is_empty() {
+                    lane.deficit = 0;
+                }
+                if batch.len() >= max {
+                    // Resume the unspent quantum first next time, then
+                    // continue the round at the following lane.
+                    if lane.deficit > 0 && !lane.items.is_empty() {
+                        st.resume = Some(li);
+                    }
+                    st.cursors[class] = (pos + 1) % n;
+                    return;
+                }
+            }
+            st.cursors[class] = start;
+        }
+    }
+
+    /// Dequeues up to `max` items as one micro-batch, exactly like
+    /// [`BoundedQueue::pop_batch`] but scheduled across lanes: waits up
+    /// to `first_timeout` for the first item, then keeps the batch open
+    /// for `window` from that moment. A closed queue still drains its
+    /// remaining items before reporting [`Pop::Closed`].
+    pub fn pop_batch(&self, first_timeout: Duration, window: Duration, max: usize) -> Pop<Vec<T>> {
+        let max = max.max(1);
+        let mut batch = Vec::new();
+        let mut st = self.state.lock().expect("queue lock");
+        if st.len == 0 {
+            if st.closed {
+                return Pop::Closed;
+            }
+            let (next, _) = self.not_empty.wait_timeout(st, first_timeout).expect("queue lock");
+            st = next;
+            if st.len == 0 {
+                return if st.closed { Pop::Closed } else { Pop::Empty };
+            }
+        }
+        let deadline = Instant::now() + window;
+        loop {
+            let before = batch.len();
+            self.drain_locked(&mut st, &mut batch, max);
+            if batch.len() > before {
+                // Producers blocked on full lanes are woken into the open
+                // window so their requests can still join this batch.
+                self.not_full.notify_all();
+            }
+            if batch.len() >= max || st.closed || window.is_zero() {
+                break;
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (next, _) = self.not_empty.wait_timeout(st, left).expect("queue lock");
+            st = next;
+        }
+        Pop::Item(batch)
+    }
+
+    /// Removes the first queued item in `lane` for which `matches`
+    /// returns true, freeing its slot for a waiting producer.
+    ///
+    /// This is the shed-reclaim path: a request rejected by one shard's
+    /// full lane has already been accepted by other shards — left in
+    /// place, those parts would occupy lane slots and consume the
+    /// tenant's DRR quantum as cancelled zombie work, silently eroding
+    /// the tenant's real completion share exactly when it is most
+    /// oversubscribed. Reclaiming them keeps lanes full of live work
+    /// only. O(lane depth), taken only on the shed path.
+    pub fn remove_first<F: Fn(&T) -> bool>(&self, lane: usize, matches: F) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        let pos = st.lanes[lane].items.iter().position(matches)?;
+        let item = st.lanes[lane].items.remove(pos).expect("position is in bounds");
+        st.len -= 1;
+        drop(st);
+        self.not_full.notify_all();
+        Some(item)
+    }
+
+    /// Closes the queue: pushes are rejected, pops drain and then report
+    /// closure, and all waiters wake.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +638,149 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.close();
         assert!(matches!(producer.join().expect("producer"), Push::Closed(2)));
+    }
+
+    fn two_lane_queue(wa: u64, wb: u64) -> WeightedQueue<usize> {
+        WeightedQueue::new(
+            &[LaneSpec { weight: wa, class: 0 }, LaneSpec { weight: wb, class: 0 }],
+            4096,
+        )
+    }
+
+    #[test]
+    fn weighted_lanes_are_isolated_and_shed_independently() {
+        let q = WeightedQueue::new(
+            &[LaneSpec { weight: 1, class: 0 }, LaneSpec { weight: 1, class: 0 }],
+            2,
+        );
+        assert!(matches!(q.push(0, 10, ShedPolicy::DropNewest), Push::Accepted));
+        assert!(matches!(q.push(0, 11, ShedPolicy::DropNewest), Push::Accepted));
+        // Lane 0 is full; lane 1 still accepts.
+        assert!(matches!(q.push(0, 12, ShedPolicy::DropNewest), Push::Dropped(12)));
+        assert!(matches!(q.push(1, 20, ShedPolicy::DropNewest), Push::Accepted));
+        assert_eq!(q.shed_counts(), vec![1, 0]);
+        assert_eq!(q.lane_len(0), 2);
+        assert_eq!(q.lane_len(1), 1);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn drr_divides_pops_by_weight_for_any_batch_size() {
+        for batch in [1usize, 2, 4, 16] {
+            let q = two_lane_queue(9, 1);
+            let mut counts = [0u64; 2];
+            let mut popped = 0u64;
+            while popped < 600 {
+                for lane in 0..2 {
+                    while q.lane_len(lane) < 64 {
+                        assert!(matches!(
+                            q.push(lane, lane, ShedPolicy::DropNewest),
+                            Push::Accepted
+                        ));
+                    }
+                }
+                match q.pop_batch(Duration::ZERO, Duration::ZERO, batch) {
+                    Pop::Item(items) => {
+                        for lane in items {
+                            counts[lane] += 1;
+                            popped += 1;
+                        }
+                    }
+                    other => panic!("backlogged queue must pop, got {other:?}"),
+                }
+            }
+            let share = counts[0] as f64 / popped as f64;
+            assert!(
+                (share - 0.9).abs() < 0.05,
+                "batch {batch}: heavy share {share} (counts {counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_priority_serves_high_class_first() {
+        let q = WeightedQueue::new(
+            &[LaneSpec { weight: 1, class: 1 }, LaneSpec { weight: 1, class: 0 }],
+            64,
+        );
+        for i in 0..8 {
+            q.push(0, 100 + i, ShedPolicy::Block);
+            q.push(1, 200 + i, ShedPolicy::Block);
+        }
+        let mut order = Vec::new();
+        loop {
+            match q.pop_batch(Duration::ZERO, Duration::ZERO, 3) {
+                Pop::Item(items) if !items.is_empty() => order.extend(items),
+                _ => break,
+            }
+        }
+        // Every class-0 (lane 1) item precedes every class-1 (lane 0) item.
+        let first_low = order.iter().position(|&v| v < 200).expect("low-class items present");
+        assert!(order[..first_low].iter().all(|&v| v >= 200), "{order:?}");
+        assert!(order[first_low..].iter().all(|&v| v < 200), "{order:?}");
+        assert_eq!(order.len(), 16);
+    }
+
+    #[test]
+    fn every_backlogged_lane_is_visited_each_round() {
+        // With both lanes backlogged and weights 9:1, the light lane is
+        // served exactly once per round: never more than 9 heavy pops
+        // between consecutive light pops.
+        let q = two_lane_queue(9, 1);
+        let mut flat = Vec::new();
+        while flat.len() < 300 {
+            for lane in 0..2 {
+                while q.lane_len(lane) < 32 {
+                    q.push(lane, lane, ShedPolicy::DropNewest);
+                }
+            }
+            match q.pop_batch(Duration::ZERO, Duration::ZERO, 7) {
+                Pop::Item(items) => flat.extend(items),
+                other => panic!("backlogged queue must pop, got {other:?}"),
+            }
+        }
+        let mut gap = 0usize;
+        for &lane in &flat {
+            if lane == 1 {
+                gap = 0;
+            } else {
+                gap += 1;
+                assert!(gap <= 9, "light lane starved for {gap} pops: {flat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_close_drains_then_reports_closed() {
+        let q = two_lane_queue(2, 1);
+        q.push(0, 7, ShedPolicy::Block);
+        q.push(1, 8, ShedPolicy::Block);
+        q.close();
+        assert!(matches!(q.push(0, 9, ShedPolicy::Block), Push::Closed(9)));
+        match q.pop_batch(Duration::ZERO, Duration::from_secs(5), 8) {
+            Pop::Item(items) => assert_eq!(items.len(), 2),
+            other => panic!("closed queue still drains, got {other:?}"),
+        }
+        assert!(matches!(q.pop_batch(Duration::ZERO, Duration::ZERO, 8), Pop::Closed));
+    }
+
+    #[test]
+    fn weighted_blocking_push_waits_for_lane_space() {
+        let q = Arc::new(WeightedQueue::new(&[LaneSpec { weight: 1, class: 0 }], 1));
+        q.push(0, 1, ShedPolicy::Block);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            assert!(matches!(q2.push(0, 2, ShedPolicy::Block), Push::Accepted));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        match q.pop_batch(Duration::from_millis(100), Duration::ZERO, 1) {
+            Pop::Item(items) => assert_eq!(items, vec![1]),
+            other => panic!("expected the first item, got {other:?}"),
+        }
+        producer.join().expect("producer");
+        match q.pop_batch(Duration::from_millis(100), Duration::ZERO, 1) {
+            Pop::Item(items) => assert_eq!(items, vec![2]),
+            other => panic!("expected the second item, got {other:?}"),
+        }
     }
 }

@@ -14,8 +14,10 @@
 //! * [`cache`](bandana_cache) — segmented LRU, shadow cache, admission
 //!   policies, miniature caches, DRAM allocation;
 //! * [`serve`](bandana_serve) — the sharded, batching serving engine:
-//!   latency percentiles, bounded queues with load shedding, open-loop
-//!   load generation, and online threshold re-tuning.
+//!   tenant sessions with ticket-based (future-style) submission,
+//!   weighted per-tenant shard queues (strict priority + deficit
+//!   round-robin), latency percentiles, load shedding and admission
+//!   quotas, open-loop load generation, and online threshold re-tuning.
 //!
 //! ## Quickstart
 //!
@@ -46,17 +48,21 @@
 //! # }
 //! ```
 //!
-//! ## Serving at scale
+//! ## Serving at scale: tenants and tickets
 //!
 //! A built store becomes a production-style serving engine with one call:
 //! tables spread across shard-owned worker threads, requests dispatched,
 //! batched, and merged, latency recorded in mergeable log-bucketed
-//! histograms, and overload handled by bounded queues with explicit
-//! shedding.
+//! histograms, and overload handled by per-tenant weighted queues with
+//! explicit shedding. Each tenant opens a
+//! [`Client`](bandana_serve::Client) session; submissions return
+//! [`ResponseTicket`](bandana_serve::ResponseTicket) futures, so one
+//! thread keeps many requests in flight and collects typed
+//! [`Response`](bandana_serve::Response)s out of order.
 //!
 //! ```
 //! use bandana::prelude::*;
-//! use bandana::serve::{run_closed_loop, ServeConfig, ShardedEngine};
+//! use bandana::serve::{ServeConfig, ShardedEngine};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let spec = ModelSpec::test_small();
@@ -70,24 +76,59 @@
 //!     &spec, &embeddings, &training,
 //!     BandanaConfig::default().with_cache_vectors(512))?;
 //!
-//! // Shard-per-worker engine; each shard owns a disjoint set of tables.
-//! let engine = ShardedEngine::new(store, ServeConfig::default().with_shards(2))?;
+//! // Two tenants sharing the shards: under overload the ranking tenant
+//! // gets 9× the backfill's completions (deficit round-robin on the
+//! // weights), and the backfill is capped at 32 in-flight requests.
+//! let engine = ShardedEngine::new(
+//!     store,
+//!     ServeConfig::default()
+//!         .with_shards(2)
+//!         .with_tenant(TenantId(1), TenantSpec::new(9))
+//!         .with_tenant(TenantId(2), TenantSpec::new(1).with_quota(32)),
+//! )?;
+//!
+//! // One thread, out-of-order collection: submit everything, then take
+//! // responses as they finish.
+//! let ranking = engine.client(TenantId(1))?;
 //! let serving = generator.generate_requests(100);
-//! let report = run_closed_loop(&engine, &serving, 4)?;
-//! assert_eq!(report.completed, 100);
-//! // Tail latency, not just averages: p50/p95/p99/p999 from mergeable
-//! // per-shard histograms.
-//! assert!(report.latency.p999_s >= report.latency.p50_s);
+//! let mut tickets = Vec::new();
+//! for request in &serving.requests {
+//!     tickets.push(ranking.submit(request)?);
+//! }
+//! for ticket in tickets.iter_mut().rev() {
+//!     assert!(ticket.wait()?.status.is_ok());
+//! }
+//!
+//! // Typed request building with a per-request deadline.
+//! let backfill = engine.client(TenantId(2))?;
+//! let response = backfill
+//!     .request()
+//!     .keys(0, &[1, 2, 3])
+//!     .deadline(std::time::Duration::from_millis(50))
+//!     .call()?;
+//! assert_eq!(response.parts[0].len(), 3);
+//!
+//! // Per-tenant QoS accounting: sheds, quotas, latency histograms.
+//! let m = engine.metrics();
+//! assert_eq!(m.completed, 101);
+//! assert!(m.per_tenant.iter().any(|t| t.id == TenantId(1) && t.completed == 100));
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! Open-loop mode offers load on an arrival-process clock
+//! Legacy callers keep working — `ShardedEngine::serve`/`submit` delegate
+//! to the default tenant ([`TenantId::DEFAULT`](bandana_serve::TenantId))
+//! — and closed-loop capacity replay
+//! ([`serve::run_closed_loop`](bandana_serve::run_closed_loop)) drives
+//! `Client::call`. Open-loop mode offers load on an arrival-process clock
 //! ([`ArrivalProcess`](bandana_trace::ArrivalProcess), Poisson or bursty)
-//! regardless of engine progress — see
-//! [`serve::run_open_loop`](bandana_serve::run_open_loop),
-//! `examples/latency_bench.rs`, and the `repro serve` experiment which
-//! writes `BENCH_serve.json`.
+//! regardless of engine progress, driving the ticket API from a small
+//! reactor pool — see
+//! [`serve::run_open_loop`](bandana_serve::run_open_loop) and
+//! [`serve::run_open_loop_tenants`](bandana_serve::run_open_loop_tenants),
+//! `examples/latency_bench.rs`, `examples/multi_tenant.rs`, and the
+//! `repro serve` experiment which writes `BENCH_serve.json` (including a
+//! two-tenant overload scenario with per-tenant p99 and shed columns).
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
@@ -111,7 +152,9 @@ pub mod prelude {
     };
     pub use bandana_partition::{AccessFrequency, BlockLayout};
     pub use bandana_serve::{
-        LatencyHistogram, LatencySummary, ServeConfig, ShardedEngine, ShedPolicy,
+        Client, LatencyHistogram, LatencySummary, PriorityClass, RequestBuilder, Response,
+        ResponseStatus, ResponseTicket, ServeConfig, ShardedEngine, ShedPolicy, TenantId,
+        TenantSpec,
     };
     pub use bandana_trace::{
         AetModel, ArrivalProcess, CounterStacks, DriftConfig, DriftingTraceGenerator,
