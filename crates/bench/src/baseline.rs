@@ -8,7 +8,10 @@
 //! accidental lock on the hot path) while shrugging off runner noise.
 //! Structural properties (row set, request accounting, batching actually
 //! batching, the weighted tenant's completions dominating the QoS
-//! scenario per its weight) are checked exactly.
+//! scenario per its weight, and the serve-drift SLO claim — controller-on
+//! keeps the protected tenant's recent-window p99 under its budget with a
+//! nonzero offender `slo_shed`, controller-off blows it) are checked
+//! exactly.
 //!
 //! The workspace's `serde` shim is a no-op, so this module carries its
 //! own minimal JSON reader for the flat documents
@@ -281,9 +284,10 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
 /// The latency fields gated against the baseline.
 const GATED_FIELDS: [&str; 2] = ["p50_s", "p99_s"];
 /// Fields identifying a row across runs (`tenant` is `-1` on aggregate
-/// rows and absent entirely in pre-tenant documents — both format
-/// consistently, so old and new baselines keep matching themselves).
-const KEY_FIELDS: [&str; 3] = ["window_us", "load_pct", "tenant"];
+/// rows and absent entirely in pre-tenant documents, and `slo_on` only
+/// exists on serve-drift rows — absent fields format consistently, so
+/// old and new baselines keep matching themselves).
+const KEY_FIELDS: [&str; 4] = ["window_us", "load_pct", "tenant", "slo_on"];
 
 fn row_key(row: &BTreeMap<String, f64>) -> String {
     KEY_FIELDS
@@ -387,8 +391,14 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
     // weights) — so the floor is a fifth of the weight ratio:
     // decisively above dead/inverted scheduling, comfortably below the
     // sustained-overload measurement.
-    let tenant_rows: Vec<&BTreeMap<String, f64>> =
-        current.rows.iter().filter(|r| r.get("tenant").copied().unwrap_or(-1.0) >= 0.0).collect();
+    // (Serve-drift rows also carry tenants but *deliberately* invert the
+    // weighted shares — the SLO controller sheds the heavy offender — so
+    // they are excluded here and gated by their own block below.)
+    let tenant_rows: Vec<&BTreeMap<String, f64>> = current
+        .rows
+        .iter()
+        .filter(|r| r.get("tenant").copied().unwrap_or(-1.0) >= 0.0 && !r.contains_key("slo_on"))
+        .collect();
     if !tenant_rows.is_empty() {
         let mut scenarios: BTreeMap<String, Vec<&BTreeMap<String, f64>>> = BTreeMap::new();
         for row in &tenant_rows {
@@ -438,6 +448,106 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
             if ok {
                 report.push(format!(
                     "tenant QoS [{key}]: weighted completions dominate and the scenario sheds"
+                ));
+            }
+        }
+    }
+
+    // Serve-drift SLO rows (`slo_on` present): the control plane's
+    // headline claim, checked structurally against each row's own budget
+    // (budgets are derived from measured capacity at run time, so the
+    // comparison is self-calibrating — no wall-clock constants here).
+    // SLO-on must keep the protected tenant's recent-window p99 under
+    // its budget by shedding the offender; SLO-off — same tenants, same
+    // budgets, no controller — must blow it, and may not SLO-shed
+    // anything. Every drift row's shed-reason breakdown must partition
+    // its aggregate shed count.
+    let drift_rows: Vec<&BTreeMap<String, f64>> =
+        current.rows.iter().filter(|r| r.contains_key("slo_on")).collect();
+    if !drift_rows.is_empty() {
+        for row in &drift_rows {
+            let field = |k: &str| row.get(k).copied().unwrap_or(0.0);
+            let sum = field("shed_lane_full") + field("shed_quota") + field("shed_slo");
+            if sum != field("shed") {
+                failures.push(format!(
+                    "row [{}] shed breakdown {sum} does not partition shed {}",
+                    row_key(row),
+                    field("shed")
+                ));
+            }
+        }
+        for (on, label) in [(1.0, "slo-on"), (0.0, "slo-off")] {
+            let arm: Vec<&BTreeMap<String, f64>> = drift_rows
+                .iter()
+                .copied()
+                .filter(|r| r.get("slo_on").copied().unwrap_or(-1.0) == on)
+                .collect();
+            if arm.is_empty() {
+                failures.push(format!("serve-drift is missing its {label} arm"));
+                continue;
+            }
+            let protected: Vec<&BTreeMap<String, f64>> = arm
+                .iter()
+                .copied()
+                .filter(|r| r.get("protected").copied().unwrap_or(0.0) == 1.0)
+                .collect();
+            if protected.is_empty() {
+                failures.push(format!("serve-drift {label} arm has no protected-tenant row"));
+                continue;
+            }
+            let mut ok = true;
+            for p in &protected {
+                let budget = p.get("slo_p99_s").copied().unwrap_or(0.0);
+                let recent = p.get("p99_recent_s").copied().unwrap_or(f64::NAN);
+                let window_samples = p.get("recent_count").copied().unwrap_or(0.0);
+                // A NaN recent p99 (missing field) must fail both arms,
+                // so each arm asserts its positive claim.
+                let held = recent <= budget && window_samples > 0.0;
+                let blown = recent > budget;
+                if budget <= 0.0 {
+                    ok = false;
+                    failures
+                        .push(format!("serve-drift {label}: protected tenant has no p99 budget"));
+                } else if on == 1.0 && !held {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-drift {label}: protected tenant's recent-window p99 {recent:.6}s \
+                         over {window_samples} samples does not sit under its {budget:.6}s \
+                         budget with live traffic — the SLO controller is not protecting it"
+                    ));
+                } else if on == 0.0 && !blown {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-drift {label}: protected tenant's recent-window p99 {recent:.6}s \
+                         sits under the {budget:.6}s budget — the scenario no longer demonstrates \
+                         the failure the controller exists to prevent"
+                    ));
+                }
+            }
+            let slo_shed: f64 = arm.iter().map(|r| r.get("shed_slo").copied().unwrap_or(0.0)).sum();
+            let offender_slo_shed: f64 = arm
+                .iter()
+                .filter(|r| r.get("protected").copied().unwrap_or(0.0) != 1.0)
+                .map(|r| r.get("shed_slo").copied().unwrap_or(0.0))
+                .sum();
+            if on == 1.0 && offender_slo_shed <= 0.0 {
+                ok = false;
+                failures.push(
+                    "serve-drift slo-on: the offender was never SLO-shed — the breaker never \
+                     tripped"
+                        .into(),
+                );
+            }
+            if on == 0.0 && slo_shed > 0.0 {
+                ok = false;
+                failures.push(format!(
+                    "serve-drift slo-off: {slo_shed} requests were SLO-shed with no controller \
+                     registered"
+                ));
+            }
+            if ok {
+                report.push(format!(
+                    "serve-drift {label}: protected tenant's windowed p99 behaves as claimed"
                 ));
             }
         }
@@ -635,6 +745,100 @@ mod tests {
         lone.rows.pop();
         let failures = check_serve(&lone, &base).expect_err("lone tenant row must fail");
         assert!(failures.iter().any(|f| f.contains("only 1 row")), "{failures:?}");
+    }
+
+    fn drift_row(
+        slo_on: u64,
+        tenant: i64,
+        protected: u64,
+        budget: f64,
+        recent_p99: f64,
+        shed_slo: f64,
+        shed_lane_full: f64,
+    ) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("window_us".into(), 200.0);
+        m.insert("load_pct".into(), 400.0);
+        m.insert("slo_on".into(), slo_on as f64);
+        m.insert("tenant".into(), tenant as f64);
+        m.insert("protected".into(), protected as f64);
+        m.insert("slo_p99_s".into(), budget);
+        m.insert("p99_recent_s".into(), recent_p99);
+        m.insert("recent_count".into(), 400.0);
+        m.insert("shed_slo".into(), shed_slo);
+        m.insert("shed_lane_full".into(), shed_lane_full);
+        m.insert("shed_quota".into(), 0.0);
+        m.insert("shed".into(), shed_slo + shed_lane_full);
+        m.insert("completed".into(), 500.0);
+        m.insert("p50_s".into(), 1e-3);
+        m.insert("p99_s".into(), 1e-2);
+        m
+    }
+
+    /// A healthy serve-drift quartet: on-arm protected under budget with
+    /// the offender SLO-shed, off-arm protected blown with no SLO sheds.
+    fn healthy_drift_rows() -> Vec<BTreeMap<String, f64>> {
+        vec![
+            drift_row(1, 1, 1, 0.15, 0.004, 0.0, 10.0),
+            drift_row(1, 2, 0, 0.01, 0.002, 4_000.0, 500.0),
+            drift_row(0, 1, 1, 0.15, 0.450, 0.0, 2_000.0),
+            drift_row(0, 2, 0, 0.01, 0.030, 0.0, 3_000.0),
+        ]
+    }
+
+    #[test]
+    fn slo_drift_claims_are_gated() {
+        let mut base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.5, 60.0)]);
+        base.rows.extend(healthy_drift_rows());
+        let report = check_serve(&base, &base).expect("healthy drift rows must pass");
+        assert!(report.iter().filter(|l| l.contains("serve-drift")).count() == 2, "{report:?}");
+
+        // The controller failing to protect (on-arm protected over
+        // budget) fails the gate.
+        let mut unprotected = base.clone();
+        unprotected.rows[2].insert("p99_recent_s".into(), 0.3);
+        let failures = check_serve(&unprotected, &base).expect_err("blown on-arm must fail");
+        assert!(failures.iter().any(|f| f.contains("not protecting")), "{failures:?}");
+
+        // A vacuously-met SLO (protected tenant locked out, empty window)
+        // fails: the promise is low latency on LIVE traffic.
+        let mut vacuous = base.clone();
+        vacuous.rows[2].insert("recent_count".into(), 0.0);
+        let failures = check_serve(&vacuous, &base).expect_err("empty window must fail");
+        assert!(failures.iter().any(|f| f.contains("live traffic")), "{failures:?}");
+
+        // A toothless scenario (off-arm under budget) fails too.
+        let mut toothless = base.clone();
+        toothless.rows[4].insert("p99_recent_s".into(), 0.01);
+        let failures = check_serve(&toothless, &base).expect_err("soft off-arm must fail");
+        assert!(failures.iter().any(|f| f.contains("no longer demonstrates")), "{failures:?}");
+
+        // The on arm must actually shed the offender via the breaker.
+        let mut untripped = base.clone();
+        untripped.rows[3].insert("shed_slo".into(), 0.0);
+        untripped.rows[3].insert("shed".into(), 500.0);
+        untripped.rows[3].insert("shed_lane_full".into(), 500.0);
+        let failures = check_serve(&untripped, &base).expect_err("untripped breaker must fail");
+        assert!(failures.iter().any(|f| f.contains("never SLO-shed")), "{failures:?}");
+
+        // SLO sheds with no controller registered are a contamination bug.
+        let mut leaky = base.clone();
+        leaky.rows[5].insert("shed_slo".into(), 7.0);
+        leaky.rows[5].insert("shed".into(), 3_007.0);
+        let failures = check_serve(&leaky, &base).expect_err("leaky off arm must fail");
+        assert!(failures.iter().any(|f| f.contains("no controller")), "{failures:?}");
+
+        // A breakdown that does not partition the aggregate is caught.
+        let mut unbalanced = base.clone();
+        unbalanced.rows[2].insert("shed".into(), 9_999.0);
+        let failures = check_serve(&unbalanced, &base).expect_err("bad breakdown must fail");
+        assert!(failures.iter().any(|f| f.contains("does not partition")), "{failures:?}");
+
+        // Losing an arm entirely is caught.
+        let mut lone = base.clone();
+        lone.rows.truncate(4);
+        let failures = check_serve(&lone, &base).expect_err("missing arm must fail");
+        assert!(failures.iter().any(|f| f.contains("missing its slo-off arm")), "{failures:?}");
     }
 
     #[test]

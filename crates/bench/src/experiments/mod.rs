@@ -24,6 +24,7 @@
 //! | [`ext_mrc`] | extension: SHARDS/AET MRC-estimator accuracy |
 //! | [`ext_drift`] | extension: trained-configuration decay under hot-set drift |
 //! | [`serve_latency`] | serving engine: open-loop latency vs offered load (`BENCH_serve.json`) |
+//! | [`serve_drift`] | serving under drift: SLO controller on vs off, per-tenant windowed p99 and shed composition (appends to `BENCH_serve.json`) |
 
 pub mod ablate;
 pub mod common;
@@ -45,6 +46,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod serve_drift;
 pub mod serve_latency;
 pub mod tab01;
 pub mod tab02;
@@ -73,6 +75,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation-mrc",
     "ablation-drift",
     "serve",
+    "serve-drift",
 ];
 
 /// Runs one experiment by id and returns its rendered artifact.
@@ -106,6 +109,7 @@ pub fn run_by_id(id: &str, scale: crate::Scale) -> String {
         "ablation-mrc" => ext_mrc::render(&ext_mrc::run(scale)),
         "ablation-drift" => ext_drift::render(&ext_drift::run(scale)),
         "serve" => serve_latency::run_and_save(scale),
+        "serve-drift" => serve_drift::run_and_save(scale),
         other => panic!("unknown experiment id {other:?}; valid ids: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -1,0 +1,636 @@
+//! Serving under drift with the control plane on vs off: per-tenant SLO
+//! enforcement and tuner feedback over long simulated traffic.
+//!
+//! `ablation-drift` showed a *trained configuration* decaying as the hot
+//! set rotates; this experiment extends the question to the *serving
+//! layer*: with traffic drifting and one tenant flooding far past
+//! capacity, does the engine's control plane keep the other tenant's SLO
+//! intact? Two tenants split one Poisson arrival clock:
+//!
+//! * the **protected** tenant offers a fraction of capacity and carries a
+//!   p99 budget sized well below the latency its lane would reach if the
+//!   offender were allowed to saturate the engine;
+//! * the **offender** carries most of the DRR weight *and* several times
+//!   the engine's capacity in offered load, with a tight budget its own
+//!   flood latency must blow.
+//!
+//! The scenario runs twice on identical traffic (a
+//! [`DriftingTraceGenerator`] stream whose hot set rotates every epoch,
+//! so the online tuner has real work):
+//!
+//! * **controller-on** — the engine runs the
+//!   [`SloController`](bandana_serve::SloController) (plus the online
+//!   tuner). The offender blows its own recent-window p99 within tens of
+//!   milliseconds of flooding, trips its breaker, and is shed at
+//!   admission (`slo_shed`); exponential backoff keeps a re-offending
+//!   tenant mostly shed, so the protected tenant's recent-window p99
+//!   settles far under its budget.
+//! * **controller-off** — same tenants, same budgets, no controller. The
+//!   protected tenant is starved to its lane-full latency and its
+//!   recent-window p99 blows the budget it was promised.
+//!
+//! One row per tenant per arm is appended to `BENCH_serve.json`
+//! (`slo_on` distinguishes the arms) with the windowed p99, the budget,
+//! and the shed-reason breakdown; `repro check-bench` gates the claim
+//! structurally: SLO-on must keep the protected tenant under budget with
+//! a nonzero offender `slo_shed`, SLO-off must blow it.
+
+use crate::output::{JsonObject, TextTable};
+use crate::scale::Scale;
+use bandana_core::BandanaStore;
+use bandana_serve::{
+    run_closed_loop, run_open_loop_with, ControlConfig, LoadGenConfig, OnlineTunerSettings,
+    ServeConfig, ShardedEngine, ShedPolicy, SloControllerConfig, TenantId, TenantMetrics,
+    TenantSpec,
+};
+use bandana_trace::{ArrivalProcess, DriftConfig, DriftingTraceGenerator, EmbeddingTable, Trace};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Shards of the drift engine (kept small: the drift runs are long and
+/// this box may be a single core).
+const SHARDS: usize = 2;
+/// Per-tenant lane capacity: bounded so starvation shows up as lane-full
+/// latency rather than unbounded queueing.
+const LANE_CAPACITY: usize = 64;
+/// The batched pipeline of the serve sweep (window µs, max batch, device
+/// queue depth).
+const BATCH_WINDOW_US: u64 = 200;
+const MAX_BATCH: usize = 16;
+const BATCH_DEPTH: u32 = 4;
+/// Offered load of the scenario as % of measured closed-loop capacity.
+const DRIFT_LOAD_PCT: u32 = 400;
+/// Closed-loop callers for the capacity measurement: several per shard,
+/// or the measurement is submission-bound and understates the batched
+/// pipeline (which then understates the overload the scenario offers).
+const CAPACITY_CONCURRENCY: usize = 4 * SHARDS;
+/// The protected tenant's budget as a multiple of its measured *clean*
+/// p99 (protected-only traffic on an idle engine): high enough that
+/// drift-induced slowdown in the controlled arm stays well under it
+/// (measured ~1.8× clean by end of run), an order of magnitude below the
+/// lane-full latency starvation pins the tenant at (measured ~13× the
+/// budget in the off arm).
+const PROTECTED_BUDGET_MULTIPLE: f64 = 8.0;
+/// The latency-sensitive tenant with the SLO to protect.
+const PROTECTED: (TenantId, u32) = (TenantId(1), 1);
+/// The bulk tenant that floods the engine (and holds most of the DRR
+/// weight, so without SLO shedding it starves the protected tenant).
+const OFFENDER: (TenantId, u32) = (TenantId(2), 19);
+/// Arrival slots: 1 in 16 requests belongs to the protected tenant, so
+/// its offered load is 25% of capacity at the 400% operating point —
+/// comfortably servable alone even after drift erodes the trained
+/// placement, while the offender alone oversubscribes the engine ~4×.
+const PROTECTED_SLOT_SHARE: usize = 16;
+/// Epochs the serving trace drifts across.
+const DRIFT_EPOCHS: usize = 4;
+/// Hot-set rotation per epoch (same spirit as `ablation-drift`).
+const ROTATE_FRACTION: f64 = 0.2;
+
+/// Wall-clock length of each arm's open-loop run.
+fn run_secs(scale: Scale) -> f64 {
+    match scale {
+        Scale::Quick => 6.0,
+        Scale::Full => 12.0,
+    }
+}
+
+/// The protected tenant's p99 budget from its measured clean p99: the
+/// promise is "about what you get from an unloaded engine, with drift
+/// headroom" — and the off arm starves the tenant to its lane-full
+/// latency, one to two orders of magnitude above clean, so the contrast
+/// is wide on both sides.
+fn protected_budget(clean_p99_s: f64) -> Duration {
+    Duration::from_secs_f64(clean_p99_s.max(1e-3) * PROTECTED_BUDGET_MULTIPLE)
+}
+
+/// The offender's p99 budget: a third of the lane-full latency its own
+/// flood pins it at, so it reliably blows its budget (and trips the
+/// breaker) within tens of milliseconds of saturating its lanes.
+fn offender_budget(capacity_qps: f64) -> Duration {
+    let share = f64::from(OFFENDER.1) / f64::from(PROTECTED.1 + OFFENDER.1);
+    let lane_full_s = LANE_CAPACITY as f64 / (share * capacity_qps).max(1.0);
+    Duration::from_secs_f64(lane_full_s / 3.0)
+}
+
+/// The breaker tuning of the on arm: first trip holds one second, and a
+/// tenant that re-blows on release earns an 8× longer hold — a sustained
+/// offender converges to permanently shed within a couple of bursts, so
+/// the tail of the run (and the final recent window the gate reads) is
+/// clean.
+fn slo_config() -> SloControllerConfig {
+    SloControllerConfig {
+        min_samples: 8,
+        release_fraction: 0.5,
+        base_hold: Duration::from_secs(1),
+        backoff: 8,
+        max_hold: Duration::from_secs(60),
+        trip_cooldown_windows: 2,
+        // Longer than any run: the offender's escalation never resets
+        // mid-experiment.
+        forgive_after: Duration::from_secs(60),
+    }
+}
+
+/// Bus cadence for the drift runs: 5 ms ticks, a 400 ms recent window.
+fn control_config() -> ControlConfig {
+    ControlConfig {
+        tick: Duration::from_millis(5),
+        window_slot: Duration::from_millis(50),
+        window_slots: 8,
+    }
+}
+
+/// One tenant's measured outcome in one arm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftServeRow {
+    /// Micro-batch window (matches the serve sweep's batched pipeline).
+    pub window_us: u64,
+    /// Offered load as % of measured capacity.
+    pub load_pct: u32,
+    /// Whether the control plane ran in this arm.
+    pub slo_on: bool,
+    /// Tenant id of the row.
+    pub tenant: i64,
+    /// The tenant's DRR weight.
+    pub tenant_weight: u64,
+    /// Whether this is the protected tenant (the one whose budget the
+    /// gate checks).
+    pub protected: bool,
+    /// The tenant's p99 budget in seconds.
+    pub slo_p99_s: f64,
+    /// Offered requests per second for this tenant.
+    pub offered_qps: f64,
+    /// Completed requests per second.
+    pub achieved_qps: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed at admission (all causes).
+    pub shed: u64,
+    /// ...because a shard lane was full.
+    pub shed_lane_full: u64,
+    /// ...because the admission quota was exhausted.
+    pub shed_quota: u64,
+    /// ...because the SLO breaker was tripped.
+    pub shed_slo: u64,
+    /// Parts reclaimed from other shards' lanes on mid-dispatch sheds.
+    pub reclaimed: u64,
+    /// Lifetime mean / p50 / p99 / p99.9 latency in seconds.
+    pub mean_s: f64,
+    /// Lifetime p50.
+    pub p50_s: f64,
+    /// Lifetime p99.
+    pub p99_s: f64,
+    /// Lifetime p99.9.
+    pub p999_s: f64,
+    /// Recent-window p99 at end of run (what the SLO gate reads).
+    pub p99_recent_s: f64,
+    /// Samples inside the recent window at end of run.
+    pub recent_count: u64,
+    /// Admission-policy hot-swaps the tuner applied during the run
+    /// (engine-wide; zero in the off arm).
+    pub tuner_swaps: u64,
+}
+
+/// The sizing knobs, split out so the unit test can run a miniature
+/// version of the scenario.
+#[derive(Debug, Clone, Copy)]
+struct DriftParams {
+    run_secs: f64,
+    train_requests: usize,
+    capacity_requests: usize,
+}
+
+fn params(scale: Scale) -> DriftParams {
+    DriftParams {
+        run_secs: run_secs(scale),
+        train_requests: scale.train_requests(),
+        capacity_requests: scale.eval_requests(),
+    }
+}
+
+struct DriftInputs {
+    spec: bandana_trace::ModelSpec,
+    embeddings: Vec<EmbeddingTable>,
+    train: Trace,
+}
+
+fn build_store(inputs: &DriftInputs, scale: Scale) -> BandanaStore {
+    let config = bandana_core::BandanaConfig::default()
+        .with_cache_vectors(scale.default_total_cache())
+        .with_seed(super::common::SEED);
+    BandanaStore::build(&inputs.spec, &inputs.embeddings, &inputs.train, config)
+        .expect("store builds on the drift workload")
+}
+
+/// Builds one arm's engine: the batched pipeline, both tenants with
+/// their budgets, and — in the on arm — the SLO controller plus the
+/// online tuner.
+fn build_engine(
+    inputs: &DriftInputs,
+    scale: Scale,
+    budgets: (Duration, Duration),
+    controllers_on: bool,
+) -> ShardedEngine {
+    let (protect_budget, offend_budget) = budgets;
+    let mut config = ServeConfig::default()
+        .with_shards(SHARDS)
+        .with_queue_capacity(LANE_CAPACITY)
+        .with_shed_policy(ShedPolicy::DropNewest)
+        .with_batch_window(Duration::from_micros(BATCH_WINDOW_US))
+        .with_max_batch(MAX_BATCH)
+        .with_device_queue(BATCH_DEPTH)
+        .with_control(control_config())
+        .with_tenant(PROTECTED.0, TenantSpec::new(PROTECTED.1).with_slo_p99(protect_budget))
+        .with_tenant(OFFENDER.0, TenantSpec::new(OFFENDER.1).with_slo_p99(offend_budget));
+    if controllers_on {
+        config = config.with_slo_controller(slo_config()).with_tuner(OnlineTunerSettings {
+            // Sampled-lookup epochs sized so several tuning decisions land
+            // inside one run without the mini-simulators dominating a
+            // single-core host.
+            epoch_lookups: 10_000,
+            sample_every: 16,
+            ..Default::default()
+        });
+    }
+    ShardedEngine::new(build_store(inputs, scale), config)
+        .expect("drift engine configuration is valid")
+}
+
+/// Runs one arm and folds each tenant's metrics into a row.
+fn run_arm(
+    inputs: &DriftInputs,
+    scale: Scale,
+    trace: &Trace,
+    rate: f64,
+    budgets: (Duration, Duration),
+    slo_on: bool,
+) -> Vec<DriftServeRow> {
+    let engine = build_engine(inputs, scale, budgets, slo_on);
+    // One protected arrival slot, the rest offender: identical clock,
+    // asymmetric offered load.
+    let mut slots = vec![OFFENDER.0; PROTECTED_SLOT_SHARE];
+    slots[0] = PROTECTED.0;
+    let process = ArrivalProcess::Poisson { rate_rps: rate };
+    let report = run_open_loop_with(
+        &engine,
+        &slots,
+        trace,
+        &process,
+        // The same seed in both arms: the A/B comparison is only about
+        // the controller, so the arrival schedule must be identical too.
+        super::common::SEED ^ u64::from(DRIFT_LOAD_PCT),
+        // Satellite of the same PR: a single reactor, because extra
+        // pacing threads on a single-core host only preempt the shard
+        // workers they are measuring.
+        LoadGenConfig { reactors: 1 },
+    );
+    let m = engine.metrics();
+    let row_of = |t: &TenantMetrics, protected: bool, slot_share: f64| DriftServeRow {
+        window_us: BATCH_WINDOW_US,
+        load_pct: DRIFT_LOAD_PCT,
+        slo_on,
+        tenant: i64::from(t.id.0),
+        tenant_weight: u64::from(t.weight),
+        protected,
+        slo_p99_s: t.slo_p99.map(|d| d.as_secs_f64()).unwrap_or(0.0),
+        offered_qps: rate * slot_share,
+        achieved_qps: t.completed as f64 / report.wall_s,
+        completed: t.completed,
+        shed: t.shed,
+        shed_lane_full: t.shed_reasons.lane_full,
+        shed_quota: t.shed_reasons.quota,
+        shed_slo: t.shed_reasons.slo,
+        reclaimed: t.shed_reasons.reclaimed,
+        mean_s: t.latency.mean_s,
+        p50_s: t.latency.p50_s,
+        p99_s: t.latency.p99_s,
+        p999_s: t.latency.p999_s,
+        p99_recent_s: t.recent.p99_s,
+        recent_count: t.recent.count,
+        tuner_swaps: m.tuner_swaps,
+    };
+    let tenant = |id: TenantId| {
+        m.per_tenant.iter().find(|t| t.id == id).expect("scenario tenants are registered")
+    };
+    let protected_share = 1.0 / PROTECTED_SLOT_SHARE as f64;
+    vec![
+        row_of(tenant(PROTECTED.0), true, protected_share),
+        row_of(tenant(OFFENDER.0), false, 1.0 - protected_share),
+    ]
+}
+
+/// Runs the full experiment: measure capacity, derive the budgets and
+/// the drifting trace, then run the controller-on and controller-off
+/// arms on identical traffic.
+pub fn run(scale: Scale) -> Vec<DriftServeRow> {
+    run_with(scale, params(scale))
+}
+
+fn run_with(scale: Scale, p: DriftParams) -> Vec<DriftServeRow> {
+    // The drifting generator produces the training trace inside epoch 0
+    // (undrifted — the store is trained exactly like the serve sweep's)
+    // and the serving trace across DRIFT_EPOCHS later epochs, so the hot
+    // set the engine was placed for rotates away mid-run.
+    let spec = bandana_trace::ModelSpec::paper_scaled(scale.spec_scale());
+    let mut base = bandana_trace::TraceGenerator::new(&spec, super::common::SEED);
+    let train = base.generate_requests(p.train_requests);
+    let capacity_trace = base.generate_requests(p.capacity_requests);
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                base.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let inputs = DriftInputs { spec, embeddings, train };
+
+    // Closed-loop capacity of the batched pipeline on undrifted traffic,
+    // with enough callers that the measurement is engine-bound.
+    let placeholder = Duration::from_secs(3600);
+    let capacity_engine = build_engine(&inputs, scale, (placeholder, placeholder), false);
+    let capacity = run_closed_loop(
+        &capacity_engine,
+        &capacity_trace,
+        CAPACITY_CONCURRENCY.min(capacity_trace.requests.len().max(1)),
+    )
+    .expect("closed-loop capacity replay");
+    drop(capacity_engine);
+    let capacity_qps = capacity.achieved_qps.max(1.0);
+    let rate = capacity_qps * f64::from(DRIFT_LOAD_PCT) / 100.0;
+    let protected_rate = rate / PROTECTED_SLOT_SHARE as f64;
+
+    // The drifting serving trace, sized to the offered rate and run
+    // length; both arms replay the identical request stream.
+    let total_requests = ((rate * p.run_secs).ceil() as usize).max(DRIFT_EPOCHS);
+    let mut driftgen = DriftingTraceGenerator::new(
+        &inputs.spec,
+        super::common::SEED ^ 0x0D21F7,
+        DriftConfig {
+            requests_per_epoch: total_requests.div_ceil(DRIFT_EPOCHS),
+            rotate_fraction: ROTATE_FRACTION,
+        },
+    );
+    let trace = driftgen.generate_requests(total_requests);
+
+    // Calibrate the protected tenant's budget from its *clean* p99:
+    // protected-only traffic at its scenario rate on an otherwise idle
+    // engine (a slice of the same drifting trace, a fresh engine).
+    let clean_engine = build_engine(&inputs, scale, (placeholder, placeholder), false);
+    let mut clean_trace = trace.clone();
+    clean_trace.requests.truncate(
+        ((protected_rate * p.run_secs / 4.0).ceil() as usize).clamp(1, trace.requests.len()),
+    );
+    let clean = run_open_loop_with(
+        &clean_engine,
+        &[PROTECTED.0],
+        &clean_trace,
+        &ArrivalProcess::Poisson { rate_rps: protected_rate.max(1.0) },
+        super::common::SEED ^ 0xC1EA,
+        LoadGenConfig { reactors: 1 },
+    );
+    drop(clean_engine);
+    let budgets = (protected_budget(clean.latency.p99_s), offender_budget(capacity_qps));
+
+    let mut rows = run_arm(&inputs, scale, &trace, rate, budgets, true);
+    rows.extend(run_arm(&inputs, scale, &trace, rate, budgets, false));
+    rows
+}
+
+/// Renders the drift table.
+pub fn render(rows: &[DriftServeRow]) -> String {
+    let mut table = TextTable::new(vec![
+        "arm",
+        "tenant(w)",
+        "role",
+        "offered qps",
+        "achieved qps",
+        "completed",
+        "shed",
+        "lane-full",
+        "quota",
+        "slo",
+        "p99",
+        "recent p99",
+        "budget",
+        "tuner swaps",
+    ]);
+    for r in rows {
+        table.row(vec![
+            if r.slo_on { "slo-on".into() } else { "slo-off".to_string() },
+            format!("{}({})", r.tenant, r.tenant_weight),
+            if r.protected { "protected".into() } else { "offender".to_string() },
+            format!("{:.0}", r.offered_qps),
+            format!("{:.0}", r.achieved_qps),
+            r.completed.to_string(),
+            r.shed.to_string(),
+            r.shed_lane_full.to_string(),
+            r.shed_quota.to_string(),
+            r.shed_slo.to_string(),
+            bandana_serve::fmt_secs(r.p99_s),
+            bandana_serve::fmt_secs(r.p99_recent_s),
+            bandana_serve::fmt_secs(r.slo_p99_s),
+            r.tuner_swaps.to_string(),
+        ]);
+    }
+    format!(
+        "Serving under drift at {DRIFT_LOAD_PCT}% of capacity ({SHARDS} shards, lane \
+         capacity {LANE_CAPACITY}, drop-newest, {DRIFT_EPOCHS} drift epochs rotating \
+         {ROTATE_FRACTION} of the hot set each): controller-on (SLO breaker + online \
+         tuner) vs controller-off on identical traffic. The gate: slo-on keeps the \
+         protected tenant's recent-window p99 under its budget by shedding the \
+         offender; slo-off blows it.\n{}",
+        table.render()
+    )
+}
+
+/// Renders the rows in `BENCH_serve.json` row format.
+fn rows_to_json(rows: &[DriftServeRow]) -> Vec<JsonObject> {
+    rows.iter()
+        .map(|r| {
+            JsonObject::new()
+                .u64("window_us", r.window_us)
+                .u64("load_pct", u64::from(r.load_pct))
+                .u64("slo_on", u64::from(r.slo_on))
+                .f64("tenant", r.tenant as f64)
+                .u64("tenant_weight", r.tenant_weight)
+                .u64("protected", u64::from(r.protected))
+                .f64("slo_p99_s", r.slo_p99_s)
+                .f64("offered_qps", r.offered_qps)
+                .f64("achieved_qps", r.achieved_qps)
+                .u64("completed", r.completed)
+                .u64("shed", r.shed)
+                .u64("shed_lane_full", r.shed_lane_full)
+                .u64("shed_quota", r.shed_quota)
+                .u64("shed_slo", r.shed_slo)
+                .u64("reclaimed", r.reclaimed)
+                .f64("mean_s", r.mean_s)
+                .f64("p50_s", r.p50_s)
+                .f64("p99_s", r.p99_s)
+                .f64("p999_s", r.p999_s)
+                .f64("p99_recent_s", r.p99_recent_s)
+                .u64("recent_count", r.recent_count)
+                .u64("tuner_swaps", r.tuner_swaps)
+        })
+        .collect()
+}
+
+/// Merges the drift rows into an existing `BENCH_serve.json` document
+/// (replacing any previous drift rows, keeping the sweep's rows), or
+/// builds a drift-only document when none exists.
+fn merged_document(existing: Option<&str>, rows: &[DriftServeRow]) -> String {
+    let mut objects: Vec<JsonObject> = Vec::new();
+    if let Some(text) = existing {
+        if let Ok(doc) = crate::baseline::parse_document(text) {
+            for row in &doc.rows {
+                // Drift rows carry `slo_on`; everything else is the serve
+                // sweep's and is preserved verbatim (numeric fields are
+                // the whole row format).
+                if row.contains_key("slo_on") {
+                    continue;
+                }
+                let mut object = JsonObject::new();
+                for (k, v) in row {
+                    object = object.f64(k, *v);
+                }
+                objects.push(object);
+            }
+        }
+    }
+    objects.extend(rows_to_json(rows));
+    crate::output::json_document("serve", objects)
+}
+
+/// Runs the experiment and appends its rows to `BENCH_serve.json`
+/// alongside the serve sweep's (run `repro serve` first; this preserves
+/// whatever rows are already there).
+pub fn run_and_save(scale: Scale) -> String {
+    let rows = run(scale);
+    let artifact = render(&rows);
+    let existing = std::fs::read_to_string("BENCH_serve.json").ok();
+    let json = merged_document(existing.as_deref(), &rows);
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => format!("{artifact}\n[merged {} drift rows into BENCH_serve.json]\n", rows.len()),
+        Err(e) => format!("{artifact}\n[could not write BENCH_serve.json: {e}]\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end run: sized for test wall-clock, checking
+    /// row structure and accounting identities (the SLO-protection claims
+    /// themselves are gated on the real run by `repro check-bench`).
+    #[test]
+    fn miniature_drift_run_has_sound_rows() {
+        let rows = run_with(
+            Scale::Quick,
+            DriftParams { run_secs: 0.8, train_requests: 120, capacity_requests: 60 },
+        );
+        assert_eq!(rows.len(), 4, "two tenants × two arms");
+        for arm in [true, false] {
+            let arm_rows: Vec<&DriftServeRow> = rows.iter().filter(|r| r.slo_on == arm).collect();
+            assert_eq!(arm_rows.len(), 2);
+            let protected = arm_rows.iter().find(|r| r.protected).expect("protected row present");
+            let offender = arm_rows.iter().find(|r| !r.protected).expect("offender row present");
+            assert_eq!(protected.tenant, i64::from(PROTECTED.0 .0));
+            assert_eq!(offender.tenant_weight, u64::from(OFFENDER.1));
+            for r in &arm_rows {
+                // Budgets were derived from measured capacity.
+                assert!(r.slo_p99_s > 0.0, "{r:?}");
+                // The shed breakdown partitions the aggregate.
+                assert_eq!(r.shed_lane_full + r.shed_quota + r.shed_slo, r.shed, "{r:?}");
+                assert!(r.p50_s <= r.p99_s && r.p99_s <= r.p999_s, "{r:?}");
+                assert!(r.completed > 0, "{r:?}");
+            }
+            // The offender's offered load dwarfs the protected tenant's.
+            assert!(offender.offered_qps > protected.offered_qps * 10.0);
+            if !arm {
+                // No controller: nothing may be SLO-shed.
+                assert_eq!(protected.shed_slo + offender.shed_slo, 0, "{arm_rows:?}");
+            }
+        }
+        // Both arms offered each tenant the identical request slice (the
+        // per-tenant totals pin the slot split, not just the trace
+        // length) at the identical rate.
+        for tenant in [PROTECTED.0, OFFENDER.0] {
+            let per_arm: Vec<&DriftServeRow> =
+                rows.iter().filter(|r| r.tenant == i64::from(tenant.0)).collect();
+            assert_eq!(per_arm.len(), 2);
+            assert_eq!(
+                per_arm[0].completed + per_arm[0].shed,
+                per_arm[1].completed + per_arm[1].shed,
+                "arms must offer {tenant} the same requests"
+            );
+            assert_eq!(per_arm[0].offered_qps, per_arm[1].offered_qps);
+        }
+    }
+
+    #[test]
+    fn renders_and_merges_into_bench_document() {
+        let row = DriftServeRow {
+            window_us: 200,
+            load_pct: 400,
+            slo_on: true,
+            tenant: 1,
+            tenant_weight: 1,
+            protected: true,
+            slo_p99_s: 0.15,
+            offered_qps: 500.0,
+            achieved_qps: 480.0,
+            completed: 2_000,
+            shed: 120,
+            shed_lane_full: 80,
+            shed_quota: 0,
+            shed_slo: 40,
+            reclaimed: 7,
+            mean_s: 2e-3,
+            p50_s: 1e-3,
+            p99_s: 2e-2,
+            p999_s: 5e-2,
+            p99_recent_s: 3e-3,
+            recent_count: 400,
+            tuner_swaps: 6,
+        };
+        let offender = DriftServeRow {
+            tenant: 2,
+            tenant_weight: 19,
+            protected: false,
+            slo_p99_s: 0.01,
+            shed_slo: 5_000,
+            shed: 5_080,
+            ..row
+        };
+        let rows = vec![row, offender];
+        let rendered = render(&rows);
+        assert!(rendered.contains("slo-on"));
+        assert!(rendered.contains("protected"));
+        assert!(rendered.contains("offender"));
+        assert!(rendered.contains("recent p99"));
+
+        // Merging keeps the sweep's rows, replaces stale drift rows, and
+        // appends the fresh ones.
+        let sweep = "{\"experiment\":\"serve\",\"rows\":[\
+                     {\"window_us\":200,\"load_pct\":50,\"p99_s\":0.001,\"completed\":60},\
+                     {\"window_us\":200,\"load_pct\":400,\"slo_on\":1,\"tenant\":1,\"completed\":9}]}\n";
+        let merged = merged_document(Some(sweep), &rows);
+        let doc = crate::baseline::parse_document(&merged).expect("merged document parses");
+        assert_eq!(doc.experiment, "serve");
+        assert_eq!(doc.rows.len(), 3, "sweep row + two fresh drift rows: {doc:?}");
+        assert_eq!(doc.rows[0]["load_pct"], 50.0, "sweep row preserved");
+        assert!(doc.rows.iter().filter(|r| r.contains_key("slo_on")).count() == 2);
+        assert!(
+            !doc.rows.iter().any(|r| r.get("completed") == Some(&9.0)),
+            "stale drift rows are replaced"
+        );
+        // Without an existing file the document is drift-only.
+        let standalone = merged_document(None, &rows);
+        let doc = crate::baseline::parse_document(&standalone).expect("standalone parses");
+        assert_eq!(doc.rows.len(), 2);
+        assert_eq!(doc.rows[0]["slo_p99_s"], 0.15);
+        assert_eq!(doc.rows[1]["shed_slo"], 5_000.0);
+    }
+}

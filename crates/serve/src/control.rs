@@ -1,0 +1,633 @@
+//! The unified control plane: a windowed metrics bus and pluggable
+//! feedback controllers.
+//!
+//! The paper's central operational claim (§4.3.3) is that an NVM-backed
+//! embedding store stays viable only when its knobs are *continuously
+//! re-tuned against observed traffic*. Before this module, that feedback
+//! was scattered: the online tuner ran as a one-off thread hard-wired to
+//! a single admission threshold, and per-tenant histograms were
+//! cumulative-only — useless for deciding anything about *now*. This
+//! module makes the loop explicit and measurable:
+//!
+//! * The **metrics bus** is a background thread every
+//!   [`ShardedEngine`](crate::ShardedEngine) runs. Each tick it rotates
+//!   the per-tenant [windowed histograms](crate::WindowedHistogram) and
+//!   assembles an [`EngineSnapshot`] — per-shard lane depths, batch and
+//!   device-queue statistics, per-tenant recent-window latency and
+//!   shed-reason counters — the one consistent view of the engine a
+//!   moment of control logic gets to see.
+//! * A [`Controller`] is a pure policy: `observe(&EngineSnapshot) ->
+//!   Vec<Action>`. The bus feeds every registered controller each tick
+//!   and applies the returned [`Action`]s through the engine's shard
+//!   command channels and shared admission state. Controllers never touch
+//!   the engine directly, so adding one cannot corrupt the data path.
+//! * [`Action`]s cover the knobs the engine exposes: hot-swapping a
+//!   table's admission policy (the tuner's lever), resizing a tenant's
+//!   queue lanes, adapting the micro-batch window, and marking a tenant
+//!   for early shed at admission.
+//!
+//! Two controllers ship in-tree: the re-homed online tuner
+//! ([`OnlineTunerSettings`](crate::OnlineTunerSettings) — races miniature
+//! caches on sampled traffic and emits [`Action::SetPolicy`]) and the
+//! [`SloController`], which enforces each tenant's
+//! [`TenantSpec::slo_p99`](crate::TenantSpec::slo_p99) budget by shedding
+//! the tenant at admission while its recent-window p99 is blown — the
+//! tenant is refused *early*, before its doomed backlog can poison other
+//! tenants' lanes, rather than late when its lane finally fills.
+
+use crate::hist::LatencySummary;
+use crate::tenant::{ShedBreakdown, TenantId};
+use bandana_cache::AdmissionPolicy;
+use nvm_sim::DepthStats;
+use std::time::Duration;
+
+/// Cadence and window geometry of the engine's metrics bus, set via
+/// [`ServeConfig::with_control`](crate::ServeConfig::with_control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlConfig {
+    /// How often the bus snapshots the engine and runs the controllers.
+    pub tick: Duration,
+    /// Wall-clock span of one windowed-histogram slot; the recent window
+    /// covers `window_slots × window_slot` of traffic.
+    pub window_slot: Duration,
+    /// Ring slots per windowed histogram (samples fully decay after this
+    /// many rotations).
+    pub window_slots: usize,
+}
+
+impl Default for ControlConfig {
+    fn default() -> Self {
+        ControlConfig {
+            tick: Duration::from_millis(10),
+            window_slot: Duration::from_millis(50),
+            window_slots: 8,
+        }
+    }
+}
+
+impl ControlConfig {
+    /// Validates the configuration.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.tick.is_zero() {
+            return Err("control tick must be non-zero".into());
+        }
+        if self.window_slot.is_zero() {
+            return Err("window slot span must be non-zero".into());
+        }
+        if self.window_slots == 0 {
+            return Err("need at least one window slot".into());
+        }
+        Ok(())
+    }
+
+    /// The span of traffic the recent window covers when full.
+    pub fn window_span(&self) -> Duration {
+        self.window_slot * self.window_slots as u32
+    }
+}
+
+/// One shard's slice of an [`EngineSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Queued requests per tenant lane (indexed like
+    /// [`EngineSnapshot::tenants`]).
+    pub lane_depths: Vec<usize>,
+    /// Micro-batches served so far.
+    pub batches: u64,
+    /// Requests served across those batches.
+    pub batched_requests: u64,
+    /// Device submission accounting (zeros without a device queue).
+    pub depth: DepthStats,
+}
+
+impl ShardSnapshot {
+    /// Mean requests per micro-batch so far (`0.0` before any batch).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One tenant's slice of an [`EngineSnapshot`].
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The tenant.
+    pub id: TenantId,
+    /// Registered recent-window p99 budget (`None` = no SLO).
+    pub slo_p99: Option<Duration>,
+    /// Requests currently in flight.
+    pub outstanding: u64,
+    /// Requests submitted so far (includes sheds).
+    pub submitted: u64,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Requests currently queued in this tenant's lanes, summed across
+    /// shards — the live pressure signal a controller uses to attribute
+    /// congestion to its source.
+    pub queued: u64,
+    /// Sheds so far, by cause.
+    pub shed: ShedBreakdown,
+    /// Whether the SLO controller currently sheds this tenant.
+    pub slo_shedding: bool,
+    /// End-to-end latency over the recent window (what SLO decisions are
+    /// made from).
+    pub recent: LatencySummary,
+}
+
+/// A consistent periodic view of the engine, assembled by the metrics bus
+/// and handed to every [`Controller`] each tick.
+///
+/// Counters are cumulative since engine start; a stateful controller that
+/// wants per-tick rates keeps its previous snapshot and subtracts.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// Bus ticks completed before this snapshot (0 on the first).
+    pub tick: u64,
+    /// Time since the engine started.
+    pub uptime: Duration,
+    /// The span of traffic the recent windows cover
+    /// ([`ControlConfig::window_span`]) — how long a latency event stays
+    /// visible in windowed quantiles.
+    pub window_span: Duration,
+    /// The currently configured micro-batch window (reflects
+    /// [`Action::SetBatchWindow`] retunes).
+    pub batch_window: Duration,
+    /// Per-shard queue/batch/device state.
+    pub shards: Vec<ShardSnapshot>,
+    /// Per-tenant admission and recent-latency state; index 0 is the
+    /// default tenant.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl EngineSnapshot {
+    /// Total queued requests across all shards and lanes.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|s| s.lane_depths.iter().sum::<usize>()).sum()
+    }
+}
+
+/// A knob adjustment returned by [`Controller::observe`]; the metrics bus
+/// applies it through the engine's command channels and shared state.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Action {
+    /// Hot-swap one table's admission policy (the online tuner's lever);
+    /// routed to the owning shard's command channel and applied between
+    /// micro-batches.
+    SetPolicy {
+        /// The table whose policy changes.
+        table: usize,
+        /// The new policy.
+        policy: AdmissionPolicy,
+        /// Shadow-cache multiplier for policies that need one.
+        shadow_multiplier: f64,
+    },
+    /// Resize one tenant's queue lane in every shard (live; queued work
+    /// is never evicted by a shrink).
+    SetLaneCap {
+        /// The tenant whose lanes resize.
+        tenant: TenantId,
+        /// New per-shard lane capacity (clamped to at least 1).
+        cap: usize,
+    },
+    /// Retune the cross-request micro-batch window on every shard.
+    SetBatchWindow {
+        /// The new window (zero disables cross-request batching).
+        window: Duration,
+    },
+    /// Mark (or unmark) a tenant for early shed at admission: while
+    /// marked, its submissions fail with
+    /// [`ServeError::SloShed`](crate::ServeError::SloShed) without
+    /// touching any queue.
+    SetSloShed {
+        /// The tenant to shed or release.
+        tenant: TenantId,
+        /// `true` to shed, `false` to release.
+        shed: bool,
+    },
+}
+
+/// A feedback policy run by the metrics bus: observe one
+/// [`EngineSnapshot`], return the [`Action`]s to apply.
+///
+/// Controllers are registered at engine construction
+/// ([`ServeConfig::with_slo_controller`](crate::ServeConfig::with_slo_controller),
+/// [`ServeConfig::with_tuner`](crate::ServeConfig::with_tuner), or
+/// [`ShardedEngine::new_with_controllers`](crate::ShardedEngine::new_with_controllers)
+/// for custom ones) and run on the bus thread in registration order. An
+/// `observe` that returns no actions is the steady state; returned
+/// actions are applied immediately, before the next controller runs.
+pub trait Controller: Send {
+    /// A short stable name for logs and debugging.
+    fn name(&self) -> &str;
+
+    /// Inspects the snapshot and returns the knob adjustments to apply.
+    fn observe(&mut self, snapshot: &EngineSnapshot) -> Vec<Action>;
+}
+
+/// Tuning of the [`SloController`]'s trip/release behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloControllerConfig {
+    /// Recent-window samples required before a blown p99 trips the
+    /// breaker (guards against deciding from one or two outliers).
+    pub min_samples: u64,
+    /// Release hysteresis: a tripped tenant is only released once its
+    /// recent p99 falls to this fraction of the budget (an empty window —
+    /// everything decayed out — also counts as recovered).
+    pub release_fraction: f64,
+    /// Minimum shed duration after a trip.
+    pub base_hold: Duration,
+    /// Each consecutive trip multiplies the hold by this factor: a tenant
+    /// that re-blows its budget the moment it is released is a sustained
+    /// offender and earns exponentially longer sheds.
+    pub backoff: u32,
+    /// Ceiling on the escalated hold.
+    pub max_hold: Duration,
+    /// After tripping one tenant, no further tenant is tripped for this
+    /// many recent-window spans. A single congestion event pollutes
+    /// *every* tenant's window at once; the cooldown pins the blame on
+    /// the dominant load source (the most-queued blown tenant) and lets
+    /// the bystanders' windows turn over — by the time the cooldown
+    /// expires, a tenant that was merely collateral damage has a clean
+    /// window again and is never shed.
+    pub trip_cooldown_windows: u32,
+    /// A tenant that stays healthy this long past its hold expiry has
+    /// its escalation forgiven: the next trip starts from
+    /// [`base_hold`](SloControllerConfig::base_hold) again. Escalation
+    /// is for *consecutive* offences — a tenant that refloods the moment
+    /// it is released — not a lifetime grudge against isolated
+    /// transients hours apart.
+    pub forgive_after: Duration,
+}
+
+impl Default for SloControllerConfig {
+    fn default() -> Self {
+        SloControllerConfig {
+            min_samples: 8,
+            release_fraction: 0.5,
+            base_hold: Duration::from_millis(250),
+            backoff: 2,
+            max_hold: Duration::from_secs(8),
+            trip_cooldown_windows: 2,
+            forgive_after: Duration::from_secs(10),
+        }
+    }
+}
+
+impl SloControllerConfig {
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.release_fraction && self.release_fraction <= 1.0) {
+            return Err(format!("SLO release fraction {} outside (0, 1]", self.release_fraction));
+        }
+        if self.base_hold.is_zero() {
+            return Err("SLO base hold must be non-zero".into());
+        }
+        if self.backoff == 0 {
+            return Err("SLO backoff multiplier must be at least 1".into());
+        }
+        if self.max_hold < self.base_hold {
+            return Err("SLO max hold must be at least the base hold".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-tenant breaker state inside the [`SloController`].
+#[derive(Debug, Clone, Copy, Default)]
+struct Breaker {
+    /// Consecutive trips (drives the exponential hold).
+    trips: u32,
+    /// Engine uptime before which the tenant stays shed.
+    hold_until: Duration,
+}
+
+/// Enforces each tenant's [`TenantSpec::slo_p99`](crate::TenantSpec::slo_p99)
+/// budget by shedding the tenant at admission while its *recent-window*
+/// p99 is blown.
+///
+/// This is the ROADMAP's "shed a tenant early when its own p99 budget is
+/// blown rather than when its lane fills": a tenant whose recent
+/// completions already violate its SLO gains nothing from queueing more
+/// work — every additional accepted request deepens its backlog, burns
+/// DRR quanta, and drags down co-tenants. The controller trips a breaker
+/// per tenant: submissions fail fast with
+/// [`ServeError::SloShed`](crate::ServeError::SloShed), the backlog
+/// drains, the blown samples decay out of the window, and the tenant is
+/// released once its recent p99 recovers
+/// ([`release_fraction`](SloControllerConfig::release_fraction)
+/// hysteresis) and the hold expires. Consecutive trips escalate the hold
+/// exponentially ([`backoff`](SloControllerConfig::backoff)), so a
+/// sustained offender converges to being mostly shed while a tenant that
+/// merely hit a transient spike recovers quickly.
+///
+/// One congestion event blows *every* tenant's windowed p99 at once, so
+/// trips are attributed, not broadcast: per scheduling decision the
+/// controller sheds only the blown tenant with the deepest queues — the
+/// dominant load source — and then holds fire for
+/// [`trip_cooldown_windows`](SloControllerConfig::trip_cooldown_windows)
+/// window spans. By the time the cooldown expires, tenants that were
+/// collateral damage of the shed offender have drained and their windows
+/// have turned over clean; only a tenant *still* blowing its budget on
+/// its own traffic earns the next trip.
+#[derive(Debug)]
+pub struct SloController {
+    config: SloControllerConfig,
+    /// Breaker state per tenant index (grown on demand).
+    breakers: Vec<Breaker>,
+    /// Engine uptime of the most recent trip (drives the cooldown).
+    last_trip: Option<Duration>,
+}
+
+impl SloController {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (see [`SloControllerConfig`]).
+    pub fn new(config: SloControllerConfig) -> Self {
+        config.validate().expect("invalid SLO controller configuration");
+        SloController { config, breakers: Vec::new(), last_trip: None }
+    }
+
+    /// The escalated hold after `trips` consecutive trips.
+    fn hold_after(&self, trips: u32) -> Duration {
+        let mut hold = self.config.base_hold;
+        for _ in 1..trips {
+            hold = hold.saturating_mul(self.config.backoff);
+            if hold >= self.config.max_hold {
+                return self.config.max_hold;
+            }
+        }
+        hold.min(self.config.max_hold)
+    }
+}
+
+impl Default for SloController {
+    fn default() -> Self {
+        SloController::new(SloControllerConfig::default())
+    }
+}
+
+impl Controller for SloController {
+    fn name(&self) -> &str {
+        "slo"
+    }
+
+    fn observe(&mut self, snapshot: &EngineSnapshot) -> Vec<Action> {
+        if self.breakers.len() < snapshot.tenants.len() {
+            self.breakers.resize(snapshot.tenants.len(), Breaker::default());
+        }
+        let mut actions = Vec::new();
+        // Releases: a tripped tenant comes back once its hold expired and
+        // its window shows recovery (hysteresis, or fully decayed).
+        for (i, t) in snapshot.tenants.iter().enumerate() {
+            let Some(budget) = t.slo_p99 else { continue };
+            if !t.slo_shedding {
+                continue;
+            }
+            let recovered = t.recent.count == 0
+                || t.recent.p99_s <= budget.as_secs_f64() * self.config.release_fraction;
+            if snapshot.uptime >= self.breakers[i].hold_until && recovered {
+                actions.push(Action::SetSloShed { tenant: t.id, shed: false });
+            }
+        }
+        // Trips: at most one per cooldown, attributed to the most-queued
+        // blown tenant (the congestion's dominant source).
+        let cooldown = snapshot.window_span.saturating_mul(self.config.trip_cooldown_windows);
+        let cooling =
+            self.last_trip.is_some_and(|at| snapshot.uptime < at.saturating_add(cooldown));
+        if !cooling {
+            let candidate = snapshot
+                .tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.slo_shedding)
+                .filter(|(_, t)| {
+                    t.slo_p99.is_some_and(|budget| {
+                        t.recent.count >= self.config.min_samples
+                            && t.recent.p99_s > budget.as_secs_f64()
+                    })
+                })
+                .max_by_key(|(_, t)| (t.queued, t.outstanding, t.submitted));
+            if let Some((i, t)) = candidate {
+                // Escalation applies to *consecutive* offences only: a
+                // tenant that stayed healthy well past its last hold has
+                // its record forgiven and starts from the base hold.
+                let forgiven = self.breakers[i].trips > 0
+                    && snapshot.uptime
+                        >= self.breakers[i].hold_until.saturating_add(self.config.forgive_after);
+                if forgiven {
+                    self.breakers[i].trips = 0;
+                }
+                let trips = self.breakers[i].trips + 1;
+                let hold = self.hold_after(trips);
+                self.breakers[i].trips = trips;
+                self.breakers[i].hold_until = snapshot.uptime + hold;
+                self.last_trip = Some(snapshot.uptime);
+                actions.push(Action::SetSloShed { tenant: t.id, shed: true });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenant(id: u32, budget_ms: u64, p99_ms: f64, count: u64, shedding: bool) -> TenantSnapshot {
+        TenantSnapshot {
+            id: TenantId(id),
+            slo_p99: Some(Duration::from_millis(budget_ms)),
+            outstanding: 0,
+            submitted: count,
+            completed: count,
+            queued: 0,
+            shed: ShedBreakdown::default(),
+            slo_shedding: shedding,
+            recent: LatencySummary { count, p99_s: p99_ms * 1e-3, ..Default::default() },
+        }
+    }
+
+    fn snapshot(uptime_ms: u64, tenants: Vec<TenantSnapshot>) -> EngineSnapshot {
+        EngineSnapshot {
+            tick: 0,
+            uptime: Duration::from_millis(uptime_ms),
+            window_span: Duration::from_millis(50),
+            batch_window: Duration::ZERO,
+            shards: Vec::new(),
+            tenants,
+        }
+    }
+
+    #[test]
+    fn trips_on_blown_budget_and_holds_until_recovered() {
+        let mut ctl = SloController::new(SloControllerConfig {
+            min_samples: 4,
+            release_fraction: 0.5,
+            base_hold: Duration::from_millis(100),
+            backoff: 2,
+            max_hold: Duration::from_secs(1),
+            trip_cooldown_windows: 2,
+            forgive_after: Duration::from_secs(10),
+        });
+        // Healthy: no action.
+        assert!(ctl.observe(&snapshot(0, vec![tenant(1, 10, 5.0, 100, false)])).is_empty());
+        // Blown: trip.
+        let actions = ctl.observe(&snapshot(10, vec![tenant(1, 10, 50.0, 100, false)]));
+        assert_eq!(actions, vec![Action::SetSloShed { tenant: TenantId(1), shed: true }]);
+        // Recovered but hold not expired: stay shed.
+        assert!(ctl.observe(&snapshot(50, vec![tenant(1, 10, 1.0, 10, true)])).is_empty());
+        // Hold expired but window still hot: stay shed.
+        assert!(ctl.observe(&snapshot(200, vec![tenant(1, 10, 8.0, 10, true)])).is_empty());
+        // Hold expired and window recovered (below half the budget): release.
+        let actions = ctl.observe(&snapshot(200, vec![tenant(1, 10, 3.0, 10, true)]));
+        assert_eq!(actions, vec![Action::SetSloShed { tenant: TenantId(1), shed: false }]);
+        // An empty (fully decayed) window also counts as recovered.
+        let actions = ctl.observe(&snapshot(400, vec![tenant(1, 10, 50.0, 100, false)]));
+        assert_eq!(actions.len(), 1, "re-trip");
+        let actions = ctl.observe(&snapshot(1_000, vec![tenant(1, 10, 0.0, 0, true)]));
+        assert_eq!(actions, vec![Action::SetSloShed { tenant: TenantId(1), shed: false }]);
+    }
+
+    #[test]
+    fn consecutive_trips_escalate_the_hold_exponentially() {
+        let ctl = SloController::new(SloControllerConfig {
+            base_hold: Duration::from_millis(100),
+            backoff: 4,
+            max_hold: Duration::from_secs(1),
+            ..Default::default()
+        });
+        assert_eq!(ctl.hold_after(1), Duration::from_millis(100));
+        assert_eq!(ctl.hold_after(2), Duration::from_millis(400));
+        assert_eq!(ctl.hold_after(3), Duration::from_secs(1), "capped");
+        assert_eq!(ctl.hold_after(30), Duration::from_secs(1), "no overflow at deep escalation");
+    }
+
+    #[test]
+    fn few_samples_never_trip() {
+        let mut ctl =
+            SloController::new(SloControllerConfig { min_samples: 16, ..Default::default() });
+        let actions = ctl.observe(&snapshot(0, vec![tenant(1, 10, 500.0, 15, false)]));
+        assert!(actions.is_empty(), "15 < min_samples must not trip: {actions:?}");
+    }
+
+    #[test]
+    fn long_healthy_spells_forgive_the_escalation() {
+        let mut ctl = SloController::new(SloControllerConfig {
+            min_samples: 1,
+            base_hold: Duration::from_millis(100),
+            backoff: 4,
+            max_hold: Duration::from_secs(10),
+            forgive_after: Duration::from_millis(500),
+            ..Default::default()
+        });
+        // Trip 1 at t=0: base hold (until 100 ms).
+        let actions = ctl.observe(&snapshot(0, vec![tenant(1, 10, 50.0, 100, false)]));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(ctl.breakers[0].hold_until, Duration::from_millis(100));
+        // Released, then re-blown quickly (within the forgiveness
+        // window): consecutive offence, hold escalates 4×.
+        let actions = ctl.observe(&snapshot(300, vec![tenant(1, 10, 50.0, 100, false)]));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(ctl.breakers[0].trips, 2);
+        assert_eq!(ctl.breakers[0].hold_until, Duration::from_millis(300 + 400));
+        // A transient spike long after the hold (700 ms) plus the
+        // forgiveness interval (500 ms) have passed: record wiped, the
+        // tenant is treated as a first offender again.
+        let actions = ctl.observe(&snapshot(5_000, vec![tenant(1, 10, 50.0, 100, false)]));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(ctl.breakers[0].trips, 1, "escalation must be forgiven");
+        assert_eq!(ctl.breakers[0].hold_until, Duration::from_millis(5_000 + 100));
+    }
+
+    #[test]
+    fn one_congestion_event_trips_only_the_dominant_source() {
+        let mut ctl = SloController::new(SloControllerConfig {
+            min_samples: 1,
+            // A long hold keeps the tripped offender shed for the whole
+            // test, so only trip decisions appear in the action streams.
+            base_hold: Duration::from_secs(10),
+            max_hold: Duration::from_secs(10),
+            ..Default::default()
+        });
+        // Both tenants blow their budgets at once (the offender's flood
+        // polluted both windows), but the offender holds far deeper
+        // queues — only it is tripped.
+        let mut bystander = tenant(1, 10, 80.0, 50, false);
+        bystander.queued = 30;
+        let mut offender = tenant(2, 10, 80.0, 400, false);
+        offender.queued = 128;
+        let actions = ctl.observe(&snapshot(100, vec![bystander, offender]));
+        assert_eq!(actions, vec![Action::SetSloShed { tenant: TenantId(2), shed: true }]);
+
+        // During the cooldown (2 × 50 ms window span) nobody else is
+        // tripped, even though the bystander's window is still hot.
+        let mut bystander = tenant(1, 10, 80.0, 50, false);
+        bystander.queued = 30;
+        let offender_shed = {
+            let mut t = tenant(2, 10, 0.0, 0, true);
+            t.queued = 0;
+            t
+        };
+        let actions = ctl.observe(&snapshot(150, vec![bystander.clone(), offender_shed.clone()]));
+        assert!(actions.is_empty(), "cooldown must protect the bystander: {actions:?}");
+
+        // After the cooldown, a bystander whose window cleaned up (the
+        // offender's backlog decayed out) is never shed...
+        let recovered = tenant(1, 10, 2.0, 40, false);
+        let actions = ctl.observe(&snapshot(250, vec![recovered, offender_shed.clone()]));
+        assert!(actions.is_empty(), "{actions:?}");
+        // ...while one still blowing its budget on its own traffic earns
+        // the next trip.
+        let actions = ctl.observe(&snapshot(300, vec![bystander, offender_shed]));
+        assert_eq!(actions, vec![Action::SetSloShed { tenant: TenantId(1), shed: true }]);
+    }
+
+    #[test]
+    fn unbudgeted_tenants_are_ignored() {
+        let mut ctl = SloController::default();
+        let mut t = tenant(1, 10, 500.0, 100, false);
+        t.slo_p99 = None;
+        assert!(ctl.observe(&snapshot(0, vec![t])).is_empty());
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_settings() {
+        assert!(SloControllerConfig::default().validate().is_ok());
+        assert!(SloControllerConfig { release_fraction: 0.0, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(SloControllerConfig { release_fraction: 1.5, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(SloControllerConfig { base_hold: Duration::ZERO, ..Default::default() }
+            .validate()
+            .is_err());
+        assert!(SloControllerConfig { backoff: 0, ..Default::default() }.validate().is_err());
+        assert!(SloControllerConfig {
+            base_hold: Duration::from_secs(2),
+            max_hold: Duration::from_secs(1),
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ControlConfig::default().validate().is_ok());
+        assert!(ControlConfig { tick: Duration::ZERO, ..Default::default() }.validate().is_err());
+        assert!(ControlConfig { window_slots: 0, ..Default::default() }.validate().is_err());
+        assert_eq!(
+            ControlConfig {
+                window_slot: Duration::from_millis(50),
+                window_slots: 8,
+                ..Default::default()
+            }
+            .window_span(),
+            Duration::from_millis(400)
+        );
+    }
+}

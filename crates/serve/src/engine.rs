@@ -24,14 +24,25 @@
 //! counters instead of unbounded queueing.
 //!
 //! Table-to-shard placement is static (greedy balance by training-time
-//! lookup mass); an optional background [tuner](crate::tuner) thread keeps
-//! re-tuning each table's prefetch-admission threshold from a sample of
-//! live traffic and hot-swaps the winners into the owning shards.
+//! lookup mass). Feedback is centralized in the
+//! [control plane](crate::control): a metrics-bus thread rotates the
+//! per-tenant recent-latency windows, snapshots the engine each tick, and
+//! runs the registered [`Controller`]s — the online
+//! [tuner](crate::tuner) hot-swapping admission thresholds, the
+//! [`SloController`] shedding tenants whose recent-window p99 blows their
+//! budget, and any caller-supplied controllers
+//! ([`ShardedEngine::new_with_controllers`]).
 
-use crate::hist::{LatencyBreakdown, LatencyHistogram, LatencySummary};
+use crate::control::{
+    Action, ControlConfig, Controller, EngineSnapshot, ShardSnapshot, SloController,
+    SloControllerConfig, TenantSnapshot,
+};
+use crate::hist::{LatencyBreakdown, LatencyHistogram, LatencySummary, WindowedHistogram};
 use crate::queue::{LaneSpec, Pop, Push, ShedPolicy, WeightedQueue};
-use crate::tenant::{Client, Response, ResponseStatus, TenantId, TenantMetrics, TenantSpec};
-use crate::tuner::{tuner_main, OnlineTunerSettings, TunerTable};
+use crate::tenant::{
+    Client, Response, ResponseStatus, ShedBreakdown, TenantId, TenantMetrics, TenantSpec,
+};
+use crate::tuner::{OnlineTunerSettings, TunerController, TunerTable};
 use bandana_cache::{AdmissionPolicy, CacheMetrics};
 use bandana_core::{BandanaError, BandanaStore, BatchScratch, TableStore};
 use bandana_trace::Request;
@@ -84,11 +95,20 @@ pub struct ServeConfig {
     /// queueing, not just host-side queueing. `None` (the default) keeps
     /// reads free, as before this knob existed.
     pub device_queue: Option<u32>,
-    /// Enables the background admission-threshold tuner.
+    /// Enables the background admission-threshold tuner (re-homed as the
+    /// first [`Controller`] on the engine's metrics bus).
     pub tuner: Option<OnlineTunerSettings>,
     /// Registered tenants beyond the always-present default tenant
     /// ([`TenantId::DEFAULT`]); see [`ServeConfig::with_tenant`].
     pub tenants: Vec<(TenantId, TenantSpec)>,
+    /// Cadence and window geometry of the metrics bus (always running;
+    /// the defaults suit most deployments).
+    pub control: ControlConfig,
+    /// Enables the [`SloController`]: tenants with a
+    /// [`TenantSpec::slo_p99`] budget are shed at admission while their
+    /// recent-window p99 is blown. `None` (the default) reports windowed
+    /// latencies without acting on them.
+    pub slo: Option<SloControllerConfig>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +123,8 @@ impl Default for ServeConfig {
             device_queue: None,
             tuner: None,
             tenants: Vec::new(),
+            control: ControlConfig::default(),
+            slo: None,
         }
     }
 }
@@ -158,6 +180,21 @@ impl ServeConfig {
         self
     }
 
+    /// Sets the metrics bus cadence and recent-window geometry.
+    pub fn with_control(mut self, control: ControlConfig) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Enables SLO enforcement: registers an [`SloController`] on the
+    /// metrics bus, which sheds any tenant at admission
+    /// ([`ServeError::SloShed`]) while its recent-window p99 exceeds its
+    /// [`TenantSpec::slo_p99`] budget.
+    pub fn with_slo_controller(mut self, config: SloControllerConfig) -> Self {
+        self.slo = Some(config);
+        self
+    }
+
     /// Registers a tenant and its QoS contract. Each shard gives every
     /// tenant its own bounded queue lane, scheduled by strict priority
     /// across [`PriorityClass`]es and deficit round-robin on
@@ -191,6 +228,10 @@ impl ServeConfig {
         if let Some(t) = &self.tuner {
             t.validate()?;
         }
+        self.control.validate()?;
+        if let Some(s) = &self.slo {
+            s.validate()?;
+        }
         Ok(())
     }
 }
@@ -205,6 +246,13 @@ pub enum ServeError {
     /// The request was shed at admission because its tenant reached its
     /// [`admission quota`](TenantSpec::admission_quota).
     QuotaExceeded,
+    /// The request was shed at admission by the
+    /// [`SloController`](crate::control::SloController): the tenant's
+    /// recent-window p99 currently exceeds its
+    /// [`slo_p99`](TenantSpec::slo_p99) budget, so new work is refused
+    /// early instead of queueing toward a latency that would violate the
+    /// SLO anyway.
+    SloShed,
     /// The request missed its deadline ([`ServeConfig::request_timeout`]
     /// or the per-request override).
     TimedOut,
@@ -226,6 +274,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Rejected => write!(f, "request shed: shard queue full"),
             ServeError::QuotaExceeded => {
                 write!(f, "request shed: tenant admission quota exhausted")
+            }
+            ServeError::SloShed => {
+                write!(f, "request shed: tenant over its recent-window p99 SLO budget")
             }
             ServeError::TimedOut => write!(f, "request timed out before serving started"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
@@ -251,7 +302,9 @@ impl From<BandanaError> for ServeError {
     }
 }
 
-/// A command hot-swapped into a shard between requests.
+/// A command hot-swapped into a shard between micro-batches — the
+/// write side of the control plane: [`Action`]s a controller returns are
+/// translated into these and applied by the worker at a safe point.
 #[derive(Debug)]
 pub(crate) enum ShardCommand {
     /// Replace one table's admission policy.
@@ -262,6 +315,11 @@ pub(crate) enum ShardCommand {
         policy: AdmissionPolicy,
         /// Shadow-cache multiplier for policies that need one.
         shadow_multiplier: f64,
+    },
+    /// Retune the worker's cross-request micro-batch window.
+    SetBatchWindow {
+        /// The new window (zero disables cross-request batching).
+        window: Duration,
     },
 }
 
@@ -348,6 +406,8 @@ struct Counters {
     failed: AtomicU64,
     lookups_served: AtomicU64,
     tuner_swaps: AtomicU64,
+    control_ticks: AtomicU64,
+    control_actions: AtomicU64,
 }
 
 impl Counters {
@@ -360,6 +420,8 @@ impl Counters {
             failed: AtomicU64::new(0),
             lookups_served: AtomicU64::new(0),
             tuner_swaps: AtomicU64::new(0),
+            control_ticks: AtomicU64::new(0),
+            control_actions: AtomicU64::new(0),
         }
     }
 }
@@ -398,7 +460,9 @@ struct ShardStats {
 }
 
 /// One registered tenant's runtime state: its spec plus lock-free
-/// admission counters and an end-to-end latency histogram.
+/// admission counters (aggregate shed and the per-reason breakdown) and
+/// two end-to-end latency histograms — cumulative and recent-window (the
+/// latter rotated by the metrics bus).
 struct TenantRuntime {
     id: TenantId,
     spec: TenantSpec,
@@ -406,13 +470,21 @@ struct TenantRuntime {
     submitted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
+    shed_lane_full: AtomicU64,
+    shed_quota: AtomicU64,
+    shed_slo: AtomicU64,
+    reclaimed: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
+    /// Set by the SLO controller: while true, new submissions are shed at
+    /// admission with [`ServeError::SloShed`].
+    slo_shed: AtomicBool,
     e2e: Mutex<LatencyHistogram>,
+    recent: Mutex<WindowedHistogram>,
 }
 
 impl TenantRuntime {
-    fn new(id: TenantId, spec: TenantSpec) -> Self {
+    fn new(id: TenantId, spec: TenantSpec, window_slots: usize) -> Self {
         TenantRuntime {
             id,
             spec,
@@ -420,9 +492,25 @@ impl TenantRuntime {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            shed_lane_full: AtomicU64::new(0),
+            shed_quota: AtomicU64::new(0),
+            shed_slo: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            slo_shed: AtomicBool::new(false),
             e2e: Mutex::new(LatencyHistogram::new()),
+            recent: Mutex::new(WindowedHistogram::new(window_slots)),
+        }
+    }
+
+    /// The tenant's shed breakdown from the lock-free counters.
+    fn shed_breakdown(&self) -> ShedBreakdown {
+        ShedBreakdown {
+            lane_full: self.shed_lane_full.load(Ordering::Relaxed),
+            quota: self.shed_quota.load(Ordering::Relaxed),
+            slo: self.shed_slo.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
         }
     }
 }
@@ -440,6 +528,14 @@ pub(crate) struct Shared {
     shard_stats: Vec<Mutex<ShardStats>>,
     shed_policy: ShedPolicy,
     request_timeout: Option<Duration>,
+    /// When the engine started (snapshot uptimes are relative to this).
+    started: Instant,
+    /// The recent-window span ([`ControlConfig::window_span`]), reported
+    /// in snapshots so controllers can reason about decay.
+    window_span: Duration,
+    /// The live micro-batch window in nanoseconds, kept in sync with
+    /// [`Action::SetBatchWindow`] retunes so snapshots report the truth.
+    batch_window_ns: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -466,13 +562,108 @@ impl Shared {
             weight: t.spec.weight,
             priority_class: t.spec.priority_class,
             admission_quota: t.spec.admission_quota,
+            slo_p99: t.spec.slo_p99,
             submitted: t.submitted.load(Ordering::Relaxed),
-            completed: t.completed.load(Ordering::Relaxed),
             shed: t.shed.load(Ordering::Relaxed),
+            completed: t.completed.load(Ordering::Relaxed),
+            shed_reasons: t.shed_breakdown(),
             timed_out: t.timed_out.load(Ordering::Relaxed),
             failed: t.failed.load(Ordering::Relaxed),
             outstanding: t.outstanding.load(Ordering::Relaxed),
+            slo_shedding: t.slo_shed.load(Ordering::Relaxed),
             latency: t.e2e.lock().expect("tenant histogram lock").summary(),
+            recent: t.recent.lock().expect("tenant window lock").summary(),
+        }
+    }
+
+    /// Rotates every tenant's recent window by one slot (bus-driven).
+    fn rotate_windows(&self) {
+        for t in &self.tenants {
+            t.recent.lock().expect("tenant window lock").rotate();
+        }
+    }
+
+    /// Assembles the control plane's periodic view of the engine.
+    fn snapshot(&self, tick: u64) -> EngineSnapshot {
+        let shards: Vec<ShardSnapshot> = self
+            .queues
+            .iter()
+            .enumerate()
+            .map(|(shard, q)| {
+                let s = self.shard_stats[shard].lock().expect("shard stats lock");
+                ShardSnapshot {
+                    shard,
+                    lane_depths: q.lane_lens(),
+                    batches: s.batches,
+                    batched_requests: s.batched_requests,
+                    depth: s.depth,
+                }
+            })
+            .collect();
+        let tenants = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| TenantSnapshot {
+                id: t.id,
+                slo_p99: t.spec.slo_p99,
+                outstanding: t.outstanding.load(Ordering::Relaxed),
+                submitted: t.submitted.load(Ordering::Relaxed),
+                completed: t.completed.load(Ordering::Relaxed),
+                queued: shards.iter().map(|s| s.lane_depths[i] as u64).sum(),
+                shed: t.shed_breakdown(),
+                slo_shedding: t.slo_shed.load(Ordering::Relaxed),
+                recent: t.recent.lock().expect("tenant window lock").summary(),
+            })
+            .collect();
+        EngineSnapshot {
+            tick,
+            uptime: self.started.elapsed(),
+            window_span: self.window_span,
+            batch_window: Duration::from_nanos(self.batch_window_ns.load(Ordering::Relaxed)),
+            shards,
+            tenants,
+        }
+    }
+
+    /// Applies one controller [`Action`] through the shard command
+    /// channels and shared admission state.
+    fn apply_action(&self, commands: &[mpsc::Sender<ShardCommand>], action: Action) {
+        self.counters.control_actions.fetch_add(1, Ordering::Relaxed);
+        match action {
+            Action::SetPolicy { table, policy, shadow_multiplier } => {
+                if let Some(&shard) = self.table_shard.get(table) {
+                    if commands[shard]
+                        .send(ShardCommand::SetPolicy { table, policy, shadow_multiplier })
+                        .is_ok()
+                    {
+                        self.counters.tuner_swaps.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Action::SetLaneCap { tenant, cap } => {
+                if let Some(lane) = self.tenant_index(tenant) {
+                    for q in &self.queues {
+                        q.set_lane_capacity(lane, cap.max(1));
+                    }
+                }
+            }
+            Action::SetBatchWindow { window } => {
+                self.batch_window_ns.store(window.as_nanos() as u64, Ordering::Relaxed);
+                for tx in commands {
+                    let _ = tx.send(ShardCommand::SetBatchWindow { window });
+                }
+            }
+            Action::SetSloShed { tenant, shed } => {
+                if let Some(i) = self.tenant_index(tenant) {
+                    self.tenants[i].slo_shed.store(shed, Ordering::Release);
+                }
+            }
+            // `Action` is non_exhaustive for forward compatibility; an
+            // unknown action from a future controller is a no-op rather
+            // than a crash.
+            #[allow(unreachable_patterns)]
+            _ => {}
         }
     }
 
@@ -544,6 +735,17 @@ impl Shared {
             return Err(ServeError::ShuttingDown);
         }
         let rt = &self.tenants[tenant];
+        // SLO breaker first: a tenant currently over its recent-window
+        // p99 budget is refused before it can occupy a quota slot or a
+        // lane — the whole point is that this work never enters a queue.
+        if rt.slo_shed.load(Ordering::Acquire) {
+            self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+            rt.submitted.fetch_add(1, Ordering::Relaxed);
+            self.counters.shed.fetch_add(1, Ordering::Relaxed);
+            rt.shed.fetch_add(1, Ordering::Relaxed);
+            rt.shed_slo.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::SloShed);
+        }
         // Reserve the tenant's in-flight slot up front so the quota check
         // is race-free under concurrent submitters.
         let reserved = rt.outstanding.fetch_add(1, Ordering::AcqRel);
@@ -553,6 +755,7 @@ impl Shared {
             rt.submitted.fetch_add(1, Ordering::Relaxed);
             self.counters.shed.fetch_add(1, Ordering::Relaxed);
             rt.shed.fetch_add(1, Ordering::Relaxed);
+            rt.shed_quota.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::QuotaExceeded);
         }
         let (job, involved) = match self.build_job(request, want_payloads, tenant, deadline) {
@@ -589,6 +792,10 @@ impl Shared {
             job.cancelled.store(true, Ordering::Release);
             self.counters.shed.fetch_add(1, Ordering::Relaxed);
             rt.shed.fetch_add(1, Ordering::Relaxed);
+            // Both rejection causes land in the lane-full reason bucket
+            // (a closing queue is indistinguishable from a full one to
+            // the submitter, and both are admission-side drops).
+            rt.shed_lane_full.fetch_add(1, Ordering::Relaxed);
             // Account for the parts that were never enqueued (this shard
             // and all later ones), then reclaim the parts earlier shards
             // already accepted: left queued, the cancelled work would
@@ -599,6 +806,7 @@ impl Shared {
             for &prior in &involved[..i] {
                 if self.queues[prior].remove_first(tenant, |j| Arc::ptr_eq(j, &job)).is_some() {
                     finished_parts += 1;
+                    rt.reclaimed.fetch_add(1, Ordering::Relaxed);
                 }
             }
             if job.remaining.fetch_sub(finished_parts, Ordering::AcqRel) == finished_parts {
@@ -631,6 +839,11 @@ pub struct EngineMetrics {
     pub lookups: u64,
     /// Admission-policy hot-swaps applied by the background tuner.
     pub tuner_swaps: u64,
+    /// Metrics-bus ticks completed (each tick snapshots the engine and
+    /// runs every registered controller).
+    pub control_ticks: u64,
+    /// Controller [`Action`]s applied by the bus across all controllers.
+    pub control_actions: u64,
     /// End-to-end latency of completed requests.
     pub latency: LatencySummary,
     /// Submission → start-of-service wait.
@@ -761,7 +974,8 @@ pub struct ShardMetrics {
 pub struct ShardedEngine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    tuner: Option<JoinHandle<()>>,
+    /// The metrics-bus thread (window rotation, snapshots, controllers).
+    control: Option<JoinHandle<()>>,
 }
 
 impl ShardedEngine {
@@ -784,6 +998,26 @@ impl ShardedEngine {
     /// Returns [`BandanaError::Config`] for a degenerate configuration or
     /// a store with no tables.
     pub fn new(store: BandanaStore, config: ServeConfig) -> Result<Self, BandanaError> {
+        Self::new_with_controllers(store, config, Vec::new())
+    }
+
+    /// As [`ShardedEngine::new`], with additional custom [`Controller`]s
+    /// registered on the metrics bus.
+    ///
+    /// The in-tree controllers configured on `config` (the tuner via
+    /// [`ServeConfig::with_tuner`], the SLO controller via
+    /// [`ServeConfig::with_slo_controller`]) run first each tick, in that
+    /// order, followed by `controllers` in the order given. Actions are
+    /// applied as each controller returns them.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedEngine::new`].
+    pub fn new_with_controllers(
+        store: BandanaStore,
+        config: ServeConfig,
+        controllers: Vec<Box<dyn Controller>>,
+    ) -> Result<Self, BandanaError> {
         config.validate().map_err(BandanaError::Config)?;
         let parts = store.into_raw_parts();
         let num_tables = parts.tables.len();
@@ -835,13 +1069,14 @@ impl ShardedEngine {
 
         // The tenant table: the default tenant always sits at index 0;
         // registering TenantId::DEFAULT overrides its spec in place.
+        let window_slots = config.control.window_slots;
         let mut tenants: Vec<TenantRuntime> =
-            vec![TenantRuntime::new(TenantId::DEFAULT, TenantSpec::default())];
+            vec![TenantRuntime::new(TenantId::DEFAULT, TenantSpec::default(), window_slots)];
         for (id, spec) in &config.tenants {
             if *id == TenantId::DEFAULT {
-                tenants[DEFAULT_TENANT_INDEX] = TenantRuntime::new(*id, *spec);
+                tenants[DEFAULT_TENANT_INDEX] = TenantRuntime::new(*id, *spec, window_slots);
             } else {
-                tenants.push(TenantRuntime::new(*id, *spec));
+                tenants.push(TenantRuntime::new(*id, *spec, window_slots));
             }
         }
         let lanes: Vec<LaneSpec> = tenants
@@ -856,7 +1091,7 @@ impl ShardedEngine {
             queues: (0..num_shards)
                 .map(|_| WeightedQueue::new(&lanes, config.queue_capacity))
                 .collect(),
-            table_shard: table_shard.clone(),
+            table_shard,
             shard_tables: shard_tables.clone(),
             counters: Counters::new(),
             tenants,
@@ -865,6 +1100,9 @@ impl ShardedEngine {
             shard_stats: (0..num_shards).map(|_| Mutex::new(ShardStats::default())).collect(),
             shed_policy: config.shed_policy,
             request_timeout: config.request_timeout,
+            started: Instant::now(),
+            window_span: config.control.window_span(),
+            batch_window_ns: AtomicU64::new(config.batch_window.as_nanos() as u64),
             shutdown: AtomicBool::new(false),
         });
 
@@ -916,41 +1154,30 @@ impl ShardedEngine {
             workers.push(handle);
         }
         // The engine keeps no sample sender of its own: once every worker
-        // exits, the channel disconnects and the tuner thread unblocks.
+        // exits, the channel disconnects and the tuner controller sees
+        // end-of-stream.
         drop(sample_tx);
 
-        let tuner = match (config.tuner, tuner_tables) {
+        // The metrics bus always runs: it rotates the recent windows and
+        // snapshots the engine even when no controller is registered, so
+        // windowed latencies are observable with the control loop off.
+        let tuner_inputs = match (config.tuner, tuner_tables) {
             (Some(settings), Some(tables)) => {
-                let shard_of = table_shard;
-                let swap_shared = Arc::clone(&shared);
-                let stop_shared = Arc::clone(&shared);
-                Some(
-                    std::thread::Builder::new()
-                        .name("bandana-tuner".into())
-                        .spawn(move || {
-                            tuner_main(
-                                tables,
-                                settings,
-                                shard_of,
-                                command_txs,
-                                sample_rx,
-                                shadow_multiplier,
-                                move || {
-                                    swap_shared
-                                        .counters
-                                        .tuner_swaps
-                                        .fetch_add(1, Ordering::Relaxed);
-                                },
-                                move || stop_shared.shutdown.load(Ordering::Acquire),
-                            )
-                        })
-                        .expect("spawn tuner"),
-                )
+                Some(TunerInputs { tables, settings, samples: sample_rx, shadow_multiplier })
             }
             _ => None,
         };
+        let slo = config.slo;
+        let control_cfg = config.control;
+        let bus_shared = Arc::clone(&shared);
+        let control = std::thread::Builder::new()
+            .name("bandana-control".into())
+            .spawn(move || {
+                control_main(bus_shared, command_txs, control_cfg, tuner_inputs, slo, controllers)
+            })
+            .expect("spawn control bus");
 
-        Ok(ShardedEngine { shared, workers, tuner })
+        Ok(ShardedEngine { shared, workers, control: Some(control) })
     }
 
     /// Number of shard workers.
@@ -1089,6 +1316,8 @@ impl ShardedEngine {
             outstanding: self.shared.outstanding.load(Ordering::Relaxed),
             lookups: c.lookups_served.load(Ordering::Relaxed),
             tuner_swaps: c.tuner_swaps.load(Ordering::Relaxed),
+            control_ticks: c.control_ticks.load(Ordering::Relaxed),
+            control_actions: c.control_actions.load(Ordering::Relaxed),
             latency: e2e.summary(),
             queue_wait: breakdown.queue_wait,
             service: breakdown.service,
@@ -1103,15 +1332,27 @@ impl ShardedEngine {
         }
     }
 
+    /// The control plane's current view of the engine: per-shard lane
+    /// depths, batching and device-queue statistics, and per-tenant
+    /// recent-window latency and shed counters — exactly what registered
+    /// [`Controller`]s observe each bus tick.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.shared.snapshot(self.shared.counters.control_ticks.load(Ordering::Relaxed))
+    }
+
     /// Stops accepting work, drains in-flight requests, joins every
     /// thread, and returns the final metrics.
     pub fn shutdown(mut self) -> EngineMetrics {
         self.begin_shutdown();
+        // The control bus goes first (it exits within one tick of the
+        // shutdown flag): otherwise its final tick races the workers'
+        // exit and flushes controller actions into already-closed
+        // command channels.
+        if let Some(t) = self.control.take() {
+            let _ = t.join();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
-        }
-        if let Some(t) = self.tuner.take() {
-            let _ = t.join();
         }
         self.metrics()
     }
@@ -1127,11 +1368,12 @@ impl ShardedEngine {
 impl Drop for ShardedEngine {
     fn drop(&mut self) {
         self.begin_shutdown();
+        // Same join order as `shutdown`: bus first, then workers.
+        if let Some(t) = self.control.take() {
+            let _ = t.join();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
-        }
-        if let Some(t) = self.tuner.take() {
-            let _ = t.join();
         }
     }
 }
@@ -1160,6 +1402,7 @@ fn finalize_job(shared: &Shared, job: &Job, finishing_shard: Option<usize>) {
                 stats.e2e.record(e2e);
             }
             rt.e2e.lock().expect("tenant histogram lock").record(e2e);
+            rt.recent.lock().expect("tenant window lock").record(e2e);
         }
     }
     // Release the tenant's in-flight slot BEFORE waking waiters: a
@@ -1184,6 +1427,79 @@ struct ShardBatching {
     window: Duration,
     max_batch: usize,
     device_queue: Option<u32>,
+}
+
+/// Everything the control thread needs to build the tuner controller:
+/// owned per-table inputs (the [`OnlineTuner`](bandana_core::OnlineTuner)s
+/// borrow them for the thread's lifetime) plus the shard sample channel.
+struct TunerInputs {
+    tables: Vec<TunerTable>,
+    settings: OnlineTunerSettings,
+    samples: mpsc::Receiver<(usize, u32)>,
+    shadow_multiplier: f64,
+}
+
+/// The metrics-bus thread: the engine's single control loop.
+///
+/// Every `tick` it (1) rotates the per-tenant recent windows on the
+/// window-slot cadence, (2) assembles an [`EngineSnapshot`], and (3) runs
+/// each registered controller over it, applying returned [`Action`]s
+/// through the shard command channels and shared admission state. The
+/// in-tree tuner and SLO controllers are constructed here — the tuner's
+/// [`OnlineTuner`](bandana_core::OnlineTuner)s borrow their per-table
+/// inputs from this stack frame — ahead of any caller-supplied
+/// controllers.
+fn control_main(
+    shared: Arc<Shared>,
+    commands: Vec<mpsc::Sender<ShardCommand>>,
+    config: ControlConfig,
+    tuner: Option<TunerInputs>,
+    slo: Option<SloControllerConfig>,
+    extra: Vec<Box<dyn Controller>>,
+) {
+    // Destructure first so the tables outlive (and can be borrowed by)
+    // the tuner controller while the receiver moves into it.
+    let (tuner_tables, tuner_rest) = match tuner {
+        Some(t) => (t.tables, Some((t.settings, t.samples, t.shadow_multiplier))),
+        None => (Vec::new(), None),
+    };
+    let mut controllers: Vec<Box<dyn Controller + '_>> = Vec::new();
+    if let Some((settings, samples, shadow_multiplier)) = tuner_rest {
+        controllers.push(Box::new(TunerController::new(
+            &tuner_tables,
+            &settings,
+            samples,
+            shadow_multiplier,
+        )));
+    }
+    if let Some(slo_config) = slo {
+        controllers.push(Box::new(SloController::new(slo_config)));
+    }
+    for c in extra {
+        controllers.push(c);
+    }
+
+    let mut tick = 0u64;
+    let mut next_rotation = Instant::now() + config.window_slot;
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(config.tick);
+        // Rotate on the slot cadence, catching up if a tick overslept a
+        // slot boundary (each tenant window advances the same number of
+        // slots, so shard-merged windows stay recency-aligned).
+        let now = Instant::now();
+        while now >= next_rotation {
+            shared.rotate_windows();
+            next_rotation += config.window_slot;
+        }
+        let snapshot = shared.snapshot(tick);
+        for controller in &mut controllers {
+            for action in controller.observe(&snapshot) {
+                shared.apply_action(&commands, action);
+            }
+        }
+        tick += 1;
+        shared.counters.control_ticks.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// One part routed into a [`MergedTable`]: which job and part it came
@@ -1243,8 +1559,14 @@ impl MergeScratch {
 }
 
 /// Lets `duration` of simulated device time actually elapse: coarse sleep
-/// while far out, spin close in (charged times are µs-scale, well below
-/// sleep granularity).
+/// while far out, fine-wait close in (charged times are µs-scale, well
+/// below sleep granularity). The fine wait yields the core instead of
+/// spinning: a real NVM read blocks the issuing context without burning
+/// CPU, so while a shard "waits on the device" the other threads — peer
+/// shards, the submitters, the metrics bus — must be able to run. (On a
+/// single-core host a spinning worker would starve exactly the control
+/// loop that is supposed to observe this congestion.) The charge remains
+/// wall-clock-true: at least `duration` elapses before return.
 fn charge_wall_clock(duration: Duration) {
     if duration.is_zero() {
         return;
@@ -1258,7 +1580,7 @@ fn charge_wall_clock(duration: Duration) {
         if end - now > Duration::from_millis(2) {
             std::thread::sleep(end - now - Duration::from_millis(1));
         } else {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
     }
 }
@@ -1284,7 +1606,7 @@ fn shard_main(
     device: RebasedDevice,
     tables: HashMap<usize, TableStore>,
     shared: Arc<Shared>,
-    batching: ShardBatching,
+    mut batching: ShardBatching,
     commands: mpsc::Receiver<ShardCommand>,
     samples: Option<(mpsc::SyncSender<(usize, u32)>, u32)>,
 ) {
@@ -1308,9 +1630,15 @@ fn shard_main(
     };
     loop {
         while let Ok(cmd) = commands.try_recv() {
-            let ShardCommand::SetPolicy { table, policy, shadow_multiplier } = cmd;
-            if let Some(t) = worker.tables.get_mut(&table) {
-                t.set_policy(policy, shadow_multiplier);
+            match cmd {
+                ShardCommand::SetPolicy { table, policy, shadow_multiplier } => {
+                    if let Some(t) = worker.tables.get_mut(&table) {
+                        t.set_policy(policy, shadow_multiplier);
+                    }
+                }
+                ShardCommand::SetBatchWindow { window } => {
+                    batching.window = window;
+                }
             }
         }
         let jobs =

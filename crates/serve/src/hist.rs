@@ -1,5 +1,5 @@
-//! Latency accounting: a mergeable log-bucketed histogram with tail
-//! quantiles.
+//! Latency accounting: mergeable log-bucketed histograms with tail
+//! quantiles, cumulative and windowed.
 //!
 //! Serving systems are judged on their latency *distribution*, not the
 //! mean: the paper's own device evaluation (Figures 2 and 5) plots P99
@@ -10,6 +10,16 @@
 //! [`merge`](LatencyHistogram::merge): shard histograms can be combined in
 //! any order and yield identical quantiles, because merging just adds
 //! bucket counts.
+//!
+//! A control loop needs more than lifetime totals: a tenant whose p99 was
+//! terrible an hour ago but is healthy *now* must not stay shed forever.
+//! [`WindowedHistogram`] keeps a ring of recent slots over the same
+//! log-bucketed representation — samples decay out as the ring
+//! [rotates](WindowedHistogram::rotate) — so the
+//! [control plane](crate::control) can act on a recent-window p99 while
+//! the cumulative histograms keep reporting lifetime distributions.
+//! Rotation is driven externally (by the engine's metrics bus), never by
+//! a hidden clock, so windowed behaviour is deterministic under test.
 
 use nvm_sim::Histogram;
 use serde::{Deserialize, Serialize};
@@ -152,6 +162,138 @@ pub struct LatencySummary {
     pub p999_s: f64,
     /// Maximum in seconds.
     pub max_s: f64,
+}
+
+/// A decaying latency histogram over the most recent window of traffic.
+///
+/// The window is a ring of `slots` [`LatencyHistogram`]s: samples are
+/// recorded into the newest slot, and [`rotate`](WindowedHistogram::rotate)
+/// retires the oldest slot while opening a fresh one. With the engine's
+/// metrics bus rotating once per slot span, [`recent`](WindowedHistogram::recent)
+/// always covers between `slots - 1` and `slots` spans of traffic — old
+/// samples decay out completely after `slots` rotations. Rotation is the
+/// caller's job (no internal clock), which keeps windowed quantiles exact
+/// and testable.
+///
+/// Two windowed histograms rotated in lockstep (e.g. per-shard windows
+/// advanced by the same bus tick) [`merge`](WindowedHistogram::merge)
+/// slot-by-slot, aligned on recency, so the merged window decays exactly
+/// like its parts.
+///
+/// # Example
+///
+/// ```
+/// use bandana_serve::WindowedHistogram;
+///
+/// let mut w = WindowedHistogram::new(4);
+/// w.record_secs(1.0);
+/// for _ in 0..3 {
+///     w.rotate();
+///     w.record_secs(1e-3);
+/// }
+/// // The 1 s outlier is still inside the 4-slot window...
+/// assert!(w.recent().max_secs() > 0.5);
+/// w.rotate();
+/// // ...and fully decayed after the fourth rotation.
+/// assert!(w.recent().max_secs() < 0.5);
+/// assert_eq!(w.recent().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedHistogram {
+    /// Ring of slots; `head` is the slot currently recording.
+    slots: Vec<LatencyHistogram>,
+    head: usize,
+    rotations: u64,
+}
+
+impl WindowedHistogram {
+    /// Creates a window of `slots` ring slots (all initially empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "a windowed histogram needs at least one slot");
+        WindowedHistogram { slots: vec![LatencyHistogram::new(); slots], head: 0, rotations: 0 }
+    }
+
+    /// Number of ring slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// How many times the window has rotated since creation.
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// Records one latency in seconds into the newest slot (clamped like
+    /// [`LatencyHistogram::record_secs`]).
+    pub fn record_secs(&mut self, seconds: f64) {
+        self.slots[self.head].record_secs(seconds);
+    }
+
+    /// Records one latency into the newest slot.
+    pub fn record(&mut self, latency: Duration) {
+        self.slots[self.head].record(latency);
+    }
+
+    /// Samples currently inside the window.
+    pub fn count(&self) -> u64 {
+        self.slots.iter().map(LatencyHistogram::count).sum()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Retires the oldest slot and opens a fresh one: every sample decays
+    /// out after `num_slots` rotations.
+    pub fn rotate(&mut self) {
+        self.head = (self.head + 1) % self.slots.len();
+        self.slots[self.head] = LatencyHistogram::new();
+        self.rotations += 1;
+    }
+
+    /// The window's combined distribution (exact merge of every live
+    /// slot), for quantile queries over recent traffic.
+    pub fn recent(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for slot in &self.slots {
+            merged.merge(slot);
+        }
+        merged
+    }
+
+    /// Headline statistics of the recent window.
+    pub fn summary(&self) -> LatencySummary {
+        self.recent().summary()
+    }
+
+    /// Merges another window's samples into this one, slot-by-slot
+    /// aligned on recency (newest slot with newest slot), so the merged
+    /// window keeps decaying in lockstep with its parts. Intended for
+    /// windows rotated by the same driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot counts differ — windows of different spans have
+    /// no meaningful slot alignment.
+    pub fn merge(&mut self, other: &WindowedHistogram) {
+        assert_eq!(
+            self.slots.len(),
+            other.slots.len(),
+            "windowed histograms must have matching slot counts to merge"
+        );
+        let n = self.slots.len();
+        for age in 0..n {
+            // `age` 0 is the newest slot in each ring.
+            let mine = (self.head + n - age) % n;
+            let theirs = (other.head + n - age) % n;
+            self.slots[mine].merge(&other.slots[theirs]);
+        }
+    }
 }
 
 /// Where a request's time went: host queue wait vs simulated device time
@@ -332,5 +474,86 @@ mod tests {
         assert_eq!(fmt_secs(1.5e-6), "1.5µs");
         assert_eq!(fmt_secs(2.5e-3), "2.50ms");
         assert_eq!(fmt_secs(1.25), "1.250s");
+    }
+
+    #[test]
+    fn window_decays_samples_after_num_slots_rotations() {
+        let mut w = WindowedHistogram::new(3);
+        w.record_secs(5.0); // an outlier in the oldest generation
+        assert_eq!(w.count(), 1);
+        for round in 0..2 {
+            w.rotate();
+            w.record_secs(1e-4);
+            assert!(w.recent().max_secs() > 1.0, "outlier alive after rotation {round}");
+        }
+        w.rotate();
+        // Third rotation of a 3-slot ring: the outlier's slot was retired.
+        assert!(w.recent().max_secs() < 1.0);
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.rotations(), 3);
+        // A full ring of empty rotations drains the window completely.
+        for _ in 0..3 {
+            w.rotate();
+        }
+        assert!(w.is_empty());
+        assert_eq!(w.summary().count, 0);
+    }
+
+    #[test]
+    fn window_merge_aligns_slots_on_recency() {
+        // Two windows rotated in lockstep but with different head indices:
+        // `b` is created later and rotated the same number of times after
+        // its first fill, so its ring head sits elsewhere.
+        let mut a = WindowedHistogram::new(3);
+        let mut b = WindowedHistogram::new(3);
+        b.rotate(); // offset b's head
+        a.record_secs(1.0); // oldest generation in both
+        b.record_secs(2.0);
+        a.rotate();
+        b.rotate();
+        a.record_secs(1e-3);
+        b.record_secs(2e-3);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 4);
+        assert!(merged.recent().max_secs() > 1.5);
+        // Two rotations retire both old outliers at once: the merge
+        // aligned them into the same age slot even though the source
+        // rings stored them at different indices.
+        merged.rotate();
+        merged.rotate();
+        let recent = merged.recent();
+        assert_eq!(recent.count(), 2, "only the newer generation survives");
+        assert!(recent.max_secs() < 0.01, "both outliers decayed together");
+    }
+
+    #[test]
+    #[should_panic(expected = "matching slot counts")]
+    fn window_merge_rejects_mismatched_spans() {
+        let mut a = WindowedHistogram::new(2);
+        let b = WindowedHistogram::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn windowed_quantiles_match_cumulative_on_identical_samples() {
+        // With no rotation past the live span, the window is lossless: the
+        // recent() distribution equals a cumulative histogram of the same
+        // samples, bucket for bucket.
+        let mut w = WindowedHistogram::new(4);
+        let mut c = LatencyHistogram::new();
+        for i in 0..4000u64 {
+            let s = ((i * 37) % 997 + 1) as f64 * 1e-6;
+            w.record_secs(s);
+            c.record_secs(s);
+            if i > 0 && i % 1000 == 0 {
+                w.rotate(); // 3 rotations < 4 slots: nothing decays
+            }
+        }
+        let r = w.recent();
+        assert_eq!(r.count(), c.count());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(r.quantile(q), c.quantile(q), "quantile {q}");
+        }
     }
 }

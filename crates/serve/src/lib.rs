@@ -60,12 +60,27 @@
 //!   [`bandana_trace::ArrivalProcess`]): Poisson and bursty arrival
 //!   clocks that keep offering load when the engine falls behind — the
 //!   regime where tail latency and shedding actually show up — driven
-//!   through the ticket API by a small fixed reactor pool, next to
-//!   classic closed-loop capacity replay ([`run_closed_loop`] on
-//!   [`Client::call`]).
-//! * **Online re-tuning** ([`OnlineTunerSettings`]): a background thread
-//!   races miniature caches on a sample of live traffic (paper §4.3.3)
-//!   and hot-swaps winning admission thresholds into the owning shards.
+//!   through the ticket API by a small reactor pool ([`LoadGenConfig`]
+//!   sizes it; use 1 on a single-core host), next to classic closed-loop
+//!   capacity replay ([`run_closed_loop`] on [`Client::call`]).
+//! * **A unified control plane** ([`control`]): every engine runs a
+//!   metrics-bus thread that rotates per-tenant *windowed* latency
+//!   histograms ([`WindowedHistogram`]) and snapshots the engine
+//!   ([`EngineSnapshot`]: lane depths, batching/device stats, per-tenant
+//!   recent-window p99 and [`ShedBreakdown`]) each tick; pluggable
+//!   [`Controller`]s observe the snapshot and return [`Action`]s —
+//!   admission-policy hot-swaps, live lane resizes, batch-window
+//!   retunes, admission breakers — which the bus applies through the
+//!   shard command channels. The paper's **online re-tuning**
+//!   ([`OnlineTunerSettings`], §4.3.3: miniature caches raced on sampled
+//!   live traffic) is the first controller; the [`SloController`]
+//!   enforces per-tenant p99 budgets ([`TenantSpec::slo_p99`]) by
+//!   shedding a tenant at admission ([`ServeError::SloShed`]) while its
+//!   *recent-window* p99 is blown — doomed work is refused early, before
+//!   it can poison other tenants' lanes, with breaker-style exponential
+//!   backoff and congestion-attributed trips (one per window turnover,
+//!   to the most-queued blown tenant). Custom controllers register via
+//!   [`ShardedEngine::new_with_controllers`].
 //!
 //! ## Example: tickets and weighted tenants
 //!
@@ -139,10 +154,17 @@
 //! and [`ShardedEngine::submit`] delegate to the always-present default
 //! tenant ([`TenantId::DEFAULT`], weight 1, normal class) and behave
 //! exactly as before the tenant API existed.
+//!
+//! For the control plane end to end — a drifting two-tenant flood, the
+//! SLO breaker shedding the offender, the tuner hot-swapping thresholds
+//! — see `examples/online_tuning.rs` and the `repro serve-drift`
+//! experiment, whose controller-on vs controller-off rows are gated by
+//! `repro check-bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod engine;
 pub mod hist;
 pub mod loadgen;
@@ -150,17 +172,22 @@ pub mod queue;
 pub mod tenant;
 pub mod tuner;
 
+pub use control::{
+    Action, ControlConfig, Controller, EngineSnapshot, ShardSnapshot, SloController,
+    SloControllerConfig, TenantSnapshot,
+};
 pub use engine::{
     BatchingMetrics, EngineMetrics, ServeConfig, ServeError, ShardMetrics, ShardedEngine,
 };
-pub use hist::{fmt_secs, LatencyBreakdown, LatencyHistogram, LatencySummary};
+pub use hist::{fmt_secs, LatencyBreakdown, LatencyHistogram, LatencySummary, WindowedHistogram};
 pub use loadgen::{
-    run_closed_loop, run_open_loop, run_open_loop_tenants, ClosedLoopReport, OpenLoopReport,
+    run_closed_loop, run_open_loop, run_open_loop_tenants, run_open_loop_with, ClosedLoopReport,
+    LoadGenConfig, OpenLoopReport,
 };
 pub use nvm_sim::{DepthStats, PoolStats};
 pub use queue::{LaneSpec, ShedPolicy, WeightedQueue};
 pub use tenant::{
-    Client, PriorityClass, RequestBuilder, Response, ResponseStatus, ResponseTicket, TenantId,
-    TenantMetrics, TenantSpec,
+    Client, PriorityClass, RequestBuilder, Response, ResponseStatus, ResponseTicket, ShedBreakdown,
+    TenantId, TenantMetrics, TenantSpec,
 };
 pub use tuner::OnlineTunerSettings;

@@ -10,9 +10,10 @@
 //! Figure 5 methodology, applied to the whole serving engine rather than
 //! the raw device).
 //!
-//! The open-loop generator drives the **ticket API** from a small fixed
-//! reactor pool: each reactor thread paces its slice of the arrival
-//! schedule, fires [`Client::submit_discarding`] (completion-only
+//! The open-loop generator drives the **ticket API** from a small
+//! reactor pool (4 threads by default; [`LoadGenConfig`] retunes it —
+//! single-core hosts want 1): each reactor thread paces its slice of the
+//! arrival schedule, fires [`Client::submit_discarding`] (completion-only
 //! tickets — the workers skip payload retention, like the legacy
 //! fire-and-forget submit), and keeps the resulting
 //! [`ResponseTicket`](crate::ResponseTicket)s in flight while later
@@ -36,10 +37,24 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-/// Reactor threads driving the open-loop ticket pipeline. A handful is
-/// enough: submission is cheap (the ticket, not the caller, carries the
-/// in-flight state), and more threads would only add pacing jitter.
-const OPEN_LOOP_REACTORS: usize = 4;
+/// Tuning of the open-loop generator's reactor pool
+/// ([`run_open_loop_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadGenConfig {
+    /// Reactor threads driving the open-loop ticket pipeline. A handful
+    /// is enough: submission is cheap (the ticket, not the caller,
+    /// carries the in-flight state), and more threads would only add
+    /// pacing jitter. On a single-core host use 1 — extra reactors just
+    /// preempt the shard workers they are measuring. Clamped to at least
+    /// 1 and at most one per request.
+    pub reactors: usize,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig { reactors: 4 }
+    }
+}
 
 /// Result of an open-loop run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -101,7 +116,13 @@ fn delta(after: &EngineMetrics, before: &EngineMetrics) -> (u64, u64, u64, u64, 
 }
 
 /// Busy-accurate pacing: coarse sleep until close to the arrival offset,
-/// then fine-wait.
+/// then fine-wait. The fine wait *yields* rather than pure-spins: at
+/// high offered rates every inter-arrival gap lands in the fine branch,
+/// and on a single-core host a spinning reactor would monopolize the
+/// CPU — starving the very shard workers and metrics-bus thread whose
+/// behaviour the run is measuring. `yield_now` keeps sub-quantum pacing
+/// precision on an idle core and degrades gracefully to scheduler
+/// granularity on a saturated one.
 fn pace_until(start: Instant, offset: f64) {
     loop {
         let now = start.elapsed().as_secs_f64();
@@ -112,7 +133,7 @@ fn pace_until(start: Instant, offset: f64) {
         if wait > 500e-6 {
             std::thread::sleep(Duration::from_secs_f64(wait - 300e-6));
         } else {
-            std::hint::spin_loop();
+            std::thread::yield_now();
         }
     }
 }
@@ -149,6 +170,23 @@ pub fn run_open_loop_tenants(
     process: &ArrivalProcess,
     seed: u64,
 ) -> OpenLoopReport {
+    run_open_loop_with(engine, tenants, trace, process, seed, LoadGenConfig::default())
+}
+
+/// As [`run_open_loop_tenants`], with the generator itself configurable
+/// (reactor pool size; see [`LoadGenConfig`]).
+///
+/// # Panics
+///
+/// Panics if `tenants` is empty or contains an unregistered tenant.
+pub fn run_open_loop_with(
+    engine: &ShardedEngine,
+    tenants: &[TenantId],
+    trace: &Trace,
+    process: &ArrivalProcess,
+    seed: u64,
+    config: LoadGenConfig,
+) -> OpenLoopReport {
     assert!(!tenants.is_empty(), "need at least one tenant");
     let clients: Vec<Client> = tenants
         .iter()
@@ -156,7 +194,7 @@ pub fn run_open_loop_tenants(
         .collect();
     let before = engine.metrics();
     let schedule = process.schedule(trace.requests.len(), seed);
-    let reactors = OPEN_LOOP_REACTORS.min(trace.requests.len()).max(1);
+    let reactors = config.reactors.min(trace.requests.len()).max(1);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for reactor in 0..reactors {
@@ -350,6 +388,33 @@ mod tests {
         assert!(report.shed > 0, "saturation must shed");
         assert!(report.completed > 0, "accepted requests still served");
         assert_eq!(engine.metrics().outstanding, 0, "engine drained");
+    }
+
+    #[test]
+    fn reactor_pool_size_is_configurable_down_to_one() {
+        let (engine, mut generator) = build_engine(5, ServeConfig::default().with_shards(2));
+        let trace = generator.generate_requests(40);
+        let process = ArrivalProcess::Poisson { rate_rps: 4_000.0 };
+        let report = run_open_loop_with(
+            &engine,
+            &[TenantId::DEFAULT],
+            &trace,
+            &process,
+            11,
+            LoadGenConfig { reactors: 1 },
+        );
+        assert_eq!(report.submitted, 40);
+        assert_eq!(report.completed, 40);
+        // A degenerate pool request is clamped, not honoured blindly.
+        let report = run_open_loop_with(
+            &engine,
+            &[TenantId::DEFAULT],
+            &trace,
+            &process,
+            12,
+            LoadGenConfig { reactors: 0 },
+        );
+        assert_eq!(report.completed, 40);
     }
 
     #[test]

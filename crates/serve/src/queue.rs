@@ -221,6 +221,9 @@ struct Lane<T> {
     /// reset to zero whenever the lane empties.
     deficit: u64,
     shed: u64,
+    /// This lane's live capacity; starts at the queue-wide default and can
+    /// be retuned at runtime ([`WeightedQueue::set_lane_capacity`]).
+    cap: usize,
 }
 
 struct WqState<T> {
@@ -281,7 +284,13 @@ impl<T> WeightedQueue<T> {
             state: Mutex::new(WqState {
                 lanes: lanes
                     .iter()
-                    .map(|l| Lane { items: VecDeque::new(), weight: l.weight, deficit: 0, shed: 0 })
+                    .map(|l| Lane {
+                        items: VecDeque::new(),
+                        weight: l.weight,
+                        deficit: 0,
+                        shed: 0,
+                        cap: lane_capacity,
+                    })
                     .collect(),
                 cursors: vec![0; num_classes],
                 resume: None,
@@ -300,9 +309,37 @@ impl<T> WeightedQueue<T> {
         self.class_lanes.iter().map(Vec::len).sum()
     }
 
-    /// The per-lane capacity the queue was created with.
+    /// The per-lane capacity the queue was created with (lanes can be
+    /// retuned individually afterwards; see
+    /// [`WeightedQueue::set_lane_capacity`]).
     pub fn lane_capacity(&self) -> usize {
         self.lane_capacity
+    }
+
+    /// One lane's live capacity.
+    pub fn lane_cap(&self, lane: usize) -> usize {
+        self.state.lock().expect("queue lock").lanes[lane].cap
+    }
+
+    /// Retunes one lane's capacity at runtime (a control-plane action: a
+    /// controller can widen a starved tenant's lane or squeeze an abusive
+    /// one without rebuilding the engine). Shrinking below the current
+    /// depth sheds nothing — queued items stay, new pushes are refused
+    /// until the lane drains under the new cap. Growing wakes blocked
+    /// producers so they can use the fresh slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn set_lane_capacity(&self, lane: usize, cap: usize) {
+        assert!(cap > 0, "lane capacity must be non-zero");
+        let mut st = self.state.lock().expect("queue lock");
+        let grew = cap > st.lanes[lane].cap;
+        st.lanes[lane].cap = cap;
+        drop(st);
+        if grew {
+            self.not_full.notify_all();
+        }
     }
 
     /// Total queued items across all lanes.
@@ -320,6 +357,12 @@ impl<T> WeightedQueue<T> {
         self.state.lock().expect("queue lock").lanes[lane].items.len()
     }
 
+    /// Every lane's current depth under one lock (a consistent snapshot
+    /// for the metrics bus).
+    pub fn lane_lens(&self) -> Vec<usize> {
+        self.state.lock().expect("queue lock").lanes.iter().map(|l| l.items.len()).collect()
+    }
+
     /// Items shed per lane (full lane under
     /// [`ShedPolicy::DropNewest`]) since creation.
     pub fn shed_counts(&self) -> Vec<u64> {
@@ -334,7 +377,7 @@ impl<T> WeightedQueue<T> {
             if st.closed {
                 return Push::Closed(item);
             }
-            if st.lanes[lane].items.len() < self.lane_capacity {
+            if st.lanes[lane].items.len() < st.lanes[lane].cap {
                 st.lanes[lane].items.push_back(item);
                 st.len += 1;
                 drop(st);
@@ -748,6 +791,47 @@ mod tests {
                 assert!(gap <= 9, "light lane starved for {gap} pops: {flat:?}");
             }
         }
+    }
+
+    #[test]
+    fn lane_capacity_can_be_retuned_at_runtime() {
+        let q = WeightedQueue::new(
+            &[LaneSpec { weight: 1, class: 0 }, LaneSpec { weight: 1, class: 0 }],
+            2,
+        );
+        assert_eq!(q.lane_cap(0), 2);
+        q.push(0, 1, ShedPolicy::DropNewest);
+        q.push(0, 2, ShedPolicy::DropNewest);
+        assert!(matches!(q.push(0, 3, ShedPolicy::DropNewest), Push::Dropped(3)));
+        // Widen lane 0: the third push now fits; lane 1 is untouched.
+        q.set_lane_capacity(0, 4);
+        assert_eq!(q.lane_cap(0), 4);
+        assert_eq!(q.lane_cap(1), 2);
+        assert!(matches!(q.push(0, 3, ShedPolicy::DropNewest), Push::Accepted));
+        // Shrink below the live depth: nothing is evicted, but new pushes
+        // are refused until the lane drains.
+        q.set_lane_capacity(0, 1);
+        assert_eq!(q.lane_len(0), 3);
+        assert!(matches!(q.push(0, 4, ShedPolicy::DropNewest), Push::Dropped(4)));
+        match q.pop_batch(Duration::ZERO, Duration::ZERO, 8) {
+            Pop::Item(items) => assert_eq!(items, vec![1, 2, 3]),
+            other => panic!("expected the queued items, got {other:?}"),
+        }
+        assert!(matches!(q.push(0, 5, ShedPolicy::DropNewest), Push::Accepted));
+    }
+
+    #[test]
+    fn growing_a_lane_wakes_blocked_producers() {
+        let q = Arc::new(WeightedQueue::new(&[LaneSpec { weight: 1, class: 0 }], 1));
+        q.push(0, 1, ShedPolicy::Block);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            assert!(matches!(q2.push(0, 2, ShedPolicy::Block), Push::Accepted));
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.set_lane_capacity(0, 2);
+        producer.join().expect("producer unblocked by the wider lane");
+        assert_eq!(q.lane_len(0), 2);
     }
 
     #[test]

@@ -103,11 +103,24 @@ pub struct TenantSpec {
     /// ([`ServeError::QuotaExceeded`]) before touching any shard queue.
     /// `None` disables the quota.
     pub admission_quota: Option<u64>,
+    /// The tenant's p99 latency budget over the recent window. When the
+    /// [`SloController`](crate::control::SloController) is enabled and the
+    /// tenant's recent-window p99 exceeds this budget, the tenant is shed
+    /// at admission ([`ServeError::SloShed`]) until the window recovers —
+    /// requests that would blow the SLO are refused up front instead of
+    /// queueing toward a latency nobody can use. `None` exempts the
+    /// tenant from SLO shedding.
+    pub slo_p99: Option<Duration>,
 }
 
 impl Default for TenantSpec {
     fn default() -> Self {
-        TenantSpec { weight: 1, priority_class: PriorityClass::Normal, admission_quota: None }
+        TenantSpec {
+            weight: 1,
+            priority_class: PriorityClass::Normal,
+            admission_quota: None,
+            slo_p99: None,
+        }
     }
 }
 
@@ -129,6 +142,14 @@ impl TenantSpec {
         self
     }
 
+    /// Sets the tenant's recent-window p99 budget (enforced by the
+    /// [`SloController`](crate::control::SloController) when the engine
+    /// runs one; see [`TenantSpec::slo_p99`]).
+    pub fn with_slo_p99(mut self, budget: Duration) -> Self {
+        self.slo_p99 = Some(budget);
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), String> {
         if self.weight == 0 {
             return Err("tenant weight must be at least 1".into());
@@ -137,9 +158,43 @@ impl TenantSpec {
     }
 }
 
+/// Why a tenant's requests were shed at admission, broken down by cause
+/// so a controller's effect is observable (a spike in `slo` with
+/// `lane_full` falling means early SLO shedding is doing its job —
+/// refusing doomed work before it occupies a lane).
+///
+/// `lane_full + quota + slo` always equals the tenant's aggregate
+/// [`shed`](TenantMetrics::shed) count; `reclaimed` counts *parts* (not
+/// requests) pulled back out of other shards' lanes when a request was
+/// shed mid-dispatch, and rides alongside the sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedBreakdown {
+    /// Shed because a shard lane was full (or closing during shutdown).
+    pub lane_full: u64,
+    /// Shed at the engine-wide admission quota
+    /// ([`ServeError::QuotaExceeded`]).
+    pub quota: u64,
+    /// Shed by the SLO controller while the tenant's recent-window p99
+    /// exceeded its [`TenantSpec::slo_p99`] budget
+    /// ([`ServeError::SloShed`]).
+    pub slo: u64,
+    /// Already-accepted parts reclaimed from other shards' lanes when a
+    /// later shard shed the request (zombie-work cleanup; counts parts,
+    /// not requests, so it is not part of the shed sum).
+    pub reclaimed: u64,
+}
+
+impl ShedBreakdown {
+    /// Requests shed across all admission-side causes (equals the
+    /// aggregate [`TenantMetrics::shed`]).
+    pub fn total(&self) -> u64 {
+        self.lane_full + self.quota + self.slo
+    }
+}
+
 /// One tenant's slice of [`EngineMetrics`](crate::EngineMetrics):
 /// admission counters, shed/timeout accounting, and the tenant's own
-/// end-to-end latency distribution.
+/// end-to-end latency distributions (lifetime and recent-window).
 #[derive(Debug, Clone)]
 pub struct TenantMetrics {
     /// The tenant.
@@ -150,20 +205,31 @@ pub struct TenantMetrics {
     pub priority_class: PriorityClass,
     /// Registered admission quota (`None` = unlimited).
     pub admission_quota: Option<u64>,
+    /// Registered recent-window p99 budget (`None` = no SLO).
+    pub slo_p99: Option<std::time::Duration>,
     /// Requests this tenant submitted (includes later sheds).
     pub submitted: u64,
+    /// Requests shed at admission (quota, a full shard lane, or the SLO
+    /// controller); `shed_reasons` splits this total by cause.
+    pub shed: u64,
     /// Requests fully served.
     pub completed: u64,
-    /// Requests shed at admission (quota or a full shard lane).
-    pub shed: u64,
+    /// The shed total broken down by cause.
+    pub shed_reasons: ShedBreakdown,
     /// Requests abandoned past their deadline.
     pub timed_out: u64,
     /// Requests that hit a store error.
     pub failed: u64,
     /// Requests currently in flight.
     pub outstanding: u64,
-    /// End-to-end latency of this tenant's completed requests.
+    /// Whether the SLO controller is currently shedding this tenant.
+    pub slo_shedding: bool,
+    /// End-to-end latency of this tenant's completed requests, over the
+    /// engine's lifetime.
     pub latency: LatencySummary,
+    /// End-to-end latency over the recent window only (the distribution
+    /// the [`SloController`](crate::control::SloController) acts on).
+    pub recent: LatencySummary,
 }
 
 /// Outcome classification carried by a [`Response`].

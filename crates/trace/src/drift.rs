@@ -131,6 +131,12 @@ impl DriftingTraceGenerator {
         self.config
     }
 
+    /// The underlying table topic model (for embedding synthesis, exactly
+    /// as on [`TraceGenerator::topic_model`]).
+    pub fn topic_model(&self, table: usize) -> &crate::TopicModel {
+        self.inner.topic_model(table)
+    }
+
     /// The epoch the *next* generated request falls into.
     pub fn current_epoch(&self) -> u64 {
         (self.requests_generated / self.config.requests_per_epoch) as u64

@@ -1,87 +1,160 @@
-//! Online threshold re-tuning under workload drift.
+//! The serving engine's control plane under workload drift: online
+//! threshold re-tuning and per-tenant SLO enforcement in one loop.
 //!
 //! The paper runs its miniature caches continuously against production
-//! traffic (§4.3.3). This example simulates a day in which a table's
-//! traffic shifts between epochs — from broad cold scans to concentrated
-//! hot-set traffic — and shows the `OnlineTuner` adapting the admission
-//! threshold, plus the trace being persisted and reloaded byte-for-byte.
+//! traffic (§4.3.3). In the engine that loop is the **metrics bus**: a
+//! background thread that rotates per-tenant recent-latency windows,
+//! snapshots the engine, and runs the registered `Controller`s — here
+//! the online tuner (admission-threshold hot-swaps from sampled
+//! lookups) and the `SloController` (a tenant blowing its recent-window
+//! p99 budget is shed at admission before its backlog can poison the
+//! other tenants' lanes).
+//!
+//! This example drives a drifting workload through a two-tenant engine:
+//! a latency-sensitive `ranking` tenant with an SLO, and a `backfill`
+//! flood that oversubscribes the engine. Watch the breaker trip the
+//! flood (its sheds land in the `slo` bucket), the ranking tenant's
+//! recent-window p99 stay under its budget, and the tuner keep swapping
+//! thresholds as the hot set rotates.
 //!
 //! ```text
 //! cargo run --release --example online_tuning
 //! ```
 
-use bandana::core::online::{OnlineTuner, OnlineTunerConfig};
-use bandana::partition::{social_hash_partition, AccessFrequency, BlockLayout, ShpConfig};
 use bandana::prelude::*;
-use bandana::trace::{read_trace, write_trace};
+use bandana::serve::{
+    run_open_loop_with, ControlConfig, LoadGenConfig, OnlineTunerSettings, ServeConfig,
+    ShardedEngine, SloControllerConfig,
+};
+use std::time::Duration;
 
-fn main() -> std::io::Result<()> {
+const RANKING: TenantId = TenantId(1);
+const BACKFILL: TenantId = TenantId(2);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ModelSpec::paper_scaled(10_000);
-    let table = 1usize;
-    let n = spec.tables[table].num_vectors;
-    let mut generator = TraceGenerator::new(&spec, 31337);
+
+    // Train placement and admission on an undrifted window, exactly like
+    // a production snapshot taken before traffic shifted.
+    let drift = DriftConfig { requests_per_epoch: 3_000, rotate_fraction: 0.25 };
+    let mut generator = DriftingTraceGenerator::new(&spec, 31337, drift);
     let train = generator.generate_requests(600);
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let store = BandanaStore::build(
+        &spec,
+        &embeddings,
+        &train,
+        BandanaConfig::default().with_cache_vectors(1_000),
+    )?;
 
-    // Persist the training trace and reload it — consumers downstream see
-    // identical placement inputs (id multisets per query are preserved).
-    let mut buf = Vec::new();
-    write_trace(&mut buf, &train)?;
-    let train = read_trace(&mut buf.as_slice())?;
-    println!("training trace: {} requests, {} bytes on disk", train.requests.len(), buf.len());
+    // The engine: ranking carries a 50 ms recent-window p99 budget;
+    // backfill gets most of the DRR weight, so without the SLO breaker
+    // its flood would starve ranking outright. The control plane runs
+    // the tuner and the SLO controller on a 5 ms bus tick.
+    let engine = ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_queue_capacity(64)
+            .with_shed_policy(ShedPolicy::DropNewest)
+            .with_batch_window(Duration::from_micros(200))
+            .with_max_batch(16)
+            .with_device_queue(4)
+            .with_control(ControlConfig {
+                tick: Duration::from_millis(5),
+                window_slot: Duration::from_millis(50),
+                window_slots: 8,
+            })
+            .with_tenant(RANKING, TenantSpec::new(1).with_slo_p99(Duration::from_millis(50)))
+            .with_tenant(BACKFILL, TenantSpec::new(9).with_slo_p99(Duration::from_millis(10)))
+            .with_tuner(OnlineTunerSettings {
+                epoch_lookups: 10_000,
+                sample_every: 8,
+                ..Default::default()
+            })
+            .with_slo_controller(SloControllerConfig {
+                // A tenant that refloods the moment it is released earns
+                // 8× longer holds: the breaker converges to keeping a
+                // sustained offender shed instead of duty-cycling it.
+                base_hold: Duration::from_secs(1),
+                backoff: 8,
+                ..Default::default()
+            }),
+    )?;
 
-    let order = social_hash_partition(
-        n,
-        train.table_queries(table),
-        &ShpConfig { block_capacity: 32, iterations: 12, seed: 9, parallel_depth: 2 },
+    // Offer a drifting flood, open-loop: one ranking request per seven
+    // backfill requests, at several times what the engine can serve. One
+    // reactor thread is plenty (and right on a single-core host).
+    println!("offering a drifting 2-tenant flood for ~3 seconds...");
+    let trace = generator.generate_requests(30_000);
+    let mut slots = vec![BACKFILL; 8];
+    slots[0] = RANKING;
+    let report = run_open_loop_with(
+        &engine,
+        &slots,
+        &trace,
+        &ArrivalProcess::Poisson { rate_rps: 10_000.0 },
+        7,
+        LoadGenConfig { reactors: 1 },
     );
-    let layout = BlockLayout::from_order(order, 32);
-    let freq = AccessFrequency::from_queries(n, train.table_queries(table));
-
-    let config = OnlineTunerConfig {
-        cache_capacity: 100,
-        sampling_rate: 0.5,
-        candidate_thresholds: vec![1, 2, 4, 8, 1_000_000],
-        epoch_lookups: 20_000,
-        salt: 17,
-    };
-    let mut tuner = OnlineTuner::new(&layout, &freq, config);
-
-    // Phase 1: normal traffic (reuses the trained distribution).
-    println!("\nphase 1: trained traffic distribution");
-    let normal = generator.generate_requests(600);
-    for ids in normal.table_queries(table) {
-        for &v in ids {
-            if let Some(d) = tuner.observe(v) {
-                println!(
-                    "  epoch {:>2}: threshold -> {:<8} (estimated gain {:+.1}%)",
-                    d.epoch,
-                    d.threshold,
-                    d.estimated_gain * 100.0
-                );
-            }
-        }
-    }
-
-    // Phase 2: drift — traffic becomes a cold uniform scan (prefetching
-    // can no longer pay; the tuner should move to a blocking threshold).
-    println!("\nphase 2: drift to cold uniform scans");
-    let mut v = 0u32;
-    for _ in 0..60_000 {
-        v = (v + 1) % n;
-        if let Some(d) = tuner.observe(v) {
-            println!(
-                "  epoch {:>2}: threshold -> {:<8} (estimated gain {:+.1}%)",
-                d.epoch,
-                d.threshold,
-                d.estimated_gain * 100.0
-            );
-        }
-    }
-
     println!(
-        "\ncompleted {} tuning epochs; current policy: {:?}",
-        tuner.epochs(),
-        tuner.current_policy()
+        "offered {} requests in {:.1}s: {} completed, {} shed\n",
+        report.submitted, report.wall_s, report.completed, report.shed
+    );
+
+    // What the controllers saw and did.
+    let snapshot = engine.snapshot();
+    println!(
+        "metrics bus: tick {} (recent window {:?}), {} queued right now",
+        snapshot.tick,
+        snapshot.window_span,
+        snapshot.queued()
+    );
+    let m = engine.shutdown();
+    println!(
+        "control plane: {} bus ticks, {} actions applied, {} tuner hot-swaps\n",
+        m.control_ticks, m.control_actions, m.tuner_swaps
+    );
+    println!(
+        "{:<10} {:>10} {:>8} {:>10} {:>8} {:>6} {:>12} {:>12}",
+        "tenant", "completed", "shed", "lane-full", "quota", "slo", "p99", "recent p99"
+    );
+    for t in &m.per_tenant {
+        let name = match t.id {
+            RANKING => "ranking",
+            BACKFILL => "backfill",
+            _ => "default",
+        };
+        println!(
+            "{:<10} {:>10} {:>8} {:>10} {:>8} {:>6} {:>12} {:>12}",
+            name,
+            t.completed,
+            t.shed,
+            t.shed_reasons.lane_full,
+            t.shed_reasons.quota,
+            t.shed_reasons.slo,
+            bandana::serve::fmt_secs(t.latency.p99_s),
+            bandana::serve::fmt_secs(t.recent.p99_s),
+        );
+    }
+
+    let ranking = m.per_tenant.iter().find(|t| t.id == RANKING).expect("ranking registered");
+    let backfill = m.per_tenant.iter().find(|t| t.id == BACKFILL).expect("backfill registered");
+    println!(
+        "\nthe breaker shed the backfill flood {} times at admission;\n\
+         ranking's recent-window p99 {} vs its {} budget",
+        backfill.shed_reasons.slo,
+        bandana::serve::fmt_secs(ranking.recent.p99_s),
+        bandana::serve::fmt_secs(ranking.slo_p99.map(|d| d.as_secs_f64()).unwrap_or_default()),
     );
     Ok(())
 }

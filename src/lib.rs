@@ -17,7 +17,9 @@
 //!   tenant sessions with ticket-based (future-style) submission,
 //!   weighted per-tenant shard queues (strict priority + deficit
 //!   round-robin), latency percentiles, load shedding and admission
-//!   quotas, open-loop load generation, and online threshold re-tuning.
+//!   quotas, open-loop load generation, and a unified control plane — a
+//!   windowed metrics bus with pluggable controllers for online
+//!   threshold re-tuning and per-tenant SLO-budget shedding.
 //!
 //! ## Quickstart
 //!
@@ -123,12 +125,27 @@
 //! `Client::call`. Open-loop mode offers load on an arrival-process clock
 //! ([`ArrivalProcess`](bandana_trace::ArrivalProcess), Poisson or bursty)
 //! regardless of engine progress, driving the ticket API from a small
-//! reactor pool — see
-//! [`serve::run_open_loop`](bandana_serve::run_open_loop) and
-//! [`serve::run_open_loop_tenants`](bandana_serve::run_open_loop_tenants),
+//! reactor pool ([`LoadGenConfig`](bandana_serve::LoadGenConfig) sizes
+//! it) — see [`serve::run_open_loop`](bandana_serve::run_open_loop) and
+//! [`serve::run_open_loop_with`](bandana_serve::run_open_loop_with),
 //! `examples/latency_bench.rs`, `examples/multi_tenant.rs`, and the
 //! `repro serve` experiment which writes `BENCH_serve.json` (including a
 //! two-tenant overload scenario with per-tenant p99 and shed columns).
+//!
+//! Feedback lives in one place: the
+//! [`serve::control`](bandana_serve::control) plane. Every engine runs a
+//! metrics bus that rotates per-tenant *recent-window* latency
+//! histograms and snapshots queue depths, batching, and shed-reason
+//! breakdowns each tick; registered
+//! [`Controller`](bandana_serve::Controller)s turn those
+//! [`EngineSnapshot`](bandana_serve::EngineSnapshot)s into actions —
+//! the paper's online tuner hot-swapping admission thresholds, and the
+//! [`SloController`](bandana_serve::SloController) shedding a tenant at
+//! admission while its windowed p99 blows its
+//! [`TenantSpec::slo_p99`](bandana_serve::TenantSpec::slo_p99) budget.
+//! `examples/online_tuning.rs` shows the loop end to end under drifting
+//! overload, and `repro serve-drift` gates it (controller-on vs
+//! controller-off) in CI.
 //!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
@@ -154,7 +171,7 @@ pub mod prelude {
     pub use bandana_serve::{
         Client, LatencyHistogram, LatencySummary, PriorityClass, RequestBuilder, Response,
         ResponseStatus, ResponseTicket, ServeConfig, ShardedEngine, ShedPolicy, TenantId,
-        TenantSpec,
+        TenantSpec, WindowedHistogram,
     };
     pub use bandana_trace::{
         AetModel, ArrivalProcess, CounterStacks, DriftConfig, DriftingTraceGenerator,

@@ -96,6 +96,49 @@ proptest! {
             "merged p50 {} vs exact median {}", got, exact
         );
     }
+
+    /// Under stationary traffic, the recent-window p99 converges to the
+    /// cumulative p99: the window sees an i.i.d. slice of the same
+    /// distribution, so once it holds enough samples its tail quantile
+    /// matches the lifetime tail quantile up to bucket resolution plus
+    /// sampling noise. This is the property the SLO controller relies on
+    /// — a windowed budget check is a faithful stand-in for the SLA's
+    /// long-run quantile as long as traffic is not shifting.
+    #[test]
+    fn windowed_p99_converges_to_cumulative_p99_under_stationary_traffic(
+        seed in proptest::prelude::any::<u64>(),
+        slots in 4usize..12,
+    ) {
+        use bandana::serve::WindowedHistogram;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(seed);
+        let mut windowed = WindowedHistogram::new(slots);
+        let mut cumulative = LatencyHistogram::new();
+        let per_slot = 700usize;
+        // 3×slots slots' worth of traffic: the window turns over fully
+        // at least twice, so nothing from warmup survives in it.
+        for slot in 0..slots * 3 {
+            if slot > 0 {
+                windowed.rotate();
+            }
+            for _ in 0..per_slot {
+                // A stationary heavy-ish-tailed mixture in (0, ~10ms].
+                let u: f64 = rng.gen::<f64>().max(1e-9);
+                let s = 1e-4 + 1e-3 * u * u;
+                windowed.record_secs(s);
+                cumulative.record_secs(s);
+            }
+        }
+        let recent = windowed.recent();
+        // The live window holds between (slots-1) and slots slots.
+        prop_assert!(recent.count() >= ((slots - 1) * per_slot) as u64);
+        prop_assert!(recent.count() <= (slots * per_slot) as u64);
+        let (wp99, cp99) = (recent.p99(), cumulative.p99());
+        prop_assert!(
+            (wp99 - cp99).abs() / cp99 < 0.15,
+            "windowed p99 {} diverged from cumulative p99 {}", wp99, cp99
+        );
+    }
 }
 
 proptest! {
