@@ -284,10 +284,12 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
 /// The latency fields gated against the baseline.
 const GATED_FIELDS: [&str; 2] = ["p50_s", "p99_s"];
 /// Fields identifying a row across runs (`tenant` is `-1` on aggregate
-/// rows and absent entirely in pre-tenant documents, and `slo_on` only
-/// exists on serve-drift rows — absent fields format consistently, so
-/// old and new baselines keep matching themselves).
-const KEY_FIELDS: [&str; 4] = ["window_us", "load_pct", "tenant", "slo_on"];
+/// rows and absent entirely in pre-tenant documents, `slo_on` only
+/// exists on serve-drift rows, and `traced` distinguishes the
+/// flight-recorder overhead arm from its matched untraced row — absent
+/// fields format consistently, so old and new baselines keep matching
+/// themselves).
+const KEY_FIELDS: [&str; 5] = ["window_us", "load_pct", "tenant", "slo_on", "traced"];
 
 fn row_key(row: &BTreeMap<String, f64>) -> String {
     KEY_FIELDS
@@ -550,6 +552,48 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
                     "serve-drift {label}: protected tenant's windowed p99 behaves as claimed"
                 ));
             }
+        }
+    }
+
+    // The trace-overhead arm (`traced` == 1): with flight-recorder
+    // sampling on, the run must ride inside the same generous band as
+    // its matched untraced row. The twin comes from the *current* run,
+    // so the claim is about the recorder's overhead, not runner speed —
+    // and the alloc gate above already covers the traced row's
+    // steady_allocs_per_lookup.
+    let traced_rows: Vec<&BTreeMap<String, f64>> =
+        current.rows.iter().filter(|r| r.get("traced").copied().unwrap_or(0.0) == 1.0).collect();
+    for row in &traced_rows {
+        let twin = current.rows.iter().find(|r| {
+            r.get("traced").copied().unwrap_or(0.0) == 0.0
+                && r.get("window_us") == row.get("window_us")
+                && r.get("load_pct") == row.get("load_pct")
+                && r.get("tenant").copied().unwrap_or(-1.0)
+                    == row.get("tenant").copied().unwrap_or(-1.0)
+        });
+        let Some(twin) = twin else {
+            failures.push(format!(
+                "traced row [{}] has no matched untraced row to compare against",
+                row_key(row)
+            ));
+            continue;
+        };
+        let (Some(&cur), Some(&base)) = (row.get("p99_s"), twin.get("p99_s")) else {
+            failures.push(format!("traced row [{}] lacks p99_s", row_key(row)));
+            continue;
+        };
+        let limit = base * TOLERANCE_RATIO + ABS_SLACK_S;
+        if cur > limit {
+            failures.push(format!(
+                "trace overhead: traced row [{}] p99 {cur:.6}s exceeds its untraced twin's \
+                 limit {limit:.6}s (twin p99 {base:.6}s × {TOLERANCE_RATIO} + {ABS_SLACK_S}s) — \
+                 flight-recorder sampling is no longer cheap",
+                row_key(row)
+            ));
+        } else {
+            report.push(format!(
+                "trace overhead: traced p99 {cur:.6}s within its untraced twin's limit {limit:.6}s"
+            ));
         }
     }
 
@@ -839,6 +883,40 @@ mod tests {
         lone.rows.truncate(4);
         let failures = check_serve(&lone, &base).expect_err("missing arm must fail");
         assert!(failures.iter().any(|f| f.contains("missing its slo-off arm")), "{failures:?}");
+    }
+
+    #[test]
+    fn trace_overhead_is_gated_against_the_untraced_twin() {
+        let mut base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.5, 60.0)]);
+        let traced_row = |p99: f64| {
+            let mut m = BTreeMap::new();
+            m.insert("window_us".into(), 200.0);
+            m.insert("load_pct".into(), 50.0);
+            m.insert("traced".into(), 1.0);
+            m.insert("p50_s".into(), 1e-4);
+            m.insert("p99_s".into(), p99);
+            m.insert("mean_batch".into(), 2.5);
+            m.insert("completed".into(), 60.0);
+            m
+        };
+        base.rows.push(traced_row(6e-4));
+        // A traced row inside the twin's band passes and reports it.
+        let report = check_serve(&base, &base).expect("cheap tracing must pass");
+        assert!(report.iter().any(|l| l.contains("trace overhead")), "{report:?}");
+
+        // A traced p99 blowing past the twin's band fails even when the
+        // baseline agrees (the comparison is within the current run).
+        let mut heavy = base.clone();
+        heavy.rows.pop();
+        heavy.rows.push(traced_row(5e-2));
+        let failures = check_serve(&heavy, &heavy).expect_err("expensive tracing must fail");
+        assert!(failures.iter().any(|f| f.contains("no longer cheap")), "{failures:?}");
+
+        // A traced row with no matched untraced operating point fails.
+        let mut orphan = base.clone();
+        orphan.rows[2].insert("load_pct".into(), 75.0);
+        let failures = check_serve(&orphan, &orphan).expect_err("orphan traced row must fail");
+        assert!(failures.iter().any(|f| f.contains("no matched untraced")), "{failures:?}");
     }
 
     #[test]

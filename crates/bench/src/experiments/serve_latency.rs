@@ -27,7 +27,7 @@ use crate::scale::Scale;
 use bandana_core::BandanaStore;
 use bandana_serve::{
     run_closed_loop, run_open_loop, run_open_loop_tenants, ServeConfig, ShardedEngine, ShedPolicy,
-    TenantId, TenantSpec,
+    TenantId, TenantSpec, TraceConfig,
 };
 use bandana_trace::{ArrivalProcess, EmbeddingTable};
 use serde::{Deserialize, Serialize};
@@ -66,6 +66,12 @@ const TENANT_QUEUE_CAPACITY: usize = 64;
 const TENANT_HEAVY: (TenantId, u32) = (TenantId(1), 9);
 /// The light tenant of the QoS scenario (DRR weight 1).
 const TENANT_LIGHT: (TenantId, u32) = (TenantId(2), 1);
+/// Flight-recorder sampling rate of the trace-overhead arm (1-in-N).
+const TRACE_SAMPLE_EVERY: u64 = 64;
+/// Offered load of the trace-overhead arm, as % of the batched
+/// pipeline's capacity — matched to an untraced sweep row so
+/// `check-bench` can compare the two p99s structurally.
+const TRACE_LOAD_PCT: u32 = 50;
 
 /// One measured operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -117,6 +123,9 @@ pub struct ServeRow {
     pub tenant: i64,
     /// The tenant's DRR weight (`0` for aggregate rows).
     pub tenant_weight: u64,
+    /// `1` when the flight recorder sampled this run (the trace-overhead
+    /// arm, 1-in-[`TRACE_SAMPLE_EVERY`]), `0` for untraced rows.
+    pub traced: u64,
 }
 
 /// The shared inputs of every engine in the sweep: built once, reused —
@@ -157,7 +166,12 @@ const PIPELINES: [Pipeline; 2] = [
     Pipeline { window_us: BATCH_WINDOW_US, max_batch: MAX_BATCH, device_queue: BATCH_DEPTH },
 ];
 
-fn build_engine(inputs: &SweepInputs, scale: Scale, pipeline: Pipeline) -> ShardedEngine {
+fn build_engine(
+    inputs: &SweepInputs,
+    scale: Scale,
+    pipeline: Pipeline,
+    trace: TraceConfig,
+) -> ShardedEngine {
     let config = bandana_core::BandanaConfig::default()
         .with_cache_vectors(scale.default_total_cache())
         .with_seed(super::common::SEED);
@@ -176,7 +190,8 @@ fn build_engine(inputs: &SweepInputs, scale: Scale, pipeline: Pipeline) -> Shard
             .with_shed_policy(ShedPolicy::DropNewest)
             .with_batch_window(Duration::from_micros(pipeline.window_us))
             .with_max_batch(pipeline.max_batch)
-            .with_device_queue(pipeline.device_queue),
+            .with_device_queue(pipeline.device_queue)
+            .with_trace(trace),
     )
     .expect("engine configuration is valid")
 }
@@ -270,6 +285,7 @@ fn row_from(
         pool_reuse_pct: m.pool.reuse_rate() * 100.0,
         tenant: -1,
         tenant_weight: 0,
+        traced: 0,
     }
 }
 
@@ -370,6 +386,7 @@ fn tenant_scenario_rows(
                 pool_reuse_pct: 0.0,
                 tenant: i64::from(t.id.0),
                 tenant_weight: u64::from(t.weight),
+                traced: 0,
             }
         })
         .collect()
@@ -384,14 +401,14 @@ pub fn run(scale: Scale) -> Vec<ServeRow> {
 }
 
 fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> Vec<ServeRow> {
-    let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1) + 2);
+    let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1) + 3);
     // One steady-state allocation probe per sweep (it is a property of the
     // store read path, not of an operating point); -1 marks "not counted".
     let steady_allocs = steady_state_allocs_per_lookup(inputs, scale).unwrap_or(-1.0);
 
     for pipeline in PIPELINES {
         // Closed-loop capacity with one caller per shard.
-        let capacity_engine = build_engine(inputs, scale, pipeline);
+        let capacity_engine = build_engine(inputs, scale, pipeline, TraceConfig::default());
         let capacity = run_closed_loop(&capacity_engine, trace, SHARDS)
             .expect("closed-loop replay of the eval trace");
         rows.push(row_from(
@@ -410,7 +427,7 @@ fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> V
         // and depth accounting start cold at every operating point.
         for pct in LOAD_PCTS {
             let rate = (capacity.achieved_qps * f64::from(pct) / 100.0).max(1.0);
-            let engine = build_engine(inputs, scale, pipeline);
+            let engine = build_engine(inputs, scale, pipeline, TraceConfig::default());
             let process = ArrivalProcess::Poisson { rate_rps: rate };
             let report =
                 run_open_loop(&engine, trace, &process, super::common::SEED ^ u64::from(pct));
@@ -427,13 +444,46 @@ fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> V
         }
     }
 
-    // The two-tenant QoS scenario rides on the batched pipeline's
-    // measured capacity (its `load_pct == 0` row).
+    // The two-tenant QoS scenario and the trace-overhead arm both ride
+    // on the batched pipeline's measured capacity (its `load_pct == 0`
+    // row).
     let batched_capacity = rows
         .iter()
         .find(|r| r.window_us == BATCH_WINDOW_US && r.load_pct == 0)
         .expect("the batched pipeline measured its capacity")
         .achieved_qps;
+
+    // Trace-overhead arm: the batched pipeline at the same moderate load
+    // as an untraced sweep row, with 1-in-TRACE_SAMPLE_EVERY
+    // flight-recorder sampling on. `check-bench` asserts its p99 stays
+    // inside the matched untraced row's band and that the steady-state
+    // alloc probe still reads exactly zero.
+    {
+        let pipeline = PIPELINES[1];
+        let rate = (batched_capacity * f64::from(TRACE_LOAD_PCT) / 100.0).max(1.0);
+        let engine =
+            build_engine(inputs, scale, pipeline, TraceConfig::sampled(TRACE_SAMPLE_EVERY));
+        let process = ArrivalProcess::Poisson { rate_rps: rate };
+        let report = run_open_loop(
+            &engine,
+            trace,
+            &process,
+            super::common::SEED ^ u64::from(TRACE_LOAD_PCT),
+        );
+        let mut row = row_from(
+            pipeline,
+            TRACE_LOAD_PCT,
+            report.offered_qps,
+            report.achieved_qps,
+            report.completed,
+            report.shed,
+            &engine,
+            steady_allocs,
+        );
+        row.traced = 1;
+        rows.push(row);
+    }
+
     rows.extend(tenant_scenario_rows(inputs, scale, trace, batched_capacity, steady_allocs));
     rows
 }
@@ -444,6 +494,7 @@ pub fn render(rows: &[ServeRow]) -> String {
         "window µs",
         "load %",
         "tenant(w)",
+        "trace",
         "offered qps",
         "achieved qps",
         "completed",
@@ -466,10 +517,13 @@ pub fn render(rows: &[ServeRow]) -> String {
         } else {
             format!("{}({})", r.tenant, r.tenant_weight)
         };
+        let trace_label =
+            if r.traced != 0 { format!("1/{TRACE_SAMPLE_EVERY}") } else { "-".to_string() };
         table.row(vec![
             r.window_us.to_string(),
             label,
             tenant,
+            trace_label,
             format!("{:.0}", r.offered_qps),
             format!("{:.0}", r.achieved_qps),
             r.completed.to_string(),
@@ -496,7 +550,8 @@ pub fn render(rows: &[ServeRow]) -> String {
          the queue model; window 0 = single-read pipeline at depth 1, window \
          {BATCH_WINDOW_US} = ≤{MAX_BATCH}-request micro-batches at depth {BATCH_DEPTH}; \
          tenant rows = the {TENANT_LOAD_PCT}% QoS scenario, weights \
-         {}:{} splitting the same arrivals)\n{}",
+         {}:{} splitting the same arrivals; trace 1/{TRACE_SAMPLE_EVERY} = the \
+         flight-recorder overhead arm)\n{}",
         TENANT_HEAVY.1,
         TENANT_LIGHT.1,
         table.render()
@@ -530,6 +585,7 @@ pub fn to_json(rows: &[ServeRow]) -> String {
                 .f64("pool_reuse_pct", r.pool_reuse_pct)
                 .f64("tenant", r.tenant as f64)
                 .u64("tenant_weight", r.tenant_weight)
+                .u64("traced", r.traced)
         }),
     )
 }
@@ -572,11 +628,13 @@ mod tests {
         let mut trace = inputs.workload.eval.clone();
         trace.requests.truncate(60);
         let rows = run_on(&inputs, Scale::Quick, &trace);
-        assert_eq!(rows.len(), PIPELINES.len() * (LOAD_PCTS.len() + 1) + 2);
+        assert_eq!(rows.len(), PIPELINES.len() * (LOAD_PCTS.len() + 1) + 3);
         let n = trace.requests.len() as u64;
         for pipeline in PIPELINES {
-            let group: Vec<&ServeRow> =
-                rows.iter().filter(|r| r.tenant < 0 && r.window_us == pipeline.window_us).collect();
+            let group: Vec<&ServeRow> = rows
+                .iter()
+                .filter(|r| r.tenant < 0 && r.traced == 0 && r.window_us == pipeline.window_us)
+                .collect();
             assert_eq!(group.len(), LOAD_PCTS.len() + 1);
             // Capacity row completes the whole trace without shedding.
             assert_eq!(group[0].shed, 0);
@@ -644,6 +702,15 @@ mod tests {
             n * TENANT_TRACE_REPEATS as u64
         );
         assert!(heavy.completed > 0 && light.completed > 0, "{tenant_rows:?}");
+        // The trace-overhead arm: exactly one traced aggregate row, on
+        // the batched pipeline at the matched moderate load, accounting
+        // for every submitted request like any sweep row.
+        let traced: Vec<&ServeRow> = rows.iter().filter(|r| r.traced != 0).collect();
+        assert_eq!(traced.len(), 1);
+        let tr = traced[0];
+        assert_eq!((tr.window_us, tr.load_pct, tr.tenant), (BATCH_WINDOW_US, TRACE_LOAD_PCT, -1));
+        assert_eq!(tr.completed + tr.shed, n, "{tr:?}");
+        assert!(tr.p50_s <= tr.p99_s && tr.p99_s <= tr.p999_s, "{tr:?}");
     }
 
     #[test]
@@ -670,9 +737,11 @@ mod tests {
             pool_reuse_pct: 93.5,
             tenant: -1,
             tenant_weight: 0,
+            traced: 0,
         };
         let tenant = ServeRow { load_pct: 300, tenant: 1, tenant_weight: 9, shed: 37, ..aggregate };
-        let rows = vec![aggregate, tenant];
+        let traced = ServeRow { traced: 1, ..aggregate };
+        let rows = vec![aggregate, tenant, traced];
         let s = render(&rows);
         assert!(s.contains("offered qps"));
         assert!(s.contains("50"));
@@ -681,6 +750,8 @@ mod tests {
         assert!(s.contains("94"), "pool reuse column missing: {s}");
         assert!(s.contains("tenant(w)"));
         assert!(s.contains("1(9)"), "tenant row label missing: {s}");
+        assert!(s.contains("trace"));
+        assert!(s.contains(&format!("1/{TRACE_SAMPLE_EVERY}")), "traced row label missing: {s}");
         let j = to_json(&rows);
         assert!(j.contains("\"experiment\":\"serve\""));
         assert!(j.contains("\"window_us\":200"));
@@ -693,5 +764,7 @@ mod tests {
         assert!(j.contains("\"tenant\":-1"));
         assert!(j.contains("\"tenant\":1"));
         assert!(j.contains("\"tenant_weight\":9"));
+        assert!(j.contains("\"traced\":0"));
+        assert!(j.contains("\"traced\":1"));
     }
 }

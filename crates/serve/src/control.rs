@@ -375,7 +375,7 @@ impl Default for SloController {
 
 impl Controller for SloController {
     fn name(&self) -> &str {
-        "slo"
+        "SloController"
     }
 
     fn observe(&mut self, snapshot: &EngineSnapshot) -> Vec<Action> {

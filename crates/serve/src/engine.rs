@@ -38,6 +38,10 @@ use crate::control::{
     SloControllerConfig, TenantSnapshot,
 };
 use crate::hist::{LatencyBreakdown, LatencyHistogram, LatencySummary, WindowedHistogram};
+use crate::obs::{
+    AuditEvent, AuditLog, RequestTrace, TraceConfig, TraceEvent, TraceEventKind, TraceRecorder,
+    DEFAULT_AUDIT_CAPACITY,
+};
 use crate::queue::{LaneSpec, Pop, Push, ShedPolicy, WeightedQueue};
 use crate::tenant::{
     Client, Response, ResponseStatus, ShedBreakdown, TenantId, TenantMetrics, TenantSpec,
@@ -109,6 +113,12 @@ pub struct ServeConfig {
     /// recent-window p99 is blown. `None` (the default) reports windowed
     /// latencies without acting on them.
     pub slo: Option<SloControllerConfig>,
+    /// Flight-recorder request tracing: when enabled, one request in
+    /// [`TraceConfig::sample_every`] has its lifecycle events recorded
+    /// in preallocated per-shard rings, exportable with
+    /// [`ShardedEngine::dump_trace`] /
+    /// [`ShardedEngine::request_traces`]. Off by default.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -125,6 +135,7 @@ impl Default for ServeConfig {
             tenants: Vec::new(),
             control: ControlConfig::default(),
             slo: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -195,6 +206,14 @@ impl ServeConfig {
         self
     }
 
+    /// Enables flight-recorder request tracing (sampled per-request
+    /// lifecycle events in preallocated per-shard rings; see
+    /// [`TraceConfig`]).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Registers a tenant and its QoS contract. Each shard gives every
     /// tenant its own bounded queue lane, scheduled by strict priority
     /// across [`PriorityClass`]es and deficit round-robin on
@@ -232,6 +251,7 @@ impl ServeConfig {
         if let Some(s) = &self.slo {
             s.validate()?;
         }
+        self.trace.validate()?;
         Ok(())
     }
 }
@@ -361,6 +381,8 @@ pub(crate) struct Job {
     deadline: Option<Instant>,
     /// Index into [`Shared::tenants`].
     tenant: usize,
+    /// Flight-recorder trace id assigned at admission (`0` = unsampled).
+    trace: u64,
     parts_by_shard: Vec<Vec<Part>>,
     /// Parts not yet finished (counts enqueued shards).
     remaining: AtomicUsize,
@@ -536,6 +558,12 @@ pub(crate) struct Shared {
     /// The live micro-batch window in nanoseconds, kept in sync with
     /// [`Action::SetBatchWindow`] retunes so snapshots report the truth.
     batch_window_ns: AtomicU64,
+    /// The flight recorder: the 1-in-N admission sampler plus one
+    /// preallocated trace ring per shard.
+    recorder: TraceRecorder,
+    /// Bounded ring of control-plane decisions (the bus records every
+    /// applied [`Action`] here before applying it).
+    audit: AuditLog,
     shutdown: AtomicBool,
 }
 
@@ -574,6 +602,33 @@ impl Shared {
             latency: t.e2e.lock().expect("tenant histogram lock").summary(),
             recent: t.recent.lock().expect("tenant window lock").summary(),
         }
+    }
+
+    /// Nanoseconds since the engine started (flight-recorder timestamps
+    /// are relative to [`Shared::started`]).
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Records the terminal event for a sampled request refused at
+    /// admission (SLO breaker or quota) — no job ever existed, so the
+    /// normal [`finalize_job`] terminal cannot fire for it.
+    fn record_admission_shed(&self, trace: u64, tenant: usize) {
+        if trace == 0 {
+            return;
+        }
+        self.recorder.record(
+            0,
+            TraceEvent {
+                request: trace,
+                kind: TraceEventKind::Shed,
+                at_ns: self.now_ns(),
+                dur_ns: 0,
+                shard: 0,
+                tenant: tenant as u32,
+                batch: 0,
+            },
+        );
     }
 
     /// Rotates every tenant's recent window by one slot (bus-driven).
@@ -675,6 +730,7 @@ impl Shared {
         want_payloads: bool,
         tenant: usize,
         deadline: Option<Duration>,
+        trace: u64,
     ) -> Result<(Arc<Job>, Vec<usize>), ServeError> {
         let num_shards = self.queues.len();
         let mut parts_by_shard: Vec<Vec<Part>> = (0..num_shards).map(|_| Vec::new()).collect();
@@ -703,6 +759,7 @@ impl Shared {
             arrival,
             deadline: deadline.or(self.request_timeout).map(|t| arrival + t),
             tenant,
+            trace,
             parts_by_shard,
             remaining: AtomicUsize::new(involved.len()),
             cancelled: AtomicBool::new(false),
@@ -735,6 +792,9 @@ impl Shared {
             return Err(ServeError::ShuttingDown);
         }
         let rt = &self.tenants[tenant];
+        // Draw the flight-recorder sampling decision per admission
+        // attempt: shed outcomes are lifecycle events too.
+        let trace = self.recorder.sample();
         // SLO breaker first: a tenant currently over its recent-window
         // p99 budget is refused before it can occupy a quota slot or a
         // lane — the whole point is that this work never enters a queue.
@@ -744,6 +804,7 @@ impl Shared {
             self.counters.shed.fetch_add(1, Ordering::Relaxed);
             rt.shed.fetch_add(1, Ordering::Relaxed);
             rt.shed_slo.fetch_add(1, Ordering::Relaxed);
+            self.record_admission_shed(trace, tenant);
             return Err(ServeError::SloShed);
         }
         // Reserve the tenant's in-flight slot up front so the quota check
@@ -756,9 +817,11 @@ impl Shared {
             self.counters.shed.fetch_add(1, Ordering::Relaxed);
             rt.shed.fetch_add(1, Ordering::Relaxed);
             rt.shed_quota.fetch_add(1, Ordering::Relaxed);
+            self.record_admission_shed(trace, tenant);
             return Err(ServeError::QuotaExceeded);
         }
-        let (job, involved) = match self.build_job(request, want_payloads, tenant, deadline) {
+        let (job, involved) = match self.build_job(request, want_payloads, tenant, deadline, trace)
+        {
             Ok(built) => built,
             Err(e) => {
                 // Malformed before admission: not counted as submitted.
@@ -768,6 +831,20 @@ impl Shared {
         };
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         rt.submitted.fetch_add(1, Ordering::Relaxed);
+        if job.trace != 0 {
+            self.recorder.record(
+                0,
+                TraceEvent {
+                    request: job.trace,
+                    kind: TraceEventKind::Admitted,
+                    at_ns: self.now_ns(),
+                    dur_ns: 0,
+                    shard: 0,
+                    tenant: tenant as u32,
+                    batch: 0,
+                },
+            );
+        }
         if involved.is_empty() {
             // Empty request: trivially complete.
             self.counters.completed.fetch_add(1, Ordering::Relaxed);
@@ -776,13 +853,43 @@ impl Shared {
             let mut st = job.state.lock().expect("job lock");
             st.done = true;
             drop(st);
+            if job.trace != 0 {
+                self.recorder.record(
+                    0,
+                    TraceEvent {
+                        request: job.trace,
+                        kind: TraceEventKind::Completed,
+                        at_ns: self.now_ns(),
+                        dur_ns: 0,
+                        shard: 0,
+                        tenant: tenant as u32,
+                        batch: 0,
+                    },
+                );
+            }
             return Ok(job);
         }
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         for (i, &shard) in involved.iter().enumerate() {
             let result = self.queues[shard].push(tenant, Arc::clone(&job), self.shed_policy);
             let reject_error = match result {
-                Push::Accepted => continue,
+                Push::Accepted => {
+                    if job.trace != 0 {
+                        self.recorder.record(
+                            shard,
+                            TraceEvent {
+                                request: job.trace,
+                                kind: TraceEventKind::LaneEnqueued,
+                                at_ns: self.now_ns(),
+                                dur_ns: 0,
+                                shard: shard as u32,
+                                tenant: tenant as u32,
+                                batch: 0,
+                            },
+                        );
+                    }
+                    continue;
+                }
                 Push::Dropped(_) => ServeError::Rejected,
                 Push::Closed(_) => ServeError::ShuttingDown,
             };
@@ -870,6 +977,11 @@ pub struct EngineMetrics {
     /// Per-tenant QoS accounting (admission counters, sheds, and each
     /// tenant's own latency distribution); index 0 is the default tenant.
     pub per_tenant: Vec<TenantMetrics>,
+    /// The control plane's retained audit events, oldest first: every
+    /// [`Action`] the metrics bus applied, with the controller that
+    /// authored it and the snapshot evidence behind it (bounded ring;
+    /// see [`AuditEvent`]).
+    pub audit: Vec<AuditEvent>,
 }
 
 /// Micro-batching and device-queue accounting inside [`EngineMetrics`].
@@ -1103,6 +1215,8 @@ impl ShardedEngine {
             started: Instant::now(),
             window_span: config.control.window_span(),
             batch_window_ns: AtomicU64::new(config.batch_window.as_nanos() as u64),
+            recorder: TraceRecorder::new(config.trace, num_shards),
+            audit: AuditLog::new(DEFAULT_AUDIT_CAPACITY),
             shutdown: AtomicBool::new(false),
         });
 
@@ -1329,6 +1443,7 @@ impl ShardedEngine {
             cache,
             per_shard,
             per_tenant,
+            audit: self.shared.audit.snapshot(),
         }
     }
 
@@ -1338,6 +1453,22 @@ impl ShardedEngine {
     /// [`Controller`]s observe each bus tick.
     pub fn snapshot(&self) -> EngineSnapshot {
         self.shared.snapshot(self.shared.counters.control_ticks.load(Ordering::Relaxed))
+    }
+
+    /// Renders every retained flight-recorder event as Chrome
+    /// trace-event JSON, loadable in Perfetto or `chrome://tracing`.
+    /// Empty (`{"traceEvents":[]}`) unless tracing was enabled with
+    /// [`ServeConfig::with_trace`].
+    pub fn dump_trace(&self) -> String {
+        self.shared.recorder.dump_chrome_trace()
+    }
+
+    /// The retained flight-recorder events grouped into one
+    /// [`RequestTrace`] per sampled request, ordered by trace id — the
+    /// structured form of [`ShardedEngine::dump_trace`], for tests and
+    /// tooling.
+    pub fn request_traces(&self) -> Vec<RequestTrace> {
+        self.shared.recorder.request_traces()
     }
 
     /// Stops accepting work, drains in-flight requests, joins every
@@ -1404,6 +1535,31 @@ fn finalize_job(shared: &Shared, job: &Job, finishing_shard: Option<usize>) {
             rt.e2e.lock().expect("tenant histogram lock").record(e2e);
             rt.recent.lock().expect("tenant window lock").record(e2e);
         }
+    }
+    // Flight recorder: the single terminal event per sampled request is
+    // recorded here — `finalize_job` runs exactly once per job-backed
+    // request, so the one-terminal invariant holds by construction.
+    if job.trace != 0 {
+        let kind = if timed_out {
+            TraceEventKind::TimedOut
+        } else if cancelled {
+            TraceEventKind::Shed
+        } else {
+            TraceEventKind::Completed
+        };
+        let shard = finishing_shard.unwrap_or(0);
+        shared.recorder.record(
+            shard,
+            TraceEvent {
+                request: job.trace,
+                kind,
+                at_ns: shared.now_ns(),
+                dur_ns: e2e.as_nanos() as u64,
+                shard: shard as u32,
+                tenant: job.tenant as u32,
+                batch: 0,
+            },
+        );
     }
     // Release the tenant's in-flight slot BEFORE waking waiters: a
     // quota-limited caller resubmitting the instant its wait returns
@@ -1494,6 +1650,10 @@ fn control_main(
         let snapshot = shared.snapshot(tick);
         for controller in &mut controllers {
             for action in controller.observe(&snapshot) {
+                // Audit before applying: the event captures the action
+                // alongside the snapshot evidence the controller saw,
+                // and `apply_action` consumes the action.
+                shared.audit.push(AuditEvent::from_action(controller.name(), &action, &snapshot));
                 shared.apply_action(&commands, action);
             }
         }
@@ -1611,6 +1771,7 @@ fn shard_main(
     samples: Option<(mpsc::SyncSender<(usize, u32)>, u32)>,
 ) {
     let mut sample_tick: u32 = 0;
+    let mut batch_seq: u64 = 0;
     let mut tracker =
         batching.device_queue.map(|d| QueueDepthTracker::new(*device.queue_model(), d));
     // The shard's capacity is static: report it before serving begins so
@@ -1647,6 +1808,7 @@ fn shard_main(
                 Pop::Empty => continue,
                 Pop::Closed => break,
             };
+        batch_seq += 1;
         process_batch(
             shard,
             &jobs,
@@ -1655,6 +1817,7 @@ fn shard_main(
             &mut tracker,
             samples.as_ref(),
             &mut sample_tick,
+            batch_seq,
         );
     }
 }
@@ -1665,6 +1828,7 @@ fn shard_main(
 /// single batched device read can complete many requests — each exactly
 /// once. All working state (merge maps, batch scratch, buffer pool) is
 /// reused from the [`ShardWorker`] across batches.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     shard: usize,
     jobs: &[Arc<Job>],
@@ -1673,8 +1837,27 @@ fn process_batch(
     tracker: &mut Option<QueueDepthTracker>,
     samples: Option<&(mpsc::SyncSender<(usize, u32)>, u32)>,
     sample_tick: &mut u32,
+    batch_seq: u64,
 ) {
     let started = Instant::now();
+    // Flight recorder: each sampled request's drain into this
+    // micro-batch, stamped with the shard's batch sequence number.
+    for job in jobs {
+        if job.trace != 0 {
+            shared.recorder.record(
+                shard,
+                TraceEvent {
+                    request: job.trace,
+                    kind: TraceEventKind::BatchDrained,
+                    at_ns: shared.now_ns(),
+                    dur_ns: 0,
+                    shard: shard as u32,
+                    tenant: job.tenant as u32,
+                    batch: batch_seq,
+                },
+            );
+        }
+    }
     let ShardWorker { device, tables, merge, scratch, pool } = worker;
 
     // Decide, per job, whether this batch serves it.
@@ -1790,8 +1973,42 @@ fn process_batch(
     let mut device_s = 0.0;
     if let Some(tracker) = tracker.as_mut() {
         if batch_reads > 0 {
+            let submitted_ns = shared.now_ns();
             device_s = tracker.charge_batch(batch_reads);
             charge_wall_clock(Duration::from_secs_f64(device_s));
+            // Flight recorder: the batch's device span, per sampled
+            // served request (submit spans the charged device time;
+            // complete marks its end).
+            let device_ns = Duration::from_secs_f64(device_s).as_nanos() as u64;
+            for (ji, job) in jobs.iter().enumerate() {
+                if !serve[ji] || job.trace == 0 {
+                    continue;
+                }
+                shared.recorder.record(
+                    shard,
+                    TraceEvent {
+                        request: job.trace,
+                        kind: TraceEventKind::DeviceSubmit,
+                        at_ns: submitted_ns,
+                        dur_ns: device_ns,
+                        shard: shard as u32,
+                        tenant: job.tenant as u32,
+                        batch: batch_seq,
+                    },
+                );
+                shared.recorder.record(
+                    shard,
+                    TraceEvent {
+                        request: job.trace,
+                        kind: TraceEventKind::DeviceComplete,
+                        at_ns: submitted_ns.saturating_add(device_ns),
+                        dur_ns: 0,
+                        shard: shard as u32,
+                        tenant: job.tenant as u32,
+                        batch: batch_seq,
+                    },
+                );
+            }
         }
     }
 

@@ -81,6 +81,20 @@
 //!   backoff and congestion-attributed trips (one per window turnover,
 //!   to the most-queued blown tenant). Custom controllers register via
 //!   [`ShardedEngine::new_with_controllers`].
+//! * **Observability** ([`obs`]): a three-part layer over everything
+//!   above. The **flight recorder** samples one request in N
+//!   ([`ServeConfig::with_trace`]) and records its lifecycle — admitted,
+//!   lane-enqueued, batch-drained, device-submit/complete, then exactly
+//!   one terminal (completed / shed / timed-out) — into preallocated
+//!   per-shard rings with zero heap allocation on the hot path;
+//!   [`ShardedEngine::dump_trace`] exports Chrome trace-event JSON for
+//!   Perfetto and [`ShardedEngine::request_traces`] structured
+//!   [`RequestTrace`]s for tests. [`render_prometheus`] encodes
+//!   [`EngineMetrics`] plus a live [`EngineSnapshot`] as Prometheus text
+//!   with stable `bandana_*` names. And every control-plane [`Action`]
+//!   lands in a bounded **audit log** ([`EngineMetrics::audit`]), so an
+//!   SLO trip is explainable after the fact: which controller, which
+//!   tenant, and the snapshot evidence it acted on.
 //!
 //! ## Example: tickets and weighted tenants
 //!
@@ -155,6 +169,55 @@
 //! tenant ([`TenantId::DEFAULT`], weight 1, normal class) and behave
 //! exactly as before the tenant API existed.
 //!
+//! ## Observability quickstart
+//!
+//! ```
+//! use bandana_core::{BandanaConfig, BandanaStore};
+//! use bandana_serve::{
+//!     render_audit_log, render_prometheus, ServeConfig, ShardedEngine, TraceConfig,
+//! };
+//! use bandana_trace::{EmbeddingTable, ModelSpec, TraceGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let spec = ModelSpec::test_small();
+//! # let mut generator = TraceGenerator::new(&spec, 42);
+//! # let training = generator.generate_requests(200);
+//! # let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+//! #     .map(|t| EmbeddingTable::synthesize(
+//! #         spec.tables[t].num_vectors, spec.dim, generator.topic_model(t), t as u64))
+//! #     .collect();
+//! # let store = BandanaStore::build(
+//! #     &spec, &embeddings, &training,
+//! #     BandanaConfig::default().with_cache_vectors(512),
+//! # )?;
+//! // Flight-record every 4th request into per-shard trace rings.
+//! let engine = ShardedEngine::new(
+//!     store,
+//!     ServeConfig::default().with_shards(2).with_trace(TraceConfig::sampled(4)),
+//! )?;
+//! let eval = generator.generate_requests(40);
+//! for request in &eval.requests {
+//!     engine.serve(request)?;
+//! }
+//!
+//! // 1. The flight recorder: Chrome trace-event JSON for Perfetto, and
+//! //    structured per-request traces for assertions.
+//! assert!(engine.dump_trace().starts_with("{\"traceEvents\":["));
+//! let traces = engine.request_traces();
+//! assert_eq!(traces.len(), 10, "one in four of 40 requests was sampled");
+//! assert!(traces.iter().all(|t| t.terminal_count() == 1));
+//!
+//! // 2. Prometheus text exposition with stable `bandana_*` names (the
+//! //    future TCP admin plane serves this string verbatim).
+//! let text = render_prometheus(&engine.metrics(), &engine.snapshot());
+//! assert!(text.contains("bandana_requests_completed_total 40"));
+//!
+//! // 3. The control-plane audit log: every applied action, attributed.
+//! println!("{}", render_audit_log(&engine.metrics().audit));
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! For the control plane end to end — a drifting two-tenant flood, the
 //! SLO breaker shedding the offender, the tuner hot-swapping thresholds
 //! — see `examples/online_tuning.rs` and the `repro serve-drift`
@@ -168,6 +231,7 @@ pub mod control;
 pub mod engine;
 pub mod hist;
 pub mod loadgen;
+pub mod obs;
 pub mod queue;
 pub mod tenant;
 pub mod tuner;
@@ -185,6 +249,10 @@ pub use loadgen::{
     LoadGenConfig, OpenLoopReport,
 };
 pub use nvm_sim::{DepthStats, PoolStats};
+pub use obs::{
+    chrome_trace, render_audit_log, render_prometheus, render_tenant_table, AuditEvent, AuditLog,
+    RequestTrace, TraceConfig, TraceEvent, TraceEventKind, TraceRecorder, TraceRing,
+};
 pub use queue::{LaneSpec, ShedPolicy, WeightedQueue};
 pub use tenant::{
     Client, PriorityClass, RequestBuilder, Response, ResponseStatus, ResponseTicket, ShedBreakdown,

@@ -13,6 +13,12 @@
 //! classes** and **deficit round-robin (DRR) within a class**, so one
 //! tenant's backlog cannot starve another's and capacity under overload
 //! divides by the registered weights.
+//!
+//! The queues are observable from outside: every accepted lane push on a
+//! flight-recorder-sampled request is stamped as a `lane-enqueued`
+//! lifecycle event ([`crate::obs::TraceEventKind::LaneEnqueued`]), and
+//! live lane depths are exported per shard/lane as the
+//! `bandana_lane_depth` series by [`crate::obs::render_prometheus`].
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};

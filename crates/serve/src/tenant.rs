@@ -18,6 +18,13 @@
 //! Legacy callers keep working: `ShardedEngine::serve`/`submit` delegate
 //! to the always-present default tenant ([`TenantId::DEFAULT`], weight 1,
 //! normal class, no quota).
+//!
+//! Tenancy is a first-class observability dimension too: every
+//! per-tenant counter here surfaces as a `bandana_tenant_*` series in
+//! [`crate::obs::render_prometheus`], flight-recorder events carry the
+//! tenant's runtime index as their Chrome-trace `tid`, and control-plane
+//! audit entries ([`crate::obs::AuditEvent`]) name the tenant a
+//! controller acted on.
 
 use crate::engine::{take_response, Shared};
 use crate::hist::LatencySummary;

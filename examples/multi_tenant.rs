@@ -19,7 +19,9 @@
 //! ```
 
 use bandana::prelude::*;
-use bandana::serve::{ServeConfig, ServeError, ShardedEngine};
+use bandana::serve::{
+    render_audit_log, render_tenant_table, ServeConfig, ServeError, ShardedEngine, TraceConfig,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
@@ -58,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_device_queue(2)
             .with_tenant(RANKING, TenantSpec::new(9))
             .with_tenant(BACKFILL, TenantSpec::new(1))
-            .with_tenant(PROBE, TenantSpec::new(1).with_class(PriorityClass::High).with_quota(1)),
+            .with_tenant(PROBE, TenantSpec::new(1).with_class(PriorityClass::High).with_quota(1))
+            // Flight-record one request in 16: the trace shows the probe's
+            // batches interleaving with both floods on the single shard.
+            .with_trace(TraceConfig::sampled(16)),
     )?;
 
     let trace = generator.generate_requests(128);
@@ -141,23 +146,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     engine.drain();
 
-    let m = engine.shutdown();
+    // Dump the flight recorder before shutdown consumes the engine; load
+    // the file in Perfetto or chrome://tracing to see the lifecycles.
+    let trace_path = "trace_multi_tenant.json";
+    std::fs::write(trace_path, engine.dump_trace())?;
     println!(
-        "\n{:>10}  {:>6}  {:>6}  {:>10}  {:>10}  {:>10}  {:>10}",
-        "tenant", "class", "weight", "completed", "shed", "p50 µs", "p99 µs"
+        "\nwrote a flight-recorder trace of {} sampled requests to {trace_path}",
+        engine.request_traces().len()
     );
-    for t in &m.per_tenant {
-        println!(
-            "{:>10}  {:>6}  {:>6}  {:>10}  {:>10}  {:>10.1}  {:>10.1}",
-            t.id.to_string(),
-            t.priority_class.to_string(),
-            t.weight,
-            t.completed,
-            t.shed,
-            t.latency.p50_s * 1e6,
-            t.latency.p99_s * 1e6,
-        );
-    }
+
+    let m = engine.shutdown();
+    println!();
+    print!(
+        "{}",
+        render_tenant_table(&m.per_tenant, |id| match id {
+            RANKING => "ranking".into(),
+            BACKFILL => "backfill".into(),
+            PROBE => "probe".into(),
+            other => other.to_string(),
+        })
+    );
+    println!("\ncontrol-plane audit log ({} retained decisions):", m.audit.len());
+    print!("{}", render_audit_log(&m.audit));
 
     let ranking_m = m.per_tenant.iter().find(|t| t.id == RANKING).expect("ranking");
     let backfill_m = m.per_tenant.iter().find(|t| t.id == BACKFILL).expect("backfill");

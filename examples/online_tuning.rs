@@ -23,8 +23,8 @@
 
 use bandana::prelude::*;
 use bandana::serve::{
-    run_open_loop_with, ControlConfig, LoadGenConfig, OnlineTunerSettings, ServeConfig,
-    ShardedEngine, SloControllerConfig,
+    render_audit_log, render_tenant_table, run_open_loop_with, ControlConfig, LoadGenConfig,
+    OnlineTunerSettings, ServeConfig, ShardedEngine, SloControllerConfig, TraceConfig,
 };
 use std::time::Duration;
 
@@ -88,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 base_hold: Duration::from_secs(1),
                 backoff: 8,
                 ..Default::default()
-            }),
+            })
+            // Flight-record one request in 64 so the drift run leaves a
+            // Perfetto-loadable trace behind.
+            .with_trace(TraceConfig::sampled(64)),
     )?;
 
     // Offer a drifting flood, open-loop: one ranking request per seven
@@ -119,33 +122,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.window_span,
         snapshot.queued()
     );
+    // Flight recorder: dump the sampled request lifecycles as a Chrome
+    // trace before shutdown consumes the engine (open it in Perfetto or
+    // chrome://tracing).
+    let trace_path = "trace_online_tuning.json";
+    std::fs::write(trace_path, engine.dump_trace())?;
+    println!(
+        "wrote a flight-recorder trace of {} sampled requests to {trace_path}",
+        engine.request_traces().len()
+    );
     let m = engine.shutdown();
     println!(
         "control plane: {} bus ticks, {} actions applied, {} tuner hot-swaps\n",
         m.control_ticks, m.control_actions, m.tuner_swaps
     );
-    println!(
-        "{:<10} {:>10} {:>8} {:>10} {:>8} {:>6} {:>12} {:>12}",
-        "tenant", "completed", "shed", "lane-full", "quota", "slo", "p99", "recent p99"
+    print!(
+        "{}",
+        render_tenant_table(&m.per_tenant, |id| match id {
+            RANKING => "ranking".into(),
+            BACKFILL => "backfill".into(),
+            _ => "default".into(),
+        })
     );
-    for t in &m.per_tenant {
-        let name = match t.id {
-            RANKING => "ranking",
-            BACKFILL => "backfill",
-            _ => "default",
-        };
-        println!(
-            "{:<10} {:>10} {:>8} {:>10} {:>8} {:>6} {:>12} {:>12}",
-            name,
-            t.completed,
-            t.shed,
-            t.shed_reasons.lane_full,
-            t.shed_reasons.quota,
-            t.shed_reasons.slo,
-            bandana::serve::fmt_secs(t.latency.p99_s),
-            bandana::serve::fmt_secs(t.recent.p99_s),
-        );
-    }
+    println!("\ncontrol-plane audit log ({} retained decisions):", m.audit.len());
+    print!("{}", render_audit_log(&m.audit));
 
     let ranking = m.per_tenant.iter().find(|t| t.id == RANKING).expect("ranking registered");
     let backfill = m.per_tenant.iter().find(|t| t.id == BACKFILL).expect("backfill registered");

@@ -147,6 +147,22 @@
 //! overload, and `repro serve-drift` gates it (controller-on vs
 //! controller-off) in CI.
 //!
+//! Everything above is observable from the outside via
+//! [`serve::obs`](bandana_serve::obs): a sampled **flight recorder**
+//! ([`TraceConfig`](bandana_serve::TraceConfig), off by default) records
+//! per-request lifecycle events in preallocated per-shard rings —
+//! allocation-free on the hot path — and
+//! [`ShardedEngine::dump_trace`](bandana_serve::ShardedEngine::dump_trace)
+//! exports them as a Perfetto-loadable Chrome trace;
+//! [`render_prometheus`](bandana_serve::render_prometheus) renders the
+//! full metrics surface as Prometheus text exposition; and every action
+//! a controller applies lands in a bounded **audit log**
+//! ([`AuditEvent`](bandana_serve::AuditEvent), surfaced through
+//! `EngineMetrics::audit` and rendered by
+//! [`render_audit_log`](bandana_serve::render_audit_log)). The serve
+//! crate's rustdoc has a runnable observability quickstart, and the
+//! `repro serve` sweep carries a trace-overhead arm gated in CI.
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
 
@@ -171,7 +187,7 @@ pub mod prelude {
     pub use bandana_serve::{
         Client, LatencyHistogram, LatencySummary, PriorityClass, RequestBuilder, Response,
         ResponseStatus, ResponseTicket, ServeConfig, ShardedEngine, ShedPolicy, TenantId,
-        TenantSpec, WindowedHistogram,
+        TenantSpec, TraceConfig, WindowedHistogram,
     };
     pub use bandana_trace::{
         AetModel, ArrivalProcess, CounterStacks, DriftConfig, DriftingTraceGenerator,

@@ -137,6 +137,16 @@ fn slo_controller_sheds_a_blown_tenant_then_releases_it() {
     // The controller observes the blown recent-window p99 and trips.
     wait_for("SLO trip", || engine.metrics().per_tenant.iter().any(|t| t.slo_shedding));
 
+    // The trip left a matching entry in the control-plane audit log:
+    // the SLO controller, naming the offending tenant, shed = true.
+    let audit = engine.metrics().audit;
+    assert!(
+        audit.iter().any(|e| e.controller == "SloController"
+            && e.tenant == Some(TENANT)
+            && e.action.contains("shed: true")),
+        "no audit entry for the SLO trip: {audit:?}"
+    );
+
     // While tripped, submissions are refused up front with the dedicated
     // error and counted in the SLO shed bucket.
     let shed_error = client.submit(&trace.requests[5]).expect_err("tripped tenant is shed");

@@ -1,0 +1,165 @@
+//! Integration tests for the observability subsystem against a live
+//! engine: exported Chrome traces validated with the bench crate's own
+//! JSON reader, flight-recorder lifecycle invariants, the Prometheus
+//! exposition, and the control-plane audit log.
+
+use bandana::prelude::*;
+use bandana::serve::{render_prometheus, ServeConfig, ShardedEngine, TraceConfig, TraceEventKind};
+use bandana_bench::parse_document;
+use proptest::proptest;
+use std::time::Duration;
+
+fn build_store(seed: u64) -> (BandanaStore, TraceGenerator) {
+    let spec = ModelSpec::test_small();
+    let mut generator = TraceGenerator::new(&spec, seed);
+    let training = generator.generate_requests(250);
+    let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+        .map(|t| {
+            EmbeddingTable::synthesize(
+                spec.tables[t].num_vectors,
+                spec.dim,
+                generator.topic_model(t),
+                t as u64,
+            )
+        })
+        .collect();
+    let store = BandanaStore::build(
+        &spec,
+        &embeddings,
+        &training,
+        BandanaConfig::default().with_cache_vectors(256),
+    )
+    .expect("build store");
+    (store, generator)
+}
+
+/// Serves `requests` through a trace-enabled engine and returns it
+/// (undrained metrics settled by `serve`'s synchronous completion).
+fn traced_engine(seed: u64, sample_every: u64, requests: usize) -> ShardedEngine {
+    let (store, mut generator) = build_store(seed);
+    let engine = ShardedEngine::new(
+        store,
+        ServeConfig::default()
+            .with_shards(2)
+            .with_batch_window(Duration::from_micros(100))
+            .with_max_batch(4)
+            .with_device_queue(2)
+            .with_trace(TraceConfig::sampled(sample_every)),
+    )
+    .expect("engine");
+    let trace = generator.generate_requests(requests);
+    for r in &trace.requests {
+        engine.serve(r).expect("serve");
+    }
+    engine
+}
+
+/// The exported Chrome trace is real JSON: the bench crate's own mini
+/// JSON reader — the same one `repro check-bench` trusts — parses it
+/// without error, both as raw syntax and re-wrapped as a bench document
+/// whose numeric row fields (ts/dur/pid/tid) are then checked.
+#[test]
+fn chrome_trace_export_parses_with_the_bench_json_reader() {
+    let engine = traced_engine(71, 2, 60);
+    let dump = engine.dump_trace();
+    assert!(dump.starts_with("{\"traceEvents\":["), "unexpected prefix: {dump:.40}");
+
+    // Raw syntax: the document must parse cleanly end to end.
+    parse_document(&dump).expect("the Chrome trace export is valid JSON");
+
+    // Re-wrap the event array as a bench document to get per-event
+    // numeric fields out of the same parser.
+    let body = dump
+        .trim_end()
+        .strip_prefix("{\"traceEvents\":")
+        .and_then(|s| s.strip_suffix('}'))
+        .expect("trace export shape");
+    let doc = parse_document(&format!("{{\"experiment\":\"trace\",\"rows\":{body}}}"))
+        .expect("re-wrapped trace events parse");
+    assert_eq!(doc.experiment, "trace");
+    assert!(!doc.rows.is_empty(), "sampling 1-in-2 over 60 requests must record events");
+    for row in &doc.rows {
+        let field = |k: &str| row.get(k).copied().unwrap_or(f64::NAN);
+        assert!(field("ts") >= 0.0, "{row:?}");
+        assert!(field("dur") >= 0.0, "{row:?}");
+        // pid carries the shard id; this engine has two shards.
+        assert!((0.0..2.0).contains(&field("pid")), "{row:?}");
+        assert!(field("tid") >= 0.0, "{row:?}");
+    }
+
+    // The structured view agrees with the export: same event count.
+    let events: usize = engine.request_traces().iter().map(|t| t.events.len()).sum();
+    assert_eq!(doc.rows.len(), events);
+}
+
+/// Sampling every request, every trace follows the lifecycle contract:
+/// it opens with `Admitted` and carries exactly one terminal event.
+#[test]
+fn every_sampled_request_opens_admitted_and_terminates_once() {
+    let engine = traced_engine(72, 1, 50);
+    let traces = engine.request_traces();
+    assert_eq!(traces.len(), 50, "1-in-1 sampling traces every request");
+    for t in &traces {
+        assert_eq!(t.events.first().map(|e| e.kind), Some(TraceEventKind::Admitted), "{t:?}");
+        assert_eq!(t.terminal_count(), 1, "{t:?}");
+        assert_eq!(t.terminal(), Some(TraceEventKind::Completed), "{t:?}");
+    }
+}
+
+/// The Prometheus exposition rendered from a live engine is well-formed
+/// line-by-line and carries the engine's actual counters.
+#[test]
+fn prometheus_exposition_from_a_live_engine_is_well_formed() {
+    let engine = traced_engine(73, 4, 40);
+    let text = render_prometheus(&engine.metrics(), &engine.snapshot());
+    assert!(text.contains("bandana_requests_completed_total 40"), "{text}");
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, value) = line.split_once(' ').expect("metric lines are `name value`");
+        let series = name.split('{').next().expect("series name");
+        assert!(series.starts_with("bandana_"), "unprefixed series: {line}");
+        assert!(value.parse::<f64>().is_ok(), "non-numeric sample: {line}");
+    }
+}
+
+proptest! {
+    /// Exactly one terminal event per sampled request, under arbitrary
+    /// pipeline shapes and sampling rates — the engine-level version of
+    /// the recorder's unit invariant, exercised through real shard
+    /// workers, batch draining, and device charging.
+    #[test]
+    fn sampled_requests_terminate_exactly_once_under_batching(
+        seed in 300u64..320,
+        sample_every in 1u64..5,
+        shards in 1usize..3,
+        max_batch in 1usize..6,
+        window_us in 0u64..500,
+        requests in 1usize..40,
+    ) {
+        let (store, mut generator) = build_store(seed);
+        let engine = ShardedEngine::new(
+            store,
+            ServeConfig::default()
+                .with_shards(shards)
+                .with_batch_window(Duration::from_micros(window_us))
+                .with_max_batch(max_batch)
+                .with_trace(TraceConfig::sampled(sample_every)),
+        )
+        .expect("engine");
+        let trace = generator.generate_requests(requests);
+        for r in &trace.requests {
+            engine.submit(r).expect("submit");
+        }
+        engine.drain();
+        let traces = engine.request_traces();
+        // Deterministic sampling: every sample_every-th admission.
+        assert_eq!(traces.len(), requests.div_ceil(sample_every as usize));
+        for t in &traces {
+            assert_eq!(t.terminal_count(), 1, "{t:?}");
+        }
+        let m = engine.metrics();
+        assert_eq!(m.completed, requests as u64);
+    }
+}
