@@ -8,10 +8,12 @@
 //! accidental lock on the hot path) while shrugging off runner noise.
 //! Structural properties (row set, request accounting, batching actually
 //! batching, the weighted tenant's completions dominating the QoS
-//! scenario per its weight, and the serve-drift SLO claim — controller-on
+//! scenario per its weight, the serve-drift SLO claim — controller-on
 //! keeps the protected tenant's recent-window p99 under its budget with a
-//! nonzero offender `slo_shed`, controller-off blows it) are checked
-//! exactly.
+//! nonzero offender `slo_shed`, controller-off blows it — and the socket
+//! arm's client-side p99 sitting within the protocol-overhead budget
+//! ([`NET_TOLERANCE_RATIO`]) of its in-process twin from the same run)
+//! are checked exactly.
 //!
 //! The workspace's `serde` shim is a no-op, so this module carries its
 //! own minimal JSON reader for the flat documents
@@ -23,6 +25,30 @@ use std::collections::BTreeMap;
 pub const TOLERANCE_RATIO: f64 = 8.0;
 /// Absolute slack added on top of the ratio band, in seconds.
 pub const ABS_SLACK_S: f64 = 2e-3;
+/// The protocol-overhead budget of the socket arm: a `transport == 1`
+/// row's p99 may exceed its in-process twin's — same window, load,
+/// tenant, and traced state, from the *same run* — by at most this
+/// ratio plus [`NET_SCHED_SLACK_S`]. Deliberately far tighter than
+/// [`TOLERANCE_RATIO`]: both rows ride the same machine in the same
+/// process, so runner speed cancels out and the comparison isolates
+/// framing + socket cost.
+pub const NET_TOLERANCE_RATIO: f64 = 1.15;
+
+/// Absolute slack added on top of [`NET_TOLERANCE_RATIO`], covering
+/// thread-scheduling tails the ratio cannot: the wire path adds ~4
+/// thread handoffs per request (client reactor → server reader →
+/// shard worker → server writer → client reader), and on an
+/// oversubscribed host — CI runners, the 1-CPU dev box — each handoff
+/// can eat a multi-millisecond timeslice, so the quick sweep's p99
+/// (4th-worst of 400 samples) swings several ms in *either* direction
+/// between the twin rows. Sized to the observed tail swing; on
+/// hardware with cores to spare the handoffs cost microseconds, this
+/// term is dwarfed by real latencies, and the 15% ratio is what bites.
+/// A genuine wire regression is still caught outright: the socket arm
+/// is open-loop, so a serialized (non-pipelined) or stalled connection
+/// backs arrivals up without bound and p99 lands in the hundreds of
+/// milliseconds.
+pub const NET_SCHED_SLACK_S: f64 = 30e-3;
 
 /// A parsed `BENCH_*.json` document: the experiment name and one numeric
 /// field map per row (string fields are kept too, separately).
@@ -285,11 +311,12 @@ pub fn parse_document(text: &str) -> Result<BenchDoc, String> {
 const GATED_FIELDS: [&str; 2] = ["p50_s", "p99_s"];
 /// Fields identifying a row across runs (`tenant` is `-1` on aggregate
 /// rows and absent entirely in pre-tenant documents, `slo_on` only
-/// exists on serve-drift rows, and `traced` distinguishes the
-/// flight-recorder overhead arm from its matched untraced row — absent
-/// fields format consistently, so old and new baselines keep matching
-/// themselves).
-const KEY_FIELDS: [&str; 5] = ["window_us", "load_pct", "tenant", "slo_on", "traced"];
+/// exists on serve-drift rows, `traced` distinguishes the
+/// flight-recorder overhead arm from its matched untraced row, and
+/// `transport` distinguishes the socket arm from its in-process twin —
+/// absent fields format consistently, so old and new baselines keep
+/// matching themselves).
+const KEY_FIELDS: [&str; 6] = ["window_us", "load_pct", "tenant", "slo_on", "traced", "transport"];
 
 fn row_key(row: &BTreeMap<String, f64>) -> String {
     KEY_FIELDS
@@ -566,6 +593,8 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
     for row in &traced_rows {
         let twin = current.rows.iter().find(|r| {
             r.get("traced").copied().unwrap_or(0.0) == 0.0
+                && r.get("transport").copied().unwrap_or(0.0)
+                    == row.get("transport").copied().unwrap_or(0.0)
                 && r.get("window_us") == row.get("window_us")
                 && r.get("load_pct") == row.get("load_pct")
                 && r.get("tenant").copied().unwrap_or(-1.0)
@@ -593,6 +622,52 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
         } else {
             report.push(format!(
                 "trace overhead: traced p99 {cur:.6}s within its untraced twin's limit {limit:.6}s"
+            ));
+        }
+    }
+
+    // The socket arm (`transport` == 1): the TCP front-end's client-side
+    // p99 must sit within the protocol-overhead budget of its in-process
+    // twin — same window/load/tenant/traced key, from the *current* run,
+    // so machine speed cancels and the gate isolates what the wire adds
+    // (framing, syscalls, the reader/writer thread handoff). An orphan
+    // socket row fails: without its twin the budget is unmeasurable.
+    let net_rows: Vec<&BTreeMap<String, f64>> =
+        current.rows.iter().filter(|r| r.get("transport").copied().unwrap_or(0.0) == 1.0).collect();
+    for row in &net_rows {
+        let twin = current.rows.iter().find(|r| {
+            r.get("transport").copied().unwrap_or(0.0) == 0.0
+                && r.get("traced").copied().unwrap_or(0.0)
+                    == row.get("traced").copied().unwrap_or(0.0)
+                && r.get("window_us") == row.get("window_us")
+                && r.get("load_pct") == row.get("load_pct")
+                && r.get("tenant").copied().unwrap_or(-1.0)
+                    == row.get("tenant").copied().unwrap_or(-1.0)
+                && r.contains_key("slo_on") == row.contains_key("slo_on")
+        });
+        let Some(twin) = twin else {
+            failures.push(format!(
+                "socket row [{}] has no matched in-process row to compare against",
+                row_key(row)
+            ));
+            continue;
+        };
+        let (Some(&cur), Some(&base)) = (row.get("p99_s"), twin.get("p99_s")) else {
+            failures.push(format!("socket row [{}] lacks p99_s", row_key(row)));
+            continue;
+        };
+        let limit = base * NET_TOLERANCE_RATIO + NET_SCHED_SLACK_S;
+        if cur > limit {
+            failures.push(format!(
+                "protocol overhead: socket row [{}] p99 {cur:.6}s exceeds its in-process twin's \
+                 limit {limit:.6}s (twin p99 {base:.6}s × {NET_TOLERANCE_RATIO} + \
+                 {NET_SCHED_SLACK_S}s) — the wire is no longer cheap",
+                row_key(row)
+            ));
+        } else {
+            report.push(format!(
+                "protocol overhead: socket p99 {cur:.6}s within its in-process twin's limit \
+                 {limit:.6}s"
             ));
         }
     }
@@ -917,6 +992,44 @@ mod tests {
         orphan.rows[2].insert("load_pct".into(), 75.0);
         let failures = check_serve(&orphan, &orphan).expect_err("orphan traced row must fail");
         assert!(failures.iter().any(|f| f.contains("no matched untraced")), "{failures:?}");
+    }
+
+    #[test]
+    fn protocol_overhead_is_gated_against_the_in_process_twin() {
+        // In-process twin p99 is 2 ms, so the socket budget is
+        // 2e-3 × NET_TOLERANCE_RATIO + NET_SCHED_SLACK_S = 32.3 ms.
+        let mut base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-3, 2e-3, 2.5, 60.0)]);
+        let net_row = |p99: f64| {
+            let mut m = BTreeMap::new();
+            m.insert("window_us".into(), 200.0);
+            m.insert("load_pct".into(), 50.0);
+            m.insert("transport".into(), 1.0);
+            m.insert("p50_s".into(), 1.2e-3);
+            m.insert("p99_s".into(), p99);
+            m.insert("mean_batch".into(), 2.5);
+            m.insert("completed".into(), 60.0);
+            m
+        };
+        base.rows.push(net_row(2.2e-3));
+        // A socket row inside the budget passes and reports it.
+        let report = check_serve(&base, &base).expect("cheap wire must pass");
+        assert!(report.iter().any(|l| l.contains("protocol overhead")), "{report:?}");
+
+        // A socket p99 past the budget fails even when the baseline
+        // agrees — the twin comes from the same run, and the budget is
+        // much tighter than the general regression band.
+        let mut slow = base.clone();
+        slow.rows.pop();
+        slow.rows.push(net_row(40e-3));
+        let failures = check_serve(&slow, &slow).expect_err("expensive wire must fail");
+        assert!(failures.iter().any(|f| f.contains("the wire is no longer cheap")), "{failures:?}");
+
+        // A socket row with no in-process twin at its operating point
+        // fails: the budget is unmeasurable without one.
+        let mut orphan = base.clone();
+        orphan.rows[2].insert("load_pct".into(), 75.0);
+        let failures = check_serve(&orphan, &orphan).expect_err("orphan socket row must fail");
+        assert!(failures.iter().any(|f| f.contains("no matched in-process")), "{failures:?}");
     }
 
     #[test]

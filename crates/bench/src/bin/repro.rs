@@ -67,6 +67,42 @@ fn check_bench(args: &[String]) -> ExitCode {
     }
 }
 
+/// Rejects experiment orderings that would corrupt `BENCH_serve.json`.
+///
+/// `serve-drift` *merges* its rows into the sweep document `serve`
+/// writes; `serve` rewrites that document from scratch. Running
+/// `serve-drift` first therefore either produces a drift-only document
+/// (no sweep rows — `check-bench` fails on every missing row with no
+/// hint why) or, with `serve` later in the same invocation, has its
+/// rows silently clobbered. Both used to fail long after the mistake;
+/// now the ordering is checked up front. `sweep_on_disk` says whether
+/// an existing `BENCH_serve.json` already carries sweep rows from a
+/// prior `serve` run, which makes a drift-only invocation legitimate.
+fn drift_ordering_error(ids: &[String], sweep_on_disk: bool) -> Option<String> {
+    let drift = ids.iter().position(|id| id == "serve-drift")?;
+    let serve = ids.iter().position(|id| id == "serve");
+    match serve {
+        Some(s) if s < drift => None,
+        Some(_) => Some(
+            "serve-drift is listed before serve: `serve` rewrites BENCH_serve.json from \
+             scratch and would clobber the drift rows just merged into it.\n\
+             Reorder the experiments so serve runs first, e.g.:\n\
+             \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve serve-drift"
+                .into(),
+        ),
+        None if sweep_on_disk => None,
+        None => Some(
+            "serve-drift merges its rows into the serve sweep's BENCH_serve.json, but there \
+             is no sweep document to merge into (BENCH_serve.json is missing, unparsable, or \
+             has no sweep rows) — the result would be a drift-only document that `repro \
+             check-bench` rejects as a shrunken sweep.\n\
+             Run the sweep first in the same invocation:\n\
+             \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve serve-drift"
+                .into(),
+        ),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Full;
@@ -111,6 +147,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let sweep_on_disk = std::fs::read_to_string("BENCH_serve.json")
+        .ok()
+        .and_then(|text| bandana_bench::parse_document(&text).ok())
+        .is_some_and(|doc| doc.rows.iter().any(|r| !r.contains_key("slo_on")));
+    if let Some(message) = drift_ordering_error(&ids, sweep_on_disk) {
+        eprintln!("{message}");
+        return ExitCode::FAILURE;
+    }
     for id in &ids {
         let started = std::time::Instant::now();
         let artifact = run_by_id(id, scale);
@@ -119,4 +163,36 @@ fn main() -> ExitCode {
         println!("[{id} took {:.1}s]\n", started.elapsed().as_secs_f64());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::drift_ordering_error;
+
+    fn ids(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn drift_ordering_is_validated() {
+        // The healthy orders pass regardless of disk state.
+        assert_eq!(drift_ordering_error(&ids(&["serve", "serve-drift"]), false), None);
+        assert_eq!(
+            drift_ordering_error(&ids(&["fig2", "serve", "fig3", "serve-drift"]), false),
+            None
+        );
+        // No drift requested: nothing to check.
+        assert_eq!(drift_ordering_error(&ids(&["serve"]), false), None);
+        // Drift before serve clobbers the merge — always an error.
+        let msg = drift_ordering_error(&ids(&["serve-drift", "serve"]), true)
+            .expect("drift-before-serve must be rejected");
+        assert!(msg.contains("listed before serve"), "{msg}");
+        assert!(msg.contains("serve serve-drift"), "actionable recipe missing: {msg}");
+        // Drift alone is fine only when a sweep document already exists.
+        assert_eq!(drift_ordering_error(&ids(&["serve-drift"]), true), None);
+        let msg = drift_ordering_error(&ids(&["serve-drift"]), false)
+            .expect("drift without a sweep document must be rejected");
+        assert!(msg.contains("no sweep document"), "{msg}");
+        assert!(msg.contains("serve serve-drift"), "actionable recipe missing: {msg}");
+    }
 }

@@ -21,13 +21,21 @@
 //! tenant records per-tenant p99 and shed counts, and `repro
 //! check-bench` asserts structurally that the weighted tenant's
 //! completions dominate per its weight.
+//!
+//! A **network arm** re-runs the batched pipeline at moderate load over
+//! the TCP front-end ([`bandana_serve::NetServer`] driven by the socket
+//! loadgen, [`run_open_loop_net`]), recording *client-side*
+//! submit-to-receipt latency. `repro check-bench` gates its p99 against
+//! the in-process row at the same load from the same run — the
+//! protocol-overhead budget.
 
 use crate::output::{JsonObject, TextTable};
 use crate::scale::Scale;
 use bandana_core::BandanaStore;
 use bandana_serve::{
-    run_closed_loop, run_open_loop, run_open_loop_tenants, ServeConfig, ShardedEngine, ShedPolicy,
-    TenantId, TenantSpec, TraceConfig,
+    run_closed_loop, run_open_loop, run_open_loop_net, run_open_loop_tenants, LoadGenConfig,
+    NetServer, NetServerConfig, ServeConfig, ShardedEngine, ShedPolicy, TenantId, TenantSpec,
+    TraceConfig,
 };
 use bandana_trace::{ArrivalProcess, EmbeddingTable};
 use serde::{Deserialize, Serialize};
@@ -72,6 +80,16 @@ const TRACE_SAMPLE_EVERY: u64 = 64;
 /// pipeline's capacity — matched to an untraced sweep row so
 /// `check-bench` can compare the two p99s structurally.
 const TRACE_LOAD_PCT: u32 = 50;
+/// Offered load of the network arm, as % of the batched pipeline's
+/// capacity — matched to an in-process sweep row so `check-bench` can
+/// gate the TCP front-end's protocol overhead against the in-process
+/// twin from the same run.
+const NET_LOAD_PCT: u32 = 50;
+/// Reactor connections of the network arm. One: on the bench host the
+/// loadgen shares the CPU with the engine it measures, and extra
+/// client connections only add scheduler preemption to the number
+/// under test.
+const NET_REACTORS: usize = 1;
 
 /// One measured operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,8 +142,12 @@ pub struct ServeRow {
     /// The tenant's DRR weight (`0` for aggregate rows).
     pub tenant_weight: u64,
     /// `1` when the flight recorder sampled this run (the trace-overhead
-    /// arm, 1-in-[`TRACE_SAMPLE_EVERY`]), `0` for untraced rows.
+    /// arm, 1-in-`TRACE_SAMPLE_EVERY`), `0` for untraced rows.
     pub traced: u64,
+    /// `1` when the run was driven over the TCP front-end
+    /// ([`bandana_serve::NetServer`]) with client-side latency, `0` for
+    /// in-process rows.
+    pub transport: u64,
 }
 
 /// The shared inputs of every engine in the sweep: built once, reused —
@@ -286,6 +308,7 @@ fn row_from(
         tenant: -1,
         tenant_weight: 0,
         traced: 0,
+        transport: 0,
     }
 }
 
@@ -387,6 +410,7 @@ fn tenant_scenario_rows(
                 tenant: i64::from(t.id.0),
                 tenant_weight: u64::from(t.weight),
                 traced: 0,
+                transport: 0,
             }
         })
         .collect()
@@ -401,7 +425,7 @@ pub fn run(scale: Scale) -> Vec<ServeRow> {
 }
 
 fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> Vec<ServeRow> {
-    let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1) + 3);
+    let mut rows = Vec::with_capacity(PIPELINES.len() * (LOAD_PCTS.len() + 1) + 4);
     // One steady-state allocation probe per sweep (it is a property of the
     // store read path, not of an operating point); -1 marks "not counted".
     let steady_allocs = steady_state_allocs_per_lookup(inputs, scale).unwrap_or(-1.0);
@@ -484,6 +508,51 @@ fn run_on(inputs: &SweepInputs, scale: Scale, trace: &bandana_trace::Trace) -> V
         rows.push(row);
     }
 
+    // Network arm: the batched pipeline at the same moderate load as an
+    // in-process sweep row, driven over the TCP front-end with the
+    // socket loadgen. Latency here is *client-side* submit-to-receipt,
+    // so the row measures protocol + transport overhead on top of the
+    // engine time its in-process twin measures; `check-bench` gates the
+    // two p99s against each other (the protocol-overhead budget).
+    {
+        let pipeline = PIPELINES[1];
+        let rate = (batched_capacity * f64::from(NET_LOAD_PCT) / 100.0).max(1.0);
+        let engine =
+            std::sync::Arc::new(build_engine(inputs, scale, pipeline, TraceConfig::default()));
+        let server = NetServer::start(std::sync::Arc::clone(&engine), NetServerConfig::default())
+            .expect("net server binds a loopback port");
+        let process = ArrivalProcess::Poisson { rate_rps: rate };
+        let report = run_open_loop_net(
+            server.local_addr(),
+            TenantId::DEFAULT,
+            trace,
+            &process,
+            super::common::SEED ^ u64::from(NET_LOAD_PCT),
+            LoadGenConfig { reactors: NET_REACTORS },
+        )
+        .expect("socket-mode open loop against the loopback server");
+        server.shutdown();
+        let mut row = row_from(
+            pipeline,
+            NET_LOAD_PCT,
+            report.offered_qps,
+            report.achieved_qps,
+            report.completed,
+            report.shed + report.timed_out + report.failed,
+            &engine,
+            steady_allocs,
+        );
+        // The engine's server-side histogram never sees the wire;
+        // overwrite the latency fields with the client-side measurement
+        // — that distribution *is* what this row exists to record.
+        row.mean_s = report.latency.mean_s;
+        row.p50_s = report.latency.p50_s;
+        row.p99_s = report.latency.p99_s;
+        row.p999_s = report.latency.p999_s;
+        row.transport = 1;
+        rows.push(row);
+    }
+
     rows.extend(tenant_scenario_rows(inputs, scale, trace, batched_capacity, steady_allocs));
     rows
 }
@@ -495,6 +564,7 @@ pub fn render(rows: &[ServeRow]) -> String {
         "load %",
         "tenant(w)",
         "trace",
+        "wire",
         "offered qps",
         "achieved qps",
         "completed",
@@ -519,11 +589,13 @@ pub fn render(rows: &[ServeRow]) -> String {
         };
         let trace_label =
             if r.traced != 0 { format!("1/{TRACE_SAMPLE_EVERY}") } else { "-".to_string() };
+        let wire = if r.transport != 0 { "tcp" } else { "-" };
         table.row(vec![
             r.window_us.to_string(),
             label,
             tenant,
             trace_label,
+            wire.to_string(),
             format!("{:.0}", r.offered_qps),
             format!("{:.0}", r.achieved_qps),
             r.completed.to_string(),
@@ -551,7 +623,8 @@ pub fn render(rows: &[ServeRow]) -> String {
          {BATCH_WINDOW_US} = ≤{MAX_BATCH}-request micro-batches at depth {BATCH_DEPTH}; \
          tenant rows = the {TENANT_LOAD_PCT}% QoS scenario, weights \
          {}:{} splitting the same arrivals; trace 1/{TRACE_SAMPLE_EVERY} = the \
-         flight-recorder overhead arm)\n{}",
+         flight-recorder overhead arm; wire tcp = the socket arm with \
+         client-side latency over the TCP front-end)\n{}",
         TENANT_HEAVY.1,
         TENANT_LIGHT.1,
         table.render()
@@ -586,6 +659,7 @@ pub fn to_json(rows: &[ServeRow]) -> String {
                 .f64("tenant", r.tenant as f64)
                 .u64("tenant_weight", r.tenant_weight)
                 .u64("traced", r.traced)
+                .u64("transport", r.transport)
         }),
     )
 }
@@ -628,12 +702,17 @@ mod tests {
         let mut trace = inputs.workload.eval.clone();
         trace.requests.truncate(60);
         let rows = run_on(&inputs, Scale::Quick, &trace);
-        assert_eq!(rows.len(), PIPELINES.len() * (LOAD_PCTS.len() + 1) + 3);
+        assert_eq!(rows.len(), PIPELINES.len() * (LOAD_PCTS.len() + 1) + 4);
         let n = trace.requests.len() as u64;
         for pipeline in PIPELINES {
             let group: Vec<&ServeRow> = rows
                 .iter()
-                .filter(|r| r.tenant < 0 && r.traced == 0 && r.window_us == pipeline.window_us)
+                .filter(|r| {
+                    r.tenant < 0
+                        && r.traced == 0
+                        && r.transport == 0
+                        && r.window_us == pipeline.window_us
+                })
                 .collect();
             assert_eq!(group.len(), LOAD_PCTS.len() + 1);
             // Capacity row completes the whole trace without shedding.
@@ -709,8 +788,33 @@ mod tests {
         assert_eq!(traced.len(), 1);
         let tr = traced[0];
         assert_eq!((tr.window_us, tr.load_pct, tr.tenant), (BATCH_WINDOW_US, TRACE_LOAD_PCT, -1));
+        assert_eq!(tr.traced, 1);
+        assert_eq!(tr.transport, 0, "the trace arm runs in-process: {tr:?}");
         assert_eq!(tr.completed + tr.shed, n, "{tr:?}");
         assert!(tr.p50_s <= tr.p99_s && tr.p99_s <= tr.p999_s, "{tr:?}");
+        // The network arm: exactly one socket row, on the batched
+        // pipeline at the load of its in-process twin, accounting for
+        // every request it put on the wire.
+        let net: Vec<&ServeRow> = rows.iter().filter(|r| r.transport != 0).collect();
+        assert_eq!(net.len(), 1);
+        let nr = net[0];
+        assert_eq!(
+            (nr.window_us, nr.load_pct, nr.tenant, nr.traced),
+            (BATCH_WINDOW_US, NET_LOAD_PCT, -1, 0)
+        );
+        assert_eq!(nr.completed + nr.shed, n, "{nr:?}");
+        assert!(nr.completed > 0, "{nr:?}");
+        assert!(nr.p50_s <= nr.p99_s && nr.p99_s <= nr.p999_s, "{nr:?}");
+        // Its in-process twin exists in the same run — the row
+        // check-bench compares the socket p99 against.
+        assert!(
+            rows.iter().any(|r| r.transport == 0
+                && r.traced == 0
+                && r.tenant < 0
+                && r.window_us == nr.window_us
+                && r.load_pct == nr.load_pct),
+            "the net arm has no in-process twin: {rows:?}"
+        );
     }
 
     #[test]
@@ -738,10 +842,12 @@ mod tests {
             tenant: -1,
             tenant_weight: 0,
             traced: 0,
+            transport: 0,
         };
         let tenant = ServeRow { load_pct: 300, tenant: 1, tenant_weight: 9, shed: 37, ..aggregate };
         let traced = ServeRow { traced: 1, ..aggregate };
-        let rows = vec![aggregate, tenant, traced];
+        let net = ServeRow { transport: 1, ..aggregate };
+        let rows = vec![aggregate, tenant, traced, net];
         let s = render(&rows);
         assert!(s.contains("offered qps"));
         assert!(s.contains("50"));
@@ -752,6 +858,8 @@ mod tests {
         assert!(s.contains("1(9)"), "tenant row label missing: {s}");
         assert!(s.contains("trace"));
         assert!(s.contains(&format!("1/{TRACE_SAMPLE_EVERY}")), "traced row label missing: {s}");
+        assert!(s.contains("wire"));
+        assert!(s.contains("tcp"), "net row label missing: {s}");
         let j = to_json(&rows);
         assert!(j.contains("\"experiment\":\"serve\""));
         assert!(j.contains("\"window_us\":200"));
@@ -766,5 +874,7 @@ mod tests {
         assert!(j.contains("\"tenant_weight\":9"));
         assert!(j.contains("\"traced\":0"));
         assert!(j.contains("\"traced\":1"));
+        assert!(j.contains("\"transport\":0"));
+        assert!(j.contains("\"transport\":1"));
     }
 }

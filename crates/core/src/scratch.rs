@@ -26,7 +26,7 @@
 
 use bytes::Bytes;
 
-/// Reusable working memory for [`TableStore::lookup_batch_with`]
+/// Reusable working memory for [`TableStore::lookup_batch_with`](crate::TableStore::lookup_batch_with)
 /// (miss plan, output slots, requested-slot bitset).
 ///
 /// See the [module docs](self) for the ownership rules.

@@ -1,6 +1,6 @@
 //! Event-driven simulation of the device under closed- and open-loop load.
 //!
-//! The analytic [`QueueModel`](crate::QueueModel) gives the expected operating
+//! The analytic [`QueueModel`] gives the expected operating
 //! point; this module actually *runs* a request stream through a pipelined
 //! server to produce latency distributions, which is what the paper's Fio
 //! benchmarks do on real hardware (Figures 2 and 5).

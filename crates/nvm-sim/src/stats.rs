@@ -120,7 +120,7 @@ const SUBBUCKETS: usize = 32;
 /// approximate percentile queries with bounded relative error (~3%).
 ///
 /// Samples are assigned to a power-of-two bucket by exponent and to one of
-/// [`SUBBUCKETS`] linear sub-buckets inside it, mirroring the layout used by
+/// `SUBBUCKETS` linear sub-buckets inside it, mirroring the layout used by
 /// HdrHistogram-style recorders.
 ///
 /// # Example

@@ -9,7 +9,7 @@
 //!   balanced bisection of the access hypergraph (vertices = vectors,
 //!   hyperedges = queries) that minimizes average query *fanout* — the
 //!   number of blocks a query touches (Kabiljo et al., VLDB 2017).
-//! * **Semantic** — [`kmeans`]: K-means over the embedding values
+//! * **Semantic** — [`kmeans`](mod@kmeans): K-means over the embedding values
 //!   themselves, hoping Euclidean proximity predicts co-access, plus the
 //!   [`recursive`] two-stage variant that scales to many clusters.
 //!

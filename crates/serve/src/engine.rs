@@ -3,7 +3,7 @@
 //! [`ShardedEngine`] decomposes a built [`BandanaStore`] into shards, each
 //! owning a **disjoint set of tables** plus its own replica of the
 //! simulated NVM device, behind a tenant-aware
-//! [`WeightedQueue`](crate::queue::WeightedQueue) (one bounded lane per
+//! [`WeightedQueue`] (one bounded lane per
 //! registered tenant, strict priority across classes, deficit
 //! round-robin within a class) drained by a dedicated worker thread. A
 //! dispatcher splits every incoming [`Request`] into per-shard parts
@@ -57,7 +57,7 @@ use nvm_sim::{
 };
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -216,7 +216,7 @@ impl ServeConfig {
 
     /// Registers a tenant and its QoS contract. Each shard gives every
     /// tenant its own bounded queue lane, scheduled by strict priority
-    /// across [`PriorityClass`]es and deficit round-robin on
+    /// across [`PriorityClass`](crate::PriorityClass)es and deficit round-robin on
     /// [`TenantSpec::weight`] within a class. Registering
     /// [`TenantId::DEFAULT`] overrides the default tenant's spec
     /// (weight 1, normal class, no quota) instead of adding a tenant.
@@ -267,7 +267,7 @@ pub enum ServeError {
     /// [`admission quota`](TenantSpec::admission_quota).
     QuotaExceeded,
     /// The request was shed at admission by the
-    /// [`SloController`](crate::control::SloController): the tenant's
+    /// [`SloController`]: the tenant's
     /// recent-window p99 currently exceeds its
     /// [`slo_p99`](TenantSpec::slo_p99) budget, so new work is refused
     /// early instead of queueing toward a latency that would violate the
@@ -284,6 +284,10 @@ pub enum ServeError {
     /// The ticket's response was already taken
     /// (see [`ResponseTicket`](crate::ResponseTicket)).
     TicketTaken,
+    /// A live tenant registration
+    /// ([`ShardedEngine::register_tenant`]) was refused: the id is
+    /// already registered or the spec is invalid.
+    InvalidTenant(String),
     /// A table/vector reference was invalid or the device failed.
     Store(BandanaError),
 }
@@ -302,6 +306,7 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::UnknownTenant(id) => write!(f, "{id} is not registered with the engine"),
             ServeError::TicketTaken => write!(f, "response already taken from this ticket"),
+            ServeError::InvalidTenant(why) => write!(f, "tenant registration refused: {why}"),
             ServeError::Store(e) => write!(f, "store error: {e}"),
         }
     }
@@ -485,7 +490,7 @@ struct ShardStats {
 /// admission counters (aggregate shed and the per-reason breakdown) and
 /// two end-to-end latency histograms — cumulative and recent-window (the
 /// latter rotated by the metrics bus).
-struct TenantRuntime {
+pub(crate) struct TenantRuntime {
     id: TenantId,
     spec: TenantSpec,
     outstanding: AtomicU64,
@@ -543,8 +548,12 @@ pub(crate) struct Shared {
     table_shard: Vec<usize>,
     shard_tables: Vec<Vec<usize>>,
     counters: Counters,
-    /// Registered tenants; index 0 is always the default tenant.
-    tenants: Vec<TenantRuntime>,
+    /// Registered tenants; index 0 is always the default tenant. The
+    /// list is append-only (tenant indices are stable for the engine's
+    /// lifetime), behind a `RwLock` so the admin plane can register
+    /// tenants live ([`ShardedEngine::register_tenant`]) while the hot
+    /// path clones one `Arc` out of a brief read lock.
+    tenants: RwLock<Vec<Arc<TenantRuntime>>>,
     outstanding: AtomicU64,
     idle: (Mutex<()>, Condvar),
     shard_stats: Vec<Mutex<ShardStats>>,
@@ -555,6 +564,10 @@ pub(crate) struct Shared {
     /// The recent-window span ([`ControlConfig::window_span`]), reported
     /// in snapshots so controllers can reason about decay.
     window_span: Duration,
+    /// Slots per recent window ([`ControlConfig::window_slots`]), kept
+    /// so tenants registered live get the same window shape as
+    /// build-time ones.
+    window_slots: usize,
     /// The live micro-batch window in nanoseconds, kept in sync with
     /// [`Action::SetBatchWindow`] retunes so snapshots report the truth.
     batch_window_ns: AtomicU64,
@@ -573,18 +586,31 @@ const DEFAULT_TENANT_INDEX: usize = 0;
 impl Shared {
     /// Resolves a tenant id to its index in [`Shared::tenants`].
     pub(crate) fn tenant_index(&self, id: TenantId) -> Option<usize> {
-        self.tenants.iter().position(|t| t.id == id)
+        self.tenants.read().expect("tenant lock").iter().position(|t| t.id == id)
+    }
+
+    /// The runtime registered at a tenant index (indices are stable:
+    /// the tenant table is append-only).
+    pub(crate) fn tenant(&self, index: usize) -> Arc<TenantRuntime> {
+        Arc::clone(&self.tenants.read().expect("tenant lock")[index])
+    }
+
+    /// Number of registered tenants (including the default tenant).
+    pub(crate) fn num_tenants(&self) -> usize {
+        self.tenants.read().expect("tenant lock").len()
     }
 
     /// The id registered at a tenant index.
     pub(crate) fn tenant_id(&self, index: usize) -> TenantId {
-        self.tenants[index].id
+        self.tenants.read().expect("tenant lock")[index].id
     }
 
     /// One tenant's metrics slice (see
     /// [`EngineMetrics::per_tenant`]).
     pub(crate) fn tenant_metrics(&self, index: usize) -> TenantMetrics {
-        let t = &self.tenants[index];
+        let t = self.tenant(index);
+        let latency = t.e2e.lock().expect("tenant histogram lock").summary();
+        let recent = t.recent.lock().expect("tenant window lock").summary();
         TenantMetrics {
             id: t.id,
             weight: t.spec.weight,
@@ -599,8 +625,8 @@ impl Shared {
             failed: t.failed.load(Ordering::Relaxed),
             outstanding: t.outstanding.load(Ordering::Relaxed),
             slo_shedding: t.slo_shed.load(Ordering::Relaxed),
-            latency: t.e2e.lock().expect("tenant histogram lock").summary(),
-            recent: t.recent.lock().expect("tenant window lock").summary(),
+            latency,
+            recent,
         }
     }
 
@@ -633,7 +659,7 @@ impl Shared {
 
     /// Rotates every tenant's recent window by one slot (bus-driven).
     fn rotate_windows(&self) {
-        for t in &self.tenants {
+        for t in self.tenants.read().expect("tenant lock").iter() {
             t.recent.lock().expect("tenant window lock").rotate();
         }
     }
@@ -657,6 +683,8 @@ impl Shared {
             .collect();
         let tenants = self
             .tenants
+            .read()
+            .expect("tenant lock")
             .iter()
             .enumerate()
             .map(|(i, t)| TenantSnapshot {
@@ -711,7 +739,7 @@ impl Shared {
             }
             Action::SetSloShed { tenant, shed } => {
                 if let Some(i) = self.tenant_index(tenant) {
-                    self.tenants[i].slo_shed.store(shed, Ordering::Release);
+                    self.tenant(i).slo_shed.store(shed, Ordering::Release);
                 }
             }
             // `Action` is non_exhaustive for forward compatibility; an
@@ -791,7 +819,7 @@ impl Shared {
         if self.shutdown.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
-        let rt = &self.tenants[tenant];
+        let rt = self.tenant(tenant);
         // Draw the flight-recorder sampling decision per admission
         // attempt: shed outcomes are lifecycle events too.
         let trace = self.recorder.sample();
@@ -1182,13 +1210,17 @@ impl ShardedEngine {
         // The tenant table: the default tenant always sits at index 0;
         // registering TenantId::DEFAULT overrides its spec in place.
         let window_slots = config.control.window_slots;
-        let mut tenants: Vec<TenantRuntime> =
-            vec![TenantRuntime::new(TenantId::DEFAULT, TenantSpec::default(), window_slots)];
+        let mut tenants: Vec<Arc<TenantRuntime>> = vec![Arc::new(TenantRuntime::new(
+            TenantId::DEFAULT,
+            TenantSpec::default(),
+            window_slots,
+        ))];
         for (id, spec) in &config.tenants {
             if *id == TenantId::DEFAULT {
-                tenants[DEFAULT_TENANT_INDEX] = TenantRuntime::new(*id, *spec, window_slots);
+                tenants[DEFAULT_TENANT_INDEX] =
+                    Arc::new(TenantRuntime::new(*id, *spec, window_slots));
             } else {
-                tenants.push(TenantRuntime::new(*id, *spec, window_slots));
+                tenants.push(Arc::new(TenantRuntime::new(*id, *spec, window_slots)));
             }
         }
         let lanes: Vec<LaneSpec> = tenants
@@ -1206,7 +1238,7 @@ impl ShardedEngine {
             table_shard,
             shard_tables: shard_tables.clone(),
             counters: Counters::new(),
-            tenants,
+            tenants: RwLock::new(tenants),
             outstanding: AtomicU64::new(0),
             idle: (Mutex::new(()), Condvar::new()),
             shard_stats: (0..num_shards).map(|_| Mutex::new(ShardStats::default())).collect(),
@@ -1214,6 +1246,7 @@ impl ShardedEngine {
             request_timeout: config.request_timeout,
             started: Instant::now(),
             window_span: config.control.window_span(),
+            window_slots,
             batch_window_ns: AtomicU64::new(config.batch_window.as_nanos() as u64),
             recorder: TraceRecorder::new(config.trace, num_shards),
             audit: AuditLog::new(DEFAULT_AUDIT_CAPACITY),
@@ -1325,7 +1358,46 @@ impl ShardedEngine {
 
     /// The registered tenants, default tenant first.
     pub fn tenants(&self) -> Vec<(TenantId, TenantSpec)> {
-        self.shared.tenants.iter().map(|t| (t.id, t.spec)).collect()
+        self.shared.tenants.read().expect("tenant lock").iter().map(|t| (t.id, t.spec)).collect()
+    }
+
+    /// Registers a tenant on a **running** engine: the admin plane's
+    /// live-registration path (`POST /tenants` on the
+    /// [`net::AdminServer`](crate::net::AdminServer)).
+    ///
+    /// A lane for the tenant is added to every shard queue first (with
+    /// the engine's default per-lane capacity), then the tenant joins
+    /// the registry, so concurrent snapshots never observe a tenant
+    /// without its lanes. The new tenant schedules exactly like one
+    /// registered at build time with
+    /// [`ServeConfig::with_tenant`]; in-flight traffic is untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidTenant`] if the id is already registered or
+    /// the spec is invalid (zero weight), and
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn register_tenant(&self, id: TenantId, spec: TenantSpec) -> Result<(), ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        spec.validate().map_err(ServeError::InvalidTenant)?;
+        // Hold the write lock across the whole registration so
+        // concurrent registrations cannot interleave lane/index
+        // assignment, and so no reader sees lanes without the tenant or
+        // vice versa.
+        let mut tenants = self.shared.tenants.write().expect("tenant lock");
+        if tenants.iter().any(|t| t.id == id) {
+            return Err(ServeError::InvalidTenant(format!("{id} is already registered")));
+        }
+        let lane = LaneSpec { weight: u64::from(spec.weight), class: spec.priority_class.index() };
+        for q in &self.shared.queues {
+            let index = q.add_lane(lane);
+            debug_assert_eq!(index, tenants.len(), "lane index must equal tenant index");
+        }
+        let window_slots = self.shared.window_slots;
+        tenants.push(Arc::new(TenantRuntime::new(id, spec, window_slots)));
+        Ok(())
     }
 
     /// Submits a request without waiting for its results (open-loop mode;
@@ -1420,7 +1492,7 @@ impl ShardedEngine {
             service: service.summary(),
         };
         let per_tenant: Vec<TenantMetrics> =
-            (0..self.shared.tenants.len()).map(|i| self.shared.tenant_metrics(i)).collect();
+            (0..self.shared.num_tenants()).map(|i| self.shared.tenant_metrics(i)).collect();
         EngineMetrics {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -1515,7 +1587,7 @@ fn finalize_job(shared: &Shared, job: &Job, finishing_shard: Option<usize>) {
     let cancelled = job.cancelled.load(Ordering::Acquire);
     let timed_out = job.timed_out.load(Ordering::Acquire);
     let e2e = job.arrival.elapsed();
-    let rt = &shared.tenants[job.tenant];
+    let rt = shared.tenant(job.tenant);
     let had_error = job.state.lock().expect("job lock").error.is_some();
     // Classify and record BEFORE waking waiters: a caller returning from
     // `serve` must observe its own request in the counters. Shed and
@@ -1869,7 +1941,7 @@ fn process_batch(
                 if started > deadline {
                     if !job.timed_out.swap(true, Ordering::AcqRel) {
                         shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
-                        shared.tenants[job.tenant].timed_out.fetch_add(1, Ordering::Relaxed);
+                        shared.tenant(job.tenant).timed_out.fetch_add(1, Ordering::Relaxed);
                     }
                     serves = false;
                 }

@@ -95,6 +95,18 @@
 //!   lands in a bounded **audit log** ([`EngineMetrics::audit`]), so an
 //!   SLO trip is explainable after the fact: which controller, which
 //!   tenant, and the snapshot evidence it acted on.
+//! * **A network front-end** ([`net`]): a pipelined, length-prefixed
+//!   binary TCP protocol ([`NetServer`] / [`NetClient`]) whose
+//!   connection handlers map straight onto [`Client`] /
+//!   [`ResponseTicket`] — out-of-order completion on the wire via
+//!   correlation ids, per-connection in-flight caps that backpressure
+//!   into TCP flow control, clean error frames for shed / timed-out /
+//!   failed terminals — plus an HTTP/1.1 admin plane ([`AdminServer`]):
+//!   `GET /metrics` (the frozen Prometheus schema, verbatim),
+//!   `GET /audit`, `GET /trace`, and `POST /tenants` for live
+//!   registration. The wire format is specified in `docs/PROTOCOL.md`
+//!   (pinned to the code by a test); `docs/OPERATIONS.md` is the
+//!   operator runbook.
 //!
 //! ## Example: tickets and weighted tenants
 //!
@@ -208,7 +220,7 @@
 //! assert!(traces.iter().all(|t| t.terminal_count() == 1));
 //!
 //! // 2. Prometheus text exposition with stable `bandana_*` names (the
-//! //    future TCP admin plane serves this string verbatim).
+//! //    admin plane's `GET /metrics` serves this string verbatim).
 //! let text = render_prometheus(&engine.metrics(), &engine.snapshot());
 //! assert!(text.contains("bandana_requests_completed_total 40"));
 //!
@@ -231,6 +243,7 @@ pub mod control;
 pub mod engine;
 pub mod hist;
 pub mod loadgen;
+pub mod net;
 pub mod obs;
 pub mod queue;
 pub mod tenant;
@@ -245,9 +258,10 @@ pub use engine::{
 };
 pub use hist::{fmt_secs, LatencyBreakdown, LatencyHistogram, LatencySummary, WindowedHistogram};
 pub use loadgen::{
-    run_closed_loop, run_open_loop, run_open_loop_tenants, run_open_loop_with, ClosedLoopReport,
-    LoadGenConfig, OpenLoopReport,
+    run_closed_loop, run_open_loop, run_open_loop_net, run_open_loop_tenants, run_open_loop_with,
+    ClosedLoopReport, LoadGenConfig, NetOpenLoopReport, OpenLoopReport,
 };
+pub use net::{AdminServer, NetClient, NetResponse, NetServer, NetServerConfig, NetTicket};
 pub use nvm_sim::{DepthStats, PoolStats};
 pub use obs::{
     chrome_trace, render_audit_log, render_prometheus, render_tenant_table, AuditEvent, AuditLog,

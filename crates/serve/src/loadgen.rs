@@ -30,11 +30,13 @@
 //! fresh engine per measured point when sweeping offered load.
 
 use crate::engine::{EngineMetrics, ServeError, ShardedEngine};
-use crate::hist::LatencySummary;
+use crate::hist::{LatencyHistogram, LatencySummary};
+use crate::net::{NetClient, NetTicket};
 use crate::tenant::{Client, Response, TenantId};
 use bandana_trace::{ArrivalProcess, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// Tuning of the open-loop generator's reactor pool
@@ -310,6 +312,140 @@ pub fn run_closed_loop(
     })
 }
 
+/// Result of an open-loop run driven over the TCP front-end
+/// ([`run_open_loop_net`]). Unlike [`OpenLoopReport`], whose latency
+/// summary comes from the engine's server-side histograms, `latency`
+/// here is measured **client-side**: submit-to-receipt across the
+/// wire, per run — the number the protocol-overhead gate compares
+/// against the in-process path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetOpenLoopReport {
+    /// Offered load in requests per second.
+    pub offered_qps: f64,
+    /// Requests put on the wire.
+    pub submitted: u64,
+    /// Requests served (RESPONSE frames).
+    pub completed: u64,
+    /// Requests shed at admission (lane-full / quota / SLO error
+    /// frames).
+    pub shed: u64,
+    /// Requests that missed their deadline (TIMED_OUT error frames).
+    pub timed_out: u64,
+    /// Requests that hit a store error or another terminal failure.
+    pub failed: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_s: f64,
+    /// Served requests per second.
+    pub achieved_qps: f64,
+    /// Client-measured submit-to-receipt latency of served requests,
+    /// for this run only.
+    pub latency: LatencySummary,
+}
+
+/// As [`run_open_loop_with`], but over the wire: each reactor opens its
+/// own [`NetClient`] connection to a
+/// [`NetServer`](crate::net::NetServer) at `addr` and drives the same
+/// paced schedule with pipelined `NO_PAYLOAD` submissions, reaping
+/// completions out of order. Latency is measured client-side per
+/// request, so the report captures protocol + transport overhead on
+/// top of engine time.
+///
+/// # Errors
+///
+/// Fails if a connection cannot be established or dies mid-run.
+pub fn run_open_loop_net(
+    addr: SocketAddr,
+    tenant: TenantId,
+    trace: &Trace,
+    process: &ArrivalProcess,
+    seed: u64,
+    config: LoadGenConfig,
+) -> std::io::Result<NetOpenLoopReport> {
+    let schedule = process.schedule(trace.requests.len(), seed);
+    let reactors = config.reactors.min(trace.requests.len()).max(1);
+    let clients: Vec<NetClient> = (0..reactors)
+        .map(|_| NetClient::connect(addr, tenant, 0))
+        .collect::<std::io::Result<_>>()?;
+    #[derive(Default)]
+    struct Tally {
+        completed: u64,
+        shed: u64,
+        timed_out: u64,
+        failed: u64,
+        latency: LatencyHistogram,
+    }
+    impl Tally {
+        fn count(&mut self, response: &crate::net::NetResponse) {
+            if response.is_ok() {
+                self.completed += 1;
+                self.latency.record(response.e2e);
+            } else if response.is_shed() {
+                self.shed += 1;
+            } else if response.is_timed_out() {
+                self.timed_out += 1;
+            } else {
+                self.failed += 1;
+            }
+        }
+    }
+    let start = Instant::now();
+    let tallies: Vec<std::io::Result<Tally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter()
+            .enumerate()
+            .map(|(reactor, client)| {
+                let schedule = &schedule;
+                scope.spawn(move || -> std::io::Result<Tally> {
+                    let mut tally = Tally::default();
+                    let mut pending: VecDeque<NetTicket> = VecDeque::new();
+                    for i in (reactor..trace.requests.len()).step_by(reactors) {
+                        pace_until(start, schedule[i]);
+                        pending.push_back(client.submit_discarding(&trace.requests[i])?);
+                        while let Some(front) = pending.front_mut() {
+                            match front.try_take()? {
+                                Some(response) => {
+                                    tally.count(&response);
+                                    pending.pop_front();
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                    for mut ticket in pending {
+                        tally.count(&ticket.wait()?);
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("net reactor panicked")).collect()
+    });
+    let wall_s = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    for client in clients {
+        let _ = client.close();
+    }
+    let mut total = Tally::default();
+    for tally in tallies {
+        let t = tally?;
+        total.completed += t.completed;
+        total.shed += t.shed;
+        total.timed_out += t.timed_out;
+        total.failed += t.failed;
+        total.latency.merge(&t.latency);
+    }
+    Ok(NetOpenLoopReport {
+        offered_qps: process.rate_rps(),
+        submitted: trace.requests.len() as u64,
+        completed: total.completed,
+        shed: total.shed,
+        timed_out: total.timed_out,
+        failed: total.failed,
+        wall_s,
+        achieved_qps: total.completed as f64 / wall_s,
+        latency: total.latency.summary(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,5 +577,34 @@ mod tests {
         assert_eq!(t1.completed + t2.completed, 80);
         // Default tenant untouched.
         assert_eq!(m.per_tenant[0].submitted, 0);
+    }
+
+    #[test]
+    fn socket_mode_completes_everything_below_saturation() {
+        use crate::net::{NetServer, NetServerConfig};
+        use std::sync::Arc;
+        let (engine, mut generator) = build_engine(6, ServeConfig::default().with_shards(2));
+        let engine = Arc::new(engine);
+        let server =
+            NetServer::start(Arc::clone(&engine), NetServerConfig::default()).expect("server");
+        let trace = generator.generate_requests(60);
+        let process = ArrivalProcess::Poisson { rate_rps: 2_000.0 };
+        let report = run_open_loop_net(
+            server.local_addr(),
+            TenantId::DEFAULT,
+            &trace,
+            &process,
+            7,
+            LoadGenConfig { reactors: 2 },
+        )
+        .expect("net run");
+        assert_eq!(report.submitted, 60);
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.shed + report.timed_out + report.failed, 0);
+        assert_eq!(report.latency.count, 60, "client-side latency per served request");
+        assert!(report.latency.p99_s >= report.latency.p50_s);
+        server.shutdown();
+        engine.drain();
+        assert_eq!(engine.metrics().completed, 60, "server-side view agrees");
     }
 }

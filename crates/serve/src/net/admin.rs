@@ -1,0 +1,356 @@
+//! The HTTP admin plane: a minimal text/HTTP 1.1 listener for
+//! operators and scrapers.
+//!
+//! Routes:
+//!
+//! | method | path       | body |
+//! |--------|------------|------|
+//! | GET    | `/metrics` | [`render_prometheus`] output, **verbatim** (the frozen `bandana_*` schema) |
+//! | GET    | `/audit`   | [`render_audit_log`] of the retained control-plane decisions |
+//! | GET    | `/trace`   | Chrome trace-event JSON from the flight recorder (load into Perfetto) |
+//! | POST   | `/tenants` | live tenant registration (form-urlencoded) |
+//!
+//! `POST /tenants` accepts `id=<u32>&weight=<u32>` plus optional
+//! `class=high|normal|low`, `quota=<u64>`, and `slo_p99_ms=<u64>`;
+//! it answers `201` on success, `400` on a malformed body or invalid
+//! spec, `409` when the tenant id is already registered, and `503`
+//! while the engine is shutting down.
+//!
+//! The implementation is deliberately small: thread-per-connection
+//! blocking I/O, one request per connection (`Connection: close`), no
+//! TLS, no routing table — it exists so `curl` and a Prometheus
+//! scraper can reach the engine, not to be a web framework.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::engine::{ServeError, ShardedEngine};
+use crate::obs::{render_audit_log, render_prometheus};
+use crate::tenant::{PriorityClass, TenantId, TenantSpec};
+
+/// Upper bound on an admin request head + body; admin bodies are tiny.
+const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// A running admin listener. Stops (and joins its accept thread) on
+/// [`AdminServer::shutdown`] or drop; in-flight request handlers are
+/// detached and finish on their own.
+pub struct AdminServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` (port 0 picks a free port) and starts serving the
+    /// admin routes for `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(engine: Arc<ShardedEngine>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let engine = Arc::clone(&engine);
+                    thread::spawn(move || {
+                        let _ = handle_connection(stream, &engine);
+                    });
+                }
+            })
+        };
+        Ok(AdminServer { local_addr, shutdown, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The `/metrics` body: [`render_prometheus`] over a fresh
+/// metrics/snapshot pair, served byte-for-byte on the wire (pinned by
+/// a test).
+pub fn metrics_body(engine: &ShardedEngine) -> String {
+    render_prometheus(&engine.metrics(), &engine.snapshot())
+}
+
+fn handle_connection(mut stream: TcpStream, engine: &ShardedEngine) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(_) => {
+            return respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n");
+        }
+    };
+    let (status, content_type, body) = route(engine, &request);
+    respond(&mut stream, status, content_type, &body)
+}
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: String,
+}
+
+/// Reads one HTTP/1.1 request (head + `Content-Length` body). Returns
+/// `Err` on anything that does not parse.
+fn read_request(stream: &mut TcpStream) -> Result<HttpRequest, ()> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(());
+        }
+        let n = stream.read(&mut chunk).map_err(|_| ())?;
+        if n == 0 {
+            return Err(());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| ())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(())?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(())?.to_string();
+    let path = parts.next().ok_or(())?.to_string();
+    let version = parts.next().ok_or(())?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(());
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| ())?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err(());
+    }
+    let body_start = head_end + 4;
+    let mut body = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|_| ())?;
+        if n == 0 {
+            return Err(());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| ())?;
+    Ok(HttpRequest { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn route(engine: &ShardedEngine, req: &HttpRequest) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/metrics") => {
+            (200, "text/plain; version=0.0.4; charset=utf-8", metrics_body(engine))
+        }
+        ("GET", "/audit") => {
+            (200, "text/plain; charset=utf-8", render_audit_log(&engine.metrics().audit))
+        }
+        ("GET", "/trace") => (200, "application/json; charset=utf-8", engine.dump_trace()),
+        ("POST", "/tenants") => register_tenant(engine, &req.body),
+        (_, "/metrics" | "/audit" | "/trace" | "/tenants") => {
+            (405, "text/plain; charset=utf-8", "method not allowed\n".into())
+        }
+        _ => (404, "text/plain; charset=utf-8", "not found\n".into()),
+    }
+}
+
+/// `POST /tenants` handler: parses the form body, registers the tenant
+/// live, and maps the outcome to an HTTP status.
+fn register_tenant(engine: &ShardedEngine, body: &str) -> (u16, &'static str, String) {
+    let plain = "text/plain; charset=utf-8";
+    let spec = match parse_tenant_form(body) {
+        Ok(s) => s,
+        Err(why) => return (400, plain, format!("bad request: {why}\n")),
+    };
+    match engine.register_tenant(TenantId(spec.0), spec.1) {
+        Ok(()) => (201, plain, format!("registered tenant {}\n", spec.0)),
+        Err(ServeError::ShuttingDown) => (503, plain, "engine is shutting down\n".into()),
+        Err(ServeError::InvalidTenant(why)) if why.contains("already registered") => {
+            (409, plain, format!("conflict: {why}\n"))
+        }
+        Err(e) => (400, plain, format!("bad request: {e}\n")),
+    }
+}
+
+/// Parses `id=7&weight=9&class=high&quota=64&slo_p99_ms=50` into a
+/// tenant id and spec. `id` and `weight` are required.
+fn parse_tenant_form(body: &str) -> Result<(u32, TenantSpec), String> {
+    let mut id = None;
+    let mut weight = None;
+    let mut class = None;
+    let mut quota = None;
+    let mut slo_p99_ms = None;
+    for pair in body.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) =
+            pair.split_once('=').ok_or_else(|| format!("malformed pair {pair:?}"))?;
+        match key {
+            "id" => id = Some(value.parse::<u32>().map_err(|_| format!("bad id {value:?}"))?),
+            "weight" => {
+                weight = Some(value.parse::<u32>().map_err(|_| format!("bad weight {value:?}"))?);
+            }
+            "class" => {
+                class = Some(match value {
+                    "high" => PriorityClass::High,
+                    "normal" => PriorityClass::Normal,
+                    "low" => PriorityClass::Low,
+                    other => return Err(format!("bad class {other:?}")),
+                });
+            }
+            "quota" => {
+                quota = Some(value.parse::<u64>().map_err(|_| format!("bad quota {value:?}"))?);
+            }
+            "slo_p99_ms" => {
+                slo_p99_ms =
+                    Some(value.parse::<u64>().map_err(|_| format!("bad slo_p99_ms {value:?}"))?);
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    let id = id.ok_or("missing field `id`")?;
+    let weight = weight.ok_or("missing field `weight`")?;
+    let mut spec = TenantSpec::new(weight);
+    if let Some(c) = class {
+        spec = spec.with_class(c);
+    }
+    if let Some(q) = quota {
+        spec = spec.with_quota(q);
+    }
+    if let Some(ms) = slo_p99_ms {
+        spec = spec.with_slo_p99(Duration::from_millis(ms));
+    }
+    Ok((id, spec))
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "OK",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+/// A tiny blocking HTTP/1.1 GET/POST helper for tests, examples, and
+/// the bench suite's `/metrics` check — returns `(status, body)`.
+///
+/// # Errors
+///
+/// Fails on connection errors or a response that is not parseable
+/// HTTP/1.1 with a `Content-Length`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let head_end = find_head_end(&response)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let head = std::str::from_utf8(&response[..head_end])
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no status code")
+        })?;
+    let body = String::from_utf8(response[head_end + 4..].to_vec())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_form_parses_full_and_minimal_bodies() {
+        let (id, spec) = parse_tenant_form("id=7&weight=9&class=high&quota=64&slo_p99_ms=50")
+            .expect("full form");
+        assert_eq!(id, 7);
+        assert_eq!(spec.weight, 9);
+        assert_eq!(spec.priority_class, PriorityClass::High);
+        assert_eq!(spec.admission_quota, Some(64));
+        assert_eq!(spec.slo_p99, Some(Duration::from_millis(50)));
+        let (id, spec) = parse_tenant_form("id=1&weight=2").expect("minimal form");
+        assert_eq!(id, 1);
+        assert_eq!(spec.weight, 2);
+        assert_eq!(spec.priority_class, PriorityClass::Normal);
+    }
+
+    #[test]
+    fn tenant_form_rejects_garbage() {
+        assert!(parse_tenant_form("weight=2").is_err());
+        assert!(parse_tenant_form("id=1").is_err());
+        assert!(parse_tenant_form("id=x&weight=2").is_err());
+        assert!(parse_tenant_form("id=1&weight=2&class=urgent").is_err());
+        assert!(parse_tenant_form("id=1&weight=2&bogus=3").is_err());
+        assert!(parse_tenant_form("id=1&weight").is_err());
+    }
+}

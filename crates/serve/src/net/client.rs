@@ -1,0 +1,408 @@
+//! The wire client: pipelined submission over one TCP connection.
+//!
+//! [`NetClient`] mirrors the in-process [`Client`](crate::Client) API
+//! shape — submit returns a [`NetTicket`] future that can be polled,
+//! waited on, or reaped out of order — but every latency it reports is
+//! measured **client-side**, submit-to-receipt across the wire, which
+//! is exactly what the bench suite's `net` arm gates against the
+//! in-process path.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bandana_trace::Request;
+use bytes::Bytes;
+
+use crate::hist::{LatencyHistogram, LatencySummary};
+use crate::net::frame::{
+    self, decode_response_payload, encode_lookup_payload, lookup_flags, opcode, Frame,
+};
+use crate::tenant::TenantId;
+
+/// One completed wire request.
+#[derive(Debug, Clone)]
+pub struct NetResponse {
+    /// Per-table value payloads; empty for `NO_PAYLOAD` submissions and
+    /// error terminals.
+    pub parts: Vec<Vec<Bytes>>,
+    /// `None` for a served request; otherwise the wire error code (see
+    /// [`frame::error`]).
+    pub error: Option<u8>,
+    /// Client-measured submit-to-receipt latency.
+    pub e2e: Duration,
+}
+
+impl NetResponse {
+    /// Whether the request was served.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Whether the request was shed at admission (lane-full, quota, or
+    /// SLO).
+    pub fn is_shed(&self) -> bool {
+        matches!(
+            self.error,
+            Some(frame::error::SHED_LANE_FULL)
+                | Some(frame::error::SHED_QUOTA)
+                | Some(frame::error::SHED_SLO)
+        )
+    }
+
+    /// Whether the request missed its deadline.
+    pub fn is_timed_out(&self) -> bool {
+        self.error == Some(frame::error::TIMED_OUT)
+    }
+}
+
+struct NetState {
+    /// Submit instant by correlation id, for requests still on the
+    /// wire.
+    in_flight: HashMap<u64, Instant>,
+    /// Completions not yet reaped by their ticket.
+    done: HashMap<u64, NetResponse>,
+    /// Submit-to-receipt latency of served requests.
+    latency: LatencyHistogram,
+    /// Set when the reader thread exits; every pending wait fails.
+    dead: Option<String>,
+}
+
+struct NetShared {
+    state: Mutex<NetState>,
+    /// A completion landed (or the connection died).
+    complete: Condvar,
+}
+
+impl NetShared {
+    fn die(&self, why: String) {
+        let mut st = self.state.lock().expect("net state");
+        if st.dead.is_none() {
+            st.dead = Some(why);
+        }
+        st.in_flight.clear();
+        drop(st);
+        self.complete.notify_all();
+    }
+}
+
+/// A pipelined client connection to a [`NetServer`](crate::net::NetServer).
+///
+/// Cheap to poll, safe to share: submissions lock the write half,
+/// completions arrive on a dedicated reader thread and are matched
+/// back by correlation id, so many requests ride one connection
+/// concurrently and responses may be reaped in any order.
+pub struct NetClient {
+    writer: Mutex<TcpStream>,
+    shared: Arc<NetShared>,
+    reader: Option<thread::JoinHandle<()>>,
+    next_cid: AtomicU64,
+    granted_cap: u32,
+}
+
+impl NetClient {
+    /// Connects, performs the HELLO handshake for `tenant`, and spawns
+    /// the completion reader thread. `in_flight` requests a pipelining
+    /// cap (0 = whatever the server grants by default).
+    ///
+    /// # Errors
+    ///
+    /// Connection errors, a server that speaks another protocol
+    /// version, or a HELLO refusal (e.g. unknown tenant) all surface
+    /// as `io::Error`.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        tenant: TenantId,
+        in_flight: u32,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut hello = tenant.0.to_le_bytes().to_vec();
+        hello.extend_from_slice(&in_flight.to_le_bytes());
+        Frame::new(opcode::HELLO, 0, hello).write_to(&mut &stream)?;
+        let mut read_half = stream.try_clone()?;
+        let reply = Frame::read_from(&mut read_half).map_err(io_protocol)?;
+        let granted_cap = match (reply.opcode, reply.payload.as_slice()) {
+            (opcode::HELLO_OK, [a, b, c, d]) => u32::from_le_bytes([*a, *b, *c, *d]).max(1),
+            (opcode::ERROR, [code]) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::ConnectionRefused,
+                    format!("server refused HELLO with error code {code}"),
+                ));
+            }
+            _ => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "unexpected reply to HELLO",
+                ));
+            }
+        };
+        let shared = Arc::new(NetShared {
+            state: Mutex::new(NetState {
+                in_flight: HashMap::new(),
+                done: HashMap::new(),
+                latency: LatencyHistogram::new(),
+                dead: None,
+            }),
+            complete: Condvar::new(),
+        });
+        let reader = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || reader_loop(&mut read_half, &shared))
+        };
+        Ok(NetClient {
+            writer: Mutex::new(stream),
+            shared,
+            reader: Some(reader),
+            next_cid: AtomicU64::new(1),
+            granted_cap,
+        })
+    }
+
+    /// The in-flight cap the server granted at HELLO.
+    pub fn granted_in_flight(&self) -> u32 {
+        self.granted_cap
+    }
+
+    /// Submits a lookup whose response payload should come back over
+    /// the wire.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection has died or the write fails.
+    pub fn submit(&self, request: &Request) -> std::io::Result<NetTicket> {
+        self.send_lookup(request, 0, 0)
+    }
+
+    /// Submits a lookup with a server-side admission deadline.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection has died or the write fails.
+    pub fn submit_with_deadline(
+        &self,
+        request: &Request,
+        deadline: Duration,
+    ) -> std::io::Result<NetTicket> {
+        self.send_lookup(request, 0, deadline.as_micros().min(u128::from(u64::MAX)) as u64)
+    }
+
+    /// Submits a completion-only lookup: the server serves it fully but
+    /// the RESPONSE frame carries no payload — the load-generation
+    /// mode, where only timing matters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection has died or the write fails.
+    pub fn submit_discarding(&self, request: &Request) -> std::io::Result<NetTicket> {
+        self.send_lookup(request, lookup_flags::NO_PAYLOAD, 0)
+    }
+
+    fn send_lookup(
+        &self,
+        request: &Request,
+        flags: u8,
+        deadline_us: u64,
+    ) -> std::io::Result<NetTicket> {
+        let cid = self.next_cid.fetch_add(1, Ordering::Relaxed);
+        let payload = encode_lookup_payload(request, flags, deadline_us);
+        let bytes = Frame::new(opcode::LOOKUP, cid, payload).encode();
+        {
+            let mut st = self.shared.state.lock().expect("net state");
+            if let Some(why) = &st.dead {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, why.clone()));
+            }
+            st.in_flight.insert(cid, Instant::now());
+        }
+        let mut w = self.writer.lock().expect("net writer");
+        if let Err(e) = w.write_all(&bytes) {
+            self.shared.state.lock().expect("net state").in_flight.remove(&cid);
+            return Err(e);
+        }
+        Ok(NetTicket { cid, shared: Arc::clone(&self.shared) })
+    }
+
+    /// Round-trips a PING frame; the returned ticket completes on PONG.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection has died or the write fails.
+    pub fn ping(&self) -> std::io::Result<NetTicket> {
+        let cid = self.next_cid.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.shared.state.lock().expect("net state");
+            if let Some(why) = &st.dead {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, why.clone()));
+            }
+            st.in_flight.insert(cid, Instant::now());
+        }
+        let bytes = Frame::new(opcode::PING, cid, Vec::new()).encode();
+        self.writer.lock().expect("net writer").write_all(&bytes)?;
+        Ok(NetTicket { cid, shared: Arc::clone(&self.shared) })
+    }
+
+    /// Summary of the client-side submit-to-receipt latencies of every
+    /// served request so far.
+    pub fn latency(&self) -> LatencySummary {
+        self.shared.state.lock().expect("net state").latency.summary()
+    }
+
+    /// Sends GOODBYE and waits for the server to flush pending
+    /// responses and close.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the GOODBYE write failure (the reader is still
+    /// joined).
+    pub fn close(mut self) -> std::io::Result<()> {
+        let sent = {
+            let mut w = self.writer.lock().expect("net writer");
+            Frame::new(opcode::GOODBYE, 0, Vec::new()).write_to(&mut *w)
+        };
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+        sent
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        if let Some(h) = self.reader.take() {
+            // Force the reader out of its blocking read, then reap it.
+            if let Ok(w) = self.writer.lock() {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+            let _ = h.join();
+        }
+    }
+}
+
+fn io_protocol(e: frame::FrameError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+fn reader_loop(stream: &mut TcpStream, shared: &NetShared) {
+    loop {
+        let frame = match Frame::read_from(stream) {
+            Ok(f) => f,
+            Err(e) => {
+                shared.die(format!("connection lost: {e}"));
+                return;
+            }
+        };
+        let cid = frame.correlation_id;
+        let response = match frame.opcode {
+            opcode::RESPONSE => match decode_response_payload(&frame.payload) {
+                Some(parts) => NetResponse { parts, error: None, e2e: Duration::ZERO },
+                None => {
+                    shared.die("malformed RESPONSE payload".into());
+                    return;
+                }
+            },
+            opcode::ERROR => {
+                let code = frame.payload.first().copied().unwrap_or(0);
+                if cid == 0 {
+                    shared.die(format!("server closed the connection: error code {code}"));
+                    return;
+                }
+                NetResponse { parts: Vec::new(), error: Some(code), e2e: Duration::ZERO }
+            }
+            opcode::PONG => NetResponse { parts: Vec::new(), error: None, e2e: Duration::ZERO },
+            _ => {
+                shared.die(format!("unexpected opcode {:#x} from server", frame.opcode));
+                return;
+            }
+        };
+        let mut st = shared.state.lock().expect("net state");
+        let e2e = st.in_flight.remove(&cid).map(|sent| sent.elapsed()).unwrap_or(Duration::ZERO);
+        let mut response = response;
+        response.e2e = e2e;
+        if response.error.is_none() && frame.opcode == opcode::RESPONSE {
+            st.latency.record(e2e);
+        }
+        st.done.insert(cid, response);
+        drop(st);
+        shared.complete.notify_all();
+    }
+}
+
+/// A future for one wire request, matched by correlation id. Reap it
+/// with [`NetTicket::try_take`] (non-blocking), [`NetTicket::wait`], or
+/// [`NetTicket::wait_timeout`] — in any order relative to other
+/// tickets on the same connection.
+pub struct NetTicket {
+    cid: u64,
+    shared: Arc<NetShared>,
+}
+
+impl NetTicket {
+    /// The request's correlation id on the wire.
+    pub fn correlation_id(&self) -> u64 {
+        self.cid
+    }
+
+    /// Takes the response if it has arrived.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection died before this request completed.
+    pub fn try_take(&mut self) -> std::io::Result<Option<NetResponse>> {
+        let mut st = self.shared.state.lock().expect("net state");
+        if let Some(r) = st.done.remove(&self.cid) {
+            return Ok(Some(r));
+        }
+        match &st.dead {
+            Some(why) => Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, why.clone())),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection died before this request completed.
+    pub fn wait(&mut self) -> std::io::Result<NetResponse> {
+        let mut st = self.shared.state.lock().expect("net state");
+        loop {
+            if let Some(r) = st.done.remove(&self.cid) {
+                return Ok(r);
+            }
+            if let Some(why) = &st.dead {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, why.clone()));
+            }
+            st = self.shared.complete.wait(st).expect("net state");
+        }
+    }
+
+    /// Blocks until the response arrives or `timeout` elapses
+    /// (`Ok(None)`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the connection died before this request completed.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> std::io::Result<Option<NetResponse>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("net state");
+        loop {
+            if let Some(r) = st.done.remove(&self.cid) {
+                return Ok(Some(r));
+            }
+            if let Some(why) = &st.dead {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, why.clone()));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) =
+                self.shared.complete.wait_timeout(st, deadline - now).expect("net state");
+            st = guard;
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The wire codec: length-prefixed binary frames.
+//!
+//! Every message on a serving connection is one frame:
+//!
+//! ```text
+//! +----------------+---------+--------+--------------------+---------+
+//! | length: u32 LE | version | opcode | correlation: u64 LE| payload |
+//! +----------------+---------+--------+--------------------+---------+
+//! ```
+//!
+//! `length` counts everything after itself (version + opcode +
+//! correlation id + payload = `10 + payload.len()` bytes), so a reader
+//! can frame the stream without understanding any opcode. The full
+//! format, opcode and error tables, and pipelining semantics are
+//! specified in `docs/PROTOCOL.md`; a unit test in this module asserts
+//! the spec's constants equal the ones below, so the document cannot
+//! silently drift from the implementation.
+
+use std::io::{Read, Write};
+
+/// The protocol version this implementation speaks (the frame's
+/// `version` byte). A server receiving any other value answers with an
+/// [`error::BAD_VERSION`] error frame and closes the connection.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard upper bound on `length`: frames above this are refused with
+/// [`error::FRAME_TOO_LARGE`] *before* any payload is read, so a
+/// corrupt or hostile length prefix cannot make the server buffer
+/// gigabytes.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Bytes of frame header covered by `length` (version + opcode +
+/// correlation id).
+pub const FRAME_HEADER_LEN: u32 = 10;
+
+/// Frame opcodes. `0x01..=0x7f` flow client → server, `0x81..=0xff`
+/// server → client.
+pub mod opcode {
+    /// Client → server: opens the session (payload: tenant id `u32 LE`,
+    /// requested in-flight cap `u32 LE`, 0 = server default). Must be
+    /// the first frame on a connection.
+    pub const HELLO: u8 = 0x01;
+    /// Client → server: one lookup request (payload: flags `u8`,
+    /// deadline µs `u64 LE` (0 = none), table count `u16 LE`, then per
+    /// table: table id `u32 LE`, key count `u32 LE`, keys `u32 LE`
+    /// each). Answered by [`RESPONSE`] or [`ERROR`] carrying the same
+    /// correlation id, in **completion** order, not submission order.
+    pub const LOOKUP: u8 = 0x02;
+    /// Client → server: liveness probe; echoed as [`PONG`] with the
+    /// same correlation id.
+    pub const PING: u8 = 0x03;
+    /// Client → server: clean shutdown. The server finishes writing
+    /// every pending response, then closes.
+    pub const GOODBYE: u8 = 0x04;
+    /// Server → client: session accepted (payload: granted in-flight
+    /// cap `u32 LE`).
+    pub const HELLO_OK: u8 = 0x81;
+    /// Server → client: a completed lookup (payload: part count
+    /// `u16 LE`, then per part: value count `u32 LE`, then per value:
+    /// byte length `u32 LE` + bytes). A `NO_PAYLOAD` lookup completes
+    /// with zero parts.
+    pub const RESPONSE: u8 = 0x82;
+    /// Server → client: a terminal failure for one request — or, with
+    /// correlation id 0, a connection-level protocol error after which
+    /// the server closes. Payload: error code `u8` (see [`error`](super::error)).
+    pub const ERROR: u8 = 0x83;
+    /// Server → client: answer to [`PING`].
+    pub const PONG: u8 = 0x84;
+}
+
+/// [`opcode::LOOKUP`] flag bits.
+pub mod lookup_flags {
+    /// Completion-only: the server skips payload retention and the
+    /// [`opcode::RESPONSE`](super::opcode::RESPONSE) carries zero parts — the open-loop load
+    /// generator's mode.
+    pub const NO_PAYLOAD: u8 = 0x01;
+}
+
+/// Error codes carried by [`opcode::ERROR`] frames.
+pub mod error {
+    /// Shed at admission: the tenant's shard lane was full.
+    pub const SHED_LANE_FULL: u8 = 1;
+    /// Shed at admission: the tenant's in-flight quota was exhausted.
+    pub const SHED_QUOTA: u8 = 2;
+    /// Shed at admission by the SLO controller (recent-window p99 over
+    /// budget).
+    pub const SHED_SLO: u8 = 3;
+    /// The request missed its deadline before serving started.
+    pub const TIMED_OUT: u8 = 4;
+    /// A table/vector reference was invalid or the device failed.
+    pub const STORE_FAILED: u8 = 5;
+    /// The LOOKUP payload did not parse (connection survives).
+    pub const BAD_REQUEST: u8 = 6;
+    /// The engine is shutting down.
+    pub const SHUTTING_DOWN: u8 = 7;
+    /// The HELLO named a tenant the engine does not know.
+    pub const UNKNOWN_TENANT: u8 = 8;
+    /// The frame's version byte was not [`super::PROTOCOL_VERSION`]
+    /// (connection-level; the server closes).
+    pub const BAD_VERSION: u8 = 9;
+    /// The frame's opcode is not one the server accepts
+    /// (connection-level; the server closes).
+    pub const BAD_OPCODE: u8 = 10;
+    /// The length prefix exceeded [`super::MAX_FRAME_LEN`] or was
+    /// shorter than the fixed header (connection-level; the server
+    /// closes).
+    pub const FRAME_TOO_LARGE: u8 = 11;
+}
+
+/// One decoded wire frame.
+///
+/// The codec is symmetric and total over this struct: any `Frame` (any
+/// version/opcode byte, any payload up to [`MAX_FRAME_LEN`]) encodes
+/// and decodes identically. Opcode and version *validation* is the
+/// connection handler's job, so the codec itself can round-trip
+/// arbitrary frames (property-tested in this module).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version byte (see [`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// Message opcode (see [`opcode`]).
+    pub opcode: u8,
+    /// Client-chosen request correlation id, echoed verbatim on the
+    /// matching response/error frame; `0` on connection-level frames.
+    pub correlation_id: u64,
+    /// Opcode-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame speaking [`PROTOCOL_VERSION`].
+    pub fn new(opcode: u8, correlation_id: u64, payload: Vec<u8>) -> Self {
+        Frame { version: PROTOCOL_VERSION, opcode, correlation_id, payload }
+    }
+
+    /// The frame's on-wire length prefix value.
+    pub fn wire_len(&self) -> u32 {
+        FRAME_HEADER_LEN + self.payload.len() as u32
+    }
+
+    /// Encodes the frame into `out` (length prefix included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload would exceed [`MAX_FRAME_LEN`] — frames
+    /// that large are a caller bug, not an I/O condition.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len = self.wire_len();
+        assert!(len <= MAX_FRAME_LEN, "frame exceeds MAX_FRAME_LEN");
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.version);
+        out.push(self.opcode);
+        out.extend_from_slice(&self.correlation_id.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.wire_len() as usize);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Writes the frame to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write error.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(&self.encode())
+    }
+
+    /// Reads one frame from `r`, blocking until a full frame (or an
+    /// error) arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Closed`] on clean EOF at a frame boundary,
+    /// [`FrameError::Truncated`] on EOF mid-frame,
+    /// [`FrameError::TooShort`]/[`FrameError::TooLarge`] for length
+    /// prefixes outside `FRAME_HEADER_LEN..=MAX_FRAME_LEN` (the payload
+    /// is *not* read), and [`FrameError::Io`] for transport errors.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, FrameError> {
+        let mut len_buf = [0u8; 4];
+        match read_exact_or_eof(r, &mut len_buf)? {
+            ReadOutcome::Eof => return Err(FrameError::Closed),
+            ReadOutcome::Full => {}
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len < FRAME_HEADER_LEN {
+            return Err(FrameError::TooShort { len });
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(FrameError::TooLarge { len });
+        }
+        let mut body = vec![0u8; len as usize];
+        r.read_exact(&mut body).map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => FrameError::Truncated,
+            _ => FrameError::Io(e),
+        })?;
+        let version = body[0];
+        let opcode = body[1];
+        let mut cid = [0u8; 8];
+        cid.copy_from_slice(&body[2..10]);
+        Ok(Frame {
+            version,
+            opcode,
+            correlation_id: u64::from_le_bytes(cid),
+            payload: body[10..].to_vec(),
+        })
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// Like `read_exact`, but distinguishes EOF-before-any-byte (a clean
+/// close between frames) from EOF mid-buffer (truncation).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 { Ok(ReadOutcome::Eof) } else { Err(FrameError::Truncated) };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary (the peer closed).
+    Closed,
+    /// EOF in the middle of a frame.
+    Truncated,
+    /// The length prefix was smaller than the fixed header.
+    TooShort {
+        /// The offending prefix value.
+        len: u32,
+    },
+    /// The length prefix exceeded [`MAX_FRAME_LEN`].
+    TooLarge {
+        /// The offending prefix value.
+        len: u32,
+    },
+    /// A transport-level I/O error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameError::TooShort { len } => {
+                write!(f, "frame length {len} is below the {FRAME_HEADER_LEN}-byte header")
+            }
+            FrameError::TooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes a LOOKUP payload from a typed request.
+pub(crate) fn encode_lookup_payload(
+    request: &bandana_trace::Request,
+    flags: u8,
+    deadline_us: u64,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + request.queries.len() * 12);
+    out.push(flags);
+    out.extend_from_slice(&deadline_us.to_le_bytes());
+    out.extend_from_slice(&(request.queries.len() as u16).to_le_bytes());
+    for q in &request.queries {
+        out.extend_from_slice(&(q.table as u32).to_le_bytes());
+        out.extend_from_slice(&(q.ids.len() as u32).to_le_bytes());
+        for &id in &q.ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decoded LOOKUP payload.
+pub(crate) struct LookupPayload {
+    pub flags: u8,
+    pub deadline_us: u64,
+    pub request: bandana_trace::Request,
+}
+
+/// Parses a LOOKUP payload; `None` means a malformed body
+/// ([`error::BAD_REQUEST`]).
+pub(crate) fn decode_lookup_payload(payload: &[u8]) -> Option<LookupPayload> {
+    let mut cur = Cursor { buf: payload, at: 0 };
+    let flags = cur.u8()?;
+    let deadline_us = cur.u64()?;
+    let tables = cur.u16()? as usize;
+    let mut request = bandana_trace::Request::default();
+    for _ in 0..tables {
+        let table = cur.u32()? as usize;
+        let count = cur.u32()? as usize;
+        // The remaining bytes must actually hold `count` keys; checking
+        // first prevents a bogus count from allocating gigabytes.
+        if cur.remaining() < count.checked_mul(4)? {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            ids.push(cur.u32()?);
+        }
+        request.queries.push(bandana_trace::TableQuery::new(table, ids));
+    }
+    if cur.remaining() != 0 {
+        return None;
+    }
+    Some(LookupPayload { flags, deadline_us, request })
+}
+
+/// Encodes a RESPONSE payload from completed parts.
+pub(crate) fn encode_response_payload(parts: &[Vec<bytes::Bytes>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(parts.len() as u16).to_le_bytes());
+    for part in parts {
+        out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        for value in part {
+            out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            out.extend_from_slice(value);
+        }
+    }
+    out
+}
+
+/// Parses a RESPONSE payload; `None` means a malformed body.
+pub(crate) fn decode_response_payload(payload: &[u8]) -> Option<Vec<Vec<bytes::Bytes>>> {
+    let mut cur = Cursor { buf: payload, at: 0 };
+    let parts = cur.u16()? as usize;
+    let mut out = Vec::with_capacity(parts);
+    for _ in 0..parts {
+        let values = cur.u32()? as usize;
+        let mut part = Vec::with_capacity(values.min(cur.remaining() / 4 + 1));
+        for _ in 0..values {
+            let len = cur.u32()? as usize;
+            let bytes = cur.take(len)?;
+            part.push(bytes::Bytes::copy_from_slice(bytes));
+        }
+        out.push(part);
+    }
+    if cur.remaining() != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn frame_round_trips_through_a_byte_stream() {
+        let frame = Frame::new(opcode::LOOKUP, 42, vec![1, 2, 3, 4, 5]);
+        let bytes = frame.encode();
+        let mut reader = &bytes[..];
+        let decoded = Frame::read_from(&mut reader).expect("decode");
+        assert_eq!(decoded, frame);
+        assert!(matches!(Frame::read_from(&mut reader), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn truncated_frame_is_distinguished_from_clean_close() {
+        let bytes = Frame::new(opcode::PING, 7, vec![0xaa; 16]).encode();
+        // Cut mid-payload.
+        let mut reader = &bytes[..bytes.len() - 3];
+        assert!(matches!(Frame::read_from(&mut reader), Err(FrameError::Truncated)));
+        // Cut mid-length-prefix.
+        let mut reader = &bytes[..2];
+        assert!(matches!(Frame::read_from(&mut reader), Err(FrameError::Truncated)));
+        // Clean boundary.
+        let mut reader = &bytes[..0];
+        assert!(matches!(Frame::read_from(&mut reader), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_and_undersized_length_prefixes_are_refused_unread() {
+        let mut bytes = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 32]);
+        let mut reader = &bytes[..];
+        assert!(matches!(
+            Frame::read_from(&mut reader),
+            Err(FrameError::TooLarge { len }) if len == MAX_FRAME_LEN + 1
+        ));
+        let bytes = 4u32.to_le_bytes().to_vec();
+        let mut reader = &bytes[..];
+        assert!(matches!(Frame::read_from(&mut reader), Err(FrameError::TooShort { len: 4 })));
+    }
+
+    #[test]
+    fn lookup_payload_round_trips() {
+        let mut request = bandana_trace::Request::default();
+        request.queries.push(bandana_trace::TableQuery::new(3, vec![1, 2, 3]));
+        request.queries.push(bandana_trace::TableQuery::new(0, vec![9]));
+        let payload = encode_lookup_payload(&request, lookup_flags::NO_PAYLOAD, 5_000);
+        let decoded = decode_lookup_payload(&payload).expect("decode");
+        assert_eq!(decoded.flags, lookup_flags::NO_PAYLOAD);
+        assert_eq!(decoded.deadline_us, 5_000);
+        assert_eq!(decoded.request.queries.len(), 2);
+        assert_eq!(decoded.request.queries[0].table, 3);
+        assert_eq!(decoded.request.queries[0].ids, vec![1, 2, 3]);
+        assert_eq!(decoded.request.queries[1].table, 0);
+        assert_eq!(decoded.request.queries[1].ids, vec![9]);
+    }
+
+    #[test]
+    fn malformed_lookup_payloads_are_refused() {
+        // Truncated header.
+        assert!(decode_lookup_payload(&[0, 1, 2]).is_none());
+        // Table count promises more than the body holds.
+        let mut request = bandana_trace::Request::default();
+        request.queries.push(bandana_trace::TableQuery::new(1, vec![5, 6]));
+        let mut payload = encode_lookup_payload(&request, 0, 0);
+        payload[9] = 7; // table count low byte
+        assert!(decode_lookup_payload(&payload).is_none());
+        // A huge key count cannot trigger a huge allocation.
+        let good = encode_lookup_payload(&request, 0, 0);
+        let mut evil = good.clone();
+        evil[15] = 0xff;
+        evil[16] = 0xff;
+        evil[17] = 0xff;
+        evil[18] = 0xff; // key count = u32::MAX
+        assert!(decode_lookup_payload(&evil).is_none());
+        // Trailing garbage is not tolerated.
+        let mut trailing = good;
+        trailing.push(0);
+        assert!(decode_lookup_payload(&trailing).is_none());
+    }
+
+    #[test]
+    fn response_payload_round_trips() {
+        let parts =
+            vec![vec![bytes::Bytes::from(vec![1u8, 2, 3]), bytes::Bytes::from(vec![4u8])], vec![]];
+        let payload = encode_response_payload(&parts);
+        let decoded = decode_response_payload(&payload).expect("decode");
+        assert_eq!(decoded, parts);
+        assert!(decode_response_payload(&payload[..payload.len() - 1]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_frames_encode_decode_identically(
+            version in any::<u8>(),
+            op in any::<u8>(),
+            cid in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let frame = Frame { version, opcode: op, correlation_id: cid, payload };
+            let bytes = frame.encode();
+            let mut reader = &bytes[..];
+            let decoded = Frame::read_from(&mut reader).expect("decode");
+            prop_assert_eq!(decoded, frame);
+        }
+
+        #[test]
+        fn pipelined_frames_frame_the_stream_exactly(
+            payloads in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..64), 1..8),
+        ) {
+            // Several frames back to back — the pipelined wire — must
+            // come out one by one with nothing lost or merged.
+            let frames: Vec<Frame> = payloads
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Frame::new(opcode::LOOKUP, i as u64 + 1, p))
+                .collect();
+            let mut stream = Vec::new();
+            for f in &frames {
+                f.encode_into(&mut stream);
+            }
+            let mut reader = &stream[..];
+            for f in &frames {
+                let decoded = Frame::read_from(&mut reader).expect("decode");
+                prop_assert_eq!(&decoded, f);
+            }
+            prop_assert!(matches!(Frame::read_from(&mut reader), Err(FrameError::Closed)));
+        }
+    }
+}

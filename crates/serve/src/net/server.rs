@@ -1,0 +1,561 @@
+//! The serving front-end: a pipelined TCP listener over `std::net`.
+//!
+//! Thread model (no async runtime, matching the rest of the engine):
+//!
+//! - one **accept** thread hands each connection to a reactor group
+//!   round-robin;
+//! - one blocking **reader** thread per connection parses frames and
+//!   submits lookups through the tenant [`Client`]. When the
+//!   connection's in-flight cap is reached the reader *stops reading*,
+//!   so backpressure reaches the peer as TCP flow control instead of an
+//!   unbounded buffer;
+//! - one **writer** thread per reactor group owns every pending
+//!   [`ResponseTicket`] for its connections, polls them with
+//!   [`ResponseTicket::try_take`], and writes completions in
+//!   **completion order** — out-of-order on the wire, matched back to
+//!   requests by correlation id.
+//!
+//! All protocol violations answer with an [`opcode::ERROR`] frame
+//! (correlation id 0) and close only the offending connection; other
+//! connections and the engine itself are unaffected.
+
+use std::collections::VecDeque;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use crate::engine::{ServeError, ShardedEngine};
+use crate::net::frame::{
+    self, decode_lookup_payload, error, lookup_flags, opcode, Frame, FrameError, PROTOCOL_VERSION,
+};
+use crate::tenant::{Client, ResponseStatus, ResponseTicket, TenantId};
+
+/// How long the writer parks on its oldest pending ticket before
+/// re-scanning every connection. Short enough to keep wire completion
+/// latency well under the protocol overhead budget, long enough to
+/// yield the (single) CPU to the workers actually serving the batch.
+const WRITER_PARK: Duration = Duration::from_micros(500);
+
+/// How long the writer parks when it owns no pending tickets at all.
+const WRITER_IDLE_PARK: Duration = Duration::from_millis(5);
+
+/// How long a backpressured reader waits per condvar cycle before
+/// re-checking for shutdown.
+const READER_PARK: Duration = Duration::from_millis(10);
+
+/// Configuration for [`NetServer::start`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Bind address; use port 0 to let the OS pick (read it back with
+    /// [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Number of reactor groups (writer threads). Connections are
+    /// assigned round-robin.
+    pub reactor_groups: usize,
+    /// Server-side ceiling on any connection's in-flight cap; a HELLO
+    /// requesting more (or 0) is granted this value.
+    pub max_in_flight: u32,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig { addr: "127.0.0.1:0".into(), reactor_groups: 1, max_in_flight: 256 }
+    }
+}
+
+/// A running TCP serving front-end. Shuts down (and joins every
+/// thread) on [`NetServer::shutdown`] or drop.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    writers: Vec<thread::JoinHandle<()>>,
+    groups: Vec<Arc<Group>>,
+    readers: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Binds the listener and spawns the accept and writer threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(engine: Arc<ShardedEngine>, config: NetServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let groups: Vec<Arc<Group>> =
+            (0..config.reactor_groups.max(1)).map(|_| Arc::new(Group::default())).collect();
+        let readers = Arc::new(Mutex::new(Vec::new()));
+
+        let writers = groups
+            .iter()
+            .map(|g| {
+                let group = Arc::clone(g);
+                let stop = Arc::clone(&shutdown);
+                thread::spawn(move || writer_loop(&group, &stop))
+            })
+            .collect();
+
+        let accept = {
+            let groups = groups.clone();
+            let stop = Arc::clone(&shutdown);
+            let readers = Arc::clone(&readers);
+            let max_in_flight = config.max_in_flight.max(1);
+            thread::spawn(move || {
+                let mut next = 0usize;
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Latency beats throughput on this wire: every
+                    // frame should leave as soon as it is written.
+                    let _ = stream.set_nodelay(true);
+                    let group = Arc::clone(&groups[next % groups.len()]);
+                    next += 1;
+                    let Ok(conn) = Conn::adopt(stream, max_in_flight) else { continue };
+                    let conn = Arc::new(conn);
+                    group.add(Arc::clone(&conn));
+                    let engine = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop);
+                    let handle = thread::spawn(move || reader_loop(&conn, &group, &engine, &stop));
+                    readers.lock().expect("reader registry").push(handle);
+                }
+            })
+        };
+
+        Ok(NetServer { local_addr, shutdown, accept: Some(accept), writers, groups, readers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, closes every connection after its pending
+    /// responses flush, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Unblock every reader parked in a socket read.
+        for group in &self.groups {
+            for conn in group.conns.lock().expect("group lock").iter() {
+                conn.close_read();
+            }
+            group.wake.notify_all();
+        }
+        for h in self.readers.lock().expect("reader registry").drain(..) {
+            let _ = h.join();
+        }
+        for h in self.writers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One reactor group: the connections whose responses a single writer
+/// thread manages.
+#[derive(Default)]
+struct Group {
+    conns: Mutex<Vec<Arc<Conn>>>,
+    /// Wakes the writer on a new connection or a new handoff entry.
+    wake: Condvar,
+}
+
+impl Group {
+    fn add(&self, conn: Arc<Conn>) {
+        self.conns.lock().expect("group lock").push(conn);
+        self.wake.notify_all();
+    }
+
+    fn notify(&self) {
+        self.wake.notify_all();
+    }
+}
+
+static NEXT_CONN_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Reader → writer handoff: either a ticket to poll or a frame to
+/// write verbatim (HELLO_OK, PONG, error frames).
+enum Entry {
+    Ticket { cid: u64, ticket: ResponseTicket, discard: bool },
+    Immediate(Frame),
+}
+
+/// Per-connection state shared by its reader thread and its group's
+/// writer thread.
+struct Conn {
+    id: usize,
+    /// Writer-side handle; the reader reads from a `try_clone`.
+    stream: TcpStream,
+    handoff: Mutex<VecDeque<Entry>>,
+    in_flight: Mutex<usize>,
+    /// Signals the backpressured reader that in-flight dropped below
+    /// the cap (or that the connection is closing).
+    can_submit: Condvar,
+    /// Granted in-flight cap, fixed at HELLO.
+    cap: AtomicUsize,
+    /// Set by the reader (GOODBYE, protocol error, EOF): the writer
+    /// flushes what is pending, then closes and forgets the connection.
+    closing: AtomicBool,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream, default_cap: u32) -> std::io::Result<Self> {
+        Ok(Conn {
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
+            stream,
+            handoff: Mutex::new(VecDeque::new()),
+            in_flight: Mutex::new(0),
+            can_submit: Condvar::new(),
+            cap: AtomicUsize::new(default_cap as usize),
+            closing: AtomicBool::new(false),
+        })
+    }
+
+    fn push(&self, entry: Entry, group: &Group) {
+        self.handoff.lock().expect("handoff lock").push_back(entry);
+        group.notify();
+    }
+
+    fn begin_close(&self, group: &Group) {
+        self.closing.store(true, Ordering::Release);
+        self.can_submit.notify_all();
+        group.notify();
+    }
+
+    fn close_read(&self) {
+        self.closing.store(true, Ordering::Release);
+        self.can_submit.notify_all();
+        let _ = self.stream.shutdown(Shutdown::Read);
+    }
+
+    /// Called by the writer once a response left the wire.
+    fn release_slot(&self) {
+        let mut n = self.in_flight.lock().expect("in-flight lock");
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.can_submit.notify_all();
+    }
+
+    /// Reader-side: waits for an in-flight slot; `false` means the
+    /// connection is closing and the request must not be submitted.
+    fn acquire_slot(&self, stop: &AtomicBool) -> bool {
+        let cap = self.cap.load(Ordering::Acquire);
+        let mut n = self.in_flight.lock().expect("in-flight lock");
+        while *n >= cap {
+            if self.closing.load(Ordering::Acquire) || stop.load(Ordering::Acquire) {
+                return false;
+            }
+            let (guard, _) = self.can_submit.wait_timeout(n, READER_PARK).expect("in-flight lock");
+            n = guard;
+        }
+        *n += 1;
+        true
+    }
+}
+
+/// Maps a submit-time error to its wire code.
+fn submit_error_code(e: &ServeError) -> u8 {
+    match e {
+        ServeError::Rejected => error::SHED_LANE_FULL,
+        ServeError::QuotaExceeded => error::SHED_QUOTA,
+        ServeError::SloShed => error::SHED_SLO,
+        ServeError::TimedOut => error::TIMED_OUT,
+        ServeError::ShuttingDown => error::SHUTTING_DOWN,
+        ServeError::UnknownTenant(_) => error::UNKNOWN_TENANT,
+        _ => error::BAD_REQUEST,
+    }
+}
+
+fn error_frame(cid: u64, code: u8) -> Frame {
+    Frame::new(opcode::ERROR, cid, vec![code])
+}
+
+/// Per-connection protocol state machine, driven by the reader thread.
+fn reader_loop(conn: &Arc<Conn>, group: &Arc<Group>, engine: &ShardedEngine, stop: &AtomicBool) {
+    let Ok(mut stream) = conn.stream.try_clone() else {
+        conn.begin_close(group);
+        return;
+    };
+    let mut client: Option<Client> = None;
+    loop {
+        if stop.load(Ordering::Acquire) || conn.closing.load(Ordering::Acquire) {
+            break;
+        }
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(f) => f,
+            Err(FrameError::TooShort { .. } | FrameError::TooLarge { .. }) => {
+                conn.push(Entry::Immediate(error_frame(0, error::FRAME_TOO_LARGE)), group);
+                break;
+            }
+            // Clean close, truncation, or transport error: nothing left
+            // to read; flush pending responses and close.
+            Err(_) => break,
+        };
+        if frame.version != PROTOCOL_VERSION {
+            conn.push(Entry::Immediate(error_frame(0, error::BAD_VERSION)), group);
+            break;
+        }
+        match frame.opcode {
+            opcode::HELLO if client.is_none() => {
+                let Some((tenant, requested)) = decode_hello(&frame.payload) else {
+                    conn.push(Entry::Immediate(error_frame(0, error::BAD_REQUEST)), group);
+                    break;
+                };
+                match engine.client(TenantId(tenant)) {
+                    Ok(c) => {
+                        let ceiling = conn.cap.load(Ordering::Acquire) as u32;
+                        let granted = if requested == 0 { ceiling } else { requested.min(ceiling) };
+                        conn.cap.store(granted as usize, Ordering::Release);
+                        client = Some(c);
+                        let ok = Frame::new(
+                            opcode::HELLO_OK,
+                            frame.correlation_id,
+                            granted.to_le_bytes().to_vec(),
+                        );
+                        conn.push(Entry::Immediate(ok), group);
+                    }
+                    Err(_) => {
+                        conn.push(
+                            Entry::Immediate(error_frame(
+                                frame.correlation_id,
+                                error::UNKNOWN_TENANT,
+                            )),
+                            group,
+                        );
+                        break;
+                    }
+                }
+            }
+            opcode::LOOKUP if client.is_some() => {
+                let cid = frame.correlation_id;
+                let Some(lookup) = decode_lookup_payload(&frame.payload) else {
+                    conn.push(Entry::Immediate(error_frame(cid, error::BAD_REQUEST)), group);
+                    continue;
+                };
+                if !conn.acquire_slot(stop) {
+                    break;
+                }
+                let c = client.as_ref().expect("hello'd client");
+                let discard = lookup.flags & lookup_flags::NO_PAYLOAD != 0;
+                let submitted = if discard {
+                    c.submit_discarding(&lookup.request)
+                } else {
+                    let deadline =
+                        (lookup.deadline_us > 0).then(|| Duration::from_micros(lookup.deadline_us));
+                    c.submit_with_deadline(&lookup.request, deadline)
+                };
+                match submitted {
+                    Ok(ticket) => conn.push(Entry::Ticket { cid, ticket, discard }, group),
+                    Err(e) => {
+                        conn.release_slot();
+                        let code = submit_error_code(&e);
+                        conn.push(Entry::Immediate(error_frame(cid, code)), group);
+                        if matches!(e, ServeError::ShuttingDown) {
+                            break;
+                        }
+                    }
+                }
+            }
+            opcode::PING => {
+                conn.push(
+                    Entry::Immediate(Frame::new(opcode::PONG, frame.correlation_id, Vec::new())),
+                    group,
+                );
+            }
+            opcode::GOODBYE => break,
+            // Includes HELLO-out-of-order and LOOKUP-before-HELLO:
+            // the opcode is not acceptable in this state.
+            _ => {
+                conn.push(Entry::Immediate(error_frame(0, error::BAD_OPCODE)), group);
+                break;
+            }
+        }
+    }
+    conn.begin_close(group);
+}
+
+fn decode_hello(payload: &[u8]) -> Option<(u32, u32)> {
+    if payload.len() != 8 {
+        return None;
+    }
+    let tenant = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+    let requested = u32::from_le_bytes([payload[4], payload[5], payload[6], payload[7]]);
+    Some((tenant, requested))
+}
+
+/// A ticket the writer is polling, plus what it owes the wire.
+struct PendingTicket {
+    cid: u64,
+    ticket: ResponseTicket,
+    discard: bool,
+}
+
+/// Writer-local view of one connection.
+struct LocalConn {
+    conn: Arc<Conn>,
+    pending: Vec<PendingTicket>,
+    /// Set on a write failure: stop writing, just drain and drop.
+    broken: bool,
+}
+
+/// One reactor group's writer: drains handoff queues, polls tickets,
+/// writes completions out-of-order, and reaps closed connections.
+fn writer_loop(group: &Group, stop: &AtomicBool) {
+    let mut local: Vec<LocalConn> = Vec::new();
+    loop {
+        // Adopt connections the accept thread added since last pass.
+        {
+            let conns = group.conns.lock().expect("group lock");
+            for conn in conns.iter() {
+                if !local.iter().any(|l| l.conn.id == conn.id) {
+                    local.push(LocalConn {
+                        conn: Arc::clone(conn),
+                        pending: Vec::new(),
+                        broken: false,
+                    });
+                }
+            }
+            if stop.load(Ordering::Acquire) && conns.is_empty() && local.is_empty() {
+                break;
+            }
+        }
+
+        let mut wrote = false;
+        for lc in &mut local {
+            wrote |= service_conn(lc);
+        }
+
+        // Reap connections that are closing and fully flushed.
+        let mut removed = false;
+        local.retain(|lc| {
+            let done = lc.conn.closing.load(Ordering::Acquire)
+                && lc.pending.is_empty()
+                && lc.conn.handoff.lock().expect("handoff lock").is_empty();
+            if done {
+                let _ = lc.conn.stream.shutdown(Shutdown::Both);
+                removed = true;
+            }
+            !done
+        });
+        if removed {
+            let mut conns = group.conns.lock().expect("group lock");
+            conns.retain(|c| local.iter().any(|l| l.conn.id == c.id));
+        }
+
+        if wrote {
+            continue;
+        }
+        // Nothing completed this pass: park on the oldest pending
+        // ticket so a completion wakes us promptly, or idle on the
+        // group condvar when there is nothing in flight at all.
+        if let Some(lc) = local.iter_mut().find(|l| !l.pending.is_empty()) {
+            let entry = &mut lc.pending[0];
+            match entry.ticket.wait_timeout(WRITER_PARK) {
+                Ok(Some(response)) => {
+                    let frame = completion_frame(entry.cid, &response, entry.discard);
+                    let cid_done = entry.cid;
+                    if !lc.broken && frame.write_to(&mut &lc.conn.stream).is_err() {
+                        lc.broken = true;
+                    }
+                    lc.conn.release_slot();
+                    lc.pending.retain(|p| p.cid != cid_done);
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    lc.conn.release_slot();
+                    lc.pending.remove(0);
+                }
+            }
+        } else {
+            let conns = group.conns.lock().expect("group lock");
+            if stop.load(Ordering::Acquire) && conns.is_empty() {
+                break;
+            }
+            let _ = group.wake.wait_timeout(conns, WRITER_IDLE_PARK).expect("group lock");
+        }
+    }
+}
+
+/// Drains the handoff queue and polls pending tickets for one
+/// connection; returns whether anything hit the wire.
+fn service_conn(lc: &mut LocalConn) -> bool {
+    let mut wrote = false;
+    loop {
+        let entry = lc.conn.handoff.lock().expect("handoff lock").pop_front();
+        let Some(entry) = entry else { break };
+        match entry {
+            Entry::Immediate(f) => {
+                if !lc.broken && f.write_to(&mut &lc.conn.stream).is_err() {
+                    lc.broken = true;
+                }
+                wrote = true;
+            }
+            Entry::Ticket { cid, ticket, discard } => {
+                lc.pending.push(PendingTicket { cid, ticket, discard });
+            }
+        }
+    }
+    let mut i = 0;
+    while i < lc.pending.len() {
+        let taken = lc.pending[i].ticket.try_take();
+        match taken {
+            Ok(Some(response)) => {
+                let entry = lc.pending.remove(i);
+                let frame = completion_frame(entry.cid, &response, entry.discard);
+                if !lc.broken && frame.write_to(&mut &lc.conn.stream).is_err() {
+                    lc.broken = true;
+                }
+                lc.conn.release_slot();
+                wrote = true;
+            }
+            Ok(None) => i += 1,
+            Err(_) => {
+                lc.pending.remove(i);
+                lc.conn.release_slot();
+            }
+        }
+    }
+    if lc.broken && !lc.conn.closing.load(Ordering::Acquire) {
+        // The peer is gone; stop the reader too.
+        lc.conn.close_read();
+    }
+    wrote
+}
+
+/// Builds the wire frame for a completed ticket: RESPONSE for served
+/// requests, ERROR for timed-out/failed terminals.
+fn completion_frame(cid: u64, response: &crate::tenant::Response, discard: bool) -> Frame {
+    match &response.status {
+        ResponseStatus::Ok => {
+            let payload = if discard {
+                frame::encode_response_payload(&[])
+            } else {
+                frame::encode_response_payload(&response.parts)
+            };
+            Frame::new(opcode::RESPONSE, cid, payload)
+        }
+        ResponseStatus::TimedOut => error_frame(cid, error::TIMED_OUT),
+        _ => error_frame(cid, error::STORE_FAILED),
+    }
+}

@@ -17,8 +17,9 @@
 //!    [`EngineMetrics`] plus a live [`EngineSnapshot`] as Prometheus
 //!    text format with stable `bandana_*` metric names (per-shard,
 //!    per-tenant, windowed, shed-breakdown, pool, endurance, and
-//!    control-tick series). The future TCP admin plane serves this
-//!    string verbatim.
+//!    control-tick series). The admin plane's `GET /metrics`
+//!    ([`AdminServer`](crate::net::AdminServer)) serves this string
+//!    verbatim.
 //! 3. **Audit log** — every [`Action`] the metrics bus applies becomes
 //!    an [`AuditEvent`] (tick, controller name, the action, and the
 //!    snapshot fields that caused it) in a bounded [`AuditLog`] ring
@@ -540,7 +541,9 @@ fn put_summary(out: &mut String, name: &str, labels: &str, s: &LatencySummary) {
 /// `drive_writes` endurance pair), per-tenant QoS series with the
 /// shed-reason breakdown and the recent-window summaries, and the
 /// control-plane tick/action/audit counters with live lane depths from
-/// the snapshot. The future TCP admin plane serves this verbatim.
+/// the snapshot. The admin plane's `GET /metrics`
+/// ([`AdminServer`](crate::net::AdminServer)) serves this verbatim —
+/// byte-identical, pinned by a test.
 pub fn render_prometheus(metrics: &EngineMetrics, snapshot: &EngineSnapshot) -> String {
     let m = metrics;
     let mut out = String::new();

@@ -234,7 +234,11 @@ struct Lane<T> {
 
 struct WqState<T> {
     lanes: Vec<Lane<T>>,
-    /// Per-class round-robin cursor into [`WeightedQueue::class_lanes`].
+    /// Lane indices grouped by class, ascending class order. Lives under
+    /// the state lock so lanes can be added at runtime
+    /// ([`WeightedQueue::add_lane`]) without racing the drain path.
+    class_lanes: Vec<Vec<usize>>,
+    /// Per-class round-robin cursor into `class_lanes`.
     cursors: Vec<usize>,
     /// A lane interrupted mid-quantum by a full batch; it resumes
     /// spending its remaining deficit before the round continues, so
@@ -242,6 +246,16 @@ struct WqState<T> {
     resume: Option<usize>,
     len: usize,
     closed: bool,
+}
+
+/// The highest-priority class with queued work.
+fn top_class<T>(class_lanes: &[Vec<usize>], lanes: &[Lane<T>]) -> Option<usize> {
+    (0..class_lanes.len()).find(|&c| class_lanes[c].iter().any(|&l| !lanes[l].items.is_empty()))
+}
+
+/// The class a lane belongs to.
+fn class_of(class_lanes: &[Vec<usize>], lane: usize) -> usize {
+    class_lanes.iter().position(|lanes| lanes.contains(&lane)).expect("every lane has a class")
 }
 
 /// A multi-lane MPSC queue: one bounded FIFO lane per tenant, drained by
@@ -265,8 +279,6 @@ pub struct WeightedQueue<T> {
     state: Mutex<WqState<T>>,
     not_empty: Condvar,
     not_full: Condvar,
-    /// Lane indices grouped by class, ascending class order.
-    class_lanes: Vec<Vec<usize>>,
     lane_capacity: usize,
 }
 
@@ -298,6 +310,7 @@ impl<T> WeightedQueue<T> {
                         cap: lane_capacity,
                     })
                     .collect(),
+                class_lanes,
                 cursors: vec![0; num_classes],
                 resume: None,
                 len: 0,
@@ -305,14 +318,47 @@ impl<T> WeightedQueue<T> {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            class_lanes,
             lane_capacity,
         }
     }
 
     /// Number of lanes.
     pub fn num_lanes(&self) -> usize {
-        self.class_lanes.iter().map(Vec::len).sum()
+        self.state.lock().expect("queue lock").lanes.len()
+    }
+
+    /// Appends a new lane at runtime and returns its index.
+    ///
+    /// The lane starts empty with the queue-wide default capacity
+    /// ([`WeightedQueue::lane_capacity`]) and joins scheduling
+    /// immediately: strict priority places it by `spec.class` (a class
+    /// index beyond the current highest extends the class table) and DRR
+    /// grants it `spec.weight` per round once it is backlogged. Existing
+    /// lanes, queued items, and in-progress quanta are untouched — this
+    /// is the live tenant-registration path, taken while shard workers
+    /// keep draining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.weight` is zero.
+    pub fn add_lane(&self, spec: LaneSpec) -> usize {
+        assert!(spec.weight > 0, "lane weight must be at least 1");
+        let mut st = self.state.lock().expect("queue lock");
+        let index = st.lanes.len();
+        st.lanes.push(Lane {
+            items: VecDeque::new(),
+            weight: spec.weight,
+            deficit: 0,
+            shed: 0,
+            cap: self.lane_capacity,
+        });
+        if st.class_lanes.len() <= spec.class {
+            let classes = spec.class + 1;
+            st.class_lanes.resize_with(classes, Vec::new);
+            st.cursors.resize(classes, 0);
+        }
+        st.class_lanes[spec.class].push(index);
+        index
     }
 
     /// The per-lane capacity the queue was created with (lanes can be
@@ -402,47 +448,36 @@ impl<T> WeightedQueue<T> {
         }
     }
 
-    /// The highest-priority class with queued work.
-    fn top_class(&self, st: &WqState<T>) -> Option<usize> {
-        (0..self.class_lanes.len())
-            .find(|&c| self.class_lanes[c].iter().any(|&l| !st.lanes[l].items.is_empty()))
-    }
-
-    /// The class a lane belongs to.
-    fn class_of(&self, lane: usize) -> usize {
-        self.class_lanes
-            .iter()
-            .position(|lanes| lanes.contains(&lane))
-            .expect("every lane has a class")
-    }
-
     /// Pops up to `max` items into `batch` by strict priority + DRR.
     fn drain_locked(&self, st: &mut WqState<T>, batch: &mut Vec<T>, max: usize) {
-        while batch.len() < max && st.len > 0 {
-            let class = self.top_class(st).expect("len > 0 implies a nonempty lane");
+        // Split the state borrow so the class table can be read while
+        // lanes are drained.
+        let WqState { lanes: all_lanes, class_lanes, cursors, resume, len, .. } = st;
+        while batch.len() < max && *len > 0 {
+            let class = top_class(class_lanes, all_lanes).expect("len > 0 implies a nonempty lane");
             // Strict priority preempts an interrupted quantum from a lower
             // class; the lane keeps its deficit and is re-granted a
             // quantum when its class is served again.
-            if let Some(li) = st.resume {
-                if self.class_of(li) != class {
-                    st.resume = None;
+            if let Some(li) = *resume {
+                if class_of(class_lanes, li) != class {
+                    *resume = None;
                 }
             }
             // Finish an interrupted quantum before the round continues.
-            if let Some(li) = st.resume {
+            if let Some(li) = *resume {
                 let space = (max - batch.len()) as u64;
-                let lane = &mut st.lanes[li];
+                let lane = &mut all_lanes[li];
                 let take = lane.deficit.min(lane.items.len() as u64).min(space);
                 for _ in 0..take {
                     batch.push(lane.items.pop_front().expect("resume lane is nonempty"));
                 }
-                st.len -= take as usize;
+                *len -= take as usize;
                 lane.deficit -= take;
                 if lane.items.is_empty() {
                     lane.deficit = 0;
                 }
                 if lane.deficit == 0 || lane.items.is_empty() {
-                    st.resume = None;
+                    *resume = None;
                 }
                 if batch.len() >= max {
                     return;
@@ -451,13 +486,13 @@ impl<T> WeightedQueue<T> {
             }
             // One DRR round over the class: every backlogged lane earns
             // its weight and spends what the batch can hold.
-            let lanes = &self.class_lanes[class];
+            let lanes = &class_lanes[class];
             let n = lanes.len();
-            let start = st.cursors[class] % n;
+            let start = cursors[class] % n;
             for step in 0..n {
                 let pos = (start + step) % n;
                 let li = lanes[pos];
-                let lane = &mut st.lanes[li];
+                let lane = &mut all_lanes[li];
                 if lane.items.is_empty() {
                     lane.deficit = 0;
                     continue;
@@ -468,7 +503,7 @@ impl<T> WeightedQueue<T> {
                 for _ in 0..take {
                     batch.push(lane.items.pop_front().expect("lane checked nonempty"));
                 }
-                st.len -= take as usize;
+                *len -= take as usize;
                 lane.deficit -= take;
                 if lane.items.is_empty() {
                     lane.deficit = 0;
@@ -477,13 +512,13 @@ impl<T> WeightedQueue<T> {
                     // Resume the unspent quantum first next time, then
                     // continue the round at the following lane.
                     if lane.deficit > 0 && !lane.items.is_empty() {
-                        st.resume = Some(li);
+                        *resume = Some(li);
                     }
-                    st.cursors[class] = (pos + 1) % n;
+                    cursors[class] = (pos + 1) % n;
                     return;
                 }
             }
-            st.cursors[class] = start;
+            cursors[class] = start;
         }
     }
 
@@ -871,6 +906,78 @@ mod tests {
         match q.pop_batch(Duration::from_millis(100), Duration::ZERO, 1) {
             Pop::Item(items) => assert_eq!(items, vec![2]),
             other => panic!("expected the second item, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn add_lane_joins_scheduling_with_default_capacity() {
+        let q = WeightedQueue::new(&[LaneSpec { weight: 9, class: 0 }], 64);
+        assert_eq!(q.num_lanes(), 1);
+        let lane = q.add_lane(LaneSpec { weight: 1, class: 0 });
+        assert_eq!(lane, 1);
+        assert_eq!(q.num_lanes(), 2);
+        assert_eq!(q.lane_cap(lane), 64);
+        // The fresh lane shares by DRR exactly like a constructed one.
+        let mut counts = [0u64; 2];
+        let mut popped = 0u64;
+        while popped < 600 {
+            for l in 0..2 {
+                while q.lane_len(l) < 64 {
+                    assert!(matches!(q.push(l, l, ShedPolicy::DropNewest), Push::Accepted));
+                }
+            }
+            match q.pop_batch(Duration::ZERO, Duration::ZERO, 4) {
+                Pop::Item(items) => {
+                    for l in items {
+                        counts[l] += 1;
+                        popped += 1;
+                    }
+                }
+                other => panic!("backlogged queue must pop, got {other:?}"),
+            }
+        }
+        let share = counts[0] as f64 / popped as f64;
+        assert!((share - 0.9).abs() < 0.05, "heavy share {share} (counts {counts:?})");
+    }
+
+    #[test]
+    fn add_lane_extends_the_class_table() {
+        // Start with one normal-class lane, add a higher-priority lane
+        // whose class index does not exist yet, then a lower one.
+        let q = WeightedQueue::new(&[LaneSpec { weight: 1, class: 1 }], 16);
+        let high = q.add_lane(LaneSpec { weight: 1, class: 0 });
+        let low = q.add_lane(LaneSpec { weight: 1, class: 2 });
+        assert_eq!((high, low), (1, 2));
+        for i in 0..3 {
+            q.push(0, 100 + i, ShedPolicy::Block);
+            q.push(high, 200 + i, ShedPolicy::Block);
+            q.push(low, 300 + i, ShedPolicy::Block);
+        }
+        let mut order = Vec::new();
+        loop {
+            match q.pop_batch(Duration::ZERO, Duration::ZERO, 2) {
+                Pop::Item(items) if !items.is_empty() => order.extend(items),
+                _ => break,
+            }
+        }
+        // Strict priority: all high-class, then normal, then low.
+        assert_eq!(order, vec![200, 201, 202, 100, 101, 102, 300, 301, 302]);
+    }
+
+    #[test]
+    fn add_lane_leaves_existing_backlog_untouched() {
+        let q = WeightedQueue::new(&[LaneSpec { weight: 1, class: 0 }], 8);
+        q.push(0, 1, ShedPolicy::Block);
+        q.push(0, 2, ShedPolicy::Block);
+        let lane = q.add_lane(LaneSpec { weight: 3, class: 0 });
+        assert_eq!(q.len(), 2, "existing items survive the new lane");
+        q.push(lane, 10, ShedPolicy::Block);
+        match q.pop_batch(Duration::ZERO, Duration::ZERO, 8) {
+            Pop::Item(items) => {
+                assert_eq!(items.len(), 3);
+                assert!(items.contains(&1) && items.contains(&2) && items.contains(&10));
+            }
+            other => panic!("expected all three items, got {other:?}"),
         }
     }
 }

@@ -1,16 +1,16 @@
 //! The online admission-threshold tuner, re-homed as the first
-//! [`Controller`](crate::control::Controller) on the engine's metrics
+//! [`Controller`] on the engine's metrics
 //! bus.
 //!
 //! The paper's miniature caches are cheap enough to run *online*
 //! (§4.3.3): shadow the live lookup stream through per-table simulators
 //! and periodically adopt the best-performing admission threshold. In the
-//! control plane this is [`TunerController`]: shard workers send a
+//! control plane this is `TunerController`: shard workers send a
 //! sampled stream of `(table, vector)` observations over a bounded
 //! channel (overflow is dropped — sampling is lossy by design, exactly
 //! like the paper's 0.1% sampling rate), and each bus tick the controller
 //! drains the channel into one [`OnlineTuner`] per table, returning an
-//! [`Action::SetPolicy`](crate::control::Action::SetPolicy) per epoch
+//! [`Action::SetPolicy`] per epoch
 //! decision. The bus routes the action to the owning shard's command
 //! channel, where the worker applies it between micro-batches via
 //! [`TableStore::set_policy`](bandana_core::TableStore::set_policy).

@@ -266,7 +266,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Sizes accepted by [`vec`].
+    /// Sizes accepted by [`vec`](fn@vec).
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -293,7 +293,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

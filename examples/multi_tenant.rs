@@ -14,20 +14,29 @@
 //! `ShedPolicy::Block`, so a full lane parks the submitter instead of
 //! burning CPU — the overload lives in the queues, not in the scheduler.
 //!
+//! After the flood, the same engine goes on the wire: a fourth tenant is
+//! registered *live* through the HTTP admin plane (`POST /tenants`) and
+//! served over the binary TCP protocol (`docs/PROTOCOL.md`) with
+//! pipelined, out-of-order completion.
+//!
 //! ```text
 //! cargo run --release --example multi_tenant
 //! ```
 
 use bandana::prelude::*;
+use bandana::serve::net::http_request;
 use bandana::serve::{
     render_audit_log, render_tenant_table, ServeConfig, ServeError, ShardedEngine, TraceConfig,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const RANKING: TenantId = TenantId(1);
 const BACKFILL: TenantId = TenantId(2);
 const PROBE: TenantId = TenantId(3);
+/// Registered *live* over the admin plane, then served over TCP.
+const WIRE: TenantId = TenantId(4);
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ModelSpec::test_small();
@@ -51,8 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // A small engine that overloads visibly: one shard, short lanes,
-    // block reads charged through the NVM queue model.
-    let engine = ShardedEngine::new(
+    // block reads charged through the NVM queue model. Arc'd so the
+    // network front-end can share it after the in-process flood.
+    let engine = Arc::new(ShardedEngine::new(
         store,
         ServeConfig::default()
             .with_shards(1)
@@ -64,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Flight-record one request in 16: the trace shows the probe's
             // batches interleaving with both floods on the single shard.
             .with_trace(TraceConfig::sampled(16)),
-    )?;
+    )?);
 
     let trace = generator.generate_requests(128);
     println!("flooding 1 shard from two weighted tenants for 400 ms...\n");
@@ -146,6 +156,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     engine.drain();
 
+    // ---- The same engine, over the wire ---------------------------------
+    // Stand up the TCP front-end and the HTTP admin plane, register a
+    // fourth tenant *live* (lanes appear on every shard queue, no
+    // restart), and serve it over the socket protocol with pipelined
+    // out-of-order reaping — the flow docs/PROTOCOL.md specifies.
+    let server = bandana::serve::NetServer::start(
+        Arc::clone(&engine),
+        bandana::serve::NetServerConfig::default(),
+    )?;
+    let admin = bandana::serve::AdminServer::start(Arc::clone(&engine), "127.0.0.1:0")?;
+    let (status, body) =
+        http_request(admin.local_addr(), "POST", "/tenants", Some("id=4&weight=2&class=high"))?;
+    println!("\nPOST /tenants → {status} {}", body.trim());
+
+    let wire = bandana::serve::NetClient::connect(server.local_addr(), WIRE, 32)?;
+    let mut tickets: Vec<bandana::serve::NetTicket> = trace.requests[..16]
+        .iter()
+        .map(|request| wire.submit(request))
+        .collect::<std::io::Result<_>>()?;
+    for ticket in tickets.iter_mut().rev() {
+        assert!(ticket.wait()?.is_ok(), "wire lookups complete");
+    }
+    println!(
+        "served 16 pipelined lookups over TCP for the live-registered tenant \
+         (reaped in reverse completion order; granted in-flight cap {})",
+        wire.granted_in_flight()
+    );
+    let (status, metrics) = http_request(admin.local_addr(), "GET", "/metrics", None)?;
+    // The schema names are frozen (ROADMAP "Observability metric-name
+    // schema"); the bench-smoke CI job runs this example, so a rename
+    // that slips past the unit tests still fails here, over real HTTP.
+    for name in [
+        "bandana_requests_completed_total",
+        "bandana_latency_seconds",
+        "bandana_tenant_shed_reason_total",
+        "bandana_shard_queue_depth_peak",
+        "bandana_control_ticks_total",
+        "bandana_uptime_seconds",
+    ] {
+        assert!(metrics.contains(name), "frozen metric name {name} missing from GET /metrics");
+    }
+    let completed_line = metrics
+        .lines()
+        .find(|l| l.starts_with("bandana_requests_completed_total"))
+        .unwrap_or("bandana_requests_completed_total <missing>");
+    println!("GET /metrics → {status}, frozen schema names served, e.g.: {completed_line}");
+    wire.close()?;
+    admin.shutdown();
+    server.shutdown();
+
     // Dump the flight recorder before shutdown consumes the engine; load
     // the file in Perfetto or chrome://tracing to see the lifecycles.
     let trace_path = "trace_multi_tenant.json";
@@ -155,7 +215,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.request_traces().len()
     );
 
-    let m = engine.shutdown();
+    let m = Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("all front-end references dropped"))
+        .shutdown();
     println!();
     print!(
         "{}",
@@ -163,6 +225,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             RANKING => "ranking".into(),
             BACKFILL => "backfill".into(),
             PROBE => "probe".into(),
+            WIRE => "wire".into(),
             other => other.to_string(),
         })
     );

@@ -15,17 +15,22 @@
 //! flood that oversubscribes the engine. Watch the breaker trip the
 //! flood (its sheds land in the `slo` bucket), the ranking tenant's
 //! recent-window p99 stay under its budget, and the tuner keep swapping
-//! thresholds as the hot set rotates.
+//! thresholds as the hot set rotates — then read it all back the way an
+//! operator would, over the HTTP admin plane (`GET /metrics`,
+//! `GET /trace`; see `docs/OPERATIONS.md`).
 //!
 //! ```text
 //! cargo run --release --example online_tuning
 //! ```
 
 use bandana::prelude::*;
+use bandana::serve::net::http_request;
 use bandana::serve::{
-    render_audit_log, render_tenant_table, run_open_loop_with, ControlConfig, LoadGenConfig,
-    OnlineTunerSettings, ServeConfig, ShardedEngine, SloControllerConfig, TraceConfig,
+    render_audit_log, render_tenant_table, run_open_loop_with, AdminServer, ControlConfig,
+    LoadGenConfig, OnlineTunerSettings, ServeConfig, ShardedEngine, SloControllerConfig,
+    TraceConfig,
 };
+use std::sync::Arc;
 use std::time::Duration;
 
 const RANKING: TenantId = TenantId(1);
@@ -60,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // backfill gets most of the DRR weight, so without the SLO breaker
     // its flood would starve ranking outright. The control plane runs
     // the tuner and the SLO controller on a 5 ms bus tick.
-    let engine = ShardedEngine::new(
+    let engine = Arc::new(ShardedEngine::new(
         store,
         ServeConfig::default()
             .with_shards(2)
@@ -92,7 +97,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Flight-record one request in 64 so the drift run leaves a
             // Perfetto-loadable trace behind.
             .with_trace(TraceConfig::sampled(64)),
-    )?;
+    )?);
+
+    // The operator's window into the run: the HTTP admin plane serves
+    // metrics, the audit log, and traces while traffic flows (the
+    // docs/OPERATIONS.md workflow, minus curl).
+    let admin = AdminServer::start(Arc::clone(&engine), "127.0.0.1:0")?;
 
     // Offer a drifting flood, open-loop: one ranking request per seven
     // backfill requests, at several times what the engine can serve. One
@@ -122,16 +132,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshot.window_span,
         snapshot.queued()
     );
-    // Flight recorder: dump the sampled request lifecycles as a Chrome
-    // trace before shutdown consumes the engine (open it in Perfetto or
-    // chrome://tracing).
+    // The same numbers an external scraper would see: GET /metrics
+    // serves render_prometheus verbatim over HTTP.
+    let (status, metrics) = http_request(admin.local_addr(), "GET", "/metrics", None)?;
+    let slo_line = metrics
+        .lines()
+        .find(|l| l.starts_with("bandana_tenant_shed_reason_total") && l.contains("slo"))
+        .unwrap_or("bandana_tenant_shed_reason_total{reason=\"slo\"} <missing>");
+    println!("GET /metrics → {status}, the breaker's sheds as a scraper sees them:\n  {slo_line}");
+    // Flight recorder: fetch the sampled request lifecycles as Chrome
+    // trace JSON over the admin plane — the same bytes `curl
+    // host:port/trace > trace.json` would capture — and save them for
+    // Perfetto or chrome://tracing.
     let trace_path = "trace_online_tuning.json";
-    std::fs::write(trace_path, engine.dump_trace())?;
+    let (_, trace_json) = http_request(admin.local_addr(), "GET", "/trace", None)?;
+    std::fs::write(trace_path, trace_json)?;
     println!(
-        "wrote a flight-recorder trace of {} sampled requests to {trace_path}",
+        "wrote a flight-recorder trace of {} sampled requests to {trace_path} (via GET /trace)",
         engine.request_traces().len()
     );
-    let m = engine.shutdown();
+    admin.shutdown();
+    let m = Arc::try_unwrap(engine)
+        .unwrap_or_else(|_| panic!("the admin plane dropped its engine reference"))
+        .shutdown();
     println!(
         "control plane: {} bus ticks, {} actions applied, {} tuner hot-swaps\n",
         m.control_ticks, m.control_actions, m.tuner_swaps

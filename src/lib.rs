@@ -2,24 +2,54 @@
 //!
 //! A from-scratch Rust reproduction of **"Bandana: Using Non-volatile
 //! Memory for Storing Deep Learning Models"** (Eisenman et al., MLSys
-//! 2019). This facade crate re-exports the whole workspace:
+//! 2019), grown into a full serving system: store, engine, control
+//! plane, observability, and a wire protocol.
 //!
-//! * [`core`](bandana_core) — the [`BandanaStore`]: embedding tables on
-//!   simulated block NVM, DRAM-cached, with locality-aware placement and
-//!   miniature-cache-tuned prefetch admission;
-//! * [`nvm`](nvm_sim) — the calibrated NVM device simulator;
-//! * [`trace`](bandana_trace) — synthetic Facebook-like lookup workloads;
-//! * [`partition`](bandana_partition) — SHP hypergraph partitioning and
-//!   K-means placement;
-//! * [`cache`](bandana_cache) — segmented LRU, shadow cache, admission
-//!   policies, miniature caches, DRAM allocation;
-//! * [`serve`](bandana_serve) — the sharded, batching serving engine:
-//!   tenant sessions with ticket-based (future-style) submission,
-//!   weighted per-tenant shard queues (strict priority + deficit
-//!   round-robin), latency percentiles, load shedding and admission
-//!   quotas, open-loop load generation, and a unified control plane — a
-//!   windowed metrics bus with pluggable controllers for online
-//!   threshold re-tuning and per-tenant SLO-budget shedding.
+//! ## Architecture
+//!
+//! The workspace is seven crates, re-exported here as modules:
+//!
+//! | module | crate | what lives there |
+//! |--------|-------|------------------|
+//! | [`core`] | `bandana-core` | the [`BandanaStore`](bandana_core::BandanaStore): embedding tables on simulated block NVM, DRAM-cached, locality-aware placement, miniature-cache-tuned prefetch admission |
+//! | [`nvm`](nvm_sim) | `nvm-sim` | the calibrated NVM device simulator: block reads, queue-depth model, buffer pools, fault injection |
+//! | [`trace`] | `bandana-trace` | synthetic Facebook-like lookup workloads, arrival processes, hot-set drift |
+//! | [`partition`] | `bandana-partition` | SHP hypergraph partitioning and K-means placement |
+//! | [`cache`] | `bandana-cache` | segmented LRU, shadow cache, admission policies, miniature caches, DRAM division |
+//! | [`serve`] | `bandana-serve` | the sharded serving engine: tickets, tenants, QoS queues, control plane, observability, and the TCP front-end ([`serve::net`]) |
+//! | — | `bandana-bench` | the `repro` harness regenerating every paper table/figure, plus the CI bench gate (`repro check-bench`) |
+//!
+//! A request's life, from socket to device and back:
+//!
+//! ```text
+//!       remote process                         in-process caller
+//!   NetClient ── frames ──▶ NetServer              Client
+//!  (docs/PROTOCOL.md)      reader thread             │
+//!                               │  submit            │ submit
+//!                               ▼                    ▼
+//!                      admission: tenant quota / SLO breaker / lane caps
+//!                               │ admitted              │ shed ──▶ error terminal
+//!                               ▼                       ▼   (ERROR frame / typed status)
+//!              weighted per-tenant shard queues (priority + DRR)
+//!                               │ popped by the owning shard worker
+//!                               ▼
+//!         micro-batch merge ─▶ DRAM cache ─▶ NVM reads (queue-depth model)
+//!                               │
+//!                               ▼
+//!               ResponseTicket completes — out of order, as finished
+//!                               │
+//!            NetServer writer ── RESPONSE/ERROR frame ──▶ NetClient
+//! ```
+//!
+//! Around that path sit the **control plane** (a windowed metrics bus
+//! feeding pluggable controllers: the paper's online tuner, per-tenant
+//! SLO shedding), the **observability surface** (Prometheus text
+//! exposition, a sampled flight recorder exporting Chrome trace JSON,
+//! a controller audit log), and the **admin plane** (an HTTP listener
+//! serving all three plus live tenant registration). The wire format is
+//! specified in `docs/PROTOCOL.md` and the operator runbook —
+//! starting servers, scraping metrics, reading audit logs, dumping
+//! traces, re-baselining the bench gate — is `docs/OPERATIONS.md`.
 //!
 //! ## Quickstart
 //!
@@ -118,22 +148,77 @@
 //! # }
 //! ```
 //!
+//! ## Serving over the wire
+//!
+//! The same engine fronts TCP clients through
+//! [`serve::net`]: a pipelined, length-prefixed
+//! binary protocol (`docs/PROTOCOL.md`) whose connection handler maps
+//! straight onto the `Client`/`ResponseTicket` machinery — correlation
+//! ids carry out-of-order completion onto the wire, and per-connection
+//! in-flight caps backpressure into admission via TCP flow control
+//! instead of buffering. Next to it, an
+//! [`AdminServer`](bandana_serve::AdminServer) speaks plain HTTP:
+//! `GET /metrics` (the Prometheus text, byte-identical to
+//! [`render_prometheus`](bandana_serve::render_prometheus)),
+//! `GET /audit`, `GET /trace` (Chrome trace JSON), and `POST /tenants`
+//! for live tenant registration.
+//!
+//! ```no_run
+//! use bandana::prelude::*;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let spec = ModelSpec::test_small();
+//! # let mut generator = TraceGenerator::new(&spec, 42);
+//! # let training = generator.generate_requests(300);
+//! # let embeddings: Vec<EmbeddingTable> = (0..spec.num_tables())
+//! #     .map(|t| EmbeddingTable::synthesize(
+//! #         spec.tables[t].num_vectors, spec.dim, generator.topic_model(t), t as u64))
+//! #     .collect();
+//! # let store = BandanaStore::build(
+//! #     &spec, &embeddings, &training,
+//! #     BandanaConfig::default().with_cache_vectors(512))?;
+//! // Put the engine on the wire: lookups on one port, operators on another.
+//! let engine = Arc::new(ShardedEngine::new(store, ServeConfig::default())?);
+//! let server = NetServer::start(Arc::clone(&engine), NetServerConfig::default())?;
+//! let admin = AdminServer::start(Arc::clone(&engine), "127.0.0.1:0")?;
+//!
+//! // Connect as the default tenant with a 64-deep pipeline, submit a
+//! // burst without waiting, then reap completions in reverse — the
+//! // correlation id, not arrival order, matches replies to requests.
+//! let client = NetClient::connect(server.local_addr(), TenantId::DEFAULT, 64)?;
+//! let burst = generator.generate_requests(16);
+//! let mut tickets: Vec<NetTicket> = burst
+//!     .requests
+//!     .iter()
+//!     .map(|request| client.submit(request))
+//!     .collect::<std::io::Result<_>>()?;
+//! for ticket in tickets.iter_mut().rev() {
+//!     assert!(ticket.wait()?.is_ok());
+//! }
+//! client.close()?;
+//! admin.shutdown();
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! Legacy callers keep working — `ShardedEngine::serve`/`submit` delegate
 //! to the default tenant ([`TenantId::DEFAULT`](bandana_serve::TenantId))
 //! — and closed-loop capacity replay
-//! ([`serve::run_closed_loop`](bandana_serve::run_closed_loop)) drives
+//! ([`serve::run_closed_loop`]) drives
 //! `Client::call`. Open-loop mode offers load on an arrival-process clock
 //! ([`ArrivalProcess`](bandana_trace::ArrivalProcess), Poisson or bursty)
 //! regardless of engine progress, driving the ticket API from a small
 //! reactor pool ([`LoadGenConfig`](bandana_serve::LoadGenConfig) sizes
-//! it) — see [`serve::run_open_loop`](bandana_serve::run_open_loop) and
-//! [`serve::run_open_loop_with`](bandana_serve::run_open_loop_with),
+//! it) — see [`serve::run_open_loop`] and
+//! [`serve::run_open_loop_with`],
 //! `examples/latency_bench.rs`, `examples/multi_tenant.rs`, and the
 //! `repro serve` experiment which writes `BENCH_serve.json` (including a
 //! two-tenant overload scenario with per-tenant p99 and shed columns).
 //!
 //! Feedback lives in one place: the
-//! [`serve::control`](bandana_serve::control) plane. Every engine runs a
+//! [`serve::control`] plane. Every engine runs a
 //! metrics bus that rotates per-tenant *recent-window* latency
 //! histograms and snapshots queue depths, batching, and shed-reason
 //! breakdowns each tick; registered
@@ -148,7 +233,7 @@
 //! controller-off) in CI.
 //!
 //! Everything above is observable from the outside via
-//! [`serve::obs`](bandana_serve::obs): a sampled **flight recorder**
+//! [`serve::obs`]: a sampled **flight recorder**
 //! ([`TraceConfig`](bandana_serve::TraceConfig), off by default) records
 //! per-request lifecycle events in preallocated per-shard rings —
 //! allocation-free on the hot path — and
@@ -185,9 +270,10 @@ pub mod prelude {
     };
     pub use bandana_partition::{AccessFrequency, BlockLayout};
     pub use bandana_serve::{
-        Client, LatencyHistogram, LatencySummary, PriorityClass, RequestBuilder, Response,
-        ResponseStatus, ResponseTicket, ServeConfig, ShardedEngine, ShedPolicy, TenantId,
-        TenantSpec, TraceConfig, WindowedHistogram,
+        AdminServer, Client, LatencyHistogram, LatencySummary, NetClient, NetResponse, NetServer,
+        NetServerConfig, NetTicket, PriorityClass, RequestBuilder, Response, ResponseStatus,
+        ResponseTicket, ServeConfig, ShardedEngine, ShedPolicy, TenantId, TenantSpec, TraceConfig,
+        WindowedHistogram,
     };
     pub use bandana_trace::{
         AetModel, ArrivalProcess, CounterStacks, DriftConfig, DriftingTraceGenerator,
