@@ -693,7 +693,10 @@ impl Shared {
                 outstanding: t.outstanding.load(Ordering::Relaxed),
                 submitted: t.submitted.load(Ordering::Relaxed),
                 completed: t.completed.load(Ordering::Relaxed),
-                queued: shards.iter().map(|s| s.lane_depths[i] as u64).sum(),
+                // A tenant registered between the shard capture above
+                // and this read has lanes the captured depths predate;
+                // treat the missing lane as empty rather than panic.
+                queued: shards.iter().map(|s| s.lane_depths.get(i).copied().unwrap_or(0) as u64).sum(),
                 shed: t.shed_breakdown(),
                 slo_shedding: t.slo_shed.load(Ordering::Relaxed),
                 recent: t.recent.lock().expect("tenant window lock").summary(),

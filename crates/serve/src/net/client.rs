@@ -319,11 +319,15 @@ fn reader_loop(stream: &mut TcpStream, shared: &NetShared) {
             }
         };
         let mut st = shared.state.lock().expect("net state");
-        let e2e = st.in_flight.remove(&cid).map(|sent| sent.elapsed()).unwrap_or(Duration::ZERO);
+        // Only completions with a live ticket are kept: a cid absent
+        // from `in_flight` belongs to a ticket that was dropped
+        // unreaped (its Drop pulled the entry), and storing it would
+        // leak `done` entries for the life of the connection.
+        let Some(sent) = st.in_flight.remove(&cid) else { continue };
         let mut response = response;
-        response.e2e = e2e;
+        response.e2e = sent.elapsed();
         if response.error.is_none() && frame.opcode == opcode::RESPONSE {
-            st.latency.record(e2e);
+            st.latency.record(response.e2e);
         }
         st.done.insert(cid, response);
         drop(st);
@@ -404,5 +408,16 @@ impl NetTicket {
                 self.shared.complete.wait_timeout(st, deadline - now).expect("net state");
             st = guard;
         }
+    }
+}
+
+impl Drop for NetTicket {
+    fn drop(&mut self) {
+        // An unreaped ticket must not leak its completion: pull the
+        // cid from `in_flight` so the reader discards a completion
+        // that has not landed yet, and from `done` if it already has.
+        let mut st = self.shared.state.lock().expect("net state");
+        st.in_flight.remove(&self.cid);
+        st.done.remove(&self.cid);
     }
 }

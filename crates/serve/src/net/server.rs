@@ -447,20 +447,24 @@ fn writer_loop(group: &Group, stop: &AtomicBool) {
         }
 
         // Reap connections that are closing and fully flushed.
-        let mut removed = false;
+        let mut reaped: Vec<usize> = Vec::new();
         local.retain(|lc| {
             let done = lc.conn.closing.load(Ordering::Acquire)
                 && lc.pending.is_empty()
                 && lc.conn.handoff.lock().expect("handoff lock").is_empty();
             if done {
                 let _ = lc.conn.stream.shutdown(Shutdown::Both);
-                removed = true;
+                reaped.push(lc.conn.id);
             }
             !done
         });
-        if removed {
+        if !reaped.is_empty() {
+            // Remove exactly what was reaped: a connection the accept
+            // thread added after the adoption pass above is not in
+            // `local` yet, and purging it here would orphan it — its
+            // handoff never drained and its reader never joined.
             let mut conns = group.conns.lock().expect("group lock");
-            conns.retain(|c| local.iter().any(|l| l.conn.id == c.id));
+            conns.retain(|c| !reaped.contains(&c.id));
         }
 
         if wrote {
@@ -474,12 +478,15 @@ fn writer_loop(group: &Group, stop: &AtomicBool) {
             match entry.ticket.wait_timeout(WRITER_PARK) {
                 Ok(Some(response)) => {
                     let frame = completion_frame(entry.cid, &response, entry.discard);
-                    let cid_done = entry.cid;
                     if !lc.broken && frame.write_to(&mut &lc.conn.stream).is_err() {
                         lc.broken = true;
                     }
                     lc.conn.release_slot();
-                    lc.pending.retain(|p| p.cid != cid_done);
+                    // Remove exactly the ticket that was polled:
+                    // correlation ids are client-chosen and may repeat
+                    // across concurrent requests, and each pending
+                    // entry owns exactly one in-flight slot.
+                    lc.pending.remove(0);
                 }
                 Ok(None) => {}
                 Err(_) => {
