@@ -26,8 +26,8 @@ fn usage() -> String {
 /// `BENCH_serve.json`) against `baseline` (default
 /// `BENCH_baseline_serve.json`) with the generous tolerance bands of
 /// `bandana_bench::baseline`. To re-baseline after an intentional change:
-/// `repro --scale quick serve && cp BENCH_serve.json
-/// BENCH_baseline_serve.json`.
+/// `repro --scale quick serve serve-drift serve-restart && cp
+/// BENCH_serve.json BENCH_baseline_serve.json`.
 fn check_bench(args: &[String]) -> ExitCode {
     let current_path = args.first().map(String::as_str).unwrap_or("BENCH_serve.json");
     let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_baseline_serve.json");
@@ -59,7 +59,8 @@ fn check_bench(args: &[String]) -> ExitCode {
             eprintln!(
                 "check-bench: {current_path} regressed against {baseline_path}\n\
                  (intentional change? re-baseline with:\n\
-                 \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve\n\
+                 \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve \
+                 serve-drift serve-restart\n\
                  \x20 cp BENCH_serve.json BENCH_baseline_serve.json)"
             );
             ExitCode::FAILURE
@@ -67,40 +68,51 @@ fn check_bench(args: &[String]) -> ExitCode {
     }
 }
 
+/// The actionable reorder recipe shown by every ordering error.
+const MERGE_RECIPE: &str =
+    "\x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve serve-drift \
+     serve-restart";
+
 /// Rejects experiment orderings that would corrupt `BENCH_serve.json`.
 ///
-/// `serve-drift` *merges* its rows into the sweep document `serve`
-/// writes; `serve` rewrites that document from scratch. Running
-/// `serve-drift` first therefore either produces a drift-only document
-/// (no sweep rows — `check-bench` fails on every missing row with no
-/// hint why) or, with `serve` later in the same invocation, has its
-/// rows silently clobbered. Both used to fail long after the mistake;
-/// now the ordering is checked up front. `sweep_on_disk` says whether
-/// an existing `BENCH_serve.json` already carries sweep rows from a
-/// prior `serve` run, which makes a drift-only invocation legitimate.
-fn drift_ordering_error(ids: &[String], sweep_on_disk: bool) -> Option<String> {
-    let drift = ids.iter().position(|id| id == "serve-drift")?;
+/// `serve-drift` and `serve-restart` *merge* their rows into the sweep
+/// document `serve` writes; `serve` rewrites that document from
+/// scratch. Running a merging experiment first therefore either
+/// produces a merge-only document (no sweep rows — `check-bench` fails
+/// on every missing row with no hint why) or, with `serve` later in the
+/// same invocation, has its rows silently clobbered. Both used to fail
+/// long after the mistake; now the ordering is checked up front.
+/// `sweep_on_disk` says whether an existing `BENCH_serve.json` already
+/// carries sweep rows from a prior `serve` run, which makes a
+/// merge-only invocation legitimate. (The merging experiments commute
+/// with each other — each preserves the other's rows — so only their
+/// order relative to `serve` matters.)
+fn merge_ordering_error(ids: &[String], sweep_on_disk: bool, merge_id: &str) -> Option<String> {
+    let merge = ids.iter().position(|id| id == merge_id)?;
     let serve = ids.iter().position(|id| id == "serve");
     match serve {
-        Some(s) if s < drift => None,
-        Some(_) => Some(
-            "serve-drift is listed before serve: `serve` rewrites BENCH_serve.json from \
-             scratch and would clobber the drift rows just merged into it.\n\
-             Reorder the experiments so serve runs first, e.g.:\n\
-             \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve serve-drift"
-                .into(),
-        ),
+        Some(s) if s < merge => None,
+        Some(_) => Some(format!(
+            "{merge_id} is listed before serve: `serve` rewrites BENCH_serve.json from \
+             scratch and would clobber the {merge_id} rows just merged into it.\n\
+             Reorder the experiments so serve runs first, e.g.:\n{MERGE_RECIPE}"
+        )),
         None if sweep_on_disk => None,
-        None => Some(
-            "serve-drift merges its rows into the serve sweep's BENCH_serve.json, but there \
+        None => Some(format!(
+            "{merge_id} merges its rows into the serve sweep's BENCH_serve.json, but there \
              is no sweep document to merge into (BENCH_serve.json is missing, unparsable, or \
-             has no sweep rows) — the result would be a drift-only document that `repro \
+             has no sweep rows) — the result would be a merge-only document that `repro \
              check-bench` rejects as a shrunken sweep.\n\
-             Run the sweep first in the same invocation:\n\
-             \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve serve-drift"
-                .into(),
-        ),
+             Run the sweep first in the same invocation:\n{MERGE_RECIPE}"
+        )),
     }
+}
+
+/// Checks every merging experiment's ordering (first error wins).
+fn ordering_error(ids: &[String], sweep_on_disk: bool) -> Option<String> {
+    ["serve-drift", "serve-restart"]
+        .iter()
+        .find_map(|merge_id| merge_ordering_error(ids, sweep_on_disk, merge_id))
 }
 
 fn main() -> ExitCode {
@@ -147,11 +159,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Sweep rows are the ones carrying no merge marker: drift rows carry
+    // `slo_on`, restart rows carry `restart`.
     let sweep_on_disk = std::fs::read_to_string("BENCH_serve.json")
         .ok()
         .and_then(|text| bandana_bench::parse_document(&text).ok())
-        .is_some_and(|doc| doc.rows.iter().any(|r| !r.contains_key("slo_on")));
-    if let Some(message) = drift_ordering_error(&ids, sweep_on_disk) {
+        .is_some_and(|doc| {
+            doc.rows.iter().any(|r| !r.contains_key("slo_on") && !r.contains_key("restart"))
+        });
+    if let Some(message) = ordering_error(&ids, sweep_on_disk) {
         eprintln!("{message}");
         return ExitCode::FAILURE;
     }
@@ -167,7 +183,7 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::drift_ordering_error;
+    use super::ordering_error;
 
     fn ids(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -176,23 +192,41 @@ mod tests {
     #[test]
     fn drift_ordering_is_validated() {
         // The healthy orders pass regardless of disk state.
-        assert_eq!(drift_ordering_error(&ids(&["serve", "serve-drift"]), false), None);
-        assert_eq!(
-            drift_ordering_error(&ids(&["fig2", "serve", "fig3", "serve-drift"]), false),
-            None
-        );
+        assert_eq!(ordering_error(&ids(&["serve", "serve-drift"]), false), None);
+        assert_eq!(ordering_error(&ids(&["fig2", "serve", "fig3", "serve-drift"]), false), None);
         // No drift requested: nothing to check.
-        assert_eq!(drift_ordering_error(&ids(&["serve"]), false), None);
+        assert_eq!(ordering_error(&ids(&["serve"]), false), None);
         // Drift before serve clobbers the merge — always an error.
-        let msg = drift_ordering_error(&ids(&["serve-drift", "serve"]), true)
+        let msg = ordering_error(&ids(&["serve-drift", "serve"]), true)
             .expect("drift-before-serve must be rejected");
-        assert!(msg.contains("listed before serve"), "{msg}");
+        assert!(msg.contains("serve-drift is listed before serve"), "{msg}");
         assert!(msg.contains("serve serve-drift"), "actionable recipe missing: {msg}");
         // Drift alone is fine only when a sweep document already exists.
-        assert_eq!(drift_ordering_error(&ids(&["serve-drift"]), true), None);
-        let msg = drift_ordering_error(&ids(&["serve-drift"]), false)
+        assert_eq!(ordering_error(&ids(&["serve-drift"]), true), None);
+        let msg = ordering_error(&ids(&["serve-drift"]), false)
             .expect("drift without a sweep document must be rejected");
         assert!(msg.contains("no sweep document"), "{msg}");
         assert!(msg.contains("serve serve-drift"), "actionable recipe missing: {msg}");
+    }
+
+    #[test]
+    fn restart_ordering_is_validated() {
+        // The full healthy pipeline passes.
+        assert_eq!(ordering_error(&ids(&["serve", "serve-drift", "serve-restart"]), false), None);
+        // The merging experiments commute: restart before drift is fine
+        // as long as serve leads.
+        assert_eq!(ordering_error(&ids(&["serve", "serve-restart", "serve-drift"]), false), None);
+        // Restart before serve clobbers the merge — always an error.
+        let msg = ordering_error(&ids(&["serve-restart", "serve"]), true)
+            .expect("restart-before-serve must be rejected");
+        assert!(msg.contains("serve-restart is listed before serve"), "{msg}");
+        assert!(msg.contains("serve serve-drift"), "actionable recipe missing: {msg}");
+        assert!(msg.contains("serve-restart"), "recipe names the restart scenario: {msg}");
+        // Restart alone is fine only when a sweep document already
+        // exists on disk.
+        assert_eq!(ordering_error(&ids(&["serve-restart"]), true), None);
+        let msg = ordering_error(&ids(&["serve-restart"]), false)
+            .expect("restart without a sweep document must be rejected");
+        assert!(msg.contains("no sweep document"), "{msg}");
     }
 }

@@ -25,6 +25,7 @@
 //! | [`ext_drift`] | extension: trained-configuration decay under hot-set drift |
 //! | [`serve_latency`] | serving engine: open-loop latency vs offered load (`BENCH_serve.json`) |
 //! | [`serve_drift`] | serving under drift: SLO controller on vs off, per-tenant windowed p99 and shed composition (appends to `BENCH_serve.json`) |
+//! | [`serve_restart`] | warm restart (WAL + snapshot recovery) vs cold start: first-window p99 and drive-write accounting across a restart (appends to `BENCH_serve.json`) |
 
 pub mod ablate;
 pub mod common;
@@ -48,6 +49,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod serve_drift;
 pub mod serve_latency;
+pub mod serve_restart;
 pub mod tab01;
 pub mod tab02;
 
@@ -76,6 +78,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation-drift",
     "serve",
     "serve-drift",
+    "serve-restart",
 ];
 
 /// Runs one experiment by id and returns its rendered artifact.
@@ -110,6 +113,7 @@ pub fn run_by_id(id: &str, scale: crate::Scale) -> String {
         "ablation-drift" => ext_drift::render(&ext_drift::run(scale)),
         "serve" => serve_latency::run_and_save(scale),
         "serve-drift" => serve_drift::run_and_save(scale),
+        "serve-restart" => serve_restart::run_and_save(scale),
         other => panic!("unknown experiment id {other:?}; valid ids: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -204,6 +204,22 @@ impl<V> SegmentedLru<V> {
         out
     }
 
+    /// The entries from MRU to LRU across all segments, without touching
+    /// recency (O(n); the persistence snapshot path walks this to capture
+    /// cache contents in eviction order).
+    pub fn entries_in_order(&self) -> Vec<(u64, &V)> {
+        let mut out = Vec::with_capacity(self.len());
+        for seg in &self.segments {
+            let mut cur = seg.head;
+            while cur != NIL {
+                let node = &self.nodes[cur as usize];
+                out.push((node.key, node.value.as_ref().expect("live node has a value")));
+                cur = node.next;
+            }
+        }
+        out
+    }
+
     fn alloc(&mut self, key: u64, value: V) -> u32 {
         if let Some(id) = self.free.pop() {
             self.nodes[id as usize] =

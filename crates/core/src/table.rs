@@ -8,6 +8,7 @@ use bandana_partition::{AccessFrequency, BlockLayout};
 use bandana_trace::EmbeddingTable;
 use bytes::Bytes;
 use nvm_sim::{BlockBufPool, BlockDevice};
+use std::collections::hash_map::{Entry, HashMap};
 
 /// How many LRU segments the cache uses (position granularity 1/16).
 const SEGMENTS: usize = 16;
@@ -29,6 +30,9 @@ pub struct TableStore {
     layout: BlockLayout,
     freq: AccessFrequency,
     policy: AdmissionPolicy,
+    /// Shadow-cache size multiplier last applied (construction or
+    /// [`TableStore::set_policy`]); captured by persistence snapshots.
+    shadow_multiplier: f64,
     cache: SegmentedLru<(Origin, Bytes)>,
     shadow: Option<ShadowCache>,
     metrics: CacheMetrics,
@@ -76,6 +80,7 @@ impl TableStore {
             layout,
             freq,
             policy,
+            shadow_multiplier,
             cache: SegmentedLru::new(cache_capacity, SEGMENTS.min(cache_capacity)),
             shadow,
             metrics: CacheMetrics::new(),
@@ -126,6 +131,12 @@ impl TableStore {
         self.policy
     }
 
+    /// The shadow-cache size multiplier last applied (construction or
+    /// [`TableStore::set_policy`]).
+    pub fn shadow_multiplier(&self) -> f64 {
+        self.shadow_multiplier
+    }
+
     /// Training-time access frequencies (used by online re-tuners that need
     /// the same inputs the build-time tuner saw).
     pub fn freq(&self) -> &AccessFrequency {
@@ -141,6 +152,7 @@ impl TableStore {
     /// is created or dropped as needed; cache contents are preserved.
     pub fn set_policy(&mut self, policy: AdmissionPolicy, shadow_multiplier: f64) {
         self.policy = policy;
+        self.shadow_multiplier = shadow_multiplier;
         if policy.needs_shadow() {
             if self.shadow.is_none() {
                 self.shadow = Some(ShadowCache::new(self.cache.capacity(), shadow_multiplier));
@@ -158,6 +170,73 @@ impl TableStore {
     /// Resets the counters (cache contents survive).
     pub fn reset_metrics(&mut self) {
         self.metrics = CacheMetrics::new();
+    }
+
+    /// Captures the DRAM cache contents for a persistence snapshot:
+    /// `(vector id, demand-fetched?)` pairs in MRU→LRU order. Payload
+    /// bytes are not captured — recovery re-reads them from the device,
+    /// which is the durable copy.
+    pub fn cache_snapshot(&self) -> Vec<(u32, bool)> {
+        self.cache
+            .entries_in_order()
+            .into_iter()
+            .map(|(k, v)| (k as u32, v.0 == Origin::Demand))
+            .collect()
+    }
+
+    /// Restores cache contents captured by [`TableStore::cache_snapshot`],
+    /// re-reading payloads from the device. `entries` is MRU→LRU as the
+    /// snapshot recorded it; insertion runs LRU-first so the rebuilt cache
+    /// reproduces the recorded eviction order. Ids the catalog no longer
+    /// covers (a snapshot that outlived a schema change) are skipped.
+    /// Cache counters are untouched: recovery reads are not traffic.
+    ///
+    /// Returns the number of entries restored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device read failures.
+    pub fn rehydrate(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        entries: &[(u32, bool)],
+    ) -> Result<usize, BandanaError> {
+        let mut pool = std::mem::take(&mut self.pool);
+        let result = self.rehydrate_with(device, entries, &mut pool);
+        self.pool = pool;
+        result
+    }
+
+    fn rehydrate_with(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        entries: &[(u32, bool)],
+        pool: &mut BlockBufPool,
+    ) -> Result<usize, BandanaError> {
+        // Entries from the same block share one read; the map holds the
+        // frozen block views the restored payload slices alias anyway.
+        let mut blocks: HashMap<u32, Bytes> = HashMap::new();
+        let mut restored = 0usize;
+        for &(v, demand) in entries.iter().rev() {
+            if v >= self.num_vectors {
+                continue;
+            }
+            let block = self.layout.block_of(v);
+            let raw = match blocks.entry(block) {
+                Entry::Occupied(e) => e.get().clone(),
+                Entry::Vacant(e) => {
+                    let raw = self.read_block_pooled(device, pool, block)?;
+                    e.insert(raw.clone());
+                    raw
+                }
+            };
+            let slot = self.layout.slot_of(v) as usize;
+            let payload = raw.slice(slot * self.vector_bytes..(slot + 1) * self.vector_bytes);
+            let origin = if demand { Origin::Demand } else { Origin::Prefetch };
+            self.cache.insert(v as u64, (origin, payload), 0.0);
+            restored += 1;
+        }
+        Ok(restored)
     }
 
     /// Writes the full embedding table to the device in layout order.
@@ -517,6 +596,36 @@ mod tests {
         assert!(table.shadow.is_some());
         table.set_policy(AdmissionPolicy::Threshold { t: 5 }, 1.5);
         assert!(table.shadow.is_none());
+    }
+
+    #[test]
+    fn cache_snapshot_round_trips_through_rehydrate() {
+        let (mut table, mut device, emb) = setup(AdmissionPolicy::None, 8);
+        for v in [0u32, 17, 63] {
+            table.lookup(&mut device, v).unwrap();
+        }
+        let snap = table.cache_snapshot();
+        assert_eq!(snap.iter().map(|e| e.0).collect::<Vec<_>>(), vec![63, 17, 0]);
+        assert!(snap.iter().all(|e| e.1), "demand-fetched entries must be flagged demand");
+
+        let (mut fresh, mut fresh_device, _) = setup(AdmissionPolicy::None, 8);
+        let restored = fresh.rehydrate(&mut fresh_device, &snap).unwrap();
+        assert_eq!(restored, 3);
+        assert_eq!(fresh.cache_snapshot(), snap, "rehydrate must reproduce eviction order");
+        assert_eq!(fresh.metrics().lookups, 0, "rehydration is not serving traffic");
+        let reads = fresh_device.counters().reads;
+        let got = fresh.lookup(&mut fresh_device, 63).unwrap();
+        assert_eq!(got.as_ref(), emb.vector_as_bytes(63).as_slice());
+        assert_eq!(fresh_device.counters().reads, reads, "rehydrated entry must hit in DRAM");
+    }
+
+    #[test]
+    fn rehydrate_skips_ids_beyond_the_catalog_and_keeps_origin() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::None, 8);
+        let restored = table.rehydrate(&mut device, &[(200, true), (3, false)]).unwrap();
+        assert_eq!(restored, 1, "out-of-range id must be skipped, not fail recovery");
+        assert_eq!(table.cache_snapshot(), vec![(3, false)]);
+        assert_eq!(device.counters().writes, 0, "rehydration must never write the device");
     }
 
     #[test]

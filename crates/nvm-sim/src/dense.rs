@@ -110,6 +110,14 @@ impl RebasedDevice {
         &self.endurance
     }
 
+    /// Restores the endurance counter from persisted state (warm
+    /// restart): the device is rebuilt fresh on recovery, so the bytes
+    /// written before the crash are re-imported here to keep drive-write
+    /// accounting continuous across restarts.
+    pub fn restore_endurance(&mut self, bytes_written: u64) {
+        self.endurance.restore(bytes_written);
+    }
+
     /// Translates a parent-space block address into this device's dense
     /// address space (`None` for blocks that were not carved).
     pub fn remap(&self, old_block: u64) -> Option<u64> {

@@ -46,6 +46,14 @@ impl EnduranceMeter {
         self.bytes_written = self.bytes_written.saturating_add(bytes);
     }
 
+    /// Restores the cumulative write counter from persisted state (warm
+    /// restart): the meter continues counting from `bytes_written` as if
+    /// the process had never died, so drive-write budgets survive a
+    /// recovery instead of silently resetting to zero.
+    pub fn restore(&mut self, bytes_written: u64) {
+        self.bytes_written = bytes_written;
+    }
+
     /// Total bytes written so far.
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written

@@ -1,0 +1,50 @@
+//! A tiny cursor over little-endian binary payloads.
+//!
+//! Every read is checked; `None` means the payload ran short, which the
+//! callers (WAL replay, snapshot load) treat as corruption.
+
+/// A checked little-endian reader.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(data: &'a [u8]) -> Self {
+        Reader { data }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.data.len() < n {
+            return None;
+        }
+        let (head, rest) = self.data.split_at(n);
+        self.data = rest;
+        Some(head)
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|b| i64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        self.take(8).map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Whether the payload was consumed exactly.
+    pub(crate) fn done(&self) -> bool {
+        self.data.is_empty()
+    }
+}

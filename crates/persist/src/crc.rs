@@ -1,0 +1,73 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), hand-rolled.
+//!
+//! This workspace vendors offline stand-ins for everything external, so
+//! the checksum is implemented here rather than pulled from crates.io:
+//! a 256-entry table built at compile time and the standard reflected
+//! byte-at-a-time update. The result matches the `crc32` everyone else
+//! computes (zlib, `cksum -o 3`, the `crc32fast` crate), which keeps the
+//! on-disk formats inspectable with stock tools.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The byte-indexed lookup table, built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32/IEEE of `data`.
+///
+/// # Example
+///
+/// ```
+/// // The catalogued check value for CRC-32/ISO-HDLC.
+/// assert_eq!(bandana_persist::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Catalogue check values (reveng / zlib).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_checksum() {
+        let base = b"bandana wal record".to_vec();
+        let crc = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), crc, "flip at byte {byte} bit {bit} undetected");
+            }
+        }
+    }
+}

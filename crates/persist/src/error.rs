@@ -1,0 +1,41 @@
+//! The persistence error type.
+
+use crate::faults::CrashPoint;
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// On-disk data failed validation (checksum, magic, version, or
+    /// structural bounds). Replay paths treat this as a torn tail.
+    Corrupt(String),
+    /// An armed [`CrashPoint`] fired: the operation stopped exactly
+    /// where a crash would have, leaving the matching partial state.
+    InjectedCrash(CrashPoint),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist I/O error: {e}"),
+            PersistError::Corrupt(why) => write!(f, "corrupt persistent state: {why}"),
+            PersistError::InjectedCrash(point) => write!(f, "injected crash at {point}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}

@@ -1,0 +1,153 @@
+//! Crash-point fault injection for the durability paths.
+//!
+//! Recovery code is only trustworthy if every crash window has been
+//! exercised: a process can die halfway through a WAL append, halfway
+//! through writing a snapshot temp file, or after the temp file is
+//! durable but before it is renamed into place. [`FaultPlan`] arms
+//! exactly those windows: when the durability code reaches an armed
+//! [`CrashPoint`] it leaves the partial on-disk state a real crash would
+//! leave (a torn tail, an orphaned temp file) and returns
+//! [`PersistError::InjectedCrash`](crate::PersistError::InjectedCrash)
+//! instead of proceeding — the test then recovers from that directory
+//! and asserts the invariants.
+//!
+//! Bit-flip corruption (silent media errors, as opposed to torn writes)
+//! is modelled separately by [`flip_bit`], which damages an existing
+//! file in place.
+//!
+//! This is persistence-layer fault injection; it is unrelated to
+//! `nvm_sim`'s I/O-error `FaultPlan`, which injects *device read/write
+//! errors* on the simulated NVM.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// A crash window in the durability code. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after writing only a prefix of a WAL frame (torn append).
+    WalMidAppend,
+    /// Die after writing only a prefix of the snapshot temp file.
+    SnapshotMidWrite,
+    /// Die after the temp file is written and fsynced but before the
+    /// atomic rename installs it.
+    SnapshotBeforeRename,
+}
+
+impl CrashPoint {
+    /// Every crash point, for matrix tests.
+    pub const ALL: [CrashPoint; 3] =
+        [CrashPoint::WalMidAppend, CrashPoint::SnapshotMidWrite, CrashPoint::SnapshotBeforeRename];
+
+    fn code(self) -> u8 {
+        match self {
+            CrashPoint::WalMidAppend => 1,
+            CrashPoint::SnapshotMidWrite => 2,
+            CrashPoint::SnapshotBeforeRename => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CrashPoint::WalMidAppend => "wal-mid-append",
+            CrashPoint::SnapshotMidWrite => "snapshot-mid-write",
+            CrashPoint::SnapshotBeforeRename => "snapshot-before-rename",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A one-shot crash plan threaded through the durability paths.
+///
+/// Arm a [`CrashPoint`] and the next time the WAL or snapshot writer
+/// reaches that window it crashes there — once. The plan is internally
+/// atomic so one `Arc<FaultPlan>` can be shared between the engine's
+/// control bus, shard workers, and the test that armed it.
+///
+/// # Example
+///
+/// ```
+/// use bandana_persist::{CrashPoint, FaultPlan};
+///
+/// let plan = FaultPlan::none();
+/// plan.arm(CrashPoint::WalMidAppend);
+/// assert!(plan.fires(CrashPoint::WalMidAppend));
+/// assert!(!plan.fires(CrashPoint::WalMidAppend), "one-shot");
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    armed: AtomicU8,
+}
+
+impl FaultPlan {
+    /// A plan with nothing armed (the production configuration).
+    pub fn none() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// A plan that crashes at `point`, once.
+    pub fn crash_at(point: CrashPoint) -> Arc<FaultPlan> {
+        let plan = FaultPlan::default();
+        plan.arm(point);
+        Arc::new(plan)
+    }
+
+    /// Arms `point` (replacing any previously armed point).
+    pub fn arm(&self, point: CrashPoint) {
+        self.armed.store(point.code(), Ordering::Release);
+    }
+
+    /// Whether `point` is armed; consumes the arming when it is. Called
+    /// by the durability code at each crash window.
+    pub fn fires(&self, point: CrashPoint) -> bool {
+        self.armed.compare_exchange(point.code(), 0, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+}
+
+/// Flips one bit of `path` in place: bit `bit` (0–7) of byte
+/// `byte_index`. Models silent media corruption for replay/fallback
+/// tests.
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails with `InvalidInput` when `byte_index`
+/// is past the end of the file.
+pub fn flip_bit(path: &Path, byte_index: u64, bit: u8) -> std::io::Result<()> {
+    let mut data = std::fs::read(path)?;
+    let idx = usize::try_from(byte_index)
+        .ok()
+        .filter(|&i| i < data.len())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "offset past EOF"))?;
+    data[idx] ^= 1 << (bit & 7);
+    std::fs::write(path, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_is_one_shot_and_point_specific() {
+        let plan = FaultPlan::crash_at(CrashPoint::SnapshotMidWrite);
+        assert!(!plan.fires(CrashPoint::WalMidAppend), "different point must not fire");
+        assert!(plan.fires(CrashPoint::SnapshotMidWrite));
+        assert!(!plan.fires(CrashPoint::SnapshotMidWrite));
+        plan.arm(CrashPoint::SnapshotBeforeRename);
+        assert!(plan.fires(CrashPoint::SnapshotBeforeRename));
+    }
+
+    #[test]
+    fn flip_bit_damages_exactly_one_bit() {
+        let dir = std::env::temp_dir().join(format!("bandana-persist-flip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        std::fs::write(&path, [0u8, 0, 0]).unwrap();
+        flip_bit(&path, 1, 3).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0u8, 8, 0]);
+        assert!(flip_bit(&path, 3, 0).is_err(), "past EOF rejected");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,312 @@
+//! # bandana-persist — crash-safe durability and warm restart
+//!
+//! A restart of the serving engine used to be a total cold start: the
+//! DRAM cache contents, tuned admission thresholds, endurance counters,
+//! and every live-registered tenant evaporated with the process. That
+//! inverts the premise of the system this repo reproduces — NVM holds
+//! the embeddings *durably* precisely so DRAM only holds rebuildable
+//! performance state — but "rebuildable" is worthless if nobody rebuilds
+//! it. This crate makes restart an engineered path:
+//!
+//! * a **write-ahead log** ([`Wal`] / [`WalRecord`] / [`replay`]) for
+//!   control-state mutations — the table catalog and every tenant
+//!   registration, including live `POST /tenants` ones — with
+//!   length-prefixed CRC-32 frames, batched fsync, and a replay that
+//!   truncates at the first torn or corrupt record and is idempotent on
+//!   re-replay;
+//! * **versioned snapshots** ([`SnapshotData`] / [`write_snapshot`] /
+//!   [`load_latest`]) of the warm state: per-table cache keys with
+//!   demand/prefetch origin bits (payloads stay on NVM), admission
+//!   policies and shadow multipliers, and per-shard endurance counters —
+//!   written to a temp file and installed atomically via
+//!   fsync + rename + directory fsync, with newest-first fallback past
+//!   corrupt files;
+//! * a **combined store** ([`Persistence`] / [`PersistConfig`]) the
+//!   serving engine opens once: it loads the latest valid snapshot,
+//!   replays (and heals) the WAL, and then accepts appends and periodic
+//!   snapshot installs;
+//! * **crash-point fault injection** ([`FaultPlan`] / [`CrashPoint`] /
+//!   [`flip_bit`]) so every recovery invariant is provable under torn
+//!   appends, half-written snapshots, a crash between write and rename,
+//!   and silent bit flips.
+//!
+//! The on-disk format tables live in the [`wal`] and [`snapshot`] module
+//! docs. The CRC is hand-rolled ([`crc32`]) because this workspace
+//! vendors all external dependencies.
+//!
+//! ## Layout of a persist directory
+//!
+//! ```text
+//! <dir>/wal.log            the write-ahead log (control mutations)
+//! <dir>/snapshot-<N>.bin   installed snapshots, N increasing
+//! <dir>/snapshot-<N>.bin.tmp  crash leftovers, ignored by recovery
+//! ```
+//!
+//! ## Example: the full cycle
+//!
+//! ```
+//! use bandana_persist::{PersistConfig, Persistence, SnapshotData, WalRecord};
+//!
+//! # fn main() -> Result<(), bandana_persist::PersistError> {
+//! let dir = std::env::temp_dir().join(format!("bandana-persist-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // First boot: nothing on disk.
+//! let (persist, opened) = Persistence::open(&PersistConfig::new(&dir))?;
+//! assert!(opened.snapshot.is_none());
+//! assert!(opened.wal.records.is_empty());
+//! persist.append(&WalRecord::TenantRegistered {
+//!     id: 7, weight: 9, class: 1, quota: -1, slo_p99_ms: -1,
+//! })?;
+//! persist.sync()?;
+//! persist.install_snapshot(&SnapshotData {
+//!     written_at_ms: 0, tick: 3, shard_endurance_bytes: vec![4096], tables: vec![],
+//! })?;
+//! drop(persist);
+//!
+//! // Restart: snapshot plus the replayed registration come back.
+//! let (_persist, opened) = Persistence::open(&PersistConfig::new(&dir))?;
+//! assert_eq!(opened.snapshot.unwrap().1.tick, 3);
+//! assert_eq!(opened.wal.records.len(), 1);
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod crc;
+mod error;
+pub mod faults;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc::crc32;
+pub use error::PersistError;
+pub use faults::{flip_bit, CrashPoint, FaultPlan};
+pub use snapshot::{
+    load_latest, snapshot_path, write_snapshot, KeyOrigin, SnapshotData, TableSnapshot,
+    SNAPSHOT_VERSION,
+};
+pub use wal::{replay, Wal, WalRecord, WalReplay, MAX_RECORD_BYTES};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration for a persist directory, consumed by
+/// [`Persistence::open`] (usually via the serving engine's
+/// `ServeConfig::with_persist`).
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory holding the WAL and snapshots (created if missing).
+    pub dir: PathBuf,
+    /// Fsync the WAL once per this many appends (1 = every append).
+    pub fsync_every: usize,
+    /// Take a snapshot every N control-bus ticks (0 disables periodic
+    /// snapshots; explicit snapshots still work).
+    pub snapshot_every_ticks: u64,
+    /// Crash-point injection plan (armed only by tests).
+    pub faults: Arc<FaultPlan>,
+}
+
+impl PersistConfig {
+    /// Defaults: fsync every 8 appends, snapshot every 50 ticks, no
+    /// faults armed.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistConfig {
+            dir: dir.into(),
+            fsync_every: 8,
+            snapshot_every_ticks: 50,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Sets the WAL fsync batching interval.
+    pub fn with_fsync_every(mut self, every: usize) -> Self {
+        self.fsync_every = every.max(1);
+        self
+    }
+
+    /// Sets the periodic snapshot cadence in control-bus ticks (0
+    /// disables periodic snapshots).
+    pub fn with_snapshot_every_ticks(mut self, ticks: u64) -> Self {
+        self.snapshot_every_ticks = ticks;
+        self
+    }
+
+    /// Installs a crash plan (tests only).
+    pub fn with_faults(mut self, faults: Arc<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// What [`Persistence::open`] found on disk.
+#[derive(Debug)]
+pub struct Opened {
+    /// The newest valid snapshot, if any, with its sequence number.
+    pub snapshot: Option<(u64, SnapshotData)>,
+    /// The WAL replay (the log is already healed of any corrupt tail).
+    pub wal: WalReplay,
+}
+
+/// An open persist directory: the WAL for appends plus the snapshot
+/// writer. Shared between the engine's control bus (periodic snapshots),
+/// the admin plane (live tenant registrations), and recovery.
+#[derive(Debug)]
+pub struct Persistence {
+    dir: PathBuf,
+    wal: Mutex<Wal>,
+    next_snapshot_seq: AtomicU64,
+    snapshot_every_ticks: u64,
+    faults: Arc<FaultPlan>,
+}
+
+impl Persistence {
+    /// Opens (creating if needed) the persist directory: loads the
+    /// newest valid snapshot, replays and heals the WAL, and opens it
+    /// for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn open(config: &PersistConfig) -> Result<(Persistence, Opened), PersistError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let snapshot = load_latest(&config.dir)?;
+        let (replayed, wal) = Wal::recover(
+            &config.dir.join("wal.log"),
+            config.fsync_every,
+            Arc::clone(&config.faults),
+        )?;
+        let next_seq = snapshot.as_ref().map_or(1, |(seq, _)| seq + 1);
+        let persistence = Persistence {
+            dir: config.dir.clone(),
+            wal: Mutex::new(wal),
+            next_snapshot_seq: AtomicU64::new(next_seq),
+            snapshot_every_ticks: config.snapshot_every_ticks,
+            faults: Arc::clone(&config.faults),
+        };
+        Ok((persistence, Opened { snapshot, wal: replayed }))
+    }
+
+    /// The persist directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured periodic snapshot cadence (ticks; 0 = disabled).
+    pub fn snapshot_every_ticks(&self) -> u64 {
+        self.snapshot_every_ticks
+    }
+
+    /// Appends one WAL record (durability batched per the configured
+    /// fsync interval).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and injected crashes.
+    pub fn append(&self, record: &WalRecord) -> Result<(), PersistError> {
+        self.wal.lock().expect("wal poisoned").append(record)
+    }
+
+    /// Appends one WAL record and fsyncs immediately — for mutations
+    /// that must be durable before they are acknowledged (live tenant
+    /// registration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and injected crashes.
+    pub fn append_durable(&self, record: &WalRecord) -> Result<(), PersistError> {
+        let mut wal = self.wal.lock().expect("wal poisoned");
+        wal.append(record)?;
+        wal.sync()
+    }
+
+    /// Fsyncs the WAL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fsync failures.
+    pub fn sync(&self) -> Result<(), PersistError> {
+        self.wal.lock().expect("wal poisoned").sync()
+    }
+
+    /// Writes and atomically installs the next snapshot. Returns the
+    /// installed path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors and injected crashes (the sequence number
+    /// is consumed either way, so a crashed install never blocks the
+    /// next one).
+    pub fn install_snapshot(&self, data: &SnapshotData) -> Result<PathBuf, PersistError> {
+        let seq = self.next_snapshot_seq.fetch_add(1, Ordering::AcqRel);
+        write_snapshot(&self.dir, seq, data, &self.faults)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bandana-persist-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_append_snapshot_reopen_cycle() {
+        let dir = tmp_dir("cycle");
+        let config = PersistConfig::new(&dir).with_fsync_every(1);
+        let (persist, opened) = Persistence::open(&config).unwrap();
+        assert!(opened.snapshot.is_none());
+        assert!(opened.wal.records.is_empty());
+
+        let tenant =
+            WalRecord::TenantRegistered { id: 3, weight: 4, class: 1, quota: -1, slo_p99_ms: -1 };
+        persist.append_durable(&tenant).unwrap();
+        let snap = SnapshotData {
+            written_at_ms: 99,
+            tick: 7,
+            shard_endurance_bytes: vec![1, 2],
+            tables: vec![],
+        };
+        persist.install_snapshot(&snap).unwrap();
+        persist.install_snapshot(&snap).unwrap(); // seq 2 supersedes 1
+        drop(persist);
+
+        let (persist, opened) = Persistence::open(&config).unwrap();
+        let (seq, loaded) = opened.snapshot.unwrap();
+        assert_eq!((seq, loaded.tick), (2, 7));
+        assert_eq!(opened.wal.records, vec![tenant]);
+        // The next install continues the sequence past what was found.
+        let path = persist.install_snapshot(&snap).unwrap();
+        assert!(path.ends_with("snapshot-3.bin"), "{path:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_install_does_not_block_the_next_one() {
+        let dir = tmp_dir("crash-seq");
+        let faults = FaultPlan::none();
+        let config = PersistConfig::new(&dir).with_faults(Arc::clone(&faults));
+        let (persist, _) = Persistence::open(&config).unwrap();
+        let snap = SnapshotData {
+            written_at_ms: 0,
+            tick: 1,
+            shard_endurance_bytes: vec![],
+            tables: vec![],
+        };
+        faults.arm(CrashPoint::SnapshotBeforeRename);
+        assert!(persist.install_snapshot(&snap).is_err());
+        persist.install_snapshot(&snap).unwrap();
+        let (seq, _) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(seq, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,481 @@
+//! The write-ahead log: length-prefixed, CRC-checksummed records with
+//! batched fsync and truncating replay.
+//!
+//! # On-disk format
+//!
+//! A WAL file is a sequence of frames, nothing else — no file header, so
+//! an empty file is a valid (empty) log:
+//!
+//! | field | size | meaning |
+//! |-------|------|---------|
+//! | `len` | `u32` LE | payload length in bytes (≤ [`MAX_RECORD_BYTES`]) |
+//! | `crc` | `u32` LE | [`crate::crc32`] of the payload |
+//! | payload | `len` bytes | one encoded [`WalRecord`] |
+//!
+//! Payload encodings (all integers little-endian):
+//!
+//! | record | layout |
+//! |--------|--------|
+//! | [`WalRecord::TableCatalog`] | tag `0x01`, `table: u32`, `base_block: u64`, `num_blocks: u64`, `num_vectors: u32`, `vector_bytes: u32` |
+//! | [`WalRecord::TenantRegistered`] | tag `0x02`, `id: u32`, `weight: u32`, `class: u8` (0 high, 1 normal, 2 low), `quota: i64` (−1 = none), `slo_p99_ms: i64` (−1 = none) |
+//!
+//! # Crash safety
+//!
+//! [`Wal::append`] buffers nothing in userspace (every frame is written
+//! straight to the file) but batches *durability*: `fsync` runs once per
+//! [`fsync_every`](Wal) appends and on [`Wal::sync`]. A crash can
+//! therefore tear the last frame(s); [`replay`] scans frames until the
+//! first torn or corrupt one — short header, absurd length, checksum
+//! mismatch, or undecodable payload — and reports the byte offset of the
+//! longest valid prefix. Recovery truncates the file there
+//! ([`Wal::recover`]), so a re-replay of the same log yields the same
+//! records: replay is idempotent and a corrupt tail is never served.
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+use crate::faults::{CrashPoint, FaultPlan};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Upper bound on one record's payload; anything larger is corruption.
+pub const MAX_RECORD_BYTES: u32 = 1 << 20;
+
+const TAG_TABLE_CATALOG: u8 = 0x01;
+const TAG_TENANT_REGISTERED: u8 = 0x02;
+
+/// One durable mutation of the engine's control state.
+///
+/// The WAL captures *metadata* mutations only — the table catalog laid
+/// down at build time and tenant-registry changes (including live
+/// `POST /tenants` registrations). Embedding payloads live on the NVM
+/// device and cache contents travel in snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalRecord {
+    /// One table's placement contract: where its blocks live and how big
+    /// they are. Written at build time; verified against the rebuilt
+    /// store during recovery.
+    TableCatalog {
+        /// Table id (index in the store).
+        table: u32,
+        /// First device block of the table's region.
+        base_block: u64,
+        /// Blocks in the region.
+        num_blocks: u64,
+        /// Vectors in the table.
+        num_vectors: u32,
+        /// Bytes per embedding vector.
+        vector_bytes: u32,
+    },
+    /// One tenant registration (build-time or live via `POST /tenants`).
+    TenantRegistered {
+        /// Tenant id.
+        id: u32,
+        /// Deficit-round-robin weight.
+        weight: u32,
+        /// Priority class index: 0 high, 1 normal, 2 low.
+        class: u8,
+        /// In-flight quota; −1 encodes "no quota".
+        quota: i64,
+        /// Recent-window p99 budget in milliseconds; −1 encodes "none".
+        slo_p99_ms: i64,
+    },
+}
+
+impl WalRecord {
+    /// Encodes the payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match *self {
+            WalRecord::TableCatalog {
+                table,
+                base_block,
+                num_blocks,
+                num_vectors,
+                vector_bytes,
+            } => {
+                out.push(TAG_TABLE_CATALOG);
+                out.extend_from_slice(&table.to_le_bytes());
+                out.extend_from_slice(&base_block.to_le_bytes());
+                out.extend_from_slice(&num_blocks.to_le_bytes());
+                out.extend_from_slice(&num_vectors.to_le_bytes());
+                out.extend_from_slice(&vector_bytes.to_le_bytes());
+            }
+            WalRecord::TenantRegistered { id, weight, class, quota, slo_p99_ms } => {
+                out.push(TAG_TENANT_REGISTERED);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&weight.to_le_bytes());
+                out.push(class);
+                out.extend_from_slice(&quota.to_le_bytes());
+                out.extend_from_slice(&slo_p99_ms.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes one payload. `None` means the payload is corrupt (unknown
+    /// tag, wrong length, invalid field) — replay treats it as the torn
+    /// tail.
+    pub fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let (&tag, rest) = payload.split_first()?;
+        let mut r = crate::codec::Reader::new(rest);
+        let record = match tag {
+            TAG_TABLE_CATALOG => WalRecord::TableCatalog {
+                table: r.u32()?,
+                base_block: r.u64()?,
+                num_blocks: r.u64()?,
+                num_vectors: r.u32()?,
+                vector_bytes: r.u32()?,
+            },
+            TAG_TENANT_REGISTERED => {
+                let record = WalRecord::TenantRegistered {
+                    id: r.u32()?,
+                    weight: r.u32()?,
+                    class: r.u8()?,
+                    quota: r.i64()?,
+                    slo_p99_ms: r.i64()?,
+                };
+                let WalRecord::TenantRegistered { class, .. } = record else { unreachable!() };
+                if class > 2 {
+                    return None;
+                }
+                record
+            }
+            _ => return None,
+        };
+        r.done().then_some(record)
+    }
+}
+
+/// The result of scanning a WAL file: the decoded records of the longest
+/// valid prefix, where that prefix ends, and whether anything was cut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalReplay {
+    /// The valid records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix.
+    pub valid_bytes: u64,
+    /// Whether a torn/corrupt tail followed the valid prefix.
+    pub truncated: bool,
+}
+
+/// Scans the log at `path`, stopping at the first torn or corrupt frame.
+///
+/// A missing file replays as an empty log. Re-running replay on the same
+/// file always yields the same result (it mutates nothing).
+///
+/// # Errors
+///
+/// Propagates I/O errors other than "not found".
+pub fn replay(path: &Path) -> Result<WalReplay, PersistError> {
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(PersistError::Io(e)),
+    };
+    Ok(scan(&data))
+}
+
+/// The pure scanning core of [`replay`], exposed for property tests.
+pub fn scan(data: &[u8]) -> WalReplay {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &data[offset..];
+        if rest.len() < 8 {
+            return WalReplay { records, valid_bytes: offset as u64, truncated: !rest.is_empty() };
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let frame_ok = len <= MAX_RECORD_BYTES
+            && rest.len() - 8 >= len as usize
+            && crc32(&rest[8..8 + len as usize]) == crc;
+        let record = frame_ok.then(|| WalRecord::decode(&rest[8..8 + len as usize])).flatten();
+        match record {
+            Some(r) => {
+                records.push(r);
+                offset += 8 + len as usize;
+            }
+            None => {
+                return WalReplay { records, valid_bytes: offset as u64, truncated: true };
+            }
+        }
+    }
+}
+
+/// An open write-ahead log.
+///
+/// # Example
+///
+/// ```
+/// use bandana_persist::{replay, FaultPlan, Wal, WalRecord};
+///
+/// # fn main() -> Result<(), bandana_persist::PersistError> {
+/// let dir = std::env::temp_dir().join(format!("bandana-wal-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("wal.log");
+/// let mut wal = Wal::open(&path, 4, FaultPlan::none())?;
+/// wal.append(&WalRecord::TenantRegistered {
+///     id: 7, weight: 9, class: 1, quota: -1, slo_p99_ms: 50,
+/// })?;
+/// wal.sync()?;
+/// assert_eq!(replay(&path)?.records.len(), 1);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Appends since the last fsync.
+    pending: usize,
+    /// Fsync once per this many appends (1 = every append).
+    fsync_every: usize,
+    faults: Arc<FaultPlan>,
+}
+
+impl Wal {
+    /// Opens (creating if needed) the log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open failures.
+    pub fn open(
+        path: &Path,
+        fsync_every: usize,
+        faults: Arc<FaultPlan>,
+    ) -> Result<Wal, PersistError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            pending: 0,
+            fsync_every: fsync_every.max(1),
+            faults,
+        })
+    }
+
+    /// Replays the log, truncates any torn/corrupt tail off the file, and
+    /// opens it for appending — the recovery entry point. Returns the
+    /// replay alongside the open log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn recover(
+        path: &Path,
+        fsync_every: usize,
+        faults: Arc<FaultPlan>,
+    ) -> Result<(WalReplay, Wal), PersistError> {
+        let replayed = replay(path)?;
+        if replayed.truncated {
+            let file = OpenOptions::new().write(true).open(path)?;
+            file.set_len(replayed.valid_bytes)?;
+            file.sync_all()?;
+        }
+        let wal = Wal::open(path, fsync_every, faults)?;
+        Ok((replayed, wal))
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record, fsyncing once per `fsync_every` appends.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors. Under an armed
+    /// [`CrashPoint::WalMidAppend`] only a prefix of the frame reaches
+    /// the file and [`PersistError::InjectedCrash`] is returned — the
+    /// record is *not* durable, mirroring a real mid-append crash.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), PersistError> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if self.faults.fires(CrashPoint::WalMidAppend) {
+            // A torn write: half the frame lands, then the "process dies".
+            self.file.write_all(&frame[..frame.len() / 2])?;
+            self.file.sync_data()?;
+            return Err(PersistError::InjectedCrash(CrashPoint::WalMidAppend));
+        }
+        self.file.write_all(&frame)?;
+        self.pending += 1;
+        if self.pending >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to durable storage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fsync failures.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.file.sync_data()?;
+        self.pending = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bandana-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::TableCatalog {
+                table: 0,
+                base_block: 0,
+                num_blocks: 128,
+                num_vectors: 4096,
+                vector_bytes: 128,
+            },
+            WalRecord::TenantRegistered { id: 7, weight: 9, class: 0, quota: 64, slo_p99_ms: 50 },
+            WalRecord::TenantRegistered { id: 8, weight: 1, class: 2, quota: -1, slo_p99_ms: -1 },
+        ]
+    }
+
+    fn encode_log(records: &[WalRecord]) -> Vec<u8> {
+        let mut data = Vec::new();
+        for r in records {
+            let payload = r.encode();
+            data.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            data.extend_from_slice(&crc32(&payload).to_le_bytes());
+            data.extend_from_slice(&payload);
+        }
+        data
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let path = tmp("round-trip");
+        let mut wal = Wal::open(&path, 2, FaultPlan::none()).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        wal.sync().unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.records, sample_records());
+        assert!(!replayed.truncated);
+        // Replay is read-only: running it again is identical.
+        assert_eq!(replay(&path).unwrap(), replayed);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_log() {
+        let path = tmp("missing");
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.records.is_empty());
+        assert_eq!(replayed.valid_bytes, 0);
+        assert!(!replayed.truncated);
+    }
+
+    #[test]
+    fn torn_append_leaves_a_truncatable_tail() {
+        let path = tmp("torn");
+        let mut wal = Wal::open(&path, 1, FaultPlan::crash_at(CrashPoint::WalMidAppend)).unwrap();
+        let records = sample_records();
+        let err = wal.append(&records[0]).unwrap_err();
+        assert!(matches!(err, PersistError::InjectedCrash(CrashPoint::WalMidAppend)));
+        drop(wal);
+
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.records.is_empty());
+        assert!(replayed.truncated, "the torn frame must be detected");
+
+        // Recovery truncates the tail and the log accepts new appends.
+        let (again, mut wal) = Wal::recover(&path, 1, FaultPlan::none()).unwrap();
+        assert_eq!(again.records, replayed.records);
+        wal.append(&records[1]).unwrap();
+        drop(wal);
+        let healed = replay(&path).unwrap();
+        assert_eq!(healed.records, vec![records[1]]);
+        assert!(!healed.truncated);
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_lengths_stop_the_scan() {
+        let good = encode_log(&sample_records()[..1]);
+        // Unknown tag with a valid frame checksum.
+        let mut bogus_payload = vec![0x7Fu8, 1, 2, 3];
+        let mut log = good.clone();
+        log.extend_from_slice(&(bogus_payload.len() as u32).to_le_bytes());
+        log.extend_from_slice(&crc32(&bogus_payload).to_le_bytes());
+        log.append(&mut bogus_payload);
+        let r = scan(&log);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!(r.valid_bytes as usize, good.len());
+        assert!(r.truncated);
+
+        // A length beyond MAX_RECORD_BYTES.
+        let mut log = good.clone();
+        log.extend_from_slice(&(MAX_RECORD_BYTES + 1).to_le_bytes());
+        log.extend_from_slice(&[0u8; 4]);
+        let r = scan(&log);
+        assert_eq!(r.records.len(), 1);
+        assert!(r.truncated);
+    }
+
+    proptest! {
+        /// Truncating the log at any byte yields a clean prefix of the
+        /// original records — never a partial or mutated record.
+        #[test]
+        fn truncation_yields_longest_valid_prefix(cut_fraction in 0.0f64..1.0) {
+            let records = sample_records();
+            let data = encode_log(&records);
+            let cut = (data.len() as f64 * cut_fraction) as usize;
+            let r = scan(&data[..cut]);
+            prop_assert!(r.records.len() <= records.len());
+            prop_assert_eq!(&r.records[..], &records[..r.records.len()], "prefix property");
+            prop_assert!(r.valid_bytes as usize <= cut);
+            prop_assert_eq!(r.truncated, r.valid_bytes as usize != cut);
+        }
+
+        /// Flipping any single bit never yields a record that was not
+        /// appended: the scan stops at or before the damaged frame and
+        /// everything it returns is a prefix of the original sequence.
+        #[test]
+        fn single_bit_flip_never_fabricates_records(
+            byte_fraction in 0.0f64..1.0,
+            bit in 0u8..8,
+        ) {
+            let records = sample_records();
+            let mut data = encode_log(&records);
+            let idx = ((data.len() - 1) as f64 * byte_fraction) as usize;
+            data[idx] ^= 1 << bit;
+            let r = scan(&data);
+            prop_assert!(r.records.len() <= records.len());
+            prop_assert_eq!(&r.records[..], &records[..r.records.len()], "prefix property");
+            // The flipped byte lives in some frame; every frame before it
+            // is intact, so the scan keeps at least those records.
+            let frame_sizes: Vec<usize> =
+                records.iter().map(|rec| 8 + rec.encode().len()).collect();
+            let mut offset = 0;
+            let mut intact = 0;
+            for size in frame_sizes {
+                if offset + size <= idx {
+                    intact += 1;
+                    offset += size;
+                } else {
+                    break;
+                }
+            }
+            prop_assert!(r.records.len() >= intact, "intact frames before the flip survive");
+        }
+    }
+}

@@ -44,12 +44,16 @@ use crate::obs::{
 };
 use crate::queue::{LaneSpec, Pop, Push, ShedPolicy, WeightedQueue};
 use crate::tenant::{
-    Client, Response, ResponseStatus, ShedBreakdown, TenantId, TenantMetrics, TenantSpec,
+    Client, PriorityClass, Response, ResponseStatus, ShedBreakdown, TenantId, TenantMetrics,
+    TenantSpec,
 };
 use crate::tuner::{OnlineTunerSettings, TunerController, TunerTable};
 use bandana_cache::{AdmissionPolicy, CacheMetrics};
 use bandana_core::{BandanaError, BandanaStore, BatchScratch, TableStore};
-use bandana_trace::Request;
+use bandana_persist::{
+    KeyOrigin, PersistConfig, Persistence, SnapshotData, TableSnapshot, WalRecord,
+};
+use bandana_trace::{EmbeddingTable, Request};
 use bytes::Bytes;
 use nvm_sim::{
     BlockBufPool, BlockDevice, DepthStats, PoolStats, QueueDepthTracker, RebasedDevice,
@@ -119,6 +123,15 @@ pub struct ServeConfig {
     /// [`ShardedEngine::dump_trace`] /
     /// [`ShardedEngine::request_traces`]. Off by default.
     pub trace: TraceConfig,
+    /// Crash-safe durability and warm restart: when set, the engine
+    /// journals the table catalog and every tenant registration
+    /// (build-time and live) to a write-ahead log in
+    /// [`PersistConfig::dir`], and the metrics bus periodically installs
+    /// snapshots of the warm state (cache keys, admission policies,
+    /// per-shard endurance). Restart with [`ShardedEngine::recover`] to
+    /// get the warm state back. `None` (the default) keeps the engine
+    /// fully in-memory, exactly as before this knob existed.
+    pub persist: Option<PersistConfig>,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +149,7 @@ impl Default for ServeConfig {
             control: ControlConfig::default(),
             slo: None,
             trace: TraceConfig::default(),
+            persist: None,
         }
     }
 }
@@ -214,9 +228,18 @@ impl ServeConfig {
         self
     }
 
+    /// Enables crash-safe durability: WAL journaling of catalog and
+    /// tenant-registry mutations plus periodic warm-state snapshots in
+    /// [`PersistConfig::dir`]. Pair with [`ShardedEngine::recover`] for a
+    /// warm restart.
+    pub fn with_persist(mut self, persist: PersistConfig) -> Self {
+        self.persist = Some(persist);
+        self
+    }
+
     /// Registers a tenant and its QoS contract. Each shard gives every
     /// tenant its own bounded queue lane, scheduled by strict priority
-    /// across [`PriorityClass`](crate::PriorityClass)es and deficit round-robin on
+    /// across [`PriorityClass`]es and deficit round-robin on
     /// [`TenantSpec::weight`] within a class. Registering
     /// [`TenantId::DEFAULT`] overrides the default tenant's spec
     /// (weight 1, normal class, no quota) instead of adding a tenant.
@@ -288,6 +311,9 @@ pub enum ServeError {
     /// ([`ShardedEngine::register_tenant`]) was refused: the id is
     /// already registered or the spec is invalid.
     InvalidTenant(String),
+    /// The durability subsystem failed (WAL append, snapshot install, or
+    /// persistence not configured for the requested operation).
+    Persist(String),
     /// A table/vector reference was invalid or the device failed.
     Store(BandanaError),
 }
@@ -307,6 +333,7 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownTenant(id) => write!(f, "{id} is not registered with the engine"),
             ServeError::TicketTaken => write!(f, "response already taken from this ticket"),
             ServeError::InvalidTenant(why) => write!(f, "tenant registration refused: {why}"),
+            ServeError::Persist(why) => write!(f, "persistence error: {why}"),
             ServeError::Store(e) => write!(f, "store error: {e}"),
         }
     }
@@ -346,6 +373,44 @@ pub(crate) enum ShardCommand {
         /// The new window (zero disables cross-request batching).
         window: Duration,
     },
+    /// Capture the shard's warm state (cache keys, policies, endurance)
+    /// for a persistence snapshot, between micro-batches so the capture
+    /// is internally consistent per shard.
+    CollectSnapshot {
+        /// Where the shard sends its captured parts.
+        reply: mpsc::Sender<ShardSnapshotParts>,
+    },
+    /// Rewrite one table's embeddings on the shard's device — §2.2
+    /// retraining, the deliberate drive-write source charged to the
+    /// shard's endurance meter.
+    Retrain {
+        /// Table id (owned by the receiving shard).
+        table: usize,
+        /// The freshly trained embeddings.
+        embeddings: Arc<EmbeddingTable>,
+        /// Completion/err channel back to the caller.
+        reply: mpsc::Sender<Result<(), BandanaError>>,
+    },
+}
+
+/// One shard's contribution to a persistence snapshot.
+#[derive(Debug)]
+pub(crate) struct ShardSnapshotParts {
+    shard: usize,
+    /// Cumulative bytes written to the shard's dense device.
+    endurance_bytes: u64,
+    tables: Vec<TableSnapshot>,
+}
+
+/// The slice of a recovered snapshot one shard applies before it starts
+/// draining its queue (cache rehydration happens before admission opens).
+struct ShardRecovered {
+    /// Restored endurance counter, when the snapshot's shard geometry
+    /// matches the engine's (sharding is deterministic, so it normally
+    /// does).
+    endurance_bytes: Option<u64>,
+    /// The snapshot's tables owned by this shard.
+    tables: Vec<TableSnapshot>,
 }
 
 /// The per-shard slice of one request: one entry per table query routed to
@@ -577,13 +642,99 @@ pub(crate) struct Shared {
     /// Bounded ring of control-plane decisions (the bus records every
     /// applied [`Action`] here before applying it).
     audit: AuditLog,
+    /// The open persist directory when durability is configured: WAL
+    /// appends from the admin plane, periodic snapshot installs from the
+    /// metrics bus.
+    persistence: Option<Arc<Persistence>>,
+    /// Durability and warm-restart accounting (see [`RecoveryMetrics`]).
+    recovery: RecoveryStats,
+    /// Shard workers that have finished applying recovered state; the
+    /// builder blocks on this after a recovery so the caches are warm
+    /// before admission opens.
+    warm_shards: AtomicUsize,
     shutdown: AtomicBool,
+}
+
+/// Lock-free counters behind [`RecoveryMetrics`].
+#[derive(Default)]
+struct RecoveryStats {
+    replayed_records: AtomicU64,
+    rehydrated_keys: AtomicU64,
+    snapshots_installed: AtomicU64,
+    /// Unix milliseconds of the newest installed or recovered snapshot
+    /// (0 = no snapshot yet).
+    last_snapshot_unix_ms: AtomicU64,
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn unix_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Maps a persistence failure into the store's config-error channel
+/// (build and recovery paths surface [`BandanaError`]).
+fn persist_err(e: bandana_persist::PersistError) -> BandanaError {
+    BandanaError::Config(format!("persist: {e}"))
+}
+
+/// Encodes one tenant registration as its WAL record.
+fn tenant_record(id: TenantId, spec: &TenantSpec) -> WalRecord {
+    WalRecord::TenantRegistered {
+        id: id.0,
+        weight: spec.weight,
+        class: spec.priority_class.index() as u8,
+        quota: spec.admission_quota.map_or(-1, |q| q.min(i64::MAX as u64) as i64),
+        slo_p99_ms: spec.slo_p99.map_or(-1, |d| d.as_millis().min(i64::MAX as u128) as i64),
+    }
+}
+
+/// Decodes a WAL tenant record back into its id and spec.
+fn tenant_from_record(
+    id: u32,
+    weight: u32,
+    class: u8,
+    quota: i64,
+    slo_p99_ms: i64,
+) -> (TenantId, TenantSpec) {
+    let priority_class = match class {
+        0 => PriorityClass::High,
+        2 => PriorityClass::Low,
+        _ => PriorityClass::Normal,
+    };
+    (
+        TenantId(id),
+        TenantSpec {
+            weight,
+            priority_class,
+            admission_quota: (quota >= 0).then_some(quota as u64),
+            slo_p99: (slo_p99_ms >= 0).then(|| Duration::from_millis(slo_p99_ms as u64)),
+        },
+    )
 }
 
 /// Index of the always-present default tenant in [`Shared::tenants`].
 const DEFAULT_TENANT_INDEX: usize = 0;
 
 impl Shared {
+    /// The durability/warm-restart counters as public metrics.
+    pub(crate) fn recovery_metrics(&self) -> RecoveryMetrics {
+        let last_ms = self.recovery.last_snapshot_unix_ms.load(Ordering::Relaxed);
+        let snapshot_age_seconds = if last_ms == 0 {
+            -1.0
+        } else {
+            (unix_ms_now().saturating_sub(last_ms)) as f64 / 1000.0
+        };
+        RecoveryMetrics {
+            replayed_records: self.recovery.replayed_records.load(Ordering::Relaxed),
+            rehydrated_keys: self.recovery.rehydrated_keys.load(Ordering::Relaxed),
+            snapshots_installed: self.recovery.snapshots_installed.load(Ordering::Relaxed),
+            snapshot_age_seconds,
+        }
+    }
+
     /// Resolves a tenant id to its index in [`Shared::tenants`].
     pub(crate) fn tenant_index(&self, id: TenantId) -> Option<usize> {
         self.tenants.read().expect("tenant lock").iter().position(|t| t.id == id)
@@ -696,7 +847,10 @@ impl Shared {
                 // A tenant registered between the shard capture above
                 // and this read has lanes the captured depths predate;
                 // treat the missing lane as empty rather than panic.
-                queued: shards.iter().map(|s| s.lane_depths.get(i).copied().unwrap_or(0) as u64).sum(),
+                queued: shards
+                    .iter()
+                    .map(|s| s.lane_depths.get(i).copied().unwrap_or(0) as u64)
+                    .sum(),
                 shed: t.shed_breakdown(),
                 slo_shedding: t.slo_shed.load(Ordering::Relaxed),
                 recent: t.recent.lock().expect("tenant window lock").summary(),
@@ -1013,6 +1167,26 @@ pub struct EngineMetrics {
     /// authored it and the snapshot evidence behind it (bounded ring;
     /// see [`AuditEvent`]).
     pub audit: Vec<AuditEvent>,
+    /// Durability and warm-restart accounting (zeroes on a cold start
+    /// with no persist directory configured).
+    pub recovery: RecoveryMetrics,
+}
+
+/// Durability/warm-restart counters inside [`EngineMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryMetrics {
+    /// WAL records replayed by [`ShardedEngine::recover`] (0 on a cold
+    /// start).
+    pub replayed_records: u64,
+    /// Cache entries rehydrated into shard caches from the recovered
+    /// snapshot.
+    pub rehydrated_keys: u64,
+    /// Snapshots installed by *this* engine instance (periodic plus
+    /// explicit [`ShardedEngine::snapshot_now`] calls).
+    pub snapshots_installed: u64,
+    /// Seconds since the newest installed or recovered snapshot was
+    /// written, `-1.0` when no snapshot exists yet.
+    pub snapshot_age_seconds: f64,
 }
 
 /// Micro-batching and device-queue accounting inside [`EngineMetrics`].
@@ -1119,6 +1293,9 @@ pub struct ShardedEngine {
     workers: Vec<JoinHandle<()>>,
     /// The metrics-bus thread (window rotation, snapshots, controllers).
     control: Option<JoinHandle<()>>,
+    /// Direct command channels to the shard workers (snapshot collection,
+    /// retraining); the control bus holds its own clones.
+    commands: Vec<mpsc::Sender<ShardCommand>>,
 }
 
 impl ShardedEngine {
@@ -1161,6 +1338,128 @@ impl ShardedEngine {
         config: ServeConfig,
         controllers: Vec<Box<dyn Controller>>,
     ) -> Result<Self, BandanaError> {
+        let persistence = match &config.persist {
+            Some(pcfg) => {
+                // `new*` means cold start: the directory is opened (and a
+                // corrupt WAL tail healed) but whatever state it holds is
+                // deliberately not applied — use [`ShardedEngine::recover`]
+                // for a warm restart.
+                let (p, _opened) = Persistence::open(pcfg).map_err(persist_err)?;
+                Some(Arc::new(p))
+            }
+            None => None,
+        };
+        Self::build(store, config, controllers, persistence, None)
+    }
+
+    /// Rebuilds the engine from a persist directory: replays the WAL over
+    /// the latest valid snapshot, verifies the journaled table catalog
+    /// against `store`, re-registers every journaled tenant (including
+    /// live `POST /tenants` registrations from the previous run), and
+    /// rehydrates each shard's DRAM cache, admission policy, and
+    /// endurance counters *before* admission opens.
+    ///
+    /// `config.persist` must be set; its directory is the one to recover
+    /// from. A directory with no snapshot and an empty WAL recovers to a
+    /// cold start.
+    ///
+    /// # Errors
+    ///
+    /// [`BandanaError::Config`] when `config.persist` is absent, when the
+    /// journaled catalog disagrees with `store` (the WAL belongs to a
+    /// different store), or for the same degenerate configurations as
+    /// [`ShardedEngine::new`].
+    pub fn recover(store: BandanaStore, config: ServeConfig) -> Result<Self, BandanaError> {
+        let pcfg = config.persist.as_ref().ok_or_else(|| {
+            BandanaError::Config("recover requires ServeConfig::with_persist".into())
+        })?;
+        let (persistence, opened) = Persistence::open(pcfg).map_err(persist_err)?;
+
+        // Fold the WAL into the catalog-check list and the tenant
+        // registry. Replay is idempotent: catalog records dedupe by table
+        // id, tenant records keep the first-seen spec.
+        let mut config = config;
+        let mut seen_tables: HashMap<u32, ()> = HashMap::new();
+        let mut seen_tenants: HashMap<u32, ()> = HashMap::new();
+        let mut replayed = 0u64;
+        for record in &opened.wal.records {
+            replayed += 1;
+            match *record {
+                WalRecord::TableCatalog {
+                    table,
+                    base_block,
+                    num_blocks,
+                    num_vectors,
+                    vector_bytes,
+                } => {
+                    if seen_tables.insert(table, ()).is_some() {
+                        continue;
+                    }
+                    let stored = store.table(table as usize).map_err(|_| {
+                        BandanaError::Config(format!(
+                            "recover: WAL catalogs table {table} which the store does not have"
+                        ))
+                    })?;
+                    let expect = (
+                        stored.base_block(),
+                        stored.num_blocks(),
+                        stored.num_vectors(),
+                        store.vector_bytes() as u32,
+                    );
+                    if expect != (base_block, num_blocks, num_vectors, vector_bytes) {
+                        return Err(BandanaError::Config(format!(
+                            "recover: WAL catalog for table {table} disagrees with the store \
+                             (journaled base={base_block} blocks={num_blocks} vectors={num_vectors} \
+                             vector_bytes={vector_bytes}, store has base={} blocks={} vectors={} \
+                             vector_bytes={})",
+                            expect.0, expect.1, expect.2, expect.3
+                        )));
+                    }
+                }
+                WalRecord::TenantRegistered { id, weight, class, quota, slo_p99_ms } => {
+                    if seen_tenants.insert(id, ()).is_some() {
+                        continue;
+                    }
+                    // Config-time tenants win over the journal: the journal
+                    // re-records them on every boot anyway.
+                    if config.tenants.iter().any(|(t, _)| t.0 == id) {
+                        continue;
+                    }
+                    let (tenant, spec) = tenant_from_record(id, weight, class, quota, slo_p99_ms);
+                    config = config.with_tenant(tenant, spec);
+                }
+            }
+        }
+
+        let snapshot = opened.snapshot.map(|(_, data)| Arc::new(data));
+        let snapshot_written_at = snapshot.as_ref().map(|s| s.written_at_ms);
+        let engine = Self::build(store, config, Vec::new(), Some(Arc::new(persistence)), snapshot)?;
+        engine.shared.recovery.replayed_records.store(replayed, Ordering::Relaxed);
+        if let Some(ms) = snapshot_written_at {
+            engine.shared.recovery.last_snapshot_unix_ms.store(ms, Ordering::Relaxed);
+        }
+        engine.shared.audit.push(AuditEvent {
+            tick: 0,
+            uptime: engine.shared.started.elapsed(),
+            controller: "persist".into(),
+            action: "Recover".into(),
+            tenant: None,
+            cause: format!(
+                "replayed {replayed} WAL records over {}, rehydrated {} cache keys",
+                if snapshot_written_at.is_some() { "a snapshot" } else { "no snapshot" },
+                engine.shared.recovery.rehydrated_keys.load(Ordering::Relaxed),
+            ),
+        });
+        Ok(engine)
+    }
+
+    fn build(
+        store: BandanaStore,
+        config: ServeConfig,
+        controllers: Vec<Box<dyn Controller>>,
+        persistence: Option<Arc<Persistence>>,
+        recovered: Option<Arc<SnapshotData>>,
+    ) -> Result<Self, BandanaError> {
         config.validate().map_err(BandanaError::Config)?;
         let parts = store.into_raw_parts();
         let num_tables = parts.tables.len();
@@ -1169,6 +1468,28 @@ impl ShardedEngine {
         }
         let num_shards = config.num_shards.min(num_tables);
         let shadow_multiplier = parts.config.shadow_multiplier;
+
+        if let Some(p) = &persistence {
+            // Journal the table catalog (pre-rebase base blocks — the
+            // coordinates `recover` verifies against the parent store) and
+            // the config-time tenants. Replay dedupes by id, so
+            // re-journaling on every boot is idempotent and keeps the WAL
+            // self-contained without ever truncating it.
+            for t in &parts.tables {
+                p.append(&WalRecord::TableCatalog {
+                    table: t.table_id() as u32,
+                    base_block: t.base_block(),
+                    num_blocks: t.num_blocks(),
+                    num_vectors: t.num_vectors(),
+                    vector_bytes: parts.vector_bytes as u32,
+                })
+                .map_err(persist_err)?;
+            }
+            for (id, spec) in &config.tenants {
+                p.append(&tenant_record(*id, spec)).map_err(persist_err)?;
+            }
+            p.sync().map_err(persist_err)?;
+        }
 
         // Greedy balance: heaviest table (by training lookup mass) onto the
         // lightest shard.
@@ -1253,6 +1574,9 @@ impl ShardedEngine {
             batch_window_ns: AtomicU64::new(config.batch_window.as_nanos() as u64),
             recorder: TraceRecorder::new(config.trace, num_shards),
             audit: AuditLog::new(DEFAULT_AUDIT_CAPACITY),
+            persistence,
+            recovery: RecoveryStats::default(),
+            warm_shards: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
         });
 
@@ -1293,13 +1617,30 @@ impl ShardedEngine {
                     device.remap(t.base_block()).expect("table blocks were carved just above");
                 t.rebase(new_base);
             }
+            // This shard's slice of the recovered snapshot: its own tables'
+            // warm state, plus its endurance counter when the snapshot's
+            // shard count matches (table→shard assignment is deterministic,
+            // so matching counts mean matching shards; a re-sharded restart
+            // just drops the per-shard counters).
+            let restore = recovered.as_ref().map(|snap| ShardRecovered {
+                endurance_bytes: (snap.shard_endurance_bytes.len() == num_shards)
+                    .then(|| snap.shard_endurance_bytes[shard]),
+                tables: snap
+                    .tables
+                    .iter()
+                    .filter(|t| owned.contains(&(t.table as usize)))
+                    .cloned()
+                    .collect(),
+            });
             let shared = Arc::clone(&shared);
             let (cmd_tx, cmd_rx) = mpsc::channel::<ShardCommand>();
             command_txs.push(cmd_tx);
             let samples = config.tuner.as_ref().map(|t| (sample_tx.clone(), t.sample_every));
             let handle = std::thread::Builder::new()
                 .name(format!("bandana-shard-{shard}"))
-                .spawn(move || shard_main(shard, device, tables, shared, batching, cmd_rx, samples))
+                .spawn(move || {
+                    shard_main(shard, device, tables, shared, batching, cmd_rx, samples, restore)
+                })
                 .expect("spawn shard worker");
             workers.push(handle);
         }
@@ -1320,6 +1661,7 @@ impl ShardedEngine {
         let slo = config.slo;
         let control_cfg = config.control;
         let bus_shared = Arc::clone(&shared);
+        let commands = command_txs.clone();
         let control = std::thread::Builder::new()
             .name("bandana-control".into())
             .spawn(move || {
@@ -1327,7 +1669,16 @@ impl ShardedEngine {
             })
             .expect("spawn control bus");
 
-        Ok(ShardedEngine { shared, workers, control: Some(control) })
+        // On a warm restart admission must not open until every shard has
+        // applied its recovered cache contents: the first requests after
+        // the restart are exactly the ones the snapshot exists to serve.
+        if recovered.is_some() {
+            while shared.warm_shards.load(Ordering::Acquire) < num_shards {
+                std::thread::yield_now();
+            }
+        }
+
+        Ok(ShardedEngine { shared, workers, control: Some(control), commands })
     }
 
     /// Number of shard workers.
@@ -1392,6 +1743,14 @@ impl ShardedEngine {
         let mut tenants = self.shared.tenants.write().expect("tenant lock");
         if tenants.iter().any(|t| t.id == id) {
             return Err(ServeError::InvalidTenant(format!("{id} is already registered")));
+        }
+        // Journal the registration durably *before* the tenant becomes
+        // visible: a registration acknowledged to the admin plane must
+        // survive a crash. On failure nothing was registered; a torn
+        // frame is healed (truncated) by the next recovery.
+        if let Some(p) = &self.shared.persistence {
+            p.append_durable(&tenant_record(id, &spec))
+                .map_err(|e| ServeError::Persist(e.to_string()))?;
         }
         let lane = LaneSpec { weight: u64::from(spec.weight), class: spec.priority_class.index() };
         for q in &self.shared.queues {
@@ -1519,6 +1878,56 @@ impl ShardedEngine {
             per_shard,
             per_tenant,
             audit: self.shared.audit.snapshot(),
+            recovery: self.shared.recovery_metrics(),
+        }
+    }
+
+    /// Collects the warm state from every shard and atomically installs
+    /// it as the next snapshot in the persist directory, synchronously.
+    /// The metrics bus does the same on its own cadence
+    /// ([`PersistConfig::with_snapshot_every_ticks`]); this is the
+    /// explicit trigger for tests and an orderly pre-shutdown save.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Persist`] when no persist directory is configured,
+    /// when a shard fails to report in time, or when the install itself
+    /// fails (including injected crashes).
+    pub fn snapshot_now(&self) -> Result<(), ServeError> {
+        let tick = self.shared.counters.control_ticks.load(Ordering::Relaxed);
+        take_snapshot(&self.shared, &self.commands, tick, Duration::from_secs(5))
+            .map_err(ServeError::Persist)
+    }
+
+    /// Rewrites `table`'s embeddings on its owning shard's device — the
+    /// serving-path stand-in for a model retrain pushing fresh embedding
+    /// values to NVM. The write is charged to the shard's endurance
+    /// meter, so drive-write accounting (and its survival across a warm
+    /// restart) is observable from [`ShardMetrics::bytes_written`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when the table does not exist or the rows
+    /// do not match the catalog; [`ServeError::ShuttingDown`] /
+    /// [`ServeError::TimedOut`] when the shard is gone or unresponsive.
+    pub fn retrain(&self, table: usize, embeddings: &EmbeddingTable) -> Result<(), ServeError> {
+        let shard = *self.shared.table_shard.get(table).ok_or_else(|| {
+            ServeError::Store(BandanaError::NoSuchTable {
+                table,
+                tables: self.shared.table_shard.len(),
+            })
+        })?;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.commands[shard]
+            .send(ShardCommand::Retrain {
+                table,
+                embeddings: Arc::new(embeddings.clone()),
+                reply: reply_tx,
+            })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        match reply_rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(result) => result.map_err(ServeError::Store),
+            Err(_) => Err(ServeError::TimedOut),
         }
     }
 
@@ -1710,6 +2119,8 @@ fn control_main(
         controllers.push(c);
     }
 
+    let snapshot_every =
+        shared.persistence.as_ref().map(|p| p.snapshot_every_ticks()).filter(|&n| n > 0);
     let mut tick = 0u64;
     let mut next_rotation = Instant::now() + config.window_slot;
     while !shared.shutdown.load(Ordering::Acquire) {
@@ -1734,7 +2145,71 @@ fn control_main(
         }
         tick += 1;
         shared.counters.control_ticks.fetch_add(1, Ordering::Relaxed);
+        // Periodic snapshots ride the same bus tick as the controllers.
+        // Failures (including injected crashes) are non-fatal here: the
+        // previous installed snapshot stays authoritative and the next
+        // cadence tick retries.
+        if let Some(every) = snapshot_every {
+            if tick.is_multiple_of(every) {
+                let _ = take_snapshot(&shared, &commands, tick, Duration::from_millis(500));
+            }
+        }
     }
+}
+
+/// Collects every shard's warm state and installs it as the next
+/// snapshot. Used by both the metrics bus (periodic cadence) and
+/// [`ShardedEngine::snapshot_now`]. `wait` bounds how long each shard
+/// gets to reply — a shard that has already exited (shutdown race) makes
+/// the collection fail cleanly rather than hang.
+fn take_snapshot(
+    shared: &Arc<Shared>,
+    commands: &[mpsc::Sender<ShardCommand>],
+    tick: u64,
+    wait: Duration,
+) -> Result<(), String> {
+    let Some(persistence) = shared.persistence.as_ref() else {
+        return Err("no persist directory configured".into());
+    };
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut expected = 0usize;
+    for tx in commands {
+        if tx.send(ShardCommand::CollectSnapshot { reply: reply_tx.clone() }).is_ok() {
+            expected += 1;
+        }
+    }
+    drop(reply_tx);
+    if expected < commands.len() {
+        return Err("a shard worker has already exited".into());
+    }
+    let mut parts = Vec::with_capacity(expected);
+    for _ in 0..expected {
+        match reply_rx.recv_timeout(wait) {
+            Ok(p) => parts.push(p),
+            Err(_) => return Err("timed out collecting shard state for snapshot".into()),
+        }
+    }
+    let mut shard_endurance_bytes = vec![0u64; parts.len()];
+    let mut tables = Vec::new();
+    for p in parts {
+        shard_endurance_bytes[p.shard] = p.endurance_bytes;
+        tables.extend(p.tables);
+    }
+    tables.sort_by_key(|t| t.table);
+    let key_count: usize = tables.iter().map(|t| t.keys.len()).sum();
+    let data = SnapshotData { written_at_ms: unix_ms_now(), tick, shard_endurance_bytes, tables };
+    let path = persistence.install_snapshot(&data).map_err(|e| e.to_string())?;
+    shared.recovery.snapshots_installed.fetch_add(1, Ordering::Relaxed);
+    shared.recovery.last_snapshot_unix_ms.store(data.written_at_ms, Ordering::Relaxed);
+    shared.audit.push(AuditEvent {
+        tick,
+        uptime: shared.started.elapsed(),
+        controller: "persist".into(),
+        action: format!("InstallSnapshot {{ path: {:?} }}", path),
+        tenant: None,
+        cause: format!("{} tables, {key_count} cache keys", data.tables.len()),
+    });
+    Ok(())
 }
 
 /// One part routed into a [`MergedTable`]: which job and part it came
@@ -1836,6 +2311,7 @@ struct ShardWorker {
 /// The shard worker: drains its queue in micro-batches, applies tuner
 /// commands between batches, and charges device reads through the queue
 /// model when one is configured.
+#[allow(clippy::too_many_arguments)]
 fn shard_main(
     shard: usize,
     device: RebasedDevice,
@@ -1844,6 +2320,7 @@ fn shard_main(
     mut batching: ShardBatching,
     commands: mpsc::Receiver<ShardCommand>,
     samples: Option<(mpsc::SyncSender<(usize, u32)>, u32)>,
+    recovered: Option<ShardRecovered>,
 ) {
     let mut sample_tick: u32 = 0;
     let mut batch_seq: u64 = 0;
@@ -1864,6 +2341,35 @@ fn shard_main(
         scratch: BatchScratch::new(),
         pool: BlockBufPool::for_cache(cached_entries),
     };
+    // Warm restart: apply the recovered snapshot slice before touching
+    // the queue, then report readiness — the builder holds admission
+    // closed until every shard has flipped `warm_shards`. Rehydration
+    // reads blocks through the worker's own pool but never the metrics:
+    // recovery I/O is not traffic, and restored endurance is separate.
+    if let Some(restore) = recovered {
+        if let Some(bytes) = restore.endurance_bytes {
+            worker.device.restore_endurance(bytes);
+        }
+        let mut rehydrated = 0usize;
+        for snap in &restore.tables {
+            let Some(t) = worker.tables.get_mut(&(snap.table as usize)) else { continue };
+            t.set_policy(snap.policy, snap.shadow_multiplier);
+            let entries: Vec<(u32, bool)> =
+                snap.keys.iter().map(|&(id, o)| (id, o == KeyOrigin::Demand)).collect();
+            match t.rehydrate(&mut worker.device, &entries) {
+                Ok(n) => rehydrated += n,
+                // A block-read failure leaves the cache partially warm;
+                // serving correctness is unaffected.
+                Err(_) => continue,
+            }
+        }
+        shared.recovery.rehydrated_keys.fetch_add(rehydrated as u64, Ordering::Relaxed);
+        let endurance = worker.device.endurance();
+        let mut stats = shared.shard_stats[shard].lock().expect("shard stats lock");
+        stats.bytes_written = endurance.bytes_written();
+        stats.drive_writes = endurance.drive_writes();
+    }
+    shared.warm_shards.fetch_add(1, Ordering::Release);
     loop {
         while let Ok(cmd) = commands.try_recv() {
             match cmd {
@@ -1874,6 +2380,56 @@ fn shard_main(
                 }
                 ShardCommand::SetBatchWindow { window } => {
                     batching.window = window;
+                }
+                ShardCommand::CollectSnapshot { reply } => {
+                    let mut table_snaps: Vec<TableSnapshot> = worker
+                        .tables
+                        .values()
+                        .map(|t| TableSnapshot {
+                            table: t.table_id() as u32,
+                            policy: t.policy(),
+                            shadow_multiplier: t.shadow_multiplier(),
+                            keys: t
+                                .cache_snapshot()
+                                .into_iter()
+                                .map(|(id, demand)| {
+                                    (
+                                        id,
+                                        if demand {
+                                            KeyOrigin::Demand
+                                        } else {
+                                            KeyOrigin::Prefetch
+                                        },
+                                    )
+                                })
+                                .collect(),
+                        })
+                        .collect();
+                    table_snaps.sort_by_key(|t| t.table);
+                    let _ = reply.send(ShardSnapshotParts {
+                        shard,
+                        endurance_bytes: worker.device.endurance().bytes_written(),
+                        tables: table_snaps,
+                    });
+                }
+                ShardCommand::Retrain { table, embeddings, reply } => {
+                    let ShardWorker { device, tables, .. } = &mut worker;
+                    let result = match tables.get_mut(&table) {
+                        Some(t) => t.write_embeddings(device, &embeddings),
+                        None => Err(BandanaError::NoSuchTable {
+                            table,
+                            tables: shared.table_shard.len(),
+                        }),
+                    };
+                    if result.is_ok() {
+                        let endurance = worker.device.endurance();
+                        let counters = worker.device.counters();
+                        let mut stats = shared.shard_stats[shard].lock().expect("shard stats lock");
+                        stats.bytes_written = endurance.bytes_written();
+                        stats.drive_writes = endurance.drive_writes();
+                        stats.device_reads = counters.reads;
+                    }
+                    let _ = reply.send(result);
                 }
             }
         }

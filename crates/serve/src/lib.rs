@@ -249,12 +249,14 @@ pub mod queue;
 pub mod tenant;
 pub mod tuner;
 
+pub use bandana_persist::{CrashPoint, FaultPlan, PersistConfig, PersistError, Persistence};
 pub use control::{
     Action, ControlConfig, Controller, EngineSnapshot, ShardSnapshot, SloController,
     SloControllerConfig, TenantSnapshot,
 };
 pub use engine::{
-    BatchingMetrics, EngineMetrics, ServeConfig, ServeError, ShardMetrics, ShardedEngine,
+    BatchingMetrics, EngineMetrics, RecoveryMetrics, ServeConfig, ServeError, ShardMetrics,
+    ShardedEngine,
 };
 pub use hist::{fmt_secs, LatencyBreakdown, LatencyHistogram, LatencySummary, WindowedHistogram};
 pub use loadgen::{

@@ -900,6 +900,41 @@ pub fn render_prometheus(metrics: &EngineMetrics, snapshot: &EngineSnapshot) -> 
         }
     }
 
+    // Durability and warm restart.
+    head(
+        &mut out,
+        "bandana_recovery_replayed_records",
+        "gauge",
+        "WAL records replayed at recovery (0 on a cold start).",
+    );
+    put(&mut out, "bandana_recovery_replayed_records", "", m.recovery.replayed_records as f64);
+    head(
+        &mut out,
+        "bandana_recovery_rehydrated_keys",
+        "gauge",
+        "Cache entries rehydrated from the recovered snapshot.",
+    );
+    put(&mut out, "bandana_recovery_rehydrated_keys", "", m.recovery.rehydrated_keys as f64);
+    head(
+        &mut out,
+        "bandana_recovery_snapshots_installed_total",
+        "counter",
+        "Snapshots installed by this engine instance.",
+    );
+    put(
+        &mut out,
+        "bandana_recovery_snapshots_installed_total",
+        "",
+        m.recovery.snapshots_installed as f64,
+    );
+    head(
+        &mut out,
+        "bandana_recovery_snapshot_age_seconds",
+        "gauge",
+        "Seconds since the newest snapshot was written (-1 when none exists).",
+    );
+    put(&mut out, "bandana_recovery_snapshot_age_seconds", "", m.recovery.snapshot_age_seconds);
+
     out
 }
 
@@ -970,7 +1005,7 @@ pub fn render_audit_log(events: &[AuditEvent]) -> String {
 mod tests {
     use super::*;
     use crate::control::{ShardSnapshot, TenantSnapshot};
-    use crate::engine::{BatchingMetrics, ShardMetrics};
+    use crate::engine::{BatchingMetrics, RecoveryMetrics, ShardMetrics};
     use crate::hist::{LatencyBreakdown, LatencyHistogram};
     use crate::tenant::{PriorityClass, ShedBreakdown};
     use bandana_cache::{AdmissionPolicy, CacheMetrics};
@@ -1290,6 +1325,12 @@ mod tests {
                 &Action::SetSloShed { tenant: TenantId(7), shed: true },
                 &sample_snapshot(),
             )],
+            recovery: RecoveryMetrics {
+                replayed_records: 6,
+                rehydrated_keys: 512,
+                snapshots_installed: 2,
+                snapshot_age_seconds: 1.5,
+            },
         }
     }
 
@@ -1387,6 +1428,11 @@ mod tests {
             "bandana_queued_requests 9",
             "bandana_lane_depth{shard=\"0\",lane=\"0\"} 2",
             "bandana_lane_depth{shard=\"0\",lane=\"1\"} 7",
+            // recovery (every RecoveryMetrics field).
+            "bandana_recovery_replayed_records 6",
+            "bandana_recovery_rehydrated_keys 512",
+            "bandana_recovery_snapshots_installed_total 2",
+            "bandana_recovery_snapshot_age_seconds 1.5",
         ] {
             assert!(text.contains(name), "missing series {name:?} in:\n{text}");
         }

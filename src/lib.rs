@@ -248,6 +248,20 @@
 //! crate's rustdoc has a runnable observability quickstart, and the
 //! `repro serve` sweep carries a trace-overhead arm gated in CI.
 //!
+//! Restarts are crash-safe via [`persist`]: a CRC-framed write-ahead
+//! log journals the table catalog and every tenant registration
+//! (including live `POST /tenants` ones), periodic versioned snapshots
+//! capture each shard's warm cache keys, tuned admission policies, and
+//! endurance counters, and
+//! [`ShardedEngine::recover`](bandana_serve::ShardedEngine::recover)
+//! replays the WAL over the latest valid snapshot and rehydrates every
+//! shard *before* admission opens — so a restarted server comes back
+//! warm instead of eating a cold-cache latency cliff. The whole path is
+//! proven under crash-point fault injection
+//! ([`persist::FaultPlan`]), and the
+//! `repro serve-restart` bench arm gates warm-vs-cold first-window p99
+//! in CI.
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! harness that regenerates every table and figure of the paper.
 
@@ -257,6 +271,7 @@
 pub use bandana_cache as cache;
 pub use bandana_core as core;
 pub use bandana_partition as partition;
+pub use bandana_persist as persist;
 pub use bandana_serve as serve;
 pub use bandana_trace as trace;
 pub use nvm_sim as nvm;
@@ -269,6 +284,7 @@ pub mod prelude {
         TableStore, ThroughputReport,
     };
     pub use bandana_partition::{AccessFrequency, BlockLayout};
+    pub use bandana_persist::{PersistConfig, Persistence};
     pub use bandana_serve::{
         AdminServer, Client, LatencyHistogram, LatencySummary, NetClient, NetResponse, NetServer,
         NetServerConfig, NetTicket, PriorityClass, RequestBuilder, Response, ResponseStatus,
