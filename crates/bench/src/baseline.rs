@@ -59,6 +59,22 @@ pub const NET_SCHED_SLACK_S: f64 = 30e-3;
 /// well below half, so 0.8 is decisive without being brittle.
 pub const RESTART_FIRST_WINDOW_RATIO: f64 = 0.8;
 
+/// The online re-budgeting recovery band: serve-rebudget's budget-on arm
+/// — the cache budget controller re-dividing DRAM as the hot table
+/// migrates — must keep its post-drift tail-window hit rate at or above
+/// this fraction of its own pre-drift level. The measurement is
+/// cache-determined (uniform draws over fixed working sets), so the band
+/// is tight; measured recovery is ~1.0× with the budget fully migrated.
+pub const REBUDGET_RECOVERY_RATIO: f64 = 0.8;
+
+/// The frozen-split degradation ceiling: serve-rebudget's budget-off arm
+/// — stuck on the build-time division after the hot table migrates —
+/// must see its post-drift tail-window hit rate fall to at most this
+/// fraction of its pre-drift level, or the scenario no longer
+/// demonstrates the decay the controller exists to repair. Measured
+/// ~0.15× (the newly-hot table thrashes a sliver of cache).
+pub const REBUDGET_DEGRADED_RATIO: f64 = 0.6;
+
 /// A parsed `BENCH_*.json` document: the experiment name and one numeric
 /// field map per row (string fields are kept too, separately).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -323,11 +339,12 @@ const GATED_FIELDS: [&str; 2] = ["p50_s", "p99_s"];
 /// exists on serve-drift rows, `traced` distinguishes the
 /// flight-recorder overhead arm from its matched untraced row,
 /// `transport` distinguishes the socket arm from its in-process twin,
-/// and `restart` distinguishes serve-restart's warm arm from its cold
-/// twin — absent fields format consistently, so old and new baselines
-/// keep matching themselves).
-const KEY_FIELDS: [&str; 7] =
-    ["window_us", "load_pct", "tenant", "slo_on", "traced", "transport", "restart"];
+/// `restart` distinguishes serve-restart's warm arm from its cold twin,
+/// and `rebudget` distinguishes serve-rebudget's controller-on arm from
+/// its controller-off twin — absent fields format consistently, so old
+/// and new baselines keep matching themselves).
+const KEY_FIELDS: [&str; 8] =
+    ["window_us", "load_pct", "tenant", "slo_on", "traced", "transport", "restart", "rebudget"];
 
 fn row_key(row: &BTreeMap<String, f64>) -> String {
     KEY_FIELDS
@@ -785,6 +802,124 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
         }
     }
 
+    // Serve-rebudget rows (`rebudget` present): the cache budget
+    // controller's headline claim, checked structurally between the two
+    // arms of the *current* run (same machine, identical traffic, so
+    // runner speed cancels). The budget-on arm must recover its own
+    // pre-drift tail-window hit rate after the hot table migrates —
+    // with its post-drift p99 under the budget-off arm's and applied
+    // `SetCachePartition` audit evidence — while the budget-off arm,
+    // frozen on the build-time division, must stay degraded and must
+    // not have re-partitioned anything.
+    let rebudget_rows: Vec<&BTreeMap<String, f64>> =
+        current.rows.iter().filter(|r| r.contains_key("rebudget")).collect();
+    if !rebudget_rows.is_empty() {
+        let arm =
+            |v: f64| rebudget_rows.iter().copied().find(|r| r.get("rebudget").copied() == Some(v));
+        match (arm(1.0), arm(0.0)) {
+            _ if rebudget_rows.len() != 2 => {
+                failures.push(format!(
+                    "serve-rebudget must have exactly one budget-on and one budget-off row, \
+                     got {}",
+                    rebudget_rows.len()
+                ));
+            }
+            (Some(on), Some(off)) => {
+                let field = |r: &BTreeMap<String, f64>, k: &str| r.get(k).copied().unwrap_or(0.0);
+                let mut ok = true;
+                for (row, label) in [(on, "budget-on"), (off, "budget-off")] {
+                    if field(row, "hit_rate_pre") <= 0.0 {
+                        ok = false;
+                        failures.push(format!(
+                            "serve-rebudget {label}: no pre-drift cache hits — the warmup \
+                             phase is not warming anything"
+                        ));
+                    }
+                }
+                let on_pre = field(on, "hit_rate_pre");
+                let on_post = field(on, "hit_rate_post");
+                if on_post < on_pre * REBUDGET_RECOVERY_RATIO {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-rebudget: budget-on post-drift hit rate {on_post:.4} does not \
+                         recover its pre-drift {on_pre:.4} (must be ≥ \
+                         {REBUDGET_RECOVERY_RATIO}×) — the controller is not re-dividing \
+                         DRAM toward the migrated hot table"
+                    ));
+                }
+                let off_pre = field(off, "hit_rate_pre");
+                let off_post = field(off, "hit_rate_post");
+                if off_post > off_pre * REBUDGET_DEGRADED_RATIO {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-rebudget: budget-off post-drift hit rate {off_post:.4} did not \
+                         degrade from its pre-drift {off_pre:.4} (must be ≤ \
+                         {REBUDGET_DEGRADED_RATIO}×) — the scenario no longer demonstrates \
+                         the stranded build-time split the controller exists to repair"
+                    ));
+                }
+                if on_post <= off_post {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-rebudget: budget-on post-drift hit rate {on_post:.4} does not \
+                         exceed budget-off's {off_post:.4}"
+                    ));
+                }
+                let on_p99 = field(on, "p99_post_s");
+                let off_p99 = field(off, "p99_post_s");
+                if !(on_p99 > 0.0 && off_p99 > 0.0 && on_p99 < off_p99) {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-rebudget: budget-on post-drift p99 {on_p99:.6}s does not sit \
+                         under budget-off's {off_p99:.6}s — re-dividing the cache is not \
+                         buying back the tail"
+                    ));
+                }
+                if field(on, "rebudget_applied") < 1.0 || field(on, "partition_moves") < 1.0 {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-rebudget: budget-on applied {} re-partitions with {} \
+                         SetCachePartition audit entries — the controller never acted",
+                        field(on, "rebudget_applied"),
+                        field(on, "partition_moves")
+                    ));
+                }
+                if field(off, "rebudget_applied") != 0.0 || field(off, "partition_moves") != 0.0 {
+                    ok = false;
+                    failures.push(
+                        "serve-rebudget: the budget-off arm re-partitioned its caches — it is \
+                         not a controller-free baseline"
+                            .into(),
+                    );
+                }
+                if field(on, "completed") <= 0.0
+                    || field(on, "completed") != field(off, "completed")
+                {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-rebudget: arms completed different request counts ({} vs {}) — \
+                         the comparison is not on identical traffic",
+                        field(on, "completed"),
+                        field(off, "completed")
+                    ));
+                }
+                if ok {
+                    report.push(format!(
+                        "serve-rebudget: budget-on recovered hit rate {on_post:.4} (pre \
+                         {on_pre:.4}) vs budget-off {off_post:.4}, post-drift p99 \
+                         {on_p99:.6}s under {off_p99:.6}s"
+                    ));
+                }
+            }
+            (on, _) => {
+                failures.push(format!(
+                    "serve-rebudget is missing its {} arm",
+                    if on.is_none() { "budget-on" } else { "budget-off" }
+                ));
+            }
+        }
+    }
+
     // The batched pipeline must actually batch somewhere at moderate load.
     let batched_moderate: Vec<&BTreeMap<String, f64>> = current
         .rows
@@ -1232,6 +1367,111 @@ mod tests {
         assert!(
             failures.iter().any(|f| f.contains("exactly one warm and one cold")
                 || f.contains("missing its cold arm")),
+            "{failures:?}"
+        );
+    }
+
+    fn rebudget_row(
+        rebudget: u64,
+        hit_pre: f64,
+        hit_post: f64,
+        p99_post: f64,
+        applied: f64,
+        moves: f64,
+    ) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("window_us".into(), 0.0);
+        m.insert("load_pct".into(), 120.0);
+        m.insert("rebudget".into(), rebudget as f64);
+        m.insert("hit_rate_pre".into(), hit_pre);
+        m.insert("hit_rate_post".into(), hit_post);
+        m.insert("p99_pre_s".into(), 2e-3);
+        m.insert("p99_post_s".into(), p99_post);
+        m.insert("rebudget_applied".into(), applied);
+        m.insert("partition_moves".into(), moves);
+        m.insert("completed".into(), 1000.0);
+        m.insert("p50_s".into(), 1e-3);
+        m.insert("p99_s".into(), 1e-2);
+        m
+    }
+
+    /// A healthy serve-rebudget pair: budget-on recovers its pre-drift
+    /// hit rate with audit evidence, budget-off stays degraded.
+    fn healthy_rebudget_rows() -> Vec<BTreeMap<String, f64>> {
+        vec![
+            rebudget_row(1, 0.85, 0.82, 3e-3, 4.0, 4.0),
+            rebudget_row(0, 0.85, 0.12, 4e-2, 0.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn rebudget_claims_are_gated() {
+        let mut base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.5, 60.0)]);
+        base.rows.extend(healthy_rebudget_rows());
+        let report = check_serve(&base, &base).expect("healthy rebudget rows must pass");
+        assert!(report.iter().any(|l| l.contains("serve-rebudget")), "{report:?}");
+
+        // A budget-on arm that fails to recover its pre-drift hit rate
+        // fails the gate.
+        let mut stranded = base.clone();
+        stranded.rows[2].insert("hit_rate_post".into(), 0.4);
+        let failures = check_serve(&stranded, &base).expect_err("unrecovered on arm must fail");
+        assert!(failures.iter().any(|f| f.contains("not re-dividing")), "{failures:?}");
+
+        // A budget-off arm that does not degrade means the scenario lost
+        // its teeth.
+        let mut toothless = base.clone();
+        toothless.rows[3].insert("hit_rate_post".into(), 0.8);
+        let failures = check_serve(&toothless, &base).expect_err("soft off arm must fail");
+        assert!(failures.iter().any(|f| f.contains("no longer demonstrates")), "{failures:?}");
+
+        // The on arm's post-drift p99 must sit under the off arm's.
+        let mut slow = base.clone();
+        slow.rows[2].insert("p99_post_s".into(), 5e-2);
+        let failures = check_serve(&slow, &base).expect_err("slow on arm must fail");
+        assert!(failures.iter().any(|f| f.contains("buying back the tail")), "{failures:?}");
+
+        // A controller that never applied a re-partition fails.
+        let mut inert = base.clone();
+        inert.rows[2].insert("rebudget_applied".into(), 0.0);
+        inert.rows[2].insert("partition_moves".into(), 0.0);
+        let failures = check_serve(&inert, &base).expect_err("inert controller must fail");
+        assert!(failures.iter().any(|f| f.contains("never acted")), "{failures:?}");
+
+        // Applied moves without audit evidence also fail.
+        let mut unaudited = base.clone();
+        unaudited.rows[2].insert("partition_moves".into(), 0.0);
+        let failures = check_serve(&unaudited, &base).expect_err("unaudited moves must fail");
+        assert!(failures.iter().any(|f| f.contains("never acted")), "{failures:?}");
+
+        // A budget-off arm that re-partitioned is contaminated.
+        let mut leaky = base.clone();
+        leaky.rows[3].insert("rebudget_applied".into(), 2.0);
+        let failures = check_serve(&leaky, &base).expect_err("contaminated off arm must fail");
+        assert!(failures.iter().any(|f| f.contains("controller-free")), "{failures:?}");
+
+        // Arms serving different traffic fails.
+        let mut uneven = base.clone();
+        uneven.rows[3].insert("completed".into(), 999.0);
+        let failures = check_serve(&uneven, &base).expect_err("uneven arms must fail");
+        assert!(failures.iter().any(|f| f.contains("identical traffic")), "{failures:?}");
+
+        // A cold cache in the pre-drift window fails both arms' warmup.
+        let mut unwarmed = base.clone();
+        unwarmed.rows[2].insert("hit_rate_pre".into(), 0.0);
+        unwarmed.rows[2].insert("hit_rate_post".into(), 0.0);
+        let failures = check_serve(&unwarmed, &base).expect_err("cold warmup must fail");
+        assert!(failures.iter().any(|f| f.contains("not warming")), "{failures:?}");
+
+        // Losing an arm is caught (restart-free baseline so the row-match
+        // gate is not the first to trip).
+        let sweep_only = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.5, 60.0)]);
+        let mut lone = sweep_only.clone();
+        lone.rows.push(rebudget_row(1, 0.85, 0.82, 3e-3, 4.0, 4.0));
+        let failures = check_serve(&lone, &lone).expect_err("missing off arm must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("exactly one budget-on and one budget-off")
+                || f.contains("missing its budget-off arm")),
             "{failures:?}"
         );
     }

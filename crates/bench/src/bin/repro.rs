@@ -26,8 +26,8 @@ fn usage() -> String {
 /// `BENCH_serve.json`) against `baseline` (default
 /// `BENCH_baseline_serve.json`) with the generous tolerance bands of
 /// `bandana_bench::baseline`. To re-baseline after an intentional change:
-/// `repro --scale quick serve serve-drift serve-restart && cp
-/// BENCH_serve.json BENCH_baseline_serve.json`.
+/// `repro --scale quick serve serve-drift serve-restart serve-rebudget
+/// && cp BENCH_serve.json BENCH_baseline_serve.json`.
 fn check_bench(args: &[String]) -> ExitCode {
     let current_path = args.first().map(String::as_str).unwrap_or("BENCH_serve.json");
     let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_baseline_serve.json");
@@ -60,7 +60,7 @@ fn check_bench(args: &[String]) -> ExitCode {
                 "check-bench: {current_path} regressed against {baseline_path}\n\
                  (intentional change? re-baseline with:\n\
                  \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve \
-                 serve-drift serve-restart\n\
+                 serve-drift serve-restart serve-rebudget\n\
                  \x20 cp BENCH_serve.json BENCH_baseline_serve.json)"
             );
             ExitCode::FAILURE
@@ -71,7 +71,7 @@ fn check_bench(args: &[String]) -> ExitCode {
 /// The actionable reorder recipe shown by every ordering error.
 const MERGE_RECIPE: &str =
     "\x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve serve-drift \
-     serve-restart";
+     serve-restart serve-rebudget";
 
 /// Rejects experiment orderings that would corrupt `BENCH_serve.json`.
 ///
@@ -110,7 +110,7 @@ fn merge_ordering_error(ids: &[String], sweep_on_disk: bool, merge_id: &str) -> 
 
 /// Checks every merging experiment's ordering (first error wins).
 fn ordering_error(ids: &[String], sweep_on_disk: bool) -> Option<String> {
-    ["serve-drift", "serve-restart"]
+    ["serve-drift", "serve-restart", "serve-rebudget"]
         .iter()
         .find_map(|merge_id| merge_ordering_error(ids, sweep_on_disk, merge_id))
 }
@@ -160,12 +160,16 @@ fn main() -> ExitCode {
         }
     }
     // Sweep rows are the ones carrying no merge marker: drift rows carry
-    // `slo_on`, restart rows carry `restart`.
+    // `slo_on`, restart rows carry `restart`, rebudget rows `rebudget`.
     let sweep_on_disk = std::fs::read_to_string("BENCH_serve.json")
         .ok()
         .and_then(|text| bandana_bench::parse_document(&text).ok())
         .is_some_and(|doc| {
-            doc.rows.iter().any(|r| !r.contains_key("slo_on") && !r.contains_key("restart"))
+            doc.rows.iter().any(|r| {
+                !r.contains_key("slo_on")
+                    && !r.contains_key("restart")
+                    && !r.contains_key("rebudget")
+            })
         });
     if let Some(message) = ordering_error(&ids, sweep_on_disk) {
         eprintln!("{message}");
@@ -227,6 +231,25 @@ mod tests {
         assert_eq!(ordering_error(&ids(&["serve-restart"]), true), None);
         let msg = ordering_error(&ids(&["serve-restart"]), false)
             .expect("restart without a sweep document must be rejected");
+        assert!(msg.contains("no sweep document"), "{msg}");
+    }
+
+    #[test]
+    fn rebudget_ordering_is_validated() {
+        // The full healthy pipeline passes, in any merge order.
+        let all = ids(&["serve", "serve-drift", "serve-restart", "serve-rebudget"]);
+        assert_eq!(ordering_error(&all, false), None);
+        assert_eq!(ordering_error(&ids(&["serve", "serve-rebudget", "serve-drift"]), false), None);
+        // Rebudget before serve clobbers the merge — always an error.
+        let msg = ordering_error(&ids(&["serve-rebudget", "serve"]), true)
+            .expect("rebudget-before-serve must be rejected");
+        assert!(msg.contains("serve-rebudget is listed before serve"), "{msg}");
+        assert!(msg.contains("serve-rebudget"), "recipe names the rebudget scenario: {msg}");
+        // Rebudget alone is fine only when a sweep document already
+        // exists on disk.
+        assert_eq!(ordering_error(&ids(&["serve-rebudget"]), true), None);
+        let msg = ordering_error(&ids(&["serve-rebudget"]), false)
+            .expect("rebudget without a sweep document must be rejected");
         assert!(msg.contains("no sweep document"), "{msg}");
     }
 }

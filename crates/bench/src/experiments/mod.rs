@@ -26,6 +26,7 @@
 //! | [`serve_latency`] | serving engine: open-loop latency vs offered load (`BENCH_serve.json`) |
 //! | [`serve_drift`] | serving under drift: SLO controller on vs off, per-tenant windowed p99 and shed composition (appends to `BENCH_serve.json`) |
 //! | [`serve_restart`] | warm restart (WAL + snapshot recovery) vs cold start: first-window p99 and drive-write accounting across a restart (appends to `BENCH_serve.json`) |
+//! | [`serve_rebudget`] | online DRAM re-budgeting under hot-table migration: cache budget controller on vs off, tail-window hit rate and p99 recovery (appends to `BENCH_serve.json`) |
 
 pub mod ablate;
 pub mod common;
@@ -49,6 +50,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod serve_drift;
 pub mod serve_latency;
+pub mod serve_rebudget;
 pub mod serve_restart;
 pub mod tab01;
 pub mod tab02;
@@ -79,6 +81,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "serve",
     "serve-drift",
     "serve-restart",
+    "serve-rebudget",
 ];
 
 /// Runs one experiment by id and returns its rendered artifact.
@@ -114,6 +117,7 @@ pub fn run_by_id(id: &str, scale: crate::Scale) -> String {
         "serve" => serve_latency::run_and_save(scale),
         "serve-drift" => serve_drift::run_and_save(scale),
         "serve-restart" => serve_restart::run_and_save(scale),
+        "serve-rebudget" => serve_rebudget::run_and_save(scale),
         other => panic!("unknown experiment id {other:?}; valid ids: {ALL_EXPERIMENTS:?}"),
     }
 }

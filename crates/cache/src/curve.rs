@@ -1,0 +1,227 @@
+//! Online hit-rate-curve estimation from a sampled key stream.
+//!
+//! The offline pipeline builds [`HitRateCurve`]s from training traces and
+//! solves the DRAM split once, at build time. To close the paper's loop
+//! online (§4.3.3), each table needs a *fresh* curve that tracks the live
+//! access mix. [`CurveSampler`] applies the miniature-cache technique of
+//! [`crate::mini::MiniatureCacheSet`] across cache *sizes* instead of
+//! admission thresholds: a spatially-sampled slice of the key stream (rate
+//! `R`, SHARDS-style) is fed through a ladder of miniature LRU caches, one
+//! per candidate size, each scaled to `max(1, size × R)` entries. The LRU
+//! stack property guarantees a larger rung never has fewer hits on the same
+//! stream, so the measured points are always monotone and
+//! [`HitRateCurve::new`] accepts them.
+
+use crate::hrc::HitRateCurve;
+use crate::lru::SegmentedLru;
+use crate::mini::SampledStream;
+
+/// One miniature cache in the size ladder.
+#[derive(Debug, Clone)]
+struct Rung {
+    /// Real (unsampled) cache size this rung models, in entries.
+    entries: usize,
+    cache: SegmentedLru<()>,
+    hits: u64,
+    lookups: u64,
+}
+
+/// Maintains an online per-table [`HitRateCurve`] by simulating a ladder of
+/// miniature LRU caches over a sampled key stream.
+///
+/// Counters are windowed: [`CurveSampler::reset_window`] zeroes the hit/
+/// lookup counters while keeping the miniature caches warm, so each window
+/// measures the steady-state hit rate of the *current* access mix — exactly
+/// what a drift-chasing budget controller needs.
+///
+/// # Example
+///
+/// ```
+/// use bandana_cache::CurveSampler;
+///
+/// let mut sampler = CurveSampler::new(1024, 4, 1.0, 7);
+/// for round in 0..32u32 {
+///     for v in 0..128u32 {
+///         sampler.observe(v + (round % 2));
+///     }
+/// }
+/// let curve = sampler.curve().expect("observed a full window");
+/// // 256 entries already hold the ~129-key working set.
+/// assert!(curve.hit_rate_at(256) > 0.9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurveSampler {
+    sampler: SampledStream,
+    rungs: Vec<Rung>,
+    observed: u64,
+    sampled: u64,
+}
+
+impl CurveSampler {
+    /// Creates a sampler whose curve spans `(0, max_entries]` with `rungs`
+    /// evenly spaced sizes, simulating at sampling rate `rate`.
+    ///
+    /// `max_entries` should be the *total* budget a table could conceivably
+    /// receive (not its current share), so the solver can see the gain of
+    /// growing a table past its current allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` or `rungs` is zero, or `rate` is outside
+    /// `(0, 1]`.
+    pub fn new(max_entries: usize, rungs: usize, rate: f64, salt: u64) -> Self {
+        assert!(max_entries > 0, "curve needs a non-zero size range");
+        assert!(rungs > 0, "need at least one rung");
+        let sampler = SampledStream::new(rate, salt);
+        let mut ladder: Vec<Rung> = Vec::with_capacity(rungs);
+        for i in 1..=rungs {
+            let entries = (max_entries * i / rungs).max(1);
+            if ladder.last().is_some_and(|r| r.entries == entries) {
+                continue;
+            }
+            let mini = ((entries as f64 * rate).round() as usize).max(1);
+            ladder.push(Rung { entries, cache: SegmentedLru::new(mini, 1), hits: 0, lookups: 0 });
+        }
+        CurveSampler { sampler, rungs: ladder, observed: 0, sampled: 0 }
+    }
+
+    /// Feeds one lookup through the sampler.
+    pub fn observe(&mut self, v: u32) {
+        self.observed += 1;
+        if !self.sampler.keeps(v) {
+            return;
+        }
+        self.sampled += 1;
+        for rung in &mut self.rungs {
+            rung.lookups += 1;
+            if rung.cache.get(u64::from(v)).is_some() {
+                rung.hits += 1;
+            } else {
+                rung.cache.insert(u64::from(v), (), 0.0);
+            }
+        }
+    }
+
+    /// Feeds a whole query.
+    pub fn observe_all(&mut self, ids: &[u32]) {
+        for &v in ids {
+            self.observe(v);
+        }
+    }
+
+    /// Total lookups seen since construction (sampled or not).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Lookups that passed the spatial sampler in the current window.
+    pub fn window_lookups(&self) -> u64 {
+        self.rungs.first().map_or(0, |r| r.lookups)
+    }
+
+    /// The current-window hit-rate curve, or `None` if the window has no
+    /// sampled lookups yet.
+    pub fn curve(&self) -> Option<HitRateCurve> {
+        if self.window_lookups() == 0 {
+            return None;
+        }
+        let points =
+            self.rungs.iter().map(|r| (r.entries, r.hits as f64 / r.lookups as f64)).collect();
+        Some(HitRateCurve::new(points))
+    }
+
+    /// Starts a new measurement window: zeroes the hit/lookup counters but
+    /// keeps the miniature caches warm.
+    pub fn reset_window(&mut self) {
+        for rung in &mut self.rungs {
+            rung.hits = 0;
+            rung.lookups = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_on_any_stream() {
+        let mut sampler = CurveSampler::new(64, 8, 1.0, 3);
+        let mut x = 11u64;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            sampler.observe((x >> 33) as u32 % 200);
+        }
+        let curve = sampler.curve().expect("stream was observed");
+        for w in curve.points().windows(2) {
+            assert!(w[1].1 + 1e-12 >= w[0].1, "curve not monotone: {w:?}");
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_no_curve() {
+        let sampler = CurveSampler::new(64, 4, 1.0, 0);
+        assert!(sampler.curve().is_none());
+        let mut sampler = sampler;
+        sampler.observe(1);
+        sampler.reset_window();
+        assert!(sampler.curve().is_none(), "reset window starts empty");
+    }
+
+    #[test]
+    fn small_working_set_saturates_early() {
+        let mut sampler = CurveSampler::new(1000, 10, 1.0, 5);
+        for _ in 0..100 {
+            for v in 0..50u32 {
+                sampler.observe(v);
+            }
+        }
+        let curve = sampler.curve().unwrap();
+        // 100 entries hold the whole 50-key working set; 1000 adds nothing.
+        let at_small = curve.hit_rate_at(100);
+        assert!(at_small > 0.9, "working set should fit: {at_small}");
+        assert!(curve.hit_rate_at(1000) - at_small < 0.05);
+    }
+
+    #[test]
+    fn windowed_counters_track_drift() {
+        let mut sampler = CurveSampler::new(256, 8, 1.0, 9);
+        // Phase 1: tiny hot set.
+        for _ in 0..200 {
+            for v in 0..8u32 {
+                sampler.observe(v);
+            }
+        }
+        let hot = sampler.curve().unwrap().hit_rate_at(64);
+        sampler.reset_window();
+        // Phase 2: wide scan, no reuse within the window until wrap.
+        for round in 0..4u32 {
+            for v in 0..1024u32 {
+                sampler.observe(v + round * 1024);
+            }
+        }
+        let cold = sampler.curve().unwrap().hit_rate_at(64);
+        assert!(hot > 0.9, "hot phase should hit: {hot}");
+        assert!(cold < 0.1, "scan phase should miss: {cold}");
+    }
+
+    #[test]
+    fn sampling_rate_shrinks_the_rungs() {
+        let sampler = CurveSampler::new(1000, 4, 0.1, 1);
+        for rung in &sampler.rungs {
+            let expected = ((rung.entries as f64 * 0.1).round() as usize).max(1);
+            assert_eq!(rung.cache.capacity(), expected);
+        }
+    }
+
+    #[test]
+    fn duplicate_ladder_sizes_are_merged() {
+        // max_entries smaller than the rung count would produce duplicate
+        // 1-entry rungs without the dedup.
+        let sampler = CurveSampler::new(3, 8, 1.0, 0);
+        let sizes: Vec<usize> = sampler.rungs.iter().map(|r| r.entries).collect();
+        let mut deduped = sizes.clone();
+        deduped.dedup();
+        assert_eq!(sizes, deduped, "ladder sizes must be strictly increasing");
+    }
+}

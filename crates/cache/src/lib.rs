@@ -40,6 +40,7 @@
 pub mod admission;
 pub mod alloc;
 pub mod allocator;
+pub mod curve;
 pub mod hrc;
 pub mod lru;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod sim;
 pub use admission::AdmissionPolicy;
 pub use alloc::{allocate_dram, allocation_hit_rate};
 pub use allocator::{allocate_with, compare_policies, AllocationPolicy};
+pub use curve::CurveSampler;
 pub use hrc::HitRateCurve;
 pub use lru::SegmentedLru;
 pub use metrics::CacheMetrics;

@@ -85,7 +85,13 @@ impl<V> SegmentedLru<V> {
         SegmentedLru {
             nodes: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            // 2× headroom keeps the live count at or below half the bucket
+            // array. Delete-heavy workloads leave tombstones behind, and the
+            // std hash table only *allocates* on the resulting rebuild when
+            // occupancy exceeds half the buckets — below that it rehashes in
+            // place. The steady-state zero-allocation guarantee on the read
+            // path depends on staying on that in-place branch.
+            index: HashMap::with_capacity(capacity.saturating_mul(2)),
             segments: vec![SegmentList::new(); segments],
             targets,
             capacity,
@@ -111,6 +117,12 @@ impl<V> SegmentedLru<V> {
     /// Number of evictions so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Per-segment capacity targets; they always sum to
+    /// [`SegmentedLru::capacity`].
+    pub fn segment_targets(&self) -> &[usize] {
+        &self.targets
     }
 
     /// Whether `key` is cached, *without* touching recency.
@@ -168,6 +180,42 @@ impl<V> SegmentedLru<V> {
         self.index.insert(key, id);
         self.link_head(id, seg);
         self.rebalance(seg)
+    }
+
+    /// Changes the capacity online, returning the entries evicted by a
+    /// shrink (coldest first; empty on grow).
+    ///
+    /// Growing takes effect immediately: the raised per-segment targets
+    /// admit new inserts without evicting anything. Shrinking evicts in
+    /// exactly the order [`SegmentedLru::pop_lru`] would — coldest first —
+    /// until the occupancy fits, and never touches the survivors, so their
+    /// relative recency order is preserved. Segments whose occupancy now
+    /// exceeds the smaller targets shed lazily through the usual rebalance
+    /// cascade on subsequent inserts.
+    ///
+    /// The segment count is fixed at construction, so `capacity` is clamped
+    /// to at least the segment count (every segment keeps a non-zero
+    /// target).
+    pub fn set_capacity(&mut self, capacity: usize) -> Vec<(u64, V)> {
+        let capacity = capacity.max(self.segments.len());
+        let segments = self.segments.len();
+        let base = capacity / segments;
+        let remainder = capacity % segments;
+        for (i, target) in self.targets.iter_mut().enumerate() {
+            *target = base + usize::from(i < remainder);
+        }
+        self.capacity = capacity;
+        // Keep the constructor's 2× index headroom through grows so
+        // tombstone-driven rebuilds stay on the alloc-free in-place path
+        // (see `new`). `reserve` takes *additional* slots beyond `len`.
+        self.index.reserve(capacity.saturating_mul(2).saturating_sub(self.index.len()));
+        let mut shed = Vec::new();
+        while self.len() > capacity {
+            let entry = self.pop_lru().expect("occupancy above capacity implies a tail");
+            self.evictions += 1;
+            shed.push(entry);
+        }
+        shed
     }
 
     /// Pops the least-recently-used entry (the tail of the last non-empty
@@ -476,6 +524,70 @@ mod tests {
         assert_eq!(lru.len(), 4);
         // The slab should not have grown past capacity + O(1).
         assert!(lru.nodes.len() <= 8, "slab grew to {}", lru.nodes.len());
+    }
+
+    #[test]
+    fn shrink_evicts_coldest_first_and_preserves_survivor_order() {
+        let mut lru = SegmentedLru::new(6, 1);
+        for k in 0..6u64 {
+            lru.insert(k, k, 0.0);
+        }
+        // Order is MRU-first: [5, 4, 3, 2, 1, 0].
+        let shed = lru.set_capacity(3);
+        assert_eq!(shed.iter().map(|&(k, _)| k).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(lru.keys_in_order(), vec![5, 4, 3], "survivors keep recency order");
+        assert_eq!(lru.capacity(), 3);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.evictions(), 3);
+    }
+
+    #[test]
+    fn grow_admits_immediately_without_evicting() {
+        let mut lru = SegmentedLru::new(2, 1);
+        lru.insert(1, (), 0.0);
+        lru.insert(2, (), 0.0);
+        assert!(lru.set_capacity(4).is_empty(), "grow must not evict");
+        assert!(lru.insert(3, (), 0.0).is_none());
+        assert!(lru.insert(4, (), 0.0).is_none());
+        assert_eq!(lru.evictions(), 0);
+        assert_eq!(lru.len(), 4);
+        // The fifth insert evicts again at the new capacity.
+        assert_eq!(lru.insert(5, (), 0.0), Some((1, ())));
+    }
+
+    #[test]
+    fn set_capacity_targets_sum_to_capacity_multi_segment() {
+        let mut lru = SegmentedLru::<u64>::new(16, 4);
+        for capacity in [7usize, 16, 5, 33, 4] {
+            lru.set_capacity(capacity);
+            assert_eq!(lru.targets.iter().sum::<usize>(), lru.capacity());
+            assert!(lru.targets.iter().all(|&t| t > 0), "every segment keeps a share");
+        }
+    }
+
+    #[test]
+    fn set_capacity_clamps_to_segment_count() {
+        let mut lru = SegmentedLru::<()>::new(8, 4);
+        lru.set_capacity(1);
+        assert_eq!(lru.capacity(), 4, "capacity clamps to the segment count");
+    }
+
+    #[test]
+    fn shrink_grow_round_trip_keeps_survivors() {
+        let mut lru = SegmentedLru::new(8, 4);
+        for k in 0..8u64 {
+            lru.insert(k, k, (k % 4) as f64 / 4.0);
+        }
+        let before = lru.keys_in_order();
+        let shed: Vec<u64> = lru.set_capacity(5).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(shed.len(), 3);
+        lru.set_capacity(8);
+        let after = lru.keys_in_order();
+        let expected: Vec<u64> = before.into_iter().filter(|k| !shed.contains(k)).collect();
+        assert_eq!(after, expected, "round trip must keep survivors in order");
+        for k in &after {
+            assert!(lru.contains(*k));
+        }
     }
 
     #[test]

@@ -135,6 +135,73 @@ proptest! {
         prop_assert!(run(big) >= run(small));
     }
 
+    /// `set_capacity` keeps the structural invariants for any resize
+    /// schedule: `targets` always sum to `capacity`, occupancy never
+    /// exceeds it, and a shrink→grow round trip never loses a survivor or
+    /// reorders one.
+    #[test]
+    fn set_capacity_round_trip_preserves_survivors(
+        capacity in 4usize..24,
+        segments in 1usize..4,
+        ops in proptest::collection::vec((0u64..48, 0..=10u32), 1..200),
+        shrink_to in 1usize..12,
+    ) {
+        let mut lru = SegmentedLru::new(capacity, segments);
+        for (key, pos10) in ops {
+            lru.insert(key, key, f64::from(pos10) / 10.0);
+        }
+        let before = lru.keys_in_order();
+        let shed: Vec<u64> = lru.set_capacity(shrink_to).into_iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(lru.segment_targets().iter().sum::<usize>(), lru.capacity());
+        prop_assert!(lru.len() <= lru.capacity());
+        // Shrink evicts coldest-first: the shed keys are exactly the tail
+        // of the pre-shrink recency order, coldest first.
+        let expected_shed: Vec<u64> = before.iter().rev().take(shed.len()).copied().collect();
+        prop_assert_eq!(&shed, &expected_shed);
+        lru.set_capacity(capacity);
+        prop_assert_eq!(lru.segment_targets().iter().sum::<usize>(), lru.capacity());
+        let survivors: Vec<u64> =
+            before.iter().filter(|k| !shed.contains(k)).copied().collect();
+        prop_assert_eq!(lru.keys_in_order(), survivors);
+    }
+
+    /// After a shrink, a single-segment queue behaves exactly like a
+    /// freshly built LRU of the smaller size holding the same survivors:
+    /// identical hits, evictions, and recency order from then on.
+    #[test]
+    fn shrunk_lru_matches_fresh_lru_of_same_size(
+        warmup in proptest::collection::vec(0u64..32, 1..150),
+        ops in proptest::collection::vec(op_strategy(32), 1..150),
+        capacity in 2usize..16,
+        shrink_to in 1usize..8,
+    ) {
+        let mut subject = SegmentedLru::new(capacity, 1);
+        for &k in &warmup {
+            subject.insert(k, k, 0.0);
+        }
+        subject.set_capacity(shrink_to);
+        // A fresh LRU of the shrunken size seeded with the survivors in
+        // recency order (coldest inserted first).
+        let mut fresh = SegmentedLru::new(shrink_to.max(1), 1);
+        for &k in subject.keys_in_order().iter().rev() {
+            fresh.insert(k, k, 0.0);
+        }
+        prop_assert_eq!(subject.keys_in_order(), fresh.keys_in_order());
+        for op in ops {
+            match op {
+                Op::Get(k) => {
+                    prop_assert_eq!(subject.get(k).is_some(), fresh.get(k).is_some());
+                }
+                Op::Insert(k) => {
+                    let e1 = subject.insert(k, k, 0.0).map(|(key, _)| key);
+                    let e2 = fresh.insert(k, k, 0.0).map(|(key, _)| key);
+                    prop_assert_eq!(e1, e2, "eviction order diverged from fresh LRU");
+                }
+            }
+            prop_assert_eq!(subject.keys_in_order(), fresh.keys_in_order());
+        }
+    }
+
     /// Prefetch admission never changes correctness-level counters: lookups
     /// and the hit/miss partition stay consistent for every policy.
     #[test]

@@ -232,7 +232,31 @@ impl ConcurrentStore {
         Ok(ThroughputReport { lookups: trace.total_lookups() as u64, threads, wall_seconds })
     }
 
-    /// Per-table metrics.
+    /// Applies a new DRAM partition to one table's cache (see
+    /// [`TableStore::set_cache_capacity`]). Only that table's lock is
+    /// taken — never the device lock — so the table → device lock order is
+    /// trivially preserved and in-flight lookups on other tables are
+    /// unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandanaError::NoSuchTable`] for a bad index.
+    pub fn set_cache_capacity(&self, table: usize, entries: usize) -> Result<(), BandanaError> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or(BandanaError::NoSuchTable { table, tables: self.tables.len() })?;
+        t.lock().set_cache_capacity(entries);
+        Ok(())
+    }
+
+    /// Per-table DRAM cache capacities in vectors, in table order.
+    pub fn cache_capacities(&self) -> Vec<usize> {
+        self.tables.iter().map(|t| t.lock().cache_capacity()).collect()
+    }
+
+    /// Per-table metrics — the per-table hit/miss counters an online
+    /// curve sampler diffs between control ticks.
     pub fn table_metrics(&self) -> Vec<CacheMetrics> {
         self.tables.iter().map(|t| *t.lock().metrics()).collect()
     }
@@ -344,6 +368,27 @@ mod tests {
             hi / lo < 1.2,
             "parallel reads {parallel_reads} diverge from sequential {sequential_reads}"
         );
+    }
+
+    #[test]
+    fn set_cache_capacity_repartitions_live_store() {
+        let (store, mut generator, _) = build_concurrent(6);
+        let serving = generator.generate_requests(100);
+        store.serve_trace_parallel(&serving, 2).expect("serve");
+        let before = store.cache_capacities();
+        assert!(before.len() >= 2);
+        store.set_cache_capacity(0, before[0] / 2).expect("shrink table 0");
+        store.set_cache_capacity(1, before[1] * 2).expect("grow table 1");
+        let after = store.cache_capacities();
+        assert!(after[0] < before[0]);
+        assert_eq!(after[1], before[1] * 2);
+        assert!(matches!(
+            store.set_cache_capacity(99, 16).unwrap_err(),
+            BandanaError::NoSuchTable { table: 99, .. }
+        ));
+        // The store still serves correctly after the repartition.
+        let more = generator.generate_requests(50);
+        store.serve_trace_parallel(&more, 2).expect("serve after repartition");
     }
 
     #[test]

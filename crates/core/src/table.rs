@@ -162,6 +162,23 @@ impl TableStore {
         }
     }
 
+    /// Resizes the DRAM cache online (the budget controller's lever).
+    ///
+    /// Growing admits immediately; shrinking evicts coldest-first without
+    /// touching the survivors (the shed entries count as evictions). The
+    /// shadow cache, when present, is rebuilt at the new capacity — its
+    /// admission history restarts, like a policy change. The buffer pool
+    /// is deliberately left warm so steady-state lookups stay
+    /// allocation-free across a resize. `entries` is clamped to at least
+    /// the LRU's segment count.
+    pub fn set_cache_capacity(&mut self, entries: usize) {
+        let shed = self.cache.set_capacity(entries);
+        self.metrics.evictions += shed.len() as u64;
+        if self.shadow.is_some() {
+            self.shadow = Some(ShadowCache::new(self.cache.capacity(), self.shadow_multiplier));
+        }
+    }
+
     /// The counters accumulated so far.
     pub fn metrics(&self) -> &CacheMetrics {
         &self.metrics
@@ -596,6 +613,41 @@ mod tests {
         assert!(table.shadow.is_some());
         table.set_policy(AdmissionPolicy::Threshold { t: 5 }, 1.5);
         assert!(table.shadow.is_none());
+    }
+
+    #[test]
+    fn set_cache_capacity_resizes_without_flushing_hot_entries() {
+        let (mut table, mut device, emb) = setup(AdmissionPolicy::None, 64);
+        for v in 0..20u32 {
+            table.lookup(&mut device, v).unwrap();
+        }
+        // Shrink to 16: the 16 most recent (4..20) survive in order.
+        table.set_cache_capacity(16);
+        assert_eq!(table.cache_capacity(), 16);
+        assert_eq!(
+            table.cache_snapshot().iter().map(|e| e.0).collect::<Vec<_>>(),
+            (4..20u32).rev().collect::<Vec<_>>(),
+            "shrink must keep the most recent entries in order"
+        );
+        let reads = device.counters().reads;
+        let got = table.lookup(&mut device, 19).unwrap();
+        assert_eq!(got.as_ref(), emb.vector_as_bytes(19).as_slice());
+        assert_eq!(device.counters().reads, reads, "survivor must still hit in DRAM");
+        // Grow back: admits immediately, survivors untouched.
+        let evictions = table.metrics().evictions;
+        table.set_cache_capacity(64);
+        table.lookup(&mut device, 0).unwrap();
+        assert_eq!(table.metrics().evictions, evictions, "grow must not evict");
+        assert_eq!(table.cache_capacity(), 64);
+    }
+
+    #[test]
+    fn set_cache_capacity_rebuilds_shadow_at_new_size() {
+        let (mut table, _, _) = setup(AdmissionPolicy::Shadow, 64);
+        assert!(table.shadow.is_some());
+        table.set_cache_capacity(32);
+        let shadow = table.shadow.as_ref().expect("shadow survives resize");
+        assert_eq!(shadow.capacity(), (32.0 * 1.5) as usize);
     }
 
     #[test]

@@ -87,8 +87,8 @@ pub use crc::crc32;
 pub use error::PersistError;
 pub use faults::{flip_bit, CrashPoint, FaultPlan};
 pub use snapshot::{
-    load_latest, snapshot_path, write_snapshot, KeyOrigin, SnapshotData, TableSnapshot,
-    SNAPSHOT_VERSION,
+    load_latest, prune_snapshots, snapshot_path, write_snapshot, KeyOrigin, SnapshotData,
+    TableSnapshot, MIN_SNAPSHOT_VERSION, SNAPSHOT_VERSION,
 };
 pub use wal::{replay, Wal, WalRecord, WalReplay, MAX_RECORD_BYTES};
 
@@ -108,18 +108,24 @@ pub struct PersistConfig {
     /// Take a snapshot every N control-bus ticks (0 disables periodic
     /// snapshots; explicit snapshots still work).
     pub snapshot_every_ticks: u64,
+    /// How many installed snapshots each install leaves on disk
+    /// (newest-first; older ones are garbage-collected). Clamped to a
+    /// minimum of 2 so the corrupt-newest fallback always has a
+    /// predecessor.
+    pub keep_snapshots: usize,
     /// Crash-point injection plan (armed only by tests).
     pub faults: Arc<FaultPlan>,
 }
 
 impl PersistConfig {
-    /// Defaults: fsync every 8 appends, snapshot every 50 ticks, no
-    /// faults armed.
+    /// Defaults: fsync every 8 appends, snapshot every 50 ticks, keep
+    /// the newest 2 snapshots, no faults armed.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         PersistConfig {
             dir: dir.into(),
             fsync_every: 8,
             snapshot_every_ticks: 50,
+            keep_snapshots: 2,
             faults: FaultPlan::none(),
         }
     }
@@ -134,6 +140,12 @@ impl PersistConfig {
     /// disables periodic snapshots).
     pub fn with_snapshot_every_ticks(mut self, ticks: u64) -> Self {
         self.snapshot_every_ticks = ticks;
+        self
+    }
+
+    /// Sets how many installed snapshots to retain (clamped to ≥ 2).
+    pub fn with_keep_snapshots(mut self, keep: usize) -> Self {
+        self.keep_snapshots = keep.max(2);
         self
     }
 
@@ -162,6 +174,7 @@ pub struct Persistence {
     wal: Mutex<Wal>,
     next_snapshot_seq: AtomicU64,
     snapshot_every_ticks: u64,
+    keep_snapshots: usize,
     faults: Arc<FaultPlan>,
 }
 
@@ -187,6 +200,7 @@ impl Persistence {
             wal: Mutex::new(wal),
             next_snapshot_seq: AtomicU64::new(next_seq),
             snapshot_every_ticks: config.snapshot_every_ticks,
+            keep_snapshots: config.keep_snapshots,
             faults: Arc::clone(&config.faults),
         };
         Ok((persistence, Opened { snapshot, wal: replayed }))
@@ -244,7 +258,11 @@ impl Persistence {
     /// next one).
     pub fn install_snapshot(&self, data: &SnapshotData) -> Result<PathBuf, PersistError> {
         let seq = self.next_snapshot_seq.fetch_add(1, Ordering::AcqRel);
-        write_snapshot(&self.dir, seq, data, &self.faults)
+        let path = write_snapshot(&self.dir, seq, data, &self.faults)?;
+        // Garbage-collect superseded snapshots only after the new one is
+        // durably installed; best-effort, never fails the install.
+        snapshot::prune_snapshots(&self.dir, self.keep_snapshots);
+        Ok(path)
     }
 }
 

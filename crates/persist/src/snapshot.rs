@@ -8,14 +8,14 @@
 //! catalog or tenant registry — those are WAL records
 //! ([`crate::WalRecord`]), replayed over the snapshot at recovery.
 //!
-//! # On-disk format (version 1)
+//! # On-disk format (version 2; version 1 still decodes)
 //!
 //! All integers little-endian:
 //!
 //! | field | size | meaning |
 //! |-------|------|---------|
 //! | magic | 4 bytes | `"BSNP"` |
-//! | version | `u32` | `1` |
+//! | version | `u32` | `2` (readers accept `1`) |
 //! | `written_at_ms` | `u64` | wall-clock Unix milliseconds at write |
 //! | `tick` | `u64` | control-bus tick the snapshot was taken on |
 //! | `shards` | `u32` | shard count |
@@ -32,6 +32,7 @@
 //! | policy tag | `u8` | 0 `None`, 1 `All`, 2 `Shadow`, 3 `ShadowPosition`, 4 `Threshold` |
 //! | policy arg | `f64` or `u32` | `position` for tags 1/3, `t` for tag 4, absent otherwise |
 //! | `shadow_multiplier` | `f64` | shadow-cache size multiplier |
+//! | `cache_capacity` | `u32` | **v2 only**: cache capacity in entries (the learned DRAM partition); decoded as `0` (= unknown) from v1 files |
 //! | `keys` | `u32` | cached-entry count |
 //! | per key | `u32` + `u8` | vector id, origin (0 demand, 1 prefetch), MRU→LRU |
 //!
@@ -53,8 +54,12 @@ use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"BSNP";
 
-/// The snapshot format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The snapshot format version this build writes.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The oldest snapshot version this build still decodes (version 1
+/// predates the per-table `cache_capacity` field, which decodes as 0).
+pub const MIN_SNAPSHOT_VERSION: u32 = 1;
 
 /// Where a cached entry came from, carried through snapshots so a
 /// rehydrated cache keeps its demand/prefetch split.
@@ -75,6 +80,12 @@ pub struct TableSnapshot {
     pub policy: AdmissionPolicy,
     /// Shadow-cache size multiplier in force.
     pub shadow_multiplier: f64,
+    /// Cache capacity in entries when the snapshot was taken — the
+    /// learned DRAM partition, so a warm restart resumes the budget
+    /// controller's split rather than the build-time one. `0` means
+    /// unknown (decoded from a version-1 file): recovery keeps the
+    /// build-time capacity.
+    pub cache_capacity: u32,
     /// Cached entries, MRU first: `(vector id, origin)`.
     pub keys: Vec<(u32, KeyOrigin)>,
 }
@@ -147,6 +158,7 @@ pub fn encode(data: &SnapshotData) -> Result<Vec<u8>, PersistError> {
         out.extend_from_slice(&t.table.to_le_bytes());
         encode_policy(&mut out, t.policy)?;
         out.extend_from_slice(&t.shadow_multiplier.to_le_bytes());
+        out.extend_from_slice(&t.cache_capacity.to_le_bytes());
         out.extend_from_slice(&(t.keys.len() as u32).to_le_bytes());
         for &(id, origin) in &t.keys {
             out.extend_from_slice(&id.to_le_bytes());
@@ -186,9 +198,10 @@ pub fn decode(data: &[u8]) -> Result<SnapshotData, PersistError> {
         return Err(corrupt("bad magic"));
     }
     let version = r.u32().ok_or_else(|| corrupt("short version"))?;
-    if version != SNAPSHOT_VERSION {
+    if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(PersistError::Corrupt(format!(
-            "snapshot: unsupported version {version} (this build reads {SNAPSHOT_VERSION})"
+            "snapshot: unsupported version {version} \
+             (this build reads {MIN_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION})"
         )));
     }
     let written_at_ms = r.u64().ok_or_else(|| corrupt("short header"))?;
@@ -207,6 +220,9 @@ pub fn decode(data: &[u8]) -> Result<SnapshotData, PersistError> {
         let table = r.u32().ok_or_else(|| corrupt("short table header"))?;
         let policy = decode_policy(&mut r).ok_or_else(|| corrupt("bad policy"))?;
         let shadow_multiplier = r.f64().ok_or_else(|| corrupt("short table header"))?;
+        // Version 1 predates the learned-partition field.
+        let cache_capacity =
+            if version >= 2 { r.u32().ok_or_else(|| corrupt("short table header"))? } else { 0 };
         let key_count = r.u32().ok_or_else(|| corrupt("short table header"))? as usize;
         if key_count > 1 << 28 {
             return Err(corrupt("absurd key count"));
@@ -221,7 +237,7 @@ pub fn decode(data: &[u8]) -> Result<SnapshotData, PersistError> {
             };
             keys.push((id, origin));
         }
-        out_tables.push(TableSnapshot { table, policy, shadow_multiplier, keys });
+        out_tables.push(TableSnapshot { table, policy, shadow_multiplier, cache_capacity, keys });
     }
     if !r.done() {
         return Err(corrupt("trailing bytes"));
@@ -275,6 +291,31 @@ fn sync_dir(dir: &Path) -> std::io::Result<()> {
         Ok(f) => f.sync_all(),
         Err(_) => Ok(()),
     }
+}
+
+/// Deletes installed snapshots beyond the newest `keep` (clamped to a
+/// minimum of 2, so the newest-first corrupt-fallback path always has a
+/// predecessor to land on). Temp files and non-snapshot entries are
+/// untouched; a snapshot that fails to delete is skipped silently (GC is
+/// best-effort — the next install retries). Returns how many files were
+/// removed.
+pub fn prune_snapshots(dir: &Path, keep: usize) -> usize {
+    let keep = keep.max(2);
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let mut seqs: Vec<u64> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_str()?;
+            let seq = name.strip_prefix("snapshot-")?.strip_suffix(".bin")?;
+            seq.parse().ok()
+        })
+        .collect();
+    seqs.sort_unstable_by(|a, b| b.cmp(a));
+    seqs.iter()
+        .skip(keep)
+        .filter(|&&seq| std::fs::remove_file(snapshot_path(dir, seq)).is_ok())
+        .count()
 }
 
 /// Loads the newest installed snapshot in `dir` that passes validation,
@@ -332,12 +373,14 @@ mod tests {
                     table: 0,
                     policy: AdmissionPolicy::Threshold { t: 10 },
                     shadow_multiplier: 4.0,
+                    cache_capacity: 384,
                     keys: vec![(7, KeyOrigin::Demand), (3, KeyOrigin::Prefetch)],
                 },
                 TableSnapshot {
                     table: 1,
                     policy: AdmissionPolicy::ShadowPosition { position: 0.5 },
                     shadow_multiplier: 2.0,
+                    cache_capacity: 128,
                     keys: vec![],
                 },
             ],
@@ -365,6 +408,84 @@ mod tests {
         bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
         let err = decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("unsupported version"), "{err}");
+    }
+
+    /// Hand-encodes `data` in the version-1 layout (no per-table
+    /// `cache_capacity`), byte-for-byte what a v1 build wrote.
+    fn encode_v1(data: &SnapshotData) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&data.written_at_ms.to_le_bytes());
+        out.extend_from_slice(&data.tick.to_le_bytes());
+        out.extend_from_slice(&(data.shard_endurance_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(data.tables.len() as u32).to_le_bytes());
+        for &bytes in &data.shard_endurance_bytes {
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        for t in &data.tables {
+            out.extend_from_slice(&t.table.to_le_bytes());
+            encode_policy(&mut out, t.policy).unwrap();
+            out.extend_from_slice(&t.shadow_multiplier.to_le_bytes());
+            out.extend_from_slice(&(t.keys.len() as u32).to_le_bytes());
+            for &(id, origin) in &t.keys {
+                out.extend_from_slice(&id.to_le_bytes());
+                out.push(match origin {
+                    KeyOrigin::Demand => 0,
+                    KeyOrigin::Prefetch => 1,
+                });
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn version_1_files_still_decode_with_unknown_capacity() {
+        let data = sample();
+        let decoded = decode(&encode_v1(&data)).unwrap();
+        assert_eq!(decoded.tick, data.tick);
+        assert_eq!(decoded.shard_endurance_bytes, data.shard_endurance_bytes);
+        assert_eq!(decoded.tables.len(), data.tables.len());
+        for (got, want) in decoded.tables.iter().zip(&data.tables) {
+            assert_eq!(got.table, want.table);
+            assert_eq!(got.policy, want.policy);
+            assert_eq!(got.shadow_multiplier, want.shadow_multiplier);
+            assert_eq!(got.keys, want.keys);
+            assert_eq!(got.cache_capacity, 0, "v1 has no capacity: must decode as unknown");
+        }
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_k_and_never_fewer_than_two() {
+        let dir = tmp_dir("prune");
+        let faults = FaultPlan::none();
+        for seq in 1..=5u64 {
+            let mut data = sample();
+            data.tick = seq;
+            write_snapshot(&dir, seq, &data, &faults).unwrap();
+        }
+        // An orphaned temp file must never be touched by GC.
+        std::fs::write(dir.join("snapshot-9.bin.tmp"), b"partial").unwrap();
+
+        assert_eq!(prune_snapshots(&dir, 3), 2);
+        let (seq, data) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!((seq, data.tick), (5, 5), "recovery still prefers the newest");
+        assert!(!snapshot_path(&dir, 1).exists());
+        assert!(!snapshot_path(&dir, 2).exists());
+        assert!(snapshot_path(&dir, 3).exists());
+        assert!(dir.join("snapshot-9.bin.tmp").exists(), "temp files are not GC'd");
+
+        // keep=0 clamps to 2: the corrupt-newest fallback needs a
+        // predecessor on disk.
+        assert_eq!(prune_snapshots(&dir, 0), 1);
+        assert!(snapshot_path(&dir, 4).exists());
+        assert!(snapshot_path(&dir, 5).exists());
+        flip_bit(&snapshot_path(&dir, 5), 20, 1).unwrap();
+        let (seq, _) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(seq, 4, "after GC the fallback predecessor survives");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

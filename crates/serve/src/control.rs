@@ -36,7 +36,7 @@
 //! tenants' lanes, rather than late when its lane finally fills.
 
 use crate::hist::LatencySummary;
-use crate::tenant::{ShedBreakdown, TenantId};
+use crate::tenant::{PriorityClass, ShedBreakdown, TenantId};
 use bandana_cache::AdmissionPolicy;
 use nvm_sim::DepthStats;
 use std::time::Duration;
@@ -118,6 +118,10 @@ impl ShardSnapshot {
 pub struct TenantSnapshot {
     /// The tenant.
     pub id: TenantId,
+    /// Registered scheduling class — lets a controller weight a tenant's
+    /// traffic by how much the operator said it matters (the cache
+    /// budget controller scales each tenant's sampled accesses by class).
+    pub priority_class: PriorityClass,
     /// Registered recent-window p99 budget (`None` = no SLO).
     pub slo_p99: Option<Duration>,
     /// Requests currently in flight.
@@ -137,6 +141,24 @@ pub struct TenantSnapshot {
     /// End-to-end latency over the recent window (what SLO decisions are
     /// made from).
     pub recent: LatencySummary,
+}
+
+/// One table's slice of the engine's DRAM cache budget: the capacity the
+/// shard worker currently runs, and the capacity the cache budget
+/// controller last solved for it. The two differ while a re-partition is
+/// suppressed by hysteresis (or in flight to the worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableCachePartition {
+    /// The table.
+    pub table: usize,
+    /// Entries the table's DRAM cache is currently sized for (build-time
+    /// partition until the first applied
+    /// [`Action::SetCachePartition`]).
+    pub capacity_entries: usize,
+    /// Entries the last [`allocate_dram`](bandana_cache::allocate_dram)
+    /// solve assigned the table (equals `capacity_entries` until a
+    /// controller solves).
+    pub target_entries: usize,
 }
 
 /// A consistent periodic view of the engine, assembled by the metrics bus
@@ -162,6 +184,9 @@ pub struct EngineSnapshot {
     /// Per-tenant admission and recent-latency state; index 0 is the
     /// default tenant.
     pub tenants: Vec<TenantSnapshot>,
+    /// Per-table DRAM cache partition (current and target entries),
+    /// ordered by table id — how the fixed budget is divided right now.
+    pub cache_partition: Vec<TableCachePartition>,
 }
 
 impl EngineSnapshot {
@@ -209,6 +234,20 @@ pub enum Action {
         tenant: TenantId,
         /// `true` to shed, `false` to release.
         shed: bool,
+    },
+    /// Re-size one table's DRAM cache partition (the cache budget
+    /// controller's lever); routed to the owning shard's command channel
+    /// and applied between micro-batches. A grow admits immediately; a
+    /// shrink evicts coldest-first and never flushes the survivors.
+    SetCachePartition {
+        /// The table whose cache resizes.
+        table: usize,
+        /// The new capacity in entries.
+        entries: usize,
+        /// The hit-rate-curve points `(entries, hit_rate)` that justified
+        /// the re-partition — captured into the audit log so every budget
+        /// move is explainable after the fact.
+        curve: Vec<(usize, f64)>,
     },
 }
 
@@ -443,6 +482,7 @@ mod tests {
     fn tenant(id: u32, budget_ms: u64, p99_ms: f64, count: u64, shedding: bool) -> TenantSnapshot {
         TenantSnapshot {
             id: TenantId(id),
+            priority_class: PriorityClass::Normal,
             slo_p99: Some(Duration::from_millis(budget_ms)),
             outstanding: 0,
             submitted: count,
@@ -462,6 +502,7 @@ mod tests {
             batch_window: Duration::ZERO,
             shards: Vec::new(),
             tenants,
+            cache_partition: Vec::new(),
         }
     }
 

@@ -33,9 +33,10 @@
 //! budget, and any caller-supplied controllers
 //! ([`ShardedEngine::new_with_controllers`]).
 
+use crate::budget::{BudgetInputs, BudgetSample, CacheBudgetController, CacheBudgetSettings};
 use crate::control::{
     Action, ControlConfig, Controller, EngineSnapshot, ShardSnapshot, SloController,
-    SloControllerConfig, TenantSnapshot,
+    SloControllerConfig, TableCachePartition, TenantSnapshot,
 };
 use crate::hist::{LatencyBreakdown, LatencyHistogram, LatencySummary, WindowedHistogram};
 use crate::obs::{
@@ -106,6 +107,13 @@ pub struct ServeConfig {
     /// Enables the background admission-threshold tuner (re-homed as the
     /// first [`Controller`] on the engine's metrics bus).
     pub tuner: Option<OnlineTunerSettings>,
+    /// Enables the online DRAM [cache budget controller](crate::budget):
+    /// shard workers tee sampled cache probes onto the metrics bus, which
+    /// maintains per-table hit-rate curves and periodically re-solves the
+    /// DRAM split across tables against the fixed total budget, applying
+    /// [`Action::SetCachePartition`] moves that clear a hysteresis bar.
+    /// `None` (the default) keeps the build-time partition fixed.
+    pub cache_budget: Option<CacheBudgetSettings>,
     /// Registered tenants beyond the always-present default tenant
     /// ([`TenantId::DEFAULT`]); see [`ServeConfig::with_tenant`].
     pub tenants: Vec<(TenantId, TenantSpec)>,
@@ -145,6 +153,7 @@ impl Default for ServeConfig {
             max_batch: 1,
             device_queue: None,
             tuner: None,
+            cache_budget: None,
             tenants: Vec::new(),
             control: ControlConfig::default(),
             slo: None,
@@ -202,6 +211,13 @@ impl ServeConfig {
     /// Enables online threshold re-tuning.
     pub fn with_tuner(mut self, settings: OnlineTunerSettings) -> Self {
         self.tuner = Some(settings);
+        self
+    }
+
+    /// Enables the online DRAM cache budget controller (closed-loop
+    /// re-partitioning of the fixed total cache budget across tables).
+    pub fn with_cache_budget(mut self, settings: CacheBudgetSettings) -> Self {
+        self.cache_budget = Some(settings);
         self
     }
 
@@ -269,6 +285,9 @@ impl ServeConfig {
         }
         if let Some(t) = &self.tuner {
             t.validate()?;
+        }
+        if let Some(b) = &self.cache_budget {
+            b.validate()?;
         }
         self.control.validate()?;
         if let Some(s) = &self.slo {
@@ -372,6 +391,14 @@ pub(crate) enum ShardCommand {
     SetBatchWindow {
         /// The new window (zero disables cross-request batching).
         window: Duration,
+    },
+    /// Re-size one table's DRAM cache to its newly solved budget share
+    /// (grow admits immediately; shrink evicts coldest-first).
+    SetCachePartition {
+        /// Table id (owned by the receiving shard).
+        table: usize,
+        /// The new cache capacity in entries.
+        entries: usize,
     },
     /// Capture the shard's warm state (cache keys, policies, endurance)
     /// for a persistence snapshot, between micro-batches so the capture
@@ -500,6 +527,12 @@ struct Counters {
     tuner_swaps: AtomicU64,
     control_ticks: AtomicU64,
     control_actions: AtomicU64,
+    /// Budget-controller re-solves of the DRAM partition (each one
+    /// re-runs `allocate_dram` against fresh online curves).
+    rebudget_solves: AtomicU64,
+    /// [`Action::SetCachePartition`]s actually routed to a shard (solves
+    /// whose targets cleared the hysteresis bar).
+    rebudget_applied: AtomicU64,
 }
 
 impl Counters {
@@ -514,6 +547,8 @@ impl Counters {
             tuner_swaps: AtomicU64::new(0),
             control_ticks: AtomicU64::new(0),
             control_actions: AtomicU64::new(0),
+            rebudget_solves: AtomicU64::new(0),
+            rebudget_applied: AtomicU64::new(0),
         }
     }
 }
@@ -639,6 +674,13 @@ pub(crate) struct Shared {
     /// The flight recorder: the 1-in-N admission sampler plus one
     /// preallocated trace ring per shard.
     recorder: TraceRecorder,
+    /// The live per-table DRAM partition: `capacity_entries` tracks what
+    /// each table's cache is actually sized to (updated when a
+    /// [`Action::SetCachePartition`] is routed), `target_entries` the
+    /// budget controller's latest solve. Initialized from the build-time
+    /// partition and always present, so snapshots and gauges report the
+    /// split whether or not the controller is enabled.
+    cache_partition: Mutex<Vec<TableCachePartition>>,
     /// Bounded ring of control-plane decisions (the bus records every
     /// applied [`Action`] here before applying it).
     audit: AuditLog,
@@ -840,6 +882,7 @@ impl Shared {
             .enumerate()
             .map(|(i, t)| TenantSnapshot {
                 id: t.id,
+                priority_class: t.spec.priority_class,
                 slo_p99: t.spec.slo_p99,
                 outstanding: t.outstanding.load(Ordering::Relaxed),
                 submitted: t.submitted.load(Ordering::Relaxed),
@@ -863,6 +906,7 @@ impl Shared {
             batch_window: Duration::from_nanos(self.batch_window_ns.load(Ordering::Relaxed)),
             shards,
             tenants,
+            cache_partition: self.cache_partition.lock().expect("cache partition lock").clone(),
         }
     }
 
@@ -897,6 +941,21 @@ impl Shared {
             Action::SetSloShed { tenant, shed } => {
                 if let Some(i) = self.tenant_index(tenant) {
                     self.tenant(i).slo_shed.store(shed, Ordering::Release);
+                }
+            }
+            Action::SetCachePartition { table, entries, .. } => {
+                if let Some(&shard) = self.table_shard.get(table) {
+                    if commands[shard]
+                        .send(ShardCommand::SetCachePartition { table, entries })
+                        .is_ok()
+                    {
+                        self.counters.rebudget_applied.fetch_add(1, Ordering::Relaxed);
+                        let mut partition =
+                            self.cache_partition.lock().expect("cache partition lock");
+                        if let Some(p) = partition.iter_mut().find(|p| p.table == table) {
+                            p.capacity_entries = entries;
+                        }
+                    }
                 }
             }
             // `Action` is non_exhaustive for forward compatibility; an
@@ -1136,6 +1195,16 @@ pub struct EngineMetrics {
     pub control_ticks: u64,
     /// Controller [`Action`]s applied by the bus across all controllers.
     pub control_actions: u64,
+    /// DRAM-budget re-solves by the cache budget controller (each one
+    /// re-runs the marginal-gain allocator against fresh online curves).
+    pub rebudget_solves: u64,
+    /// Cache re-partitions actually applied to shards (solves whose
+    /// targets cleared the hysteresis bar).
+    pub rebudget_applied: u64,
+    /// The live per-table DRAM partition: running capacity and the
+    /// budget controller's latest target per table (targets equal the
+    /// build-time split until a controller solves).
+    pub cache_partition: Vec<TableCachePartition>,
     /// End-to-end latency of completed requests.
     pub latency: LatencySummary,
     /// Submission → start-of-service wait.
@@ -1531,6 +1600,27 @@ impl ShardedEngine {
                 .collect()
         });
 
+        // The build-time DRAM partition, table-id order: seeds the live
+        // partition view and, when the budget controller is on, defines
+        // the fixed total budget it re-divides.
+        let mut budget_tables: Vec<(usize, usize)> =
+            parts.tables.iter().map(|t| (t.table_id(), t.cache_capacity())).collect();
+        budget_tables.sort_unstable();
+        // A warm restart resumes the learned partition the snapshot
+        // recorded (the shards restore the same capacities before
+        // rehydrating), not the build-time split.
+        if let Some(snap) = recovered.as_ref() {
+            for t in &snap.tables {
+                if t.cache_capacity == 0 {
+                    continue; // v1 snapshot: capacity unknown
+                }
+                if let Some(e) = budget_tables.iter_mut().find(|(id, _)| *id == t.table as usize) {
+                    e.1 = t.cache_capacity as usize;
+                }
+            }
+        }
+        let total_budget: usize = budget_tables.iter().map(|&(_, c)| c).sum();
+
         // The tenant table: the default tenant always sits at index 0;
         // registering TenantId::DEFAULT overrides its spec in place.
         let window_slots = config.control.window_slots;
@@ -1573,6 +1663,16 @@ impl ShardedEngine {
             window_slots,
             batch_window_ns: AtomicU64::new(config.batch_window.as_nanos() as u64),
             recorder: TraceRecorder::new(config.trace, num_shards),
+            cache_partition: Mutex::new(
+                budget_tables
+                    .iter()
+                    .map(|&(table, c)| TableCachePartition {
+                        table,
+                        capacity_entries: c,
+                        target_entries: c,
+                    })
+                    .collect(),
+            ),
             audit: AuditLog::new(DEFAULT_AUDIT_CAPACITY),
             persistence,
             recovery: RecoveryStats::default(),
@@ -1586,7 +1686,15 @@ impl ShardedEngine {
         let device = parts.device;
 
         let (sample_tx, sample_rx) = mpsc::sync_channel::<(usize, u32)>(SAMPLE_CHANNEL_CAPACITY);
+        let (budget_tx, budget_rx) = mpsc::sync_channel::<BudgetSample>(SAMPLE_CHANNEL_CAPACITY);
         let mut command_txs: Vec<mpsc::Sender<ShardCommand>> = Vec::with_capacity(num_shards);
+
+        // With the budget controller on, a re-partition can hand any one
+        // table (hence any one shard) the whole budget, so each worker's
+        // block-buffer pool must be provisioned for the total — otherwise
+        // a grown cache would pin more buffers than the pool owns and the
+        // steady-state zero-allocation guarantee would break.
+        let pool_floor = if config.cache_budget.is_some() { total_budget } else { 0 };
 
         let batching = ShardBatching {
             window: config.batch_window,
@@ -1636,18 +1744,32 @@ impl ShardedEngine {
             let (cmd_tx, cmd_rx) = mpsc::channel::<ShardCommand>();
             command_txs.push(cmd_tx);
             let samples = config.tuner.as_ref().map(|t| (sample_tx.clone(), t.sample_every));
+            let budget_samples =
+                config.cache_budget.as_ref().map(|b| (budget_tx.clone(), b.sample_every));
             let handle = std::thread::Builder::new()
                 .name(format!("bandana-shard-{shard}"))
                 .spawn(move || {
-                    shard_main(shard, device, tables, shared, batching, cmd_rx, samples, restore)
+                    shard_main(
+                        shard,
+                        device,
+                        tables,
+                        shared,
+                        batching,
+                        cmd_rx,
+                        samples,
+                        budget_samples,
+                        pool_floor,
+                        restore,
+                    )
                 })
                 .expect("spawn shard worker");
             workers.push(handle);
         }
         // The engine keeps no sample sender of its own: once every worker
-        // exits, the channel disconnects and the tuner controller sees
+        // exits, the channels disconnect and the controllers see
         // end-of-stream.
         drop(sample_tx);
+        drop(budget_tx);
 
         // The metrics bus always runs: it rotates the recent windows and
         // snapshots the engine even when no controller is registered, so
@@ -1658,6 +1780,11 @@ impl ShardedEngine {
             }
             _ => None,
         };
+        let budget_inputs = config.cache_budget.map(|settings| BudgetInputs {
+            tables: budget_tables,
+            settings,
+            samples: budget_rx,
+        });
         let slo = config.slo;
         let control_cfg = config.control;
         let bus_shared = Arc::clone(&shared);
@@ -1665,7 +1792,15 @@ impl ShardedEngine {
         let control = std::thread::Builder::new()
             .name("bandana-control".into())
             .spawn(move || {
-                control_main(bus_shared, command_txs, control_cfg, tuner_inputs, slo, controllers)
+                control_main(
+                    bus_shared,
+                    command_txs,
+                    control_cfg,
+                    tuner_inputs,
+                    budget_inputs,
+                    slo,
+                    controllers,
+                )
             })
             .expect("spawn control bus");
 
@@ -1866,6 +2001,14 @@ impl ShardedEngine {
             tuner_swaps: c.tuner_swaps.load(Ordering::Relaxed),
             control_ticks: c.control_ticks.load(Ordering::Relaxed),
             control_actions: c.control_actions.load(Ordering::Relaxed),
+            rebudget_solves: c.rebudget_solves.load(Ordering::Relaxed),
+            rebudget_applied: c.rebudget_applied.load(Ordering::Relaxed),
+            cache_partition: self
+                .shared
+                .cache_partition
+                .lock()
+                .expect("cache partition lock")
+                .clone(),
             latency: e2e.summary(),
             queue_wait: breakdown.queue_wait,
             service: breakdown.service,
@@ -2094,6 +2237,7 @@ fn control_main(
     commands: Vec<mpsc::Sender<ShardCommand>>,
     config: ControlConfig,
     tuner: Option<TunerInputs>,
+    budget: Option<BudgetInputs>,
     slo: Option<SloControllerConfig>,
     extra: Vec<Box<dyn Controller>>,
 ) {
@@ -2110,6 +2254,16 @@ fn control_main(
             &settings,
             samples,
             shadow_multiplier,
+        )));
+    }
+    if let Some(inputs) = budget {
+        // Like the tuner, the budget controller borrows from this stack
+        // frame: the shared re-solve counter and partition view it
+        // publishes into live inside `shared`, which outlives the loop.
+        controllers.push(Box::new(CacheBudgetController::new(
+            inputs,
+            &shared.counters.rebudget_solves,
+            &shared.cache_partition,
         )));
     }
     if let Some(slo_config) = slo {
@@ -2320,9 +2474,12 @@ fn shard_main(
     mut batching: ShardBatching,
     commands: mpsc::Receiver<ShardCommand>,
     samples: Option<(mpsc::SyncSender<(usize, u32)>, u32)>,
+    budget_samples: Option<(mpsc::SyncSender<BudgetSample>, u32)>,
+    pool_floor: usize,
     recovered: Option<ShardRecovered>,
 ) {
     let mut sample_tick: u32 = 0;
+    let mut budget_tick: u32 = 0;
     let mut batch_seq: u64 = 0;
     let mut tracker =
         batching.device_queue.map(|d| QueueDepthTracker::new(*device.queue_model(), d));
@@ -2332,8 +2489,11 @@ fn shard_main(
         device.capacity_blocks();
     // Pool retention scales with the shard's cache: a cached payload can
     // pin its block buffer until eviction, and a dropped pool slot is a
-    // lost reuse.
-    let cached_entries: usize = tables.values().map(|t| t.cache_capacity()).sum();
+    // lost reuse. `pool_floor` raises the sizing to the engine-wide
+    // budget when the cache budget controller is on — a re-partition can
+    // grow any of this shard's tables well past its build-time share.
+    let cached_entries: usize =
+        tables.values().map(|t| t.cache_capacity()).sum::<usize>().max(pool_floor);
     let mut worker = ShardWorker {
         device,
         tables,
@@ -2354,6 +2514,12 @@ fn shard_main(
         for snap in &restore.tables {
             let Some(t) = worker.tables.get_mut(&(snap.table as usize)) else { continue };
             t.set_policy(snap.policy, snap.shadow_multiplier);
+            // Restore the learned DRAM partition before rehydrating, so
+            // the cache refills to the capacity it actually ran with
+            // (0 = a v1 snapshot with no capacity recorded).
+            if snap.cache_capacity > 0 {
+                t.set_cache_capacity(snap.cache_capacity as usize);
+            }
             let entries: Vec<(u32, bool)> =
                 snap.keys.iter().map(|&(id, o)| (id, o == KeyOrigin::Demand)).collect();
             match t.rehydrate(&mut worker.device, &entries) {
@@ -2381,6 +2547,11 @@ fn shard_main(
                 ShardCommand::SetBatchWindow { window } => {
                     batching.window = window;
                 }
+                ShardCommand::SetCachePartition { table, entries } => {
+                    if let Some(t) = worker.tables.get_mut(&table) {
+                        t.set_cache_capacity(entries);
+                    }
+                }
                 ShardCommand::CollectSnapshot { reply } => {
                     let mut table_snaps: Vec<TableSnapshot> = worker
                         .tables
@@ -2389,6 +2560,7 @@ fn shard_main(
                             table: t.table_id() as u32,
                             policy: t.policy(),
                             shadow_multiplier: t.shadow_multiplier(),
+                            cache_capacity: t.cache_capacity() as u32,
                             keys: t
                                 .cache_snapshot()
                                 .into_iter()
@@ -2448,6 +2620,8 @@ fn shard_main(
             &mut tracker,
             samples.as_ref(),
             &mut sample_tick,
+            budget_samples.as_ref(),
+            &mut budget_tick,
             batch_seq,
         );
     }
@@ -2468,6 +2642,8 @@ fn process_batch(
     tracker: &mut Option<QueueDepthTracker>,
     samples: Option<&(mpsc::SyncSender<(usize, u32)>, u32)>,
     sample_tick: &mut u32,
+    budget_samples: Option<&(mpsc::SyncSender<BudgetSample>, u32)>,
+    budget_tick: &mut u32,
     batch_seq: u64,
 ) {
     let started = Instant::now();
@@ -2574,6 +2750,17 @@ fn process_batch(
                             *sample_tick = sample_tick.wrapping_add(1);
                             if sample_tick.is_multiple_of((*every).max(1)) {
                                 let _ = tx.try_send((part.table, v));
+                            }
+                        }
+                    }
+                    // Budget tap: same lossy temporal stride, but tagged
+                    // with the requesting tenant so the controller can
+                    // weight each table's demand by tenant class.
+                    if let Some((tx, every)) = budget_samples {
+                        for &v in &part.unique_ids {
+                            *budget_tick = budget_tick.wrapping_add(1);
+                            if budget_tick.is_multiple_of((*every).max(1)) {
+                                let _ = tx.try_send((part.table, v, job.tenant as u32));
                             }
                         }
                     }
@@ -3063,5 +3250,148 @@ mod tests {
         // The charged time really elapsed: measured service can only be
         // slower than the simulated device component.
         assert!(m.service.mean_s + 1e-9 >= m.device_time.mean_s);
+    }
+
+    #[test]
+    fn budget_controller_repartitions_a_live_engine() {
+        let (store, _) = build_store(35);
+        let config = ServeConfig::default()
+            .with_shards(1)
+            .with_control(ControlConfig {
+                tick: Duration::from_millis(1),
+                ..ControlConfig::default()
+            })
+            .with_cache_budget(CacheBudgetSettings {
+                window_lookups: 256,
+                sample_every: 1,
+                granularity: 32,
+                ..CacheBudgetSettings::default()
+            });
+        let engine = ShardedEngine::new(store, config).expect("engine");
+
+        // The build-time split is published before any solve.
+        let before = engine.metrics().cache_partition;
+        assert_eq!(before.len(), 2);
+        let total: usize = before.iter().map(|p| p.capacity_entries).sum();
+        assert!(total > 0);
+
+        // Table 0 draws uniformly from a working set far larger than its
+        // share; table 1 only ever touches 4 keys. The controller should
+        // move budget from table 1 to table 0.
+        let mut rng = 99u64;
+        let mut lcg = move |keys: u32| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as u32) % keys
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            for _ in 0..64 {
+                let ids: Vec<u32> = (0..8).map(|_| lcg(1500)).collect();
+                let request = Request {
+                    queries: vec![TableQuery::new(0, ids), TableQuery::new(1, vec![lcg(4)])],
+                };
+                engine.submit(&request).expect("submit");
+            }
+            engine.drain();
+            if engine.metrics().rebudget_applied > 0 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let m = engine.shutdown();
+        assert!(m.rebudget_solves >= 1, "window traffic must trigger a solve");
+        assert!(m.rebudget_applied >= 1, "the skew must clear hysteresis");
+        // The partition conserved the total budget and favours table 0.
+        let after_total: usize = m.cache_partition.iter().map(|p| p.capacity_entries).sum();
+        assert_eq!(after_total, total, "re-partitioning never mints budget");
+        let t0 = m.cache_partition.iter().find(|p| p.table == 0).expect("table 0");
+        let t1 = m.cache_partition.iter().find(|p| p.table == 1).expect("table 1");
+        assert!(
+            t0.capacity_entries > t1.capacity_entries,
+            "hot table must win the budget: {:?}",
+            m.cache_partition
+        );
+        // Every applied move is audited with its justifying curve.
+        let audited = m
+            .audit
+            .iter()
+            .filter(|e| e.controller == "cache-budget")
+            .filter(|e| e.action.contains("SetCachePartition"))
+            .count();
+        assert!(audited >= 1, "applied moves must be audited");
+        assert!(
+            m.audit
+                .iter()
+                .filter(|e| e.controller == "cache-budget")
+                .all(|e| e.cause.contains("hit-rate curve")),
+            "audit entries must carry the curve evidence"
+        );
+    }
+
+    #[test]
+    fn learned_partition_survives_a_warm_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("bandana-rebudget-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            ServeConfig::default()
+                .with_shards(1)
+                .with_control(ControlConfig {
+                    tick: Duration::from_millis(1),
+                    ..ControlConfig::default()
+                })
+                .with_cache_budget(CacheBudgetSettings {
+                    window_lookups: 256,
+                    sample_every: 1,
+                    granularity: 32,
+                    ..CacheBudgetSettings::default()
+                })
+                .with_persist(PersistConfig::new(&dir).with_snapshot_every_ticks(0))
+        };
+
+        // First life: skewed traffic re-partitions the caches, then the
+        // learned split is snapshotted.
+        let (store, _) = build_store(36);
+        let engine = ShardedEngine::new(store, config()).expect("engine");
+        let mut rng = 7u64;
+        let mut lcg = move |keys: u32| {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((rng >> 33) as u32) % keys
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            for _ in 0..64 {
+                let ids: Vec<u32> = (0..8).map(|_| lcg(1500)).collect();
+                let request = Request {
+                    queries: vec![TableQuery::new(0, ids), TableQuery::new(1, vec![lcg(4)])],
+                };
+                engine.submit(&request).expect("submit");
+            }
+            engine.drain();
+            if engine.metrics().rebudget_applied > 0 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        engine.snapshot_now().expect("snapshot");
+        let learned = engine.shutdown().cache_partition;
+        assert!(
+            learned.iter().any(|p| p.capacity_entries != p.target_entries)
+                || learned[0].capacity_entries != learned[1].capacity_entries,
+            "the run must have learned a non-uniform split: {learned:?}"
+        );
+
+        // Second life: the recovered engine resumes the learned split,
+        // not the build-time one.
+        let (store, _) = build_store(36);
+        let engine = ShardedEngine::recover(store, config()).expect("recover");
+        let restored = engine.metrics().cache_partition;
+        let caps = |p: &[TableCachePartition]| -> Vec<(usize, usize)> {
+            p.iter().map(|t| (t.table, t.capacity_entries)).collect()
+        };
+        assert_eq!(caps(&restored), caps(&learned), "partition must survive the restart");
+        drop(engine.shutdown());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

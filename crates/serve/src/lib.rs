@@ -81,6 +81,18 @@
 //!   backoff and congestion-attributed trips (one per window turnover,
 //!   to the most-queued blown tenant). Custom controllers register via
 //!   [`ShardedEngine::new_with_controllers`].
+//! * **Online DRAM re-budgeting** ([`CacheBudgetSettings`] via
+//!   [`ServeConfig::with_cache_budget`]): the build-time per-table cache
+//!   division is re-solved *online* — shard workers tee sampled cache
+//!   probes onto the bus, the internal `CacheBudgetController` folds
+//!   them into per-table hit-rate curves (miniature simulated caches)
+//!   and re-divides the same fixed total budget, applying
+//!   hysteresis-gated [`Action::SetCachePartition`] moves that grow a
+//!   shard cache live or shrink it coldest-first without flushing
+//!   survivors. Every move is audit-logged with the curve points that
+//!   justified it, the live split is exported as
+//!   `bandana_table_cache_{capacity,target}_entries` gauges, and the
+//!   learned partition survives a warm restart via snapshots.
 //! * **Observability** ([`obs`]): a three-part layer over everything
 //!   above. The **flight recorder** samples one request in N
 //!   ([`ServeConfig::with_trace`]) and records its lifecycle — admitted,
@@ -239,6 +251,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod control;
 pub mod engine;
 pub mod hist;
@@ -250,9 +263,10 @@ pub mod tenant;
 pub mod tuner;
 
 pub use bandana_persist::{CrashPoint, FaultPlan, PersistConfig, PersistError, Persistence};
+pub use budget::CacheBudgetSettings;
 pub use control::{
     Action, ControlConfig, Controller, EngineSnapshot, ShardSnapshot, SloController,
-    SloControllerConfig, TenantSnapshot,
+    SloControllerConfig, TableCachePartition, TenantSnapshot,
 };
 pub use engine::{
     BatchingMetrics, EngineMetrics, RecoveryMetrics, ServeConfig, ServeError, ShardMetrics,

@@ -431,6 +431,23 @@ impl AuditEvent {
                 None,
                 "miniature-cache epoch retune".into(),
             ),
+            Action::SetCachePartition { table, entries, curve } => {
+                // The evidence IS the curve: the sampled (size, hit-rate)
+                // points the allocator weighed when it granted this table
+                // its new share.
+                let points: Vec<String> =
+                    curve.iter().map(|&(s, h)| format!("{s}:{h:.3}")).collect();
+                let previous = snapshot
+                    .cache_partition
+                    .iter()
+                    .find(|p| p.table == *table)
+                    .map_or_else(|| "unknown".into(), |p| p.capacity_entries.to_string());
+                (
+                    format!("SetCachePartition{{table: {table}, entries: {entries}}}"),
+                    None,
+                    format!("from {previous} entries; hit-rate curve [{}]", points.join(", ")),
+                )
+            }
             // `Action` is non_exhaustive; future variants still audit.
             #[allow(unreachable_patterns)]
             other => (format!("{other:?}"), None, String::new()),
@@ -878,6 +895,38 @@ pub fn render_prometheus(metrics: &EngineMetrics, snapshot: &EngineSnapshot) -> 
     put(&mut out, "bandana_control_actions_total", "", m.control_actions as f64);
     head(&mut out, "bandana_audit_events", "gauge", "Audit events currently retained.");
     put(&mut out, "bandana_audit_events", "", m.audit.len() as f64);
+    head(&mut out, "bandana_rebudget_solves_total", "counter", "Cache budget re-solves.");
+    put(&mut out, "bandana_rebudget_solves_total", "", m.rebudget_solves as f64);
+    head(&mut out, "bandana_rebudget_applied_total", "counter", "Cache re-partitions applied.");
+    put(&mut out, "bandana_rebudget_applied_total", "", m.rebudget_applied as f64);
+    head(
+        &mut out,
+        "bandana_table_cache_capacity_entries",
+        "gauge",
+        "Live DRAM cache capacity per table.",
+    );
+    for p in &m.cache_partition {
+        put(
+            &mut out,
+            "bandana_table_cache_capacity_entries",
+            &format!("table=\"{}\"", p.table),
+            p.capacity_entries as f64,
+        );
+    }
+    head(
+        &mut out,
+        "bandana_table_cache_target_entries",
+        "gauge",
+        "Budget controller's solved target per table.",
+    );
+    for p in &m.cache_partition {
+        put(
+            &mut out,
+            "bandana_table_cache_target_entries",
+            &format!("table=\"{}\"", p.table),
+            p.target_entries as f64,
+        );
+    }
     head(&mut out, "bandana_control_tick", "gauge", "Current bus tick.");
     put(&mut out, "bandana_control_tick", "", snapshot.tick as f64);
     head(&mut out, "bandana_uptime_seconds", "gauge", "Engine uptime.");
@@ -1004,7 +1053,7 @@ pub fn render_audit_log(events: &[AuditEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::control::{ShardSnapshot, TenantSnapshot};
+    use crate::control::{ShardSnapshot, TableCachePartition, TenantSnapshot};
     use crate::engine::{BatchingMetrics, RecoveryMetrics, ShardMetrics};
     use crate::hist::{LatencyBreakdown, LatencyHistogram};
     use crate::tenant::{PriorityClass, ShedBreakdown};
@@ -1150,6 +1199,7 @@ mod tests {
             shed: ShedBreakdown { lane_full: 5, quota: 1, slo: 4, reclaimed: 0 },
             slo_shedding: false,
             recent: LatencySummary { count, p99_s, ..LatencySummary::default() },
+            priority_class: PriorityClass::Normal,
         }
     }
 
@@ -1167,6 +1217,11 @@ mod tests {
                 depth: DepthStats::default(),
             }],
             tenants: vec![snapshot_tenant(7, 0.080, 41)],
+            cache_partition: vec![TableCachePartition {
+                table: 0,
+                capacity_entries: 512,
+                target_entries: 640,
+            }],
         }
     }
 
@@ -1203,6 +1258,18 @@ mod tests {
         let window = Action::SetBatchWindow { window: Duration::from_millis(1) };
         let event = AuditEvent::from_action("custom", &window, &snapshot);
         assert!(event.cause.contains("previous window"), "{}", event.cause);
+
+        let repartition = Action::SetCachePartition {
+            table: 0,
+            entries: 640,
+            curve: vec![(128, 0.412), (512, 0.733)],
+        };
+        let event = AuditEvent::from_action("cache-budget", &repartition, &snapshot);
+        assert_eq!(event.tenant, None);
+        assert!(event.action.contains("entries: 640"), "{}", event.action);
+        assert!(event.cause.contains("from 512 entries"), "{}", event.cause);
+        assert!(event.cause.contains("128:0.412"), "{}", event.cause);
+        assert!(event.cause.contains("512:0.733"), "{}", event.cause);
     }
 
     #[test]
@@ -1254,6 +1321,13 @@ mod tests {
             tuner_swaps: 3,
             control_ticks: 88,
             control_actions: 9,
+            rebudget_solves: 5,
+            rebudget_applied: 2,
+            cache_partition: vec![TableCachePartition {
+                table: 0,
+                capacity_entries: 512,
+                target_entries: 640,
+            }],
             latency: summary(11),
             queue_wait: summary(12),
             service: summary(13),
@@ -1421,6 +1495,10 @@ mod tests {
             "bandana_control_ticks_total 88",
             "bandana_control_actions_total 9",
             "bandana_audit_events 1",
+            "bandana_rebudget_solves_total 5",
+            "bandana_rebudget_applied_total 2",
+            "bandana_table_cache_capacity_entries{table=\"0\"} 512",
+            "bandana_table_cache_target_entries{table=\"0\"} 640",
             "bandana_control_tick 212",
             "bandana_uptime_seconds 3",
             "bandana_window_span_seconds 0.4",

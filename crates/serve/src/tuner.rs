@@ -197,6 +197,7 @@ mod tests {
             batch_window: Duration::ZERO,
             shards: Vec::new(),
             tenants: Vec::new(),
+            cache_partition: Vec::new(),
         }
     }
 

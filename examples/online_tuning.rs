@@ -6,7 +6,9 @@
 //! background thread that rotates per-tenant recent-latency windows,
 //! snapshots the engine, and runs the registered `Controller`s — here
 //! the online tuner (admission-threshold hot-swaps from sampled
-//! lookups) and the `SloController` (a tenant blowing its recent-window
+//! lookups), the cache budget controller (per-table DRAM shares
+//! re-solved online from sampled accesses, applied live to the shard
+//! caches), and the `SloController` (a tenant blowing its recent-window
 //! p99 budget is shed at admission before its backlog can poison the
 //! other tenants' lanes).
 //!
@@ -26,9 +28,9 @@
 use bandana::prelude::*;
 use bandana::serve::net::http_request;
 use bandana::serve::{
-    render_audit_log, render_tenant_table, run_open_loop_with, AdminServer, ControlConfig,
-    LoadGenConfig, OnlineTunerSettings, ServeConfig, ShardedEngine, SloControllerConfig,
-    TraceConfig,
+    render_audit_log, render_tenant_table, run_open_loop_with, AdminServer, CacheBudgetSettings,
+    ControlConfig, LoadGenConfig, OnlineTunerSettings, ServeConfig, ShardedEngine,
+    SloControllerConfig, TraceConfig,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -86,6 +88,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 sample_every: 8,
                 ..Default::default()
             })
+            // Close the paper's DRAM-division loop online too: per-table
+            // hit-rate curves from sampled accesses, the fixed 1,000-vector
+            // budget re-solved as the hot sets rotate. A low hysteresis
+            // lets the drift run's modest re-divisions through.
+            .with_cache_budget(CacheBudgetSettings {
+                window_lookups: 8_192,
+                sample_every: 4,
+                hysteresis: 0.02,
+                ..Default::default()
+            })
             .with_slo_controller(SloControllerConfig {
                 // A tenant that refloods the moment it is released earns
                 // 8× longer holds: the breaker converges to keeping a
@@ -98,6 +110,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Perfetto-loadable trace behind.
             .with_trace(TraceConfig::sampled(64)),
     )?);
+
+    // The build-time DRAM division, before any traffic: the budget
+    // controller will re-solve this split online as the hot sets rotate.
+    let partition_before = engine.metrics().cache_partition;
 
     // The operator's window into the run: the HTTP admin plane serves
     // metrics, the audit log, and traces while traffic flows (the
@@ -167,6 +183,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             _ => "default".into(),
         })
     );
+    // The DRAM division the budget controller converged on, next to the
+    // build-time split it started from.
+    println!(
+        "\ncache budget controller: {} re-division solves, {} SetCachePartition moves applied",
+        m.rebudget_solves, m.rebudget_applied
+    );
+    println!("  table   entries before   entries after   target");
+    for after in &m.cache_partition {
+        let before = partition_before
+            .iter()
+            .find(|p| p.table == after.table)
+            .map_or(0, |p| p.capacity_entries);
+        println!(
+            "  {:>5}   {:>14}   {:>13}   {:>6}",
+            after.table, before, after.capacity_entries, after.target_entries
+        );
+    }
+    let rebudget_moves =
+        m.audit.iter().filter(|e| e.controller == "cache-budget").collect::<Vec<_>>();
+    println!("\nrebudget audit entries ({} retained):", rebudget_moves.len());
+    for e in &rebudget_moves {
+        println!("  tick {:>6}  {}  — {}", e.tick, e.action, e.cause);
+    }
+
     println!("\ncontrol-plane audit log ({} retained decisions):", m.audit.len());
     print!("{}", render_audit_log(&m.audit));
 
