@@ -75,6 +75,33 @@ pub const REBUDGET_RECOVERY_RATIO: f64 = 0.8;
 /// ~0.15× (the newly-hot table thrashes a sliver of cache).
 pub const REBUDGET_DEGRADED_RATIO: f64 = 0.6;
 
+/// The online re-layout recovery band: serve-relayout's relayout-on arm
+/// — the controller refining hot-block placement as the Zipf deck
+/// rotates — must keep its post-drift tail-window device reads per
+/// completed request at or below this multiple of its own pre-drift
+/// (also controller-packed) level. The traffic is symmetric across the
+/// drift, so full re-convergence measures ~1.0×.
+pub const RELAYOUT_RECOVERY_RATIO: f64 = 1.5;
+
+/// The frozen-layout contrast floor: serve-relayout's relayout-off arm
+/// — stuck on the scattered identity layout — must pay at least this
+/// multiple of the on arm's post-drift device reads per request, or the
+/// scenario no longer demonstrates the block-straddling the controller
+/// exists to repair. Measured ~3× (scattered groups straddle up to 16
+/// blocks each; packed groups coalesce toward 1).
+pub const RELAYOUT_CONTRAST_RATIO: f64 = 1.5;
+
+/// The re-layout tail-latency band: serve-relayout's relayout-on arm's
+/// post-drift tail-window p99 must stay within this multiple of the
+/// off arm's. The structural gap is large (the off arm reads ~8× the
+/// blocks per request), but both p99s are single-digit-microsecond
+/// host work stretched over a 200-request window, so on a contended
+/// 1-CPU runner one scheduler hiccup can land either side of a strict
+/// comparison — the slack keeps the gate at "re-layout is not buying
+/// back the tail" (rewrite pauses show up as ≥4× blowups) without
+/// flaking on run-to-run noise.
+pub const RELAYOUT_TAIL_RATIO: f64 = 1.5;
+
 /// A parsed `BENCH_*.json` document: the experiment name and one numeric
 /// field map per row (string fields are kept too, separately).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -343,8 +370,17 @@ const GATED_FIELDS: [&str; 2] = ["p50_s", "p99_s"];
 /// and `rebudget` distinguishes serve-rebudget's controller-on arm from
 /// its controller-off twin — absent fields format consistently, so old
 /// and new baselines keep matching themselves).
-const KEY_FIELDS: [&str; 8] =
-    ["window_us", "load_pct", "tenant", "slo_on", "traced", "transport", "restart", "rebudget"];
+const KEY_FIELDS: [&str; 9] = [
+    "window_us",
+    "load_pct",
+    "tenant",
+    "slo_on",
+    "traced",
+    "transport",
+    "restart",
+    "rebudget",
+    "relayout",
+];
 
 fn row_key(row: &BTreeMap<String, f64>) -> String {
     KEY_FIELDS
@@ -920,6 +956,136 @@ pub fn check_serve(current: &BenchDoc, baseline: &BenchDoc) -> Result<Vec<String
         }
     }
 
+    // Serve-relayout rows (`relayout` present): the re-layout
+    // controller's headline claim, checked structurally between the two
+    // arms of the *current* run (same machine, identical traffic, so
+    // runner speed cancels). The relayout-on arm must recover its own
+    // pre-drift tail-window device reads per completed request after
+    // the hot set rotates — with its post-drift p99 under the off
+    // arm's, real rewrite bytes on the shard device, and audit-logged
+    // `ApplyLayout` evidence — while the relayout-off arm, frozen on
+    // the scattered build layout, must stay degraded and must not have
+    // rewritten anything.
+    let relayout_rows: Vec<&BTreeMap<String, f64>> =
+        current.rows.iter().filter(|r| r.contains_key("relayout")).collect();
+    if !relayout_rows.is_empty() {
+        let arm =
+            |v: f64| relayout_rows.iter().copied().find(|r| r.get("relayout").copied() == Some(v));
+        match (arm(1.0), arm(0.0)) {
+            _ if relayout_rows.len() != 2 => {
+                failures.push(format!(
+                    "serve-relayout must have exactly one relayout-on and one relayout-off \
+                     row, got {}",
+                    relayout_rows.len()
+                ));
+            }
+            (Some(on), Some(off)) => {
+                let field = |r: &BTreeMap<String, f64>, k: &str| r.get(k).copied().unwrap_or(0.0);
+                let mut ok = true;
+                for (row, label) in [(on, "relayout-on"), (off, "relayout-off")] {
+                    if field(row, "reads_per_req_pre") <= 0.0
+                        || field(row, "reads_per_req_post") <= 0.0
+                    {
+                        ok = false;
+                        failures.push(format!(
+                            "serve-relayout {label}: no tail-window device reads — the \
+                             scenario is not exercising the device at all"
+                        ));
+                    }
+                }
+                let on_pre = field(on, "reads_per_req_pre");
+                let on_post = field(on, "reads_per_req_post");
+                if on_post > on_pre * RELAYOUT_RECOVERY_RATIO {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-relayout: relayout-on post-drift device reads per request \
+                         {on_post:.1} do not recover toward its pre-drift {on_pre:.1} (must \
+                         be ≤ {RELAYOUT_RECOVERY_RATIO}×) — the controller is not re-packing \
+                         the rotated hot set"
+                    ));
+                }
+                let off_post = field(off, "reads_per_req_post");
+                if off_post < on_post * RELAYOUT_CONTRAST_RATIO {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-relayout: relayout-off post-drift device reads per request \
+                         {off_post:.1} sit under {RELAYOUT_CONTRAST_RATIO}× relayout-on's \
+                         {on_post:.1} — the scenario no longer demonstrates the scattered \
+                         layout the controller exists to repair"
+                    ));
+                }
+                let on_p99 = field(on, "p99_post_s");
+                let off_p99 = field(off, "p99_post_s");
+                if !(on_p99 > 0.0 && off_p99 > 0.0 && on_p99 <= off_p99 * RELAYOUT_TAIL_RATIO) {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-relayout: relayout-on post-drift p99 {on_p99:.6}s exceeds \
+                         {RELAYOUT_TAIL_RATIO}× relayout-off's {off_p99:.6}s — packing the \
+                         hot blocks is not buying back the tail"
+                    ));
+                }
+                if field(on, "relayout_applied") < 1.0
+                    || field(on, "layout_moves") < 1.0
+                    || field(on, "relayout_rewritten_blocks") < 1.0
+                {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-relayout: relayout-on applied {} re-layouts rewriting {} \
+                         blocks with {} ApplyLayout audit entries — the controller never \
+                         acted",
+                        field(on, "relayout_applied"),
+                        field(on, "relayout_rewritten_blocks"),
+                        field(on, "layout_moves")
+                    ));
+                }
+                if field(on, "bytes_written") <= 0.0 {
+                    ok = false;
+                    failures.push(
+                        "serve-relayout: relayout-on shows no shard write bytes — applied \
+                         re-layouts are not being charged as device rewrites"
+                            .into(),
+                    );
+                }
+                if field(off, "relayout_applied") != 0.0
+                    || field(off, "layout_moves") != 0.0
+                    || field(off, "relayout_rewritten_blocks") != 0.0
+                    || field(off, "bytes_written") != 0.0
+                {
+                    ok = false;
+                    failures.push(
+                        "serve-relayout: the relayout-off arm rewrote its layout — it is not \
+                         a controller-free baseline"
+                            .into(),
+                    );
+                }
+                if field(on, "completed") <= 0.0
+                    || field(on, "completed") != field(off, "completed")
+                {
+                    ok = false;
+                    failures.push(format!(
+                        "serve-relayout: arms completed different request counts ({} vs {}) \
+                         — the comparison is not on identical traffic",
+                        field(on, "completed"),
+                        field(off, "completed")
+                    ));
+                }
+                if ok {
+                    report.push(format!(
+                        "serve-relayout: relayout-on recovered {on_post:.1} device reads per \
+                         request (pre {on_pre:.1}) vs relayout-off {off_post:.1}, post-drift \
+                         p99 {on_p99:.6}s under {off_p99:.6}s"
+                    ));
+                }
+            }
+            (on, _) => {
+                failures.push(format!(
+                    "serve-relayout is missing its {} arm",
+                    if on.is_none() { "relayout-on" } else { "relayout-off" }
+                ));
+            }
+        }
+    }
+
     // The batched pipeline must actually batch somewhere at moderate load.
     let batched_moderate: Vec<&BTreeMap<String, f64>> = current
         .rows
@@ -1472,6 +1638,125 @@ mod tests {
         assert!(
             failures.iter().any(|f| f.contains("exactly one budget-on and one budget-off")
                 || f.contains("missing its budget-off arm")),
+            "{failures:?}"
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn relayout_row(
+        relayout: u64,
+        reads_pre: f64,
+        reads_post: f64,
+        p99_post: f64,
+        applied: f64,
+        moves: f64,
+        rewritten: f64,
+        bytes: f64,
+    ) -> BTreeMap<String, f64> {
+        let mut m = BTreeMap::new();
+        m.insert("window_us".into(), 0.0);
+        m.insert("load_pct".into(), 130.0);
+        m.insert("relayout".into(), relayout as f64);
+        m.insert("reads_per_req_pre".into(), reads_pre);
+        m.insert("reads_per_req_post".into(), reads_post);
+        m.insert("p99_pre_s".into(), 5e-4);
+        m.insert("p99_post_s".into(), p99_post);
+        m.insert("relayout_applied".into(), applied);
+        m.insert("layout_moves".into(), moves);
+        m.insert("relayout_rewritten_blocks".into(), rewritten);
+        m.insert("bytes_written".into(), bytes);
+        m.insert("completed".into(), 1000.0);
+        m.insert("p50_s".into(), 3e-4);
+        m.insert("p99_s".into(), 2e-3);
+        m
+    }
+
+    /// A healthy serve-relayout pair: relayout-on recovers its pre-drift
+    /// device reads per request with rewrite and audit evidence,
+    /// relayout-off stays degraded on the frozen layout.
+    fn healthy_relayout_rows() -> Vec<BTreeMap<String, f64>> {
+        vec![
+            relayout_row(1, 30.0, 33.0, 5e-4, 9.0, 9.0, 310.0, 1.2e6),
+            relayout_row(0, 118.0, 120.0, 1.6e-3, 0.0, 0.0, 0.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn relayout_claims_are_gated() {
+        let mut base = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.5, 60.0)]);
+        base.rows.extend(healthy_relayout_rows());
+        let report = check_serve(&base, &base).expect("healthy relayout rows must pass");
+        assert!(report.iter().any(|l| l.contains("serve-relayout")), "{report:?}");
+
+        // An on arm whose post-drift reads never recover fails the gate.
+        let mut stranded = base.clone();
+        stranded.rows[2].insert("reads_per_req_post".into(), 90.0);
+        let failures = check_serve(&stranded, &base).expect_err("unrecovered on arm must fail");
+        assert!(failures.iter().any(|f| f.contains("not re-packing")), "{failures:?}");
+
+        // An off arm that is not decisively worse means the scenario
+        // lost its teeth.
+        let mut toothless = base.clone();
+        toothless.rows[3].insert("reads_per_req_post".into(), 35.0);
+        let failures = check_serve(&toothless, &base).expect_err("soft off arm must fail");
+        assert!(failures.iter().any(|f| f.contains("no longer demonstrates")), "{failures:?}");
+
+        // The on arm's post-drift p99 must stay within the tail band of
+        // the off arm's.
+        let mut slow = base.clone();
+        slow.rows[2].insert("p99_post_s".into(), 5e-2);
+        let failures = check_serve(&slow, &base).expect_err("slow on arm must fail");
+        assert!(failures.iter().any(|f| f.contains("buying back the tail")), "{failures:?}");
+
+        // A controller that never applied a re-layout fails.
+        let mut inert = base.clone();
+        inert.rows[2].insert("relayout_applied".into(), 0.0);
+        inert.rows[2].insert("layout_moves".into(), 0.0);
+        inert.rows[2].insert("relayout_rewritten_blocks".into(), 0.0);
+        let failures = check_serve(&inert, &base).expect_err("inert controller must fail");
+        assert!(failures.iter().any(|f| f.contains("never acted")), "{failures:?}");
+
+        // Applied re-layouts without audit evidence also fail.
+        let mut unaudited = base.clone();
+        unaudited.rows[2].insert("layout_moves".into(), 0.0);
+        let failures = check_serve(&unaudited, &base).expect_err("unaudited applies must fail");
+        assert!(failures.iter().any(|f| f.contains("never acted")), "{failures:?}");
+
+        // Rewrites that never show up as device write bytes fail.
+        let mut free = base.clone();
+        free.rows[2].insert("bytes_written".into(), 0.0);
+        let failures = check_serve(&free, &base).expect_err("unbilled rewrites must fail");
+        assert!(failures.iter().any(|f| f.contains("device rewrites")), "{failures:?}");
+
+        // A relayout-off arm that rewrote anything is contaminated.
+        let mut leaky = base.clone();
+        leaky.rows[3].insert("relayout_rewritten_blocks".into(), 4.0);
+        let failures = check_serve(&leaky, &base).expect_err("contaminated off arm must fail");
+        assert!(failures.iter().any(|f| f.contains("controller-free")), "{failures:?}");
+
+        // Arms serving different traffic fails.
+        let mut uneven = base.clone();
+        uneven.rows[3].insert("completed".into(), 999.0);
+        let failures = check_serve(&uneven, &base).expect_err("uneven arms must fail");
+        assert!(failures.iter().any(|f| f.contains("identical traffic")), "{failures:?}");
+
+        // A tail window with no device reads at all fails: the scenario
+        // is supposed to be device-bound.
+        let mut idle = base.clone();
+        idle.rows[2].insert("reads_per_req_pre".into(), 0.0);
+        idle.rows[2].insert("reads_per_req_post".into(), 0.0);
+        let failures = check_serve(&idle, &base).expect_err("deviceless scenario must fail");
+        assert!(failures.iter().any(|f| f.contains("not exercising the device")), "{failures:?}");
+
+        // Losing an arm is caught (relayout-free baseline so the
+        // row-match gate is not the first to trip).
+        let sweep_only = doc(&[(0, 50, 1e-4, 5e-4, 1.0, 60.0), (200, 50, 1e-4, 5e-4, 2.5, 60.0)]);
+        let mut lone = sweep_only.clone();
+        lone.rows.push(relayout_row(1, 30.0, 33.0, 5e-4, 9.0, 9.0, 310.0, 1.2e6));
+        let failures = check_serve(&lone, &lone).expect_err("missing off arm must fail");
+        assert!(
+            failures.iter().any(|f| f.contains("exactly one relayout-on and one relayout-off")
+                || f.contains("missing its relayout-off arm")),
             "{failures:?}"
         );
     }

@@ -27,7 +27,7 @@ fn usage() -> String {
 /// `BENCH_baseline_serve.json`) with the generous tolerance bands of
 /// `bandana_bench::baseline`. To re-baseline after an intentional change:
 /// `repro --scale quick serve serve-drift serve-restart serve-rebudget
-/// && cp BENCH_serve.json BENCH_baseline_serve.json`.
+/// serve-relayout && cp BENCH_serve.json BENCH_baseline_serve.json`.
 fn check_bench(args: &[String]) -> ExitCode {
     let current_path = args.first().map(String::as_str).unwrap_or("BENCH_serve.json");
     let baseline_path = args.get(1).map(String::as_str).unwrap_or("BENCH_baseline_serve.json");
@@ -60,7 +60,7 @@ fn check_bench(args: &[String]) -> ExitCode {
                 "check-bench: {current_path} regressed against {baseline_path}\n\
                  (intentional change? re-baseline with:\n\
                  \x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve \
-                 serve-drift serve-restart serve-rebudget\n\
+                 serve-drift serve-restart serve-rebudget serve-relayout\n\
                  \x20 cp BENCH_serve.json BENCH_baseline_serve.json)"
             );
             ExitCode::FAILURE
@@ -71,7 +71,7 @@ fn check_bench(args: &[String]) -> ExitCode {
 /// The actionable reorder recipe shown by every ordering error.
 const MERGE_RECIPE: &str =
     "\x20 cargo run --release -p bandana-bench --bin repro -- --scale quick serve serve-drift \
-     serve-restart serve-rebudget";
+     serve-restart serve-rebudget serve-relayout";
 
 /// Rejects experiment orderings that would corrupt `BENCH_serve.json`.
 ///
@@ -110,7 +110,7 @@ fn merge_ordering_error(ids: &[String], sweep_on_disk: bool, merge_id: &str) -> 
 
 /// Checks every merging experiment's ordering (first error wins).
 fn ordering_error(ids: &[String], sweep_on_disk: bool) -> Option<String> {
-    ["serve-drift", "serve-restart", "serve-rebudget"]
+    ["serve-drift", "serve-restart", "serve-rebudget", "serve-relayout"]
         .iter()
         .find_map(|merge_id| merge_ordering_error(ids, sweep_on_disk, merge_id))
 }
@@ -160,7 +160,8 @@ fn main() -> ExitCode {
         }
     }
     // Sweep rows are the ones carrying no merge marker: drift rows carry
-    // `slo_on`, restart rows carry `restart`, rebudget rows `rebudget`.
+    // `slo_on`, restart rows carry `restart`, rebudget rows `rebudget`,
+    // relayout rows `relayout`.
     let sweep_on_disk = std::fs::read_to_string("BENCH_serve.json")
         .ok()
         .and_then(|text| bandana_bench::parse_document(&text).ok())
@@ -169,6 +170,7 @@ fn main() -> ExitCode {
                 !r.contains_key("slo_on")
                     && !r.contains_key("restart")
                     && !r.contains_key("rebudget")
+                    && !r.contains_key("relayout")
             })
         });
     if let Some(message) = ordering_error(&ids, sweep_on_disk) {
@@ -237,7 +239,8 @@ mod tests {
     #[test]
     fn rebudget_ordering_is_validated() {
         // The full healthy pipeline passes, in any merge order.
-        let all = ids(&["serve", "serve-drift", "serve-restart", "serve-rebudget"]);
+        let all =
+            ids(&["serve", "serve-drift", "serve-restart", "serve-rebudget", "serve-relayout"]);
         assert_eq!(ordering_error(&all, false), None);
         assert_eq!(ordering_error(&ids(&["serve", "serve-rebudget", "serve-drift"]), false), None);
         // Rebudget before serve clobbers the merge — always an error.
@@ -250,6 +253,22 @@ mod tests {
         assert_eq!(ordering_error(&ids(&["serve-rebudget"]), true), None);
         let msg = ordering_error(&ids(&["serve-rebudget"]), false)
             .expect("rebudget without a sweep document must be rejected");
+        assert!(msg.contains("no sweep document"), "{msg}");
+    }
+
+    #[test]
+    fn relayout_ordering_is_validated() {
+        // Relayout merges like the others: serve must lead.
+        assert_eq!(ordering_error(&ids(&["serve", "serve-relayout"]), false), None);
+        let msg = ordering_error(&ids(&["serve-relayout", "serve"]), true)
+            .expect("relayout-before-serve must be rejected");
+        assert!(msg.contains("serve-relayout is listed before serve"), "{msg}");
+        assert!(msg.contains("serve-relayout"), "recipe names the relayout scenario: {msg}");
+        // Relayout alone is fine only when a sweep document already
+        // exists on disk.
+        assert_eq!(ordering_error(&ids(&["serve-relayout"]), true), None);
+        let msg = ordering_error(&ids(&["serve-relayout"]), false)
+            .expect("relayout without a sweep document must be rejected");
         assert!(msg.contains("no sweep document"), "{msg}");
     }
 }

@@ -27,6 +27,7 @@
 //! | [`serve_drift`] | serving under drift: SLO controller on vs off, per-tenant windowed p99 and shed composition (appends to `BENCH_serve.json`) |
 //! | [`serve_restart`] | warm restart (WAL + snapshot recovery) vs cold start: first-window p99 and drive-write accounting across a restart (appends to `BENCH_serve.json`) |
 //! | [`serve_rebudget`] | online DRAM re-budgeting under hot-table migration: cache budget controller on vs off, tail-window hit rate and p99 recovery (appends to `BENCH_serve.json`) |
+//! | [`serve_relayout`] | online hot-block re-layout under hot-set drift: re-layout controller on vs off, tail-window device reads per request and p99 recovery (appends to `BENCH_serve.json`) |
 
 pub mod ablate;
 pub mod common;
@@ -51,6 +52,7 @@ pub mod fig16;
 pub mod serve_drift;
 pub mod serve_latency;
 pub mod serve_rebudget;
+pub mod serve_relayout;
 pub mod serve_restart;
 pub mod tab01;
 pub mod tab02;
@@ -82,6 +84,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "serve-drift",
     "serve-restart",
     "serve-rebudget",
+    "serve-relayout",
 ];
 
 /// Runs one experiment by id and returns its rendered artifact.
@@ -118,6 +121,7 @@ pub fn run_by_id(id: &str, scale: crate::Scale) -> String {
         "serve-drift" => serve_drift::run_and_save(scale),
         "serve-restart" => serve_restart::run_and_save(scale),
         "serve-rebudget" => serve_rebudget::run_and_save(scale),
+        "serve-relayout" => serve_relayout::run_and_save(scale),
         other => panic!("unknown experiment id {other:?}; valid ids: {ALL_EXPERIMENTS:?}"),
     }
 }

@@ -40,6 +40,10 @@ pub struct TableStore {
     base_block: u64,
     vector_bytes: usize,
     num_vectors: u32,
+    /// How many online re-layouts have been applied; the build-time layout
+    /// is epoch 0. Persistence uses this to skip journaling layouts the
+    /// build can reproduce.
+    layout_epoch: u64,
     /// Working memory for the convenience APIs ([`TableStore::lookup`],
     /// [`TableStore::lookup_batch`]); the `*_with` variants take external
     /// state instead so shard workers can share one per worker.
@@ -86,6 +90,7 @@ impl TableStore {
             metrics: CacheMetrics::new(),
             base_block,
             vector_bytes,
+            layout_epoch: 0,
             scratch: BatchScratch::new(),
             pool: BlockBufPool::for_cache(cache_capacity),
         }
@@ -124,6 +129,13 @@ impl TableStore {
     /// The physical placement in force.
     pub fn layout(&self) -> &BlockLayout {
         &self.layout
+    }
+
+    /// How many online re-layouts ([`TableStore::apply_layout`] calls that
+    /// rewrote at least one block) this table has absorbed. The build-time
+    /// layout is epoch 0.
+    pub fn layout_epoch(&self) -> u64 {
+        self.layout_epoch
     }
 
     /// The admission policy in force.
@@ -286,6 +298,102 @@ impl TableStore {
             device.write_block(self.base_block + b as u64, &buf)?;
         }
         Ok(())
+    }
+
+    /// Atomically remaps the table onto `new_layout`, rewriting exactly the
+    /// blocks whose slot contents change.
+    ///
+    /// This is the apply half of the online SHP loop: the refinement solver
+    /// produces a new placement and this method realizes it on the device
+    /// between micro-batches. Every source block is read **before** the
+    /// first rewrite (a rewritten block may source another rewrite), each
+    /// changed destination block is written once, and the in-memory layout
+    /// is swapped only after the last write — so a lookup never observes a
+    /// mix of old and new placement. Rewrites are real device writes,
+    /// charged to the device's endurance meter like retraining.
+    ///
+    /// The DRAM cache is untouched: entries are keyed by vector id and hold
+    /// position-independent payload bytes, so they stay valid under any
+    /// remap. Cache counters do not move — a re-layout is not traffic.
+    ///
+    /// Returns the number of blocks rewritten (0 when `new_layout` places
+    /// every vector where it already was).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures. Like [`TableStore::write_embeddings`], a
+    /// write error mid-apply leaves the device region partially rewritten
+    /// while the in-memory layout still describes the old placement; the
+    /// caller must treat the table as poisoned (re-write or discard it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_layout` disagrees with the current layout on vector
+    /// count or vectors-per-block.
+    pub fn apply_layout(
+        &mut self,
+        device: &mut dyn BlockDevice,
+        new_layout: BlockLayout,
+    ) -> Result<u64, BandanaError> {
+        assert_eq!(
+            new_layout.num_vectors(),
+            self.layout.num_vectors(),
+            "new layout changes the vector count"
+        );
+        assert_eq!(
+            new_layout.vectors_per_block(),
+            self.layout.vectors_per_block(),
+            "new layout changes the block capacity"
+        );
+
+        let changed: Vec<u32> = (0..self.layout.num_blocks())
+            .filter(|&b| self.layout.vectors_in_block(b) != new_layout.vectors_in_block(b))
+            .collect();
+        if changed.is_empty() {
+            self.layout = new_layout;
+            return Ok(0);
+        }
+
+        // Read phase: every block sourcing a changed destination, exactly
+        // once, through the pooled read path. All reads precede all writes.
+        let mut pool = std::mem::take(&mut self.pool);
+        let mut sources: HashMap<u32, Bytes> = HashMap::new();
+        let mut read =
+            |this: &mut Self, pool: &mut BlockBufPool, sources: &mut HashMap<u32, Bytes>| {
+                for &b in &changed {
+                    for &v in new_layout.vectors_in_block(b) {
+                        let src = this.layout.block_of(v);
+                        if let Entry::Vacant(e) = sources.entry(src) {
+                            e.insert(this.read_block_pooled(device, pool, src)?);
+                        }
+                    }
+                }
+                Ok::<(), BandanaError>(())
+            };
+        let read_result = read(self, &mut pool, &mut sources);
+        self.pool = pool;
+        read_result?;
+
+        // Write phase: assemble each changed block from the old placement's
+        // payloads and rewrite it (endurance-charged).
+        let block_size = device.block_size();
+        let mut buf = vec![0u8; block_size];
+        for &b in &changed {
+            buf.iter_mut().for_each(|x| *x = 0);
+            for (slot, &v) in new_layout.vectors_in_block(b).iter().enumerate() {
+                let src = &sources[&self.layout.block_of(v)];
+                let old_slot = self.layout.slot_of(v) as usize;
+                let off = slot * self.vector_bytes;
+                buf[off..off + self.vector_bytes].copy_from_slice(
+                    &src[old_slot * self.vector_bytes..(old_slot + 1) * self.vector_bytes],
+                );
+            }
+            device.write_block(self.base_block + u64::from(b), &buf)?;
+        }
+
+        self.layout = new_layout;
+        self.layout_epoch += 1;
+        Ok(changed.len() as u64)
     }
 
     /// Looks up one vector, reading through to NVM on a miss.
@@ -817,6 +925,109 @@ mod tests {
         let out = table.lookup_batch(&mut device, &[]).unwrap();
         assert!(out.is_empty());
         assert_eq!(table.metrics().lookups, 0);
+    }
+
+    #[test]
+    fn apply_layout_preserves_bytes_and_charges_endurance() {
+        // 8 vectors per block so a remap spans several physical blocks.
+        let spec = TableSpec::test_small(64);
+        let topics = TopicModel::new(&spec, 1);
+        let emb = EmbeddingTable::synthesize(64, 8, &topics, 2); // 32 B vectors
+        let layout = BlockLayout::identity(64, 8);
+        let mut device = NvmDevice::new(
+            NvmConfig::optane_375gb().with_capacity_blocks(layout.num_blocks() as u64),
+        );
+        let mut t = TableStore::new(
+            0,
+            layout,
+            AccessFrequency::zeros(64),
+            AdmissionPolicy::None,
+            8,
+            1.5,
+            0,
+            32,
+        );
+        t.write_embeddings(&mut device, &emb).unwrap();
+        device.reset_counters();
+        let endurance_before = device.endurance().bytes_written();
+        assert_eq!(t.layout_epoch(), 0);
+
+        // Reverse the placement: every block's contents change.
+        let new = BlockLayout::from_order((0..64u32).rev().collect(), 8);
+        let rewritten = t.apply_layout(&mut device, new).unwrap();
+        assert_eq!(rewritten, 8, "every block changed");
+        assert_eq!(t.layout_epoch(), 1);
+        assert_eq!(device.counters().writes, 8, "one write per changed block");
+        assert!(
+            device.endurance().bytes_written() > endurance_before,
+            "rewrites must be charged to endurance"
+        );
+        for v in 0..64u32 {
+            let got = t.lookup(&mut device, v).unwrap();
+            assert_eq!(got.as_ref(), emb.vector_as_bytes(v).as_slice(), "vector {v} corrupted");
+        }
+    }
+
+    #[test]
+    fn apply_layout_rewrites_only_changed_blocks_and_keeps_cache() {
+        let spec = TableSpec::test_small(64);
+        let topics = TopicModel::new(&spec, 1);
+        let emb = EmbeddingTable::synthesize(64, 8, &topics, 2);
+        let layout = BlockLayout::identity(64, 8);
+        let mut device = NvmDevice::new(
+            NvmConfig::optane_375gb().with_capacity_blocks(layout.num_blocks() as u64),
+        );
+        let mut t = TableStore::new(
+            0,
+            layout,
+            AccessFrequency::zeros(64),
+            AdmissionPolicy::None,
+            8,
+            1.5,
+            0,
+            32,
+        );
+        t.write_embeddings(&mut device, &emb).unwrap();
+        device.reset_counters();
+
+        // Warm the cache with vectors from an untouched block.
+        t.lookup(&mut device, 40).unwrap();
+        t.lookup(&mut device, 41).unwrap();
+        let lookups_before = t.metrics().lookups;
+
+        // Swap the first two vectors: both live in block 0, so exactly one
+        // block changes.
+        let mut order: Vec<u32> = (0..64).collect();
+        order.swap(0, 1);
+        let rewritten = t.apply_layout(&mut device, BlockLayout::from_order(order, 8)).unwrap();
+        assert_eq!(rewritten, 1, "only the block holding the swapped pair changes");
+        assert_eq!(device.counters().writes, 1);
+        assert_eq!(t.metrics().lookups, lookups_before, "a re-layout is not traffic");
+
+        // Cached entries survive the remap and still hit in DRAM.
+        let reads = device.counters().reads;
+        let got = t.lookup(&mut device, 40).unwrap();
+        assert_eq!(got.as_ref(), emb.vector_as_bytes(40).as_slice());
+        assert_eq!(device.counters().reads, reads, "cache keys must survive the remap");
+
+        // The moved vectors read back correctly from their new slots.
+        for v in [0u32, 1] {
+            let got = t.lookup(&mut device, v).unwrap();
+            assert_eq!(got.as_ref(), emb.vector_as_bytes(v).as_slice(), "vector {v}");
+        }
+
+        // Re-applying the identical layout is a free no-op.
+        let again = t.layout().clone();
+        assert_eq!(t.apply_layout(&mut device, again).unwrap(), 0);
+        assert_eq!(t.layout_epoch(), 1, "a no-op apply is not a new epoch");
+    }
+
+    #[test]
+    #[should_panic(expected = "block capacity")]
+    fn apply_layout_rejects_capacity_change() {
+        let (mut table, mut device, _) = setup(AdmissionPolicy::None, 8);
+        let bad = BlockLayout::identity(64, 16);
+        let _ = table.apply_layout(&mut device, bad);
     }
 
     #[test]

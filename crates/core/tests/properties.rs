@@ -1,0 +1,109 @@
+//! Property-based tests for the Bandana store's online re-layout.
+
+use bandana_cache::AdmissionPolicy;
+use bandana_core::TableStore;
+use bandana_partition::{AccessFrequency, BlockLayout};
+use bandana_trace::{spec::TableSpec, EmbeddingTable, TopicModel};
+use nvm_sim::{BlockDevice, NvmConfig, NvmDevice};
+use proptest::prelude::*;
+
+const VECTORS: u32 = 96;
+const DIM: usize = 8; // 32 B vectors
+const PER_BLOCK: usize = 8;
+
+fn store() -> (TableStore, NvmDevice, EmbeddingTable) {
+    let spec = TableSpec::test_small(VECTORS);
+    let topics = TopicModel::new(&spec, 1);
+    let emb = EmbeddingTable::synthesize(VECTORS, DIM, &topics, 7);
+    let layout = BlockLayout::identity(VECTORS, PER_BLOCK);
+    let mut device =
+        NvmDevice::new(NvmConfig::optane_375gb().with_capacity_blocks(layout.num_blocks() as u64));
+    let mut table = TableStore::new(
+        0,
+        layout,
+        AccessFrequency::zeros(VECTORS),
+        AdmissionPolicy::None,
+        16,
+        1.5,
+        0,
+        DIM * 4,
+    );
+    table.write_embeddings(&mut device, &emb).unwrap();
+    device.reset_counters();
+    (table, device, emb)
+}
+
+/// Derives a permutation of `0..VECTORS` from random draws (Fisher–Yates
+/// over the identity order).
+fn permutation(swaps: &[(u32, u32)]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..VECTORS).collect();
+    for &(a, b) in swaps {
+        order.swap(a as usize % VECTORS as usize, b as usize % VECTORS as usize);
+    }
+    order
+}
+
+proptest! {
+    /// `apply_layout` under arbitrary remap sequences preserves read
+    /// correctness — every key returns identical bytes before and after,
+    /// with lookups interleaved between applies — and leaves the layout
+    /// dense: the block count never grows.
+    #[test]
+    fn arbitrary_remap_sequences_preserve_reads_and_density(
+        remaps in proptest::collection::vec(
+            proptest::collection::vec((any::<u32>(), any::<u32>()), 0..24),
+            1..6,
+        ),
+        probes in proptest::collection::vec(0u32..VECTORS, 4..16),
+    ) {
+        let (mut table, mut device, emb) = store();
+        let blocks_before = table.layout().num_blocks();
+
+        for swaps in &remaps {
+            // Lookups interleaved with the remap sequence: some before...
+            for &v in &probes[..probes.len() / 2] {
+                let got = table.lookup(&mut device, v).unwrap();
+                prop_assert_eq!(got.as_ref(), emb.vector_as_bytes(v).as_slice());
+            }
+
+            let new = BlockLayout::from_order(permutation(swaps), PER_BLOCK);
+            table.apply_layout(&mut device, new).unwrap();
+
+            // ...and some immediately after each apply.
+            for &v in &probes[probes.len() / 2..] {
+                let got = table.lookup(&mut device, v).unwrap();
+                prop_assert_eq!(got.as_ref(), emb.vector_as_bytes(v).as_slice());
+            }
+
+            prop_assert_eq!(table.layout().num_blocks(), blocks_before, "block count grew");
+            prop_assert_eq!(table.layout().num_vectors(), VECTORS);
+        }
+
+        // Full sweep at the end: every key intact under the final layout.
+        for v in 0..VECTORS {
+            let got = table.lookup(&mut device, v).unwrap();
+            prop_assert_eq!(got.as_ref(), emb.vector_as_bytes(v).as_slice(), "vector {}", v);
+        }
+    }
+
+    /// A remap is invisible to the cache: whatever was cached before the
+    /// apply still hits afterwards without touching the device.
+    #[test]
+    fn cached_entries_survive_any_remap(
+        swaps in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..32),
+        cached in proptest::collection::vec(0u32..VECTORS, 1..8),
+    ) {
+        let (mut table, mut device, emb) = store();
+        for &v in &cached {
+            table.lookup(&mut device, v).unwrap();
+        }
+        let new = BlockLayout::from_order(permutation(&swaps), PER_BLOCK);
+        table.apply_layout(&mut device, new).unwrap();
+        let reads = device.counters().reads;
+        for &v in &cached {
+            let got = table.lookup(&mut device, v).unwrap();
+            prop_assert_eq!(got.as_ref(), emb.vector_as_bytes(v).as_slice());
+        }
+        prop_assert_eq!(device.counters().reads, reads, "cached keys must not re-read NVM");
+    }
+}

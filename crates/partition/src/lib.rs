@@ -48,4 +48,4 @@ pub use hypergraph::Hypergraph;
 pub use kmeans::{kmeans, order_from_assignments, KMeansConfig, KMeansResult};
 pub use layout::BlockLayout;
 pub use recursive::{two_stage_kmeans, TwoStageConfig};
-pub use shp::{social_hash_partition, ShpConfig};
+pub use shp::{refine, social_hash_partition, RefineConfig, Refinement, ShpConfig};

@@ -24,6 +24,8 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::layout::BlockLayout;
+
 /// Configuration for [`social_hash_partition`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShpConfig {
@@ -125,6 +127,157 @@ where
     out
 }
 
+/// Configuration for [`refine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefineConfig {
+    /// Refinement iterations per bisection (a few suffice for a working set).
+    pub iterations: u32,
+    /// Seed for the initial balanced splits.
+    pub seed: u64,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig { iterations: 8, seed: 0 }
+    }
+}
+
+/// Result of an incremental [`refine`] solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refinement {
+    /// The full placement order after refinement: `order[position] = vector
+    /// id`. Positions outside the working set are identical to the input
+    /// layout's order.
+    pub order: Vec<u32>,
+    /// Number of vectors whose block assignment changed.
+    pub moved: usize,
+    /// Blocks whose slot contents changed, ascending. These are exactly the
+    /// blocks a store must rewrite to realize the refinement.
+    pub touched_blocks: Vec<u32>,
+}
+
+impl Refinement {
+    /// A refinement that leaves `layout` unchanged.
+    fn noop(layout: &BlockLayout) -> Self {
+        Refinement { order: layout.order().to_vec(), moved: 0, touched_blocks: Vec::new() }
+    }
+}
+
+/// Incrementally re-partitions a bounded working set of `hot_blocks` against
+/// a recent co-access sample, leaving every other block untouched.
+///
+/// This is the online half of the SHP loop: instead of re-solving the whole
+/// table, the vectors currently placed in `hot_blocks` are gathered into one
+/// small sub-problem (seeded from the current `layout`) and bisected with the
+/// same machinery as [`social_hash_partition`], restricted to the sampled
+/// `queries`. The refined order is written back into the working set's own
+/// positions, so the result is a full-table order that differs from the
+/// input only inside `hot_blocks` — block count can never grow.
+///
+/// Queries are restricted to working-set members; restricted edges with
+/// fewer than two members carry no placement signal and are dropped. If the
+/// working set spans fewer than two blocks, or no restricted edge survives,
+/// the solve is a no-op (re-shuffling hot blocks without evidence would only
+/// scramble a layout that training traffic already paid for).
+///
+/// # Panics
+///
+/// Panics if a hot block id is out of range for `layout` or a query
+/// references an out-of-range vector id.
+pub fn refine<'a, I>(
+    layout: &BlockLayout,
+    hot_blocks: &[u32],
+    queries: I,
+    config: &RefineConfig,
+) -> Refinement
+where
+    I: IntoIterator<Item = &'a [u32]>,
+{
+    let cap = layout.vectors_per_block();
+    let num_blocks = layout.num_blocks();
+    let n = layout.num_vectors();
+
+    let mut blocks: Vec<u32> = hot_blocks.to_vec();
+    blocks.sort_unstable();
+    blocks.dedup();
+    if let Some(&b) = blocks.last() {
+        assert!(b < num_blocks, "hot block {b} out of range ({num_blocks} blocks)");
+    }
+    if blocks.len() < 2 {
+        return Refinement::noop(layout);
+    }
+
+    // Gather the working set: the hot blocks' global positions, ascending.
+    // Every hot block contributes exactly `cap` positions except (possibly)
+    // the table's final partial block, which sorts last — so the bisection's
+    // whole-block splits align exactly with physical blocks.
+    let mut positions: Vec<usize> = Vec::with_capacity(blocks.len() * cap);
+    for &b in &blocks {
+        let start = b as usize * cap;
+        let end = (start + cap).min(n as usize);
+        positions.extend(start..end);
+    }
+    let verts: Vec<u32> = positions.iter().map(|&p| layout.order()[p]).collect();
+
+    // Global vector id -> local working-set id.
+    let mut local = vec![u32::MAX; n as usize];
+    for (i, &v) in verts.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+
+    // Restrict each query to the working set, in local id space.
+    let mut edge_off = vec![0usize];
+    let mut edge_mem: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    for q in queries {
+        scratch.clear();
+        for &v in q {
+            assert!(v < n, "query references vertex {v} >= {n}");
+            let l = local[v as usize];
+            if l != u32::MAX {
+                scratch.push(l);
+            }
+        }
+        scratch.sort_unstable();
+        scratch.dedup();
+        if scratch.len() < 2 {
+            continue;
+        }
+        edge_mem.extend_from_slice(&scratch);
+        edge_off.push(edge_mem.len());
+    }
+    if edge_off.len() < 2 {
+        return Refinement::noop(layout);
+    }
+
+    let sub = Sub { verts, edge_off, edge_mem };
+    let cfg = ShpConfig {
+        block_capacity: cap,
+        iterations: config.iterations.max(1),
+        seed: config.seed,
+        parallel_depth: 0,
+    };
+    let mut refined = vec![0u32; sub.verts.len()];
+    bisect(sub, &mut refined, &cfg, 0, cfg.seed);
+
+    // Write the refined local order back into the working set's positions.
+    let mut order = layout.order().to_vec();
+    let mut moved = 0usize;
+    let mut touched_blocks: Vec<u32> = Vec::new();
+    for (i, &p) in positions.iter().enumerate() {
+        let v = refined[i];
+        if order[p] != v {
+            touched_blocks.push((p / cap) as u32);
+        }
+        if layout.block_of(v) != (p / cap) as u32 {
+            moved += 1;
+        }
+        order[p] = v;
+    }
+    touched_blocks.dedup();
+    Refinement { order, moved, touched_blocks }
+}
+
 /// Recursively bisects `sub`, writing the final vertex order into `out`.
 fn bisect(sub: Sub, out: &mut [u32], cfg: &ShpConfig, depth: u32, salt: u64) {
     let n = sub.verts.len();
@@ -154,7 +307,7 @@ fn bisect(sub: Sub, out: &mut [u32], cfg: &ShpConfig, depth: u32, salt: u64) {
         side[v as usize] = true;
     }
 
-    refine(&sub, &mut side, left, cfg.iterations, salt);
+    refine_bisection(&sub, &mut side, left, cfg.iterations, salt);
 
     // Split vertices and edges by side, preserving relative order.
     let mut left_verts = Vec::with_capacity(left);
@@ -223,7 +376,7 @@ fn bisect(sub: Sub, out: &mut [u32], cfg: &ShpConfig, depth: u32, salt: u64) {
 /// stands in for the original SHP's probabilistic swap acceptance, breaking
 /// symmetric ties differently in each iteration so the refinement cannot
 /// oscillate forever between equivalent configurations.
-fn refine(sub: &Sub, side: &mut [bool], left_size: usize, iterations: u32, salt: u64) {
+fn refine_bisection(sub: &Sub, side: &mut [bool], left_size: usize, iterations: u32, salt: u64) {
     let n = side.len();
     if sub.num_edges() == 0 {
         return;
@@ -503,6 +656,92 @@ mod tests {
         let cfg = ShpConfig { block_capacity: 32, iterations: 4, seed: 0, parallel_depth: 0 };
         let order = social_hash_partition(70, queries.iter().map(|q| q.as_slice()), &cfg);
         assert_permutation(&order, 70);
+    }
+
+    #[test]
+    fn refine_regroups_a_drifted_hot_set() {
+        use crate::fanout::average_fanout;
+        // Build-time layout clusters groups of 8; drifted traffic co-accesses
+        // vectors straddling the first four blocks.
+        let layout = BlockLayout::identity(64, 8);
+        let mut queries: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..40 {
+            for g in 0..4u32 {
+                // New group g = {g, g+8, g+16, g+24, ...}: one vector per hot
+                // block, maximal fanout under the identity layout.
+                queries.push((0..4).map(|b| b * 8 + g * 2).collect());
+                queries.push((0..4).map(|b| b * 8 + g * 2 + 1).collect());
+            }
+        }
+        let refined = refine(
+            &layout,
+            &[0, 1, 2, 3],
+            queries.iter().map(|q| q.as_slice()),
+            &RefineConfig { iterations: 16, seed: 9 },
+        );
+        assert_permutation(&refined.order, 64);
+        assert!(refined.moved > 0, "drifted traffic should move vectors");
+        assert!(refined.touched_blocks.iter().all(|&b| b < 4), "cold blocks rewritten");
+        // Cold positions are byte-identical to the input layout.
+        assert_eq!(&refined.order[32..], &layout.order()[32..]);
+        let new_layout = BlockLayout::from_order(refined.order.clone(), 8);
+        let before = average_fanout(&layout, queries.iter().map(|q| q.as_slice()));
+        let after = average_fanout(&new_layout, queries.iter().map(|q| q.as_slice()));
+        assert!(after < before, "refine should cut fanout: {after} !< {before}");
+        // Each drifted group now fits in one block.
+        assert!(after < 1.5, "drifted groups should re-cluster, got fanout {after}");
+    }
+
+    #[test]
+    fn refine_is_deterministic() {
+        let layout = BlockLayout::random(96, 8, 3);
+        let queries: Vec<Vec<u32>> =
+            (0..200).map(|i| vec![i % 96, (i * 5 + 2) % 96, (i * 11 + 7) % 96]).collect();
+        let cfg = RefineConfig { iterations: 8, seed: 77 };
+        let a = refine(&layout, &[0, 3, 5, 9], queries.iter().map(|q| q.as_slice()), &cfg);
+        let b = refine(&layout, &[0, 3, 5, 9], queries.iter().map(|q| q.as_slice()), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn refine_without_evidence_is_a_noop() {
+        let layout = BlockLayout::random(64, 8, 1);
+        // Fewer than two hot blocks: nothing to trade between.
+        let r = refine(&layout, &[2], std::iter::empty(), &RefineConfig::default());
+        assert_eq!(r.order, layout.order());
+        assert_eq!(r.moved, 0);
+        assert!(r.touched_blocks.is_empty());
+        // No restricted edge survives: all queries live outside the hot set.
+        let layout = BlockLayout::identity(64, 8);
+        let cold: Vec<Vec<u32>> = (0..20).map(|i| vec![32 + i % 32, 32 + (i + 3) % 32]).collect();
+        let r =
+            refine(&layout, &[0, 1], cold.iter().map(|q| q.as_slice()), &RefineConfig::default());
+        assert_eq!(r.order, layout.order());
+        assert!(r.touched_blocks.is_empty());
+    }
+
+    #[test]
+    fn refine_handles_partial_last_block() {
+        // 70 vectors at capacity 8: last block holds 6.
+        let layout = BlockLayout::identity(70, 8);
+        let queries: Vec<Vec<u32>> = (0..60).map(|i| vec![i % 70, (i * 7 + 3) % 70]).collect();
+        let blocks: Vec<u32> = (0..9).collect();
+        let r = refine(
+            &layout,
+            &blocks,
+            queries.iter().map(|q| q.as_slice()),
+            &RefineConfig { iterations: 8, seed: 4 },
+        );
+        assert_permutation(&r.order, 70);
+        let new_layout = BlockLayout::from_order(r.order, 8);
+        assert_eq!(new_layout.num_blocks(), layout.num_blocks(), "block count grew");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn refine_rejects_out_of_range_block() {
+        let layout = BlockLayout::identity(64, 8);
+        let _ = refine(&layout, &[0, 99], std::iter::empty(), &RefineConfig::default());
     }
 
     #[test]

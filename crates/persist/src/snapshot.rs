@@ -8,14 +8,14 @@
 //! catalog or tenant registry — those are WAL records
 //! ([`crate::WalRecord`]), replayed over the snapshot at recovery.
 //!
-//! # On-disk format (version 2; version 1 still decodes)
+//! # On-disk format (version 3; versions 1 and 2 still decode)
 //!
 //! All integers little-endian:
 //!
 //! | field | size | meaning |
 //! |-------|------|---------|
 //! | magic | 4 bytes | `"BSNP"` |
-//! | version | `u32` | `2` (readers accept `1`) |
+//! | version | `u32` | `3` (readers accept `1` and `2`) |
 //! | `written_at_ms` | `u64` | wall-clock Unix milliseconds at write |
 //! | `tick` | `u64` | control-bus tick the snapshot was taken on |
 //! | `shards` | `u32` | shard count |
@@ -35,6 +35,8 @@
 //! | `cache_capacity` | `u32` | **v2 only**: cache capacity in entries (the learned DRAM partition); decoded as `0` (= unknown) from v1 files |
 //! | `keys` | `u32` | cached-entry count |
 //! | per key | `u32` + `u8` | vector id, origin (0 demand, 1 prefetch), MRU→LRU |
+//! | `layout` | `u32` | **v3 only**: placement-order length — `0` means the build-time layout (online re-layout never ran); decoded as `0` from v1/v2 files |
+//! | per position | `u32` | **v3 only**: vector id at that physical position |
 //!
 //! # Atomic install
 //!
@@ -55,10 +57,12 @@ use std::path::{Path, PathBuf};
 const MAGIC: &[u8; 4] = b"BSNP";
 
 /// The snapshot format version this build writes.
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// The oldest snapshot version this build still decodes (version 1
-/// predates the per-table `cache_capacity` field, which decodes as 0).
+/// predates the per-table `cache_capacity` field, which decodes as 0;
+/// versions 1 and 2 predate the per-table `layout_order`, which decodes
+/// as empty = build-time layout).
 pub const MIN_SNAPSHOT_VERSION: u32 = 1;
 
 /// Where a cached entry came from, carried through snapshots so a
@@ -88,6 +92,13 @@ pub struct TableSnapshot {
     pub cache_capacity: u32,
     /// Cached entries, MRU first: `(vector id, origin)`.
     pub keys: Vec<(u32, KeyOrigin)>,
+    /// The learned placement order in force when the snapshot was taken:
+    /// `layout_order[position] = vector id`. Empty means the build-time
+    /// layout (the online re-layout loop never rewrote this table, or the
+    /// file predates version 3) — recovery keeps the layout the build
+    /// produced. When non-empty, a warm restart physically re-applies
+    /// this order before rehydrating the cache.
+    pub layout_order: Vec<u32>,
 }
 
 /// A full engine snapshot.
@@ -167,6 +178,10 @@ pub fn encode(data: &SnapshotData) -> Result<Vec<u8>, PersistError> {
                 KeyOrigin::Prefetch => 1,
             });
         }
+        out.extend_from_slice(&(t.layout_order.len() as u32).to_le_bytes());
+        for &v in &t.layout_order {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
     }
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -237,7 +252,26 @@ pub fn decode(data: &[u8]) -> Result<SnapshotData, PersistError> {
             };
             keys.push((id, origin));
         }
-        out_tables.push(TableSnapshot { table, policy, shadow_multiplier, cache_capacity, keys });
+        // Versions 1 and 2 predate the learned-layout field.
+        let mut layout_order = Vec::new();
+        if version >= 3 {
+            let order_len = r.u32().ok_or_else(|| corrupt("short layout section"))? as usize;
+            if order_len > 1 << 28 {
+                return Err(corrupt("absurd layout length"));
+            }
+            layout_order.reserve(order_len);
+            for _ in 0..order_len {
+                layout_order.push(r.u32().ok_or_else(|| corrupt("short layout section"))?);
+            }
+        }
+        out_tables.push(TableSnapshot {
+            table,
+            policy,
+            shadow_multiplier,
+            cache_capacity,
+            keys,
+            layout_order,
+        });
     }
     if !r.done() {
         return Err(corrupt("trailing bytes"));
@@ -375,6 +409,7 @@ mod tests {
                     shadow_multiplier: 4.0,
                     cache_capacity: 384,
                     keys: vec![(7, KeyOrigin::Demand), (3, KeyOrigin::Prefetch)],
+                    layout_order: vec![3, 0, 2, 1],
                 },
                 TableSnapshot {
                     table: 1,
@@ -382,6 +417,7 @@ mod tests {
                     shadow_multiplier: 2.0,
                     cache_capacity: 128,
                     keys: vec![],
+                    layout_order: vec![],
                 },
             ],
         }
@@ -454,6 +490,56 @@ mod tests {
             assert_eq!(got.shadow_multiplier, want.shadow_multiplier);
             assert_eq!(got.keys, want.keys);
             assert_eq!(got.cache_capacity, 0, "v1 has no capacity: must decode as unknown");
+            assert!(got.layout_order.is_empty(), "v1 has no layout: must decode build-time");
+        }
+    }
+
+    /// Hand-encodes `data` in the version-2 layout (per-table
+    /// `cache_capacity` but no `layout_order`), byte-for-byte what a v2
+    /// build wrote.
+    fn encode_v2(data: &SnapshotData) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&data.written_at_ms.to_le_bytes());
+        out.extend_from_slice(&data.tick.to_le_bytes());
+        out.extend_from_slice(&(data.shard_endurance_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(data.tables.len() as u32).to_le_bytes());
+        for &bytes in &data.shard_endurance_bytes {
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        for t in &data.tables {
+            out.extend_from_slice(&t.table.to_le_bytes());
+            encode_policy(&mut out, t.policy).unwrap();
+            out.extend_from_slice(&t.shadow_multiplier.to_le_bytes());
+            out.extend_from_slice(&t.cache_capacity.to_le_bytes());
+            out.extend_from_slice(&(t.keys.len() as u32).to_le_bytes());
+            for &(id, origin) in &t.keys {
+                out.extend_from_slice(&id.to_le_bytes());
+                out.push(match origin {
+                    KeyOrigin::Demand => 0,
+                    KeyOrigin::Prefetch => 1,
+                });
+            }
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn version_2_files_still_decode_with_build_time_layout() {
+        let data = sample();
+        let decoded = decode(&encode_v2(&data)).unwrap();
+        assert_eq!(decoded.tick, data.tick);
+        assert_eq!(decoded.shard_endurance_bytes, data.shard_endurance_bytes);
+        assert_eq!(decoded.tables.len(), data.tables.len());
+        for (got, want) in decoded.tables.iter().zip(&data.tables) {
+            assert_eq!(got.table, want.table);
+            assert_eq!(got.policy, want.policy);
+            assert_eq!(got.cache_capacity, want.cache_capacity, "v2 carries the capacity");
+            assert_eq!(got.keys, want.keys);
+            assert!(got.layout_order.is_empty(), "v2 has no layout: must decode build-time");
         }
     }
 

@@ -249,6 +249,22 @@ pub enum Action {
         /// move is explainable after the fact.
         curve: Vec<(usize, f64)>,
     },
+    /// Atomically remap one table onto a refined block layout (the
+    /// online re-layout controller's lever); routed to the owning
+    /// shard's command channel and applied between micro-batches. The
+    /// rewritten blocks are real device writes charged to the shard's
+    /// endurance meter.
+    ApplyLayout {
+        /// The table whose layout changes.
+        table: usize,
+        /// The full placement order: `order[position] = vector id`.
+        order: Vec<u32>,
+        /// Observed blocks-per-request over the window that justified
+        /// the move — captured into the audit log.
+        observed_blocks_per_request: f64,
+        /// The same window's ideal blocks-per-request.
+        ideal_blocks_per_request: f64,
+    },
 }
 
 /// A feedback policy run by the metrics bus: observe one

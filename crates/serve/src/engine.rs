@@ -44,6 +44,7 @@ use crate::obs::{
     DEFAULT_AUDIT_CAPACITY,
 };
 use crate::queue::{LaneSpec, Pop, Push, ShedPolicy, WeightedQueue};
+use crate::relayout::{CoAccessSample, ReLayoutController, ReLayoutInputs, ReLayoutSettings};
 use crate::tenant::{
     Client, PriorityClass, Response, ResponseStatus, ShedBreakdown, TenantId, TenantMetrics,
     TenantSpec,
@@ -51,6 +52,7 @@ use crate::tenant::{
 use crate::tuner::{OnlineTunerSettings, TunerController, TunerTable};
 use bandana_cache::{AdmissionPolicy, CacheMetrics};
 use bandana_core::{BandanaError, BandanaStore, BatchScratch, TableStore};
+use bandana_partition::BlockLayout;
 use bandana_persist::{
     KeyOrigin, PersistConfig, Persistence, SnapshotData, TableSnapshot, WalRecord,
 };
@@ -114,6 +116,14 @@ pub struct ServeConfig {
     /// [`Action::SetCachePartition`] moves that clear a hysteresis bar.
     /// `None` (the default) keeps the build-time partition fixed.
     pub cache_budget: Option<CacheBudgetSettings>,
+    /// Enables the online hot-block [re-layout controller](crate::relayout):
+    /// shard workers tee sampled co-access records onto the metrics bus,
+    /// which accumulates a windowed co-access hypergraph per table and,
+    /// when observed blocks-per-request degrades past the configured
+    /// threshold of the window's ideal, refines the hottest blocks'
+    /// placement and applies it atomically ([`Action::ApplyLayout`]).
+    /// `None` (the default) keeps the build-time layout fixed.
+    pub relayout: Option<ReLayoutSettings>,
     /// Registered tenants beyond the always-present default tenant
     /// ([`TenantId::DEFAULT`]); see [`ServeConfig::with_tenant`].
     pub tenants: Vec<(TenantId, TenantSpec)>,
@@ -154,6 +164,7 @@ impl Default for ServeConfig {
             device_queue: None,
             tuner: None,
             cache_budget: None,
+            relayout: None,
             tenants: Vec::new(),
             control: ControlConfig::default(),
             slo: None,
@@ -218,6 +229,13 @@ impl ServeConfig {
     /// re-partitioning of the fixed total cache budget across tables).
     pub fn with_cache_budget(mut self, settings: CacheBudgetSettings) -> Self {
         self.cache_budget = Some(settings);
+        self
+    }
+
+    /// Enables the online hot-block re-layout controller (closed-loop
+    /// incremental SHP refinement against live co-access traffic).
+    pub fn with_relayout(mut self, settings: ReLayoutSettings) -> Self {
+        self.relayout = Some(settings);
         self
     }
 
@@ -288,6 +306,9 @@ impl ServeConfig {
         }
         if let Some(b) = &self.cache_budget {
             b.validate()?;
+        }
+        if let Some(r) = &self.relayout {
+            r.validate()?;
         }
         self.control.validate()?;
         if let Some(s) = &self.slo {
@@ -418,6 +439,15 @@ pub(crate) enum ShardCommand {
         /// Completion/err channel back to the caller.
         reply: mpsc::Sender<Result<(), BandanaError>>,
     },
+    /// Atomically remap one table onto a refined block layout, between
+    /// micro-batches. Rewritten blocks are real device writes charged to
+    /// the shard's endurance meter; cached entries survive the remap.
+    ApplyLayout {
+        /// Table id (owned by the receiving shard).
+        table: usize,
+        /// The full placement order: `order[position] = vector id`.
+        order: Vec<u32>,
+    },
 }
 
 /// One shard's contribution to a persistence snapshot.
@@ -533,6 +563,19 @@ struct Counters {
     /// [`Action::SetCachePartition`]s actually routed to a shard (solves
     /// whose targets cleared the hysteresis bar).
     rebudget_applied: AtomicU64,
+    /// Re-layout controller refinement solves (windows whose observed
+    /// blocks-per-request cleared the degradation bar).
+    relayout_solves: AtomicU64,
+    /// [`Action::ApplyLayout`]s actually routed to a shard (solves whose
+    /// refinement moved at least one vector).
+    relayout_applied: AtomicU64,
+    /// Blocks rewritten on-device by applied re-layouts.
+    relayout_rewritten_blocks: AtomicU64,
+    /// Freshest completed window's observed blocks-per-request, stored
+    /// as [`f64::to_bits`].
+    relayout_observed_bpr_bits: AtomicU64,
+    /// Freshest completed window's ideal blocks-per-request, as bits.
+    relayout_ideal_bpr_bits: AtomicU64,
 }
 
 impl Counters {
@@ -549,6 +592,11 @@ impl Counters {
             control_actions: AtomicU64::new(0),
             rebudget_solves: AtomicU64::new(0),
             rebudget_applied: AtomicU64::new(0),
+            relayout_solves: AtomicU64::new(0),
+            relayout_applied: AtomicU64::new(0),
+            relayout_rewritten_blocks: AtomicU64::new(0),
+            relayout_observed_bpr_bits: AtomicU64::new(0),
+            relayout_ideal_bpr_bits: AtomicU64::new(0),
         }
     }
 }
@@ -958,6 +1006,13 @@ impl Shared {
                     }
                 }
             }
+            Action::ApplyLayout { table, order, .. } => {
+                if let Some(&shard) = self.table_shard.get(table) {
+                    if commands[shard].send(ShardCommand::ApplyLayout { table, order }).is_ok() {
+                        self.counters.relayout_applied.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             // `Action` is non_exhaustive for forward compatibility; an
             // unknown action from a future controller is a no-op rather
             // than a crash.
@@ -1201,6 +1256,19 @@ pub struct EngineMetrics {
     /// Cache re-partitions actually applied to shards (solves whose
     /// targets cleared the hysteresis bar).
     pub rebudget_applied: u64,
+    /// Re-layout controller refinement solves (windows whose observed
+    /// blocks-per-request cleared the degradation bar).
+    pub relayout_solves: u64,
+    /// Block re-layouts actually applied to shards (solves whose
+    /// refinement moved at least one vector).
+    pub relayout_applied: u64,
+    /// Blocks rewritten on-device by applied re-layouts.
+    pub relayout_rewritten_blocks: u64,
+    /// Observed blocks-per-request over the freshest completed re-layout
+    /// window (`0.0` until a window completes).
+    pub blocks_per_request_observed: f64,
+    /// The same window's ideal (perfectly packed) blocks-per-request.
+    pub blocks_per_request_ideal: f64,
     /// The live per-table DRAM partition: running capacity and the
     /// budget controller's latest target per table (targets equal the
     /// build-time split until a controller solves).
@@ -1600,6 +1668,31 @@ impl ShardedEngine {
                 .collect()
         });
 
+        // Harvest the re-layout controller's view of each table's active
+        // layout, also before tables move into the shard threads.
+        let relayout_tables: Option<Vec<(usize, BlockLayout)>> =
+            config.relayout.as_ref().map(|_| {
+                let mut tables: Vec<(usize, BlockLayout)> =
+                    parts.tables.iter().map(|t| (t.table_id(), t.layout().clone())).collect();
+                tables.sort_unstable_by_key(|e| e.0);
+                // A warm restart resumes the learned layout the snapshot
+                // recorded (the shards remap onto it before rehydrating), not
+                // the build-time placement.
+                if let Some(snap) = recovered.as_ref() {
+                    for t in &snap.tables {
+                        if t.layout_order.is_empty() {
+                            continue;
+                        }
+                        if let Some(e) = tables.iter_mut().find(|e| e.0 == t.table as usize) {
+                            if let Some(layout) = checked_layout(&t.layout_order, &e.1) {
+                                e.1 = layout;
+                            }
+                        }
+                    }
+                }
+                tables
+            });
+
         // The build-time DRAM partition, table-id order: seeds the live
         // partition view and, when the budget controller is on, defines
         // the fixed total budget it re-divides.
@@ -1687,6 +1780,7 @@ impl ShardedEngine {
 
         let (sample_tx, sample_rx) = mpsc::sync_channel::<(usize, u32)>(SAMPLE_CHANNEL_CAPACITY);
         let (budget_tx, budget_rx) = mpsc::sync_channel::<BudgetSample>(SAMPLE_CHANNEL_CAPACITY);
+        let (co_tx, co_rx) = mpsc::sync_channel::<CoAccessSample>(SAMPLE_CHANNEL_CAPACITY);
         let mut command_txs: Vec<mpsc::Sender<ShardCommand>> = Vec::with_capacity(num_shards);
 
         // With the budget controller on, a re-partition can hand any one
@@ -1746,6 +1840,7 @@ impl ShardedEngine {
             let samples = config.tuner.as_ref().map(|t| (sample_tx.clone(), t.sample_every));
             let budget_samples =
                 config.cache_budget.as_ref().map(|b| (budget_tx.clone(), b.sample_every));
+            let co_samples = config.relayout.as_ref().map(|r| (co_tx.clone(), r.sample_every));
             let handle = std::thread::Builder::new()
                 .name(format!("bandana-shard-{shard}"))
                 .spawn(move || {
@@ -1758,6 +1853,7 @@ impl ShardedEngine {
                         cmd_rx,
                         samples,
                         budget_samples,
+                        co_samples,
                         pool_floor,
                         restore,
                     )
@@ -1770,6 +1866,7 @@ impl ShardedEngine {
         // end-of-stream.
         drop(sample_tx);
         drop(budget_tx);
+        drop(co_tx);
 
         // The metrics bus always runs: it rotates the recent windows and
         // snapshots the engine even when no controller is registered, so
@@ -1785,6 +1882,12 @@ impl ShardedEngine {
             settings,
             samples: budget_rx,
         });
+        let relayout_inputs = match (config.relayout, relayout_tables) {
+            (Some(settings), Some(tables)) => {
+                Some(ReLayoutInputs { tables, settings, samples: co_rx })
+            }
+            _ => None,
+        };
         let slo = config.slo;
         let control_cfg = config.control;
         let bus_shared = Arc::clone(&shared);
@@ -1798,6 +1901,7 @@ impl ShardedEngine {
                     control_cfg,
                     tuner_inputs,
                     budget_inputs,
+                    relayout_inputs,
                     slo,
                     controllers,
                 )
@@ -2003,6 +2107,15 @@ impl ShardedEngine {
             control_actions: c.control_actions.load(Ordering::Relaxed),
             rebudget_solves: c.rebudget_solves.load(Ordering::Relaxed),
             rebudget_applied: c.rebudget_applied.load(Ordering::Relaxed),
+            relayout_solves: c.relayout_solves.load(Ordering::Relaxed),
+            relayout_applied: c.relayout_applied.load(Ordering::Relaxed),
+            relayout_rewritten_blocks: c.relayout_rewritten_blocks.load(Ordering::Relaxed),
+            blocks_per_request_observed: f64::from_bits(
+                c.relayout_observed_bpr_bits.load(Ordering::Relaxed),
+            ),
+            blocks_per_request_ideal: f64::from_bits(
+                c.relayout_ideal_bpr_bits.load(Ordering::Relaxed),
+            ),
             cache_partition: self
                 .shared
                 .cache_partition
@@ -2232,12 +2345,14 @@ struct TunerInputs {
 /// [`OnlineTuner`](bandana_core::OnlineTuner)s borrow their per-table
 /// inputs from this stack frame — ahead of any caller-supplied
 /// controllers.
+#[allow(clippy::too_many_arguments)]
 fn control_main(
     shared: Arc<Shared>,
     commands: Vec<mpsc::Sender<ShardCommand>>,
     config: ControlConfig,
     tuner: Option<TunerInputs>,
     budget: Option<BudgetInputs>,
+    relayout: Option<ReLayoutInputs>,
     slo: Option<SloControllerConfig>,
     extra: Vec<Box<dyn Controller>>,
 ) {
@@ -2264,6 +2379,16 @@ fn control_main(
             inputs,
             &shared.counters.rebudget_solves,
             &shared.cache_partition,
+        )));
+    }
+    if let Some(inputs) = relayout {
+        // Borrows the solve counter and blocks-per-request gauge cells
+        // from `shared`, like the budget controller above.
+        controllers.push(Box::new(ReLayoutController::new(
+            inputs,
+            &shared.counters.relayout_solves,
+            &shared.counters.relayout_observed_bpr_bits,
+            &shared.counters.relayout_ideal_bpr_bits,
         )));
     }
     if let Some(slo_config) = slo {
@@ -2465,6 +2590,26 @@ struct ShardWorker {
 /// The shard worker: drains its queue in micro-batches, applies tuner
 /// commands between batches, and charges device reads through the queue
 /// model when one is configured.
+/// Validates a proposed placement order against the running `current`
+/// layout and materializes it. `None` when the order is not a
+/// permutation of the table's vector ids — [`BlockLayout::from_order`]
+/// panics on malformed input, and a stale controller or a corrupt
+/// snapshot must degrade to "keep the current layout", never take down
+/// a shard worker.
+fn checked_layout(order: &[u32], current: &BlockLayout) -> Option<BlockLayout> {
+    let n = current.num_vectors();
+    if order.len() != n as usize {
+        return None;
+    }
+    let mut seen = vec![false; n as usize];
+    for &v in order {
+        if v >= n || std::mem::replace(&mut seen[v as usize], true) {
+            return None;
+        }
+    }
+    Some(BlockLayout::from_order(order.to_vec(), current.vectors_per_block()))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn shard_main(
     shard: usize,
@@ -2475,11 +2620,14 @@ fn shard_main(
     commands: mpsc::Receiver<ShardCommand>,
     samples: Option<(mpsc::SyncSender<(usize, u32)>, u32)>,
     budget_samples: Option<(mpsc::SyncSender<BudgetSample>, u32)>,
+    co_samples: Option<(mpsc::SyncSender<CoAccessSample>, u32)>,
     pool_floor: usize,
     recovered: Option<ShardRecovered>,
 ) {
     let mut sample_tick: u32 = 0;
     let mut budget_tick: u32 = 0;
+    let mut co_tick: u32 = 0;
+    let mut co_seq: u64 = 0;
     let mut batch_seq: u64 = 0;
     let mut tracker =
         batching.device_queue.map(|d| QueueDepthTracker::new(*device.queue_model(), d));
@@ -2513,6 +2661,16 @@ fn shard_main(
         let mut rehydrated = 0usize;
         for snap in &restore.tables {
             let Some(t) = worker.tables.get_mut(&(snap.table as usize)) else { continue };
+            // Remap onto the learned layout the snapshot recorded (v3+)
+            // before anything reads blocks, so rehydration and serving
+            // both see vectors where the re-layout controller left them.
+            // The rewrite is real recovery I/O charged to endurance, but
+            // not to the relayout counters — it is not live traffic.
+            if !snap.layout_order.is_empty() {
+                if let Some(layout) = checked_layout(&snap.layout_order, t.layout()) {
+                    let _ = t.apply_layout(&mut worker.device, layout);
+                }
+            }
             t.set_policy(snap.policy, snap.shadow_multiplier);
             // Restore the learned DRAM partition before rehydrating, so
             // the cache refills to the capacity it actually ran with
@@ -2561,6 +2719,14 @@ fn shard_main(
                             policy: t.policy(),
                             shadow_multiplier: t.shadow_multiplier(),
                             cache_capacity: t.cache_capacity() as u32,
+                            // Only a layout the re-layout loop actually
+                            // changed is journaled; an empty order means
+                            // "the build-time layout" on recovery.
+                            layout_order: if t.layout_epoch() > 0 {
+                                t.layout().order().to_vec()
+                            } else {
+                                Vec::new()
+                            },
                             keys: t
                                 .cache_snapshot()
                                 .into_iter()
@@ -2603,6 +2769,26 @@ fn shard_main(
                     }
                     let _ = reply.send(result);
                 }
+                ShardCommand::ApplyLayout { table, order } => {
+                    let ShardWorker { device, tables, .. } = &mut worker;
+                    let Some(t) = tables.get_mut(&table) else { continue };
+                    // Validate against the *running* layout: a stale or
+                    // malformed order (engine restarted, table re-sized)
+                    // is dropped rather than panicking the worker.
+                    let Some(layout) = checked_layout(&order, t.layout()) else { continue };
+                    if let Ok(rewritten) = t.apply_layout(device, layout) {
+                        shared
+                            .counters
+                            .relayout_rewritten_blocks
+                            .fetch_add(rewritten, Ordering::Relaxed);
+                        let endurance = worker.device.endurance();
+                        let counters = worker.device.counters();
+                        let mut stats = shared.shard_stats[shard].lock().expect("shard stats lock");
+                        stats.bytes_written = endurance.bytes_written();
+                        stats.drive_writes = endurance.drive_writes();
+                        stats.device_reads = counters.reads;
+                    }
+                }
             }
         }
         let jobs =
@@ -2622,6 +2808,9 @@ fn shard_main(
             &mut sample_tick,
             budget_samples.as_ref(),
             &mut budget_tick,
+            co_samples.as_ref(),
+            &mut co_tick,
+            &mut co_seq,
             batch_seq,
         );
     }
@@ -2644,6 +2833,9 @@ fn process_batch(
     sample_tick: &mut u32,
     budget_samples: Option<&(mpsc::SyncSender<BudgetSample>, u32)>,
     budget_tick: &mut u32,
+    co_samples: Option<&(mpsc::SyncSender<CoAccessSample>, u32)>,
+    co_tick: &mut u32,
+    co_seq: &mut u64,
     batch_seq: u64,
 ) {
     let started = Instant::now();
@@ -2761,6 +2953,26 @@ fn process_batch(
                             *budget_tick = budget_tick.wrapping_add(1);
                             if budget_tick.is_multiple_of((*every).max(1)) {
                                 let _ = tx.try_send((part.table, v, job.tenant as u32));
+                            }
+                        }
+                    }
+                    // Co-access tap: whole parts, one in `every` — the
+                    // re-layout controller needs each request's *set* of
+                    // ids intact, so sampling strides over parts, never
+                    // within one. The group token (per-shard sequence in
+                    // the high bits, shard in the low byte) lets the bus
+                    // stitch a part back together across drains; sends
+                    // stay lossy (`try_send`) and allocation-free — the
+                    // bounded channel's ring is preallocated.
+                    if let Some((tx, every)) = co_samples {
+                        if part.unique_ids.len() > 1 {
+                            *co_tick = co_tick.wrapping_add(1);
+                            if co_tick.is_multiple_of((*every).max(1)) {
+                                *co_seq += 1;
+                                let group = (*co_seq << 8) | shard as u64;
+                                for &v in &part.unique_ids {
+                                    let _ = tx.try_send((part.table, v, group));
+                                }
                             }
                         }
                     }
@@ -3392,6 +3604,155 @@ mod tests {
         };
         assert_eq!(caps(&restored), caps(&learned), "partition must survive the restart");
         drop(engine.shutdown());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn relayout_controller_regroups_a_live_engine() {
+        let store = build_plain_store(40);
+        let config = ServeConfig::default()
+            .with_shards(1)
+            .with_control(ControlConfig {
+                tick: Duration::from_millis(1),
+                ..ControlConfig::default()
+            })
+            .with_relayout(ReLayoutSettings {
+                window_requests: 64,
+                hot_blocks: 8,
+                ..ReLayoutSettings::default()
+            });
+        let engine = ShardedEngine::new(store, config).expect("engine");
+
+        // A probe across every block of table 0: its payloads must be
+        // byte-identical before and after the live remap.
+        let probe =
+            Request { queries: vec![TableQuery::new(0, (0..16).map(|k| k * 128).collect())] };
+        let before = engine.serve(&probe).expect("probe");
+
+        // Post-drift traffic: under the build-time identity layout (128
+        // 32-byte vectors per 4 KB block) every request straddles four
+        // blocks of table 0, while all 128 hot vectors would fit in one.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut g = 0u32;
+        loop {
+            for _ in 0..64 {
+                g = (g + 1) % 32;
+                let ids = vec![g, 128 + g, 256 + g, 384 + g];
+                let request = Request { queries: vec![TableQuery::new(0, ids)] };
+                engine.submit(&request).expect("submit");
+            }
+            engine.drain();
+            if engine.metrics().relayout_rewritten_blocks > 0 || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        let after = engine.serve(&probe).expect("probe after remap");
+        assert_eq!(before, after, "reads must be byte-identical across the remap");
+
+        let m = engine.shutdown();
+        assert!(m.relayout_solves >= 1, "the degraded window must solve");
+        assert!(m.relayout_applied >= 1, "drifted traffic must apply a re-layout");
+        assert!(m.relayout_rewritten_blocks > 0, "an applied re-layout rewrites blocks");
+        assert!(m.blocks_per_request_observed > 0.0, "gauges must publish");
+        assert!(m.blocks_per_request_ideal > 0.0, "gauges must publish");
+        // Rewritten blocks are real device writes charged to endurance.
+        assert!(
+            m.per_shard.iter().any(|s| s.bytes_written > 0),
+            "re-layout writes must charge endurance: {:?}",
+            m.per_shard
+        );
+        // Every applied re-layout is audited with its justifying
+        // blocks-per-request figures.
+        let audited: Vec<_> = m.audit.iter().filter(|e| e.controller == "re-layout").collect();
+        assert!(!audited.is_empty(), "applied re-layouts must be audited");
+        assert!(
+            audited
+                .iter()
+                .all(|e| e.action.contains("ApplyLayout") && e.cause.contains("blocks/request")),
+            "audit entries must carry the window evidence: {audited:?}"
+        );
+    }
+
+    /// A one-shot controller that hands the engine a fixed layout once:
+    /// exercises [`Action::ApplyLayout`] through the public controller
+    /// API with a deterministic order.
+    struct OneShotRelayout {
+        order: Vec<u32>,
+        fired: bool,
+    }
+
+    impl Controller for OneShotRelayout {
+        fn name(&self) -> &str {
+            "one-shot-relayout"
+        }
+
+        fn observe(&mut self, _snapshot: &EngineSnapshot) -> Vec<Action> {
+            if std::mem::replace(&mut self.fired, true) {
+                return Vec::new();
+            }
+            vec![Action::ApplyLayout {
+                table: 0,
+                order: self.order.clone(),
+                observed_blocks_per_request: 2.0,
+                ideal_blocks_per_request: 1.0,
+            }]
+        }
+    }
+
+    #[test]
+    fn learned_layout_survives_a_warm_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("bandana-relayout-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || {
+            ServeConfig::default()
+                .with_shards(1)
+                .with_control(ControlConfig {
+                    tick: Duration::from_millis(1),
+                    ..ControlConfig::default()
+                })
+                .with_persist(PersistConfig::new(&dir).with_snapshot_every_ticks(0))
+        };
+        // Swap the first two blocks of table 0 (2048 vectors, 128 per
+        // block), leaving the rest of the order untouched.
+        let order: Vec<u32> = (128..256).chain(0..128).chain(256..2048).collect();
+
+        // First life: the controller applies the layout, a probe pins
+        // the expected bytes, and the learned order is snapshotted.
+        let store = build_plain_store(41);
+        let engine = ShardedEngine::new_with_controllers(
+            store,
+            config(),
+            vec![Box::new(OneShotRelayout { order: order.clone(), fired: false })],
+        )
+        .expect("engine");
+        let probe = Request { queries: vec![TableQuery::new(0, vec![0, 1, 128, 129, 2000])] };
+        let expected = engine.serve(&probe).expect("probe");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.metrics().relayout_rewritten_blocks < 2 {
+            assert!(Instant::now() < deadline, "shard never applied the layout");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(engine.serve(&probe).expect("probe"), expected, "remap preserves reads");
+        engine.snapshot_now().expect("snapshot");
+        let m = engine.shutdown();
+        assert_eq!(m.relayout_applied, 1);
+        assert_eq!(m.relayout_rewritten_blocks, 2, "exactly the two swapped blocks rewrite");
+
+        // Second life: the recovered engine serves identical bytes and
+        // carries the learned layout, not the build-time one — its next
+        // snapshot re-journals the same order.
+        let store = build_plain_store(41);
+        let engine = ShardedEngine::recover(store, config()).expect("recover");
+        assert_eq!(engine.serve(&probe).expect("probe"), expected, "restart preserves reads");
+        engine.snapshot_now().expect("snapshot");
+        drop(engine.shutdown());
+        let (_, opened) = Persistence::open(&PersistConfig::new(&dir)).expect("open persist dir");
+        let snap = opened.snapshot.expect("a snapshot was installed").1;
+        let journaled = snap.tables.iter().find(|t| t.table == 0).expect("table 0 in snapshot");
+        assert_eq!(journaled.layout_order, order, "the learned layout must survive the restart");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -93,6 +93,22 @@
 //!   justified it, the live split is exported as
 //!   `bandana_table_cache_{capacity,target}_entries` gauges, and the
 //!   learned partition survives a warm restart via snapshots.
+//! * **Online hot-block re-layout** ([`ReLayoutSettings`] via
+//!   [`ServeConfig::with_relayout`]): the paper's SHP placement loop
+//!   (§4.1), closed against live traffic. Shard workers tee a sampled
+//!   co-access record of each drained request part onto the bus, the
+//!   internal `ReLayoutController` accumulates a windowed co-access
+//!   hypergraph per table, and when observed blocks-per-request
+//!   degrades past a threshold of the window's ideal it runs an
+//!   incremental [`bandana_partition::refine`] over the hottest blocks.
+//!   The refined order is applied atomically between micro-batches
+//!   ([`Action::ApplyLayout`]) — rewritten blocks are real device
+//!   writes charged to the shard's endurance meter, cached entries
+//!   survive the remap — and the learned layout survives a warm
+//!   restart via snapshots. Windows surface as
+//!   `bandana_blocks_per_request_{observed,ideal}` gauges; every
+//!   applied re-layout is audit-logged with the figures that justified
+//!   it.
 //! * **Observability** ([`obs`]): a three-part layer over everything
 //!   above. The **flight recorder** samples one request in N
 //!   ([`ServeConfig::with_trace`]) and records its lifecycle — admitted,
@@ -259,6 +275,7 @@ pub mod loadgen;
 pub mod net;
 pub mod obs;
 pub mod queue;
+pub mod relayout;
 pub mod tenant;
 pub mod tuner;
 
@@ -284,6 +301,7 @@ pub use obs::{
     RequestTrace, TraceConfig, TraceEvent, TraceEventKind, TraceRecorder, TraceRing,
 };
 pub use queue::{LaneSpec, ShedPolicy, WeightedQueue};
+pub use relayout::ReLayoutSettings;
 pub use tenant::{
     Client, PriorityClass, RequestBuilder, Response, ResponseStatus, ResponseTicket, ShedBreakdown,
     TenantId, TenantMetrics, TenantSpec,

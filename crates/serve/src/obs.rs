@@ -448,6 +448,19 @@ impl AuditEvent {
                     format!("from {previous} entries; hit-rate curve [{}]", points.join(", ")),
                 )
             }
+            Action::ApplyLayout {
+                table,
+                order,
+                observed_blocks_per_request,
+                ideal_blocks_per_request,
+            } => (
+                format!("ApplyLayout{{table: {table}, vectors: {}}}", order.len()),
+                None,
+                format!(
+                    "observed {observed_blocks_per_request:.2} blocks/request vs ideal \
+                     {ideal_blocks_per_request:.2} over the window"
+                ),
+            ),
             // `Action` is non_exhaustive; future variants still audit.
             #[allow(unreachable_patterns)]
             other => (format!("{other:?}"), None, String::new()),
@@ -899,6 +912,36 @@ pub fn render_prometheus(metrics: &EngineMetrics, snapshot: &EngineSnapshot) -> 
     put(&mut out, "bandana_rebudget_solves_total", "", m.rebudget_solves as f64);
     head(&mut out, "bandana_rebudget_applied_total", "counter", "Cache re-partitions applied.");
     put(&mut out, "bandana_rebudget_applied_total", "", m.rebudget_applied as f64);
+    head(&mut out, "bandana_relayout_solves_total", "counter", "Block re-layout re-solves.");
+    put(&mut out, "bandana_relayout_solves_total", "", m.relayout_solves as f64);
+    head(&mut out, "bandana_relayout_applied_total", "counter", "Block re-layouts applied.");
+    put(&mut out, "bandana_relayout_applied_total", "", m.relayout_applied as f64);
+    head(
+        &mut out,
+        "bandana_relayout_rewritten_blocks_total",
+        "counter",
+        "Blocks rewritten by applied re-layouts.",
+    );
+    put(
+        &mut out,
+        "bandana_relayout_rewritten_blocks_total",
+        "",
+        m.relayout_rewritten_blocks as f64,
+    );
+    head(
+        &mut out,
+        "bandana_blocks_per_request_observed",
+        "gauge",
+        "Observed blocks per request over the freshest re-layout window.",
+    );
+    put(&mut out, "bandana_blocks_per_request_observed", "", m.blocks_per_request_observed);
+    head(
+        &mut out,
+        "bandana_blocks_per_request_ideal",
+        "gauge",
+        "Ideal (perfectly packed) blocks per request over the freshest re-layout window.",
+    );
+    put(&mut out, "bandana_blocks_per_request_ideal", "", m.blocks_per_request_ideal);
     head(
         &mut out,
         "bandana_table_cache_capacity_entries",
@@ -1270,6 +1313,18 @@ mod tests {
         assert!(event.cause.contains("from 512 entries"), "{}", event.cause);
         assert!(event.cause.contains("128:0.412"), "{}", event.cause);
         assert!(event.cause.contains("512:0.733"), "{}", event.cause);
+
+        let relayout = Action::ApplyLayout {
+            table: 1,
+            order: (0..64u32).rev().collect(),
+            observed_blocks_per_request: 3.75,
+            ideal_blocks_per_request: 1.5,
+        };
+        let event = AuditEvent::from_action("re-layout", &relayout, &snapshot);
+        assert_eq!(event.tenant, None);
+        assert!(event.action.contains("ApplyLayout{table: 1, vectors: 64}"), "{}", event.action);
+        assert!(event.cause.contains("observed 3.75"), "{}", event.cause);
+        assert!(event.cause.contains("ideal 1.50"), "{}", event.cause);
     }
 
     #[test]
@@ -1323,6 +1378,11 @@ mod tests {
             control_actions: 9,
             rebudget_solves: 5,
             rebudget_applied: 2,
+            relayout_solves: 4,
+            relayout_applied: 1,
+            relayout_rewritten_blocks: 6,
+            blocks_per_request_observed: 3.5,
+            blocks_per_request_ideal: 1.25,
             cache_partition: vec![TableCachePartition {
                 table: 0,
                 capacity_entries: 512,
@@ -1497,6 +1557,11 @@ mod tests {
             "bandana_audit_events 1",
             "bandana_rebudget_solves_total 5",
             "bandana_rebudget_applied_total 2",
+            "bandana_relayout_solves_total 4",
+            "bandana_relayout_applied_total 1",
+            "bandana_relayout_rewritten_blocks_total 6",
+            "bandana_blocks_per_request_observed 3.5",
+            "bandana_blocks_per_request_ideal 1.25",
             "bandana_table_cache_capacity_entries{table=\"0\"} 512",
             "bandana_table_cache_target_entries{table=\"0\"} 640",
             "bandana_control_tick 212",

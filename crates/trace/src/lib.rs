@@ -47,6 +47,7 @@ pub mod spec;
 pub mod stack;
 pub mod topics;
 pub mod zipf;
+pub mod zipf_drift;
 
 pub use aet::AetModel;
 pub use arrivals::ArrivalProcess;
@@ -62,3 +63,4 @@ pub use spec::{ModelSpec, TableSpec};
 pub use stack::{hit_rate_curve, StackDistances};
 pub use topics::TopicModel;
 pub use zipf::Zipf;
+pub use zipf_drift::{ZipfDriftConfig, ZipfDriftGenerator};

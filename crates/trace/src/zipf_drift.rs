@@ -1,0 +1,352 @@
+//! Zipf-popular co-access groups whose hot set rotates between epochs.
+//!
+//! The online re-layout loop (`bandana-serve`) needs a workload where
+//! (a) requests have co-access structure a block layout can exploit,
+//! (b) group popularity is heavy-tailed so a small hot set dominates, and
+//! (c) the hot set *moves* mid-run, invalidating whatever layout was learned
+//! before the drift. [`DriftingTraceGenerator`](crate::drift) rotates vector
+//! *roles* under the full topic model; this module is the sharper instrument:
+//! each table's id space is dealt into fixed co-access groups, one group is
+//! drawn per request from a Zipf law over ranks, and every epoch the
+//! rank→group assignment rotates so yesterday's hottest groups go cold.
+//!
+//! Because a group's ids are dealt from a random permutation, a hot group's
+//! members straddle many build-time blocks — exactly the situation the
+//! re-layout controller is supposed to detect and repair.
+//!
+//! # Example
+//!
+//! ```
+//! use bandana_trace::{ModelSpec, ZipfDriftConfig, ZipfDriftGenerator};
+//!
+//! let spec = ModelSpec::test_small();
+//! let config = ZipfDriftConfig { requests_per_epoch: 100, ..ZipfDriftConfig::default() };
+//! let mut generator = ZipfDriftGenerator::new(&spec, 7, config);
+//! let trace = generator.generate_requests(250); // spans epochs 0, 1, 2
+//! assert_eq!(trace.requests.len(), 250);
+//! assert_eq!(generator.current_epoch(), 2);
+//! ```
+
+use crate::query::{Request, TableQuery, Trace};
+use crate::spec::ModelSpec;
+use crate::zipf::Zipf;
+use rand::seq::SliceRandom;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Shape of the grouped workload and its drift schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfDriftConfig {
+    /// Ids looked up together per group (one group per table per request).
+    pub group_size: usize,
+    /// Zipf exponent over group ranks; `0.0` degenerates to uniform.
+    pub exponent: f64,
+    /// Requests per drift epoch; the rank→group deal rotates between epochs.
+    pub requests_per_epoch: usize,
+    /// Fraction of each table's groups displaced per epoch, in `[0, 1]`.
+    /// `0.0` disables drift entirely; any positive value displaces at least
+    /// one group per epoch.
+    pub rotate_fraction: f64,
+}
+
+impl Default for ZipfDriftConfig {
+    fn default() -> Self {
+        ZipfDriftConfig {
+            group_size: 4,
+            exponent: 1.1,
+            requests_per_epoch: 1000,
+            rotate_fraction: 0.5,
+        }
+    }
+}
+
+impl ZipfDriftConfig {
+    /// Validates field ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.group_size == 0 {
+            return Err("group_size must be non-zero".to_string());
+        }
+        if !self.exponent.is_finite() || self.exponent < 0.0 {
+            return Err(format!("exponent must be finite and non-negative, got {}", self.exponent));
+        }
+        if self.requests_per_epoch == 0 {
+            return Err("requests_per_epoch must be non-zero".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.rotate_fraction) {
+            return Err(format!("rotate_fraction must be in [0,1], got {}", self.rotate_fraction));
+        }
+        Ok(())
+    }
+}
+
+/// One table's dealt groups plus the rotating rank→group cycle.
+#[derive(Debug)]
+struct TableGroups {
+    /// Concatenated group members: group `g` owns
+    /// `members[g * group_size .. (g + 1) * group_size]`.
+    members: Vec<u32>,
+    /// A shuffled cycle of group indices; rank `r` at epoch shift `s` maps to
+    /// group `cycle[(r + s) % groups]`.
+    cycle: Vec<u32>,
+    /// Groups displaced per epoch.
+    shift_per_epoch: u64,
+    zipf: Zipf,
+}
+
+impl TableGroups {
+    fn new(num_vectors: u32, config: &ZipfDriftConfig, seed: u64) -> Self {
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let mut members: Vec<u32> = (0..num_vectors).collect();
+        members.shuffle(&mut rng);
+        // Whole groups only; a short tail of ids is simply never looked up.
+        let groups = ((num_vectors as usize / config.group_size).max(1)) as u32;
+        members.truncate(groups as usize * config.group_size.min(num_vectors as usize));
+        let mut cycle: Vec<u32> = (0..groups).collect();
+        cycle.shuffle(&mut rng);
+        let shift_per_epoch = if config.rotate_fraction == 0.0 {
+            0
+        } else {
+            ((groups as f64 * config.rotate_fraction).round() as u64).max(1)
+        };
+        TableGroups {
+            members,
+            cycle,
+            shift_per_epoch,
+            zipf: Zipf::new(groups as u64, config.exponent),
+        }
+    }
+
+    fn groups(&self) -> u64 {
+        self.cycle.len() as u64
+    }
+
+    /// The group index holding popularity rank `rank` at `epoch`.
+    fn group_at(&self, rank: u64, epoch: u64) -> u32 {
+        let n = self.groups();
+        let shift = (epoch % n) * (self.shift_per_epoch % n) % n;
+        self.cycle[((rank + shift) % n) as usize]
+    }
+
+    fn members_of(&self, group: u32, group_size: usize) -> &[u32] {
+        let start = group as usize * group_size;
+        &self.members[start..(start + group_size).min(self.members.len())]
+    }
+}
+
+/// Generates requests of Zipf-popular co-access groups with epoch drift.
+#[derive(Debug)]
+pub struct ZipfDriftGenerator {
+    tables: Vec<TableGroups>,
+    config: ZipfDriftConfig,
+    rng: ChaCha12Rng,
+    requests_generated: usize,
+}
+
+impl ZipfDriftGenerator {
+    /// Builds the generator, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config fails validation or the spec has no tables.
+    pub fn new(spec: &ModelSpec, seed: u64, config: ZipfDriftConfig) -> Self {
+        config.validate().expect("invalid zipf drift config");
+        assert!(!spec.tables.is_empty(), "spec must have at least one table");
+        let tables = spec
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(t, ts)| {
+                TableGroups::new(
+                    ts.num_vectors,
+                    &config,
+                    (seed ^ 0x51F7_D81F).wrapping_add(t as u64),
+                )
+            })
+            .collect();
+        ZipfDriftGenerator {
+            tables,
+            config,
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            requests_generated: 0,
+        }
+    }
+
+    /// The drift epoch the *next* request will be generated in.
+    pub fn current_epoch(&self) -> u64 {
+        (self.requests_generated / self.config.requests_per_epoch) as u64
+    }
+
+    /// Generates the next request: one Zipf-ranked group per table.
+    pub fn generate_request(&mut self) -> Request {
+        let epoch = self.current_epoch();
+        self.requests_generated += 1;
+        let queries = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(t, tg)| {
+                let rank = tg.zipf.sample(&mut self.rng);
+                let group = tg.group_at(rank, epoch);
+                TableQuery::new(t, tg.members_of(group, self.config.group_size).to_vec())
+            })
+            .collect();
+        Request { queries }
+    }
+
+    /// Generates a trace of `n` requests, advancing epochs as configured.
+    pub fn generate_requests(&mut self, n: usize) -> Trace {
+        let requests = (0..n).map(|_| self.generate_request()).collect();
+        Trace::new(self.tables.len(), requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn config() -> ZipfDriftConfig {
+        ZipfDriftConfig {
+            group_size: 4,
+            exponent: 1.2,
+            requests_per_epoch: 500,
+            rotate_fraction: 0.5,
+        }
+    }
+
+    /// The `top` most frequent ids of one table in a trace.
+    fn hot_set(trace: &Trace, table: usize, top: usize) -> HashSet<u32> {
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for ids in trace.table_queries(table) {
+            for &v in ids {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut ranked: Vec<(u32, u64)> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+        ranked.into_iter().take(top).map(|(v, _)| v).collect()
+    }
+
+    #[test]
+    fn requests_are_whole_coaccess_groups() {
+        let spec = ModelSpec::test_small();
+        let mut g = ZipfDriftGenerator::new(&spec, 11, config());
+        // Reconstruct each table's deal from the generator's own state and
+        // check every emitted query is exactly one group's member slice.
+        let trace = g.generate_requests(200);
+        for (t, tg) in g.tables.iter().enumerate() {
+            let groups: HashSet<&[u32]> = (0..tg.cycle.len() as u32)
+                .map(|grp| tg.members_of(grp, g.config.group_size))
+                .collect();
+            for ids in trace.table_queries(t) {
+                assert_eq!(ids.len(), g.config.group_size);
+                assert!(groups.contains(ids), "table {t} query {ids:?} is not a dealt group");
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let spec = ModelSpec::test_small();
+        let mut g = ZipfDriftGenerator::new(
+            &spec,
+            3,
+            ZipfDriftConfig { requests_per_epoch: 100_000, ..config() },
+        );
+        let trace = g.generate_requests(5_000); // single epoch
+        let mut counts: HashMap<u32, u64> = HashMap::new();
+        for ids in trace.table_queries(0) {
+            for &v in ids {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut freqs: Vec<u64> = counts.into_values().collect();
+        freqs.sort_unstable_by_key(|&c| std::cmp::Reverse(c));
+        let median = freqs[freqs.len() / 2];
+        assert!(
+            freqs[0] > 5 * median.max(1),
+            "head frequency {} should dwarf median {median}",
+            freqs[0]
+        );
+    }
+
+    #[test]
+    fn hot_set_moves_between_epochs() {
+        let spec = ModelSpec::test_small();
+        let mut g = ZipfDriftGenerator::new(&spec, 17, config());
+        let epoch0 = g.generate_requests(500);
+        let epoch1 = g.generate_requests(500);
+        assert_eq!(g.current_epoch(), 2);
+        for t in 0..spec.tables.len() {
+            let before = hot_set(&epoch0, t, 16);
+            let after = hot_set(&epoch1, t, 16);
+            let overlap = before.intersection(&after).count();
+            assert!(
+                overlap < 8,
+                "table {t}: hot set barely moved ({overlap}/16 ids survived the epoch)"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rotate_fraction_disables_drift() {
+        let spec = ModelSpec::test_small();
+        let cfg = ZipfDriftConfig { rotate_fraction: 0.0, ..config() };
+        let mut g = ZipfDriftGenerator::new(&spec, 17, cfg);
+        let epoch0 = g.generate_requests(500);
+        let epoch1 = g.generate_requests(500);
+        let before = hot_set(&epoch0, 0, 16);
+        let after = hot_set(&epoch1, 0, 16);
+        assert!(
+            before.intersection(&after).count() >= 12,
+            "hot set should be stable without rotation"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = ModelSpec::test_small();
+        let mut a = ZipfDriftGenerator::new(&spec, 99, config());
+        let mut b = ZipfDriftGenerator::new(&spec, 99, config());
+        assert_eq!(a.generate_requests(300), b.generate_requests(300));
+    }
+
+    #[test]
+    fn ids_stay_in_range() {
+        let spec = ModelSpec::test_small();
+        let mut g = ZipfDriftGenerator::new(&spec, 5, config());
+        let trace = g.generate_requests(1_000);
+        for (t, ts) in spec.tables.iter().enumerate() {
+            for ids in trace.table_queries(t) {
+                for &v in ids {
+                    assert!(v < ts.num_vectors, "table {t} id {v} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_table_still_yields_a_group() {
+        let mut spec = ModelSpec::test_small();
+        spec.tables[0].num_vectors = 3; // smaller than group_size
+        let mut g = ZipfDriftGenerator::new(&spec, 1, config());
+        let trace = g.generate_requests(50);
+        for ids in trace.table_queries(0) {
+            assert!(!ids.is_empty() && ids.len() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid zipf drift config")]
+    fn degenerate_config_is_rejected() {
+        ZipfDriftGenerator::new(
+            &ModelSpec::test_small(),
+            0,
+            ZipfDriftConfig { group_size: 0, ..config() },
+        );
+    }
+}

@@ -131,8 +131,16 @@ fn slo_controller_sheds_a_blown_tenant_then_releases_it() {
     .expect("engine");
     let client = engine.client(TENANT).expect("registered tenant");
     let trace = generator.generate_requests(20);
-    for r in trace.requests.iter().take(5) {
-        client.call(r).expect("pre-trip requests serve normally");
+    // Only the first call is guaranteed to precede the trip: once its
+    // completion reaches the bus (2 ms ticks), any later submission may
+    // already be shed — how many squeeze through first is host-speed
+    // dependent, so the test asserts nothing about them.
+    client.call(&trace.requests[0]).expect("pre-trip request serves normally");
+    for r in trace.requests.iter().skip(1).take(4) {
+        match client.call(r) {
+            Ok(_) | Err(ServeError::SloShed) => {}
+            Err(e) => panic!("unexpected pre-trip error: {e:?}"),
+        }
     }
     // The controller observes the blown recent-window p99 and trips.
     wait_for("SLO trip", || engine.metrics().per_tenant.iter().any(|t| t.slo_shedding));
